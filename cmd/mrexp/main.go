@@ -1,0 +1,69 @@
+// Command mrexp runs the paper-reproduction experiment suite (E1–E18)
+// and prints the regenerated tables; see EXPERIMENTS.md for the index
+// and the paper-vs-measured record.
+//
+// Usage:
+//
+//	mrexp                 # run everything
+//	mrexp -only E7,E12    # a subset
+//	mrexp -seed 7         # different randomization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"metarouting/internal/expt"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 42, "random seed for validation sweeps")
+		only     = flag.String("only", "", "comma-separated experiment IDs, e.g. E2,E7")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently (output order preserved)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	runners := expt.Runners(*seed)
+	selected := runners[:0:0]
+	for _, r := range runners {
+		if len(want) == 0 || want[r.ID] {
+			selected = append(selected, r)
+		}
+	}
+
+	if !*parallel {
+		for _, r := range selected {
+			fmt.Println(r.Run().Render())
+		}
+		return
+	}
+	// Fan the experiments across cores; print in index order as results
+	// land.
+	outputs := make([]string, len(selected))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, r := range selected {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outputs[i] = r.Run().Render()
+		}()
+	}
+	wg.Wait()
+	for _, out := range outputs {
+		fmt.Println(out)
+	}
+}

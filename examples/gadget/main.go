@@ -1,0 +1,57 @@
+// BAD GADGET: persistent route oscillation, live. The SPP gadget algebra
+// is neither monotone nor nondecreasing — the engine derives that — and
+// on the classic 4-node gadget topology the asynchronous path-vector
+// protocol can never quiesce, reproducing Varadhan et al.'s oscillation
+// (the paper's [16]) and the provable incorrectness of BGP noted in §I.
+// Flipping the topology so only direct routes exist converges instantly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"metarouting"
+	"metarouting/internal/graph"
+	"metarouting/internal/prop"
+)
+
+func main() {
+	a, err := metarouting.InferString("gadget")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the SPP gadget algebra, as the engine sees it:")
+	fmt.Printf("  M=%v (%s)\n", a.Props.Status(prop.MLeft), a.Props.Get(prop.MLeft).Witness)
+	fmt.Printf("  ND=%v I=%v — %s\n\n",
+		a.Props.Status(prop.NDLeft), a.Props.Status(prop.ILeft), a.Verdict())
+
+	badG, _ := graph.BadGadgetArcs()
+	for seed := int64(1); seed <= 3; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		out := metarouting.Simulate(a.OT, badG, metarouting.SimConfig{
+			Dest: 0, Origin: 0, MaxSteps: 5000, MaxDelay: 2, Rand: r,
+		})
+		fmt.Printf("BAD GADGET, seed %d: converged=%v after %d messages (budget-capped oscillation)\n",
+			seed, out.Converged, out.Steps)
+	}
+
+	// The same algebra on a satisfiable topology (direct routes only).
+	goodG := graph.MustNew(4, []graph.Arc{
+		{From: 1, To: 0, Label: 0}, {From: 2, To: 0, Label: 0}, {From: 3, To: 0, Label: 0},
+	})
+	r := rand.New(rand.NewSource(1))
+	out := metarouting.Simulate(a.OT, goodG, metarouting.SimConfig{
+		Dest: 0, Origin: 0, MaxDelay: 2, Rand: r,
+	})
+	fmt.Printf("\ndirect-only topology: converged=%v after %d messages\n", out.Converged, out.Steps)
+
+	// Contrast with an increasing algebra on the same cyclic topology:
+	// the I property guarantees convergence no matter the schedule.
+	d, _ := metarouting.InferString("delay(32,2)")
+	out2 := metarouting.Simulate(d.OT, badG, metarouting.SimConfig{
+		Dest: 0, Origin: 0, MaxDelay: 2, Rand: r,
+	})
+	fmt.Printf("delay algebra on the gadget topology: converged=%v after %d messages (I ⇒ convergence)\n",
+		out2.Converged, out2.Steps)
+}

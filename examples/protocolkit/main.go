@@ -1,0 +1,61 @@
+// Protocolkit: the paper's equation, end to end —
+//
+//	routing protocol = routing language + routing algorithm + proof
+//
+// Write an algebra in the language, ask which algorithms its derived
+// properties license, get a causal refusal for the ones they don't, and
+// build a multi-destination RIB with the one they do.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"metarouting"
+)
+
+func main() {
+	for _, src := range []string{
+		"delay(255,3)",
+		"scoped(bw(4), delay(64,3))",
+		"lex(bw(4), delay(64,3))",
+	} {
+		a, err := metarouting.InferString(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s → licensed: %v\n", src, metarouting.LicensedAlgorithms(a))
+	}
+
+	// A refusal carries the engine's causal explanation.
+	bad, _ := metarouting.InferString("lex(bw(4), delay(64,3))")
+	if _, err := metarouting.NewRouter(bad, metarouting.AlgoFixpoint); err != nil {
+		fmt.Printf("\nrefusal for lex(bw, delay) + fixpoint:\n%v\n", err)
+	}
+
+	// Build the licensed protocol and a full RIB.
+	good, _ := metarouting.InferString("delay(255,3)")
+	rt, err := metarouting.NewRouter(good, metarouting.AlgoPathVector)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nguarantee:", rt.Guarantee())
+
+	r := rand.New(rand.NewSource(4))
+	g := metarouting.RandomGraph(r, 8, 0.35, len(good.OT.F.Fns))
+	rib, err := metarouting.BuildRIB(good.OT, g, map[int]metarouting.V{0: 0, 5: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nRIB (destinations 0 and 5):")
+	for _, dest := range []int{0, 5} {
+		for u := 0; u < g.N; u++ {
+			if e := rib.Lookup(u, dest); e != nil && u != dest {
+				path, _ := rib.Forward(u, dest)
+				fmt.Printf("  %d→%d: weight %-4v nexthops %v path %v\n",
+					u, dest, e.Weight, e.NextHops, path)
+			}
+		}
+	}
+}

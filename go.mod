@@ -1,0 +1,3 @@
+module metarouting
+
+go 1.22

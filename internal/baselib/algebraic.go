@@ -1,0 +1,171 @@
+package baselib
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/bsg"
+	"metarouting/internal/fn"
+	"metarouting/internal/order"
+	"metarouting/internal/osg"
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/sgt"
+	"metarouting/internal/value"
+)
+
+// MinSG returns ({0..cap}, min) — selective, commutative, idempotent,
+// with identity cap and absorber 0.
+func MinSG(cap int) *sg.Semigroup {
+	s := sg.New(fmt.Sprintf("({0..%d},min)", cap), value.Ints(0, cap),
+		func(a, b value.V) value.V { return minInt(a.(int), b.(int)) })
+	s.WithIdentity(cap)
+	s.WithAbsorber(0)
+	s.Props.Declare(prop.Associative)
+	s.Props.Declare(prop.Commutative)
+	s.Props.Declare(prop.Idempotent)
+	s.Props.Declare(prop.Selective)
+	return s
+}
+
+// MaxSG returns ({0..cap}, max).
+func MaxSG(cap int) *sg.Semigroup {
+	s := sg.New(fmt.Sprintf("({0..%d},max)", cap), value.Ints(0, cap),
+		func(a, b value.V) value.V {
+			if a.(int) > b.(int) {
+				return a
+			}
+			return b
+		})
+	s.WithIdentity(0)
+	s.WithAbsorber(cap)
+	s.Props.Declare(prop.Associative)
+	s.Props.Declare(prop.Commutative)
+	s.Props.Declare(prop.Idempotent)
+	s.Props.Declare(prop.Selective)
+	return s
+}
+
+// PlusSatSG returns ({0..cap}, +cap) with saturating addition — the ⊗ of
+// the bounded min-plus bisemigroup.
+func PlusSatSG(cap int) *sg.Semigroup {
+	s := sg.New(fmt.Sprintf("({0..%d},+sat)", cap), value.Ints(0, cap),
+		func(a, b value.V) value.V { return minInt(cap, a.(int)+b.(int)) })
+	s.WithIdentity(0)
+	s.WithAbsorber(cap)
+	s.Props.Declare(prop.Associative)
+	s.Props.Declare(prop.Commutative)
+	return s
+}
+
+// MinPlus returns the bounded shortest-distance bisemigroup
+// ({0..cap}, min, +sat) — a semiring (§III).
+func MinPlus(cap int) *bsg.Bisemigroup {
+	return bsg.New(fmt.Sprintf("minplus≤%d", cap), MinSG(cap), PlusSatSG(cap))
+}
+
+// MaxMin returns the bounded greatest-bandwidth bisemigroup
+// ({0..cap}, max, min) (§III).
+func MaxMin(cap int) *bsg.Bisemigroup {
+	return bsg.New(fmt.Sprintf("maxmin≤%d", cap), MaxSG(cap), MinSG(cap))
+}
+
+// PlusTimes returns the path-counting bisemigroup ({0..cap}, +sat, ×sat)
+// (§III: (ℕ, +, ×) for counting the total number of paths), truncated by
+// saturation so the carrier stays finite.
+func PlusTimes(cap int) *bsg.Bisemigroup {
+	times := sg.New(fmt.Sprintf("({0..%d},×sat)", cap), value.Ints(0, cap),
+		func(a, b value.V) value.V { return minInt(cap, a.(int)*b.(int)) })
+	times.WithIdentity(1)
+	times.WithAbsorber(0)
+	times.Props.Declare(prop.Associative)
+	times.Props.Declare(prop.Commutative)
+	return bsg.New(fmt.Sprintf("plustimes≤%d", cap), PlusSatSG(cap), times)
+}
+
+// BoolReach returns the reachability bisemigroup ({0,1}, ∨, ∧).
+func BoolReach() *bsg.Bisemigroup {
+	car := value.Ints(0, 1)
+	or := sg.New("({0,1},∨)", car, func(a, b value.V) value.V {
+		if a.(int) == 1 || b.(int) == 1 {
+			return 1
+		}
+		return 0
+	})
+	or.WithIdentity(0)
+	or.WithAbsorber(1)
+	and := sg.New("({0,1},∧)", car, func(a, b value.V) value.V {
+		if a.(int) == 1 && b.(int) == 1 {
+			return 1
+		}
+		return 0
+	})
+	and.WithIdentity(1)
+	and.WithAbsorber(0)
+	for _, s := range []*sg.Semigroup{or, and} {
+		s.Props.Declare(prop.Associative)
+		s.Props.Declare(prop.Commutative)
+		s.Props.Declare(prop.Idempotent)
+		s.Props.Declare(prop.Selective)
+	}
+	return bsg.New("bool", or, and)
+}
+
+// ShortestPathOSG returns (ℕ, ≤, +) as an order semigroup — Sobrinho's
+// shortest-distance example (§III). cap == 0 yields the unbounded sampled
+// version (which is N-cancellative); cap > 0 yields the saturating finite
+// truncation (which is not).
+func ShortestPathOSG(cap int) *osg.OrderSemigroup {
+	if cap > 0 {
+		s := osg.New(fmt.Sprintf("(ℕ≤%d,≤,+sat)", cap),
+			order.IntLeq("(ℕ,≤)", value.Ints(0, cap)), PlusSatSG(cap))
+		s.Ord.WithTop(cap)
+		s.Ord.WithBot(0)
+		return s
+	}
+	car := value.NewSampled("ℕ", func(r *rand.Rand) value.V { return r.Intn(1 << 12) })
+	plus := sg.New("(ℕ,+)", car, func(a, b value.V) value.V { return a.(int) + b.(int) })
+	plus.WithIdentity(0)
+	plus.Props.Declare(prop.Associative)
+	plus.Props.Declare(prop.Commutative)
+	return osg.New("(ℕ,≤,+)", order.IntLeq("(ℕ,≤)", car), plus)
+}
+
+// WidestPathOSG returns (ℕ, ≥, min) as an order semigroup — Sobrinho's
+// greatest-bandwidth example (§III). cap == 0 yields the unbounded
+// sampled version.
+func WidestPathOSG(cap int) *osg.OrderSemigroup {
+	if cap > 0 {
+		ord := order.New("(ℕ,≥)", value.Ints(0, cap), func(a, b value.V) bool {
+			return a.(int) >= b.(int)
+		})
+		ord.WithTop(0).WithBot(cap)
+		return osg.New(fmt.Sprintf("(ℕ≤%d,≥,min)", cap), ord, MinSG(cap))
+	}
+	car := value.NewSampled("ℕ", func(r *rand.Rand) value.V { return r.Intn(1 << 12) })
+	min := sg.New("(ℕ,min)", car, func(a, b value.V) value.V { return minInt(a.(int), b.(int)) })
+	min.Props.Declare(prop.Associative)
+	min.Props.Declare(prop.Commutative)
+	min.Props.Declare(prop.Idempotent)
+	min.Props.Declare(prop.Selective)
+	ord := order.New("(ℕ,≥)", car, func(a, b value.V) bool { return a.(int) >= b.(int) })
+	return osg.New("(ℕ,≥,min)", ord, min)
+}
+
+// BoundedDistSGT returns §VI's finite semigroup transform
+//
+//	({0,…,n}, min, {λx. min(n, x+y) | y ∈ {0,…,n}}),
+//
+// whose N property necessarily fails at the ceiling n — the motivating
+// example for the Szendrei product ×ω.
+func BoundedDistSGT(n int) *sgt.SemigroupTransform {
+	fns := make([]fn.Fn, 0, n+1)
+	for y := 0; y <= n; y++ {
+		y := y
+		fns = append(fns, fn.Fn{
+			Name:  fmt.Sprintf("+%d", y),
+			Apply: func(v value.V) value.V { return minInt(n, v.(int)+y) },
+		})
+	}
+	return sgt.New(fmt.Sprintf("bounded-dist≤%d", n), MinSG(n), fn.NewFinite("F", fns))
+}

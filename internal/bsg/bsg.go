@@ -1,0 +1,247 @@
+// Package bsg implements bisemigroups (S, ⊕, ⊗) — the upper-left quadrant
+// of the quadrants model: algebraic weight summarization with algebraic
+// weight computation. Semirings are the subclass whose ⊗ distributes over
+// a commutative ⊕ with identity; distributivity here is exactly the M
+// property of Fig 2 and is inferred, not required, so nondistributive
+// semirings (Lengauer–Theune) are first-class citizens.
+package bsg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+// Bisemigroup is a structure (S, ⊕, ⊗). Add and Mul share a carrier.
+type Bisemigroup struct {
+	// Name is a diagnostic label, e.g. "(ℕ,min,+)".
+	Name string
+	// Add is the summarization semigroup ⊕.
+	Add *sg.Semigroup
+	// Mul is the computation semigroup ⊗.
+	Mul *sg.Semigroup
+	// Props caches property judgements (left and right flavours).
+	Props prop.Set
+}
+
+// New builds a bisemigroup; add and mul must share their carrier (checked
+// extensionally for finite carriers, trusted for infinite ones).
+func New(name string, add, mul *sg.Semigroup) *Bisemigroup {
+	if !value.Same(add.Car, mul.Car) {
+		panic("bsg: add and mul carriers differ: " + add.Car.Name + " vs " + mul.Car.Name)
+	}
+	return &Bisemigroup{Name: name, Add: add, Mul: mul, Props: prop.Make()}
+}
+
+// Carrier returns the weight carrier.
+func (s *Bisemigroup) Carrier() *value.Carrier { return s.Add.Car }
+
+// Finite reports whether exhaustive property checking is possible.
+func (s *Bisemigroup) Finite() bool { return s.Add.Car.Finite() }
+
+// Lex returns the lexicographic product S ×lex T (§IV): ⊕ is the
+// lexicographic product of the two ⊕s (the [P]x construction of §IV.A),
+// ⊗ is componentwise. It is defined when S.Add is selective or T.Add is a
+// monoid.
+func Lex(s, t *Bisemigroup) (*Bisemigroup, error) {
+	add, err := sg.Lex(s.Add, t.Add)
+	if err != nil {
+		return nil, err
+	}
+	return New("("+s.Name+" ×lex "+t.Name+")", add, sg.Direct(s.Mul, t.Mul)), nil
+}
+
+// forAll enumerates n-tuples (finite) or samples them (infinite).
+func (s *Bisemigroup) forAll(r *rand.Rand, samples, n int,
+	pred func(xs []value.V) (bool, string)) (prop.Status, string) {
+	if s.Finite() {
+		xs := make([]value.V, n)
+		var rec func(i int) (prop.Status, string)
+		rec = func(i int) (prop.Status, string) {
+			if i == n {
+				if ok, w := pred(xs); !ok {
+					return prop.False, w
+				}
+				return prop.True, ""
+			}
+			for _, e := range s.Add.Car.Elems {
+				xs[i] = e
+				if st, w := rec(i + 1); st == prop.False {
+					return st, w
+				}
+			}
+			return prop.True, ""
+		}
+		return rec(0)
+	}
+	if r == nil {
+		return prop.Unknown, ""
+	}
+	xs := make([]value.V, n)
+	for i := 0; i < samples; i++ {
+		for j := range xs {
+			xs[j] = s.Add.Car.Draw(r)
+		}
+		if ok, w := pred(xs); !ok {
+			return prop.False, w
+		}
+	}
+	return prop.Unknown, ""
+}
+
+// CheckM verifies distributivity, the M property of Fig 2:
+// left:  c⊗(a⊕b) = (c⊗a)⊕(c⊗b);  right: (a⊕b)⊗c = (a⊗c)⊕(b⊗c).
+func (s *Bisemigroup) CheckM(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 3, func(xs []value.V) (bool, string) {
+		a, b, c := xs[0], xs[1], xs[2]
+		var lhs, rhs value.V
+		if left {
+			lhs = s.Mul.Op(c, s.Add.Op(a, b))
+			rhs = s.Add.Op(s.Mul.Op(c, a), s.Mul.Op(c, b))
+		} else {
+			lhs = s.Mul.Op(s.Add.Op(a, b), c)
+			rhs = s.Add.Op(s.Mul.Op(a, c), s.Mul.Op(b, c))
+		}
+		if lhs != rhs {
+			return false, fmt.Sprintf("a=%s b=%s c=%s: %s ≠ %s",
+				value.Format(a), value.Format(b), value.Format(c), value.Format(lhs), value.Format(rhs))
+		}
+		return true, ""
+	})
+}
+
+// CheckN verifies cancellativity (Fig 2): left: c⊗a = c⊗b ⇒ a = b.
+func (s *Bisemigroup) CheckN(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 3, func(xs []value.V) (bool, string) {
+		a, b, c := xs[0], xs[1], xs[2]
+		var x, y value.V
+		if left {
+			x, y = s.Mul.Op(c, a), s.Mul.Op(c, b)
+		} else {
+			x, y = s.Mul.Op(a, c), s.Mul.Op(b, c)
+		}
+		if x == y && a != b {
+			return false, fmt.Sprintf("a=%s b=%s c=%s: products equal but a ≠ b",
+				value.Format(a), value.Format(b), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// CheckC verifies the condensed property (Fig 2): left: c⊗a = c⊗b always.
+func (s *Bisemigroup) CheckC(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 3, func(xs []value.V) (bool, string) {
+		a, b, c := xs[0], xs[1], xs[2]
+		var x, y value.V
+		if left {
+			x, y = s.Mul.Op(c, a), s.Mul.Op(c, b)
+		} else {
+			x, y = s.Mul.Op(a, c), s.Mul.Op(b, c)
+		}
+		if x != y {
+			return false, fmt.Sprintf("a=%s b=%s c=%s: products differ",
+				value.Format(a), value.Format(b), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// CheckND verifies nondecreasing (Fig 3): left: a = a ⊕ (c⊗a).
+func (s *Bisemigroup) CheckND(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 2, func(xs []value.V) (bool, string) {
+		a, c := xs[0], xs[1]
+		var x value.V
+		if left {
+			x = s.Mul.Op(c, a)
+		} else {
+			x = s.Mul.Op(a, c)
+		}
+		if s.Add.Op(a, x) != a {
+			return false, fmt.Sprintf("a=%s c=%s: a ≠ a ⊕ (c⊗a)", value.Format(a), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// CheckI verifies increasing (Fig 3): left: a = a ⊕ (c⊗a) ≠ c⊗a.
+func (s *Bisemigroup) CheckI(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 2, func(xs []value.V) (bool, string) {
+		a, c := xs[0], xs[1]
+		var x value.V
+		if left {
+			x = s.Mul.Op(c, a)
+		} else {
+			x = s.Mul.Op(a, c)
+		}
+		if s.Add.Op(a, x) != a || a == x {
+			return false, fmt.Sprintf("a=%s c=%s: ¬(a = a ⊕ (c⊗a) ≠ c⊗a)", value.Format(a), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// sided maps a (base property, left?) pair to the left/right prop ID.
+func sided(left bool, l, r prop.ID) prop.ID {
+	if left {
+		return l
+	}
+	return r
+}
+
+// CheckAll populates Props with left and right judgements for M, N, C, ND
+// and I, plus the ⊕/⊗ semigroup-level properties on the sub-structures.
+func (s *Bisemigroup) CheckAll(r *rand.Rand, samples int) {
+	record := func(id prop.ID, st prop.Status, w string) {
+		if cur := s.Props.Get(id); cur.Status != prop.Unknown && st == prop.Unknown {
+			return
+		}
+		rule := "model-check"
+		if st == prop.Unknown {
+			rule = "sampled"
+		}
+		s.Props.Put(id, prop.Judgement{Status: st, Rule: rule, Witness: w})
+	}
+	for _, left := range []bool{true, false} {
+		st, w := s.CheckM(left, r, samples)
+		record(sided(left, prop.MLeft, prop.MRight), st, w)
+		st, w = s.CheckN(left, r, samples)
+		record(sided(left, prop.NLeft, prop.NRight), st, w)
+		st, w = s.CheckC(left, r, samples)
+		record(sided(left, prop.CLeft, prop.CRight), st, w)
+		st, w = s.CheckND(left, r, samples)
+		record(sided(left, prop.NDLeft, prop.NDRight), st, w)
+		st, w = s.CheckI(left, r, samples)
+		record(sided(left, prop.ILeft, prop.IRight), st, w)
+	}
+	s.Add.CheckAll(r, samples)
+	s.Mul.CheckAll(r, samples)
+}
+
+// IsSemiring reports whether the bisemigroup is a semiring in the sense of
+// §III: ⊗ distributes over ⊕ on both sides, ⊕ is commutative, and ⊕ has
+// an identity. The judgement is exhaustive on finite carriers and may be
+// Unknown otherwise.
+func (s *Bisemigroup) IsSemiring(r *rand.Rand, samples int) (prop.Status, string) {
+	mL, wL := s.CheckM(true, r, samples)
+	if mL == prop.False {
+		return prop.False, "⊗ not left-distributive: " + wL
+	}
+	mR, wR := s.CheckM(false, r, samples)
+	if mR == prop.False {
+		return prop.False, "⊗ not right-distributive: " + wR
+	}
+	cm, wc := s.Add.CheckCommutative(r, samples)
+	if cm == prop.False {
+		return prop.False, "⊕ not commutative: " + wc
+	}
+	if _, ok := s.Add.Identity(); !ok && s.Finite() {
+		return prop.False, "⊕ has no identity"
+	}
+	if mL == prop.True && mR == prop.True && cm == prop.True {
+		return prop.True, ""
+	}
+	return prop.Unknown, ""
+}

@@ -1,0 +1,252 @@
+package bsg
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/gen"
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+func minPlus(cap int) *Bisemigroup {
+	min := sg.New("min", value.Ints(0, cap), func(a, b value.V) value.V {
+		if a.(int) < b.(int) {
+			return a
+		}
+		return b
+	})
+	min.WithIdentity(cap)
+	plus := sg.New("+sat", value.Ints(0, cap), func(a, b value.V) value.V {
+		s := a.(int) + b.(int)
+		if s > cap {
+			s = cap
+		}
+		return s
+	})
+	return New("minplus", min, plus)
+}
+
+func TestMinPlusIsSemiring(t *testing.T) {
+	st, w := minPlus(6).IsSemiring(nil, 0)
+	if st != prop.True {
+		t.Fatalf("min-plus must be a semiring: %s", w)
+	}
+}
+
+func TestNonDistributiveDetected(t *testing.T) {
+	// ⊕ = max, ⊗ = saturating add is still distributive; use ⊗ = a table
+	// that breaks it: x⊗y = x (left projection) distributes... take
+	// ⊗ = multiplication mod 4 with ⊕ = min: 3⊗min(2,3) vs min(3⊗2,3⊗3):
+	// 3·2=6%4=2, 3·3=9%4=1 ⇒ lhs=3⊗2=2, rhs=min(2,1)=1: broken.
+	min := sg.New("min", value.Ints(0, 3), func(a, b value.V) value.V {
+		if a.(int) < b.(int) {
+			return a
+		}
+		return b
+	})
+	mul := sg.New("×mod4", value.Ints(0, 3), func(a, b value.V) value.V {
+		return a.(int) * b.(int) % 4
+	})
+	b := New("broken", min, mul)
+	st, w := b.CheckM(true, nil, 0)
+	if st != prop.False || w == "" {
+		t.Fatalf("mod-multiplication over min must not distribute: %v %q", st, w)
+	}
+	if st, _ := b.IsSemiring(nil, 0); st != prop.False {
+		t.Fatal("IsSemiring must fail")
+	}
+}
+
+func TestLexDefinednessFollowsTheorem2(t *testing.T) {
+	// First factor's ⊕ non-selective (bitwise AND) and second factor's ⊕
+	// without identity ⇒ lex undefined.
+	and := sg.New("and", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) & b.(int) })
+	noID := sg.New("max+1", value.Ints(0, 3), func(a, b value.V) value.V {
+		m := a.(int)
+		if b.(int) > m {
+			m = b.(int)
+		}
+		if m < 3 {
+			m++
+		}
+		return m
+	})
+	mul := sg.New("left", value.Ints(0, 3), func(a, b value.V) value.V { return a })
+	s := New("S", and, mul)
+	u := New("T", noID, mul)
+	if _, err := Lex(s, u); err == nil {
+		t.Fatal("lex with non-selective ⊕_S and identity-free ⊕_T must fail")
+	}
+	// Selective first factor fixes it.
+	if _, err := Lex(minPlus(3), u); err != nil {
+		t.Fatalf("selective first factor must make lex defined: %v", err)
+	}
+}
+
+func randBSG(r *rand.Rand, n int) *Bisemigroup {
+	add := gen.CISemigroup(r, n)
+	mul := gen.AssocOp(r, add.Car.Size())
+	return New("rnd", add, mul)
+}
+
+func propsOf(b *Bisemigroup) map[prop.ID]prop.Status {
+	out := map[prop.ID]prop.Status{}
+	st, _ := b.CheckM(true, nil, 0)
+	out[prop.MLeft] = st
+	st, _ = b.CheckN(true, nil, 0)
+	out[prop.NLeft] = st
+	st, _ = b.CheckC(true, nil, 0)
+	out[prop.CLeft] = st
+	st, _ = b.CheckND(true, nil, 0)
+	out[prop.NDLeft] = st
+	st, _ = b.CheckI(true, nil, 0)
+	out[prop.ILeft] = st
+	return out
+}
+
+// alphaAbsorbsMul reports whether ⊕'s identity α is ⊗-absorbing
+// (c ⊗ α = α = α ⊗ c) — the optional semiring axiom of §III. When the
+// first factor's ⊕ is not selective, the lexicographic ⊕ injects α_T
+// (the [P]x construction), and Theorem 4's characterization needs α_T to
+// absorb ⊗_T; TestTheorem4NeedsAlphaAbsorptionWhenNotSelective exhibits
+// the machine-found counterexample otherwise.
+func alphaAbsorbsMul(b *Bisemigroup) bool {
+	alpha, ok := b.Add.Identity()
+	if !ok {
+		return false
+	}
+	for _, c := range b.Carrier().Elems {
+		if b.Mul.Op(c, alpha) != alpha || b.Mul.Op(alpha, c) != alpha {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTheorem4RandomValidation machine-checks
+// M(S×T) ⟺ M(S)∧M(T)∧(N(S)∨C(T)) for bisemigroups, where M is left
+// distributivity, over random structures with CI ⊕ and associative ⊗ —
+// restricted to products where the lexicographic ⊕ is "pure" (first
+// factor selective, or α_T ⊗-absorbing so the injected identity is
+// inert), the setting in which the characterization is exact.
+func TestTheorem4RandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	trials := 0
+	for trials < 250 {
+		s := randBSG(r, 2+r.Intn(3))
+		u := randBSG(r, 2+r.Intn(3))
+		if st, _ := s.Add.CheckSelective(nil, 0); st != prop.True && !alphaAbsorbsMul(u) {
+			continue
+		}
+		prod, err := Lex(s, u)
+		if err != nil {
+			continue
+		}
+		trials++
+		ps, pt := propsOf(s), propsOf(u)
+		lhs, w := prod.CheckM(true, nil, 0)
+		rhs := prop.And(prop.And(ps[prop.MLeft], pt[prop.MLeft]),
+			prop.Or(ps[prop.NLeft], pt[prop.CLeft]))
+		if lhs != rhs {
+			t.Fatalf("trial %d: M(S×T)=%v but rule says %v (witness %q)\nS: %s/%s M=%v N=%v\nT: %s/%s M=%v C=%v",
+				trials, lhs, rhs, w,
+				s.Add.Name, s.Mul.Name, ps[prop.MLeft], ps[prop.NLeft],
+				u.Add.Name, u.Mul.Name, pt[prop.MLeft], pt[prop.CLeft])
+		}
+	}
+}
+
+// TestTheorem4NeedsAlphaAbsorptionWhenNotSelective pins the machine-found
+// counterexample: S = ({0..3}, ∨bits, right-projection) is M and N;
+// T = ({0..3}, ∨bits, ⊗) with 1⊗0 ≠ 0 is M; the rule would predict
+// M(S×T), yet distributivity fails in the α-injection case because
+// α_T = 0 is not ⊗-absorbing.
+func TestTheorem4NeedsAlphaAbsorptionWhenNotSelective(t *testing.T) {
+	or1 := sg.New("∨", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) | b.(int) })
+	right := sg.New("right", value.Ints(0, 3), func(a, b value.V) value.V { return b })
+	s := New("S", or1, right)
+	or2 := sg.New("∨", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) | b.(int) })
+	// ⊗ = ∨ as well: ∨ distributes over itself (M), but α = 0 is the
+	// ∨-identity, not an absorber: 1 ⊗ 0 = 1 ≠ 0.
+	orMul := sg.New("∨⊗", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) | b.(int) })
+	u := New("T", or2, orMul)
+
+	ps, pt := propsOf(s), propsOf(u)
+	rhs := prop.And(prop.And(ps[prop.MLeft], pt[prop.MLeft]),
+		prop.Or(ps[prop.NLeft], pt[prop.CLeft]))
+	if rhs != prop.True {
+		t.Fatalf("precondition: rule RHS should be True (M=%v/%v N=%v C=%v)",
+			ps[prop.MLeft], pt[prop.MLeft], ps[prop.NLeft], pt[prop.CLeft])
+	}
+	prod, err := Lex(s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, w := prod.CheckM(true, nil, 0)
+	if lhs != prop.False {
+		t.Fatal("expected the α-injection distributivity failure")
+	}
+	if w == "" {
+		t.Fatal("expected a concrete witness")
+	}
+}
+
+// TestTheorem5RandomValidation machine-checks the paper-literal local
+// optima rules for bisemigroups (whose I property is exemption-free, so
+// no SI refinement is needed):
+//
+//	ND(S×T) ⟺ I(S) ∨ (ND(S)∧ND(T))
+//	I(S×T)  ⟺ I(S) ∨ (ND(S)∧I(T))
+func TestTheorem5RandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	trials := 0
+	for trials < 250 {
+		s := randBSG(r, 2+r.Intn(3))
+		u := randBSG(r, 2+r.Intn(3))
+		prod, err := Lex(s, u)
+		if err != nil {
+			continue
+		}
+		trials++
+		ps, pt := propsOf(s), propsOf(u)
+		ndLHS, _ := prod.CheckND(true, nil, 0)
+		ndRHS := prop.Or(ps[prop.ILeft], prop.And(ps[prop.NDLeft], pt[prop.NDLeft]))
+		if ndLHS != ndRHS {
+			t.Fatalf("trial %d: ND(S×T)=%v but I(S)∨(ND∧ND)=%v\nS: %s/%s I=%v ND=%v\nT: %s/%s ND=%v",
+				trials, ndLHS, ndRHS, s.Add.Name, s.Mul.Name, ps[prop.ILeft], ps[prop.NDLeft],
+				u.Add.Name, u.Mul.Name, pt[prop.NDLeft])
+		}
+		iLHS, _ := prod.CheckI(true, nil, 0)
+		iRHS := prop.Or(ps[prop.ILeft], prop.And(ps[prop.NDLeft], pt[prop.ILeft]))
+		if iLHS != iRHS {
+			t.Fatalf("trial %d: I(S×T)=%v but I(S)∨(ND∧I)=%v", trials, iLHS, iRHS)
+		}
+	}
+}
+
+func TestCheckAllPopulatesBothSides(t *testing.T) {
+	b := minPlus(4)
+	b.CheckAll(nil, 0)
+	for _, id := range []prop.ID{prop.MLeft, prop.MRight, prop.NLeft, prop.NRight,
+		prop.CLeft, prop.CRight, prop.NDLeft, prop.NDRight, prop.ILeft, prop.IRight} {
+		if b.Props.Status(id) == prop.Unknown {
+			t.Fatalf("%s undecided on a finite bisemigroup", id)
+		}
+	}
+	if !b.Add.Props.Holds(prop.Selective) {
+		t.Fatal("CheckAll must populate the ⊕ sub-structure too")
+	}
+}
+
+func TestMismatchedCarriersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := sg.New("a", value.Ints(0, 3), func(x, y value.V) value.V { return x })
+	b := sg.New("b", value.Ints(0, 5), func(x, y value.V) value.V { return x })
+	New("bad", a, b)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"metarouting/internal/prop"
+)
+
+// Explain renders a causal account of why a routing property holds or
+// fails for the algebra — §III's promise made executable: "if an algebra
+// fails to meet the required standards, we will be able to deduce exactly
+// which components are at fault, and in what way."
+//
+// The explanation shows the rule that decided the property at this node,
+// the component judgements the rule consumed (with witnesses), recursion
+// into the children that are actually at fault, and — where the theory
+// offers one — a repair hint (e.g. "both operands are monotone: a scoped
+// product would be monotone where this lexicographic product is not").
+func (a *Algebra) Explain(id prop.ID) string {
+	var b strings.Builder
+	a.explain(&b, id, 0)
+	return b.String()
+}
+
+func (a *Algebra) explain(b *strings.Builder, id prop.ID, depth int) {
+	indent := strings.Repeat("  ", depth)
+	label := a.OT.Name
+	if a.Expr != nil {
+		label = a.Expr.String()
+	}
+	j := a.Props.Get(id)
+	fmt.Fprintf(b, "%s%s: %s = %s", indent, label, id, j.Status)
+	if j.Rule != "" {
+		fmt.Fprintf(b, "  [%s]", j.Rule)
+	}
+	if j.Witness != "" {
+		fmt.Fprintf(b, "\n%s  witness: %s", indent, j.Witness)
+	}
+	b.WriteByte('\n')
+
+	op, ok := a.Expr.(OpExpr)
+	if !ok || len(a.Children) == 0 {
+		return
+	}
+	reqs, hint := requirements(op.Op, id, a)
+	if len(reqs) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%s  requires %s\n", indent, requirementFormula(op.Op, id))
+	for _, r := range reqs {
+		child := a.Children[r.child]
+		cj := child.Props.Get(r.id)
+		// Recurse only into judgements that contributed to a failure (or
+		// all of them when this node's judgement is True/Unknown — the
+		// reader may want the support either way, one level deep).
+		childLabel := child.OT.Name
+		if child.Expr != nil {
+			childLabel = child.Expr.String()
+		}
+		fmt.Fprintf(b, "%s  - %s(%s) = %s", indent, r.id, childLabel, cj.Status)
+		if cj.Witness != "" {
+			fmt.Fprintf(b, " (%s)", cj.Witness)
+		}
+		b.WriteByte('\n')
+		if j.Status == prop.False && cj.Status == prop.False {
+			if _, isOp := child.Expr.(OpExpr); isOp {
+				child.explain(b, r.id, depth+2)
+			}
+		}
+	}
+	if hint != "" {
+		fmt.Fprintf(b, "%s  hint: %s\n", indent, hint)
+	}
+}
+
+// req names a component judgement a rule consumes.
+type req struct {
+	child int
+	id    prop.ID
+}
+
+// requirements lists the component judgements behind (op, id), and an
+// optional repair hint computed from the actual component statuses.
+func requirements(op Op, id prop.ID, a *Algebra) ([]req, string) {
+	kids := a.Children
+	stOf := func(i int, p prop.ID) prop.Status {
+		if i >= len(kids) {
+			return prop.Unknown
+		}
+		return kids[i].Props.Status(p)
+	}
+	switch op {
+	case OpLex:
+		// n-ary lex folds left; explain over the flat operand list:
+		// S = first operand, T = the rest (approximating the fold is
+		// exact for binary lex, the common case).
+		last := len(kids) - 1
+		switch id {
+		case prop.MLeft:
+			reqs := []req{{0, prop.MLeft}, {last, prop.MLeft}, {0, prop.NLeft}, {last, prop.CLeft}}
+			hint := ""
+			if a.Props.Fails(prop.MLeft) &&
+				stOf(0, prop.MLeft) == prop.True && stOf(last, prop.MLeft) == prop.True {
+				hint = "both operands are monotone; only the side condition N(S)∨C(T) fails — " +
+					"a scoped product (Theorem 6) is monotone with these exact operands"
+			}
+			return reqs, hint
+		case prop.NDLeft:
+			return []req{{0, prop.SILeft}, {0, prop.NDLeft}, {last, prop.NDLeft}}, ""
+		case prop.SILeft:
+			return []req{{0, prop.SILeft}, {0, prop.NDLeft}, {last, prop.SILeft}}, ""
+		case prop.ILeft:
+			return []req{{0, prop.ILeft}, {0, prop.TopFixed}, {last, prop.ILeft},
+				{0, prop.SILeft}, {0, prop.NDLeft}, {last, prop.SILeft}}, ""
+		case prop.NLeft:
+			return []req{{0, prop.NLeft}, {last, prop.NLeft}}, ""
+		case prop.CLeft:
+			return []req{{0, prop.CLeft}, {last, prop.CLeft}}, ""
+		case prop.TopFixed:
+			return []req{{0, prop.HasTop}, {last, prop.HasTop}, {0, prop.TopFixed}, {last, prop.TopFixed}}, ""
+		}
+	case OpScoped:
+		switch id {
+		case prop.MLeft:
+			return []req{{0, prop.MLeft}, {1, prop.MLeft}}, ""
+		case prop.NDLeft:
+			return []req{{0, prop.SILeft}, {1, prop.NDLeft}}, ""
+		case prop.ILeft:
+			return []req{{0, prop.SILeft}, {1, prop.ILeft}, {1, prop.SILeft}}, ""
+		}
+	case OpDelta:
+		switch id {
+		case prop.MLeft:
+			reqs := []req{{0, prop.MLeft}, {1, prop.MLeft}, {0, prop.NLeft}, {1, prop.CLeft}}
+			hint := ""
+			if a.Props.Fails(prop.MLeft) &&
+				stOf(0, prop.MLeft) == prop.True && stOf(1, prop.MLeft) == prop.True {
+				hint = "Δ keeps lex's N(S)∨C(T) requirement (Theorem 7); the scoped product ⊙ " +
+					"needs only M(S)∧M(T) (Theorem 6) and would be monotone here"
+			}
+			return reqs, hint
+		case prop.NDLeft:
+			return []req{{0, prop.SILeft}, {1, prop.NDLeft}}, ""
+		}
+	case OpUnion, OpPlus:
+		return []req{{0, id}, {1, id}}, ""
+	case OpLeft:
+		switch id {
+		case prop.NLeft:
+			return []req{{0, FactStrictPair}}, ""
+		case prop.NDLeft, prop.ILeft:
+			return []req{{0, FactMultiClass}}, ""
+		}
+	case OpRight:
+		switch id {
+		case prop.ILeft, prop.CLeft:
+			return []req{{0, FactMultiClass}}, ""
+		case prop.TopFixed:
+			return []req{{0, prop.HasTop}}, ""
+		}
+	case OpAddTop:
+		switch id {
+		case prop.MLeft, prop.NLeft, prop.NDLeft:
+			return []req{{0, id}}, ""
+		case prop.ILeft:
+			return []req{{0, prop.SILeft}}, ""
+		}
+	}
+	return nil, ""
+}
+
+// requirementFormula renders the rule shape for (op, id) — display only.
+func requirementFormula(op Op, id prop.ID) string {
+	switch op {
+	case OpLex:
+		switch id {
+		case prop.MLeft:
+			return "M(S) ∧ M(T) ∧ (N(S) ∨ C(T))   (Theorem 4)"
+		case prop.NDLeft:
+			return "SI(S) ∨ (ND(S) ∧ ND(T))   (Theorem 5)"
+		case prop.SILeft:
+			return "SI(S) ∨ (ND(S) ∧ SI(T))   (Theorem 5)"
+		case prop.ILeft:
+			return "I(S)∧T(S)∧I(T) with both tops; SI(S×T) otherwise"
+		case prop.NLeft:
+			return "N(S) ∧ N(T)"
+		case prop.CLeft:
+			return "C(S) ∧ C(T)"
+		case prop.TopFixed:
+			return "both tops exist ∧ T(S) ∧ T(T)"
+		}
+	case OpScoped:
+		switch id {
+		case prop.MLeft:
+			return "M(S) ∧ M(T)   (Theorem 6)"
+		case prop.NDLeft:
+			return "SI(S) ∧ ND(T)   (Theorem 6, SI form)"
+		case prop.ILeft:
+			return "SI(S) ∧ I-side conditions   (Theorem 6, SI form)"
+		}
+	case OpDelta:
+		switch id {
+		case prop.MLeft:
+			return "M(S) ∧ M(T) ∧ (N(S) ∨ C(T))   (Theorem 7)"
+		case prop.NDLeft:
+			return "SI(S) ∧ ND(T)   (Theorem 7, SI form)"
+		}
+	case OpUnion:
+		return fmt.Sprintf("%s(S) ∧ %s(T)   (union rule)", id, id)
+	case OpPlus:
+		return fmt.Sprintf("%s(S) ∧ %s(T)   (Gouda–Schneider, sufficient)", id, id)
+	case OpLeft:
+		switch id {
+		case prop.NLeft:
+			return "no strict pair in the order"
+		case prop.NDLeft, prop.ILeft:
+			return "a single equivalence class"
+		}
+	case OpRight:
+		switch id {
+		case prop.ILeft, prop.CLeft:
+			return "a single equivalence class"
+		case prop.TopFixed:
+			return "the order has a ⊤"
+		}
+	case OpAddTop:
+		if id == prop.ILeft {
+			return "SI(S) — every old element must strictly increase"
+		}
+		return fmt.Sprintf("%s(S)   (addtop preserves it)", id)
+	}
+	return "(see the rule name above)"
+}

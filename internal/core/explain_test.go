@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"metarouting/internal/prop"
+)
+
+func TestExplainLexMFailure(t *testing.T) {
+	a := infer(t, "lex(bw(8), delay(8,3))")
+	out := a.Explain(prop.MLeft)
+	for _, want := range []string{
+		"M = false",
+		"Theorem 4",
+		"N(bw(8)) = false",
+		"C(delay(8,3)) = false",
+		"scoped product",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+	// Both components ARE monotone — the hint fires only because the
+	// side condition is the sole failure.
+	if !strings.Contains(out, "M(bw(8)) = true") {
+		t.Errorf("explanation should show the operands' M:\n%s", out)
+	}
+}
+
+func TestExplainLexMSuccess(t *testing.T) {
+	a := infer(t, "lex(origin(3), delay(4,2))")
+	out := a.Explain(prop.MLeft)
+	if !strings.Contains(out, "M = true") {
+		t.Fatalf("explanation:\n%s", out)
+	}
+	if !strings.Contains(out, "N(origin(3)) = true") {
+		t.Errorf("the cancellative guard should appear:\n%s", out)
+	}
+	if strings.Contains(out, "hint:") {
+		t.Errorf("no hint needed when the property holds:\n%s", out)
+	}
+}
+
+func TestExplainDeltaHintPointsAtScoped(t *testing.T) {
+	a := infer(t, "delta(bw(6), delay(6,2))")
+	out := a.Explain(prop.MLeft)
+	if !strings.Contains(out, "Theorem 7") || !strings.Contains(out, "scoped product ⊙") {
+		t.Errorf("Δ failure should point at ⊙:\n%s", out)
+	}
+}
+
+func TestExplainScopedM(t *testing.T) {
+	a := infer(t, "scoped(bw(6), delay(6,2))")
+	out := a.Explain(prop.MLeft)
+	if !strings.Contains(out, "M = true") || !strings.Contains(out, "Theorem 6") {
+		t.Errorf("explanation:\n%s", out)
+	}
+}
+
+func TestExplainRecursesIntoFaultyOperator(t *testing.T) {
+	// The inner lex fails M; the outer union must recurse into it.
+	a := infer(t, "union(lex(bw(4), delay(4,2)), lex(bw(4), delay(4,2)))")
+	out := a.Explain(prop.MLeft)
+	if strings.Count(out, "Theorem 4") < 1 {
+		t.Errorf("union explanation must descend into the failing lex:\n%s", out)
+	}
+}
+
+func TestExplainLeftRight(t *testing.T) {
+	l := infer(t, "left(delay(3,1))")
+	out := l.Explain(prop.NDLeft)
+	if !strings.Contains(out, "single equivalence class") {
+		t.Errorf("left ND explanation:\n%s", out)
+	}
+	r := infer(t, "right(delay(3,1))")
+	out = r.Explain(prop.ILeft)
+	if !strings.Contains(out, "single equivalence class") {
+		t.Errorf("right I explanation:\n%s", out)
+	}
+}
+
+func TestExplainBaseAlgebra(t *testing.T) {
+	a := infer(t, "bw(4)")
+	out := a.Explain(prop.ILeft)
+	if !strings.Contains(out, "I = false") || !strings.Contains(out, "witness") {
+		t.Errorf("base explanation must carry the declared witness:\n%s", out)
+	}
+}
+
+func TestExplainWitnessSurfaced(t *testing.T) {
+	// Fallback-decided properties carry model-check witnesses; Explain
+	// must surface them.
+	a := infer(t, "plus(delay(3,1), lp(3))")
+	out := a.Explain(prop.NDLeft)
+	if !strings.Contains(out, "ND =") {
+		t.Fatalf("explanation:\n%s", out)
+	}
+}

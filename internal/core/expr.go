@@ -1,0 +1,144 @@
+// Package core implements the metarouting language: a small declarative
+// language whose expressions denote routing algebras (order transforms)
+// and whose *properties* — monotonicity M, nondecreasing ND, increasing I,
+// cancellative N, condensed C, top-fixing T — are derived automatically
+// from the expression structure, the way types are derived in a
+// programming language (§I of the paper).
+//
+// The language has the base algebras of internal/baselib and the operators
+// of §II:
+//
+//	lex(e1, …, en)   lexicographic product ×lex (n-ary, left-associated)
+//	scoped(e1, e2)   BGP-like scoped product ⊙
+//	delta(e1, e2)    OSPF-area-like partition Δ
+//	union(e1, e2)    disjoint function union + (operands must share carriers)
+//	left(e)          constant functions only (local-preference shape)
+//	right(e)         identity function only (origin shape)
+//	addtop(e)        adjoin an "unreachable" ⊤ fixed by every function
+//
+// Inference uses the exact rules of Theorems 4 and 5 for lex, with the
+// left/right/union rules of §V; the scoped and Δ characterizations
+// (Theorems 6 and 7) then *emerge* from rule composition, exactly as the
+// paper derives them. When no rule applies, the engine falls back to
+// model checking on finite structures.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a node of the metarouting language AST.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// BaseExpr names a base algebra with integer parameters, e.g. delay(16,3).
+type BaseExpr struct {
+	Name string
+	Args []int
+}
+
+func (BaseExpr) exprNode() {}
+
+// String implements fmt.Stringer.
+func (e BaseExpr) String() string {
+	if len(e.Args) == 0 {
+		return e.Name
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = strconv.Itoa(a)
+	}
+	return e.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// OpExpr applies a language operator to subexpressions.
+type OpExpr struct {
+	Op   Op
+	Args []Expr
+}
+
+func (OpExpr) exprNode() {}
+
+// String implements fmt.Stringer.
+func (e OpExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return string(e.Op) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Op identifies a language operator.
+type Op string
+
+// The language operators.
+const (
+	OpLex    Op = "lex"
+	OpScoped Op = "scoped"
+	OpDelta  Op = "delta"
+	OpUnion  Op = "union"
+	OpLeft   Op = "left"
+	OpRight  Op = "right"
+	OpAddTop Op = "addtop"
+	// OpPlus is the additive-composite combination ⊞ of §VI's discussion
+	// (EIGRP-style fixed-formula metrics, after Gouda & Schneider): both
+	// components accumulate, comparison is by their sum.
+	OpPlus Op = "plus"
+)
+
+// arity returns the (min, max) argument counts of an operator; max < 0
+// means unbounded.
+func (o Op) arity() (int, int) {
+	switch o {
+	case OpLex:
+		return 2, -1
+	case OpScoped, OpDelta, OpUnion:
+		return 2, 2
+	case OpPlus:
+		return 2, 2
+	case OpLeft, OpRight, OpAddTop:
+		return 1, 1
+	default:
+		return 0, 0
+	}
+}
+
+// IsOp reports whether name is a language operator.
+func IsOp(name string) bool {
+	switch Op(name) {
+	case OpLex, OpScoped, OpDelta, OpUnion, OpLeft, OpRight, OpAddTop, OpPlus:
+		return true
+	}
+	return false
+}
+
+// Lex builds an n-ary lexicographic product expression.
+func Lex(args ...Expr) Expr { return OpExpr{Op: OpLex, Args: args} }
+
+// Scoped builds a scoped-product expression S ⊙ T.
+func Scoped(s, t Expr) Expr { return OpExpr{Op: OpScoped, Args: []Expr{s, t}} }
+
+// Delta builds an OSPF-like partition expression S Δ T.
+func Delta(s, t Expr) Expr { return OpExpr{Op: OpDelta, Args: []Expr{s, t}} }
+
+// UnionE builds a disjoint-function-union expression S + T.
+func UnionE(s, t Expr) Expr { return OpExpr{Op: OpUnion, Args: []Expr{s, t}} }
+
+// LeftE builds left(e).
+func LeftE(e Expr) Expr { return OpExpr{Op: OpLeft, Args: []Expr{e}} }
+
+// RightE builds right(e).
+func RightE(e Expr) Expr { return OpExpr{Op: OpRight, Args: []Expr{e}} }
+
+// AddTopE builds addtop(e).
+func AddTopE(e Expr) Expr { return OpExpr{Op: OpAddTop, Args: []Expr{e}} }
+
+// Plus builds an additive-composite expression S ⊞ T.
+func Plus(s, t Expr) Expr { return OpExpr{Op: OpPlus, Args: []Expr{s, t}} }
+
+// Base builds a base-algebra expression.
+func Base(name string, args ...int) Expr { return BaseExpr{Name: name, Args: args} }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Expressions marshal to a small JSON schema so algebra definitions can
+// live in configuration files:
+//
+//	{"base": "delay", "params": [64, 3]}
+//	{"op": "scoped", "args": [{"base": "bw", "params": [4]},
+//	                          {"base": "delay", "params": [64, 3]}]}
+//
+// MarshalExpr/UnmarshalExpr are the entry points; both round-trip with
+// Parse/String (TestJSONRoundTrip fuzzes this).
+
+// exprJSON is the wire form of an expression node.
+type exprJSON struct {
+	Base   string     `json:"base,omitempty"`
+	Params []int      `json:"params,omitempty"`
+	Op     string     `json:"op,omitempty"`
+	Args   []exprJSON `json:"args,omitempty"`
+}
+
+// MarshalExpr encodes an expression as JSON.
+func MarshalExpr(e Expr) ([]byte, error) {
+	w, err := toWire(e)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(w, "", "  ")
+}
+
+// UnmarshalExpr decodes an expression from JSON, validating operator
+// arities and node shapes (base-algebra existence is checked at Infer
+// time, like the parser does).
+func UnmarshalExpr(data []byte) (Expr, error) {
+	var w exprJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: bad expression JSON: %w", err)
+	}
+	return fromWire(w)
+}
+
+func toWire(e Expr) (exprJSON, error) {
+	switch n := e.(type) {
+	case BaseExpr:
+		return exprJSON{Base: n.Name, Params: n.Args}, nil
+	case OpExpr:
+		args := make([]exprJSON, len(n.Args))
+		for i, a := range n.Args {
+			w, err := toWire(a)
+			if err != nil {
+				return exprJSON{}, err
+			}
+			args[i] = w
+		}
+		return exprJSON{Op: string(n.Op), Args: args}, nil
+	default:
+		return exprJSON{}, fmt.Errorf("core: unknown expression node %T", e)
+	}
+}
+
+func fromWire(w exprJSON) (Expr, error) {
+	switch {
+	case w.Base != "" && w.Op != "":
+		return nil, fmt.Errorf("core: node has both base %q and op %q", w.Base, w.Op)
+	case w.Base != "":
+		if len(w.Args) != 0 {
+			return nil, fmt.Errorf("core: base %q must not have expression args", w.Base)
+		}
+		if IsOp(w.Base) {
+			return nil, fmt.Errorf("core: %q is an operator, use \"op\"", w.Base)
+		}
+		return BaseExpr{Name: w.Base, Args: w.Params}, nil
+	case w.Op != "":
+		if !IsOp(w.Op) {
+			return nil, fmt.Errorf("core: unknown operator %q", w.Op)
+		}
+		if len(w.Params) != 0 {
+			return nil, fmt.Errorf("core: operator %q must not have integer params", w.Op)
+		}
+		op := Op(w.Op)
+		min, max := op.arity()
+		if len(w.Args) < min || (max >= 0 && len(w.Args) > max) {
+			return nil, fmt.Errorf("core: operator %q wants %d%s args, got %d",
+				w.Op, min, arityHint(min, max), len(w.Args))
+		}
+		args := make([]Expr, len(w.Args))
+		for i, aw := range w.Args {
+			a, err := fromWire(aw)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = a
+		}
+		return OpExpr{Op: op, Args: args}, nil
+	default:
+		return nil, fmt.Errorf("core: expression node needs \"base\" or \"op\"")
+	}
+}

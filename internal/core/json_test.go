@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONEncodeShape(t *testing.T) {
+	e := MustParse("scoped(bw(4), delay(64,3))")
+	data, err := MarshalExpr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"op": "scoped"`, `"base": "bw"`, `"params"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+	back, err := UnmarshalExpr(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != e.String() {
+		t.Fatalf("round trip: %s vs %s", back.String(), e.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 3)
+		data, err := MarshalExpr(e)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalExpr(data)
+		if err != nil {
+			t.Logf("unmarshal of %s: %v", data, err)
+			return false
+		}
+		return back.String() == e.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONValidation(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`{"base": "delay", "op": "lex"}`, "both base"},
+		{`{"base": "delay", "args": [{"base": "bw"}]}`, "must not have expression args"},
+		{`{"base": "lex"}`, "is an operator"},
+		{`{"op": "nosuch", "args": [{"base":"unit"},{"base":"unit"}]}`, "unknown operator"},
+		{`{"op": "lex", "params": [1]}`, "must not have integer params"},
+		{`{"op": "left", "args": []}`, "wants 1"},
+		{`{"op": "scoped", "args": [{"base":"unit"}]}`, "wants 2"},
+		{`{}`, `needs "base" or "op"`},
+		{`[1,2]`, "bad expression JSON"},
+	}
+	for _, c := range cases {
+		_, err := UnmarshalExpr([]byte(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestJSONThenInfer(t *testing.T) {
+	data := []byte(`{
+	  "op": "scoped",
+	  "args": [
+	    {"base": "bw", "params": [4]},
+	    {"base": "delay", "params": [64, 3]}
+	  ]
+	}`)
+	e, err := UnmarshalExpr(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Infer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.SupportsGlobalOptima() {
+		t.Fatal("the JSON-loaded scoped product must be monotone")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	a, err := InferString("scoped(bw(4), delay(16,2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.MarshalReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r ReportJSON
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.GlobalOptima || r.LocalOptima || r.Dijkstra {
+		t.Fatalf("verdicts wrong: %+v", r)
+	}
+	if r.Properties["M"].Status != "true" {
+		t.Fatalf("M judgement missing: %+v", r.Properties)
+	}
+	if len(r.Children) != 2 || r.Children[0].Expr != "bw(4)" {
+		t.Fatalf("children wrong: %+v", r.Children)
+	}
+	if r.Children[0].Properties["N"].Witness == "" {
+		t.Fatal("witnesses must survive serialization")
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// Parse parses a metarouting-language expression such as
+//
+//	scoped(lp(4), lex(hops(16), bw(8)))
+//
+// into an AST. Whitespace is insignificant. Base-algebra arguments are
+// integer literals; operator arguments are subexpressions.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for tests and literals in code.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (p.pos > start && c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return p.errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		// A bare identifier is a base algebra with no parameters.
+		if IsOp(name) {
+			return nil, p.errorf("operator %s requires arguments", name)
+		}
+		return BaseExpr{Name: name}, nil
+	}
+	p.pos++ // consume '('
+	if IsOp(name) {
+		op := Op(name)
+		var args []Expr
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		min, max := op.arity()
+		if len(args) < min || (max >= 0 && len(args) > max) {
+			return nil, p.errorf("%s expects %d%s arguments, got %d",
+				name, min, arityHint(min, max), len(args))
+		}
+		return OpExpr{Op: op, Args: args}, nil
+	}
+	// Base algebra with integer parameters.
+	var ints []int
+	p.skipSpace()
+	if p.peek() != ')' {
+		for {
+			n, err := p.intLit()
+			if err != nil {
+				return nil, err
+			}
+			ints = append(ints, n)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return BaseExpr{Name: name, Args: ints}, nil
+}
+
+func (p *parser) intLit() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errorf("expected integer literal")
+	}
+	return strconv.Atoi(p.src[start:p.pos])
+}
+
+func arityHint(min, max int) string {
+	switch {
+	case max < 0:
+		return "+"
+	case max == min:
+		return ""
+	default:
+		return fmt.Sprintf("..%d", max)
+	}
+}

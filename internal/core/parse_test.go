@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBase(t *testing.T) {
+	e, err := Parse("delay(16, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := e.(BaseExpr)
+	if !ok || b.Name != "delay" || len(b.Args) != 2 || b.Args[0] != 16 || b.Args[1] != 3 {
+		t.Fatalf("parsed %#v", e)
+	}
+}
+
+func TestParseBareBase(t *testing.T) {
+	e, err := Parse("unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := e.(BaseExpr); !ok || b.Name != "unit" || len(b.Args) != 0 {
+		t.Fatalf("parsed %#v", e)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	e, err := Parse(" scoped( lp(4), lex( hops(16), bw(8) ) ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, ok := e.(OpExpr)
+	if !ok || op.Op != OpScoped || len(op.Args) != 2 {
+		t.Fatalf("parsed %#v", e)
+	}
+	inner, ok := op.Args[1].(OpExpr)
+	if !ok || inner.Op != OpLex || len(inner.Args) != 2 {
+		t.Fatalf("inner = %#v", op.Args[1])
+	}
+}
+
+func TestParseNAryLex(t *testing.T) {
+	e, err := Parse("lex(lp(4), hops(16), bw(8), origin(2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := e.(OpExpr); len(op.Args) != 4 {
+		t.Fatalf("lex arity = %d", len(op.Args))
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"delay(16,3)",
+		"lex(hops(16), bw(8))",
+		"scoped(lp(4), lex(hops(16), bw(8)))",
+		"union(right(delay(4,1)), right(delay(4,1)))",
+		"addtop(tags(3))",
+	}
+	for _, src := range srcs {
+		e := MustParse(src)
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("%s: round trip failed: %v", src, err)
+		}
+		if again.String() != e.String() {
+			t.Fatalf("%s: %q != %q", src, again.String(), e.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"", "identifier"},
+		{"lex", "requires arguments"},
+		{"lex(delay(4,1))", "expects 2"},
+		{"left(a, b)", "expects 1"},
+		{"scoped(lp(4), lp(4), lp(4))", "expects 2"},
+		{"delay(4,1) trailing", "trailing"},
+		{"delay(4,", "integer"},
+		{"delay(4,1", `expected ")"`},
+		{"123", "identifier"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	e := Scoped(Base("lp", 4), Lex(Base("hops", 16), Base("bw", 8)))
+	want := "scoped(lp(4), lex(hops(16), bw(8)))"
+	if e.String() != want {
+		t.Fatalf("builder rendering = %q, want %q", e.String(), want)
+	}
+}
+
+// FuzzParse: the parser must never panic, and everything it accepts must
+// render and re-parse to the same tree (run with `go test -fuzz=FuzzParse`;
+// the seed corpus runs in normal test mode).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"delay(16,3)",
+		"scoped(lp(4), lex(hops(16), bw(8)))",
+		"lex(a, b, c)",
+		"union(right(x), left(y))",
+		"plus(delay(4,1), delay(4,2))",
+		"addtop(addtop(tags(2)))",
+		"lex((((",
+		"123abc",
+		"delay(999999999999999999999)",
+		"lex(delay(1,1), delay(1,1)", // unbalanced
+		"  unit  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("rendering not a fixpoint: %q vs %q", again.String(), rendered)
+		}
+	})
+}

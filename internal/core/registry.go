@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"metarouting/internal/baselib"
+	"metarouting/internal/ost"
+	"metarouting/internal/prop"
+)
+
+// Cardinality facts used by the inference rules for left(·) and right(·)
+// (§V: "if S has two or more elements…", "unless S consists of a single
+// equivalence class…"). They live in the same prop.Set as the routing
+// properties.
+const (
+	// FactMultiElem: the carrier has at least two elements.
+	FactMultiElem prop.ID = "≥2elems"
+	// FactMultiClass: the order has at least two equivalence classes
+	// (equivalently, it is not chaotic).
+	FactMultiClass prop.ID = "≥2classes"
+	// FactStrictPair: there exist a, b with a < b.
+	FactStrictPair prop.ID = "∃a<b"
+)
+
+// BaseSpec describes a base algebra available to the language.
+type BaseSpec struct {
+	// Name is the identifier used in expressions.
+	Name string
+	// Usage documents the parameter list, e.g. "delay(cap, maxStep)".
+	Usage string
+	// Doc is a one-line description.
+	Doc string
+	// MinArgs and MaxArgs bound the integer-parameter count.
+	MinArgs, MaxArgs int
+	// Build constructs the order transform. Declared properties on the
+	// result seed the inference engine.
+	Build func(args []int) (*ost.OrderTransform, error)
+}
+
+// Registry maps base-algebra names to their specifications. It is
+// populated with the baselib algebras at init and may be extended with
+// Register.
+var Registry = map[string]BaseSpec{}
+
+// Register adds (or replaces) a base algebra. It panics if name collides
+// with a language operator.
+func Register(spec BaseSpec) {
+	if IsOp(spec.Name) {
+		panic("core: base algebra name collides with operator: " + spec.Name)
+	}
+	Registry[spec.Name] = spec
+}
+
+// BaseNames returns the registered base-algebra names, sorted.
+func BaseNames() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func argErr(name, usage string, args []int) error {
+	return fmt.Errorf("core: %s: bad arguments %v (usage: %s)", name, args, usage)
+}
+
+func init() {
+	Register(BaseSpec{
+		Name: "delay", Usage: "delay(cap, maxStep)", MinArgs: 2, MaxArgs: 2,
+		Doc: "additive delay, ≤ preferred; cap 0 = unbounded (cancellative)",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			if a[0] < 0 || a[1] < 1 {
+				return nil, argErr("delay", "delay(cap≥0, maxStep≥1)", a)
+			}
+			return baselib.Delay(a[0], a[1]), nil
+		},
+	})
+	Register(BaseSpec{
+		Name: "hops", Usage: "hops(cap)", MinArgs: 1, MaxArgs: 1,
+		Doc: "hop count, ≤ preferred; cap 0 = unbounded",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			if a[0] < 0 {
+				return nil, argErr("hops", "hops(cap≥0)", a)
+			}
+			return baselib.HopCount(a[0]), nil
+		},
+	})
+	Register(BaseSpec{
+		Name: "bw", Usage: "bw(cap)", MinArgs: 1, MaxArgs: 1,
+		Doc: "bottleneck bandwidth, ≥ preferred",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			if a[0] < 1 {
+				return nil, argErr("bw", "bw(cap≥1)", a)
+			}
+			return baselib.Bandwidth(a[0]), nil
+		},
+	})
+	Register(BaseSpec{
+		Name: "rel", Usage: "rel(levels)", MinArgs: 1, MaxArgs: 1,
+		Doc: "path reliability on a [0,1] grid, ≥ preferred",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			if a[0] < 2 {
+				return nil, argErr("rel", "rel(levels≥2)", a)
+			}
+			return baselib.Reliability(a[0]), nil
+		},
+	})
+	Register(BaseSpec{
+		Name: "lp", Usage: "lp(levels)", MinArgs: 1, MaxArgs: 1,
+		Doc: "local preference (constants), higher preferred",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			if a[0] < 1 {
+				return nil, argErr("lp", "lp(levels≥1)", a)
+			}
+			return baselib.LocalPref(a[0]), nil
+		},
+	})
+	Register(BaseSpec{
+		Name: "origin", Usage: "origin(n)", MinArgs: 1, MaxArgs: 1,
+		Doc: "origin codes (identity only), lower preferred",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			if a[0] < 1 {
+				return nil, argErr("origin", "origin(n≥1)", a)
+			}
+			return baselib.Origin(a[0]), nil
+		},
+	})
+	Register(BaseSpec{
+		Name: "tags", Usage: "tags(bits)", MinArgs: 1, MaxArgs: 1,
+		Doc: "community tags under the discrete order",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			if a[0] < 1 || a[0] > 16 {
+				return nil, argErr("tags", "tags(1≤bits≤16)", a)
+			}
+			return baselib.Tags(a[0]), nil
+		},
+	})
+	Register(BaseSpec{
+		Name: "gadget", Usage: "gadget", MinArgs: 0, MaxArgs: 0,
+		Doc: "stable-paths-problem gadget algebra (direct/via filtering)",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			return baselib.SPPGadget(), nil
+		},
+	})
+	Register(BaseSpec{
+		Name: "unit", Usage: "unit", MinArgs: 0, MaxArgs: 0,
+		Doc: "the one-element algebra (×lex identity)",
+		Build: func(a []int) (*ost.OrderTransform, error) {
+			return baselib.Unit(), nil
+		},
+	})
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"metarouting/internal/prop"
+)
+
+// Report renders the inferred algebra as a property report: a header with
+// the algorithmic verdict, then one line per property with its provenance,
+// then the children indented — the metarouting analogue of a type-checker
+// trace.
+func (a *Algebra) Report() string {
+	var b strings.Builder
+	a.report(&b, 0)
+	return b.String()
+}
+
+func (a *Algebra) report(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	label := a.OT.Name
+	if a.Expr != nil {
+		label = a.Expr.String()
+	}
+	fmt.Fprintf(b, "%s%s\n", indent, label)
+	if depth == 0 {
+		fmt.Fprintf(b, "%s  global optima (monotone):   %v\n", indent, a.SupportsGlobalOptima())
+		fmt.Fprintf(b, "%s  local optima (increasing):  %v\n", indent, a.SupportsLocalOptima())
+		fmt.Fprintf(b, "%s  Dijkstra applicable (M∧ND∧total): %v\n", indent, a.SupportsDijkstra())
+	}
+	for _, id := range routingIDs {
+		j := a.Props.Get(id)
+		if j.Status == prop.Unknown {
+			fmt.Fprintf(b, "%s  %-3s unknown\n", indent, id)
+			continue
+		}
+		fmt.Fprintf(b, "%s  %-3s %s\n", indent, id, j)
+	}
+	for _, c := range a.Children {
+		c.report(b, depth+1)
+	}
+}
+
+// Verdict summarizes in one line which optima the algebra supports.
+func (a *Algebra) Verdict() string {
+	switch {
+	case a.SupportsGlobalOptima() && a.SupportsLocalOptima():
+		return "global and local optima computable (M ∧ I)"
+	case a.SupportsGlobalOptima():
+		return "global optima computable (M); path-vector convergence not guaranteed (¬I)"
+	case a.SupportsLocalOptima():
+		return "local optima computable (I); global optimality not guaranteed (¬M)"
+	default:
+		return "neither M nor I established — no optimality guarantee"
+	}
+}

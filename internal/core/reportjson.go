@@ -1,0 +1,65 @@
+package core
+
+import (
+	"encoding/json"
+
+	"metarouting/internal/prop"
+)
+
+// ReportJSON is the machine-readable form of an inference result, for
+// tooling (CI gates on routing-policy changes, dashboards).
+type ReportJSON struct {
+	// Expr is the source expression.
+	Expr string `json:"expr"`
+	// Carrier is the weight-set size (-1 when infinite).
+	Carrier int `json:"carrier"`
+	// GlobalOptima/LocalOptima/Dijkstra mirror the Supports* predicates.
+	GlobalOptima bool `json:"globalOptima"`
+	LocalOptima  bool `json:"localOptima"`
+	Dijkstra     bool `json:"dijkstra"`
+	// Properties maps property names to judgements.
+	Properties map[string]JudgementJSON `json:"properties"`
+	// Children are the operand reports.
+	Children []ReportJSON `json:"children,omitempty"`
+}
+
+// JudgementJSON is the wire form of a property judgement.
+type JudgementJSON struct {
+	Status  string `json:"status"`
+	Rule    string `json:"rule,omitempty"`
+	Witness string `json:"witness,omitempty"`
+}
+
+// ToReport builds the machine-readable report tree.
+func (a *Algebra) ToReport() ReportJSON {
+	label := a.OT.Name
+	if a.Expr != nil {
+		label = a.Expr.String()
+	}
+	r := ReportJSON{
+		Expr:         label,
+		Carrier:      a.OT.Carrier().Size(),
+		GlobalOptima: a.SupportsGlobalOptima(),
+		LocalOptima:  a.SupportsLocalOptima(),
+		Dijkstra:     a.SupportsDijkstra(),
+		Properties:   make(map[string]JudgementJSON, len(routingIDs)),
+	}
+	for _, id := range routingIDs {
+		j := a.Props.Get(id)
+		if j.Status == prop.Unknown {
+			continue
+		}
+		r.Properties[string(id)] = JudgementJSON{
+			Status: j.Status.String(), Rule: j.Rule, Witness: j.Witness,
+		}
+	}
+	for _, c := range a.Children {
+		r.Children = append(r.Children, c.ToReport())
+	}
+	return r
+}
+
+// MarshalReport renders the report tree as indented JSON.
+func (a *Algebra) MarshalReport() ([]byte, error) {
+	return json.MarshalIndent(a.ToReport(), "", "  ")
+}

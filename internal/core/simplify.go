@@ -1,0 +1,68 @@
+package core
+
+// Simplify rewrites an expression using property-preserving algebraic
+// identities of the metarouting operators:
+//
+//	lex(a)                     → a
+//	lex(a, lex(b, c), d)       → lex(a, b, c, d)     (×lex associativity)
+//	lex(…, unit, …)            → lex without unit    (unit is the ×lex identity)
+//	left(left(a))              → left(a)             (left depends only on the order)
+//	left(right(a))             → left(a)
+//	right(right(a))            → right(a)
+//	right(left(a))             → right(a)
+//	addtop(addtop(a))          → addtop(a)           (⊤ adjunction is idempotent)
+//
+// The result denotes an isomorphic algebra with identical inferred
+// properties (TestSimplifyPreservesProperties fuzzes this).
+func Simplify(e Expr) Expr {
+	switch n := e.(type) {
+	case BaseExpr:
+		return n
+	case OpExpr:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = Simplify(a)
+		}
+		switch n.Op {
+		case OpLex:
+			var flat []Expr
+			for _, a := range args {
+				if inner, ok := a.(OpExpr); ok && inner.Op == OpLex {
+					flat = append(flat, inner.Args...)
+					continue
+				}
+				flat = append(flat, a)
+			}
+			var kept []Expr
+			for _, a := range flat {
+				if b, ok := a.(BaseExpr); ok && b.Name == "unit" {
+					continue
+				}
+				kept = append(kept, a)
+			}
+			switch len(kept) {
+			case 0:
+				return Base("unit")
+			case 1:
+				return kept[0]
+			default:
+				return OpExpr{Op: OpLex, Args: kept}
+			}
+		case OpLeft:
+			if inner, ok := args[0].(OpExpr); ok && (inner.Op == OpLeft || inner.Op == OpRight) {
+				return OpExpr{Op: OpLeft, Args: inner.Args}
+			}
+		case OpRight:
+			if inner, ok := args[0].(OpExpr); ok && (inner.Op == OpLeft || inner.Op == OpRight) {
+				return OpExpr{Op: OpRight, Args: inner.Args}
+			}
+		case OpAddTop:
+			if inner, ok := args[0].(OpExpr); ok && inner.Op == OpAddTop {
+				return inner
+			}
+		}
+		return OpExpr{Op: n.Op, Args: args}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metarouting/internal/prop"
+)
+
+func TestSimplifyRewrites(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"lex(lex(bw(4), delay(4,1)), origin(2))", "lex(bw(4), delay(4,1), origin(2))"},
+		{"lex(bw(4), lex(delay(4,1), origin(2)))", "lex(bw(4), delay(4,1), origin(2))"},
+		{"lex(unit, bw(4), unit)", "bw(4)"},
+		{"lex(unit, unit)", "unit"},
+		{"left(left(delay(3,1)))", "left(delay(3,1))"},
+		{"left(right(delay(3,1)))", "left(delay(3,1))"},
+		{"right(right(delay(3,1)))", "right(delay(3,1))"},
+		{"right(left(delay(3,1)))", "right(delay(3,1))"},
+		{"addtop(addtop(tags(2)))", "addtop(tags(2))"},
+		{"scoped(bw(4), delay(4,1))", "scoped(bw(4), delay(4,1))"}, // untouched
+		{"scoped(lex(lex(lp(2), hops(4)), bw(4)), delay(4,1))",
+			"scoped(lex(lp(2), hops(4), bw(4)), delay(4,1))"}, // rewrites under operators
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in)).String()
+		if got != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSimplifyPreservesProperties fuzzes the key contract: simplification
+// never changes any inferred routing property.
+func TestSimplifyPreservesProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 3)
+		before, err1 := Infer(e)
+		after, err2 := Infer(Simplify(e))
+		if err1 != nil || err2 != nil {
+			return (err1 != nil) == (err2 != nil)
+		}
+		for _, id := range routingIDs {
+			b, a := before.Props.Status(id), after.Props.Status(id)
+			if b != prop.Unknown && a != prop.Unknown && b != a {
+				t.Logf("%s → %s: %s changed %v → %v", e, Simplify(e), id, b, a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimplifyIdempotent: Simplify(Simplify(e)) = Simplify(e).
+func TestSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := Simplify(randExpr(r, 3))
+		return Simplify(e).String() == e.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddTopIdempotentCarrier(t *testing.T) {
+	a := infer(t, "addtop(addtop(tags(2)))")
+	b := infer(t, "addtop(tags(2))")
+	if a.OT.Carrier().Size() != b.OT.Carrier().Size() {
+		t.Fatalf("double addtop must not duplicate ⊤: %d vs %d",
+			a.OT.Carrier().Size(), b.OT.Carrier().Size())
+	}
+}

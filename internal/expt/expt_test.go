@@ -1,0 +1,191 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAndValidate runs the full suite with a fixed seed
+// and asserts that every theorem-validation row reports EXACT and no
+// table is empty.
+func TestAllExperimentsRunAndValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite is slow")
+	}
+	tables := All(42)
+	if len(tables) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", tab.ID)
+		}
+		out := tab.Render()
+		if strings.Contains(out, "MISMATCH") {
+			t.Errorf("%s: validation mismatch:\n%s", tab.ID, out)
+		}
+		if strings.Contains(out, "error") {
+			t.Errorf("%s: error row:\n%s", tab.ID, out)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow(1, "yes")
+	tab.AddRow("longer", 2)
+	tab.Notes = append(tab.Notes, "a note")
+	out := tab.Render()
+	for _, want := range []string{"X — demo", "a       bb", "longer  2", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGlobalOptimaValidationExact(t *testing.T) {
+	tab := GlobalOptimaValidation(7, 60)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "EXACT" {
+			t.Fatalf("E2 row not exact: %v", row)
+		}
+	}
+}
+
+func TestLocalOptimaValidationExact(t *testing.T) {
+	tab := LocalOptimaValidation(8, 60)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "EXACT" {
+			t.Fatalf("E3 row not exact: %v", row)
+		}
+	}
+}
+
+func TestBandwidthDelayLexShape(t *testing.T) {
+	tab := BandwidthDelayLex()
+	// Row 0: delay∞ first ⇒ M true; row 1: bw first ⇒ M false.
+	if tab.Rows[0][1] != "true" {
+		t.Fatalf("lex(delay∞, bw) must be M: %v", tab.Rows[0])
+	}
+	if tab.Rows[1][1] != "false" {
+		t.Fatalf("lex(bw, delay∞) must fail M: %v", tab.Rows[1])
+	}
+}
+
+func TestPolicyPartitionHeadline(t *testing.T) {
+	tab := PolicyPartitionValidation(9, 40)
+	var lexM, scopedM string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "lex(bw(6), delay(6,2))":
+			lexM = row[1]
+		case "scoped(bw(6), delay(6,2))":
+			scopedM = row[1]
+		}
+	}
+	if lexM != "false" || scopedM != "true" {
+		t.Fatalf("headline broken: lex M=%s scoped M=%s", lexM, scopedM)
+	}
+}
+
+func TestConvergenceDynamicsShape(t *testing.T) {
+	tab := ConvergenceDynamics(10, 6)
+	var badConverged, delayConverged string
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "BAD GADGET") {
+			badConverged = row[3]
+		}
+		if strings.HasPrefix(row[0], "random graphs") {
+			delayConverged = row[3]
+		}
+	}
+	if badConverged != "0" {
+		t.Fatalf("BAD GADGET converged %s times, want 0", badConverged)
+	}
+	if delayConverged != "6" {
+		t.Fatalf("delay converged %s/6 runs", delayConverged)
+	}
+}
+
+func TestOptimaOnGraphsShape(t *testing.T) {
+	tab := OptimaOnGraphs(11, 8)
+	// delay + dijkstra must be fully optimal; gadget rows must not be.
+	var delayDijkstraGlobal, gadgetGlobal string
+	for _, row := range tab.Rows {
+		if row[0] == "delay(255,4)" && row[2] == "dijkstra" {
+			delayDijkstraGlobal = row[4]
+		}
+		if row[0] == "gadget" && row[2] == "dijkstra" {
+			gadgetGlobal = row[4]
+		}
+	}
+	if delayDijkstraGlobal != "8/8" {
+		t.Fatalf("delay/dijkstra global-opt = %s, want 8/8", delayDijkstraGlobal)
+	}
+	if gadgetGlobal == "8/8" {
+		t.Fatal("gadget must not be globally optimal everywhere")
+	}
+}
+
+func TestInferenceVsModelCheckAgrees(t *testing.T) {
+	tab := InferenceVsModelCheck(12)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "EXACT" {
+			t.Fatalf("inference disagrees with model check: %v", row)
+		}
+	}
+}
+
+func TestCompositeGapExact(t *testing.T) {
+	tab := CompositeMetricGap(5, 80)
+	row := tab.Rows[0]
+	if row[4] != "EXACT" {
+		t.Fatalf("Gouda–Schneider soundness broken: %v", row)
+	}
+	// On finite carriers the rule is exact, so the gap must be 0.
+	if row[5] != "0" {
+		t.Fatalf("finite-carrier gap must be 0: %v", row)
+	}
+}
+
+func TestKBestAndClosureAllExact(t *testing.T) {
+	tab := KBestAndClosure(6, 6)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "EXACT" {
+			t.Fatalf("row not exact: %v", row)
+		}
+	}
+}
+
+func TestDynamicRoutingAllStable(t *testing.T) {
+	tab := DynamicRouting(7, 8)
+	row := tab.Rows[0]
+	if row[2] != "8" || row[3] != "8" {
+		t.Fatalf("reconvergence must be total: %v", row)
+	}
+}
+
+func TestConvergenceScalingShapes(t *testing.T) {
+	tab := ConvergenceScaling(8, 3)
+	// Ring rounds must grow with n (diameter-bound); random rounds must
+	// stay far below ring rounds at n=32.
+	var ring8, ring32, rand32 float64
+	for _, row := range tab.Rows {
+		if row[0] == "ring" && row[1] == "8" {
+			fmt.Sscanf(row[4], "%f", &ring8)
+		}
+		if row[0] == "ring" && row[1] == "32" {
+			fmt.Sscanf(row[4], "%f", &ring32)
+		}
+		if row[0] == "random p=0.25" && row[1] == "32" {
+			fmt.Sscanf(row[4], "%f", &rand32)
+		}
+	}
+	if ring32 <= ring8 {
+		t.Fatalf("ring rounds must grow with n: %v vs %v", ring8, ring32)
+	}
+	if rand32 >= ring32 {
+		t.Fatalf("random graphs must converge in fewer rounds than rings at n=32: %v vs %v", rand32, ring32)
+	}
+}

@@ -1,0 +1,71 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/core"
+	"metarouting/internal/graph"
+	"metarouting/internal/protocol"
+	"metarouting/internal/solve"
+)
+
+// ConvergenceScaling regenerates the figure-shaped result implicit in the
+// paper's algorithmic story: how convergence cost scales with network
+// size and shape, for the asynchronous protocol (messages) and the
+// synchronous iterations (rounds), on an increasing algebra. The series
+// show the expected shapes: messages grow roughly linearly in |arcs|;
+// Gauss–Seidel needs no more rounds than Jacobi; ring diameters dominate
+// round counts.
+func ConvergenceScaling(seed int64, runsPer int) *Table {
+	t := &Table{
+		ID:    "E17",
+		Title: "convergence scaling: cost vs network size and shape (delay algebra)",
+		Header: []string{"topology", "n", "arcs", "async msgs (mean)",
+			"jacobi rounds", "gauss-seidel rounds"},
+		Notes: []string{
+			"async msgs: mean delivered messages to quiescence over seeded runs",
+			"rounds: synchronous iterations to fixpoint (Jacobi = Bellman–Ford, Gauss–Seidel = in-place)",
+		},
+	}
+	a, _ := core.InferString("delay(0,3)")
+	r := rand.New(rand.NewSource(seed))
+
+	type family struct {
+		name string
+		make func(n int) *graph.Graph
+	}
+	families := []family{
+		{"random p=0.25", func(n int) *graph.Graph {
+			return graph.Random(r, n, 0.25, graph.UniformLabels(3))
+		}},
+		{"scale-free m=2", func(n int) *graph.Graph {
+			return graph.ScaleFree(r, n, 2, graph.UniformLabels(3))
+		}},
+		{"ring", func(n int) *graph.Graph {
+			return graph.Ring(r, n, graph.UniformLabels(3))
+		}},
+	}
+	for _, fam := range families {
+		for _, n := range []int{8, 16, 32} {
+			var msgs, jac, gs, arcs int
+			for i := 0; i < runsPer; i++ {
+				g := fam.make(n)
+				arcs += len(g.Arcs)
+				out := protocol.Run(a.OT, g, protocol.Config{
+					Dest: 0, Origin: 0, MaxDelay: 3, Rand: r, MaxSteps: 500 * n * n,
+				})
+				if out.Converged {
+					msgs += out.Steps
+				}
+				jac += solve.BellmanFord(a.OT, g, 0, 0, 0).Rounds
+				gs += solve.GaussSeidel(a.OT, g, 0, 0, 0).Rounds
+			}
+			t.AddRow(fam.name, n, arcs/runsPer,
+				fmt.Sprintf("%.0f", float64(msgs)/float64(runsPer)),
+				fmt.Sprintf("%.1f", float64(jac)/float64(runsPer)),
+				fmt.Sprintf("%.1f", float64(gs)/float64(runsPer)))
+		}
+	}
+	return t
+}

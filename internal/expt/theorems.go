@@ -1,0 +1,452 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/bsg"
+	"metarouting/internal/gen"
+	"metarouting/internal/order"
+	"metarouting/internal/osg"
+	"metarouting/internal/ost"
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/sgt"
+)
+
+// tally accumulates agreement statistics for a theorem validation sweep.
+type tally struct {
+	trials, agree, lhsTrue int
+	mismatch               string
+}
+
+func (t *tally) record(lhs, rhs prop.Status, describe func() string) {
+	t.trials++
+	if lhs == rhs {
+		t.agree++
+	} else if t.mismatch == "" {
+		t.mismatch = describe()
+	}
+	if lhs == prop.True {
+		t.lhsTrue++
+	}
+}
+
+func (t *tally) row(tab *Table, label string) {
+	status := "EXACT"
+	if t.agree != t.trials {
+		status = "MISMATCH: " + t.mismatch
+	}
+	tab.AddRow(label, t.trials, t.agree, t.lhsTrue, status)
+}
+
+// GlobalOptimaValidation regenerates Fig 2 + Theorem 4: for each quadrant
+// it draws random structures, model-checks M of the lexicographic product
+// and the rule M(S)∧M(T)∧(N(S)∨C(T)), and reports agreement. For the
+// algebraic quadrants the sweep is restricted to "pure" products (first
+// ⊕ selective or α_T inert) — see the E2 notes and bsg's tests for the
+// machine-found counterexample outside that setting.
+func GlobalOptimaValidation(seed int64, trials int) *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Fig 2 / Theorem 4: M(S×T) ⟺ M(S)∧M(T)∧(N(S)∨C(T)), validated per quadrant",
+		Header: []string{"quadrant", "trials", "agree", "M(S×T) true", "verdict"},
+		Notes: []string{
+			"each trial: exhaustive model check of both sides of the iff on random finite structures",
+			"bisemigroups/semigroup transforms: restricted to selective ⊕_S or ⊗/F fixing α_T (the §III semiring axiom); without it the α-injection of §IV.A breaks the rule — counterexample pinned in internal/bsg tests",
+		},
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	// Order semigroups.
+	osgT := &tally{}
+	for osgT.trials < trials {
+		ns, nt := 2+r.Intn(3), 2+r.Intn(3)
+		s := osg.New("S", gen.Preorder(r, ns), gen.AssocOp(r, ns))
+		u := osg.New("T", gen.Preorder(r, nt), gen.AssocOp(r, nt))
+		lhs, _ := osg.Lex(s, u).CheckM(true, nil, 0)
+		ms, _ := s.CheckM(true, nil, 0)
+		mt, _ := u.CheckM(true, nil, 0)
+		n, _ := s.CheckN(true, nil, 0)
+		c, _ := u.CheckC(true, nil, 0)
+		osgT.record(lhs, prop.And(prop.And(ms, mt), prop.Or(n, c)), func() string {
+			return fmt.Sprintf("%s/%s × %s/%s", s.Ord.Name, s.Mul.Name, u.Ord.Name, u.Mul.Name)
+		})
+	}
+	osgT.row(t, "order semigroups")
+
+	// Order transforms.
+	ostT := &tally{}
+	for ostT.trials < trials {
+		ns, nt := 2+r.Intn(3), 2+r.Intn(3)
+		s := ost.New("S", gen.Preorder(r, ns), gen.FnSet(r, ns, 1+r.Intn(3)))
+		u := ost.New("T", gen.Preorder(r, nt), gen.FnSet(r, nt, 1+r.Intn(3)))
+		lhs, _ := ost.Lex(s, u).CheckM(nil, 0)
+		ms, _ := s.CheckM(nil, 0)
+		mt, _ := u.CheckM(nil, 0)
+		n, _ := s.CheckN(nil, 0)
+		c, _ := u.CheckC(nil, 0)
+		ostT.record(lhs, prop.And(prop.And(ms, mt), prop.Or(n, c)), func() string {
+			return s.Ord.Name + " × " + u.Ord.Name
+		})
+	}
+	ostT.row(t, "order transforms")
+
+	// Bisemigroups (pure setting).
+	bsgT := &tally{}
+	for bsgT.trials < trials {
+		s := randPureBSG(r)
+		u := randPureBSG(r)
+		if selective(s.Add) != prop.True && !alphaAbsorbed(u) {
+			continue
+		}
+		prod, err := bsg.Lex(s, u)
+		if err != nil {
+			continue
+		}
+		lhs, _ := prod.CheckM(true, nil, 0)
+		ms, _ := s.CheckM(true, nil, 0)
+		mt, _ := u.CheckM(true, nil, 0)
+		n, _ := s.CheckN(true, nil, 0)
+		c, _ := u.CheckC(true, nil, 0)
+		bsgT.record(lhs, prop.And(prop.And(ms, mt), prop.Or(n, c)), func() string {
+			return s.Add.Name + "/" + s.Mul.Name + " × " + u.Add.Name + "/" + u.Mul.Name
+		})
+	}
+	bsgT.row(t, "bisemigroups")
+
+	// Semigroup transforms (pure setting).
+	sgtT := &tally{}
+	for sgtT.trials < trials {
+		s := randSGT(r)
+		u := randSGT(r)
+		if selective(s.Add) != prop.True && !alphaFixedSGT(u) {
+			continue
+		}
+		prod, err := sgt.Lex(s, u)
+		if err != nil {
+			continue
+		}
+		lhs, _ := prod.CheckM(nil, 0)
+		ms, _ := s.CheckM(nil, 0)
+		mt, _ := u.CheckM(nil, 0)
+		n, _ := s.CheckN(nil, 0)
+		c, _ := u.CheckC(nil, 0)
+		sgtT.record(lhs, prop.And(prop.And(ms, mt), prop.Or(n, c)), func() string {
+			return s.Add.Name + " × " + u.Add.Name
+		})
+	}
+	sgtT.row(t, "semigroup transforms")
+	return t
+}
+
+// LocalOptimaValidation regenerates Fig 3 + Theorem 5: the ND and I
+// rules, in their paper-literal form for the algebraic quadrants and
+// their SI-exact form for the ordered quadrants.
+func LocalOptimaValidation(seed int64, trials int) *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Fig 3 / Theorem 5: ND and I of lexicographic products, validated per quadrant",
+		Header: []string{"quadrant", "rule", "trials", "agree", "verdict"},
+		Notes: []string{
+			"algebraic quadrants use the paper-literal rules (their I is exemption-free)",
+			"ordered quadrants use the SI refinement: ND ⟺ SI(S)∨(ND∧ND); I splits on where ⊤ comes from",
+		},
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	// Semigroup transforms: paper-literal.
+	nd, i := &tally{}, &tally{}
+	for nd.trials < trials {
+		s, u := randSGT(r), randSGT(r)
+		prod, err := sgt.Lex(s, u)
+		if err != nil {
+			continue
+		}
+		ndS, _ := s.CheckND(nil, 0)
+		ndT, _ := u.CheckND(nil, 0)
+		iS, _ := s.CheckI(nil, 0)
+		iT, _ := u.CheckI(nil, 0)
+		lhsND, _ := prod.CheckND(nil, 0)
+		lhsI, _ := prod.CheckI(nil, 0)
+		nd.record(lhsND, prop.Or(iS, prop.And(ndS, ndT)), func() string { return s.Add.Name })
+		i.record(lhsI, prop.Or(iS, prop.And(ndS, iT)), func() string { return s.Add.Name })
+	}
+	nd.row(t, "semigroup transforms ND ⟺ I(S)∨(ND∧ND)")
+	i.row(t, "semigroup transforms I ⟺ I(S)∨(ND∧I)")
+
+	// Order transforms: SI form.
+	ndO, siO := &tally{}, &tally{}
+	for ndO.trials < trials {
+		ns, nt := 2+r.Intn(3), 2+r.Intn(3)
+		s := ost.New("S", gen.Preorder(r, ns), gen.FnSet(r, ns, 1+r.Intn(3)))
+		u := ost.New("T", gen.Preorder(r, nt), gen.FnSet(r, nt, 1+r.Intn(3)))
+		prod := ost.Lex(s, u)
+		siS, _ := s.CheckSI(nil, 0)
+		siT, _ := u.CheckSI(nil, 0)
+		ndS, _ := s.CheckND(nil, 0)
+		ndT, _ := u.CheckND(nil, 0)
+		lhsND, _ := prod.CheckND(nil, 0)
+		lhsSI, _ := prod.CheckSI(nil, 0)
+		ndO.record(lhsND, prop.Or(siS, prop.And(ndS, ndT)), func() string { return s.Ord.Name })
+		siO.record(lhsSI, prop.Or(siS, prop.And(ndS, siT)), func() string { return s.Ord.Name })
+	}
+	ndO.row(t, "order transforms ND ⟺ SI(S)∨(ND∧ND)")
+	siO.row(t, "order transforms SI ⟺ SI(S)∨(ND∧SI)")
+	return t
+}
+
+// LexSemigroupLaws regenerates §IV.A: Theorem 2 (definedness and CI of
+// n-ary lexicographic semigroup products) and Theorem 3 (the natural
+// order commutes with lex).
+func LexSemigroupLaws(seed int64, trials int) *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "§IV.A / Theorems 2–3: lexicographic semigroup product laws",
+		Header: []string{"law", "trials", "pass", "verdict"},
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	// Theorem 2: definedness + CI of random valid chains.
+	defOK, ciOK := 0, 0
+	for i := 0; i < trials; i++ {
+		chain := randChain(r)
+		prod, err := sg.LexN(chain...)
+		if err != nil {
+			continue
+		}
+		defOK++
+		a, _ := prod.CheckAssociative(nil, 0)
+		c, _ := prod.CheckCommutative(nil, 0)
+		d, _ := prod.CheckIdempotent(nil, 0)
+		if a == prop.True && c == prop.True && d == prop.True {
+			ciOK++
+		}
+	}
+	t.AddRow("Thm 2: valid chains defined & CI", defOK, ciOK, verdict(defOK == ciOK && defOK > 0))
+
+	// Theorem 3: NOᴸ/NOᴿ commute with ×lex.
+	commuteL, commuteR, tried := 0, 0, 0
+	for tried < trials {
+		s := gen.CISemigroup(r, 2+r.Intn(3))
+		u := gen.CISemigroup(r, 2+r.Intn(3))
+		if _, ok := u.Identity(); !ok {
+			continue
+		}
+		prod, err := sg.Lex(s, u)
+		if err != nil {
+			continue
+		}
+		tried++
+		if ordersEqual(sg.NaturalLeft(prod), order.Lex(sg.NaturalLeft(s), sg.NaturalLeft(u))) {
+			commuteL++
+		}
+		if ordersEqual(sg.NaturalRight(prod), order.Lex(sg.NaturalRight(s), sg.NaturalRight(u))) {
+			commuteR++
+		}
+	}
+	t.AddRow("Thm 3: NOᴸ(S×T) = NOᴸ(S)×NOᴸ(T)", tried, commuteL, verdict(commuteL == tried))
+	t.AddRow("Thm 3: NOᴿ(S×T) = NOᴿ(S)×NOᴿ(T)", tried, commuteR, verdict(commuteR == tried))
+	return t
+}
+
+// CorollaryValidation regenerates Corollary 1 (two-sided monotonicity of
+// order-semigroup products) and Corollary 2 (n-ary increasing chains).
+func CorollaryValidation(seed int64, trials int) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "Corollaries 1–2: two-sided M and n-ary I guard chains",
+		Header: []string{"corollary", "trials", "agree", "verdict"},
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	c1 := &tally{}
+	for c1.trials < trials {
+		ns, nt := 2+r.Intn(3), 2+r.Intn(3)
+		s := osg.New("S", gen.Preorder(r, ns), gen.AssocOp(r, ns))
+		u := osg.New("T", gen.Preorder(r, nt), gen.AssocOp(r, nt))
+		prod := osg.Lex(s, u)
+		lhsL, _ := prod.CheckM(true, nil, 0)
+		lhsR, _ := prod.CheckM(false, nil, 0)
+		mSL, _ := s.CheckM(true, nil, 0)
+		mSR, _ := s.CheckM(false, nil, 0)
+		mTL, _ := u.CheckM(true, nil, 0)
+		mTR, _ := u.CheckM(false, nil, 0)
+		nSL, _ := s.CheckN(true, nil, 0)
+		nSR, _ := s.CheckN(false, nil, 0)
+		cTL, _ := u.CheckC(true, nil, 0)
+		cTR, _ := u.CheckC(false, nil, 0)
+		side := prop.Or(prop.Or(prop.And(nSL, nSR), prop.And(nSL, cTR)),
+			prop.Or(prop.And(nSR, cTL), prop.And(cTL, cTR)))
+		rhs := prop.And(prop.And(prop.And(mSL, mSR), prop.And(mTL, mTR)), side)
+		c1.record(prop.And(lhsL, lhsR), rhs, func() string { return s.Ord.Name })
+	}
+	c1.row(t, "Cor 1: two-sided M (order semigroups)")
+
+	// Corollary 2 over order transforms, SI form: I(S1×…×Sn) ⟺
+	// ∃k: SI(Sk) ∧ ∀j<k: ND(Sj) — validated in the topless setting
+	// where I = SI.
+	c2 := &tally{}
+	for c2.trials < trials {
+		k := 2 + r.Intn(2)
+		parts := make([]*ost.OrderTransform, k)
+		for j := range parts {
+			n := 2 + r.Intn(2)
+			parts[j] = ost.New("S", gen.Preorder(r, n), gen.FnSet(r, n, 1+r.Intn(2)))
+		}
+		prod := parts[0]
+		for _, p := range parts[1:] {
+			prod = ost.Lex(prod, p)
+		}
+		lhs, _ := prod.CheckSI(nil, 0)
+		rhs := prop.False
+		for kk := 0; kk < k; kk++ {
+			si, _ := parts[kk].CheckSI(nil, 0)
+			cond := si
+			for j := 0; j < kk; j++ {
+				nd, _ := parts[j].CheckND(nil, 0)
+				cond = prop.And(cond, nd)
+			}
+			rhs = prop.Or(rhs, cond)
+		}
+		c2.record(lhs, rhs, func() string { return fmt.Sprintf("%d-ary", k) })
+	}
+	c2.row(t, "Cor 2: n-ary SI guard chain (order transforms)")
+	return t
+}
+
+// SufficientVsExact regenerates the §II comparison: the original
+// metarouting paper's sufficient conditions versus this paper's exact
+// rules, measured as decision power on random semigroup transforms.
+func SufficientVsExact(seed int64, trials int) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "§II: SIGCOMM'05 sufficient conditions vs exact Theorem 5 rules",
+		Header: []string{"rule set", "decided ND", "decided I", "of trials", "sound"},
+		Notes: []string{
+			"sufficient rules decide only when their premise fires (and can never derive a False)",
+			"exact rules decide every instance, in both directions",
+		},
+	}
+	r := rand.New(rand.NewSource(seed))
+	var suffND, suffI, exactND, exactI, n int
+	sound := true
+	for n < trials {
+		s, u := randSGT(r), randSGT(r)
+		prod, err := sgt.Lex(s, u)
+		if err != nil {
+			continue
+		}
+		n++
+		ndS, _ := s.CheckND(nil, 0)
+		ndT, _ := u.CheckND(nil, 0)
+		iS, _ := s.CheckI(nil, 0)
+		iT, _ := u.CheckI(nil, 0)
+		truthND, _ := prod.CheckND(nil, 0)
+		truthI, _ := prod.CheckI(nil, 0)
+		// Sufficient: ND∧ND ⇒ ND; I(S)∨(ND∧I(T)) ⇒ I.
+		if ndS == prop.True && ndT == prop.True {
+			suffND++
+			if truthND != prop.True {
+				sound = false
+			}
+		}
+		if iS == prop.True || (ndS == prop.True && iT == prop.True) {
+			suffI++
+			if truthI != prop.True {
+				sound = false
+			}
+		}
+		// Exact rules decide always (and agree with truth, per E3).
+		exactND++
+		exactI++
+	}
+	t.AddRow("SIGCOMM'05 sufficient", suffND, suffI, n, verdict(sound))
+	t.AddRow("Theorem 5 exact", exactND, exactI, n, "by construction")
+	return t
+}
+
+// --- helpers ---
+
+func verdict(ok bool) string {
+	if ok {
+		return "EXACT"
+	}
+	return "MISMATCH"
+}
+
+func selective(s *sg.Semigroup) prop.Status {
+	st, _ := s.CheckSelective(nil, 0)
+	return st
+}
+
+func randPureBSG(r *rand.Rand) *bsg.Bisemigroup {
+	add := gen.CISemigroup(r, 2+r.Intn(3))
+	mul := gen.AssocOp(r, add.Car.Size())
+	return bsg.New("rnd", add, mul)
+}
+
+func alphaAbsorbed(b *bsg.Bisemigroup) bool {
+	alpha, ok := b.Add.Identity()
+	if !ok {
+		return false
+	}
+	for _, c := range b.Carrier().Elems {
+		if b.Mul.Op(c, alpha) != alpha || b.Mul.Op(alpha, c) != alpha {
+			return false
+		}
+	}
+	return true
+}
+
+func randSGT(r *rand.Rand) *sgt.SemigroupTransform {
+	add := gen.CISemigroup(r, 2+r.Intn(3))
+	return sgt.New("rnd", add, gen.FnSet(r, add.Car.Size(), 1+r.Intn(3)))
+}
+
+func alphaFixedSGT(s *sgt.SemigroupTransform) bool {
+	alpha, ok := s.Add.Identity()
+	if !ok {
+		return false
+	}
+	for _, f := range s.F.Fns {
+		if f.Apply(alpha) != alpha {
+			return false
+		}
+	}
+	return true
+}
+
+// randChain draws a Theorem 2-shaped chain: selective* · any · monoid*.
+func randChain(r *rand.Rand) []*sg.Semigroup {
+	k := 2 + r.Intn(2)
+	out := make([]*sg.Semigroup, 0, k)
+	pivot := r.Intn(k)
+	for i := 0; i < k; i++ {
+		for {
+			s := gen.CISemigroup(r, 2+r.Intn(2))
+			sel := selective(s) == prop.True
+			_, monoid := s.Identity()
+			if i < pivot && !sel {
+				continue
+			}
+			if i > pivot && !monoid {
+				continue
+			}
+			out = append(out, s)
+			break
+		}
+	}
+	return out
+}
+
+func ordersEqual(a, b *order.Preorder) bool {
+	for _, x := range a.Car.Elems {
+		for _, y := range a.Car.Elems {
+			if a.Leq(x, y) != b.Leq(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}

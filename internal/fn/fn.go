@@ -1,0 +1,189 @@
+// Package fn provides named unary function sets — the F component of the
+// functional quadrants (semigroup transforms and order transforms).
+//
+// In a network, each directed arc is labelled with one function from the
+// set; the weight of a path is the composition of its arc functions
+// applied to an originated value (§II). Functions carry names so that
+// counterexamples and topologies are readable.
+package fn
+
+import (
+	"math/rand"
+
+	"metarouting/internal/value"
+)
+
+// Fn is a named unary transform on a carrier.
+type Fn struct {
+	// Name labels the function in diagnostics and topology files,
+	// e.g. "+3", "κ_c", "(id,g2)".
+	Name string
+	// Apply is the function itself.
+	Apply func(value.V) value.V
+}
+
+// Identity is the identity function.
+func Identity() Fn {
+	return Fn{Name: "id", Apply: func(v value.V) value.V { return v }}
+}
+
+// Const returns the constant function κ_b.
+func Const(b value.V) Fn {
+	return Fn{Name: "κ_" + value.Format(b), Apply: func(value.V) value.V { return b }}
+}
+
+// Compose returns g∘f... no: returns the composition "f then g applied
+// outermost", i.e. (Compose(f, g))(x) = f(g(x)), matching the paper's path
+// weight v(p) = (f₍i1,i2₎ ∘ … ∘ f₍ik-1,ik₎)(a): the arc nearest the source
+// is applied last.
+func Compose(f, g Fn) Fn {
+	return Fn{Name: f.Name + "∘" + g.Name, Apply: func(v value.V) value.V { return f.Apply(g.Apply(v)) }}
+}
+
+// Set is a named collection of functions over a common carrier.
+type Set struct {
+	// Name labels the set, e.g. "F_sp" or "F+G".
+	Name string
+	// Fns enumerates the functions when the set is finite; nil when the
+	// set is infinite/sampled.
+	Fns []Fn
+	// Sample draws a random function; required when Fns is nil.
+	Sample func(r *rand.Rand) Fn
+}
+
+// Finite reports whether the set enumerates its functions.
+func (s *Set) Finite() bool { return s.Fns != nil }
+
+// Size returns the number of functions of a finite set, or -1.
+func (s *Set) Size() int {
+	if s.Fns == nil {
+		return -1
+	}
+	return len(s.Fns)
+}
+
+// Draw returns a random function from the set.
+func (s *Set) Draw(r *rand.Rand) Fn {
+	if s.Sample != nil {
+		return s.Sample(r)
+	}
+	if len(s.Fns) == 0 {
+		panic("fn: Draw on empty function set " + s.Name)
+	}
+	return s.Fns[r.Intn(len(s.Fns))]
+}
+
+// ByName returns the function named n, if present in a finite set.
+func (s *Set) ByName(n string) (Fn, bool) {
+	for _, f := range s.Fns {
+		if f.Name == n {
+			return f, true
+		}
+	}
+	return Fn{}, false
+}
+
+// NewFinite builds a finite function set.
+func NewFinite(name string, fns []Fn) *Set { return &Set{Name: name, Fns: fns} }
+
+// NewSampled builds an infinite function set from a sampler.
+func NewSampled(name string, sample func(r *rand.Rand) Fn) *Set {
+	return &Set{Name: name, Sample: sample}
+}
+
+// IdentityOnly returns {id} — the function set of the right(·) operator
+// (§II): once originated, a value can only be copied.
+func IdentityOnly() *Set { return NewFinite("{id}", []Fn{Identity()}) }
+
+// Constants returns {κ_b | b ∈ car} — the function set of the left(·)
+// operator (§II): the last link completely determines the value, like
+// BGP's local preference. It requires a finite carrier.
+func Constants(car *value.Carrier) *Set {
+	if !car.Finite() {
+		return NewSampled("{κ_b}", func(r *rand.Rand) Fn { return Const(car.Draw(r)) })
+	}
+	fns := make([]Fn, 0, len(car.Elems))
+	for _, b := range car.Elems {
+		fns = append(fns, Const(b))
+	}
+	return NewFinite("{κ_b}", fns)
+}
+
+// Cayley returns {λy. x⊕y | x ∈ car} — the function set obtained from a
+// semigroup operation by left action (§III's Cayley map).
+func Cayley(name string, car *value.Carrier, op func(a, b value.V) value.V) *Set {
+	if !car.Finite() {
+		return NewSampled(name, func(r *rand.Rand) Fn {
+			x := car.Draw(r)
+			return Fn{Name: value.Format(x) + "⊕·", Apply: func(y value.V) value.V { return op(x, y) }}
+		})
+	}
+	fns := make([]Fn, 0, len(car.Elems))
+	for _, x := range car.Elems {
+		x := x
+		fns = append(fns, Fn{Name: value.Format(x) + "⊕·", Apply: func(y value.V) value.V { return op(x, y) }})
+	}
+	return NewFinite(name, fns)
+}
+
+// PairFn builds the product function (f,g)(s,t) = (f(s), g(t)).
+func PairFn(f, g Fn) Fn {
+	return Fn{
+		Name: "(" + f.Name + "," + g.Name + ")",
+		Apply: func(v value.V) value.V {
+			p := v.(value.Pair)
+			return value.Pair{A: f.Apply(p.A), B: g.Apply(p.B)}
+		},
+	}
+}
+
+// Product returns {(f,g) | f ∈ s, g ∈ t} acting on pairs — the function
+// set of a lexicographic product of transforms (§II).
+func Product(s, t *Set) *Set {
+	name := s.Name + "×" + t.Name
+	if s.Finite() && t.Finite() {
+		fns := make([]Fn, 0, len(s.Fns)*len(t.Fns))
+		for _, f := range s.Fns {
+			for _, g := range t.Fns {
+				fns = append(fns, PairFn(f, g))
+			}
+		}
+		return NewFinite(name, fns)
+	}
+	return NewSampled(name, func(r *rand.Rand) Fn {
+		return PairFn(s.Draw(r), t.Draw(r))
+	})
+}
+
+// TagFn wraps f with a disjoint-union tag. Application ignores the tag
+// (§II: "the application of these functions is as if the tags did not
+// exist"), but the name records it.
+func TagFn(tag int, f Fn) Fn {
+	name := "(1, " + f.Name + ")"
+	if tag != 0 {
+		name = "(2, " + f.Name + ")"
+	}
+	return Fn{Name: name, Apply: f.Apply}
+}
+
+// DisjointUnion returns F+G = ({1}×F) ∪ ({2}×G) (§II): the two function
+// sets are kept apart by tags but act on the same carrier.
+func DisjointUnion(f, g *Set) *Set {
+	name := f.Name + "+" + g.Name
+	if f.Finite() && g.Finite() {
+		fns := make([]Fn, 0, len(f.Fns)+len(g.Fns))
+		for _, x := range f.Fns {
+			fns = append(fns, TagFn(0, x))
+		}
+		for _, y := range g.Fns {
+			fns = append(fns, TagFn(1, y))
+		}
+		return NewFinite(name, fns)
+	}
+	return NewSampled(name, func(r *rand.Rand) Fn {
+		if r.Intn(2) == 0 {
+			return TagFn(0, f.Draw(r))
+		}
+		return TagFn(1, g.Draw(r))
+	})
+}

@@ -1,0 +1,159 @@
+package fn
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/value"
+)
+
+func TestIdentityAndConst(t *testing.T) {
+	id := Identity()
+	if id.Apply(42) != 42 || id.Name != "id" {
+		t.Fatal("identity wrong")
+	}
+	k := Const(7)
+	if k.Apply(3) != 7 || k.Apply(9) != 7 {
+		t.Fatal("constant wrong")
+	}
+	if k.Name != "κ_7" {
+		t.Fatalf("constant name = %q", k.Name)
+	}
+}
+
+func TestComposeConvention(t *testing.T) {
+	inc := Fn{Name: "+1", Apply: func(v value.V) value.V { return v.(int) + 1 }}
+	dbl := Fn{Name: "×2", Apply: func(v value.V) value.V { return v.(int) * 2 }}
+	// Compose(f, g)(x) = f(g(x)): f outermost.
+	c := Compose(inc, dbl)
+	if got := c.Apply(3); got != 7 {
+		t.Fatalf("(+1∘×2)(3) = %v, want 7", got)
+	}
+	if c.Name != "+1∘×2" {
+		t.Fatalf("name = %q", c.Name)
+	}
+}
+
+func TestSetLookupAndDraw(t *testing.T) {
+	s := NewFinite("F", []Fn{Identity(), Const(1)})
+	if !s.Finite() || s.Size() != 2 {
+		t.Fatal("finite set shape wrong")
+	}
+	if f, ok := s.ByName("κ_1"); !ok || f.Apply(0) != 1 {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := s.ByName("zzz"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		f := s.Draw(r)
+		if f.Name != "id" && f.Name != "κ_1" {
+			t.Fatalf("Draw outside set: %q", f.Name)
+		}
+	}
+}
+
+func TestSampledSet(t *testing.T) {
+	s := NewSampled("F∞", func(r *rand.Rand) Fn { return Const(r.Intn(3)) })
+	if s.Finite() || s.Size() != -1 {
+		t.Fatal("sampled set must report infinite")
+	}
+	r := rand.New(rand.NewSource(2))
+	if f := s.Draw(r); f.Apply(99).(int) > 2 {
+		t.Fatal("sampler broken")
+	}
+}
+
+func TestDrawEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFinite("∅", nil).Draw(rand.New(rand.NewSource(1)))
+}
+
+func TestIdentityOnlyAndConstants(t *testing.T) {
+	if s := IdentityOnly(); s.Size() != 1 || s.Fns[0].Name != "id" {
+		t.Fatal("IdentityOnly wrong")
+	}
+	c := Constants(value.Ints(0, 2))
+	if c.Size() != 3 {
+		t.Fatalf("Constants size = %d", c.Size())
+	}
+	for i, f := range c.Fns {
+		if f.Apply(99) != i {
+			t.Fatalf("κ_%d applies wrong", i)
+		}
+	}
+}
+
+func TestConstantsInfiniteCarrier(t *testing.T) {
+	car := value.NewSampled("ℕ", func(r *rand.Rand) value.V { return r.Intn(5) })
+	c := Constants(car)
+	if c.Finite() {
+		t.Fatal("constants over an infinite carrier must be sampled")
+	}
+	r := rand.New(rand.NewSource(3))
+	f := c.Draw(r)
+	if f.Apply(1) != f.Apply(2) {
+		t.Fatal("drawn function must be constant")
+	}
+}
+
+func TestCayley(t *testing.T) {
+	car := value.Ints(0, 4)
+	s := Cayley("F", car, func(a, b value.V) value.V {
+		x := a.(int) + b.(int)
+		if x > 4 {
+			x = 4
+		}
+		return x
+	})
+	if s.Size() != 5 {
+		t.Fatalf("Cayley size = %d", s.Size())
+	}
+	// The function for x=2 is λy. 2⊕y.
+	if got := s.Fns[2].Apply(1); got != 3 {
+		t.Fatalf("Cayley action wrong: %v", got)
+	}
+}
+
+func TestPairFn(t *testing.T) {
+	p := PairFn(Const(1), Identity())
+	got := p.Apply(value.Pair{A: 9, B: 8}).(value.Pair)
+	if got.A != 1 || got.B != 8 {
+		t.Fatalf("PairFn = %v", got)
+	}
+}
+
+func TestProductSet(t *testing.T) {
+	a := NewFinite("A", []Fn{Identity(), Const(0)})
+	b := NewFinite("B", []Fn{Identity()})
+	p := Product(a, b)
+	if p.Size() != 2 {
+		t.Fatalf("product size = %d", p.Size())
+	}
+	for _, f := range p.Fns {
+		if _, ok := f.Apply(value.Pair{A: 1, B: 2}).(value.Pair); !ok {
+			t.Fatal("product functions must map pairs to pairs")
+		}
+	}
+}
+
+func TestDisjointUnionTagsAreTransparent(t *testing.T) {
+	a := NewFinite("A", []Fn{Const(1)})
+	b := NewFinite("B", []Fn{Const(2)})
+	u := DisjointUnion(a, b)
+	if u.Size() != 2 {
+		t.Fatalf("union size = %d", u.Size())
+	}
+	// §II: application ignores the tags.
+	if u.Fns[0].Apply(9) != 1 || u.Fns[1].Apply(9) != 2 {
+		t.Fatal("tagged application must match the untagged function")
+	}
+	if u.Fns[0].Name != "(1, κ_1)" || u.Fns[1].Name != "(2, κ_2)" {
+		t.Fatalf("tag names wrong: %q, %q", u.Fns[0].Name, u.Fns[1].Name)
+	}
+}

@@ -1,0 +1,222 @@
+// Package gen generates random finite algebraic structures — preorders,
+// commutative idempotent semigroups, associative operations, and function
+// sets — used to machine-validate the paper's characterization theorems:
+// for thousands of random structures we evaluate both sides of each iff
+// by exhaustive enumeration and assert equivalence. Structures are drawn
+// from parameterized families that guarantee the defining laws
+// (transitivity, associativity) by construction while covering diverse
+// property profiles (monotone and not, cancellative and not, selective
+// and not, …).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/fn"
+	"metarouting/internal/order"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+// Preorder draws a random preorder on {0..n-1}. Families:
+//   - total order with random ties (a full preorder),
+//   - partial order from a random DAG's reflexive-transitive closure,
+//   - discrete, chaotic,
+//   - layered: random rank function with incomparable same-rank elements.
+func Preorder(r *rand.Rand, n int) *order.Preorder {
+	car := value.Ints(0, n-1)
+	switch r.Intn(5) {
+	case 0: // total with ties: random monotone rank
+		rank := randomRanks(r, n, true)
+		return order.New("rnd-total", car, func(a, b value.V) bool {
+			return rank[a.(int)] <= rank[b.(int)]
+		})
+	case 1: // random partial order: closure of a random DAG on index order
+		leq := randomDAGClosure(r, n)
+		return order.New("rnd-poset", car, func(a, b value.V) bool {
+			return leq[a.(int)][b.(int)]
+		})
+	case 2:
+		return order.Discrete(car)
+	case 3:
+		return order.Chaotic(car)
+	default: // layered: equal ranks incomparable (a non-full preorder with ties)
+		rank := randomRanks(r, n, false)
+		return order.New("rnd-layered", car, func(a, b value.V) bool {
+			x, y := a.(int), b.(int)
+			if x == y {
+				return true
+			}
+			return rank[x] < rank[y]
+		})
+	}
+}
+
+func randomRanks(r *rand.Rand, n int, allowManyTies bool) []int {
+	levels := 1 + r.Intn(n)
+	if !allowManyTies && levels < 2 && n > 1 {
+		levels = 2
+	}
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = r.Intn(levels)
+	}
+	return ranks
+}
+
+func randomDAGClosure(r *rand.Rand, n int) [][]bool {
+	leq := make([][]bool, n)
+	for i := range leq {
+		leq[i] = make([]bool, n)
+		leq[i][i] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.4 {
+				leq[i][j] = true
+			}
+		}
+	}
+	// Warshall transitive closure (stays antisymmetric: arcs only i<j).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !leq[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if leq[k][j] {
+					leq[i][j] = true
+				}
+			}
+		}
+	}
+	return leq
+}
+
+// FnSet draws k random unary functions on {0..n-1}: a mix of arbitrary
+// lookup tables, constants, the identity, and order-free "shift-and-clamp"
+// maps — enough variety to hit every truth combination of M/N/C/ND/I.
+func FnSet(r *rand.Rand, n, k int) *fn.Set {
+	fns := make([]fn.Fn, 0, k)
+	for i := 0; i < k; i++ {
+		switch r.Intn(4) {
+		case 0:
+			fns = append(fns, fn.Identity())
+		case 1:
+			fns = append(fns, fn.Const(r.Intn(n)))
+		case 2: // clamped shift
+			d := r.Intn(n)
+			fns = append(fns, fn.Fn{Name: fmt.Sprintf("shift%d", d), Apply: func(v value.V) value.V {
+				x := v.(int) + d
+				if x >= n {
+					x = n - 1
+				}
+				return x
+			}})
+		default: // arbitrary table
+			table := make([]int, n)
+			for j := range table {
+				table[j] = r.Intn(n)
+			}
+			fns = append(fns, fn.Fn{Name: fmt.Sprintf("tbl%v", table), Apply: func(v value.V) value.V {
+				return table[v.(int)]
+			}})
+		}
+	}
+	return fn.NewFinite("F_rnd", fns)
+}
+
+// CISemigroup draws a random commutative idempotent semigroup on a
+// carrier of n elements. Families (all CI by construction):
+//   - min under a random permutation of a total order (selective),
+//   - max under a random permutation (selective),
+//   - bitwise AND on {0..2^k-1} (a meet semilattice, not selective),
+//   - bitwise OR (a join semilattice, not selective).
+//
+// For the bitwise families the carrier is rounded down to a power of two
+// of size ≤ n (at least 2).
+func CISemigroup(r *rand.Rand, n int) *sg.Semigroup {
+	switch r.Intn(4) {
+	case 0, 1:
+		perm := r.Perm(n)
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		car := value.Ints(0, n-1)
+		if r.Intn(2) == 0 {
+			return sg.New("rnd-min", car, func(a, b value.V) value.V {
+				if inv[a.(int)] <= inv[b.(int)] {
+					return a
+				}
+				return b
+			})
+		}
+		return sg.New("rnd-max", car, func(a, b value.V) value.V {
+			if inv[a.(int)] >= inv[b.(int)] {
+				return a
+			}
+			return b
+		})
+	default:
+		bits := 1
+		for (1 << (bits + 1)) <= n {
+			bits++
+		}
+		car := value.Ints(0, 1<<bits-1)
+		if r.Intn(2) == 0 {
+			return sg.New("rnd-and", car, func(a, b value.V) value.V { return a.(int) & b.(int) })
+		}
+		return sg.New("rnd-or", car, func(a, b value.V) value.V { return a.(int) | b.(int) })
+	}
+}
+
+// AssocOp draws a random associative operation on {0..n-1} from families
+// that are associative by construction:
+//   - constant, left projection, right projection,
+//   - min/max under a random permutation,
+//   - addition or multiplication mod n transported through a random
+//     bijection,
+//   - saturating addition under a random permutation.
+func AssocOp(r *rand.Rand, n int) *sg.Semigroup {
+	car := value.Ints(0, n-1)
+	perm := r.Perm(n)
+	inv := make([]int, n)
+	for i, p := range perm {
+		inv[p] = i
+	}
+	via := func(op func(x, y int) int, name string) *sg.Semigroup {
+		return sg.New(name, car, func(a, b value.V) value.V {
+			return perm[op(inv[a.(int)], inv[b.(int)])%n]
+		})
+	}
+	switch r.Intn(7) {
+	case 0:
+		k := r.Intn(n)
+		return sg.New("rnd-const", car, func(a, b value.V) value.V { return k })
+	case 1:
+		return sg.New("rnd-left", car, func(a, b value.V) value.V { return a })
+	case 2:
+		return sg.New("rnd-right", car, func(a, b value.V) value.V { return b })
+	case 3:
+		return via(func(x, y int) int {
+			if x < y {
+				return x
+			}
+			return y
+		}, "rnd-minp")
+	case 4:
+		return via(func(x, y int) int { return (x + y) % n }, "rnd-addmod")
+	case 5:
+		return via(func(x, y int) int { return (x * y) % n }, "rnd-mulmod")
+	default:
+		return via(func(x, y int) int {
+			s := x + y
+			if s >= n {
+				s = n - 1
+			}
+			return s
+		}, "rnd-addsat")
+	}
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/prop"
+)
+
+// TestPreordersAreLawful: every generated relation is reflexive and
+// transitive, exhaustively checked.
+func TestPreordersAreLawful(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		p := Preorder(r, 2+r.Intn(4))
+		if st, w := p.CheckReflexive(nil, 0); st != prop.True {
+			t.Fatalf("%s not reflexive: %s", p.Name, w)
+		}
+		if st, w := p.CheckTransitive(nil, 0); st != prop.True {
+			t.Fatalf("%s not transitive: %s", p.Name, w)
+		}
+	}
+}
+
+// TestPreorderFamiliesAreDiverse: generation must produce full and
+// non-full, antisymmetric and non-antisymmetric relations.
+func TestPreorderFamiliesAreDiverse(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var sawFull, sawPartial, sawTies bool
+	for i := 0; i < 200; i++ {
+		p := Preorder(r, 4)
+		full, _ := p.CheckFull(nil, 0)
+		anti, _ := p.CheckAntisymmetric(nil, 0)
+		if full == prop.True {
+			sawFull = true
+		} else {
+			sawPartial = true
+		}
+		if anti == prop.False {
+			sawTies = true
+		}
+	}
+	if !sawFull || !sawPartial || !sawTies {
+		t.Fatalf("diversity: full=%v partial=%v ties=%v", sawFull, sawPartial, sawTies)
+	}
+}
+
+// TestCISemigroupsAreLawful: associative, commutative, idempotent —
+// exhaustively checked.
+func TestCISemigroupsAreLawful(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		s := CISemigroup(r, 2+r.Intn(5))
+		for _, check := range []struct {
+			name string
+			run  func() (prop.Status, string)
+		}{
+			{"associative", func() (prop.Status, string) { return s.CheckAssociative(nil, 0) }},
+			{"commutative", func() (prop.Status, string) { return s.CheckCommutative(nil, 0) }},
+			{"idempotent", func() (prop.Status, string) { return s.CheckIdempotent(nil, 0) }},
+		} {
+			if st, w := check.run(); st != prop.True {
+				t.Fatalf("%s not %s: %s", s.Name, check.name, w)
+			}
+		}
+	}
+}
+
+// TestCISemigroupDiversity: both selective and non-selective families
+// must appear.
+func TestCISemigroupDiversity(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var sel, nonsel bool
+	for i := 0; i < 200; i++ {
+		s := CISemigroup(r, 5)
+		if st, _ := s.CheckSelective(nil, 0); st == prop.True {
+			sel = true
+		} else {
+			nonsel = true
+		}
+	}
+	if !sel || !nonsel {
+		t.Fatalf("diversity: selective=%v nonselective=%v", sel, nonsel)
+	}
+}
+
+// TestAssocOpsAreAssociative, exhaustively.
+func TestAssocOpsAreAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		s := AssocOp(r, 2+r.Intn(4))
+		if st, w := s.CheckAssociative(nil, 0); st != prop.True {
+			t.Fatalf("%s not associative: %s", s.Name, w)
+		}
+	}
+}
+
+// TestFnSetsTotal: every generated function maps the carrier into itself.
+func TestFnSetsTotal(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		n := 2 + r.Intn(5)
+		fs := FnSet(r, n, 1+r.Intn(4))
+		for _, f := range fs.Fns {
+			for x := 0; x < n; x++ {
+				y := f.Apply(x).(int)
+				if y < 0 || y >= n {
+					t.Fatalf("%s maps %d to %d outside the carrier", f.Name, x, y)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package graph provides the network substrate of the metarouting
+// library: directed graphs whose arcs are labelled with arc-function
+// indices of a routing algebra, plus topology generators (random, ring,
+// grid, two-level region topologies, and the classic oscillation gadgets)
+// and bounded simple-path enumeration used for ground-truth optima.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Arc is a directed edge (From → To) labelled with the index of an arc
+// function in the algebra's function set. In the functional model of §II,
+// the weight of a route that carries traffic From → To is obtained by
+// applying the arc's function to the weight advertised by To.
+type Arc struct {
+	From, To int
+	// Label indexes the arc's function in the algebra's function set.
+	Label int
+}
+
+// Graph is a directed graph with labelled arcs. Nodes are 0..N-1.
+type Graph struct {
+	// N is the node count.
+	N int
+	// Arcs lists every directed arc.
+	Arcs []Arc
+
+	out [][]int // out[u] = indices into Arcs with From == u
+	in  [][]int // in[v] = indices into Arcs with To == v
+}
+
+// New builds a graph from a node count and arcs; it validates endpoints.
+func New(n int, arcs []Arc) (*Graph, error) {
+	g := &Graph{N: n, Arcs: arcs}
+	for _, a := range arcs {
+		if a.From < 0 || a.From >= n || a.To < 0 || a.To >= n {
+			return nil, fmt.Errorf("graph: arc %v out of range [0,%d)", a, n)
+		}
+		if a.From == a.To {
+			return nil, fmt.Errorf("graph: self-loop at %d", a.From)
+		}
+	}
+	g.index()
+	return g, nil
+}
+
+// MustNew is New but panics on invalid input.
+func MustNew(n int, arcs []Arc) *Graph {
+	g, err := New(n, arcs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) index() {
+	g.out = make([][]int, g.N)
+	g.in = make([][]int, g.N)
+	for i, a := range g.Arcs {
+		g.out[a.From] = append(g.out[a.From], i)
+		g.in[a.To] = append(g.in[a.To], i)
+	}
+}
+
+// Out returns the indices (into Arcs) of arcs leaving u.
+func (g *Graph) Out(u int) []int { return g.out[u] }
+
+// In returns the indices (into Arcs) of arcs entering v.
+func (g *Graph) In(v int) []int { return g.in[v] }
+
+// String renders a compact summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.N, len(g.Arcs))
+}
+
+// Path is a node sequence v0, v1, …, vk with arcs (v0,v1)…(v(k-1),vk).
+type Path []int
+
+// ArcsOf resolves a path to the arc indices it traverses, choosing the
+// first matching arc for each hop. ok is false if some hop has no arc.
+func (g *Graph) ArcsOf(p Path) (idxs []int, ok bool) {
+	for i := 0; i+1 < len(p); i++ {
+		found := -1
+		for _, ai := range g.out[p[i]] {
+			if g.Arcs[ai].To == p[i+1] {
+				found = ai
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		idxs = append(idxs, found)
+	}
+	return idxs, true
+}
+
+// SimplePaths enumerates every simple (loop-free) path from src to dst as
+// arc-index sequences, up to maxLen hops. It is exponential and intended
+// for ground-truth computation on small graphs; maxLen ≤ 0 means N-1.
+func (g *Graph) SimplePaths(src, dst, maxLen int) [][]int {
+	if maxLen <= 0 {
+		maxLen = g.N - 1
+	}
+	var out [][]int
+	visited := make([]bool, g.N)
+	var cur []int
+	var rec func(u int)
+	rec = func(u int) {
+		if u == dst {
+			cp := make([]int, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		if len(cur) == maxLen {
+			return
+		}
+		visited[u] = true
+		for _, ai := range g.out[u] {
+			v := g.Arcs[ai].To
+			if visited[v] {
+				continue
+			}
+			cur = append(cur, ai)
+			rec(v)
+			cur = cur[:len(cur)-1]
+		}
+		visited[u] = false
+	}
+	rec(src)
+	return out
+}
+
+// Reachable reports which nodes can reach dst following arc directions
+// (i.e. reverse reachability from dst).
+func (g *Graph) Reachable(dst int) []bool {
+	seen := make([]bool, g.N)
+	seen[dst] = true
+	queue := []int{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ai := range g.in[v] {
+			u := g.Arcs[ai].From
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return seen
+}
+
+// LabelPicker assigns arc labels during generation.
+type LabelPicker func(r *rand.Rand, from, to int) int
+
+// UniformLabels picks labels uniformly from [0, nLabels).
+func UniformLabels(nLabels int) LabelPicker {
+	return func(r *rand.Rand, _, _ int) int { return r.Intn(nLabels) }
+}
+
+// Random generates a GNP-style random digraph: each ordered pair (u,v),
+// u ≠ v, carries an arc with probability p. A spanning in-tree toward
+// node 0 is added so that every node can reach node 0 — destination 0 is
+// the conventional experiment target.
+func Random(r *rand.Rand, n int, p float64, pick LabelPicker) *Graph {
+	var arcs []Arc
+	have := make(map[[2]int]bool)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if r.Float64() < p {
+				arcs = append(arcs, Arc{From: u, To: v, Label: pick(r, u, v)})
+				have[[2]int{u, v}] = true
+			}
+		}
+	}
+	// Ensure reverse reachability of 0: give node u an arc to a random
+	// lower-numbered node if it has no path yet; connecting u → u-1 …
+	// suffices and keeps the graph sparse.
+	for u := 1; u < n; u++ {
+		v := r.Intn(u)
+		if !have[[2]int{u, v}] {
+			arcs = append(arcs, Arc{From: u, To: v, Label: pick(r, u, v)})
+			have[[2]int{u, v}] = true
+		}
+	}
+	return MustNew(n, arcs)
+}
+
+// ScaleFree generates a preferential-attachment digraph: nodes join one
+// at a time and attach m bidirectional links to existing nodes chosen
+// with probability proportional to current degree (Barabási–Albert
+// style) — the heavy-tailed shape of Internet-like topologies.
+func ScaleFree(r *rand.Rand, n, m int, pick LabelPicker) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	var arcs []Arc
+	have := make(map[[2]int]bool)
+	// targets holds one entry per half-degree, so uniform sampling from
+	// it is degree-proportional.
+	targets := []int{0}
+	add := func(u, v int) {
+		if u == v || have[[2]int{u, v}] {
+			return
+		}
+		have[[2]int{u, v}] = true
+		have[[2]int{v, u}] = true
+		arcs = append(arcs, Arc{From: u, To: v, Label: pick(r, u, v)})
+		arcs = append(arcs, Arc{From: v, To: u, Label: pick(r, v, u)})
+		targets = append(targets, u, v)
+	}
+	for u := 1; u < n; u++ {
+		links := m
+		if u < m {
+			links = u
+		}
+		attached := false
+		for i := 0; i < links; i++ {
+			v := targets[r.Intn(len(targets))]
+			if v < u {
+				before := len(arcs)
+				add(u, v)
+				attached = attached || len(arcs) > before
+			}
+		}
+		if !attached {
+			// Guarantee connectivity even if every draw collided.
+			add(u, r.Intn(u))
+		}
+	}
+	return MustNew(n, arcs)
+}
+
+// Ring generates a bidirectional ring of n nodes.
+func Ring(r *rand.Rand, n int, pick LabelPicker) *Graph {
+	var arcs []Arc
+	for u := 0; u < n; u++ {
+		v := (u + 1) % n
+		arcs = append(arcs, Arc{From: u, To: v, Label: pick(r, u, v)})
+		arcs = append(arcs, Arc{From: v, To: u, Label: pick(r, v, u)})
+	}
+	return MustNew(n, arcs)
+}
+
+// Grid generates a rows×cols bidirectional grid.
+func Grid(r *rand.Rand, rows, cols int, pick LabelPicker) *Graph {
+	id := func(i, j int) int { return i*cols + j }
+	var arcs []Arc
+	add := func(u, v int) {
+		arcs = append(arcs, Arc{From: u, To: v, Label: pick(r, u, v)})
+		arcs = append(arcs, Arc{From: v, To: u, Label: pick(r, v, u)})
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				add(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows {
+				add(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return MustNew(rows*cols, arcs)
+}
+
+// Regions describes a two-level topology for policy-partition experiments
+// (BGP ASes, OSPF areas): nodes grouped into regions, dense arcs inside a
+// region, sparse arcs between regions. RegionOf maps node → region.
+type Regions struct {
+	Graph    *Graph
+	RegionOf []int
+	// Inter marks, per arc index, whether the arc crosses regions.
+	Inter []bool
+}
+
+// TwoLevel generates a Regions topology: k regions of size s each;
+// intra-region arcs with probability pIntra (plus an intra-region ring for
+// connectivity), and interPairs random inter-region arc pairs (plus a ring
+// over region gateways). Intra labels are drawn from pickIntra and inter
+// labels from pickInter, so the caller can map them onto the (2,(id,g))
+// and (1,(f,κ_c)) function families of a scoped product.
+func TwoLevel(r *rand.Rand, k, s int, pIntra float64, interPairs int,
+	pickIntra, pickInter LabelPicker) *Regions {
+	n := k * s
+	regionOf := make([]int, n)
+	for i := range regionOf {
+		regionOf[i] = i / s
+	}
+	var arcs []Arc
+	var inter []bool
+	add := func(u, v int, isInter bool) {
+		var l int
+		if isInter {
+			l = pickInter(r, u, v)
+		} else {
+			l = pickIntra(r, u, v)
+		}
+		arcs = append(arcs, Arc{From: u, To: v, Label: l})
+		inter = append(inter, isInter)
+	}
+	// Intra-region rings + random extras.
+	for reg := 0; reg < k; reg++ {
+		base := reg * s
+		for i := 0; i < s; i++ {
+			u, v := base+i, base+(i+1)%s
+			if s > 1 {
+				add(u, v, false)
+				add(v, u, false)
+			}
+		}
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				if i != j && r.Float64() < pIntra {
+					add(base+i, base+j, false)
+				}
+			}
+		}
+	}
+	// Gateway ring over regions (node 0 of each region) + random extras.
+	for reg := 0; reg < k; reg++ {
+		u, v := reg*s, ((reg+1)%k)*s
+		if k > 1 {
+			add(u, v, true)
+			add(v, u, true)
+		}
+	}
+	for i := 0; i < interPairs; i++ {
+		ru, rv := r.Intn(k), r.Intn(k)
+		if ru == rv {
+			continue
+		}
+		u := ru*s + r.Intn(s)
+		v := rv*s + r.Intn(s)
+		add(u, v, true)
+		add(v, u, true)
+	}
+	// Deduplicate arcs (keep first label).
+	type key struct{ u, v int }
+	seen := make(map[key]bool)
+	var dedupArcs []Arc
+	var dedupInter []bool
+	for i, a := range arcs {
+		k := key{a.From, a.To}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		dedupArcs = append(dedupArcs, a)
+		dedupInter = append(dedupInter, inter[i])
+	}
+	return &Regions{Graph: MustNew(n, dedupArcs), RegionOf: regionOf, Inter: dedupInter}
+}
+
+// GoodGadget is the classic convergent policy gadget: a 4-node topology
+// (0 = destination) where nodes 1–3 have conflicting but satisfiable
+// preferences. Arc labels are left 0; callers relabel per experiment.
+func GoodGadget() *Graph {
+	return MustNew(4, []Arc{
+		{1, 0, 0}, {2, 0, 0}, {3, 0, 0},
+		{1, 2, 0}, {2, 3, 0}, {3, 1, 0},
+	})
+}
+
+// BadGadgetArcs returns the BAD GADGET topology of persistent route
+// oscillation [16]: destination 0 and nodes 1, 2, 3 in a cycle, each
+// preferring the route through its clockwise neighbour over its direct
+// route. The labels returned are indices into the preference scheme used
+// by protocol tests: label 0 = direct arc, label 1 = via-neighbour arc.
+func BadGadgetArcs() (*Graph, []Arc) {
+	arcs := []Arc{
+		{1, 0, 0}, {2, 0, 0}, {3, 0, 0},
+		{1, 2, 1}, {2, 3, 1}, {3, 1, 1},
+	}
+	return MustNew(4, arcs), arcs
+}
+
+// Degrees returns the sorted out-degree sequence, a cheap structural
+// fingerprint used by generator tests.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N)
+	for _, a := range g.Arcs {
+		d[a.From]++
+	}
+	sort.Ints(d)
+	return d
+}

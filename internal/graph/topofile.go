@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Topology file format: a line-oriented text format for labelled digraphs.
+//
+//	# comment (also after values)
+//	nodes 5
+//	arc 1 0 +1        # from to label — label is a function name or index
+//	arc 2 1 cap3
+//
+// Labels resolve through the caller-supplied resolver (typically the
+// algebra's function set by name), falling back to integer indices.
+
+// ParseTopology reads the format above. resolve maps a label token to a
+// function index; it may be nil, in which case only integer labels are
+// accepted.
+func ParseTopology(rd io.Reader, resolve func(label string) (int, bool)) (*Graph, error) {
+	sc := bufio.NewScanner(rd)
+	n := -1
+	var arcs []Arc
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "nodes":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topology line %d: nodes wants one argument", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("topology line %d: bad node count %q", lineNo, fields[1])
+			}
+			if n >= 0 {
+				return nil, fmt.Errorf("topology line %d: duplicate nodes directive", lineNo)
+			}
+			n = v
+		case "arc":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topology line %d: arc wants 'arc from to label'", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("topology line %d: bad endpoints", lineNo)
+			}
+			label, err := resolveLabel(fields[3], resolve)
+			if err != nil {
+				return nil, fmt.Errorf("topology line %d: %v", lineNo, err)
+			}
+			arcs = append(arcs, Arc{From: from, To: to, Label: label})
+		default:
+			return nil, fmt.Errorf("topology line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("topology: missing nodes directive")
+	}
+	return New(n, arcs)
+}
+
+func resolveLabel(tok string, resolve func(string) (int, bool)) (int, error) {
+	if resolve != nil {
+		if idx, ok := resolve(tok); ok {
+			return idx, nil
+		}
+	}
+	idx, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("unknown label %q", tok)
+	}
+	return idx, nil
+}
+
+// WriteTopology renders g in the topology file format. labelName maps a
+// function index to its display name; nil writes integer indices.
+func (g *Graph) WriteTopology(w io.Writer, labelName func(int) string) error {
+	if _, err := fmt.Fprintf(w, "nodes %d\n", g.N); err != nil {
+		return err
+	}
+	for _, a := range g.Arcs {
+		label := strconv.Itoa(a.Label)
+		if labelName != nil {
+			label = labelName(a.Label)
+		}
+		if _, err := fmt.Fprintf(w, "arc %d %d %s\n", a.From, a.To, label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyBasic(t *testing.T) {
+	src := `
+# a small line network
+nodes 3
+arc 1 0 +1   # primary
+arc 2 1 +1
+arc 2 0 +4
+`
+	names := map[string]int{"+1": 0, "+4": 3}
+	g, err := ParseTopology(strings.NewReader(src), func(l string) (int, bool) {
+		i, ok := names[l]
+		return i, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || len(g.Arcs) != 3 {
+		t.Fatalf("parsed %v", g)
+	}
+	if g.Arcs[2].Label != 3 {
+		t.Fatalf("label resolution wrong: %v", g.Arcs[2])
+	}
+}
+
+func TestParseTopologyIntegerLabels(t *testing.T) {
+	g, err := ParseTopology(strings.NewReader("nodes 2\narc 1 0 7\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Arcs[0].Label != 7 {
+		t.Fatalf("label = %d", g.Arcs[0].Label)
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"arc 0 1 0\n", "missing nodes"},
+		{"nodes 2\nnodes 3\n", "duplicate nodes"},
+		{"nodes x\n", "bad node count"},
+		{"nodes\n", "nodes wants"},
+		{"nodes 0\n", "bad node count"},
+		{"nodes 2\narc 1 0\n", "arc wants"},
+		{"nodes 2\narc a b 0\n", "bad endpoints"},
+		{"nodes 2\narc 1 0 nope\n", "unknown label"},
+		{"nodes 2\nfoo\n", "unknown directive"},
+		{"nodes 2\narc 1 5 0\n", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := ParseTopology(strings.NewReader(c.src), nil)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	g := MustNew(3, []Arc{{From: 1, To: 0, Label: 0}, {From: 2, To: 1, Label: 1}})
+	var b strings.Builder
+	names := []string{"fast", "slow"}
+	if err := g.WriteTopology(&b, func(i int) string { return names[i] }); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTopology(strings.NewReader(b.String()), func(l string) (int, bool) {
+		for i, n := range names {
+			if n == l {
+				return i, true
+			}
+		}
+		return 0, false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || len(back.Arcs) != len(g.Arcs) {
+		t.Fatalf("round trip shape: %v", back)
+	}
+	for i := range g.Arcs {
+		if back.Arcs[i] != g.Arcs[i] {
+			t.Fatalf("arc %d: %v vs %v", i, back.Arcs[i], g.Arcs[i])
+		}
+	}
+}
+
+func TestTopologyRoundTripIntegerLabels(t *testing.T) {
+	g := MustNew(2, []Arc{{From: 1, To: 0, Label: 9}})
+	var b strings.Builder
+	if err := g.WriteTopology(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTopology(strings.NewReader(b.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Arcs[0].Label != 9 {
+		t.Fatal("integer label round trip broken")
+	}
+}

@@ -1,0 +1,269 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metarouting/internal/prop"
+	"metarouting/internal/value"
+)
+
+func leqInt(a, b value.V) bool { return a.(int) <= b.(int) }
+
+func TestDerivedRelations(t *testing.T) {
+	p := New("≤", value.Ints(0, 5), leqInt)
+	if !p.Lt(1, 2) || p.Lt(2, 2) || p.Lt(3, 2) {
+		t.Fatal("Lt wrong on a total order")
+	}
+	if !p.Equiv(2, 2) || p.Equiv(1, 2) {
+		t.Fatal("Equiv wrong on a total order")
+	}
+	if p.Incomp(1, 2) {
+		t.Fatal("total order has no incomparable pairs")
+	}
+}
+
+func TestDiscreteOrder(t *testing.T) {
+	p := Discrete(value.Ints(0, 3))
+	if !p.Equiv(1, 1) || p.Leq(1, 2) {
+		t.Fatal("discrete order relates only equal elements")
+	}
+	if !p.Incomp(1, 2) {
+		t.Fatal("distinct elements must be incomparable")
+	}
+	r := rand.New(rand.NewSource(1))
+	if st, _ := p.CheckFull(r, 0); st != prop.False {
+		t.Fatal("discrete order on ≥2 elements is not full")
+	}
+	if st, _ := p.CheckAntisymmetric(r, 0); st != prop.True {
+		t.Fatal("discrete order is antisymmetric")
+	}
+}
+
+func TestChaoticOrder(t *testing.T) {
+	p := Chaotic(value.Ints(0, 3))
+	if !p.Equiv(0, 3) {
+		t.Fatal("chaotic order makes everything equivalent")
+	}
+	r := rand.New(rand.NewSource(1))
+	if st, _ := p.CheckFull(r, 0); st != prop.True {
+		t.Fatal("chaotic order is full")
+	}
+	if st, _ := p.CheckAntisymmetric(r, 0); st != prop.False {
+		t.Fatal("chaotic order on ≥2 elements is not antisymmetric")
+	}
+}
+
+func TestTopBotDiscovery(t *testing.T) {
+	p := New("≤", value.Ints(0, 4), leqInt)
+	top, ok := p.Top()
+	if !ok || top != 4 {
+		t.Fatalf("Top = %v, %v", top, ok)
+	}
+	bot, ok := p.Bot()
+	if !ok || bot != 0 {
+		t.Fatalf("Bot = %v, %v", bot, ok)
+	}
+	d := Discrete(value.Ints(0, 3))
+	if _, ok := d.Top(); ok {
+		t.Fatal("discrete order must have no top")
+	}
+}
+
+func TestIsTopRespectsEquivalence(t *testing.T) {
+	// Order with two equivalent maximal elements: a ~ b at the top.
+	car := value.Ints(0, 2)
+	p := New("weird", car, func(a, b value.V) bool {
+		// 0 < {1 ~ 2}
+		x, y := a.(int), b.(int)
+		if x == 0 {
+			return true
+		}
+		return y != 0
+	})
+	if _, ok := p.Top(); !ok {
+		t.Fatal("expected a top")
+	}
+	if !p.IsTop(1) || !p.IsTop(2) {
+		t.Fatal("both members of the top class must be recognized")
+	}
+	if p.IsTop(0) {
+		t.Fatal("0 is not top")
+	}
+}
+
+func TestLexOrderDefinition(t *testing.T) {
+	s := New("≤", value.Ints(0, 2), leqInt)
+	u := Lex(s, Dual(New("≤", value.Ints(0, 2), leqInt)))
+	// (0, x) < (1, y) regardless of second components.
+	if !u.Lt(value.Pair{A: 0, B: 0}, value.Pair{A: 1, B: 2}) {
+		t.Fatal("first component must dominate")
+	}
+	// Equal first components defer to the second (dual order: bigger preferred).
+	if !u.Lt(value.Pair{A: 1, B: 2}, value.Pair{A: 1, B: 0}) {
+		t.Fatal("tie must defer to second component under its own order")
+	}
+	if !u.Equiv(value.Pair{A: 1, B: 1}, value.Pair{A: 1, B: 1}) {
+		t.Fatal("reflexivity of lex")
+	}
+}
+
+func TestLexUsesEquivalenceNotEquality(t *testing.T) {
+	// First factor: chaotic on {0,1} — 0 ~ 1 though 0 ≠ 1. The lex
+	// product must defer to the second factor for every pair, per §II's
+	// "note the use of ~ rather than = on the right hand side".
+	s := Chaotic(value.Ints(0, 1))
+	u := Lex(s, New("≤", value.Ints(0, 3), leqInt))
+	if !u.Lt(value.Pair{A: 0, B: 1}, value.Pair{A: 1, B: 2}) {
+		t.Fatal("equivalent (not equal) first components must defer to the second factor")
+	}
+}
+
+func TestLexPreservesPreorderLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	s := New("≤", value.Ints(0, 2), leqInt)
+	d := Discrete(value.Ints(0, 1))
+	u := Lex(s, d)
+	u.CheckAll(r, 0)
+	if !u.Props.Holds(prop.Reflexive) {
+		t.Fatal("lex of preorders must be reflexive")
+	}
+	if !u.Props.Holds(prop.Transitive) {
+		t.Fatal("lex of preorders must be transitive")
+	}
+	// Fullness fails because the second factor is not full.
+	if !u.Props.Fails(prop.Full) {
+		t.Fatal("lex with a non-full factor is not full")
+	}
+}
+
+func TestLexTopBot(t *testing.T) {
+	s := New("≤", value.Ints(0, 2), leqInt)
+	u := Lex(s, New("≤", value.Ints(0, 1), leqInt))
+	top, ok := u.Top()
+	if !ok || top != (value.Pair{A: 2, B: 1}) {
+		t.Fatalf("lex top = %v, %v", top, ok)
+	}
+	bot, ok := u.Bot()
+	if !ok || bot != (value.Pair{A: 0, B: 0}) {
+		t.Fatalf("lex bot = %v, %v", bot, ok)
+	}
+}
+
+func TestPointwiseOrder(t *testing.T) {
+	s := New("≤", value.Ints(0, 2), leqInt)
+	u := Pointwise(s, s)
+	if !u.Leq(value.Pair{A: 0, B: 1}, value.Pair{A: 1, B: 2}) {
+		t.Fatal("componentwise ≤ must hold")
+	}
+	if !u.Incomp(value.Pair{A: 0, B: 2}, value.Pair{A: 1, B: 0}) {
+		t.Fatal("crossing pairs must be incomparable")
+	}
+}
+
+func TestDualSwapsTopBot(t *testing.T) {
+	s := New("≤", value.Ints(0, 3), leqInt)
+	_, _ = s.Top()
+	_, _ = s.Bot()
+	d := Dual(s)
+	top, ok := d.Top()
+	if !ok || top != 0 {
+		t.Fatalf("dual top = %v, %v", top, ok)
+	}
+	if !d.Lt(3, 1) {
+		t.Fatal("dual must reverse strictness")
+	}
+}
+
+func TestMinSet(t *testing.T) {
+	s := New("≤", value.Ints(0, 9), leqInt)
+	got := s.MinSet([]value.V{5, 3, 7, 3})
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("MinSet = %v", got)
+	}
+	d := Discrete(value.Ints(0, 9))
+	got = d.MinSet([]value.V{5, 3, 7, 3})
+	if len(got) != 3 {
+		t.Fatalf("discrete MinSet must keep all distinct elements: %v", got)
+	}
+	if len(s.MinSet(nil)) != 0 {
+		t.Fatal("MinSet(∅) must be empty")
+	}
+}
+
+func TestMinSetAntichainProperty(t *testing.T) {
+	// Property: the result of MinSet never contains a strictly dominated
+	// element, and is a subset of the input.
+	car := value.Ints(0, 7)
+	p := New("div", car, func(a, b value.V) bool {
+		x, y := a.(int), b.(int)
+		if x == 0 || y == 0 {
+			return x == y
+		}
+		return y%x == 0 // divisibility order on 1..7
+	})
+	f := func(raw []uint8) bool {
+		in := make([]value.V, 0, len(raw))
+		for _, r := range raw {
+			in = append(in, int(r%8))
+		}
+		out := p.MinSet(in)
+		for _, x := range out {
+			found := false
+			for _, y := range in {
+				if x == y {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+			for _, y := range out {
+				if p.Lt(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckTransitiveCatchesViolation(t *testing.T) {
+	// A deliberately broken relation: 0≲1, 1≲2, but not 0≲2.
+	car := value.Ints(0, 2)
+	p := New("broken", car, func(a, b value.V) bool {
+		x, y := a.(int), b.(int)
+		return x == y || (x == 0 && y == 1) || (x == 1 && y == 2)
+	})
+	st, w := p.CheckTransitive(nil, 0)
+	if st != prop.False || w == "" {
+		t.Fatalf("expected False with witness, got %v %q", st, w)
+	}
+}
+
+func TestSampledChecksOnInfiniteCarrier(t *testing.T) {
+	car := value.NewSampled("ℕ", func(r *rand.Rand) value.V { return r.Intn(100) })
+	p := New("≤", car, leqInt)
+	r := rand.New(rand.NewSource(5))
+	if st, _ := p.CheckReflexive(r, 200); st != prop.Unknown {
+		t.Fatal("sampling a true property must return Unknown, not True")
+	}
+	broken := New("¬refl", car, func(a, b value.V) bool { return false })
+	if st, _ := broken.CheckReflexive(r, 200); st != prop.False {
+		t.Fatal("sampling must find reflexivity violations")
+	}
+}
+
+func TestCheckAllPopulates(t *testing.T) {
+	p := New("≤", value.Ints(0, 3), leqInt)
+	p.CheckAll(rand.New(rand.NewSource(1)), 0)
+	for _, id := range []prop.ID{prop.Reflexive, prop.Transitive, prop.Antisymmetric, prop.Full} {
+		if !p.Props.Holds(id) {
+			t.Fatalf("expected %s to hold for a total order", id)
+		}
+	}
+}

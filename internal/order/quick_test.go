@@ -1,0 +1,160 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metarouting/internal/value"
+)
+
+// quickOrder derives a deterministic small preorder from a seed, cycling
+// through the main families.
+func quickOrder(seed int64, n int) *Preorder {
+	r := rand.New(rand.NewSource(seed))
+	car := value.Ints(0, n-1)
+	switch r.Intn(4) {
+	case 0:
+		return IntLeq("≤", car)
+	case 1:
+		return Discrete(car)
+	case 2:
+		return Chaotic(car)
+	default:
+		rank := make([]int, n)
+		for i := range rank {
+			rank[i] = r.Intn(3)
+		}
+		return New("layer", car, func(a, b value.V) bool {
+			x, y := a.(int), b.(int)
+			return x == y || rank[x] < rank[y]
+		})
+	}
+}
+
+// Property: <, ~ and # partition every pair (exactly one of a<b, b<a,
+// a~b, a#b holds).
+func TestQuickTrichotomyPartition(t *testing.T) {
+	f := func(seed int64, ai, bi uint8) bool {
+		p := quickOrder(seed, 5)
+		a, b := int(ai%5), int(bi%5)
+		count := 0
+		if p.Lt(a, b) {
+			count++
+		}
+		if p.Lt(b, a) {
+			count++
+		}
+		if p.Equiv(a, b) {
+			count++
+		}
+		if p.Incomp(a, b) {
+			count++
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the lexicographic product of preorders is a preorder
+// (reflexive and transitive) for every pair of generated factors.
+func TestQuickLexIsPreorder(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		p := Lex(quickOrder(s1, 3), quickOrder(s2, 3))
+		st1, _ := p.CheckReflexive(nil, 0)
+		st2, _ := p.CheckTransitive(nil, 0)
+		return st1.String() == "true" && st2.String() == "true"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dual is an involution: Dual(Dual(p)) has the same relation.
+func TestQuickDualInvolution(t *testing.T) {
+	f := func(seed int64, ai, bi uint8) bool {
+		p := quickOrder(seed, 5)
+		d := Dual(Dual(p))
+		a, b := int(ai%5), int(bi%5)
+		return p.Leq(a, b) == d.Leq(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MinSet is idempotent: MinSet(MinSet(A)) = MinSet(A) as sets.
+func TestQuickMinSetIdempotent(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		p := quickOrder(seed, 6)
+		in := make([]value.V, 0, len(raw))
+		for _, x := range raw {
+			in = append(in, int(x%6))
+		}
+		once := p.MinSet(in)
+		twice := p.MinSet(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every element of the input is dominated-or-equal by some
+// element of MinSet(input) when the order is total (completeness of
+// summarization).
+func TestQuickMinSetCoversTotalOrders(t *testing.T) {
+	f := func(raw []uint8) bool {
+		p := IntLeq("≤", value.Ints(0, 7))
+		in := make([]value.V, 0, len(raw))
+		for _, x := range raw {
+			in = append(in, int(x%8))
+		}
+		min := p.MinSet(in)
+		if len(in) == 0 {
+			return len(min) == 0
+		}
+		for _, x := range in {
+			covered := false
+			for _, m := range min {
+				if p.Leq(m, x) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lex strictness decomposes: (a1,a2) < (b1,b2) iff a1 < b1 or
+// (a1 ~ b1 and a2 < b2).
+func TestQuickLexStrictDecomposition(t *testing.T) {
+	f := func(s1, s2 int64, a1, a2, b1, b2 uint8) bool {
+		p1, p2 := quickOrder(s1, 4), quickOrder(s2, 4)
+		l := Lex(p1, p2)
+		x := value.Pair{A: int(a1 % 4), B: int(a2 % 4)}
+		y := value.Pair{A: int(b1 % 4), B: int(b2 % 4)}
+		want := p1.Lt(x.A, y.A) || (p1.Equiv(x.A, y.A) && p2.Lt(x.B, y.B))
+		return l.Lt(x, y) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}

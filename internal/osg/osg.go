@@ -1,0 +1,243 @@
+// Package osg implements order semigroups (S, ≲, ⊗) — the upper-right
+// quadrant of the quadrants model: ordered weight summarization with
+// algebraic weight computation. Ordered semigroups in the classical sense
+// (Birkhoff, Fuchs, Saitô) are the subclass whose ⊗ is monotone; in
+// keeping with the paper, monotonicity is inferred rather than required.
+package osg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/order"
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+// OrderSemigroup is a structure (S, ≲, ⊗). Ord and Mul share a carrier.
+type OrderSemigroup struct {
+	// Name is a diagnostic label, e.g. "(ℕ,≤,+)".
+	Name string
+	// Ord is the preorder used for weight summarization.
+	Ord *order.Preorder
+	// Mul is the semigroup used for weight computation along paths.
+	Mul *sg.Semigroup
+	// Props caches property judgements (left and right flavours).
+	Props prop.Set
+}
+
+// New builds an order semigroup; ord and mul must share their carrier
+// (checked extensionally for finite carriers, trusted for infinite ones).
+func New(name string, ord *order.Preorder, mul *sg.Semigroup) *OrderSemigroup {
+	if !value.Same(ord.Car, mul.Car) {
+		panic("osg: order and semigroup carriers differ: " + ord.Car.Name + " vs " + mul.Car.Name)
+	}
+	return &OrderSemigroup{Name: name, Ord: ord, Mul: mul, Props: prop.Make()}
+}
+
+// Carrier returns the weight carrier.
+func (s *OrderSemigroup) Carrier() *value.Carrier { return s.Ord.Car }
+
+// Finite reports whether exhaustive property checking is possible.
+func (s *OrderSemigroup) Finite() bool { return s.Ord.Car.Finite() }
+
+// Lex returns the lexicographic product S ×lex T (§IV): lexicographic
+// order on pairs with componentwise ⊗.
+func Lex(s, t *OrderSemigroup) *OrderSemigroup {
+	return New("("+s.Name+" ×lex "+t.Name+")", order.Lex(s.Ord, t.Ord), sg.Direct(s.Mul, t.Mul))
+}
+
+// forAll enumerates n-tuples (finite) or samples them (infinite).
+func (s *OrderSemigroup) forAll(r *rand.Rand, samples, n int,
+	pred func(xs []value.V) (bool, string)) (prop.Status, string) {
+	if s.Finite() {
+		xs := make([]value.V, n)
+		var rec func(i int) (prop.Status, string)
+		rec = func(i int) (prop.Status, string) {
+			if i == n {
+				if ok, w := pred(xs); !ok {
+					return prop.False, w
+				}
+				return prop.True, ""
+			}
+			for _, e := range s.Ord.Car.Elems {
+				xs[i] = e
+				if st, w := rec(i + 1); st == prop.False {
+					return st, w
+				}
+			}
+			return prop.True, ""
+		}
+		return rec(0)
+	}
+	if r == nil {
+		return prop.Unknown, ""
+	}
+	xs := make([]value.V, n)
+	for i := 0; i < samples; i++ {
+		for j := range xs {
+			xs[j] = s.Ord.Car.Draw(r)
+		}
+		if ok, w := pred(xs); !ok {
+			return prop.False, w
+		}
+	}
+	return prop.Unknown, ""
+}
+
+// CheckM verifies monotonicity (Fig 2):
+// left:  a ≲ b ⇒ c⊗a ≲ c⊗b;  right: a ≲ b ⇒ a⊗c ≲ b⊗c.
+func (s *OrderSemigroup) CheckM(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	side := "c⊗·"
+	if !left {
+		side = "·⊗c"
+	}
+	return s.forAll(r, samples, 3, func(xs []value.V) (bool, string) {
+		a, b, c := xs[0], xs[1], xs[2]
+		if !s.Ord.Leq(a, b) {
+			return true, ""
+		}
+		var x, y value.V
+		if left {
+			x, y = s.Mul.Op(c, a), s.Mul.Op(c, b)
+		} else {
+			x, y = s.Mul.Op(a, c), s.Mul.Op(b, c)
+		}
+		if !s.Ord.Leq(x, y) {
+			return false, fmt.Sprintf("a=%s b=%s c=%s (%s): a ≲ b but products not ≲",
+				value.Format(a), value.Format(b), value.Format(c), side)
+		}
+		return true, ""
+	})
+}
+
+// CheckN verifies the cancellative property (Fig 2):
+// left:  c⊗a ~ c⊗b ⇒ a ~ b ∨ a # b.
+func (s *OrderSemigroup) CheckN(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 3, func(xs []value.V) (bool, string) {
+		a, b, c := xs[0], xs[1], xs[2]
+		var x, y value.V
+		if left {
+			x, y = s.Mul.Op(c, a), s.Mul.Op(c, b)
+		} else {
+			x, y = s.Mul.Op(a, c), s.Mul.Op(b, c)
+		}
+		if s.Ord.Equiv(x, y) && !(s.Ord.Equiv(a, b) || s.Ord.Incomp(a, b)) {
+			return false, fmt.Sprintf("a=%s b=%s c=%s: products ~ but a, b strictly ordered",
+				value.Format(a), value.Format(b), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// CheckC verifies the condensed property (Fig 2): left: c⊗a ~ c⊗b always.
+func (s *OrderSemigroup) CheckC(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 3, func(xs []value.V) (bool, string) {
+		a, b, c := xs[0], xs[1], xs[2]
+		var x, y value.V
+		if left {
+			x, y = s.Mul.Op(c, a), s.Mul.Op(c, b)
+		} else {
+			x, y = s.Mul.Op(a, c), s.Mul.Op(b, c)
+		}
+		if !s.Ord.Equiv(x, y) {
+			return false, fmt.Sprintf("a=%s b=%s c=%s: products not ~",
+				value.Format(a), value.Format(b), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// CheckND verifies nondecreasing (Fig 3): left: a ≲ c⊗a.
+func (s *OrderSemigroup) CheckND(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 2, func(xs []value.V) (bool, string) {
+		a, c := xs[0], xs[1]
+		var x value.V
+		if left {
+			x = s.Mul.Op(c, a)
+		} else {
+			x = s.Mul.Op(a, c)
+		}
+		if !s.Ord.Leq(a, x) {
+			return false, fmt.Sprintf("a=%s c=%s: ¬(a ≲ c⊗a)", value.Format(a), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// CheckI verifies increasing (Fig 3): left: a ≠ ⊤ ⇒ a < c⊗a.
+func (s *OrderSemigroup) CheckI(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 2, func(xs []value.V) (bool, string) {
+		a, c := xs[0], xs[1]
+		if s.Ord.IsTop(a) {
+			return true, ""
+		}
+		var x value.V
+		if left {
+			x = s.Mul.Op(c, a)
+		} else {
+			x = s.Mul.Op(a, c)
+		}
+		if !s.Ord.Lt(a, x) {
+			return false, fmt.Sprintf("a=%s c=%s: a ≠ ⊤ but ¬(a < c⊗a)", value.Format(a), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// CheckSI verifies strictly increasing everywhere (no ⊤ exemption):
+// left: a < c⊗a for every a and c. See prop.SILeft for why this
+// strengthening of I is what the exact lexicographic rules need.
+func (s *OrderSemigroup) CheckSI(left bool, r *rand.Rand, samples int) (prop.Status, string) {
+	return s.forAll(r, samples, 2, func(xs []value.V) (bool, string) {
+		a, c := xs[0], xs[1]
+		var x value.V
+		if left {
+			x = s.Mul.Op(c, a)
+		} else {
+			x = s.Mul.Op(a, c)
+		}
+		if !s.Ord.Lt(a, x) {
+			return false, fmt.Sprintf("a=%s c=%s: ¬(a < c⊗a)", value.Format(a), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// sided maps a (base property, left?) pair to the left/right prop ID.
+func sided(left bool, l, r prop.ID) prop.ID {
+	if left {
+		return l
+	}
+	return r
+}
+
+// CheckAll populates Props with left and right judgements for M, N, C, ND
+// and I.
+func (s *OrderSemigroup) CheckAll(r *rand.Rand, samples int) {
+	record := func(id prop.ID, st prop.Status, w string) {
+		if cur := s.Props.Get(id); cur.Status != prop.Unknown && st == prop.Unknown {
+			return
+		}
+		rule := "model-check"
+		if st == prop.Unknown {
+			rule = "sampled"
+		}
+		s.Props.Put(id, prop.Judgement{Status: st, Rule: rule, Witness: w})
+	}
+	for _, left := range []bool{true, false} {
+		st, w := s.CheckM(left, r, samples)
+		record(sided(left, prop.MLeft, prop.MRight), st, w)
+		st, w = s.CheckN(left, r, samples)
+		record(sided(left, prop.NLeft, prop.NRight), st, w)
+		st, w = s.CheckC(left, r, samples)
+		record(sided(left, prop.CLeft, prop.CRight), st, w)
+		st, w = s.CheckND(left, r, samples)
+		record(sided(left, prop.NDLeft, prop.NDRight), st, w)
+		st, w = s.CheckI(left, r, samples)
+		record(sided(left, prop.ILeft, prop.IRight), st, w)
+		st, w = s.CheckSI(left, r, samples)
+		record(sided(left, prop.SILeft, prop.SIRight), st, w)
+	}
+}

@@ -1,0 +1,308 @@
+package osg
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/gen"
+	"metarouting/internal/order"
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+func shortest(cap int) *OrderSemigroup {
+	plus := sg.New("+sat", value.Ints(0, cap), func(a, b value.V) value.V {
+		s := a.(int) + b.(int)
+		if s > cap {
+			s = cap
+		}
+		return s
+	})
+	o := order.IntLeq("≤", value.Ints(0, cap))
+	o.WithTop(cap)
+	return New("(ℕ,≤,+)", o, plus)
+}
+
+func widest(cap int) *OrderSemigroup {
+	min := sg.New("min", value.Ints(0, cap), func(a, b value.V) value.V {
+		if a.(int) < b.(int) {
+			return a
+		}
+		return b
+	})
+	o := order.New("≥", value.Ints(0, cap), func(a, b value.V) bool { return a.(int) >= b.(int) })
+	o.WithTop(0)
+	return New("(ℕ,≥,min)", o, min)
+}
+
+func TestShortestPathProperties(t *testing.T) {
+	s := shortest(5)
+	s.CheckAll(nil, 0)
+	if !s.Props.Holds(prop.MLeft) || !s.Props.Holds(prop.MRight) {
+		t.Fatal("(ℕ,≤,+) is monotone on both sides")
+	}
+	if !s.Props.Holds(prop.NDLeft) {
+		t.Fatal("(ℕ,≤,+) is nondecreasing")
+	}
+	if !s.Props.Fails(prop.ILeft) {
+		t.Fatal("c may be 0, so not increasing")
+	}
+}
+
+func TestWidestPathProperties(t *testing.T) {
+	w := widest(5)
+	w.CheckAll(nil, 0)
+	if !w.Props.Holds(prop.MLeft) {
+		t.Fatal("(ℕ,≥,min) is monotone")
+	}
+	if !w.Props.Fails(prop.NLeft) {
+		t.Fatal("(ℕ,≥,min) is not cancellative")
+	}
+}
+
+// TestSobrinhoExample validates §III's example on saturating carriers:
+// ¬M((ℕ,≥,min) ×lex (ℕ,≤,+)) with a concrete counterexample, and M of
+// the reverse composition when the first factor is cancellative — here
+// the bounded (ℕ,≤,+sat) loses N at the ceiling, so the product fails M
+// as well, with exactly the ceiling as the witness. (The unbounded
+// direction is covered by the inference-engine tests.)
+func TestSobrinhoExample(t *testing.T) {
+	bad := Lex(widest(4), shortest(4))
+	st, w := bad.CheckM(true, nil, 0)
+	if st != prop.False || w == "" {
+		t.Fatalf("bandwidth-first lex must fail M with witness, got %v %q", st, w)
+	}
+}
+
+// statusOf computes one side of a Theorem 4/5 equation on a structure.
+func leftProps(s *OrderSemigroup) map[prop.ID]prop.Status {
+	out := map[prop.ID]prop.Status{}
+	st, _ := s.CheckM(true, nil, 0)
+	out[prop.MLeft] = st
+	st, _ = s.CheckN(true, nil, 0)
+	out[prop.NLeft] = st
+	st, _ = s.CheckC(true, nil, 0)
+	out[prop.CLeft] = st
+	st, _ = s.CheckND(true, nil, 0)
+	out[prop.NDLeft] = st
+	st, _ = s.CheckI(true, nil, 0)
+	out[prop.ILeft] = st
+	st, _ = s.CheckSI(true, nil, 0)
+	out[prop.SILeft] = st
+	return out
+}
+
+// TestTheorem4RandomValidation machine-checks
+// M(S×T) ⟺ M(S)∧M(T)∧(N(S)∨C(T)) over hundreds of random order
+// semigroups, comparing exhaustive model checks of both sides.
+func TestTheorem4RandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 250; trial++ {
+		ns, nt := 2+r.Intn(3), 2+r.Intn(3)
+		s := New("S", gen.Preorder(r, ns), gen.AssocOp(r, ns))
+		u := New("T", gen.Preorder(r, nt), gen.AssocOp(r, nt))
+		ps, pt := leftProps(s), leftProps(u)
+		lhs, _ := Lex(s, u).CheckM(true, nil, 0)
+		rhs := prop.And(prop.And(ps[prop.MLeft], pt[prop.MLeft]),
+			prop.Or(ps[prop.NLeft], pt[prop.CLeft]))
+		if lhs != rhs {
+			t.Fatalf("trial %d: M(S×T)=%v but M∧M∧(N∨C)=%v\nS: M=%v N=%v C=%v (%s,%s)\nT: M=%v C=%v (%s,%s)",
+				trial, lhs, rhs,
+				ps[prop.MLeft], ps[prop.NLeft], ps[prop.CLeft], s.Ord.Name, s.Mul.Name,
+				pt[prop.MLeft], pt[prop.CLeft], u.Ord.Name, u.Mul.Name)
+		}
+	}
+}
+
+// TestTheorem5RandomValidation machine-checks the local-optima rules in
+// their SI-exact form:
+//
+//	ND(S×T) ⟺ SI(S) ∨ (ND(S)∧ND(T))
+//	SI(S×T) ⟺ SI(S) ∨ (ND(S)∧SI(T))
+//
+// and the I rule under its top-case split, over random order semigroups.
+func TestTheorem5RandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 250; trial++ {
+		ns, nt := 2+r.Intn(3), 2+r.Intn(3)
+		s := New("S", gen.Preorder(r, ns), gen.AssocOp(r, ns))
+		u := New("T", gen.Preorder(r, nt), gen.AssocOp(r, nt))
+		ps, pt := leftProps(s), leftProps(u)
+		prod := Lex(s, u)
+
+		ndLHS, _ := prod.CheckND(true, nil, 0)
+		ndRHS := prop.Or(ps[prop.SILeft], prop.And(ps[prop.NDLeft], pt[prop.NDLeft]))
+		if ndLHS != ndRHS {
+			t.Fatalf("trial %d: ND(S×T)=%v but SI(S)∨(ND∧ND)=%v", trial, ndLHS, ndRHS)
+		}
+
+		siLHS, _ := prod.CheckSI(true, nil, 0)
+		siRHS := prop.Or(ps[prop.SILeft], prop.And(ps[prop.NDLeft], pt[prop.SILeft]))
+		if siLHS != siRHS {
+			t.Fatalf("trial %d: SI(S×T)=%v but SI(S)∨(ND∧SI)=%v", trial, siLHS, siRHS)
+		}
+
+		iLHS, _ := prod.CheckI(true, nil, 0)
+		_, hs := s.Ord.Top()
+		_, ht := u.Ord.Top()
+		var iRHS prop.Status
+		if hs && ht {
+			ts, _ := s.topPreserved()
+			iRHS = prop.And(ps[prop.ILeft], prop.And(ts, pt[prop.ILeft]))
+		} else {
+			iRHS = siLHS
+		}
+		if iLHS != iRHS {
+			t.Fatalf("trial %d: I(S×T)=%v but rule says %v (tops %v %v)", trial, iLHS, iRHS, hs, ht)
+		}
+	}
+}
+
+// topPreserved checks the ~-version of the T property for the ⊗ action:
+// c ⊗ ⊤ ~ ⊤ for every c.
+func (s *OrderSemigroup) topPreserved() (prop.Status, string) {
+	top, ok := s.Ord.Top()
+	if !ok {
+		return prop.False, "no ⊤"
+	}
+	for _, c := range s.Ord.Car.Elems {
+		if !s.Ord.Equiv(s.Mul.Op(c, top), top) {
+			return prop.False, "c⊗⊤ ≁ ⊤"
+		}
+	}
+	return prop.True, ""
+}
+
+// TestCorollary1TwoSided: S×T is left- and right-monotone iff both
+// operands are and one of the four N/C side-condition combinations holds.
+func TestCorollary1TwoSided(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 150; trial++ {
+		ns, nt := 2+r.Intn(3), 2+r.Intn(3)
+		s := New("S", gen.Preorder(r, ns), gen.AssocOp(r, ns))
+		u := New("T", gen.Preorder(r, nt), gen.AssocOp(r, nt))
+		prod := Lex(s, u)
+		lhsL, _ := prod.CheckM(true, nil, 0)
+		lhsR, _ := prod.CheckM(false, nil, 0)
+		lhs := prop.And(lhsL, lhsR)
+
+		get := func(x *OrderSemigroup, left bool, f func(bool, *rand.Rand, int) (prop.Status, string)) prop.Status {
+			st, _ := f(left, nil, 0)
+			return st
+		}
+		mS := prop.And(get(s, true, s.CheckM), get(s, false, s.CheckM))
+		mT := prop.And(get(u, true, u.CheckM), get(u, false, u.CheckM))
+		nSL, nSR := get(s, true, s.CheckN), get(s, false, s.CheckN)
+		cTL, cTR := get(u, true, u.CheckC), get(u, false, u.CheckC)
+		side := prop.Or(prop.Or(prop.And(nSL, nSR), prop.And(nSL, cTR)),
+			prop.Or(prop.And(nSR, cTL), prop.And(cTL, cTR)))
+		rhs := prop.And(prop.And(mS, mT), side)
+		if lhs != rhs {
+			t.Fatalf("trial %d: two-sided M(S×T)=%v but Corollary 1 RHS=%v", trial, lhs, rhs)
+		}
+	}
+}
+
+func TestLexCarrierIsProduct(t *testing.T) {
+	p := Lex(shortest(2), widest(2))
+	if p.Carrier().Size() != 9 {
+		t.Fatalf("carrier size = %d", p.Carrier().Size())
+	}
+	if !p.Finite() {
+		t.Fatal("product of finite structures must be finite")
+	}
+}
+
+func TestCheckAllBothSides(t *testing.T) {
+	s := shortest(4)
+	s.CheckAll(nil, 0)
+	for _, id := range []prop.ID{prop.MLeft, prop.MRight, prop.NDLeft, prop.NDRight} {
+		if s.Props.Status(id) == prop.Unknown {
+			t.Fatalf("%s undecided on a finite structure", id)
+		}
+	}
+}
+
+func TestMismatchedCarriersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	plus := sg.New("+", value.Ints(0, 3), func(a, b value.V) value.V { return a })
+	New("bad", order.IntLeq("≤", value.Ints(0, 5)), plus)
+}
+
+// TestTheorem1SaitoTotalOrders validates Saitô's original statement in
+// its native setting — totally ordered semigroups — where ~ collapses to
+// equality, so the preorder-generalized N and C reduce to the classical
+// cancellative and condensed properties.
+func TestTheorem1SaitoTotalOrders(t *testing.T) {
+	r := rand.New(rand.NewSource(80))
+	trials := 0
+	for trials < 200 {
+		ns, nt := 2+r.Intn(3), 2+r.Intn(3)
+		s := New("S", totalOrder(r, ns), gen.AssocOp(r, ns))
+		u := New("T", totalOrder(r, nt), gen.AssocOp(r, nt))
+		trials++
+		// Classical (equality-based) N and C on total orders.
+		nS := classicalN(s)
+		cT := classicalC(u)
+		// They must coincide with the preorder versions.
+		pN, _ := s.CheckN(true, nil, 0)
+		pC, _ := u.CheckC(true, nil, 0)
+		if nS != pN || cT != pC {
+			t.Fatalf("trial %d: classical/preorder property mismatch: N %v/%v C %v/%v",
+				trials, nS, pN, cT, pC)
+		}
+		lhs, _ := Lex(s, u).CheckM(true, nil, 0)
+		ms, _ := s.CheckM(true, nil, 0)
+		mt, _ := u.CheckM(true, nil, 0)
+		rhs := prop.And(prop.And(ms, mt), prop.Or(nS, cT))
+		if lhs != rhs {
+			t.Fatalf("trial %d: Saitô's theorem fails on total orders: %v vs %v", trials, lhs, rhs)
+		}
+	}
+}
+
+// totalOrder draws a random strict total order (a random permutation's
+// rank order, no ties).
+func totalOrder(r *rand.Rand, n int) *order.Preorder {
+	perm := r.Perm(n)
+	rank := make([]int, n)
+	for i, p := range perm {
+		rank[p] = i
+	}
+	return order.New("total", value.Ints(0, n-1), func(a, b value.V) bool {
+		return rank[a.(int)] <= rank[b.(int)]
+	})
+}
+
+// classicalN: c⊗a = c⊗b ⇒ a = b (equality form).
+func classicalN(s *OrderSemigroup) prop.Status {
+	for _, a := range s.Ord.Car.Elems {
+		for _, b := range s.Ord.Car.Elems {
+			for _, c := range s.Ord.Car.Elems {
+				if s.Mul.Op(c, a) == s.Mul.Op(c, b) && a != b {
+					return prop.False
+				}
+			}
+		}
+	}
+	return prop.True
+}
+
+// classicalC: c⊗a = c⊗b always (equality form).
+func classicalC(s *OrderSemigroup) prop.Status {
+	for _, a := range s.Ord.Car.Elems {
+		for _, b := range s.Ord.Car.Elems {
+			for _, c := range s.Ord.Car.Elems {
+				if s.Mul.Op(c, a) != s.Mul.Op(c, b) {
+					return prop.False
+				}
+			}
+		}
+	}
+	return prop.True
+}

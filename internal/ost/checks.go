@@ -1,0 +1,225 @@
+package ost
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/fn"
+	"metarouting/internal/prop"
+	"metarouting/internal/value"
+)
+
+// DefaultSamples is the number of random probes used per property when a
+// structure is not finitely enumerable.
+const DefaultSamples = 512
+
+// forAll runs pred over (function, element…) tuples: exhaustively when the
+// structure is finite, over samples random tuples otherwise. pred receives
+// one function and n elements.
+func (t *OrderTransform) forAll(r *rand.Rand, samples, n int,
+	pred func(f fn.Fn, xs []value.V) (bool, string)) (prop.Status, string) {
+	if t.Finite() {
+		xs := make([]value.V, n)
+		var rec func(f fn.Fn, i int) (prop.Status, string)
+		rec = func(f fn.Fn, i int) (prop.Status, string) {
+			if i == n {
+				if ok, w := pred(f, xs); !ok {
+					return prop.False, w
+				}
+				return prop.True, ""
+			}
+			for _, e := range t.Ord.Car.Elems {
+				xs[i] = e
+				if st, w := rec(f, i+1); st == prop.False {
+					return st, w
+				}
+			}
+			return prop.True, ""
+		}
+		for _, f := range t.F.Fns {
+			if st, w := rec(f, 0); st == prop.False {
+				return st, w
+			}
+		}
+		return prop.True, ""
+	}
+	if r == nil {
+		return prop.Unknown, ""
+	}
+	xs := make([]value.V, n)
+	for i := 0; i < samples; i++ {
+		f := t.F.Draw(r)
+		for j := range xs {
+			xs[j] = t.Ord.Car.Draw(r)
+		}
+		if ok, w := pred(f, xs); !ok {
+			return prop.False, w
+		}
+	}
+	return prop.Unknown, ""
+}
+
+// CheckM verifies monotonicity (Fig 2, order transforms):
+// a ≲ b ⇒ f(a) ≲ f(b).
+func (t *OrderTransform) CheckM(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 2, func(f fn.Fn, xs []value.V) (bool, string) {
+		a, b := xs[0], xs[1]
+		if t.Ord.Leq(a, b) && !t.Ord.Leq(f.Apply(a), f.Apply(b)) {
+			return false, fmt.Sprintf("f=%s a=%s b=%s: a ≲ b but ¬(f(a) ≲ f(b))",
+				f.Name, value.Format(a), value.Format(b))
+		}
+		return true, ""
+	})
+}
+
+// CheckN verifies the cancellative property (Fig 2, order transforms):
+// f(a) ~ f(b) ⇒ a ~ b ∨ a # b.
+func (t *OrderTransform) CheckN(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 2, func(f fn.Fn, xs []value.V) (bool, string) {
+		a, b := xs[0], xs[1]
+		if t.Ord.Equiv(f.Apply(a), f.Apply(b)) && !(t.Ord.Equiv(a, b) || t.Ord.Incomp(a, b)) {
+			return false, fmt.Sprintf("f=%s a=%s b=%s: f(a) ~ f(b) but a, b strictly ordered",
+				f.Name, value.Format(a), value.Format(b))
+		}
+		return true, ""
+	})
+}
+
+// CheckC verifies the condensed property (Fig 2, order transforms):
+// f(a) ~ f(b) for all a, b.
+func (t *OrderTransform) CheckC(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 2, func(f fn.Fn, xs []value.V) (bool, string) {
+		a, b := xs[0], xs[1]
+		if !t.Ord.Equiv(f.Apply(a), f.Apply(b)) {
+			return false, fmt.Sprintf("f=%s a=%s b=%s: ¬(f(a) ~ f(b))",
+				f.Name, value.Format(a), value.Format(b))
+		}
+		return true, ""
+	})
+}
+
+// CheckND verifies nondecreasing (Fig 3, order transforms): a ≲ f(a).
+func (t *OrderTransform) CheckND(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 1, func(f fn.Fn, xs []value.V) (bool, string) {
+		a := xs[0]
+		if !t.Ord.Leq(a, f.Apply(a)) {
+			return false, fmt.Sprintf("f=%s a=%s: ¬(a ≲ f(a))", f.Name, value.Format(a))
+		}
+		return true, ""
+	})
+}
+
+// CheckI verifies increasing (Fig 3, order transforms):
+// a ≠ ⊤ ⇒ a < f(a). Elements equivalent to ⊤ are exempt.
+func (t *OrderTransform) CheckI(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 1, func(f fn.Fn, xs []value.V) (bool, string) {
+		a := xs[0]
+		if t.Ord.IsTop(a) {
+			return true, ""
+		}
+		if !t.Ord.Lt(a, f.Apply(a)) {
+			return false, fmt.Sprintf("f=%s a=%s: a ≠ ⊤ but ¬(a < f(a))", f.Name, value.Format(a))
+		}
+		return true, ""
+	})
+}
+
+// CheckSI verifies strictly increasing everywhere: a < f(a) for every a,
+// with no ⊤ exemption. SI is the exemption-free strengthening of I that
+// the Theorem 5 lex rules need when the carrier's ⊤ is an ordinary weight
+// (see prop.SILeft). SI ⇒ I, and SI is necessarily false whenever a ⊤
+// exists and F is nonempty.
+func (t *OrderTransform) CheckSI(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 1, func(f fn.Fn, xs []value.V) (bool, string) {
+		a := xs[0]
+		if !t.Ord.Lt(a, f.Apply(a)) {
+			return false, fmt.Sprintf("f=%s a=%s: ¬(a < f(a))", f.Name, value.Format(a))
+		}
+		return true, ""
+	})
+}
+
+// CheckT verifies the T property of §II up to equivalence: f(⊤) ~ ⊤ for
+// every f (the preorder generalization of the paper's f(⊤) = ⊤; they
+// coincide when ⊤ is unique). If the order has no top element the
+// property is false — there is no ⊤ to preserve.
+func (t *OrderTransform) CheckT(r *rand.Rand, samples int) (prop.Status, string) {
+	top, ok := t.Ord.Top()
+	if !ok {
+		if t.Ord.Car.Finite() {
+			return prop.False, "no ⊤ element"
+		}
+		return prop.Unknown, ""
+	}
+	return t.forAll(r, samples, 0, func(f fn.Fn, _ []value.V) (bool, string) {
+		if !t.Ord.Equiv(f.Apply(top), top) {
+			return false, fmt.Sprintf("f=%s: f(⊤) = %s ≁ ⊤", f.Name, value.Format(f.Apply(top)))
+		}
+		return true, ""
+	})
+}
+
+// CheckAll populates Props with judgements for M, N, C, ND, I and T.
+func (t *OrderTransform) CheckAll(r *rand.Rand, samples int) {
+	record := func(id prop.ID, st prop.Status, w string) {
+		if cur := t.Props.Get(id); cur.Status != prop.Unknown && st == prop.Unknown {
+			return
+		}
+		rule := "model-check"
+		if st == prop.Unknown {
+			rule = "sampled"
+		}
+		t.Props.Put(id, prop.Judgement{Status: st, Rule: rule, Witness: w})
+	}
+	st, w := t.CheckM(r, samples)
+	record(prop.MLeft, st, w)
+	st, w = t.CheckN(r, samples)
+	record(prop.NLeft, st, w)
+	st, w = t.CheckC(r, samples)
+	record(prop.CLeft, st, w)
+	st, w = t.CheckND(r, samples)
+	record(prop.NDLeft, st, w)
+	st, w = t.CheckI(r, samples)
+	record(prop.ILeft, st, w)
+	st, w = t.CheckSI(r, samples)
+	record(prop.SILeft, st, w)
+	st, w = t.CheckT(r, samples)
+	record(prop.TopFixed, st, w)
+}
+
+// Check returns the judgement for a single routing property, computing it
+// if absent. Unknown judgements from sampling are recomputed each call.
+func (t *OrderTransform) Check(id prop.ID, r *rand.Rand, samples int) prop.Judgement {
+	if j := t.Props.Get(id); j.Status != prop.Unknown {
+		return j
+	}
+	var st prop.Status
+	var w string
+	switch id {
+	case prop.MLeft:
+		st, w = t.CheckM(r, samples)
+	case prop.NLeft:
+		st, w = t.CheckN(r, samples)
+	case prop.CLeft:
+		st, w = t.CheckC(r, samples)
+	case prop.NDLeft:
+		st, w = t.CheckND(r, samples)
+	case prop.ILeft:
+		st, w = t.CheckI(r, samples)
+	case prop.SILeft:
+		st, w = t.CheckSI(r, samples)
+	case prop.TopFixed:
+		st, w = t.CheckT(r, samples)
+	default:
+		return prop.Judgement{}
+	}
+	rule := "model-check"
+	if st == prop.Unknown {
+		rule = "sampled"
+	}
+	j := prop.Judgement{Status: st, Rule: rule, Witness: w}
+	if st != prop.Unknown {
+		t.Props.Put(id, j)
+	}
+	return j
+}

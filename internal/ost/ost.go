@@ -1,0 +1,197 @@
+// Package ost implements order transforms (S, ≲, F) — the lower-right
+// quadrant of the quadrants model and the structure underlying Sobrinho's
+// routing algebras and the original metarouting language.
+//
+// An order transform pairs a preordered weight set with a set of unary
+// functions; arcs of a network are labelled with functions and the weight
+// of a path is the composition of its arc functions applied to an
+// originated value (§II). The package provides the metarouting operators
+// over order transforms — lexicographic product ×lex, left(·), right(·),
+// disjoint function union +, the BGP-like scoped product ⊙ and the
+// OSPF-like partition Δ — and exhaustive/sampled checking of the M, N, C,
+// ND, I and T properties of Figures 2 and 3.
+package ost
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/fn"
+	"metarouting/internal/order"
+	"metarouting/internal/prop"
+	"metarouting/internal/value"
+)
+
+// OrderTransform is a structure (S, ≲, F).
+type OrderTransform struct {
+	// Name is a diagnostic label.
+	Name string
+	// Ord is the preordered weight set (S, ≲).
+	Ord *order.Preorder
+	// F is the set of arc functions S → S.
+	F *fn.Set
+	// Props caches property judgements (keys from prop.RoutingIDs).
+	Props prop.Set
+}
+
+// New builds an order transform.
+func New(name string, ord *order.Preorder, f *fn.Set) *OrderTransform {
+	return &OrderTransform{Name: name, Ord: ord, F: f, Props: prop.Make()}
+}
+
+// Carrier returns the weight carrier.
+func (t *OrderTransform) Carrier() *value.Carrier { return t.Ord.Car }
+
+// Finite reports whether both the carrier and the function set are
+// enumerable, i.e. whether exhaustive property checking is possible.
+func (t *OrderTransform) Finite() bool { return t.Ord.Car.Finite() && t.F.Finite() }
+
+// Left returns left(S) = (S, ≲, {κ_b | b ∈ S}) (§II): every arc function
+// is a constant, so the last link completely determines the value — the
+// shape of BGP's local-preference attribute.
+func Left(s *OrderTransform) *OrderTransform {
+	return New("left("+s.Name+")", s.Ord, fn.Constants(s.Ord.Car))
+}
+
+// Right returns right(S) = (S, ≲, {id}) (§II): once a value is originated
+// it can only be copied — the shape of BGP's origin attribute.
+func Right(s *OrderTransform) *OrderTransform {
+	return New("right("+s.Name+")", s.Ord, fn.IdentityOnly())
+}
+
+// Lex returns the lexicographic product S ×lex T (§II): the lexicographic
+// order on pairs, with functions {(f,g)} acting componentwise.
+func Lex(s, t *OrderTransform) *OrderTransform {
+	return New("("+s.Name+" ×lex "+t.Name+")", order.Lex(s.Ord, t.Ord), fn.Product(s.F, t.F))
+}
+
+// Union returns the disjoint function union S + T (§II). Both operands
+// must share their carrier and order; the function sets are combined with
+// distinguishing tags whose application ignores the tag.
+func Union(s, t *OrderTransform) *OrderTransform {
+	return New("("+s.Name+" + "+t.Name+")", s.Ord, fn.DisjointUnion(s.F, t.F))
+}
+
+// Scoped returns the BGP-like scoped product (§II):
+//
+//	S ⊙ T := (S ×lex left(T)) + (right(S) ×lex T).
+//
+// Weights are pairs compared lexicographically. Inter-region arcs carry
+// functions (1, (f, κ_c)) that transform the first component and
+// *originate* a fresh second component; intra-region arcs carry
+// (2, (id, g)) that copy the inter-region information and transform the
+// second component.
+func Scoped(s, t *OrderTransform) *OrderTransform {
+	inter := Lex(s, Left(t))
+	intra := Lex(Right(s), t)
+	u := Union(inter, intra)
+	u.Name = "(" + s.Name + " ⊙ " + t.Name + ")"
+	return u
+}
+
+// Delta returns the OSPF-area-like partition (§II):
+//
+//	S Δ T := (S ×lex T) + (right(S) ×lex T).
+//
+// Unlike the scoped product, inter-region arcs transform both components,
+// so Δ behaves like an ordinary lexicographic product in addition to its
+// internal-only mode — which is why Theorem 7 demands more of its
+// operands than Theorem 6 does of ⊙'s.
+func Delta(s, t *OrderTransform) *OrderTransform {
+	inter := Lex(s, t)
+	intra := Lex(Right(s), t)
+	u := Union(inter, intra)
+	u.Name = "(" + s.Name + " Δ " + t.Name + ")"
+	return u
+}
+
+// AddTop adjoins a fresh ⊤ ("unreachable") element: x ≲ ⊤ for every x and
+// every function maps ⊤ to ⊤. AddTop makes the T property of §II hold by
+// construction and gives the I property its exempted element.
+func AddTop(s *OrderTransform) *OrderTransform {
+	top := value.V(value.Top{})
+	car := value.Adjoin(s.Ord.Car, top, s.Ord.Car.Name+"∪{⊤}")
+	ord := order.New(s.Ord.Name+"∪{⊤}", car, func(a, b value.V) bool {
+		if b == top {
+			return true
+		}
+		if a == top {
+			return false
+		}
+		return s.Ord.Leq(a, b)
+	})
+	ord.WithTop(top)
+	if b, ok := s.Ord.Bot(); ok {
+		ord.WithBot(b)
+	}
+	lift := func(f fn.Fn) fn.Fn {
+		return fn.Fn{Name: f.Name, Apply: func(v value.V) value.V {
+			if v == top {
+				return top
+			}
+			return f.Apply(v)
+		}}
+	}
+	var fs *fn.Set
+	if s.F.Finite() {
+		lifted := make([]fn.Fn, len(s.F.Fns))
+		for i, f := range s.F.Fns {
+			lifted[i] = lift(f)
+		}
+		fs = fn.NewFinite(s.F.Name, lifted)
+	} else {
+		fs = fn.NewSampled(s.F.Name, func(r *rand.Rand) fn.Fn { return lift(s.F.Draw(r)) })
+	}
+	out := New("addtop("+s.Name+")", ord, fs)
+	out.Props.Declare(prop.TopFixed)
+	return out
+}
+
+// AdditiveComposite combines two order transforms over int carriers into
+// a single scalarized metric (§VI's discussion of EIGRP-style "additive
+// composite metrics", after Gouda & Schneider): the carrier is the pair
+// carrier, functions act componentwise, but the order compares the
+// weighted sum ws·s + wt·t — a fixed formula instead of a lexicographic
+// hierarchy. Both operands must have finite int carriers.
+//
+// Gouda & Schneider proved ND(S) ∧ ND(T) ⇒ ND(S ⊞ T); the condition is
+// sufficient but not necessary (one component may decrease if the other
+// gains more), which experiment E14 quantifies — the paper's §VI asks
+// for exact criteria here and records them as open.
+func AdditiveComposite(s, t *OrderTransform, ws, wt int) *OrderTransform {
+	for _, o := range []*OrderTransform{s, t} {
+		if !o.Ord.Car.Finite() {
+			panic("ost: AdditiveComposite requires finite carriers")
+		}
+		for _, e := range o.Ord.Car.Elems {
+			if _, ok := e.(int); !ok {
+				panic("ost: AdditiveComposite requires int carriers")
+			}
+		}
+	}
+	scal := func(v value.V) int {
+		p := v.(value.Pair)
+		return ws*p.A.(int) + wt*p.B.(int)
+	}
+	ord := order.New(
+		fmt.Sprintf("%d·%s+%d·%s", ws, s.Ord.Name, wt, t.Ord.Name),
+		value.Product(s.Ord.Car, t.Ord.Car),
+		func(a, b value.V) bool { return scal(a) <= scal(b) })
+	return New("("+s.Name+" ⊞ "+t.Name+")", ord, fn.Product(s.F, t.F))
+}
+
+// FromSemigroupOrder is the Cayley construction (§III): an order semigroup
+// (S, ≲, ⊗) becomes the order transform (S, ≲, {λy. x⊗y | x ∈ S}).
+func FromSemigroupOrder(name string, ord *order.Preorder, op func(a, b value.V) value.V) *OrderTransform {
+	return New(name, ord, fn.Cayley("F_"+name, ord.Car, op))
+}
+
+// PathWeight applies the arc functions fs (source-side first, matching
+// §II's v(p) = (f₁ ∘ f₂ ∘ … ∘ f_k)(a)) to the originated value a.
+func (t *OrderTransform) PathWeight(fs []fn.Fn, a value.V) value.V {
+	v := a
+	for i := len(fs) - 1; i >= 0; i-- {
+		v = fs[i].Apply(v)
+	}
+	return v
+}

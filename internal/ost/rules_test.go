@@ -1,0 +1,187 @@
+package ost
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/gen"
+	"metarouting/internal/prop"
+)
+
+func randOT(r *rand.Rand) *OrderTransform {
+	n := 2 + r.Intn(3)
+	return New("rnd", gen.Preorder(r, n), gen.FnSet(r, n, 1+r.Intn(3)))
+}
+
+type otProps struct {
+	m, n, c, nd, i, si, t prop.Status
+	hasTop                bool
+}
+
+func propsOf(s *OrderTransform) otProps {
+	var p otProps
+	p.m, _ = s.CheckM(nil, 0)
+	p.n, _ = s.CheckN(nil, 0)
+	p.c, _ = s.CheckC(nil, 0)
+	p.nd, _ = s.CheckND(nil, 0)
+	p.i, _ = s.CheckI(nil, 0)
+	p.si, _ = s.CheckSI(nil, 0)
+	p.t, _ = s.CheckT(nil, 0)
+	_, p.hasTop = s.Ord.Top()
+	return p
+}
+
+// TestLexRulesRandomValidation machine-checks every rule the inference
+// engine uses for ×lex over order transforms, against exhaustive model
+// checks on random structures:
+//
+//	M(S×T)  ⟺ M(S)∧M(T)∧(N(S)∨C(T))          (Theorem 4)
+//	N(S×T)  ⟺ N(S)∧N(T)                       (componentwise lemma)
+//	C(S×T)  ⟺ C(S)∧C(T)                       (componentwise lemma)
+//	ND(S×T) ⟺ SI(S)∨(ND(S)∧ND(T))             (Theorem 5, SI form)
+//	SI(S×T) ⟺ SI(S)∨(ND(S)∧SI(T))             (Theorem 5, SI form)
+//	T(S×T)  ⟺ tops ∧ T(S)∧T(T)
+//	I(S×T)  ⟺ I(S)∧T(S)∧I(T)   when both have tops
+//	        ⟺ SI(S×T)          when the product has no top
+func TestLexRulesRandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 400; trial++ {
+		s, u := randOT(r), randOT(r)
+		prod := Lex(s, u)
+		ps, pt := propsOf(s), propsOf(u)
+		pp := propsOf(prod)
+
+		type eq struct {
+			name string
+			lhs  prop.Status
+			rhs  prop.Status
+		}
+		var iRHS prop.Status
+		if ps.hasTop && pt.hasTop {
+			iRHS = prop.And(ps.i, prop.And(ps.t, pt.i))
+		} else {
+			iRHS = pp.si
+		}
+		checks := []eq{
+			{"M", pp.m, prop.And(prop.And(ps.m, pt.m), prop.Or(ps.n, pt.c))},
+			{"N", pp.n, prop.And(ps.n, pt.n)},
+			{"C", pp.c, prop.And(ps.c, pt.c)},
+			{"ND", pp.nd, prop.Or(ps.si, prop.And(ps.nd, pt.nd))},
+			{"SI", pp.si, prop.Or(ps.si, prop.And(ps.nd, pt.si))},
+			{"T", pp.t, prop.And(prop.FromBool(ps.hasTop && pt.hasTop), prop.And(ps.t, pt.t))},
+			{"I", pp.i, iRHS},
+		}
+		for _, c := range checks {
+			if c.lhs != c.rhs {
+				t.Fatalf("trial %d: %s(S×T)=%v but rule says %v\nS=%s (%+v)\nT=%s (%+v)",
+					trial, c.name, c.lhs, c.rhs, s.Ord.Name, ps, u.Ord.Name, pt)
+			}
+		}
+	}
+}
+
+// TestLeftRightRulesRandomValidation machine-checks the §V rules the
+// scoped/Δ expansions rest on, for random orders.
+func TestLeftRightRulesRandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(304))
+	for trial := 0; trial < 300; trial++ {
+		s := randOT(r)
+		multiClass, strictPair, multiElem := false, false, s.Ord.Car.Size() >= 2
+		for i, a := range s.Ord.Car.Elems {
+			for _, b := range s.Ord.Car.Elems[i+1:] {
+				if !s.Ord.Equiv(a, b) {
+					multiClass = true
+				}
+				if s.Ord.Lt(a, b) || s.Ord.Lt(b, a) {
+					strictPair = true
+				}
+			}
+		}
+		_, hasTop := s.Ord.Top()
+
+		l := propsOf(Left(s))
+		if l.m != prop.True || l.c != prop.True {
+			t.Fatalf("trial %d: left must be M and C", trial)
+		}
+		if l.n != prop.FromBool(!strictPair) {
+			t.Fatalf("trial %d: N(left) = %v, want %v", trial, l.n, !strictPair)
+		}
+		if l.nd != prop.FromBool(!multiClass) || l.i != prop.FromBool(!multiClass) {
+			t.Fatalf("trial %d: ND/I(left) must be ⟺ single class", trial)
+		}
+		if l.t != prop.FromBool(hasTop && !multiClass) {
+			t.Fatalf("trial %d: T(left) = %v, want %v", trial, l.t, hasTop && !multiClass)
+		}
+
+		rt := propsOf(Right(s))
+		if rt.m != prop.True || rt.n != prop.True || rt.nd != prop.True {
+			t.Fatalf("trial %d: right must be M, N, ND", trial)
+		}
+		if rt.i != prop.FromBool(!multiClass) || rt.c != prop.FromBool(!multiClass) {
+			t.Fatalf("trial %d: I/C(right) must be ⟺ single class", trial)
+		}
+		if rt.t != prop.FromBool(hasTop) {
+			t.Fatalf("trial %d: T(right) = %v, want %v", trial, rt.t, hasTop)
+		}
+		if rt.si != prop.False || l.si != prop.False {
+			if multiElem || s.Ord.Car.Size() == 1 {
+				// id and κ_a(a)=a never strictly increase on nonempty carriers.
+				t.Fatalf("trial %d: SI(left/right) must be False", trial)
+			}
+		}
+	}
+}
+
+// TestUnionRuleRandomValidation: P(S+T) ⟺ P(S)∧P(T) for every routing
+// property, with operands sharing a random order.
+func TestUnionRuleRandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(305))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(3)
+		ord := gen.Preorder(r, n)
+		s := New("S", ord, gen.FnSet(r, n, 1+r.Intn(3)))
+		u := New("T", ord, gen.FnSet(r, n, 1+r.Intn(3)))
+		un := Union(s, u)
+		ps, pt, pu := propsOf(s), propsOf(u), propsOf(un)
+		type eq struct {
+			name        string
+			got, ls, rs prop.Status
+		}
+		for _, c := range []eq{
+			{"M", pu.m, ps.m, pt.m}, {"N", pu.n, ps.n, pt.n}, {"C", pu.c, ps.c, pt.c},
+			{"ND", pu.nd, ps.nd, pt.nd}, {"I", pu.i, ps.i, pt.i},
+			{"SI", pu.si, ps.si, pt.si}, {"T", pu.t, ps.t, pt.t},
+		} {
+			if c.got != prop.And(c.ls, c.rs) {
+				t.Fatalf("trial %d: %s(S+T)=%v but %v∧%v", trial, c.name, c.got, c.ls, c.rs)
+			}
+		}
+	}
+}
+
+// TestAddTopRulesRandomValidation: the addtop rules, especially
+// I(addtop(S)) ⟺ SI(S).
+func TestAddTopRulesRandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(306))
+	for trial := 0; trial < 300; trial++ {
+		s := randOT(r)
+		ps := propsOf(s)
+		at := AddTop(s)
+		pa := propsOf(at)
+		if pa.t != prop.True {
+			t.Fatalf("trial %d: T(addtop) must hold", trial)
+		}
+		if pa.m != ps.m || pa.n != ps.n || pa.nd != ps.nd {
+			t.Fatalf("trial %d: addtop must preserve M/N/ND (%+v vs %+v)", trial, pa, ps)
+		}
+		if pa.i != ps.si {
+			t.Fatalf("trial %d: I(addtop(S))=%v but SI(S)=%v", trial, pa.i, ps.si)
+		}
+		if pa.si != prop.False {
+			t.Fatalf("trial %d: SI(addtop) must be False", trial)
+		}
+		if pa.c != prop.False {
+			t.Fatalf("trial %d: C(addtop) must be False on nonempty carriers", trial)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package prop defines the property vocabulary of the metarouting
+// inference engine: the named algebraic properties of routing structures,
+// a three-valued truth status, and property sets with provenance.
+//
+// The whole point of metarouting is that these properties are *derived*
+// from the structure of an algebra expression, the way types are derived
+// in a programming language. A property judgement is therefore never a
+// bare boolean: a True carries the rule or witness that established it, a
+// False carries a counterexample, and an Unknown signals that neither the
+// rules nor the (possibly sampled) model checker could decide.
+package prop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID names an algebraic property. The per-quadrant meanings follow
+// Figures 2 and 3 of the paper; order- and semigroup-level properties
+// follow §II–§IV.
+type ID string
+
+// Order properties (of a preorder ≲).
+const (
+	// Reflexive: x ≲ x.
+	Reflexive ID = "Reflexive"
+	// Transitive: x ≲ y ∧ y ≲ z ⇒ x ≲ z.
+	Transitive ID = "Transitive"
+	// Antisymmetric: x ≲ y ∧ y ≲ x ⇒ x = y.
+	Antisymmetric ID = "Antisymmetric"
+	// Full (total as a preorder): x ≲ y ∨ y ≲ x.
+	Full ID = "Full"
+	// HasTop: there is ⊤ with x ≲ ⊤ for all x (a least-preferred element).
+	HasTop ID = "HasTop"
+	// HasBot: there is ⊥ with ⊥ ≲ x for all x (a most-preferred element).
+	HasBot ID = "HasBot"
+)
+
+// Semigroup properties (of a binary operation).
+const (
+	// Associative: (a·b)·c = a·(b·c).
+	Associative ID = "Associative"
+	// Commutative: a·b = b·a.
+	Commutative ID = "Commutative"
+	// Idempotent: a·a = a.
+	Idempotent ID = "Idempotent"
+	// Selective: a·b ∈ {a, b}.
+	Selective ID = "Selective"
+	// HasIdentity: ∃α. α·a = a = a·α.
+	HasIdentity ID = "HasIdentity"
+	// HasAbsorber: ∃ω. ω·a = ω = a·ω.
+	HasAbsorber ID = "HasAbsorber"
+)
+
+// Routing properties in their left/right flavours. For structures where
+// the distinction is meaningless (transforms apply functions on one side
+// only) the left name is canonical and the right is not populated.
+const (
+	// MLeft is left-monotonicity (Fig 2): per quadrant,
+	//   bisemigroup:        c⊗(a⊕b) = (c⊗a)⊕(c⊗b)   (left distributivity)
+	//   order semigroup:    a ≲ b ⇒ c⊗a ≲ c⊗b
+	//   semigroup transform: f(a⊕b) = f(a)⊕f(b)      (homomorphism)
+	//   order transform:    a ≲ b ⇒ f(a) ≲ f(b)
+	MLeft ID = "M"
+	// MRight is right-monotonicity, operands reversed (algebraic quadrants).
+	MRight ID = "M-right"
+	// NLeft is left-cancellativity (Fig 2): per quadrant,
+	//   bisemigroup:        c⊗a = c⊗b ⇒ a = b
+	//   order semigroup:    c⊗a ~ c⊗b ⇒ a ~ b ∨ a # b
+	//   semigroup transform: f(a) = f(b) ⇒ a = b
+	//   order transform:    f(a) ~ f(b) ⇒ a ~ b ∨ a # b
+	NLeft ID = "N"
+	// NRight is right-cancellativity.
+	NRight ID = "N-right"
+	// CLeft is the left condensed property (Fig 2): per quadrant,
+	//   bisemigroup:        c⊗a = c⊗b
+	//   order semigroup:    c⊗a ~ c⊗b
+	//   semigroup transform: f(a) = f(b)
+	//   order transform:    f(a) ~ f(b)
+	CLeft ID = "C"
+	// CRight is the right condensed property.
+	CRight ID = "C-right"
+	// NDLeft is nondecreasing (Fig 3): per quadrant,
+	//   bisemigroup:        a = a ⊕ (c⊗a)
+	//   order semigroup:    a ≲ c⊗a
+	//   semigroup transform: a = a ⊕ f(a)
+	//   order transform:    a ≲ f(a)
+	NDLeft ID = "ND"
+	// NDRight is the right flavour of ND.
+	NDRight ID = "ND-right"
+	// SILeft is *strictly increasing everywhere* — the I property with no
+	// ⊤ exemption: a < f(a) (resp. a < c⊗a) for every a. In the algebraic
+	// quadrants (bisemigroups, semigroup transforms) Fig 3's I is already
+	// exemption-free, so there SI coincides with I. In the ordered
+	// quadrants SI is strictly stronger than I whenever a ⊤ exists, and
+	// it is SI — not I — that makes the lexicographic ND/I rules of
+	// Theorem 5 exact on carriers whose ⊤ is an ordinary saturating
+	// weight rather than an adjoined error element (cf. the §VI
+	// discussion of ×ω and error values).
+	SILeft ID = "SI"
+	// SIRight is the right flavour of SI.
+	SIRight ID = "SI-right"
+	// ILeft is increasing (Fig 3): per quadrant,
+	//   bisemigroup:        a = a ⊕ (c⊗a) ≠ c⊗a
+	//   order semigroup:    a ≠ ⊤ ⇒ a < c⊗a
+	//   semigroup transform: a = a ⊕ f(a) ≠ f(a)
+	//   order transform:    a ≠ ⊤ ⇒ a < f(a)
+	ILeft ID = "I"
+	// IRight is the right flavour of I.
+	IRight ID = "I-right"
+	// TopFixed is the T property of §II: every arc function fixes ⊤,
+	// f(⊤) = ⊤ (only meaningful when the order has a top).
+	TopFixed ID = "T"
+)
+
+// Status is a three-valued truth judgement.
+type Status int8
+
+// The three truth values. The zero value is Unknown so an absent entry in
+// a Set reads correctly.
+const (
+	Unknown Status = iota
+	True
+	False
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// And is three-valued conjunction (Kleene).
+func And(a, b Status) Status {
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True && b == True:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Or is three-valued disjunction (Kleene).
+func Or(a, b Status) Status {
+	switch {
+	case a == True || b == True:
+		return True
+	case a == False && b == False:
+		return False
+	default:
+		return Unknown
+	}
+}
+
+// Not is three-valued negation.
+func Not(a Status) Status {
+	switch a {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// FromBool lifts a boolean into a Status.
+func FromBool(b bool) Status {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Judgement is a property status with provenance: either the name of the
+// inference rule that derived it, or a concrete witness/counterexample
+// found by model checking.
+type Judgement struct {
+	Status Status
+	// Rule names the inference rule that produced the judgement
+	// (e.g. "Thm4: M(S×T) ⟺ M(S)∧M(T)∧(N(S)∨C(T))"), or "declared",
+	// or "model-check"/"sampled" for direct checks.
+	Rule string
+	// Witness holds a human-readable counterexample for False
+	// judgements found by checking, e.g. "a=1 b=2 c=0: c⊗a ~ c⊗b but a<b".
+	Witness string
+}
+
+// String implements fmt.Stringer.
+func (j Judgement) String() string {
+	s := j.Status.String()
+	if j.Rule != "" {
+		s += " [" + j.Rule + "]"
+	}
+	if j.Witness != "" {
+		s += " (" + j.Witness + ")"
+	}
+	return s
+}
+
+// Set maps properties to judgements. A nil Set behaves as all-Unknown for
+// reads; use Make or copy-on-write helpers for writes.
+type Set map[ID]Judgement
+
+// Make returns an empty, writable property set.
+func Make() Set { return Set{} }
+
+// Get returns the judgement for p (zero Judgement, i.e. Unknown, if absent).
+func (s Set) Get(p ID) Judgement {
+	if s == nil {
+		return Judgement{}
+	}
+	return s[p]
+}
+
+// Status returns just the status for p.
+func (s Set) Status(p ID) Status { return s.Get(p).Status }
+
+// Holds reports whether p is known True.
+func (s Set) Holds(p ID) bool { return s.Status(p) == True }
+
+// Fails reports whether p is known False.
+func (s Set) Fails(p ID) bool { return s.Status(p) == False }
+
+// Put records a judgement for p, overwriting any previous value.
+func (s Set) Put(p ID, j Judgement) { s[p] = j }
+
+// Declare records p as true by declaration (used by base algebras whose
+// properties are established by the library's own tests).
+func (s Set) Declare(p ID) { s[p] = Judgement{Status: True, Rule: "declared"} }
+
+// DeclareFalse records p as false by declaration.
+func (s Set) DeclareFalse(p ID, witness string) {
+	s[p] = Judgement{Status: False, Rule: "declared", Witness: witness}
+}
+
+// Derive records a judgement produced by the named inference rule.
+func (s Set) Derive(p ID, st Status, rule string) {
+	s[p] = Judgement{Status: st, Rule: rule}
+}
+
+// Clone returns a writable copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Summary renders the known (non-Unknown) judgements sorted by property
+// name, e.g. "C:false I:true M:true ND:true".
+func (s Set) Summary() string {
+	keys := make([]string, 0, len(s))
+	for k, v := range s {
+		if v.Status != Unknown {
+			keys = append(keys, string(k))
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%s", k, s[ID(k)].Status)
+	}
+	return strings.Join(parts, " ")
+}
+
+// RoutingIDs lists the properties that govern routing-algorithm
+// applicability, in display order.
+var RoutingIDs = []ID{MLeft, MRight, NLeft, NRight, CLeft, CRight, NDLeft, NDRight, ILeft, IRight, SILeft, SIRight, TopFixed}
+
+// OrderIDs lists the order-level properties in display order.
+var OrderIDs = []ID{Reflexive, Transitive, Antisymmetric, Full, HasTop, HasBot}
+
+// SemigroupIDs lists the semigroup-level properties in display order.
+var SemigroupIDs = []ID{Associative, Commutative, Idempotent, Selective, HasIdentity, HasAbsorber}

@@ -1,0 +1,152 @@
+package prop
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatusString(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Fatal("Status.String wrong")
+	}
+}
+
+func TestKleeneTruthTables(t *testing.T) {
+	type row struct{ a, b, and, or Status }
+	rows := []row{
+		{True, True, True, True},
+		{True, False, False, True},
+		{True, Unknown, Unknown, True},
+		{False, True, False, True},
+		{False, False, False, False},
+		{False, Unknown, False, Unknown},
+		{Unknown, True, Unknown, True},
+		{Unknown, False, False, Unknown},
+		{Unknown, Unknown, Unknown, Unknown},
+	}
+	for _, r := range rows {
+		if got := And(r.a, r.b); got != r.and {
+			t.Errorf("And(%v,%v) = %v, want %v", r.a, r.b, got, r.and)
+		}
+		if got := Or(r.a, r.b); got != r.or {
+			t.Errorf("Or(%v,%v) = %v, want %v", r.a, r.b, got, r.or)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	if Not(True) != False || Not(False) != True || Not(Unknown) != Unknown {
+		t.Fatal("Not wrong")
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Fatal("FromBool wrong")
+	}
+}
+
+// Kleene logic laws checked property-style over the 3-element domain.
+func TestKleeneLaws(t *testing.T) {
+	statuses := []Status{True, False, Unknown}
+	for _, a := range statuses {
+		for _, b := range statuses {
+			if And(a, b) != And(b, a) {
+				t.Fatalf("And not commutative at %v,%v", a, b)
+			}
+			if Or(a, b) != Or(b, a) {
+				t.Fatalf("Or not commutative at %v,%v", a, b)
+			}
+			// De Morgan.
+			if Not(And(a, b)) != Or(Not(a), Not(b)) {
+				t.Fatalf("De Morgan (And) fails at %v,%v", a, b)
+			}
+			if Not(Or(a, b)) != And(Not(a), Not(b)) {
+				t.Fatalf("De Morgan (Or) fails at %v,%v", a, b)
+			}
+			for _, c := range statuses {
+				if And(And(a, b), c) != And(a, And(b, c)) {
+					t.Fatalf("And not associative")
+				}
+				if Or(Or(a, b), c) != Or(a, Or(b, c)) {
+					t.Fatalf("Or not associative")
+				}
+				// Distributivity holds in Kleene logic.
+				if And(a, Or(b, c)) != Or(And(a, b), And(a, c)) {
+					t.Fatalf("distributivity fails at %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestKleeneInvolution(t *testing.T) {
+	f := func(n uint8) bool {
+		s := Status(n % 3)
+		return Not(Not(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := Make()
+	if s.Status(MLeft) != Unknown {
+		t.Fatal("empty set must read Unknown")
+	}
+	s.Declare(MLeft)
+	if !s.Holds(MLeft) || s.Fails(MLeft) {
+		t.Fatal("Declare must make property hold")
+	}
+	if s.Get(MLeft).Rule != "declared" {
+		t.Fatal("Declare must record provenance")
+	}
+	s.DeclareFalse(ILeft, "witness here")
+	if !s.Fails(ILeft) {
+		t.Fatal("DeclareFalse must make property fail")
+	}
+	if s.Get(ILeft).Witness != "witness here" {
+		t.Fatal("DeclareFalse must record the witness")
+	}
+}
+
+func TestNilSetReads(t *testing.T) {
+	var s Set
+	if s.Status(MLeft) != Unknown || s.Holds(MLeft) || s.Fails(MLeft) {
+		t.Fatal("nil set must behave as all-Unknown")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := Make()
+	s.Declare(MLeft)
+	c := s.Clone()
+	c.DeclareFalse(MLeft, "changed")
+	if !s.Holds(MLeft) {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestSummaryDeterministic(t *testing.T) {
+	s := Make()
+	s.Declare(NDLeft)
+	s.DeclareFalse(CLeft, "w")
+	s.Derive(MLeft, Unknown, "x") // Unknown entries are omitted
+	got := s.Summary()
+	if got != "C:false ND:true" {
+		t.Fatalf("Summary = %q", got)
+	}
+	if strings.Contains(got, "M") {
+		t.Fatal("Unknown must not appear in summary")
+	}
+}
+
+func TestJudgementString(t *testing.T) {
+	j := Judgement{Status: False, Rule: "model-check", Witness: "a=1"}
+	got := j.String()
+	if !strings.Contains(got, "false") || !strings.Contains(got, "model-check") || !strings.Contains(got, "a=1") {
+		t.Fatalf("Judgement.String = %q", got)
+	}
+}

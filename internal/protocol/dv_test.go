@@ -1,0 +1,96 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/graph"
+)
+
+// countTopology is the classic count-to-infinity setup: 1 → 0 directly,
+// and a 2-cycle between 1 and 2.
+func countTopology() *graph.Graph {
+	return graph.MustNew(3, []graph.Arc{
+		{From: 1, To: 0, Label: 0}, // arc 0: the only exit
+		{From: 2, To: 1, Label: 0},
+		{From: 1, To: 2, Label: 0},
+	})
+}
+
+// TestDistanceVectorCountsToCeiling: after the exit fails, distance
+// vector has 1 and 2 bouncing routes off each other, counting up until
+// the saturating ceiling ⊤ absorbs the process — "counting to infinity",
+// bounded by the finite carrier exactly as RIP bounds it at 16.
+func TestDistanceVectorCountsToCeiling(t *testing.T) {
+	a := alg(t, "delay(16,1)")
+	g := countTopology()
+	r := rand.New(rand.NewSource(13))
+	out := Run(a, g, Config{
+		Dest: 0, Origin: 0, MaxDelay: 1, Rand: r,
+		DistanceVector: true,
+		Events:         []LinkEvent{{At: 50, Arc: 0, Fail: true}},
+	})
+	if !out.Converged {
+		t.Fatalf("bounded DV must converge (at the ceiling): %s", out.Describe())
+	}
+	// Both nodes end at the ceiling ⊤ = 16 — the "unreachable" marker.
+	for _, u := range []int{1, 2} {
+		if !out.Routed[u] || out.Weights[u] != 16 {
+			t.Fatalf("node %d must count up to ⊤=16: %s", u, out.Describe())
+		}
+	}
+	// The count must have taken many more messages than the path-vector
+	// run below — that is the cost of not carrying paths.
+	pv := Run(a, g, Config{
+		Dest: 0, Origin: 0, MaxDelay: 1, Rand: rand.New(rand.NewSource(13)),
+		Events: []LinkEvent{{At: 50, Arc: 0, Fail: true}},
+	})
+	if !pv.Converged {
+		t.Fatal("path vector must converge")
+	}
+	if pv.Routed[1] || pv.Routed[2] {
+		t.Fatalf("path vector must withdraw (loop rejection): %s", pv.Describe())
+	}
+	if out.Steps <= pv.Steps {
+		t.Fatalf("count-to-ceiling must cost more messages: DV=%d PV=%d", out.Steps, pv.Steps)
+	}
+}
+
+// TestDistanceVectorAgreesWhenStable: absent failures, DV and PV converge
+// to the same weights on increasing algebras.
+func TestDistanceVectorAgreesWhenStable(t *testing.T) {
+	a := alg(t, "delay(64,3)")
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.Random(r, 8, 0.3, graph.UniformLabels(3))
+		dv := Run(a, g, Config{Dest: 0, Origin: 0, MaxDelay: 2,
+			Rand: rand.New(rand.NewSource(int64(trial))), DistanceVector: true})
+		pv := Run(a, g, Config{Dest: 0, Origin: 0, MaxDelay: 2,
+			Rand: rand.New(rand.NewSource(int64(trial)))})
+		if !dv.Converged || !pv.Converged {
+			t.Fatalf("trial %d: both must converge", trial)
+		}
+		for u := 0; u < g.N; u++ {
+			if dv.Routed[u] != pv.Routed[u] {
+				t.Fatalf("trial %d node %d: routedness differs", trial, u)
+			}
+			if dv.Routed[u] && dv.Weights[u] != pv.Weights[u] {
+				t.Fatalf("trial %d node %d: DV %v vs PV %v", trial, u, dv.Weights[u], pv.Weights[u])
+			}
+		}
+	}
+}
+
+// TestNextHopPopulated: outcomes expose next hops in both modes.
+func TestNextHopPopulated(t *testing.T) {
+	a := alg(t, "delay(32,2)")
+	g := countTopology()
+	r := rand.New(rand.NewSource(15))
+	out := Run(a, g, Config{Dest: 0, Origin: 0, MaxDelay: 1, Rand: r})
+	if out.NextHop[1] != 0 || out.NextHop[2] != 1 {
+		t.Fatalf("next hops = %v", out.NextHop)
+	}
+	if out.NextHop[0] != -1 {
+		t.Fatal("destination has no next hop")
+	}
+}

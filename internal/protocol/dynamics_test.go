@@ -1,0 +1,208 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/graph"
+	"metarouting/internal/solve"
+)
+
+// lineWithBackup: 2 → 1 → 0 with a more expensive backup 2 → 0.
+// Labels index delay steps +1..+4.
+func lineWithBackup() *graph.Graph {
+	return graph.MustNew(3, []graph.Arc{
+		{From: 1, To: 0, Label: 0}, // +1, arc 0
+		{From: 2, To: 1, Label: 0}, // +1, arc 1
+		{From: 2, To: 0, Label: 3}, // +4, arc 2 (backup)
+	})
+}
+
+// TestFailoverToBackup: failing the primary next-hop link mid-run makes
+// the network reconverge onto the backup route — increasing algebras
+// reconverge after any topology change (the dynamic-routing claim).
+func TestFailoverToBackup(t *testing.T) {
+	a := alg(t, "delay(32,4)")
+	g := lineWithBackup()
+	r := rand.New(rand.NewSource(6))
+	out := Run(a, g, Config{
+		Dest: 0, Origin: 0, MaxDelay: 2, Rand: r,
+		Events: []LinkEvent{{At: 50, Arc: 1, Fail: true}}, // cut 2 → 1
+	})
+	if !out.Converged {
+		t.Fatalf("must reconverge after failure:\n%s", out.Describe())
+	}
+	if !out.Routed[2] || out.Weights[2] != 4 {
+		t.Fatalf("node 2 must fail over to the +4 backup: %s", out.Describe())
+	}
+	if len(out.Paths[2]) != 2 || out.Paths[2][0] != 2 || out.Paths[2][1] != 0 {
+		t.Fatalf("node 2 path must be the direct backup: %v", out.Paths[2])
+	}
+	// Node 1 keeps its primary route (its link is intact).
+	if !out.Routed[1] || out.Weights[1] != 1 {
+		t.Fatalf("node 1 must be unaffected: %s", out.Describe())
+	}
+}
+
+// TestPartitionWithdrawsRoutes: failing the only exit of a node leaves
+// it route-less — withdrawals must propagate, not just fade.
+func TestPartitionWithdrawsRoutes(t *testing.T) {
+	a := alg(t, "delay(32,2)")
+	// 2 → 1 → 0, no backup.
+	g := graph.MustNew(3, []graph.Arc{
+		{From: 1, To: 0, Label: 0},
+		{From: 2, To: 1, Label: 0},
+	})
+	r := rand.New(rand.NewSource(7))
+	out := Run(a, g, Config{
+		Dest: 0, Origin: 0, MaxDelay: 2, Rand: r,
+		Events: []LinkEvent{{At: 50, Arc: 0, Fail: true}}, // cut 1 → 0
+	})
+	if !out.Converged {
+		t.Fatal("must quiesce after the partition")
+	}
+	if out.Routed[1] || out.Routed[2] {
+		t.Fatalf("partitioned nodes must withdraw: %s", out.Describe())
+	}
+}
+
+// TestLinkRevival: failing then reviving a link restores the original
+// routes.
+func TestLinkRevival(t *testing.T) {
+	a := alg(t, "delay(32,4)")
+	g := lineWithBackup()
+	r := rand.New(rand.NewSource(8))
+	out := Run(a, g, Config{
+		Dest: 0, Origin: 0, MaxDelay: 2, Rand: r,
+		Events: []LinkEvent{
+			{At: 50, Arc: 1, Fail: true},
+			{At: 200, Arc: 1, Fail: false},
+		},
+	})
+	if !out.Converged {
+		t.Fatal("must reconverge after revival")
+	}
+	if !out.Routed[2] || out.Weights[2] != 2 {
+		t.Fatalf("node 2 must return to the primary (+1+1) route: %s", out.Describe())
+	}
+}
+
+// TestReconvergenceIsStable: after random failure events on random
+// graphs, the quiescent state of an increasing algebra is a stable
+// routing of the *surviving* topology.
+func TestReconvergenceIsStable(t *testing.T) {
+	a := alg(t, "delay(128,3)")
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(r, 8, 0.35, graph.UniformLabels(3))
+		// Fail two random arcs at staggered times.
+		evts := []LinkEvent{
+			{At: 20, Arc: r.Intn(len(g.Arcs)), Fail: true},
+			{At: 40, Arc: r.Intn(len(g.Arcs)), Fail: true},
+		}
+		out := Run(a, g, Config{Dest: 0, Origin: 0, MaxDelay: 3, Rand: r, Events: evts})
+		if !out.Converged {
+			t.Fatalf("trial %d: increasing algebra must reconverge", trial)
+		}
+		// Build the surviving topology and verify stability on it.
+		var arcs []graph.Arc
+		for i, arc := range g.Arcs {
+			dead := false
+			for _, e := range evts {
+				if e.Arc == i && e.Fail {
+					dead = true
+				}
+			}
+			if !dead {
+				arcs = append(arcs, arc)
+			}
+		}
+		sur := graph.MustNew(g.N, arcs)
+		res := outcomeToResult(out, sur)
+		if ok, why := solve.VerifyLocal(a, sur, 0, 0, res); !ok {
+			t.Fatalf("trial %d: quiescent state unstable on surviving topology: %s", trial, why)
+		}
+	}
+}
+
+// TestEventOnIdleNetwork: events arriving after quiescence must wake the
+// network up (the loop must not exit while events are pending).
+func TestEventOnIdleNetwork(t *testing.T) {
+	a := alg(t, "delay(32,4)")
+	g := lineWithBackup()
+	r := rand.New(rand.NewSource(10))
+	out := Run(a, g, Config{
+		Dest: 0, Origin: 0, MaxDelay: 0, Rand: r,
+		// At=10000: long after initial convergence.
+		Events: []LinkEvent{{At: 10000, Arc: 1, Fail: true}},
+	})
+	if !out.Converged {
+		t.Fatal("must converge")
+	}
+	if out.Weights[2] != 4 {
+		t.Fatalf("late failure must still be processed: %s", out.Describe())
+	}
+}
+
+// TestDuplicateEventIgnored: failing an already-failed arc is a no-op.
+func TestDuplicateEventIgnored(t *testing.T) {
+	a := alg(t, "delay(32,4)")
+	g := lineWithBackup()
+	r := rand.New(rand.NewSource(11))
+	out := Run(a, g, Config{
+		Dest: 0, Origin: 0, MaxDelay: 1, Rand: r,
+		Events: []LinkEvent{
+			{At: 30, Arc: 1, Fail: true},
+			{At: 35, Arc: 1, Fail: true},
+			{At: 1, Arc: 99, Fail: true}, // out of range: ignored
+		},
+	})
+	if !out.Converged || out.Weights[2] != 4 {
+		t.Fatalf("idempotent failure handling broken: %s", out.Describe())
+	}
+}
+
+// TestObserverStreamsEvents: the observer sees deliveries, selections and
+// topology changes in chronological order.
+func TestObserverStreamsEvents(t *testing.T) {
+	a := alg(t, "delay(32,4)")
+	g := lineWithBackup()
+	r := rand.New(rand.NewSource(12))
+	var events []Event
+	out := Run(a, g, Config{
+		Dest: 0, Origin: 0, MaxDelay: 2, Rand: r,
+		Events:   []LinkEvent{{At: 50, Arc: 1, Fail: true}},
+		Observer: func(e Event) { events = append(events, e) },
+	})
+	if !out.Converged {
+		t.Fatal("must converge")
+	}
+	if len(events) == 0 {
+		t.Fatal("observer saw nothing")
+	}
+	var sawDeliver, sawSelect, sawLink bool
+	last := int64(-1)
+	for _, e := range events {
+		if e.At < last {
+			t.Fatalf("events out of order: %d after %d", e.At, last)
+		}
+		last = e.At
+		switch e.Kind {
+		case EvDeliver:
+			sawDeliver = true
+		case EvSelect:
+			sawSelect = true
+			if !e.Withdraw && len(e.Path) == 0 {
+				t.Fatal("selection without a path")
+			}
+		case EvLinkChange:
+			sawLink = true
+			if e.Arc != 1 || !e.Fail {
+				t.Fatalf("wrong link event: %+v", e)
+			}
+		}
+	}
+	if !sawDeliver || !sawSelect || !sawLink {
+		t.Fatalf("missing kinds: deliver=%v select=%v link=%v", sawDeliver, sawSelect, sawLink)
+	}
+}

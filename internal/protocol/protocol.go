@@ -1,0 +1,377 @@
+// Package protocol implements an event-driven asynchronous path-vector
+// protocol simulator over metarouting algebras — the substitute for the
+// real BGP/OSPF deployments the paper's claims are ultimately about.
+//
+// Each node keeps a RIB of candidate routes (one per neighbour), selects a
+// best route under the algebra's preorder with AS-path-style loop
+// rejection, and advertises changes to its neighbours over FIFO links with
+// randomized (seeded) delivery delays. The simulator detects quiescence
+// (convergence) and, via a step budget, divergence — the behaviour the
+// increasing property I is meant to guarantee against (Sobrinho [23],
+// Varadhan et al. [16]).
+package protocol
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"metarouting/internal/graph"
+	"metarouting/internal/ost"
+	"metarouting/internal/value"
+)
+
+// route is an advertised route: a weight plus the node path it traversed
+// (destination last), used for loop rejection exactly as BGP uses AS
+// paths.
+type route struct {
+	weight value.V
+	path   []int // from advertising node to destination
+}
+
+func (r route) contains(node int) bool {
+	for _, n := range r.path {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// message is an advertisement (or withdrawal) from one node to a
+// neighbour.
+type message struct {
+	from, to int
+	withdraw bool
+	rt       route
+	// seq orders messages on the same link (FIFO).
+	seq int
+	// at is the delivery time.
+	at int64
+}
+
+// msgQueue is a delivery-time priority queue with FIFO tie-breaking.
+type msgQueue []*message
+
+func (q msgQueue) Len() int { return len(q) }
+func (q msgQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q msgQueue) Swap(i, j int)   { q[i], q[j] = q[j], q[i] }
+func (q *msgQueue) Push(x any)     { *q = append(*q, x.(*message)) }
+func (q *msgQueue) Pop() any       { old := *q; n := len(old); m := old[n-1]; *q = old[:n-1]; return m }
+func (q msgQueue) PeekTime() int64 { return q[0].at }
+
+// LinkEvent is a topology change applied during a run — the dynamic
+// routing setting of Sobrinho's algebraic theory [23].
+type LinkEvent struct {
+	// At is the simulation time at which the event fires.
+	At int64
+	// Arc indexes the affected arc in the graph.
+	Arc int
+	// Fail is true for a link failure, false for (re)activation.
+	Fail bool
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Dest is the destination node; it originates Origin.
+	Dest int
+	// Origin is the weight originated at Dest.
+	Origin value.V
+	// MaxSteps bounds delivered messages before declaring divergence
+	// (≤ 0 means 200·N·N).
+	MaxSteps int
+	// MaxDelay is the maximum extra per-message delivery delay
+	// (≥ 0; delays are drawn uniformly from [1, 1+MaxDelay]).
+	MaxDelay int
+	// Rand drives delay choices; required.
+	Rand *rand.Rand
+	// Events lists topology changes, in any order; each fires once when
+	// simulation time first reaches its At.
+	Events []LinkEvent
+	// Observer, when non-nil, receives every simulation event in
+	// chronological order — message deliveries, selections, and topology
+	// changes. For tracing and debugging; it must not retain the Event's
+	// Path slice beyond the call.
+	Observer func(Event)
+	// DistanceVector disables route paths and loop rejection, turning the
+	// protocol into an asynchronous distance-vector (RIP-like) scheme.
+	// On increasing algebras with a saturating ⊤ this counts up to the
+	// ceiling after failures (bounded count-to-infinity); path-vector
+	// mode withdraws instead — the classic argument for AS paths.
+	DistanceVector bool
+}
+
+// EventKind classifies observer events.
+type EventKind int
+
+// The observer event kinds.
+const (
+	// EvDeliver: a message arrived (From → To advertisement/withdrawal).
+	EvDeliver EventKind = iota
+	// EvSelect: a node changed its best route.
+	EvSelect
+	// EvLinkChange: a topology event fired.
+	EvLinkChange
+)
+
+// Event is a single simulation occurrence streamed to Config.Observer.
+type Event struct {
+	Kind EventKind
+	At   int64
+	// Node is the acting node (receiver for EvDeliver, selector for
+	// EvSelect; the arc tail for EvLinkChange).
+	Node int
+	// From is the advertising neighbour (EvDeliver only).
+	From int
+	// Withdraw marks withdrawal deliveries and route losses.
+	Withdraw bool
+	// Weight/Path describe the delivered or newly selected route.
+	Weight value.V
+	Path   []int
+	// Arc and Fail describe EvLinkChange.
+	Arc  int
+	Fail bool
+}
+
+// Outcome reports a simulation run.
+type Outcome struct {
+	// Converged is true if the network quiesced within the step budget.
+	Converged bool
+	// Steps counts delivered messages.
+	Steps int
+	// Routed/Weights/Paths give the final routing state per node.
+	// Paths are nil in distance-vector mode.
+	Routed  []bool
+	Weights []value.V
+	Paths   [][]int
+	// NextHop records each routed node's selected neighbour (-1 at the
+	// destination and for unrouted nodes).
+	NextHop []int
+	// Oscillating is set when the same global state recurred while
+	// messages were still in flight — a certificate of livelock for
+	// deterministic schedules.
+	Oscillating bool
+}
+
+// node is the per-node protocol state.
+type node struct {
+	rib      map[int]route // candidate per neighbour (key: neighbour)
+	best     route
+	hasBest  bool
+	bestFrom int
+}
+
+// Run simulates the path-vector protocol for alg on g.
+func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
+	if cfg.Rand == nil {
+		panic("protocol: Config.Rand is required")
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 200 * g.N * g.N
+	}
+	nodes := make([]node, g.N)
+	for i := range nodes {
+		nodes[i] = node{rib: make(map[int]route), bestFrom: -1}
+	}
+	nodes[cfg.Dest].best = route{weight: cfg.Origin, path: []int{cfg.Dest}}
+	nodes[cfg.Dest].hasBest = true
+
+	disabled := make([]bool, len(g.Arcs))
+	events := append([]LinkEvent(nil), cfg.Events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	var q msgQueue
+	seq := 0
+	now := int64(0)
+	// lastAt enforces per-link FIFO: a message never overtakes an earlier
+	// one on the same (from, to) link, even under randomized delays.
+	// Without this, a stale advertisement can arrive last and freeze the
+	// network in an inconsistent "quiescent" state — masking oscillation.
+	lastAt := make(map[[2]int]int64)
+	advertise := func(u int) {
+		// Send u's current best (or withdrawal) to every in-neighbour
+		// (nodes whose arcs point at u are the ones that can route via u).
+		for _, ai := range g.In(u) {
+			if disabled[ai] {
+				continue
+			}
+			p := g.Arcs[ai].From
+			m := &message{from: u, to: p, seq: seq}
+			seq++
+			m.at = now + 1 + int64(cfg.Rand.Intn(cfg.MaxDelay+1))
+			link := [2]int{u, p}
+			if m.at <= lastAt[link] {
+				m.at = lastAt[link] + 1
+			}
+			lastAt[link] = m.at
+			if nodes[u].hasBest {
+				m.rt = nodes[u].best
+			} else {
+				m.withdraw = true
+			}
+			heap.Push(&q, m)
+		}
+	}
+	// reselect recomputes u's best from its RIB over enabled arcs and
+	// returns whether the selection changed.
+	reselect := func(u int) bool {
+		if u == cfg.Dest {
+			return false // the destination always keeps its originated route
+		}
+		prevHas, prev, prevFrom := nodes[u].hasBest, nodes[u].best, nodes[u].bestFrom
+		nodes[u].hasBest = false
+		nodes[u].bestFrom = -1
+		for _, ai := range g.Out(u) {
+			if disabled[ai] {
+				continue
+			}
+			v := g.Arcs[ai].To
+			cand, ok := nodes[u].rib[v]
+			if !ok {
+				continue
+			}
+			if !nodes[u].hasBest || alg.Ord.Lt(cand.weight, nodes[u].best.weight) {
+				nodes[u].best = cand
+				nodes[u].hasBest = true
+				nodes[u].bestFrom = v
+			}
+		}
+		return prevHas != nodes[u].hasBest ||
+			(nodes[u].hasBest && (prevFrom != nodes[u].bestFrom || prev.weight != nodes[u].best.weight ||
+				!samePath(prev.path, nodes[u].best.path)))
+	}
+
+	// fire applies a topology event: a failed out-arc costs its tail the
+	// corresponding RIB candidate immediately (interface down); a revived
+	// arc makes the head re-advertise so the tail relearns the route.
+	fire := func(ev LinkEvent) {
+		if ev.Arc < 0 || ev.Arc >= len(g.Arcs) || disabled[ev.Arc] == ev.Fail {
+			return
+		}
+		disabled[ev.Arc] = ev.Fail
+		arc := g.Arcs[ev.Arc]
+		if cfg.Observer != nil {
+			cfg.Observer(Event{Kind: EvLinkChange, At: now, Node: arc.From, Arc: ev.Arc, Fail: ev.Fail})
+		}
+		if ev.Fail {
+			delete(nodes[arc.From].rib, arc.To)
+			if reselect(arc.From) {
+				advertise(arc.From)
+			}
+		} else {
+			advertise(arc.To)
+		}
+	}
+
+	advertise(cfg.Dest)
+
+	steps := 0
+	nextEv := 0
+	for (q.Len() > 0 || nextEv < len(events)) && steps < maxSteps {
+		// Fire any events due before the next delivery.
+		if nextEv < len(events) && (q.Len() == 0 || events[nextEv].At <= q[0].at) {
+			now = events[nextEv].At
+			fire(events[nextEv])
+			nextEv++
+			continue
+		}
+		m := heap.Pop(&q).(*message)
+		now = m.at
+		steps++
+		u := m.to
+		if cfg.Observer != nil {
+			cfg.Observer(Event{Kind: EvDeliver, At: now, Node: u, From: m.from,
+				Withdraw: m.withdraw, Weight: m.rt.weight, Path: m.rt.path})
+		}
+		// Resolve the arc (u → m.from) the advertisement travelled
+		// against; deliveries over a failed link are lost.
+		arcIdx := -1
+		for _, ai := range g.Out(u) {
+			if g.Arcs[ai].To == m.from {
+				arcIdx = ai
+				break
+			}
+		}
+		if arcIdx < 0 || disabled[arcIdx] {
+			continue
+		}
+		if m.withdraw {
+			delete(nodes[u].rib, m.from)
+		} else if !cfg.DistanceVector && m.rt.contains(u) {
+			// Loop rejection: drop routes that already traverse u.
+			delete(nodes[u].rib, m.from)
+		} else {
+			w := alg.F.Fns[g.Arcs[arcIdx].Label].Apply(m.rt.weight)
+			var path []int
+			if !cfg.DistanceVector {
+				path = make([]int, 0, len(m.rt.path)+1)
+				path = append(path, u)
+				path = append(path, m.rt.path...)
+			}
+			nodes[u].rib[m.from] = route{weight: w, path: path}
+		}
+		if reselect(u) {
+			if cfg.Observer != nil {
+				ev := Event{Kind: EvSelect, At: now, Node: u, Withdraw: !nodes[u].hasBest}
+				if nodes[u].hasBest {
+					ev.Weight = nodes[u].best.weight
+					ev.Path = nodes[u].best.path
+				}
+				cfg.Observer(ev)
+			}
+			advertise(u)
+		}
+	}
+
+	out := &Outcome{
+		Converged: q.Len() == 0,
+		Steps:     steps,
+		Routed:    make([]bool, g.N),
+		Weights:   make([]value.V, g.N),
+		Paths:     make([][]int, g.N),
+		NextHop:   make([]int, g.N),
+	}
+	out.Oscillating = !out.Converged
+	for i := range nodes {
+		out.NextHop[i] = -1
+		out.Routed[i] = nodes[i].hasBest
+		if nodes[i].hasBest {
+			out.Weights[i] = nodes[i].best.weight
+			out.Paths[i] = nodes[i].best.path
+			out.NextHop[i] = nodes[i].bestFrom
+		}
+	}
+	return out
+}
+
+func samePath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders an outcome for logs and examples.
+func (o *Outcome) Describe() string {
+	s := fmt.Sprintf("converged=%v steps=%d\n", o.Converged, o.Steps)
+	for u := range o.Routed {
+		if o.Routed[u] {
+			s += fmt.Sprintf("  node %d: weight %s via %v\n", u, value.Format(o.Weights[u]), o.Paths[u])
+		} else {
+			s += fmt.Sprintf("  node %d: no route\n", u)
+		}
+	}
+	return s
+}

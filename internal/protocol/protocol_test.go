@@ -1,0 +1,189 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/fn"
+	"metarouting/internal/graph"
+	"metarouting/internal/ost"
+	"metarouting/internal/solve"
+)
+
+func alg(t testing.TB, src string) *ost.OrderTransform {
+	t.Helper()
+	a, err := core.InferString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.OT
+}
+
+func TestConvergesOnIncreasingAlgebra(t *testing.T) {
+	a := alg(t, "delay(64,3)")
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(r, 8, 0.3, graph.UniformLabels(3))
+		out := Run(a, g, Config{Dest: 0, Origin: 0, MaxDelay: 3, Rand: r})
+		if !out.Converged {
+			t.Fatalf("trial %d: increasing algebra must converge", trial)
+		}
+		// The quiescent state is a stable (locally optimal) routing.
+		res := outcomeToResult(out, g)
+		if ok, why := solve.VerifyLocal(a, g, 0, 0, res); !ok {
+			t.Fatalf("trial %d: quiescent state not stable: %s", trial, why)
+		}
+	}
+}
+
+func TestMatchesBellmanFordWeightsOnMonotoneIncreasing(t *testing.T) {
+	a := alg(t, "delay(64,3)")
+	r := rand.New(rand.NewSource(9))
+	g := graph.Random(r, 8, 0.35, graph.UniformLabels(3))
+	out := Run(a, g, Config{Dest: 0, Origin: 0, MaxDelay: 2, Rand: r})
+	bf := solve.BellmanFord(a, g, 0, 0, 0)
+	if !out.Converged || !bf.Converged {
+		t.Fatal("both must converge")
+	}
+	for u := 0; u < g.N; u++ {
+		if out.Routed[u] != bf.Routed[u] {
+			t.Fatalf("node %d routedness differs", u)
+		}
+		if out.Routed[u] && !a.Ord.Equiv(out.Weights[u], bf.Weights[u]) {
+			// For M ∧ I algebras both converge to the unique local
+			// optimum, which is also global.
+			t.Fatalf("node %d: %v vs %v", u, out.Weights[u], bf.Weights[u])
+		}
+	}
+}
+
+// TestBadGadgetDiverges reproduces persistent route oscillation [16]:
+// the SPP gadget algebra filters paths so that each node permits exactly
+// its direct route and the route via its clockwise neighbour, preferring
+// the latter. No stable routing exists, so the protocol can never
+// quiesce — it runs until the step budget is exhausted.
+func TestBadGadgetDiverges(t *testing.T) {
+	a := alg(t, "gadget")
+	// Label 0 = direct arc, label 1 = via-neighbour arc.
+	g, _ := graph.BadGadgetArcs()
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		out := Run(a, g, Config{Dest: 0, Origin: 0, MaxSteps: 3000, MaxDelay: 2, Rand: r})
+		if out.Converged {
+			t.Fatalf("seed %d: BAD GADGET must not converge, but quiesced after %d steps:\n%s",
+				seed, out.Steps, out.Describe())
+		}
+	}
+}
+
+// TestGadgetAlgebraRejectsLongPaths: the SPP gadget algebra filters any
+// path other than (i,0) and (i,i+1,0) to ⊤.
+func TestGadgetAlgebraRejectsLongPaths(t *testing.T) {
+	a := alg(t, "gadget")
+	direct, _ := a.F.ByName("direct")
+	via, _ := a.F.ByName("via")
+	// (3,1,2,0): via∘via∘direct applied to the origin 0.
+	w := a.PathWeight([]fn.Fn{via, via, direct}, 0)
+	if w != 3 {
+		t.Fatalf("three-hop path must be filtered to ⊤: got %v", w)
+	}
+	if a.PathWeight([]fn.Fn{via, direct}, 0) != 1 {
+		t.Fatal("(i,i+1,0) must get the preferred weight 1")
+	}
+	if a.PathWeight([]fn.Fn{direct}, 0) != 2 {
+		t.Fatal("(i,0) must get the fallback weight 2")
+	}
+}
+
+// TestGoodGadgetConverges: the same topology with satisfiable preferences
+// (every node prefers its direct route) quiesces immediately.
+func TestGoodGadgetConverges(t *testing.T) {
+	a := alg(t, "lp(2)")
+	g := graph.MustNew(4, []graph.Arc{
+		{From: 1, To: 0, Label: 2}, {From: 2, To: 0, Label: 2}, {From: 3, To: 0, Label: 2},
+		{From: 1, To: 2, Label: 1}, {From: 2, To: 3, Label: 1}, {From: 3, To: 1, Label: 1},
+	})
+	r := rand.New(rand.NewSource(1))
+	out := Run(a, g, Config{Dest: 0, Origin: 2, MaxDelay: 2, Rand: r})
+	if !out.Converged {
+		t.Fatalf("good gadget must converge:\n%s", out.Describe())
+	}
+	for u := 1; u <= 3; u++ {
+		if !out.Routed[u] || out.Weights[u] != 2 {
+			t.Fatalf("node %d must hold its preferred direct route: %s", u, out.Describe())
+		}
+	}
+}
+
+// TestLoopRejection: advertised paths never contain the receiving node,
+// and final paths are loop-free.
+func TestLoopRejection(t *testing.T) {
+	a := alg(t, "delay(64,2)")
+	r := rand.New(rand.NewSource(4))
+	g := graph.Ring(r, 6, graph.UniformLabels(2))
+	out := Run(a, g, Config{Dest: 0, Origin: 0, MaxDelay: 4, Rand: r})
+	if !out.Converged {
+		t.Fatal("ring with delay must converge")
+	}
+	for u, p := range out.Paths {
+		if !out.Routed[u] {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, n := range p {
+			if seen[n] {
+				t.Fatalf("node %d: path %v has a loop", u, p)
+			}
+			seen[n] = true
+		}
+		if p[0] != u || p[len(p)-1] != 0 {
+			t.Fatalf("node %d: path %v malformed", u, p)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := alg(t, "delay(64,3)")
+	g := graph.Random(rand.New(rand.NewSource(2)), 7, 0.3, graph.UniformLabels(3))
+	run := func(seed int64) *Outcome {
+		return Run(a, g, Config{Dest: 0, Origin: 0, MaxDelay: 3, Rand: rand.New(rand.NewSource(seed))})
+	}
+	a1, a2 := run(5), run(5)
+	if a1.Steps != a2.Steps {
+		t.Fatal("same seed must give identical runs")
+	}
+	for u := range a1.Weights {
+		if a1.Routed[u] != a2.Routed[u] || (a1.Routed[u] && a1.Weights[u] != a2.Weights[u]) {
+			t.Fatal("same seed must give identical state")
+		}
+	}
+}
+
+func TestRequiresRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without Rand")
+		}
+	}()
+	a := alg(t, "delay(4,1)")
+	Run(a, graph.GoodGadget(), Config{Dest: 0, Origin: 0})
+}
+
+// outcomeToResult adapts a protocol outcome to the solve.Result shape so
+// the stability verifier can inspect it.
+func outcomeToResult(out *Outcome, g *graph.Graph) *solve.Result {
+	res := &solve.Result{
+		Dest:    0,
+		Routed:  out.Routed,
+		Weights: out.Weights,
+		NextHop: make([]int, g.N),
+	}
+	for u := range res.NextHop {
+		res.NextHop[u] = -1
+		if out.Routed[u] && len(out.Paths[u]) > 1 {
+			res.NextHop[u] = out.Paths[u][1]
+		}
+	}
+	return res
+}

@@ -1,0 +1,26 @@
+package quadrant
+
+import (
+	"metarouting/internal/bsg"
+	"metarouting/internal/fn"
+	"metarouting/internal/order"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+func newBSG(add, mul *sg.Semigroup) *bsg.Bisemigroup { return bsg.New("rnd", add, mul) }
+
+// intLeq is the usual order on {0..cap}.
+func intLeq(cap int) *order.Preorder {
+	return order.IntLeq("≤", value.Ints(0, cap))
+}
+
+// pointwiseOrder is the componentwise order on {0..n-1}², which has
+// nontrivial antichains.
+func pointwiseOrder(n int) *order.Preorder {
+	a := order.IntLeq("≤", value.Ints(0, n-1))
+	return order.Pointwise(a, a)
+}
+
+// identityOnly is fn.IdentityOnly re-exported for test brevity.
+func identityOnly() *fn.Set { return fn.IdentityOnly() }

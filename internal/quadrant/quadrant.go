@@ -1,0 +1,337 @@
+// Package quadrant implements the translations between the four quadrants
+// of the algebraic-routing model (§III, Fig 1):
+//
+//   - the Cayley maps, turning algebraic weight computation (⊗) into
+//     functional weight computation (F = {λy. x⊗y});
+//   - the natural-order maps NOᴸ and NOᴿ, turning algebraic weight
+//     summarization (⊕) into ordered summarization (≲);
+//   - the min-set map, turning ordered summarization back into algebraic
+//     summarization over antichains — an instance of a Wongseelashote
+//     reduction, which this package also defines and checks.
+package quadrant
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"metarouting/internal/bsg"
+	"metarouting/internal/fn"
+	"metarouting/internal/order"
+	"metarouting/internal/osg"
+	"metarouting/internal/ost"
+	"metarouting/internal/sg"
+	"metarouting/internal/sgt"
+	"metarouting/internal/value"
+)
+
+// Cayley turns a bisemigroup into the corresponding semigroup transform
+// (S, ⊕, {λy. x⊗y | x ∈ S}).
+func Cayley(b *bsg.Bisemigroup) *sgt.SemigroupTransform {
+	return sgt.FromBisemigroup("cayley("+b.Name+")", b.Add, b.Mul.Op)
+}
+
+// CayleyOrder turns an order semigroup into the corresponding order
+// transform (S, ≲, {λy. x⊗y | x ∈ S}).
+func CayleyOrder(s *osg.OrderSemigroup) *ost.OrderTransform {
+	return ost.FromSemigroupOrder("cayley("+s.Name+")", s.Ord, s.Mul.Op)
+}
+
+// NOL maps a bisemigroup to an order semigroup via the left natural order
+// (§III): NOᴸ(S, ⊕, ⊗) = (S, ≲ᴸ, ⊗) with s1 ≲ᴸ s2 ⟺ s1 = s1⊕s2.
+func NOL(b *bsg.Bisemigroup) *osg.OrderSemigroup {
+	return osg.New("NOᴸ("+b.Name+")", sg.NaturalLeft(b.Add), b.Mul)
+}
+
+// NOR maps a bisemigroup to an order semigroup via the right natural order.
+func NOR(b *bsg.Bisemigroup) *osg.OrderSemigroup {
+	return osg.New("NOᴿ("+b.Name+")", sg.NaturalRight(b.Add), b.Mul)
+}
+
+// NOLTransform maps a semigroup transform to an order transform via the
+// left natural order: NOᴸ(S, ⊕, F) = (S, ≲ᴸ, F).
+func NOLTransform(t *sgt.SemigroupTransform) *ost.OrderTransform {
+	return ost.New("NOᴸ("+t.Name+")", sg.NaturalLeft(t.Add), t.F)
+}
+
+// NORTransform maps a semigroup transform to an order transform via the
+// right natural order.
+func NORTransform(t *sgt.SemigroupTransform) *ost.OrderTransform {
+	return ost.New("NOᴿ("+t.Name+")", sg.NaturalRight(t.Add), t.F)
+}
+
+// VSet is a canonical finite set of carrier values, comparable with ==.
+// It is the carrier element type of min-set-mapped structures: the key is
+// the sorted, formatted element list and Elems holds the members.
+//
+// Only Key participates in equality; Elems is auxiliary payload reached
+// through the owning structure's registry, so two VSets built from the
+// same member set compare equal regardless of construction order.
+type VSet struct {
+	key string
+}
+
+// Key returns the canonical rendering of the set.
+func (s VSet) Key() string { return s.key }
+
+// String implements fmt.Stringer.
+func (s VSet) String() string { return s.key }
+
+// SetRegistry interns VSets and remembers their members.
+type SetRegistry struct {
+	members map[string][]value.V
+}
+
+// NewSetRegistry returns an empty registry.
+func NewSetRegistry() *SetRegistry {
+	return &SetRegistry{members: make(map[string][]value.V)}
+}
+
+// Intern canonicalizes elems (sorted by rendering, deduplicated) into a
+// VSet and records its membership.
+func (reg *SetRegistry) Intern(elems []value.V) VSet {
+	type kv struct {
+		k string
+		v value.V
+	}
+	kvs := make([]kv, 0, len(elems))
+	seen := make(map[value.V]bool, len(elems))
+	for _, e := range elems {
+		if !seen[e] {
+			seen[e] = true
+			kvs = append(kvs, kv{value.Format(e), e})
+		}
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	keys := make([]string, len(kvs))
+	vals := make([]value.V, len(kvs))
+	for i, p := range kvs {
+		keys[i] = p.k
+		vals[i] = p.v
+	}
+	key := "{" + strings.Join(keys, ", ") + "}"
+	if _, ok := reg.members[key]; !ok {
+		reg.members[key] = vals
+	}
+	return VSet{key: key}
+}
+
+// Members returns the elements of an interned set.
+func (reg *SetRegistry) Members(s VSet) []value.V { return reg.members[s.key] }
+
+// MinSetSemigroup turns a preorder into a semigroup over antichains
+// (§III): A ⊕ B := min≲(A ∪ B). The carrier is the set of ≲-antichains
+// of the (finite) order's carrier; the empty set is the identity.
+func MinSetSemigroup(p *order.Preorder, reg *SetRegistry) *sg.Semigroup {
+	if !p.Car.Finite() {
+		panic("quadrant: MinSetSemigroup requires a finite carrier")
+	}
+	elems := antichains(p, reg)
+	car := value.NewFinite("A("+p.Car.Name+")", elems)
+	s := sg.New("minset("+p.Name+")", car, func(a, b value.V) value.V {
+		as, bs := reg.Members(a.(VSet)), reg.Members(b.(VSet))
+		union := make([]value.V, 0, len(as)+len(bs))
+		union = append(union, as...)
+		union = append(union, bs...)
+		return reg.Intern(p.MinSet(union))
+	})
+	s.WithIdentity(reg.Intern(nil))
+	return s
+}
+
+// MinSetTransform turns an order transform into a semigroup transform
+// (§III): carrier S' = {A ⊆ S | min≲(A) = A}, A ⊕ B = min(A ∪ B), and
+// f'(A) = min{f(a) | a ∈ A}.
+func MinSetTransform(t *ost.OrderTransform, reg *SetRegistry) *sgt.SemigroupTransform {
+	if !t.Finite() {
+		panic("quadrant: MinSetTransform requires a finite structure")
+	}
+	add := MinSetSemigroup(t.Ord, reg)
+	fns := make([]fn.Fn, 0, len(t.F.Fns))
+	for _, f := range t.F.Fns {
+		f := f
+		fns = append(fns, fn.Fn{
+			Name: f.Name + "'",
+			Apply: func(v value.V) value.V {
+				ms := reg.Members(v.(VSet))
+				out := make([]value.V, 0, len(ms))
+				for _, a := range ms {
+					out = append(out, f.Apply(a))
+				}
+				return reg.Intern(t.Ord.MinSet(out))
+			},
+		})
+	}
+	return sgt.New("minset("+t.Name+")", add, fn.NewFinite(t.F.Name+"'", fns))
+}
+
+// MinSetTransformLazy is MinSetTransform without the antichain-carrier
+// enumeration: the carrier is presented as sampled singletons, so the
+// structure cannot be exhaustively property-checked, but the fixpoint
+// solvers — which only ever touch sets reachable from the origin — can
+// compute Pareto route sets over orders whose antichain lattice is far
+// too large to enumerate (e.g. products of realistic metric ranges).
+// The function set must still be finite.
+func MinSetTransformLazy(t *ost.OrderTransform, reg *SetRegistry) *sgt.SemigroupTransform {
+	if !t.F.Finite() {
+		panic("quadrant: MinSetTransformLazy requires a finite function set")
+	}
+	car := value.NewSampled("A("+t.Ord.Car.Name+")", func(r *rand.Rand) value.V {
+		return reg.Intern([]value.V{t.Ord.Car.Draw(r)})
+	})
+	add := sg.New("minset("+t.Ord.Name+")", car, func(a, b value.V) value.V {
+		as, bs := reg.Members(a.(VSet)), reg.Members(b.(VSet))
+		union := make([]value.V, 0, len(as)+len(bs))
+		union = append(union, as...)
+		union = append(union, bs...)
+		return reg.Intern(t.Ord.MinSet(union))
+	})
+	add.WithIdentity(reg.Intern(nil))
+	fns := make([]fn.Fn, 0, len(t.F.Fns))
+	for _, f := range t.F.Fns {
+		f := f
+		fns = append(fns, fn.Fn{
+			Name: f.Name + "'",
+			Apply: func(v value.V) value.V {
+				ms := reg.Members(v.(VSet))
+				out := make([]value.V, 0, len(ms))
+				for _, a := range ms {
+					out = append(out, f.Apply(a))
+				}
+				return reg.Intern(t.Ord.MinSet(out))
+			},
+		})
+	}
+	return sgt.New("minset("+t.Name+")", add, fn.NewFinite(t.F.Name+"'", fns))
+}
+
+// MinSetOrderSemigroup composes the min-set map with the Cayley map,
+// turning an order semigroup into a semigroup transform (§III's route
+// from the upper-right to the lower-left quadrant).
+func MinSetOrderSemigroup(s *osg.OrderSemigroup, reg *SetRegistry) *sgt.SemigroupTransform {
+	return MinSetTransform(CayleyOrder(s), reg)
+}
+
+// antichains enumerates every subset A of the carrier with min≲(A) = A,
+// interned into reg. Exponential in the carrier size; callers keep
+// carriers small (≤ ~12 elements).
+func antichains(p *order.Preorder, reg *SetRegistry) []value.V {
+	n := len(p.Car.Elems)
+	if n > 20 {
+		panic("quadrant: carrier too large for antichain enumeration: " + p.Car.Name)
+	}
+	var out []value.V
+	seen := make(map[VSet]bool)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sub []value.V
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, p.Car.Elems[i])
+			}
+		}
+		min := p.MinSet(sub)
+		if len(min) != len(sub) {
+			continue
+		}
+		vs := reg.Intern(sub)
+		if !seen[vs] {
+			seen[vs] = true
+			out = append(out, vs)
+		}
+	}
+	return out
+}
+
+// Reduction is a Wongseelashote reduction on a semigroup (V, ∘): a
+// function r : 2ⱽ → 2ⱽ satisfying
+//
+//	(1) r(∅) = ∅
+//	(2) r(A ∪ B) = r(r(A) ∪ B)
+//	(3) r(A ∘ B) = r(r(A) ∘ B) = r(A ∘ r(B))
+//
+// where A ∘ B = {a∘b | a ∈ A, b ∈ B} (§VI).
+type Reduction struct {
+	// Name labels the reduction, e.g. "min".
+	Name string
+	// Apply maps a set of weights to its reduced form.
+	Apply func(a []value.V) []value.V
+}
+
+// MinReduction is the min-set-map as a reduction: r(A) = min≲(A).
+func MinReduction(p *order.Preorder) Reduction {
+	return Reduction{Name: "min_" + p.Name, Apply: p.MinSet}
+}
+
+// KBestReduction keeps the k best distinct elements under a total
+// preorder: r(A) = the k ≲-smallest members of A. It satisfies the
+// reduction laws on any semigroup whose operation is monotone over the
+// order — the algebraic footing for k-best path computation that §VI
+// anticipates. (For non-monotone operations law 3 can fail; the tests
+// exhibit this.)
+func KBestReduction(p *order.Preorder, k int) Reduction {
+	return Reduction{
+		Name: "kmin_" + p.Name,
+		Apply: func(a []value.V) []value.V {
+			// Dedup, then sort by the order, then truncate. Stable order
+			// of equivalent elements follows first appearance.
+			var distinct []value.V
+			seen := make(map[value.V]bool, len(a))
+			for _, x := range a {
+				if !seen[x] {
+					seen[x] = true
+					distinct = append(distinct, x)
+				}
+			}
+			sort.SliceStable(distinct, func(i, j int) bool {
+				return p.Lt(distinct[i], distinct[j])
+			})
+			if len(distinct) > k {
+				distinct = distinct[:k]
+			}
+			return distinct
+		},
+	}
+}
+
+// CheckReductionLaws verifies laws (1)–(3) for r over the semigroup s by
+// sampling random subsets of the carrier. It returns an empty string when
+// no violation is found, or a description of the first violation.
+func CheckReductionLaws(red Reduction, s *sg.Semigroup, r *rand.Rand, trials, maxSet int) string {
+	reg := NewSetRegistry()
+	canon := func(a []value.V) VSet { return reg.Intern(a) }
+	randSet := func() []value.V {
+		k := r.Intn(maxSet + 1)
+		out := make([]value.V, 0, k)
+		for i := 0; i < k; i++ {
+			out = append(out, s.Car.Draw(r))
+		}
+		return out
+	}
+	setOp := func(a, b []value.V) []value.V {
+		out := make([]value.V, 0, len(a)*len(b))
+		for _, x := range a {
+			for _, y := range b {
+				out = append(out, s.Op(x, y))
+			}
+		}
+		return out
+	}
+	if got := red.Apply(nil); len(got) != 0 {
+		return "law 1 violated: r(∅) ≠ ∅"
+	}
+	for i := 0; i < trials; i++ {
+		a, b := randSet(), randSet()
+		lhs := canon(red.Apply(append(append([]value.V{}, a...), b...)))
+		rhs := canon(red.Apply(append(append([]value.V{}, red.Apply(a)...), b...)))
+		if lhs != rhs {
+			return "law 2 violated: r(A∪B) ≠ r(r(A)∪B) for A=" + value.FormatSet(a) + " B=" + value.FormatSet(b)
+		}
+		lhs3 := canon(red.Apply(setOp(a, b)))
+		mid3 := canon(red.Apply(setOp(red.Apply(a), b)))
+		rhs3 := canon(red.Apply(setOp(a, red.Apply(b))))
+		if lhs3 != mid3 || lhs3 != rhs3 {
+			return "law 3 violated for A=" + value.FormatSet(a) + " B=" + value.FormatSet(b)
+		}
+	}
+	return ""
+}

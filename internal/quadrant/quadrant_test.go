@@ -1,0 +1,323 @@
+package quadrant
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/baselib"
+	"metarouting/internal/fn"
+	"metarouting/internal/gen"
+	"metarouting/internal/ost"
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+func TestCayleyPreservesM(t *testing.T) {
+	// The Cayley transform of a semiring has homomorphic functions:
+	// M(bisemigroup) = distributivity becomes M(transform) = hom.
+	b := baselib.MinPlus(5)
+	tr := Cayley(b)
+	st, w := tr.CheckM(nil, 0)
+	if st != prop.True {
+		t.Fatalf("Cayley(min-plus) must be homomorphic: %s", w)
+	}
+	// Cayley of a non-distributive bisemigroup is not.
+	min := sg.New("min", value.Ints(0, 3), func(a, b value.V) value.V {
+		if a.(int) < b.(int) {
+			return a
+		}
+		return b
+	})
+	mul := sg.New("×mod4", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) * b.(int) % 4 })
+	tr2 := Cayley(newBSG(min, mul))
+	if st, _ := tr2.CheckM(nil, 0); st != prop.False {
+		t.Fatal("Cayley of a non-distributive bisemigroup must fail M")
+	}
+}
+
+func TestCayleyOrderMatchesDirectCheck(t *testing.T) {
+	s := baselib.ShortestPathOSG(5)
+	tr := CayleyOrder(s)
+	st, w := tr.CheckM(nil, 0)
+	if st != prop.True {
+		t.Fatalf("Cayley((ℕ,≤,+)) must be monotone: %s", w)
+	}
+	stI, _ := tr.CheckND(nil, 0)
+	if stI != prop.True {
+		t.Fatal("Cayley((ℕ,≤,+)) must be ND")
+	}
+}
+
+// TestNaturalOrderTranslations: NOᴸ of min-plus gives the usual ≤;
+// checking M in the ordered world matches distributivity in the
+// algebraic world for selective ⊕.
+func TestNaturalOrderTranslations(t *testing.T) {
+	b := baselib.MinPlus(5)
+	o := NOL(b)
+	if !o.Ord.Leq(2, 4) || o.Ord.Leq(4, 2) {
+		t.Fatal("NOᴸ(min) must be ≤")
+	}
+	st, w := o.CheckM(true, nil, 0)
+	if st != prop.True {
+		t.Fatalf("NOᴸ(min-plus) must be monotone: %s", w)
+	}
+	oR := NOR(b)
+	if !oR.Ord.Leq(4, 2) || oR.Ord.Leq(2, 4) {
+		t.Fatal("NOᴿ(min) must be ≥")
+	}
+}
+
+// TestNOAgreementRandom: for random selective CI ⊕ and associative ⊗,
+// M in the ordered world (via NOᴸ) coincides with left distributivity.
+func TestNOAgreementRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	count := 0
+	for count < 150 {
+		add := gen.CISemigroup(r, 2+r.Intn(3))
+		if st, _ := add.CheckSelective(nil, 0); st != prop.True {
+			continue
+		}
+		count++
+		mul := gen.AssocOp(r, add.Car.Size())
+		b := newBSG(add, mul)
+		o := NOL(b)
+		algSt, _ := b.CheckM(true, nil, 0)
+		ordSt, _ := o.CheckM(true, nil, 0)
+		if algSt == prop.True && ordSt != prop.True {
+			// Distributivity over a selective ⊕ implies order
+			// monotonicity (the converse can fail: order monotonicity is
+			// up to ~, distributivity is equational).
+			t.Fatalf("distributive but not order-monotone: %s/%s", add.Name, mul.Name)
+		}
+	}
+}
+
+func TestNOLTransformRoundTrip(t *testing.T) {
+	b := baselib.BoundedDistSGT(4)
+	o := NOLTransform(b)
+	st, w := o.CheckM(nil, 0)
+	if st != prop.True {
+		t.Fatalf("NOᴸ(bounded-dist) must be monotone: %s", w)
+	}
+	if st, _ := o.CheckND(nil, 0); st != prop.True {
+		t.Fatal("NOᴸ(bounded-dist) must be ND")
+	}
+}
+
+func TestSetRegistryIntern(t *testing.T) {
+	reg := NewSetRegistry()
+	a := reg.Intern([]value.V{3, 1, 2, 1})
+	b := reg.Intern([]value.V{2, 3, 1})
+	if a != b {
+		t.Fatalf("order/duplicates must not matter: %v vs %v", a, b)
+	}
+	if len(reg.Members(a)) != 3 {
+		t.Fatalf("members = %v", reg.Members(a))
+	}
+	empty := reg.Intern(nil)
+	if empty.Key() != "{}" {
+		t.Fatalf("empty key = %q", empty.Key())
+	}
+}
+
+func TestMinSetSemigroupLaws(t *testing.T) {
+	reg := NewSetRegistry()
+	// Divisibility-ish partial order on {1..6} via bitmask subset order
+	// keeps the antichain count small; use the pointwise order on pairs.
+	p := pointwiseOrder(3)
+	s := MinSetSemigroup(p, reg)
+	s.CheckAll(nil, 0)
+	for _, id := range []prop.ID{prop.Associative, prop.Commutative, prop.Idempotent} {
+		if !s.Props.Holds(id) {
+			t.Fatalf("min-set semigroup must satisfy %s: %s", id, s.Props.Get(id).Witness)
+		}
+	}
+	if e, ok := s.Identity(); !ok || e != value.V(reg.Intern(nil)) {
+		t.Fatalf("identity must be ∅: %v %v", e, ok)
+	}
+}
+
+func TestMinSetTransformParetoFront(t *testing.T) {
+	reg := NewSetRegistry()
+	p := pointwiseOrder(2)
+	id := ost.New("ids", p, identityOnly())
+	ms := MinSetTransform(id, reg)
+	// {(0,1), (1,0)} is an antichain: combining it with {(0,0)} collapses
+	// to {(0,0)}.
+	front := reg.Intern([]value.V{value.Pair{A: 0, B: 1}, value.Pair{A: 1, B: 0}})
+	best := reg.Intern([]value.V{value.Pair{A: 0, B: 0}})
+	got := ms.Add.Op(front, best)
+	if got != best {
+		t.Fatalf("(0,0) dominates the front: got %v", got)
+	}
+	// Combining two incomparable singletons keeps both.
+	a := reg.Intern([]value.V{value.Pair{A: 0, B: 1}})
+	b := reg.Intern([]value.V{value.Pair{A: 1, B: 0}})
+	if ms.Add.Op(a, b) != value.V(front) {
+		t.Fatalf("incomparable weights must both survive: %v", ms.Add.Op(a, b))
+	}
+}
+
+// TestMinSetTransformHomomorphic: the min-set map of a monotone order
+// transform yields homomorphic functions (M in the lower-left quadrant) —
+// the translation carries global-optimality structure across quadrants.
+func TestMinSetTransformHomomorphic(t *testing.T) {
+	reg := NewSetRegistry()
+	d := baselib.Delay(3, 1)
+	ms := MinSetTransform(d, reg)
+	st, w := ms.CheckM(nil, 0)
+	if st != prop.True {
+		t.Fatalf("min-set of monotone delay must be homomorphic: %s", w)
+	}
+}
+
+func TestMinReductionLaws(t *testing.T) {
+	// §VI: min is a reduction on (ℕ, +).
+	plus := sg.New("+sat", value.Ints(0, 15), func(a, b value.V) value.V {
+		s := a.(int) + b.(int)
+		if s > 15 {
+			s = 15
+		}
+		return s
+	})
+	p := intLeq(15)
+	r := rand.New(rand.NewSource(9))
+	if msg := CheckReductionLaws(MinReduction(p), plus, r, 300, 5); msg != "" {
+		t.Fatalf("min must be a reduction on (ℕ,+): %s", msg)
+	}
+}
+
+func TestNonReductionDetected(t *testing.T) {
+	// "Keep the even elements" is not a reduction on (ℕ,+): law 3 fails
+	// because odd+odd sums to even and is lost when filtering early
+	// (r({1}∘{1}) = {2} but r(r({1})∘{1}) = ∅).
+	bogus := Reduction{Name: "evens", Apply: func(a []value.V) []value.V {
+		var out []value.V
+		for _, v := range a {
+			if v.(int)%2 == 0 {
+				out = append(out, v)
+			}
+		}
+		return out
+	}}
+	plus := sg.New("+sat", value.Ints(0, 7), func(a, b value.V) value.V {
+		s := a.(int) + b.(int)
+		if s > 7 {
+			s = 7
+		}
+		return s
+	})
+	r := rand.New(rand.NewSource(10))
+	if msg := CheckReductionLaws(bogus, plus, r, 300, 4); msg == "" {
+		t.Fatal("bogus reduction must be rejected")
+	}
+}
+
+func TestAntichainEnumerationGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized carrier")
+		}
+	}()
+	reg := NewSetRegistry()
+	MinSetSemigroup(intLeq(30), reg)
+}
+
+func TestKBestReductionLaws(t *testing.T) {
+	// k-min is a reduction on (ℕ,+sat): + is monotone over ≤.
+	plus := func() *sg.Semigroup {
+		s := sg.New("+sat", value.Ints(0, 15), func(a, b value.V) value.V {
+			x := a.(int) + b.(int)
+			if x > 15 {
+				x = 15
+			}
+			return x
+		})
+		return s
+	}()
+	p := intLeq(15)
+	r := rand.New(rand.NewSource(21))
+	for _, k := range []int{1, 2, 3} {
+		if msg := CheckReductionLaws(KBestReduction(p, k), plus, r, 300, 6); msg != "" {
+			t.Fatalf("k=%d must be a reduction on (ℕ,+): %s", k, msg)
+		}
+	}
+}
+
+func TestKBestReductionFailsOnNonMonotoneOp(t *testing.T) {
+	// x∘y = (x·y) mod 16 is not monotone over ≤, so truncating to the k
+	// best before combining loses sums that would have been small — law 3
+	// must fail for some sampled sets.
+	mul := sg.New("×mod16", value.Ints(0, 15), func(a, b value.V) value.V {
+		return a.(int) * b.(int) % 16
+	})
+	p := intLeq(15)
+	r := rand.New(rand.NewSource(22))
+	if msg := CheckReductionLaws(KBestReduction(p, 2), mul, r, 600, 6); msg == "" {
+		t.Fatal("k-min over a non-monotone operation must violate the reduction laws")
+	}
+}
+
+func TestKBestReductionBasics(t *testing.T) {
+	p := intLeq(9)
+	red := KBestReduction(p, 3)
+	got := red.Apply([]value.V{7, 3, 9, 3, 1, 5})
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("3-best = %v", got)
+	}
+	if out := red.Apply(nil); len(out) != 0 {
+		t.Fatal("k-best of ∅ must be ∅")
+	}
+}
+
+func TestMinSetOrderSemigroup(t *testing.T) {
+	reg := NewSetRegistry()
+	s := baselib.ShortestPathOSG(3)
+	ms := MinSetOrderSemigroup(s, reg)
+	// The Cayley+minset composition of a distributive structure is
+	// homomorphic.
+	st, w := ms.CheckM(nil, 0)
+	if st != prop.True {
+		t.Fatalf("minset(cayley(min-plus-order)) must be homomorphic: %s", w)
+	}
+}
+
+func TestMinSetTransformLazySingletons(t *testing.T) {
+	reg := NewSetRegistry()
+	d := baselib.Delay(3, 1)
+	lazy := MinSetTransformLazy(d, reg)
+	r := rand.New(rand.NewSource(5))
+	// Sampled carrier yields singleton antichains.
+	v := lazy.Carrier().Draw(r).(VSet)
+	if len(reg.Members(v)) != 1 {
+		t.Fatalf("lazy carrier must sample singletons: %v", v)
+	}
+	// Identity is the empty set; ⊕ takes minima.
+	e, ok := lazy.Add.Identity()
+	if !ok || e != value.V(reg.Intern(nil)) {
+		t.Fatalf("identity = %v, %v", e, ok)
+	}
+	a := reg.Intern([]value.V{2})
+	b := reg.Intern([]value.V{1})
+	if lazy.Add.Op(a, b) != value.V(b) {
+		t.Fatal("⊕ must keep the minimum under a total order")
+	}
+	// Functions act pointwise then reduce.
+	got := lazy.F.Fns[0].Apply(a).(VSet)
+	if ms := reg.Members(got); len(ms) != 1 || ms[0] != 3 {
+		t.Fatalf("f'({2}) = %v", reg.Members(got))
+	}
+}
+
+func TestMinSetTransformLazyRequiresFiniteF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	reg := NewSetRegistry()
+	inf := ost.New("inf", intLeq(3),
+		fn.NewSampled("F∞", func(r *rand.Rand) fn.Fn { return fn.Identity() }))
+	MinSetTransformLazy(inf, reg)
+}

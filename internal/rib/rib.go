@@ -1,0 +1,134 @@
+// Package rib assembles per-destination solver results into a routing
+// information base: the table a router would actually hold, with weight
+// lookup, next-hop sets (equal-cost multipath over order-equivalent
+// routes), and forwarding-path resolution with loop detection.
+package rib
+
+import (
+	"fmt"
+
+	"metarouting/internal/graph"
+	"metarouting/internal/ost"
+	"metarouting/internal/solve"
+	"metarouting/internal/value"
+)
+
+// Entry is one node's route toward one destination.
+type Entry struct {
+	// Weight is the selected route's weight.
+	Weight value.V
+	// NextHops lists every neighbour offering an order-equivalent best
+	// weight (ECMP set); NextHops[0] is the solver's primary choice.
+	NextHops []int
+}
+
+// RIB holds routes from every node to every requested destination.
+type RIB struct {
+	alg *ost.OrderTransform
+	g   *graph.Graph
+	// table[dest][node] is the entry, nil when unrouted.
+	table map[int][]*Entry
+}
+
+// Build computes a RIB for the given destinations and their originated
+// weights, using the synchronous fixpoint solver (correct for monotone
+// algebras; a converged fixpoint is a stable routing for increasing
+// ones). Destinations whose solver run does not converge are reported in
+// the error but present (best-effort) in the table.
+func Build(alg *ost.OrderTransform, g *graph.Graph, origins map[int]value.V) (*RIB, error) {
+	r := &RIB{alg: alg, g: g, table: make(map[int][]*Entry, len(origins))}
+	var unconverged []int
+	for dest, origin := range origins {
+		if dest < 0 || dest >= g.N {
+			return nil, fmt.Errorf("rib: destination %d out of range", dest)
+		}
+		res := solve.BellmanFord(alg, g, dest, origin, 0)
+		if !res.Converged {
+			unconverged = append(unconverged, dest)
+		}
+		entries := make([]*Entry, g.N)
+		for u := 0; u < g.N; u++ {
+			if !res.Routed[u] {
+				continue
+			}
+			e := &Entry{Weight: res.Weights[u]}
+			if u == dest {
+				entries[u] = e
+				continue
+			}
+			e.NextHops = append(e.NextHops, res.NextHop[u])
+			// ECMP: any other neighbour offering an equivalent weight.
+			for _, ai := range g.Out(u) {
+				v := g.Arcs[ai].To
+				if v == res.NextHop[u] || !res.Routed[v] {
+					continue
+				}
+				cand := alg.F.Fns[g.Arcs[ai].Label].Apply(res.Weights[v])
+				if alg.Ord.Equiv(cand, res.Weights[u]) {
+					e.NextHops = append(e.NextHops, v)
+				}
+			}
+			entries[u] = e
+		}
+		r.table[dest] = entries
+	}
+	if len(unconverged) > 0 {
+		return r, fmt.Errorf("rib: fixpoint did not converge for destinations %v", unconverged)
+	}
+	return r, nil
+}
+
+// Destinations lists the destinations the RIB covers.
+func (r *RIB) Destinations() []int {
+	out := make([]int, 0, len(r.table))
+	for d := range r.table {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Lookup returns node's entry toward dest (nil if unrouted or unknown
+// destination).
+func (r *RIB) Lookup(node, dest int) *Entry {
+	entries, ok := r.table[dest]
+	if !ok || node < 0 || node >= len(entries) {
+		return nil
+	}
+	return entries[node]
+}
+
+// Forward resolves the forwarding path from a node to dest following
+// primary next hops; it fails on missing routes and forwarding loops.
+func (r *RIB) Forward(from, dest int) (graph.Path, error) {
+	entries, ok := r.table[dest]
+	if !ok {
+		return nil, fmt.Errorf("rib: unknown destination %d", dest)
+	}
+	var p graph.Path
+	seen := make(map[int]bool)
+	u := from
+	for {
+		if entries[u] == nil {
+			return nil, fmt.Errorf("rib: node %d has no route to %d", u, dest)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("rib: forwarding loop at node %d toward %d", u, dest)
+		}
+		seen[u] = true
+		p = append(p, u)
+		if u == dest {
+			return p, nil
+		}
+		u = entries[u].NextHops[0]
+	}
+}
+
+// ECMPWidth returns the number of equal-cost next hops at node toward
+// dest (0 when unrouted).
+func (r *RIB) ECMPWidth(node, dest int) int {
+	e := r.Lookup(node, dest)
+	if e == nil {
+		return 0
+	}
+	return len(e.NextHops)
+}

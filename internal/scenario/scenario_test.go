@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"metarouting/internal/value"
+)
+
+const failoverScenario = `
+# failover drill
+expr   delay(64, 4)
+nodes  3
+arc    1 0 +1
+arc    2 1 +1
+arc    2 0 +4
+dest   0
+origin 0
+event  50 fail 1 0
+`
+
+func TestParseAndRun(t *testing.T) {
+	s, err := Parse(strings.NewReader(failoverScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Expr != "delay(64, 4)" || s.Graph.N != 3 || len(s.Events) != 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if !s.Events[0].Fail || s.Graph.Arcs[s.Events[0].Arc].From != 1 {
+		t.Fatalf("event wrong: %+v", s.Events[0])
+	}
+	out := s.Run(1, 0)
+	if !out.Converged {
+		t.Fatalf("scenario must converge: %s", out.Describe())
+	}
+	// After the 1→0 failure, node 1 routes via 2? No — node 1 has no
+	// other exit; it must withdraw, and node 2 must take the +4 backup.
+	if out.Routed[1] {
+		t.Fatalf("node 1 must withdraw after losing its only exit: %s", out.Describe())
+	}
+	if !out.Routed[2] || out.Weights[2] != 4 {
+		t.Fatalf("node 2 must take the backup: %s", out.Describe())
+	}
+}
+
+func TestParsePairOrigin(t *testing.T) {
+	src := `
+expr   scoped(bw(4), delay(16,2))
+nodes  2
+arc    1 0 0
+dest   0
+origin (4, 0)
+`
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Origin != (value.Pair{A: 4, B: 0}) {
+		t.Fatalf("origin = %v", s.Origin)
+	}
+	out := s.Run(2, 0)
+	if !out.Converged || !out.Routed[1] {
+		t.Fatalf("must route: %s", out.Describe())
+	}
+}
+
+func TestParseNestedPairOrigin(t *testing.T) {
+	v, err := parseValue("((3,0),7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := value.Pair{A: value.Pair{A: 3, B: 0}, B: 7}
+	if v != want {
+		t.Fatalf("parsed %v, want %v", v, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"nodes 2\narc 1 0 0\ndest 0\norigin 0\n", "missing expr"},
+		{"expr delay(4,1)\ndest 0\norigin 0\n", "missing nodes"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\n", "missing origin"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 zap\ndest 0\norigin 0\n", "unknown arc label"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 9\norigin 0\n", "out of range"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin 0\nevent 5 fail 0 1\n", "missing arc"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin 0\nevent 5 boom 1 0\n", "fail or up"},
+		{"expr nosuch(1)\nnodes 2\narc 1 0 0\ndest 0\norigin 0\n", "unknown base"},
+		{"expr delay(4,1)\nnodes 2\nfrob\n", "unknown directive"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin (1\n", "unbalanced"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin (1)\n", "top-level comma"},
+	}
+	for _, c := range cases {
+		_, err := Parse(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLabelResolutionByName(t *testing.T) {
+	src := `
+expr delay(8, 2)
+nodes 2
+arc 1 0 +2
+dest 0
+origin 0
+`
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +2 is the second delay function (index 1).
+	if s.Graph.Arcs[0].Label != 1 {
+		t.Fatalf("label = %d", s.Graph.Arcs[0].Label)
+	}
+}
+
+// FuzzScenarioParse: the scenario parser must never panic, whatever the
+// input (seed corpus runs in normal test mode).
+func FuzzScenarioParse(f *testing.F) {
+	f.Add(failoverScenario)
+	f.Add("expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin ((1,2),(3,4))\n")
+	f.Add("nodes\n")
+	f.Add("arc a b c\n")
+	f.Add("event 1 2 3\n")
+	f.Add("origin ((((\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be runnable without panicking.
+		s.Run(1, 200)
+	})
+}

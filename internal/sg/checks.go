@@ -1,0 +1,154 @@
+package sg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/prop"
+	"metarouting/internal/value"
+)
+
+// checkN runs pred over n-tuples of carrier elements: exhaustively when
+// the carrier is finite, over `samples` random tuples otherwise (returning
+// Unknown if no violation is found by sampling, or if sampling is
+// impossible because r is nil).
+func (s *Semigroup) checkN(r *rand.Rand, samples, n int,
+	pred func(xs []value.V) (bool, string)) (prop.Status, string) {
+	if s.Car.Finite() {
+		xs := make([]value.V, n)
+		var rec func(i int) (prop.Status, string)
+		rec = func(i int) (prop.Status, string) {
+			if i == n {
+				if ok, w := pred(xs); !ok {
+					return prop.False, w
+				}
+				return prop.True, ""
+			}
+			for _, e := range s.Car.Elems {
+				xs[i] = e
+				if st, w := rec(i + 1); st == prop.False {
+					return st, w
+				}
+			}
+			return prop.True, ""
+		}
+		return rec(0)
+	}
+	if r == nil {
+		return prop.Unknown, ""
+	}
+	xs := make([]value.V, n)
+	for i := 0; i < samples; i++ {
+		for j := range xs {
+			xs[j] = s.Car.Draw(r)
+		}
+		if ok, w := pred(xs); !ok {
+			return prop.False, w
+		}
+	}
+	return prop.Unknown, ""
+}
+
+// CheckAssociative verifies (a⊕b)⊕c = a⊕(b⊕c).
+func (s *Semigroup) CheckAssociative(r *rand.Rand, samples int) (prop.Status, string) {
+	return s.checkN(r, samples, 3, func(xs []value.V) (bool, string) {
+		a, b, c := xs[0], xs[1], xs[2]
+		if s.Op(s.Op(a, b), c) != s.Op(a, s.Op(b, c)) {
+			return false, fmt.Sprintf("(%s⊕%s)⊕%s ≠ %s⊕(%s⊕%s)",
+				value.Format(a), value.Format(b), value.Format(c),
+				value.Format(a), value.Format(b), value.Format(c))
+		}
+		return true, ""
+	})
+}
+
+// CheckCommutative verifies a⊕b = b⊕a.
+func (s *Semigroup) CheckCommutative(r *rand.Rand, samples int) (prop.Status, string) {
+	return s.checkN(r, samples, 2, func(xs []value.V) (bool, string) {
+		a, b := xs[0], xs[1]
+		if s.Op(a, b) != s.Op(b, a) {
+			return false, fmt.Sprintf("%s⊕%s ≠ %s⊕%s",
+				value.Format(a), value.Format(b), value.Format(b), value.Format(a))
+		}
+		return true, ""
+	})
+}
+
+// CheckIdempotent verifies a⊕a = a.
+func (s *Semigroup) CheckIdempotent(r *rand.Rand, samples int) (prop.Status, string) {
+	return s.checkN(r, samples, 1, func(xs []value.V) (bool, string) {
+		a := xs[0]
+		if s.Op(a, a) != a {
+			return false, fmt.Sprintf("%s⊕%s ≠ %s", value.Format(a), value.Format(a), value.Format(a))
+		}
+		return true, ""
+	})
+}
+
+// CheckSelective verifies a⊕b ∈ {a, b}.
+func (s *Semigroup) CheckSelective(r *rand.Rand, samples int) (prop.Status, string) {
+	return s.checkN(r, samples, 2, func(xs []value.V) (bool, string) {
+		a, b := xs[0], xs[1]
+		if v := s.Op(a, b); v != a && v != b {
+			return false, fmt.Sprintf("%s⊕%s = %s ∉ {%s, %s}",
+				value.Format(a), value.Format(b), value.Format(v), value.Format(a), value.Format(b))
+		}
+		return true, ""
+	})
+}
+
+// CheckAll populates Props with judgements for the semigroup-level
+// properties. samples bounds work on infinite carriers.
+func (s *Semigroup) CheckAll(r *rand.Rand, samples int) {
+	record := func(id prop.ID, st prop.Status, w string) {
+		// Never overwrite a declared judgement with a weaker sampled one.
+		if cur := s.Props.Get(id); cur.Status != prop.Unknown && st == prop.Unknown {
+			return
+		}
+		rule := "model-check"
+		if st == prop.Unknown {
+			rule = "sampled"
+		}
+		s.Props.Put(id, prop.Judgement{Status: st, Rule: rule, Witness: w})
+	}
+	st, w := s.CheckAssociative(r, samples)
+	record(prop.Associative, st, w)
+	st, w = s.CheckCommutative(r, samples)
+	record(prop.Commutative, st, w)
+	st, w = s.CheckIdempotent(r, samples)
+	record(prop.Idempotent, st, w)
+	st, w = s.CheckSelective(r, samples)
+	record(prop.Selective, st, w)
+	if s.Car.Finite() {
+		_, _ = s.Identity()
+		_, _ = s.Absorber()
+	}
+}
+
+// IsCI reports whether the semigroup is known commutative and idempotent
+// (checking on demand for finite carriers).
+func (s *Semigroup) IsCI() bool {
+	for _, id := range []prop.ID{prop.Commutative, prop.Idempotent} {
+		st := s.Props.Status(id)
+		if st == prop.False {
+			return false
+		}
+		if st == prop.Unknown {
+			if !s.Car.Finite() {
+				return false
+			}
+			var cst prop.Status
+			var w string
+			if id == prop.Commutative {
+				cst, w = s.CheckCommutative(nil, 0)
+			} else {
+				cst, w = s.CheckIdempotent(nil, 0)
+			}
+			s.Props.Put(id, prop.Judgement{Status: cst, Rule: "model-check", Witness: w})
+			if cst != prop.True {
+				return false
+			}
+		}
+	}
+	return true
+}

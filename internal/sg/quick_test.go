@@ -1,0 +1,164 @@
+package sg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metarouting/internal/value"
+)
+
+// quickCI derives a deterministic CI semigroup from a seed.
+func quickCI(seed int64, n int) *Semigroup {
+	r := rand.New(rand.NewSource(seed))
+	car := value.Ints(0, n-1)
+	perm := r.Perm(n)
+	inv := make([]int, n)
+	for i, p := range perm {
+		inv[p] = i
+	}
+	switch r.Intn(3) {
+	case 0:
+		s := New("qmin", car, func(a, b value.V) value.V {
+			if inv[a.(int)] <= inv[b.(int)] {
+				return a
+			}
+			return b
+		})
+		return s
+	case 1:
+		s := New("qmax", car, func(a, b value.V) value.V {
+			if inv[a.(int)] >= inv[b.(int)] {
+				return a
+			}
+			return b
+		})
+		return s
+	default:
+		return New("qand", value.Ints(0, 3), func(a, b value.V) value.V {
+			return a.(int) & b.(int)
+		})
+	}
+}
+
+// Property: the lexicographic semigroup product is associative whenever
+// defined over CI factors — pointwise, for arbitrary triples.
+func TestQuickLexAssociativityPointwise(t *testing.T) {
+	f := func(s1, s2 int64, raw [6]uint8) bool {
+		a := quickCI(s1, 4)
+		b := quickCI(s2, 4)
+		if _, ok := b.Identity(); !ok {
+			if st, _ := a.CheckSelective(nil, 0); st.String() != "true" {
+				return true // undefined product: vacuous
+			}
+		}
+		l, err := Lex(a, b)
+		if err != nil {
+			return true
+		}
+		na, nb := a.Car.Size(), b.Car.Size()
+		x := value.Pair{A: a.Car.Elems[int(raw[0])%na], B: b.Car.Elems[int(raw[1])%nb]}
+		y := value.Pair{A: a.Car.Elems[int(raw[2])%na], B: b.Car.Elems[int(raw[3])%nb]}
+		z := value.Pair{A: a.Car.Elems[int(raw[4])%na], B: b.Car.Elems[int(raw[5])%nb]}
+		return l.Op(l.Op(x, y), z) == l.Op(x, l.Op(y, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for selective first factors the lex product never invents
+// elements — the result's components come from the operands.
+func TestQuickLexSelectiveNoInvention(t *testing.T) {
+	f := func(s2 int64, raw [4]uint8) bool {
+		a := quickCI(1, 4) // qmin under a fixed permutation: selective
+		b := quickCI(s2, 4)
+		if _, ok := b.Identity(); !ok {
+			return true
+		}
+		l, err := Lex(a, b)
+		if err != nil {
+			return true
+		}
+		na, nb := a.Car.Size(), b.Car.Size()
+		x := value.Pair{A: a.Car.Elems[int(raw[0])%na], B: b.Car.Elems[int(raw[1])%nb]}
+		y := value.Pair{A: a.Car.Elems[int(raw[2])%na], B: b.Car.Elems[int(raw[3])%nb]}
+		got := l.Op(x, y).(value.Pair)
+		if got.A != x.A && got.A != y.A {
+			return false
+		}
+		// The T component is one of the inputs or their ⊕ (never α-injected
+		// when S is selective).
+		return got.B == x.B || got.B == y.B || got.B == b.Op(x.B, y.B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: natural orders are compatible with the operation:
+// a ⊕ b ≲ᴸ a and a ⊕ b ≲ᴸ b for CI semigroups (⊕ is the meet of NOᴸ).
+func TestQuickNaturalLeftIsMeet(t *testing.T) {
+	f := func(seed int64, ai, bi uint8) bool {
+		s := quickCI(seed, 5)
+		n := s.Car.Size()
+		a, b := s.Car.Elems[int(ai)%n], s.Car.Elems[int(bi)%n]
+		l := NaturalLeft(s)
+		m := s.Op(a, b)
+		return l.Leq(m, a) && l.Leq(m, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddIdentity leaves old combinations untouched and its α is a
+// genuine two-sided identity.
+func TestQuickAddIdentity(t *testing.T) {
+	f := func(seed int64, ai, bi uint8) bool {
+		s := quickCI(seed, 4)
+		n := s.Car.Size()
+		a, b := s.Car.Elems[int(ai)%n], s.Car.Elems[int(bi)%n]
+		w := AddIdentity(s)
+		if w.Op(a, b) != s.Op(a, b) {
+			return false
+		}
+		alpha := value.V(value.Bot{})
+		return w.Op(alpha, a) == a && w.Op(a, alpha) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Szendrei ×ω collapses exactly the ω_S-producing combinations.
+func TestQuickSzendreiCollapse(t *testing.T) {
+	// Fixed structure: multiplication mod 4 (absorber 0) × max monoid.
+	prod := New("×mod4", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) * b.(int) % 4 })
+	prod.WithAbsorber(0)
+	mx := New("max", value.Ints(0, 3), func(a, b value.V) value.V {
+		if a.(int) >= b.(int) {
+			return a
+		}
+		return b
+	})
+	mx.WithIdentity(0)
+	z, err := SzendreiLex(prod, mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a1, a2, b1, b2 uint8) bool {
+		x1, y1 := 1+int(a1)%3, 1+int(b1)%3 // avoid ω_S = 0 in inputs
+		x := value.Pair{A: x1, B: int(a2) % 4}
+		y := value.Pair{A: y1, B: int(b2) % 4}
+		got := z.Op(x, y)
+		if prod.Op(x1, y1) == 0 {
+			return got == value.V(value.Omega{})
+		}
+		p, ok := got.(value.Pair)
+		return ok && p.A == prod.Op(x1, y1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,382 @@
+// Package sg implements semigroups — the "algebraic" approach to weight
+// summarization and computation in the quadrants model (§III of the paper)
+// — together with the lexicographic product of semigroups developed in
+// §IV.A, the Szendrei product ×ω of §VI, natural orders, and property
+// checking.
+package sg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/order"
+	"metarouting/internal/prop"
+	"metarouting/internal/value"
+)
+
+// Semigroup is a set with a binary operation (S, ⊕). Associativity is a
+// property to be checked or declared, not a construction-time requirement,
+// in keeping with the paper's "infer, don't insist" principle.
+type Semigroup struct {
+	// Name is a diagnostic label, e.g. "(ℕ,min)".
+	Name string
+	// Car is the carrier.
+	Car *value.Carrier
+	// Op is the binary operation.
+	Op func(a, b value.V) value.V
+	// Props caches property judgements.
+	Props prop.Set
+
+	identity, absorber       value.V
+	hasIdentity, hasAbsorber bool
+}
+
+// New builds a semigroup from a carrier and an operation.
+func New(name string, car *value.Carrier, op func(a, b value.V) value.V) *Semigroup {
+	return &Semigroup{Name: name, Car: car, Op: op, Props: prop.Make()}
+}
+
+// WithIdentity declares e as the identity element α and returns the
+// semigroup (needed for infinite carriers).
+func (s *Semigroup) WithIdentity(e value.V) *Semigroup {
+	s.identity, s.hasIdentity = e, true
+	s.Props.Declare(prop.HasIdentity)
+	return s
+}
+
+// WithAbsorber declares w as the absorbing element ω.
+func (s *Semigroup) WithAbsorber(w value.V) *Semigroup {
+	s.absorber, s.hasAbsorber = w, true
+	s.Props.Declare(prop.HasAbsorber)
+	return s
+}
+
+// Identity returns the declared or discovered identity element α:
+// α⊕x = x = x⊕α. Discovery requires a finite carrier; it is memoised.
+func (s *Semigroup) Identity() (value.V, bool) {
+	if s.hasIdentity {
+		return s.identity, true
+	}
+	if s.Props.Fails(prop.HasIdentity) || !s.Car.Finite() {
+		return nil, false
+	}
+	for _, cand := range s.Car.Elems {
+		ok := true
+		for _, x := range s.Car.Elems {
+			if s.Op(cand, x) != x || s.Op(x, cand) != x {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.identity, s.hasIdentity = cand, true
+			s.Props.Derive(prop.HasIdentity, prop.True, "enumerated")
+			return cand, true
+		}
+	}
+	s.Props.Derive(prop.HasIdentity, prop.False, "enumerated")
+	return nil, false
+}
+
+// Absorber returns the declared or discovered absorbing element ω:
+// ω⊕x = ω = x⊕ω.
+func (s *Semigroup) Absorber() (value.V, bool) {
+	if s.hasAbsorber {
+		return s.absorber, true
+	}
+	if s.Props.Fails(prop.HasAbsorber) || !s.Car.Finite() {
+		return nil, false
+	}
+	for _, cand := range s.Car.Elems {
+		ok := true
+		for _, x := range s.Car.Elems {
+			if s.Op(cand, x) != cand || s.Op(x, cand) != cand {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.absorber, s.hasAbsorber = cand, true
+			s.Props.Derive(prop.HasAbsorber, prop.True, "enumerated")
+			return cand, true
+		}
+	}
+	s.Props.Derive(prop.HasAbsorber, prop.False, "enumerated")
+	return nil, false
+}
+
+// IsMonoid reports whether the semigroup has an identity (declared or
+// discoverable).
+func (s *Semigroup) IsMonoid() bool {
+	_, ok := s.Identity()
+	return ok
+}
+
+// FoldLeft combines xs left-to-right, returning (zero value, false) on an
+// empty slice unless the semigroup has an identity.
+func (s *Semigroup) FoldLeft(xs []value.V) (value.V, bool) {
+	if len(xs) == 0 {
+		return s.Identity()
+	}
+	acc := xs[0]
+	for _, x := range xs[1:] {
+		acc = s.Op(acc, x)
+	}
+	return acc, true
+}
+
+// NaturalLeft returns the left natural order of §III:
+// s1 ≲ᴸ s2 ⟺ s1 = s1 ⊕ s2. For commutative idempotent semigroups this
+// is a partial order (⊕ read as greatest lower bound).
+func NaturalLeft(s *Semigroup) *order.Preorder {
+	p := order.New("NOᴸ("+s.Name+")", s.Car, func(a, b value.V) bool {
+		return a == s.Op(a, b)
+	})
+	if w, ok := s.Absorber(); ok {
+		// ω ⊕ x = ω, so ω ≲ᴸ everything: the absorber is ⊥ of NOᴸ.
+		p.WithBot(w)
+	}
+	if e, ok := s.Identity(); ok {
+		// x ⊕ α = x, so x ≲ᴸ α for all x: the identity is ⊤ of NOᴸ.
+		p.WithTop(e)
+	}
+	return p
+}
+
+// NaturalRight returns the right natural order of §III:
+// s1 ≲ᴿ s2 ⟺ s2 = s1 ⊕ s2 (⊕ read as least upper bound). For
+// commutative idempotent semigroups NOᴸ and NOᴿ are dual.
+func NaturalRight(s *Semigroup) *order.Preorder {
+	p := order.New("NOᴿ("+s.Name+")", s.Car, func(a, b value.V) bool {
+		return b == s.Op(a, b)
+	})
+	if w, ok := s.Absorber(); ok {
+		p.WithTop(w)
+	}
+	if e, ok := s.Identity(); ok {
+		p.WithBot(e)
+	}
+	return p
+}
+
+// Direct returns the direct (componentwise) product of s and t:
+// (s1,t1) ⊕ (s2,t2) = (s1 ⊕ₛ s2, t1 ⊕ₜ t2). This is the ⊗ of a
+// lexicographic bisemigroup product and of product order semigroups.
+func Direct(s, t *Semigroup) *Semigroup {
+	d := New("("+s.Name+" × "+t.Name+")", value.Product(s.Car, t.Car),
+		func(a, b value.V) value.V {
+			x, y := a.(value.Pair), b.(value.Pair)
+			return value.Pair{A: s.Op(x.A, y.A), B: t.Op(x.B, y.B)}
+		})
+	if es, ok := s.Identity(); ok {
+		if et, ok2 := t.Identity(); ok2 {
+			d.WithIdentity(value.Pair{A: es, B: et})
+		}
+	}
+	if ws, ok := s.Absorber(); ok {
+		if wt, ok2 := t.Absorber(); ok2 {
+			d.WithAbsorber(value.Pair{A: ws, B: wt})
+		}
+	}
+	return d
+}
+
+// Lex returns the lexicographic product of semigroups defined in §IV.A:
+//
+//	(s1,t1) ⊕ (s2,t2) := (s, [s = s1]t1 ⊕ₜ [s = s2]t2)   where s = s1 ⊕ₛ s2
+//
+// and [P]x is x when P holds and αₜ otherwise. The product is defined when
+// S is selective or T is a monoid (Theorem 2's side condition); Lex
+// returns an error otherwise. Both operands are expected to be commutative
+// and idempotent for the product to be well behaved; that is checked by
+// the inference layer, not here.
+func Lex(s, t *Semigroup) (*Semigroup, error) {
+	alphaT, tIsMonoid := t.Identity()
+	sSelective := s.Props.Holds(prop.Selective)
+	if !tIsMonoid && !sSelective {
+		// Selectivity may be checkable rather than declared.
+		if st, _ := s.CheckSelective(nil, 0); st == prop.True {
+			sSelective = true
+		}
+	}
+	if !tIsMonoid && !sSelective {
+		return nil, fmt.Errorf("sg: %s ×lex %s undefined: %s is not selective and %s has no identity",
+			s.Name, t.Name, s.Name, t.Name)
+	}
+	l := New("("+s.Name+" ×lex "+t.Name+")", value.Product(s.Car, t.Car),
+		func(a, b value.V) value.V {
+			x, y := a.(value.Pair), b.(value.Pair)
+			sum := s.Op(x.A, y.A)
+			e1, e2 := sum == x.A, sum == y.A
+			switch {
+			case e1 && e2:
+				return value.Pair{A: sum, B: t.Op(x.B, y.B)}
+			case e1:
+				return value.Pair{A: sum, B: x.B}
+			case e2:
+				return value.Pair{A: sum, B: y.B}
+			default:
+				return value.Pair{A: sum, B: alphaT}
+			}
+		})
+	if es, ok := s.Identity(); ok && tIsMonoid {
+		l.WithIdentity(value.Pair{A: es, B: alphaT})
+	}
+	return l, nil
+}
+
+// MustLex is Lex but panics on undefined products; for use with operands
+// statically known to satisfy Theorem 2's side condition.
+func MustLex(s, t *Semigroup) *Semigroup {
+	l, err := Lex(s, t)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// LexN folds Lex over a non-empty list left-associatively:
+// S1 ×lex S2 ×lex … ×lex Sn. Theorem 2 gives the definedness condition:
+// S1…S(k-1) selective, S(k+1)…Sn monoids, for some k.
+func LexN(ss ...*Semigroup) (*Semigroup, error) {
+	if len(ss) == 0 {
+		return nil, fmt.Errorf("sg: LexN of zero semigroups")
+	}
+	acc := ss[0]
+	for _, next := range ss[1:] {
+		var err error
+		acc, err = Lex(acc, next)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// MixedLexN folds a product chain left-associatively with per-step mode
+// selection (§VI's "mixed-mode n-ary lexicographic products"): step i
+// combines the accumulated product with ss[i+1] using ×ω when
+// modes[i] is true (requiring the accumulated left factor to have an
+// absorbing element) and plain ×lex otherwise. len(modes) must be
+// len(ss)-1.
+//
+// The paper warns that such mixtures need care: once a plain ×lex is
+// applied *after* a ×ω, the ω of the inner product becomes an ordinary
+// first component — pairs (ω, t) still carry live T data, so the
+// distinction between "error" and "least preferred" blurs exactly as §VI
+// describes. TestMixedModeOmegaBlurring pins this behaviour.
+func MixedLexN(modes []bool, ss ...*Semigroup) (*Semigroup, error) {
+	if len(ss) == 0 {
+		return nil, fmt.Errorf("sg: MixedLexN of zero semigroups")
+	}
+	if len(modes) != len(ss)-1 {
+		return nil, fmt.Errorf("sg: MixedLexN wants %d modes for %d factors, got %d",
+			len(ss)-1, len(ss), len(modes))
+	}
+	acc := ss[0]
+	for i, next := range ss[1:] {
+		var err error
+		if modes[i] {
+			acc, err = SzendreiLex(acc, next)
+		} else {
+			acc, err = Lex(acc, next)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// SzendreiLex returns the ×ω product of §VI. S must have an absorbing
+// element ωₛ; the carrier is ((S∖{ωₛ}) × T) ∪ {ω} and
+//
+//	ω ⊕ p = p ⊕ ω = ω
+//	(s1,t1) ⊕ (s2,t2) = ω                 if s1 ⊕ₛ s2 = ωₛ
+//	                  = lex product value  otherwise.
+//
+// The construction lets finite bounded algebras (whose N property
+// necessarily fails at the ceiling) still serve as the first component of
+// a lexicographic product: whenever the ceiling ωₛ arises the whole weight
+// collapses to ω.
+func SzendreiLex(s, t *Semigroup) (*Semigroup, error) {
+	ws, ok := s.Absorber()
+	if !ok {
+		return nil, fmt.Errorf("sg: %s ×ω %s undefined: %s has no absorbing element", s.Name, t.Name, s.Name)
+	}
+	inner, err := Lex(s, t)
+	if err != nil {
+		return nil, err
+	}
+	var car *value.Carrier
+	if s.Car.Finite() && t.Car.Finite() {
+		car = value.Adjoin(
+			value.Product(value.Without(s.Car, ws, s.Car.Name+"∖ω"), t.Car),
+			value.Omega{},
+			"(("+s.Car.Name+"∖ω)×"+t.Car.Name+")∪{ω}")
+	} else {
+		base := value.Product(s.Car, t.Car)
+		car = value.NewSampled("(("+s.Car.Name+"∖ω)×"+t.Car.Name+")∪{ω}", func(r *rand.Rand) value.V {
+			for {
+				v := base.Draw(r).(value.Pair)
+				if v.A != ws {
+					return v
+				}
+			}
+		})
+		car = value.Adjoin(car, value.Omega{}, car.Name)
+	}
+	z := New("("+s.Name+" ×ω "+t.Name+")", car, func(a, b value.V) value.V {
+		if (a == value.V(value.Omega{})) || (b == value.V(value.Omega{})) {
+			return value.Omega{}
+		}
+		x, y := a.(value.Pair), b.(value.Pair)
+		if s.Op(x.A, y.A) == ws {
+			return value.Omega{}
+		}
+		return inner.Op(a, b)
+	})
+	z.WithAbsorber(value.Omega{})
+	return z, nil
+}
+
+// AddIdentity adjoins a fresh identity element α to s. The new element is
+// value.Bot{} (an adjoined identity for a min-like ⊕ is the most preferred
+// element of the natural order).
+func AddIdentity(s *Semigroup) *Semigroup {
+	alpha := value.V(value.Bot{})
+	n := New("addα("+s.Name+")", value.Adjoin(s.Car, alpha, s.Car.Name+"∪{α}"),
+		func(a, b value.V) value.V {
+			if a == alpha {
+				return b
+			}
+			if b == alpha {
+				return a
+			}
+			return s.Op(a, b)
+		})
+	n.WithIdentity(alpha)
+	if w, ok := s.Absorber(); ok {
+		n.WithAbsorber(w)
+	}
+	return n
+}
+
+// AddAbsorber adjoins a fresh absorbing element ω to s. The new element is
+// value.Top{} (an adjoined absorber for a min-like ⊕ is the least
+// preferred element: "unreachable").
+func AddAbsorber(s *Semigroup) *Semigroup {
+	omega := value.V(value.Top{})
+	n := New("addω("+s.Name+")", value.Adjoin(s.Car, omega, s.Car.Name+"∪{ω}"),
+		func(a, b value.V) value.V {
+			if a == omega || b == omega {
+				return omega
+			}
+			return s.Op(a, b)
+		})
+	n.WithAbsorber(omega)
+	if e, ok := s.Identity(); ok {
+		n.WithIdentity(e)
+	}
+	return n
+}

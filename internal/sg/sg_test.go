@@ -1,0 +1,452 @@
+package sg
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/order"
+	"metarouting/internal/prop"
+	"metarouting/internal/value"
+)
+
+func minSG(cap int) *Semigroup {
+	s := New("min", value.Ints(0, cap), func(a, b value.V) value.V {
+		if a.(int) < b.(int) {
+			return a
+		}
+		return b
+	})
+	return s
+}
+
+func maxSG(cap int) *Semigroup {
+	s := New("max", value.Ints(0, cap), func(a, b value.V) value.V {
+		if a.(int) > b.(int) {
+			return a
+		}
+		return b
+	})
+	return s
+}
+
+func plusModSG(n int) *Semigroup {
+	return New("+mod", value.Ints(0, n-1), func(a, b value.V) value.V {
+		return (a.(int) + b.(int)) % n
+	})
+}
+
+func TestIdentityAbsorberDiscovery(t *testing.T) {
+	s := minSG(5)
+	e, ok := s.Identity()
+	if !ok || e != 5 {
+		t.Fatalf("identity = %v, %v", e, ok)
+	}
+	w, ok := s.Absorber()
+	if !ok || w != 0 {
+		t.Fatalf("absorber = %v, %v", w, ok)
+	}
+	p := plusModSG(4)
+	if e, ok := p.Identity(); !ok || e != 0 {
+		t.Fatalf("mod identity = %v, %v", e, ok)
+	}
+	if _, ok := p.Absorber(); ok {
+		t.Fatal("modular addition has no absorber")
+	}
+}
+
+func TestBasicChecks(t *testing.T) {
+	s := minSG(4)
+	s.CheckAll(nil, 0)
+	for _, id := range []prop.ID{prop.Associative, prop.Commutative, prop.Idempotent, prop.Selective} {
+		if !s.Props.Holds(id) {
+			t.Fatalf("min should satisfy %s", id)
+		}
+	}
+	p := plusModSG(4)
+	p.CheckAll(nil, 0)
+	if !p.Props.Holds(prop.Associative) || !p.Props.Holds(prop.Commutative) {
+		t.Fatal("modular addition is associative and commutative")
+	}
+	if !p.Props.Fails(prop.Idempotent) || !p.Props.Fails(prop.Selective) {
+		t.Fatal("modular addition is neither idempotent nor selective")
+	}
+}
+
+func TestCheckAssociativeCatchesViolation(t *testing.T) {
+	bad := New("sub", value.Ints(0, 3), func(a, b value.V) value.V {
+		d := a.(int) - b.(int)
+		if d < 0 {
+			d = 0
+		}
+		return d
+	})
+	st, w := bad.CheckAssociative(nil, 0)
+	if st != prop.False || w == "" {
+		t.Fatalf("truncated subtraction is not associative: %v %q", st, w)
+	}
+}
+
+func TestFoldLeft(t *testing.T) {
+	s := minSG(9)
+	v, ok := s.FoldLeft([]value.V{7, 3, 5})
+	if !ok || v != 3 {
+		t.Fatalf("fold = %v, %v", v, ok)
+	}
+	v, ok = s.FoldLeft(nil)
+	if !ok || v != 9 {
+		t.Fatalf("empty fold must give the identity: %v, %v", v, ok)
+	}
+}
+
+func TestNaturalOrders(t *testing.T) {
+	s := minSG(5)
+	// NOᴸ(min): a ≲ b ⟺ a = min(a,b) ⟺ a ≤ b numerically.
+	l := NaturalLeft(s)
+	if !l.Leq(2, 4) || l.Leq(4, 2) {
+		t.Fatal("NOᴸ(min) must coincide with ≤")
+	}
+	// NOᴿ(min): a ≲ b ⟺ b = min(a,b) ⟺ b ≤ a numerically (the dual).
+	r := NaturalRight(s)
+	if !r.Leq(4, 2) || r.Leq(2, 4) {
+		t.Fatal("NOᴿ(min) must coincide with ≥")
+	}
+	// Duality for commutative idempotent semigroups.
+	for a := 0; a <= 5; a++ {
+		for b := 0; b <= 5; b++ {
+			if l.Leq(a, b) != r.Leq(b, a) {
+				t.Fatalf("NOᴸ and NOᴿ must be dual at %d,%d", a, b)
+			}
+		}
+	}
+	// Bot of NOᴸ is the absorber (0 = min-absorber is most preferred).
+	if b, ok := l.Bot(); !ok || b != 0 {
+		t.Fatalf("NOᴸ bot = %v, %v", b, ok)
+	}
+	if top, ok := l.Top(); !ok || top != 5 {
+		t.Fatalf("NOᴸ top = %v, %v", top, ok)
+	}
+}
+
+func TestNaturalOrderIsPartialOrderForCI(t *testing.T) {
+	rsrc := rand.New(rand.NewSource(3))
+	l := NaturalLeft(minSG(4))
+	l.CheckAll(rsrc, 0)
+	for _, id := range []prop.ID{prop.Reflexive, prop.Transitive, prop.Antisymmetric} {
+		if !l.Props.Holds(id) {
+			t.Fatalf("natural order of a CI semigroup must satisfy %s", id)
+		}
+	}
+}
+
+// TestLexCases verifies the four-case definition of §IV.A directly.
+func TestLexCases(t *testing.T) {
+	s := minSG(9) // selective
+	tt := maxSG(9)
+	tt.WithIdentity(0)
+	l := MustLex(s, tt)
+	// Case s1 = s2: combine second components.
+	if got := l.Op(value.Pair{A: 3, B: 4}, value.Pair{A: 3, B: 2}); got != (value.Pair{A: 3, B: 4}) {
+		t.Fatalf("equal firsts: got %v", got)
+	}
+	// Case s wins on the left.
+	if got := l.Op(value.Pair{A: 2, B: 1}, value.Pair{A: 5, B: 9}); got != (value.Pair{A: 2, B: 1}) {
+		t.Fatalf("left wins: got %v", got)
+	}
+	// Case s wins on the right.
+	if got := l.Op(value.Pair{A: 7, B: 1}, value.Pair{A: 4, B: 9}); got != (value.Pair{A: 4, B: 9}) {
+		t.Fatalf("right wins: got %v", got)
+	}
+}
+
+// TestLexFourthCase exercises the identity-injection case: a non-selective
+// first factor whose combination is a third element.
+func TestLexFourthCase(t *testing.T) {
+	// ⊕ = bitwise AND on {0..3}: commutative, idempotent, NOT selective
+	// (1 ⊕ 2 = 0).
+	and := New("∧bits", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) & b.(int) })
+	tt := maxSG(5)
+	tt.WithIdentity(0)
+	l, err := Lex(and, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l.Op(value.Pair{A: 1, B: 4}, value.Pair{A: 2, B: 5})
+	// 1 & 2 = 0, a third element: the T component must be the identity 0.
+	if got != (value.Pair{A: 0, B: 0}) {
+		t.Fatalf("fourth case must inject α_T: got %v", got)
+	}
+}
+
+func TestLexUndefined(t *testing.T) {
+	and := New("∧bits", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) & b.(int) })
+	noID := New("max+1", value.Ints(0, 3), func(a, b value.V) value.V {
+		m := a.(int)
+		if b.(int) > m {
+			m = b.(int)
+		}
+		if m < 3 {
+			m++
+		}
+		return m
+	})
+	if _, err := Lex(and, noID); err == nil {
+		t.Fatal("lex of non-selective × non-monoid must be undefined")
+	}
+}
+
+// TestLexAssociativeCommutativeIdempotent: the product of CI semigroups is
+// CI, and ⊕ is associative (§IV.A).
+func TestLexAlgebraicLaws(t *testing.T) {
+	l := MustLex(minSG(3), maxSG(3))
+	l.CheckAll(nil, 0)
+	for _, id := range []prop.ID{prop.Associative, prop.Commutative, prop.Idempotent} {
+		if !l.Props.Holds(id) {
+			t.Fatalf("lex of CI semigroups must satisfy %s: %s", id, l.Props.Get(id).Witness)
+		}
+	}
+}
+
+// TestTheorem3 verifies NOᴸ(S ×lex T) = NOᴸ(S) ×lex NOᴸ(T) and the NOᴿ
+// version, by exhaustive comparison of the two orders.
+func TestTheorem3(t *testing.T) {
+	s := minSG(3)
+	tt := maxSG(3)
+	lexSG := MustLex(s, tt)
+
+	lhsL := NaturalLeft(lexSG)
+	rhsL := order.Lex(NaturalLeft(s), NaturalLeft(tt))
+	lhsR := NaturalRight(lexSG)
+	rhsR := order.Lex(NaturalRight(s), NaturalRight(tt))
+
+	for _, a := range lexSG.Car.Elems {
+		for _, b := range lexSG.Car.Elems {
+			if lhsL.Leq(a, b) != rhsL.Leq(a, b) {
+				t.Fatalf("NOᴸ mismatch at %v, %v", a, b)
+			}
+			if lhsR.Leq(a, b) != rhsR.Leq(a, b) {
+				t.Fatalf("NOᴿ mismatch at %v, %v", a, b)
+			}
+		}
+	}
+}
+
+// TestTheorem2NAry: S1 selective, S2 arbitrary CI, S3 monoid — the 3-ary
+// product is defined, commutative and idempotent.
+func TestTheorem2NAry(t *testing.T) {
+	s1 := minSG(2) // selective
+	s2 := New("∧bits", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) & b.(int) })
+	s3 := maxSG(2)
+	s3.WithIdentity(0)
+	// s2 is not selective and not a monoid-tail problem: s3 is a monoid,
+	// and s1 ×lex s2 needs s1 selective — both hold.
+	l, err := LexN(s1, s2, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CheckAll(nil, 0)
+	for _, id := range []prop.ID{prop.Associative, prop.Commutative, prop.Idempotent} {
+		if !l.Props.Holds(id) {
+			t.Fatalf("3-ary lex must satisfy %s: %s", id, l.Props.Get(id).Witness)
+		}
+	}
+}
+
+func TestTheorem2ViolationDetected(t *testing.T) {
+	nonSel := New("∧bits", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) & b.(int) })
+	noMonoid := New("max+1", value.Ints(0, 3), func(a, b value.V) value.V {
+		m := a.(int)
+		if b.(int) > m {
+			m = b.(int)
+		}
+		if m < 3 {
+			m++
+		}
+		return m
+	})
+	if _, err := LexN(nonSel, nonSel, noMonoid); err == nil {
+		t.Fatal("non-selective prefix before a non-monoid must be rejected")
+	}
+}
+
+func TestDirectProduct(t *testing.T) {
+	d := Direct(minSG(3), maxSG(3))
+	if got := d.Op(value.Pair{A: 1, B: 2}, value.Pair{A: 2, B: 1}); got != (value.Pair{A: 1, B: 2}) {
+		t.Fatalf("direct product wrong: %v", got)
+	}
+	if e, ok := d.Identity(); !ok || e != (value.Pair{A: 3, B: 0}) {
+		t.Fatalf("direct identity = %v, %v", e, ok)
+	}
+}
+
+func TestSzendreiLex(t *testing.T) {
+	s := minSG(3)
+	s.WithAbsorber(0)
+	tt := maxSG(3)
+	tt.WithIdentity(0)
+	z, err := SzendreiLex(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ω absorbs.
+	if got := z.Op(value.Omega{}, value.Pair{A: 1, B: 2}); got != value.V(value.Omega{}) {
+		t.Fatalf("ω must absorb: %v", got)
+	}
+	// min(1,2)=1 ≠ 0: ordinary lex behaviour.
+	if got := z.Op(value.Pair{A: 1, B: 2}, value.Pair{A: 2, B: 3}); got != (value.Pair{A: 1, B: 2}) {
+		t.Fatalf("ordinary case wrong: %v", got)
+	}
+	// min(… ) hitting the absorber 0 collapses to ω... requires operands
+	// whose ⊕ yields 0; carrier excludes 0 itself, but min(a,b) of
+	// non-zero values is non-zero, so use a semigroup where the absorber
+	// arises from distinct elements.
+	prod := New("×mod4", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) * b.(int) % 4 })
+	prod.WithAbsorber(0)
+	z2, err := SzendreiLex(prod, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := z2.Op(value.Pair{A: 2, B: 1}, value.Pair{A: 2, B: 1}); got != value.V(value.Omega{}) {
+		t.Fatalf("collapse to ω expected: %v", got)
+	}
+	// Carrier excludes pairs whose first component is the absorber.
+	for _, e := range z.Car.Elems {
+		if p, ok := e.(value.Pair); ok && p.A == 0 {
+			t.Fatalf("carrier must exclude ω_S pairs: %v", e)
+		}
+	}
+	if w, ok := z.Absorber(); !ok || w != value.V(value.Omega{}) {
+		t.Fatalf("ω must be the absorber: %v %v", w, ok)
+	}
+}
+
+func TestSzendreiRequiresAbsorber(t *testing.T) {
+	if _, err := SzendreiLex(plusModSG(4), maxSG(3).WithIdentity(0)); err == nil {
+		t.Fatal("×ω without an absorbing first factor must fail")
+	}
+}
+
+func TestAddIdentity(t *testing.T) {
+	s := New("max+1", value.Ints(0, 3), func(a, b value.V) value.V {
+		m := a.(int)
+		if b.(int) > m {
+			m = b.(int)
+		}
+		if m < 3 {
+			m++
+		}
+		return m
+	})
+	n := AddIdentity(s)
+	e, ok := n.Identity()
+	if !ok || e != value.V(value.Bot{}) {
+		t.Fatalf("adjoined identity = %v, %v", e, ok)
+	}
+	if got := n.Op(value.Bot{}, 2); got != 2 {
+		t.Fatalf("α⊕2 = %v", got)
+	}
+	if got := n.Op(1, 2); got != s.Op(1, 2) {
+		t.Fatal("old elements must combine as before")
+	}
+}
+
+func TestAddAbsorber(t *testing.T) {
+	n := AddAbsorber(plusModSG(4))
+	w, ok := n.Absorber()
+	if !ok || w != value.V(value.Top{}) {
+		t.Fatalf("adjoined absorber = %v, %v", w, ok)
+	}
+	if got := n.Op(value.Top{}, 2); got != value.V(value.Top{}) {
+		t.Fatalf("ω⊕2 = %v", got)
+	}
+	if e, ok := n.Identity(); !ok || e != 0 {
+		t.Fatalf("identity must persist: %v, %v", e, ok)
+	}
+}
+
+func TestSampledChecksInfinite(t *testing.T) {
+	car := value.NewSampled("ℕ", func(r *rand.Rand) value.V { return r.Intn(50) })
+	plus := New("+", car, func(a, b value.V) value.V { return a.(int) + b.(int) })
+	r := rand.New(rand.NewSource(9))
+	if st, _ := plus.CheckAssociative(r, 200); st != prop.Unknown {
+		t.Fatal("sampling a true property must stay Unknown")
+	}
+	if st, _ := plus.CheckIdempotent(r, 200); st != prop.False {
+		t.Fatal("sampling must find idempotence violations in (ℕ,+)")
+	}
+}
+
+func TestIsCI(t *testing.T) {
+	if !minSG(3).IsCI() {
+		t.Fatal("min is CI")
+	}
+	if plusModSG(4).IsCI() {
+		t.Fatal("modular addition is not idempotent")
+	}
+}
+
+// TestMixedLexNModes: ×ω then ×lex composes when the shapes allow it.
+// The first factor must be a genuine CI semigroup with an absorber whose
+// collapse can arise from distinct elements: bitwise AND (1∧2 = 0 = ω).
+func TestMixedLexNModes(t *testing.T) {
+	prod := New("∧bits", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) & b.(int) })
+	prod.WithAbsorber(0)
+	mx := maxSG(3)
+	mx.WithIdentity(0)
+	mx2 := maxSG(2)
+	mx2.WithIdentity(0)
+	m, err := MixedLexN([]bool{true, false}, prod, mx, mx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CheckAll(nil, 0)
+	for _, id := range []prop.ID{prop.Associative, prop.Commutative, prop.Idempotent} {
+		if !m.Props.Holds(id) {
+			t.Fatalf("mixed product must stay CI: %s fails (%s)", id, m.Props.Get(id).Witness)
+		}
+	}
+	// Arity validation.
+	if _, err := MixedLexN([]bool{true}, prod, mx, mx2); err == nil {
+		t.Fatal("wrong mode count must be rejected")
+	}
+	if _, err := MixedLexN(nil); err == nil {
+		t.Fatal("empty chain must be rejected")
+	}
+	// ×ω without an absorber must fail (modular addition has none).
+	if _, err := MixedLexN([]bool{true}, plusModSG(4), mx2); err == nil {
+		t.Fatal("×ω needs an absorbing first factor")
+	}
+}
+
+// TestMixedModeOmegaBlurring pins §VI's caveat: after ×ω-then-×lex, the
+// inner ω is just an ordinary first component — (ω, t) pairs still
+// combine live T data, so "error" and "least preferred" blur; a final
+// outer ×ω would be needed to keep ω globally absorbing.
+func TestMixedModeOmegaBlurring(t *testing.T) {
+	prod := New("∧bits", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) & b.(int) })
+	prod.WithAbsorber(0)
+	mx := maxSG(3)
+	mx.WithIdentity(0)
+	mx2 := maxSG(2)
+	mx2.WithIdentity(0)
+	m, err := MixedLexN([]bool{true, false}, prod, mx, mx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner collapse: 1∧2 = 0 (ω_S) ⇒ inner pair becomes ω.
+	inner, _ := SzendreiLex(prod, mx)
+	if inner.Op(value.Pair{A: 1, B: 1}, value.Pair{A: 2, B: 3}) != value.V(value.Omega{}) {
+		t.Fatal("inner ×ω must collapse")
+	}
+	// Outer level: two ω-weighted routes still combine their T₂ data —
+	// ω does NOT absorb the whole tuple any more.
+	got := m.Op(
+		value.Pair{A: value.Omega{}, B: 1},
+		value.Pair{A: value.Omega{}, B: 2},
+	).(value.Pair)
+	if got.A != value.V(value.Omega{}) {
+		t.Fatalf("first components agree on ω: %v", got)
+	}
+	if got.B != 2 {
+		t.Fatalf("the T₂ component stays live under blurred ω: got %v, want max(1,2)=2", got.B)
+	}
+}

@@ -1,0 +1,277 @@
+// Package sgt implements semigroup transforms (S, ⊕, F) — the lower-left
+// quadrant of the quadrants model: algebraic weight summarization with
+// functional weight computation. Gondran–Minoux monoid endomorphism
+// systems are the subclass whose functions are all ⊕-homomorphisms; the
+// homomorphism condition is exactly the M property of Fig 2 and, as
+// always, is inferred rather than required.
+package sgt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/fn"
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+// SemigroupTransform is a structure (S, ⊕, F).
+type SemigroupTransform struct {
+	// Name is a diagnostic label.
+	Name string
+	// Add is the summarization semigroup ⊕.
+	Add *sg.Semigroup
+	// F is the set of arc functions S → S.
+	F *fn.Set
+	// Props caches property judgements.
+	Props prop.Set
+}
+
+// New builds a semigroup transform.
+func New(name string, add *sg.Semigroup, f *fn.Set) *SemigroupTransform {
+	return &SemigroupTransform{Name: name, Add: add, F: f, Props: prop.Make()}
+}
+
+// Carrier returns the weight carrier.
+func (t *SemigroupTransform) Carrier() *value.Carrier { return t.Add.Car }
+
+// Finite reports whether exhaustive property checking is possible.
+func (t *SemigroupTransform) Finite() bool { return t.Add.Car.Finite() && t.F.Finite() }
+
+// Lex returns the lexicographic product S ×lex T (§IV): ⊕ is the
+// lexicographic product of semigroups, F is the componentwise product of
+// function sets. Defined when S.Add is selective or T.Add is a monoid.
+func Lex(s, t *SemigroupTransform) (*SemigroupTransform, error) {
+	add, err := sg.Lex(s.Add, t.Add)
+	if err != nil {
+		return nil, err
+	}
+	return New("("+s.Name+" ×lex "+t.Name+")", add, fn.Product(s.F, t.F)), nil
+}
+
+// SzendreiLex is the transform-level ×ω of §VI: the carrier is
+// ((S∖{errS}) × T) ∪ {ω}, the summarization collapses a pair to ω
+// whenever the S components combine to errS, and — the part the
+// bounded-metric example needs — a product function (f, g) collapses the
+// whole weight to ω whenever f(s) hits errS ("if n ever arises the
+// entire expression will be reduced to ω"). ω is ⊕-absorbing and fixed
+// by every function.
+//
+// The paper leaves the relationship between ×lex and ×ω unexplored; the
+// tests probe it empirically (TestSzendreiTransformRestoresM).
+func SzendreiLex(s, t *SemigroupTransform, errS value.V) (*SemigroupTransform, error) {
+	return szendrei(s, t, errS, false)
+}
+
+// SzendreiLexDiscard is SzendreiLex with the routing-friendly variant
+// semantics: ω acts as the ⊕-identity (an errored route is *discarded*
+// from summarization) instead of absorbing. The tests compare the two —
+// the paper's §VI distinction between "least preferred" and "error",
+// measured.
+func SzendreiLexDiscard(s, t *SemigroupTransform, errS value.V) (*SemigroupTransform, error) {
+	return szendrei(s, t, errS, true)
+}
+
+func szendrei(s, t *SemigroupTransform, errS value.V, discard bool) (*SemigroupTransform, error) {
+	inner, err := Lex(s, t)
+	if err != nil {
+		return nil, err
+	}
+	var car *value.Carrier
+	if s.Add.Car.Finite() && t.Add.Car.Finite() {
+		car = value.Adjoin(
+			value.Product(value.Without(s.Add.Car, errS, s.Add.Car.Name+"∖ω"), t.Add.Car),
+			value.Omega{},
+			"(("+s.Add.Car.Name+"∖ω)×"+t.Add.Car.Name+")∪{ω}")
+	} else {
+		return nil, fmt.Errorf("sgt: transform ×ω requires finite carriers")
+	}
+	add := sg.New("("+s.Add.Name+" ×ω "+t.Add.Name+")", car, func(a, b value.V) value.V {
+		if a == value.V(value.Omega{}) {
+			if discard {
+				return b
+			}
+			return value.Omega{}
+		}
+		if b == value.V(value.Omega{}) {
+			if discard {
+				return a
+			}
+			return value.Omega{}
+		}
+		x, y := a.(value.Pair), b.(value.Pair)
+		if s.Add.Op(x.A, y.A) == errS {
+			return value.Omega{}
+		}
+		return inner.Add.Op(a, b)
+	})
+	if discard {
+		add.WithIdentity(value.Omega{})
+	} else {
+		add.WithAbsorber(value.Omega{})
+	}
+	if !s.F.Finite() || !t.F.Finite() {
+		return nil, fmt.Errorf("sgt: transform ×ω requires finite function sets")
+	}
+	fns := make([]fn.Fn, 0, len(s.F.Fns)*len(t.F.Fns))
+	for _, f := range s.F.Fns {
+		for _, g := range t.F.Fns {
+			f, g := f, g
+			fns = append(fns, fn.Fn{
+				Name: "(" + f.Name + "," + g.Name + ")ω",
+				Apply: func(v value.V) value.V {
+					if v == value.V(value.Omega{}) {
+						return value.Omega{}
+					}
+					p := v.(value.Pair)
+					fs := f.Apply(p.A)
+					if fs == errS {
+						return value.Omega{}
+					}
+					return value.Pair{A: fs, B: g.Apply(p.B)}
+				},
+			})
+		}
+	}
+	return New("("+s.Name+" ×ω "+t.Name+")", add, fn.NewFinite("Fω", fns)), nil
+}
+
+// FromBisemigroup is the Cayley construction (§III): (S, ⊕, ⊗) becomes
+// (S, ⊕, {λy. x⊗y | x ∈ S}).
+func FromBisemigroup(name string, add *sg.Semigroup, mulOp func(a, b value.V) value.V) *SemigroupTransform {
+	return New(name, add, fn.Cayley("F_"+name, add.Car, mulOp))
+}
+
+// forAll enumerates (function, n-tuple) combinations (finite) or samples
+// them (infinite).
+func (t *SemigroupTransform) forAll(r *rand.Rand, samples, n int,
+	pred func(f fn.Fn, xs []value.V) (bool, string)) (prop.Status, string) {
+	if t.Finite() {
+		xs := make([]value.V, n)
+		var rec func(f fn.Fn, i int) (prop.Status, string)
+		rec = func(f fn.Fn, i int) (prop.Status, string) {
+			if i == n {
+				if ok, w := pred(f, xs); !ok {
+					return prop.False, w
+				}
+				return prop.True, ""
+			}
+			for _, e := range t.Add.Car.Elems {
+				xs[i] = e
+				if st, w := rec(f, i+1); st == prop.False {
+					return st, w
+				}
+			}
+			return prop.True, ""
+		}
+		for _, f := range t.F.Fns {
+			if st, w := rec(f, 0); st == prop.False {
+				return st, w
+			}
+		}
+		return prop.True, ""
+	}
+	if r == nil {
+		return prop.Unknown, ""
+	}
+	xs := make([]value.V, n)
+	for i := 0; i < samples; i++ {
+		f := t.F.Draw(r)
+		for j := range xs {
+			xs[j] = t.Add.Car.Draw(r)
+		}
+		if ok, w := pred(f, xs); !ok {
+			return prop.False, w
+		}
+	}
+	return prop.Unknown, ""
+}
+
+// CheckM verifies the homomorphism property, M of Fig 2:
+// f(a⊕b) = f(a) ⊕ f(b).
+func (t *SemigroupTransform) CheckM(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 2, func(f fn.Fn, xs []value.V) (bool, string) {
+		a, b := xs[0], xs[1]
+		lhs := f.Apply(t.Add.Op(a, b))
+		rhs := t.Add.Op(f.Apply(a), f.Apply(b))
+		if lhs != rhs {
+			return false, fmt.Sprintf("f=%s a=%s b=%s: f(a⊕b)=%s ≠ f(a)⊕f(b)=%s",
+				f.Name, value.Format(a), value.Format(b), value.Format(lhs), value.Format(rhs))
+		}
+		return true, ""
+	})
+}
+
+// CheckN verifies injectivity, N of Fig 2: f(a) = f(b) ⇒ a = b.
+func (t *SemigroupTransform) CheckN(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 2, func(f fn.Fn, xs []value.V) (bool, string) {
+		a, b := xs[0], xs[1]
+		if f.Apply(a) == f.Apply(b) && a != b {
+			return false, fmt.Sprintf("f=%s a=%s b=%s: f(a) = f(b) but a ≠ b",
+				f.Name, value.Format(a), value.Format(b))
+		}
+		return true, ""
+	})
+}
+
+// CheckC verifies constancy, C of Fig 2: f(a) = f(b) always.
+func (t *SemigroupTransform) CheckC(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 2, func(f fn.Fn, xs []value.V) (bool, string) {
+		a, b := xs[0], xs[1]
+		if f.Apply(a) != f.Apply(b) {
+			return false, fmt.Sprintf("f=%s a=%s b=%s: f(a) ≠ f(b)",
+				f.Name, value.Format(a), value.Format(b))
+		}
+		return true, ""
+	})
+}
+
+// CheckND verifies nondecreasing (Fig 3): a = a ⊕ f(a).
+func (t *SemigroupTransform) CheckND(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 1, func(f fn.Fn, xs []value.V) (bool, string) {
+		a := xs[0]
+		if t.Add.Op(a, f.Apply(a)) != a {
+			return false, fmt.Sprintf("f=%s a=%s: a ≠ a ⊕ f(a)", f.Name, value.Format(a))
+		}
+		return true, ""
+	})
+}
+
+// CheckI verifies increasing (Fig 3): a = a ⊕ f(a) ≠ f(a).
+func (t *SemigroupTransform) CheckI(r *rand.Rand, samples int) (prop.Status, string) {
+	return t.forAll(r, samples, 1, func(f fn.Fn, xs []value.V) (bool, string) {
+		a := xs[0]
+		v := f.Apply(a)
+		if t.Add.Op(a, v) != a || a == v {
+			return false, fmt.Sprintf("f=%s a=%s: ¬(a = a ⊕ f(a) ≠ f(a))", f.Name, value.Format(a))
+		}
+		return true, ""
+	})
+}
+
+// CheckAll populates Props with judgements for M, N, C, ND and I, plus
+// the ⊕ semigroup-level properties.
+func (t *SemigroupTransform) CheckAll(r *rand.Rand, samples int) {
+	record := func(id prop.ID, st prop.Status, w string) {
+		if cur := t.Props.Get(id); cur.Status != prop.Unknown && st == prop.Unknown {
+			return
+		}
+		rule := "model-check"
+		if st == prop.Unknown {
+			rule = "sampled"
+		}
+		t.Props.Put(id, prop.Judgement{Status: st, Rule: rule, Witness: w})
+	}
+	st, w := t.CheckM(r, samples)
+	record(prop.MLeft, st, w)
+	st, w = t.CheckN(r, samples)
+	record(prop.NLeft, st, w)
+	st, w = t.CheckC(r, samples)
+	record(prop.CLeft, st, w)
+	st, w = t.CheckND(r, samples)
+	record(prop.NDLeft, st, w)
+	st, w = t.CheckI(r, samples)
+	record(prop.ILeft, st, w)
+	t.Add.CheckAll(r, samples)
+}

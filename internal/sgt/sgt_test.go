@@ -1,0 +1,338 @@
+package sgt
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/fn"
+	"metarouting/internal/gen"
+	"metarouting/internal/prop"
+	"metarouting/internal/sg"
+	"metarouting/internal/value"
+)
+
+func minSG(cap int) *sg.Semigroup {
+	s := sg.New("min", value.Ints(0, cap), func(a, b value.V) value.V {
+		if a.(int) < b.(int) {
+			return a
+		}
+		return b
+	})
+	s.WithIdentity(cap)
+	return s
+}
+
+func boundedDist(n int) *SemigroupTransform {
+	fns := make([]fn.Fn, 0, n+1)
+	for y := 0; y <= n; y++ {
+		y := y
+		fns = append(fns, fn.Fn{Name: "+?", Apply: func(v value.V) value.V {
+			x := v.(int) + y
+			if x > n {
+				x = n
+			}
+			return x
+		}})
+	}
+	return New("bdist", minSG(n), fn.NewFinite("F", fns))
+}
+
+func TestBoundedDistProperties(t *testing.T) {
+	b := boundedDist(4)
+	b.CheckAll(nil, 0)
+	if !b.Props.Holds(prop.MLeft) {
+		t.Fatal("min(n, x+y) is a min-homomorphism")
+	}
+	if !b.Props.Fails(prop.NLeft) {
+		t.Fatal("§VI: the ceiling kills injectivity")
+	}
+	if !b.Props.Holds(prop.NDLeft) {
+		t.Fatal("a = min(a, a+y)")
+	}
+	if !b.Props.Fails(prop.ILeft) {
+		t.Fatal("+0 forbids increasing")
+	}
+}
+
+func TestCayleyFromBisemigroup(t *testing.T) {
+	min := minSG(4)
+	tr := FromBisemigroup("cayley", min, func(a, b value.V) value.V {
+		s := a.(int) + b.(int)
+		if s > 4 {
+			s = 4
+		}
+		return s
+	})
+	if tr.F.Size() != 5 {
+		t.Fatalf("Cayley set size = %d", tr.F.Size())
+	}
+	st, w := tr.CheckM(nil, 0)
+	if st != prop.True {
+		t.Fatalf("Cayley of a distributive ⊗ must be homomorphic: %s", w)
+	}
+}
+
+func randSGT(r *rand.Rand) *SemigroupTransform {
+	add := gen.CISemigroup(r, 2+r.Intn(3))
+	n := add.Car.Size()
+	return New("rnd", add, gen.FnSet(r, n, 1+r.Intn(3)))
+}
+
+func propsOf(s *SemigroupTransform) map[prop.ID]prop.Status {
+	out := map[prop.ID]prop.Status{}
+	st, _ := s.CheckM(nil, 0)
+	out[prop.MLeft] = st
+	st, _ = s.CheckN(nil, 0)
+	out[prop.NLeft] = st
+	st, _ = s.CheckC(nil, 0)
+	out[prop.CLeft] = st
+	st, _ = s.CheckND(nil, 0)
+	out[prop.NDLeft] = st
+	st, _ = s.CheckI(nil, 0)
+	out[prop.ILeft] = st
+	return out
+}
+
+// alphaFixed reports whether every f fixes α_T — needed for the
+// α-injection case when the first factor's ⊕ is not selective, the
+// transform analogue of the semiring "α absorbs ⊗" axiom.
+func alphaFixed(s *SemigroupTransform) bool {
+	alpha, ok := s.Add.Identity()
+	if !ok {
+		return false
+	}
+	for _, f := range s.F.Fns {
+		if f.Apply(alpha) != alpha {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTheorem4RandomValidation machine-checks
+// M(S×T) ⟺ M(S)∧M(T)∧(N(S)∨C(T)) for semigroup transforms, where M is
+// the homomorphism property, in the pure setting (selective first factor
+// or α-fixing second factor).
+func TestTheorem4RandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(201))
+	trials := 0
+	for trials < 250 {
+		s, u := randSGT(r), randSGT(r)
+		if st, _ := s.Add.CheckSelective(nil, 0); st != prop.True && !alphaFixed(u) {
+			continue
+		}
+		prod, err := Lex(s, u)
+		if err != nil {
+			continue
+		}
+		trials++
+		ps, pt := propsOf(s), propsOf(u)
+		lhs, w := prod.CheckM(nil, 0)
+		rhs := prop.And(prop.And(ps[prop.MLeft], pt[prop.MLeft]),
+			prop.Or(ps[prop.NLeft], pt[prop.CLeft]))
+		if lhs != rhs {
+			t.Fatalf("trial %d: M(S×T)=%v but rule says %v (witness %q)", trials, lhs, rhs, w)
+		}
+	}
+}
+
+// TestTheorem5RandomValidation machine-checks the paper-literal
+// local-optima rules — the quadrant the paper's own proof is given in:
+//
+//	ND(S×T) ⟺ I(S) ∨ (ND(S)∧ND(T))
+//	I(S×T)  ⟺ I(S) ∨ (ND(S)∧I(T))
+func TestTheorem5RandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	trials := 0
+	for trials < 300 {
+		s, u := randSGT(r), randSGT(r)
+		prod, err := Lex(s, u)
+		if err != nil {
+			continue
+		}
+		trials++
+		ps, pt := propsOf(s), propsOf(u)
+		ndLHS, w := prod.CheckND(nil, 0)
+		ndRHS := prop.Or(ps[prop.ILeft], prop.And(ps[prop.NDLeft], pt[prop.NDLeft]))
+		if ndLHS != ndRHS {
+			t.Fatalf("trial %d: ND(S×T)=%v but I(S)∨(ND∧ND)=%v (witness %q)", trials, ndLHS, ndRHS, w)
+		}
+		iLHS, w := prod.CheckI(nil, 0)
+		iRHS := prop.Or(ps[prop.ILeft], prop.And(ps[prop.NDLeft], pt[prop.ILeft]))
+		if iLHS != iRHS {
+			t.Fatalf("trial %d: I(S×T)=%v but I(S)∨(ND∧I)=%v (witness %q)", trials, iLHS, iRHS, w)
+		}
+	}
+}
+
+// TestSIGCOMMSufficientConditions validates the three sufficient rules of
+// the original metarouting paper quoted in §II, as implications (not
+// iffs), over random structures — including ones whose lex product needs
+// the α-injection case.
+func TestSIGCOMMSufficientConditions(t *testing.T) {
+	r := rand.New(rand.NewSource(203))
+	trials := 0
+	for trials < 300 {
+		s, u := randSGT(r), randSGT(r)
+		prod, err := Lex(s, u)
+		if err != nil {
+			continue
+		}
+		trials++
+		ps, pt := propsOf(s), propsOf(u)
+		ndProd, _ := prod.CheckND(nil, 0)
+		iProd, _ := prod.CheckI(nil, 0)
+		// ND(S)∧ND(T) ⇒ ND(S×T).
+		if ps[prop.NDLeft] == prop.True && pt[prop.NDLeft] == prop.True && ndProd != prop.True {
+			t.Fatalf("trial %d: ND∧ND must imply ND of the product", trials)
+		}
+		// I(S) ⇒ I(S×T); ND(S)∧I(T) ⇒ I(S×T).
+		if ps[prop.ILeft] == prop.True && iProd != prop.True {
+			t.Fatalf("trial %d: I(S) must imply I of the product", trials)
+		}
+		if ps[prop.NDLeft] == prop.True && pt[prop.ILeft] == prop.True && iProd != prop.True {
+			t.Fatalf("trial %d: ND(S)∧I(T) must imply I of the product", trials)
+		}
+	}
+}
+
+func TestLexUndefinedWithoutSideCondition(t *testing.T) {
+	and := sg.New("and", value.Ints(0, 3), func(a, b value.V) value.V { return a.(int) & b.(int) })
+	noID := sg.New("max+1", value.Ints(0, 3), func(a, b value.V) value.V {
+		m := a.(int)
+		if b.(int) > m {
+			m = b.(int)
+		}
+		if m < 3 {
+			m++
+		}
+		return m
+	})
+	s := New("S", and, fn.IdentityOnly())
+	u := New("T", noID, fn.IdentityOnly())
+	if _, err := Lex(s, u); err == nil {
+		t.Fatal("lex must be undefined")
+	}
+}
+
+func TestCheckAllPopulates(t *testing.T) {
+	b := boundedDist(3)
+	b.CheckAll(nil, 0)
+	for _, id := range []prop.ID{prop.MLeft, prop.NLeft, prop.CLeft, prop.NDLeft, prop.ILeft} {
+		if b.Props.Status(id) == prop.Unknown {
+			t.Fatalf("%s undecided", id)
+		}
+	}
+	if !b.Add.Props.Holds(prop.Selective) {
+		t.Fatal("⊕ properties must be populated")
+	}
+}
+
+// maxMonoidTransform is a small T operand for the ×ω probes.
+func maxMonoidTransform() *SemigroupTransform {
+	mx := sg.New("max", value.Ints(0, 3), func(a, b value.V) value.V {
+		if a.(int) >= b.(int) {
+			return a
+		}
+		return b
+	})
+	mx.WithIdentity(0)
+	return New("T", mx, fn.NewFinite("G", []fn.Fn{
+		fn.Identity(),
+		{Name: "+1c", Apply: func(v value.V) value.V {
+			x := v.(int) + 1
+			if x > 3 {
+				x = 3
+			}
+			return x
+		}},
+	}))
+}
+
+// TestSzendreiTransformRestoresM explores the ×lex/×ω relationship the
+// paper's §VI leaves open, with the bounded-dist example it motivates:
+//
+//   - plain ×lex fails M exactly through the ceiling (¬N(bd), Theorem 4);
+//   - Szendrei-literal ×ω (ω absorbing) STILL fails M — one collapsed
+//     route poisons the whole sum;
+//   - the discard variant (ω as ⊕-identity: errored routes are dropped
+//     from summarization) restores M while staying associative, commutative
+//     and idempotent.
+//
+// The discard variant is thus the routing-meaningful reading of "if n
+// ever arises the entire expression will be reduced to ω".
+func TestSzendreiTransformRestoresM(t *testing.T) {
+	bd := boundedDist(4)
+	tt := maxMonoidTransform()
+
+	lex, err := Lex(bd, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := lex.CheckM(nil, 0); st != prop.False {
+		t.Fatal("plain lex must fail M through the ceiling")
+	}
+
+	absorb, err := SzendreiLex(bd, tt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := absorb.CheckM(nil, 0); st != prop.False {
+		t.Fatal("absorbing-ω ×ω still fails M (collapse poisons sums)")
+	}
+	if w, ok := absorb.Add.Absorber(); !ok || w != value.V(value.Omega{}) {
+		t.Fatal("ω must absorb in the literal variant")
+	}
+
+	discard, err := SzendreiLexDiscard(bd, tt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, w := discard.CheckM(nil, 0)
+	if st != prop.True {
+		t.Fatalf("discard-ω ×ω must restore M: %s", w)
+	}
+	for _, check := range []func(*rand.Rand, int) (prop.Status, string){
+		discard.Add.CheckAssociative, discard.Add.CheckCommutative, discard.Add.CheckIdempotent,
+	} {
+		if st, w := check(nil, 0); st != prop.True {
+			t.Fatalf("discard variant must stay CI: %s", w)
+		}
+	}
+	if e, ok := discard.Add.Identity(); !ok || e != value.V(value.Omega{}) {
+		t.Fatal("ω must be the identity in the discard variant")
+	}
+}
+
+// TestSzendreiTransformCollapse: function application hitting the error
+// element collapses the whole weight, in both variants.
+func TestSzendreiTransformCollapse(t *testing.T) {
+	bd := boundedDist(4)
+	tt := maxMonoidTransform()
+	for _, build := range []func(*SemigroupTransform, *SemigroupTransform, value.V) (*SemigroupTransform, error){
+		SzendreiLex, SzendreiLexDiscard,
+	} {
+		z, err := build(bd, tt, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find a function applying +2 on the S side; at s=3, 3+2 hits the
+		// ceiling 4 = errS.
+		collapsed := false
+		for _, f := range z.F.Fns {
+			got := f.Apply(value.Pair{A: 3, B: 0})
+			if got == value.V(value.Omega{}) {
+				collapsed = true
+			}
+		}
+		if !collapsed {
+			t.Fatal("some function must drive 3 into the ceiling and collapse")
+		}
+		// The carrier excludes errS pairs.
+		for _, e := range z.Carrier().Elems {
+			if p, ok := e.(value.Pair); ok && p.A == 4 {
+				t.Fatal("carrier must exclude error pairs")
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package sobrinho provides the label-indexed presentation of routing
+// algebras used by Sobrinho's papers and the original metarouting work:
+// a structure (S, ⪯, L, •) where ⪯ is a preference relation (a full
+// preorder) over signatures S, L is a set of labels, and • maps L × S to
+// S. As §III of the paper observes, this is exactly an order transform
+// (S, ⪯, F_L) with F_L = {g_λ | λ ∈ L}, g_λ(a) = λ • a — the pair (L, •)
+// merely *indexes* the function set. This package implements the
+// translation in both directions and the protocol-facing conveniences
+// (label lookup, path application) that the indexed view affords.
+package sobrinho
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/fn"
+	"metarouting/internal/order"
+	"metarouting/internal/ost"
+	"metarouting/internal/prop"
+	"metarouting/internal/value"
+)
+
+// Algebra is a Sobrinho routing algebra (S, ⪯, L, •).
+type Algebra struct {
+	// Name is a diagnostic label.
+	Name string
+	// Ord is the signature preference (⪯); Sobrinho requires it full,
+	// which Validate checks.
+	Ord *order.Preorder
+	// Labels names the label set L.
+	Labels []string
+	// Dot is the label application •: Dot(i, a) = Labels[i] • a.
+	Dot func(label int, a value.V) value.V
+}
+
+// New builds a Sobrinho algebra.
+func New(name string, ord *order.Preorder, labels []string, dot func(int, value.V) value.V) *Algebra {
+	return &Algebra{Name: name, Ord: ord, Labels: labels, Dot: dot}
+}
+
+// Validate checks the Sobrinho-specific structural requirements: at least
+// one label, and ⪯ a preference relation (full preorder) — exhaustively
+// on finite carriers, by sampling otherwise.
+func (s *Algebra) Validate(r *rand.Rand, samples int) error {
+	if len(s.Labels) == 0 {
+		return fmt.Errorf("sobrinho: %s has no labels", s.Name)
+	}
+	if st, w := s.Ord.CheckReflexive(r, samples); st == prop.False {
+		return fmt.Errorf("sobrinho: %s: ⪯ not reflexive: %s", s.Name, w)
+	}
+	if st, w := s.Ord.CheckTransitive(r, samples); st == prop.False {
+		return fmt.Errorf("sobrinho: %s: ⪯ not transitive: %s", s.Name, w)
+	}
+	if st, w := s.Ord.CheckFull(r, samples); st == prop.False {
+		return fmt.Errorf("sobrinho: %s: ⪯ not a preference relation (not full): %s", s.Name, w)
+	}
+	return nil
+}
+
+// LabelIndex returns the index of the named label.
+func (s *Algebra) LabelIndex(name string) (int, bool) {
+	for i, l := range s.Labels {
+		if l == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Apply applies a sequence of labels to an originated signature,
+// destination-side label last — the path-weight convention of §II.
+func (s *Algebra) Apply(labels []int, a value.V) value.V {
+	v := a
+	for i := len(labels) - 1; i >= 0; i-- {
+		v = s.Dot(labels[i], v)
+	}
+	return v
+}
+
+// ToOrderTransform realizes the algebra as an order transform:
+// F_L = {g_λ | λ ∈ L} with g_λ(a) = λ • a.
+func (s *Algebra) ToOrderTransform() *ost.OrderTransform {
+	fns := make([]fn.Fn, len(s.Labels))
+	for i, l := range s.Labels {
+		i := i
+		fns[i] = fn.Fn{Name: l, Apply: func(a value.V) value.V { return s.Dot(i, a) }}
+	}
+	return ost.New(s.Name, s.Ord, fn.NewFinite("F_"+s.Name, fns))
+}
+
+// FromOrderTransform presents a finite-function-set order transform as a
+// Sobrinho algebra, with the function names as labels.
+func FromOrderTransform(t *ost.OrderTransform) (*Algebra, error) {
+	if !t.F.Finite() {
+		return nil, fmt.Errorf("sobrinho: %s has an infinite function set", t.Name)
+	}
+	labels := make([]string, len(t.F.Fns))
+	for i, f := range t.F.Fns {
+		labels[i] = f.Name
+	}
+	fns := t.F.Fns
+	return New(t.Name, t.Ord, labels, func(i int, a value.V) value.V {
+		return fns[i].Apply(a)
+	}), nil
+}
+
+// RoundTrip converts to an order transform and back; used by tests to
+// confirm the §III observation that (L, •) is pure indexing.
+func (s *Algebra) RoundTrip() (*Algebra, error) {
+	return FromOrderTransform(s.ToOrderTransform())
+}

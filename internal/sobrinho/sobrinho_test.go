@@ -1,0 +1,145 @@
+package sobrinho
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/baselib"
+	"metarouting/internal/fn"
+	"metarouting/internal/order"
+	"metarouting/internal/ost"
+	"metarouting/internal/prop"
+	"metarouting/internal/value"
+)
+
+// shortestPath is the (ℕ≤cap, ≤, {+d}) algebra in Sobrinho form.
+func shortestPath(cap int) *Algebra {
+	car := value.Ints(0, cap)
+	return New("sp", order.IntLeq("≤", car), []string{"+1", "+2", "+3"},
+		func(label int, a value.V) value.V {
+			x := a.(int) + label + 1
+			if x > cap {
+				x = cap
+			}
+			return x
+		})
+}
+
+func TestValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if err := shortestPath(8).Validate(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Discrete order is not full: not a preference relation.
+	d := New("disc", order.Discrete(value.Ints(0, 3)), []string{"id"},
+		func(_ int, a value.V) value.V { return a })
+	if err := d.Validate(r, 0); err == nil {
+		t.Fatal("non-full order must fail validation")
+	}
+	// No labels.
+	n := New("empty", order.IntLeq("≤", value.Ints(0, 3)), nil, nil)
+	if err := n.Validate(r, 0); err == nil {
+		t.Fatal("empty label set must fail validation")
+	}
+}
+
+func TestApplyConvention(t *testing.T) {
+	s := shortestPath(32)
+	// Path labels [+1, +3], destination-side last: 0 → +3 → +1 = 4.
+	if got := s.Apply([]int{0, 2}, 0); got != 4 {
+		t.Fatalf("Apply = %v, want 4", got)
+	}
+}
+
+func TestLabelIndex(t *testing.T) {
+	s := shortestPath(8)
+	if i, ok := s.LabelIndex("+2"); !ok || i != 1 {
+		t.Fatalf("LabelIndex = %d, %v", i, ok)
+	}
+	if _, ok := s.LabelIndex("nope"); ok {
+		t.Fatal("unknown label must not resolve")
+	}
+}
+
+// TestIndexingIsPure: converting to an order transform and checking
+// properties there matches checking through the label view — (L, •) is
+// pure indexing of F (§III).
+func TestIndexingIsPure(t *testing.T) {
+	s := shortestPath(8)
+	ot := s.ToOrderTransform()
+	if ot.F.Size() != len(s.Labels) {
+		t.Fatal("one function per label")
+	}
+	for i, l := range s.Labels {
+		f, ok := ot.F.ByName(l)
+		if !ok {
+			t.Fatalf("label %s missing from F", l)
+		}
+		for _, a := range ot.Carrier().Elems {
+			if f.Apply(a) != s.Dot(i, a) {
+				t.Fatalf("g_%s(%v) ≠ %s • %v", l, a, l, a)
+			}
+		}
+	}
+	st, w := ot.CheckM(nil, 0)
+	if st != prop.True {
+		t.Fatalf("shortest path must be monotone: %s", w)
+	}
+	st, _ = ot.CheckND(nil, 0)
+	if st != prop.True {
+		t.Fatal("shortest path must be ND")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := shortestPath(6)
+	back, err := s.RoundTrip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Labels) != len(s.Labels) {
+		t.Fatal("labels must survive")
+	}
+	for i := range s.Labels {
+		if back.Labels[i] != s.Labels[i] {
+			t.Fatalf("label %d: %s vs %s", i, back.Labels[i], s.Labels[i])
+		}
+		for _, a := range s.Ord.Car.Elems {
+			if back.Dot(i, a) != s.Dot(i, a) {
+				t.Fatalf("• differs at label %d, %v", i, a)
+			}
+		}
+	}
+}
+
+func TestFromOrderTransform(t *testing.T) {
+	d := baselib.Delay(6, 2)
+	s, err := FromOrderTransform(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Labels) != 2 || s.Labels[0] != "+1" || s.Labels[1] != "+2" {
+		t.Fatalf("labels = %v", s.Labels)
+	}
+	if got := s.Apply([]int{1}, 3); got != 5 {
+		t.Fatalf("apply through labels = %v", got)
+	}
+	r := rand.New(rand.NewSource(2))
+	if err := s.Validate(r, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromOrderTransformRejectsInfiniteF(t *testing.T) {
+	// A sampled (non-enumerable) function set cannot be labelled.
+	car := value.Ints(0, 3)
+	inf := ost.New("inf", order.IntLeq("≤", car),
+		fn.NewSampled("F∞", func(r *rand.Rand) fn.Fn { return fn.Const(r.Intn(4)) }))
+	if _, err := FromOrderTransform(inf); err == nil {
+		t.Fatal("infinite function sets must be rejected")
+	}
+	// While a finite F — even over an infinite carrier — is fine.
+	if _, err := FromOrderTransform(baselib.Delay(0, 2)); err != nil {
+		t.Fatalf("unbounded delay has a finite F: %v", err)
+	}
+}

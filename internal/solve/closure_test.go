@@ -1,0 +1,139 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/baselib"
+	"metarouting/internal/graph"
+	"metarouting/internal/value"
+)
+
+// diamond is 0→1→3, 0→2→3, 0→3 (a DAG with 3 routes 0→3).
+func diamond() *graph.Graph {
+	return graph.MustNew(4, []graph.Arc{
+		{From: 0, To: 1, Label: 0},
+		{From: 0, To: 2, Label: 0},
+		{From: 1, To: 3, Label: 0},
+		{From: 2, To: 3, Label: 0},
+		{From: 0, To: 3, Label: 0},
+	})
+}
+
+func TestClosureShortestDistances(t *testing.T) {
+	b := baselib.MinPlus(64)
+	g := graph.MustNew(4, []graph.Arc{
+		{From: 0, To: 1, Label: 0}, // weight 1
+		{From: 1, To: 2, Label: 0},
+		{From: 2, To: 3, Label: 0},
+		{From: 0, To: 3, Label: 1}, // weight 7
+	})
+	res := Closure(b, g, []value.V{1, 7}, 0)
+	if !res.Converged {
+		t.Fatal("min-plus closure must converge")
+	}
+	if !res.Defined[0][3] || res.X[0][3] != 3 {
+		t.Fatalf("d(0,3) = %v, want 3", res.X[0][3])
+	}
+	if !res.Defined[0][2] || res.X[0][2] != 2 {
+		t.Fatalf("d(0,2) = %v, want 2", res.X[0][2])
+	}
+	if res.Defined[3][0] {
+		t.Fatal("no walk 3→0 exists")
+	}
+}
+
+func TestClosureCountsPaths(t *testing.T) {
+	// (ℕ,+,×) counts walks; on a DAG, walks = paths (§III's path-counting
+	// bisemigroup).
+	b := baselib.PlusTimes(100)
+	res := Closure(b, diamond(), []value.V{1}, 0)
+	if !res.Converged {
+		t.Fatal("path counting on a DAG must converge")
+	}
+	if res.X[0][3] != 3 {
+		t.Fatalf("0→3 path count = %v, want 3", res.X[0][3])
+	}
+	if res.X[0][1] != 1 {
+		t.Fatalf("0→1 path count = %v, want 1", res.X[0][1])
+	}
+}
+
+func TestClosureReachability(t *testing.T) {
+	b := baselib.BoolReach()
+	g := graph.MustNew(4, []graph.Arc{
+		{From: 0, To: 1, Label: 0},
+		{From: 1, To: 2, Label: 0},
+	})
+	res := Closure(b, g, []value.V{1}, 0)
+	if !res.Converged {
+		t.Fatal("boolean closure must converge")
+	}
+	if res.X[0][2] != 1 {
+		t.Fatal("0 reaches 2")
+	}
+	if res.Defined[0][3] && res.X[0][3] == 1 {
+		t.Fatal("0 must not reach 3")
+	}
+}
+
+func TestClosureWidestPath(t *testing.T) {
+	b := baselib.MaxMin(10)
+	g := graph.MustNew(3, []graph.Arc{
+		{From: 0, To: 1, Label: 0}, // width 8
+		{From: 1, To: 2, Label: 1}, // width 3
+		{From: 0, To: 2, Label: 2}, // width 5 direct
+	})
+	res := Closure(b, g, []value.V{8, 3, 5}, 0)
+	if !res.Converged {
+		t.Fatal("max-min closure must converge")
+	}
+	// Widest 0→2: direct 5 beats min(8,3)=3.
+	if res.X[0][2] != 5 {
+		t.Fatalf("widest(0,2) = %v, want 5", res.X[0][2])
+	}
+}
+
+// TestClosureMatchesDijkstraOnRandomGraphs cross-validates the algebraic
+// solver against the order-transform solver: min-plus closure distances
+// equal Dijkstra distances on the delay algebra with matching labels.
+func TestClosureMatchesDijkstraOnRandomGraphs(t *testing.T) {
+	b := baselib.MinPlus(4096)
+	a := alg(t, "delay(4096,4)")
+	weights := []value.V{1, 2, 3, 4}
+	r := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(r, 8, 0.3, graph.UniformLabels(4))
+		cl := Closure(b, g, weights, 4*g.N)
+		if !cl.Converged {
+			t.Fatalf("trial %d: closure must converge", trial)
+		}
+		dj := Dijkstra(a, g, 0, 0)
+		for u := 1; u < g.N; u++ {
+			if cl.Defined[u][0] != dj.Routed[u] {
+				t.Fatalf("trial %d node %d: definedness differs", trial, u)
+			}
+			if dj.Routed[u] && cl.X[u][0] != dj.Weights[u] {
+				t.Fatalf("trial %d node %d: closure %v vs dijkstra %v", trial, u, cl.X[u][0], dj.Weights[u])
+			}
+		}
+	}
+}
+
+// TestClosureNonConvergenceDetected: path counting over a cycle never
+// stabilizes below the saturation bound — but with saturating arithmetic
+// it must converge to the ceiling rather than loop forever.
+func TestClosureSaturatesOnCycles(t *testing.T) {
+	b := baselib.PlusTimes(50)
+	g := graph.MustNew(2, []graph.Arc{
+		{From: 0, To: 1, Label: 0},
+		{From: 1, To: 0, Label: 0},
+	})
+	res := Closure(b, g, []value.V{1}, 200)
+	if !res.Converged {
+		t.Fatal("saturating arithmetic must reach a fixpoint")
+	}
+	if res.X[0][1].(int) != 50 {
+		t.Fatalf("cyclic walk count must saturate at the ceiling: %v", res.X[0][1])
+	}
+}

@@ -1,0 +1,125 @@
+package solve
+
+import (
+	"sort"
+
+	"metarouting/internal/graph"
+	"metarouting/internal/ost"
+	"metarouting/internal/value"
+)
+
+// KBestResult holds, per node, the k best route weights to the
+// destination in preference order (best first).
+type KBestResult struct {
+	// Dest is the destination node.
+	Dest int
+	// Weights[u] lists up to k weights, best first.
+	Weights [][]value.V
+	// Rounds counts fixpoint iterations.
+	Rounds int
+	// Converged reports whether a fixpoint was reached.
+	Converged bool
+}
+
+// KBest computes the k best route weights from every node to dest by
+// fixpoint iteration over k-truncated weight lists — §VI's hope that
+// "problems like finding k-best paths can be tackled using the reduction
+// idea", realized: the k-min truncation is a Wongseelashote reduction on
+// any semigroup monotone over a total preorder (KBestReduction packages
+// it for law checking).
+//
+// The algebra's preorder must be total (k-min needs to sort). For
+// increasing algebras the computed weights are the k best *simple-path*
+// weights on small graphs (walks cannot beat paths); in general they are
+// walk weights, like every fixpoint method. maxRounds ≤ 0 picks a
+// default budget; duplicate weights arising from distinct paths are kept
+// up to multiplicity k.
+func KBest(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.V, k, maxRounds int) *KBestResult {
+	if k < 1 {
+		panic("solve: KBest needs k ≥ 1")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 2*g.N + 2*k + 4
+	}
+	res := &KBestResult{Dest: dest, Weights: make([][]value.V, g.N)}
+	res.Weights[dest] = []value.V{origin}
+	for round := 1; round <= maxRounds; round++ {
+		prev := make([][]value.V, g.N)
+		copy(prev, res.Weights)
+		changed := false
+		for u := 0; u < g.N; u++ {
+			if u == dest {
+				continue
+			}
+			var cands []value.V
+			for _, ai := range g.Out(u) {
+				v := g.Arcs[ai].To
+				f := alg.F.Fns[g.Arcs[ai].Label].Apply
+				for _, w := range prev[v] {
+					cands = append(cands, f(w))
+				}
+			}
+			next := kMin(alg, cands, k)
+			if !sameWeights(next, res.Weights[u]) {
+				res.Weights[u] = next
+				changed = true
+			}
+		}
+		res.Rounds = round
+		if !changed {
+			res.Converged = true
+			return res
+		}
+	}
+	res.Converged = false
+	return res
+}
+
+// kMin sorts candidates by the (total) preorder, stably, and keeps the
+// first k. Duplicates count toward k (they represent distinct routes).
+func kMin(alg *ost.OrderTransform, cands []value.V, k int) []value.V {
+	sort.SliceStable(cands, func(i, j int) bool {
+		return alg.Ord.Lt(cands[i], cands[j])
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]value.V, len(cands))
+	copy(out, cands)
+	return out
+}
+
+func sameWeights(a, b []value.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// KBestBruteForce returns the k smallest simple-path weights from each
+// node to dest, by exhaustive enumeration — ground truth for KBest on
+// small graphs.
+func KBestBruteForce(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.V, k int) [][]value.V {
+	out := make([][]value.V, g.N)
+	for u := 0; u < g.N; u++ {
+		if u == dest {
+			out[u] = []value.V{origin}
+			continue
+		}
+		var weights []value.V
+		for _, path := range g.SimplePaths(u, dest, 0) {
+			w := origin
+			for i := len(path) - 1; i >= 0; i-- {
+				w = arcFn(alg, g, path[i])(w)
+			}
+			weights = append(weights, w)
+		}
+		out[u] = kMin(alg, weights, k)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/graph"
+)
+
+// dagRandom builds a random DAG (arcs only from higher to lower node
+// ids), so walks coincide with simple paths and KBest has exact
+// brute-force ground truth.
+func dagRandom(r *rand.Rand, n int, p float64, labels int) *graph.Graph {
+	var arcs []graph.Arc
+	for u := 1; u < n; u++ {
+		arcs = append(arcs, graph.Arc{From: u, To: r.Intn(u), Label: r.Intn(labels)})
+		for v := 0; v < u; v++ {
+			if r.Float64() < p {
+				dup := false
+				for _, a := range arcs {
+					if a.From == u && a.To == v {
+						dup = true
+					}
+				}
+				if !dup {
+					arcs = append(arcs, graph.Arc{From: u, To: v, Label: r.Intn(labels)})
+				}
+			}
+		}
+	}
+	return graph.MustNew(n, arcs)
+}
+
+func TestKBestMatchesBruteForceOnDAGs(t *testing.T) {
+	a := alg(t, "delay(255,4)")
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		g := dagRandom(r, 7, 0.4, 4)
+		for _, k := range []int{1, 2, 4} {
+			res := KBest(a, g, 0, 0, k, 0)
+			if !res.Converged {
+				t.Fatalf("trial %d k=%d: must converge on a DAG", trial, k)
+			}
+			truth := KBestBruteForce(a, g, 0, 0, k)
+			for u := 0; u < g.N; u++ {
+				if len(res.Weights[u]) != len(truth[u]) {
+					t.Fatalf("trial %d k=%d node %d: %v vs truth %v", trial, k, u, res.Weights[u], truth[u])
+				}
+				for i := range truth[u] {
+					if res.Weights[u][i] != truth[u][i] {
+						t.Fatalf("trial %d k=%d node %d: %v vs truth %v", trial, k, u, res.Weights[u], truth[u])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKBestK1MatchesDijkstra(t *testing.T) {
+	a := alg(t, "delay(255,3)")
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(r, 8, 0.3, graph.UniformLabels(3))
+		kb := KBest(a, g, 0, 0, 1, 0)
+		dj := Dijkstra(a, g, 0, 0)
+		for u := 0; u < g.N; u++ {
+			hasKB := len(kb.Weights[u]) > 0
+			if hasKB != dj.Routed[u] {
+				t.Fatalf("trial %d node %d: reachability differs", trial, u)
+			}
+			if hasKB && kb.Weights[u][0] != dj.Weights[u] {
+				t.Fatalf("trial %d node %d: k=1 best %v vs dijkstra %v", trial, u, kb.Weights[u][0], dj.Weights[u])
+			}
+		}
+	}
+}
+
+func TestKBestOrdering(t *testing.T) {
+	a := alg(t, "delay(255,4)")
+	r := rand.New(rand.NewSource(15))
+	g := dagRandom(r, 8, 0.5, 4)
+	res := KBest(a, g, 0, 0, 5, 0)
+	for u := 0; u < g.N; u++ {
+		ws := res.Weights[u]
+		for i := 1; i < len(ws); i++ {
+			if a.Ord.Lt(ws[i], ws[i-1]) {
+				t.Fatalf("node %d: weights out of order: %v", u, ws)
+			}
+		}
+	}
+}
+
+func TestKBestDuplicateWeightsFromDistinctPaths(t *testing.T) {
+	a := alg(t, "delay(255,4)")
+	// Diamond with equal-cost branches: 2 →(+1) 1 →(+1) 0 and 2 →(+2) 0.
+	g := graph.MustNew(3, []graph.Arc{
+		{From: 1, To: 0, Label: 0}, // +1
+		{From: 2, To: 1, Label: 0}, // +1
+		{From: 2, To: 0, Label: 1}, // +2
+	})
+	res := KBest(a, g, 0, 0, 2, 0)
+	if len(res.Weights[2]) != 2 || res.Weights[2][0] != 2 || res.Weights[2][1] != 2 {
+		t.Fatalf("two distinct weight-2 routes expected: %v", res.Weights[2])
+	}
+}
+
+func TestKBestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := alg(t, "delay(8,1)")
+	KBest(a, graph.MustNew(2, []graph.Arc{{From: 1, To: 0, Label: 0}}), 0, 0, 0, 0)
+}

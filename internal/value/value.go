@@ -1,0 +1,282 @@
+// Package value provides the dynamic value substrate shared by every
+// algebraic structure in the metarouting library.
+//
+// Metarouting composes algebras at run time (an expression such as
+// scoped(localpref, lex(aspath, med)) is parsed and evaluated into a single
+// routing algebra), so carrier elements must have a uniform dynamic
+// representation. A value.V is an interface value whose dynamic type is
+// comparable with ==: machine integers, strings, booleans, Pair, Tagged,
+// Top, Bot, Omega, or user-registered comparable types. Comparability lets
+// values act as map keys, which the property checkers and solvers rely on
+// throughout.
+package value
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// V is a dynamic carrier element. The dynamic type must be comparable with
+// ==; composite carriers use Pair and Tagged, which preserve comparability.
+type V = any
+
+// Pair is the carrier element of a product algebra S × T.
+// Pairs nest: a triple is Pair{A, Pair{B, C}} under right-associated
+// products. Pair is comparable whenever its components are.
+type Pair struct {
+	A, B V
+}
+
+// String renders the pair as "(a, b)".
+func (p Pair) String() string { return "(" + Format(p.A) + ", " + Format(p.B) + ")" }
+
+// Tagged is the carrier element of a disjoint union. Tag identifies the
+// summand (0-based); X is the payload. Tagged is comparable whenever X is.
+type Tagged struct {
+	Tag int
+	X   V
+}
+
+// String renders the tagged value as "tag·x".
+func (t Tagged) String() string { return fmt.Sprintf("%d·%s", t.Tag, Format(t.X)) }
+
+// Top is the distinguished least-preferred ("unreachable") element added by
+// the AddTop construction. There is exactly one Top value.
+type Top struct{}
+
+// String implements fmt.Stringer.
+func (Top) String() string { return "⊤" }
+
+// Bot is the distinguished most-preferred element added by the AddBot
+// construction. There is exactly one Bot value.
+type Bot struct{}
+
+// String implements fmt.Stringer.
+func (Bot) String() string { return "⊥" }
+
+// Omega is the absorbing element introduced by the Szendrei lexicographic
+// product ×ω. It is distinct from Top so that "least preferred" and "error"
+// can be told apart, as §VI of the paper requires.
+type Omega struct{}
+
+// String implements fmt.Stringer.
+func (Omega) String() string { return "ω" }
+
+// Format renders a value for diagnostics. It prefers fmt.Stringer, then
+// falls back to %v.
+func Format(v V) string {
+	switch x := v.(type) {
+	case nil:
+		return "∅"
+	case string:
+		return x
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// FormatSet renders a slice of values as "{a, b, c}" in sorted order,
+// for stable diagnostics.
+func FormatSet(vs []V) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = Format(v)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Eq reports whether two values are identical. All carrier elements used in
+// this library are comparable, so == is the right notion; Eq exists to give
+// the comparison a name at call sites and a single place to extend if a
+// non-comparable carrier ever becomes necessary.
+func Eq(a, b V) bool { return a == b }
+
+// Carrier describes the set of elements an algebra ranges over.
+//
+// A carrier is either finite — Elems is non-nil and enumerates every
+// element — or infinite/large, in which case Elems is nil and Sample must
+// be provided so property checkers can draw random elements. Finite
+// carriers admit exhaustive property checking, the backbone of the
+// theorem-validation experiments.
+type Carrier struct {
+	// Name is a short diagnostic label, e.g. "ℕ≤8" or "{0,1}×{a,b}".
+	Name string
+	// Elems enumerates the carrier if it is finite; nil otherwise.
+	Elems []V
+	// Sample draws a random element; required when Elems is nil,
+	// optional (defaults to uniform over Elems) when finite.
+	Sample func(r *rand.Rand) V
+}
+
+// Finite reports whether the carrier enumerates its elements.
+func (c *Carrier) Finite() bool { return c.Elems != nil }
+
+// Size returns the number of elements of a finite carrier, or -1.
+func (c *Carrier) Size() int {
+	if c.Elems == nil {
+		return -1
+	}
+	return len(c.Elems)
+}
+
+// Contains reports whether v is an element of a finite carrier.
+// For infinite carriers it returns true (membership is not tracked).
+func (c *Carrier) Contains(v V) bool {
+	if c.Elems == nil {
+		return true
+	}
+	for _, e := range c.Elems {
+		if e == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Draw returns a random element of the carrier.
+func (c *Carrier) Draw(r *rand.Rand) V {
+	if c.Sample != nil {
+		return c.Sample(r)
+	}
+	if len(c.Elems) == 0 {
+		panic("value: Draw on empty carrier " + c.Name)
+	}
+	return c.Elems[r.Intn(len(c.Elems))]
+}
+
+// Same reports whether two carriers describe the same element set: either
+// the same object, or finite carriers with identical element sequences.
+// Two distinct infinite carriers cannot be compared and are accepted on
+// trust (the structure constructors document this).
+func Same(a, b *Carrier) bool {
+	if a == b {
+		return true
+	}
+	if a.Finite() && b.Finite() {
+		if len(a.Elems) != len(b.Elems) {
+			return false
+		}
+		for i := range a.Elems {
+			if a.Elems[i] != b.Elems[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return !a.Finite() && !b.Finite()
+}
+
+// NewFinite builds a finite carrier from an element list.
+func NewFinite(name string, elems []V) *Carrier {
+	return &Carrier{Name: name, Elems: elems}
+}
+
+// NewSampled builds an infinite (or too-large-to-enumerate) carrier from a
+// sampler.
+func NewSampled(name string, sample func(r *rand.Rand) V) *Carrier {
+	return &Carrier{Name: name, Sample: sample}
+}
+
+// Ints returns the finite carrier {lo, lo+1, …, hi}.
+func Ints(lo, hi int) *Carrier {
+	if hi < lo {
+		panic("value: Ints with hi < lo")
+	}
+	elems := make([]V, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		elems = append(elems, i)
+	}
+	return &Carrier{
+		Name:  fmt.Sprintf("{%d..%d}", lo, hi),
+		Elems: elems,
+		Sample: func(r *rand.Rand) V {
+			return lo + r.Intn(hi-lo+1)
+		},
+	}
+}
+
+// Product returns the carrier of pairs drawn from s and t. It is finite iff
+// both factors are.
+func Product(s, t *Carrier) *Carrier {
+	name := s.Name + "×" + t.Name
+	if s.Finite() && t.Finite() {
+		elems := make([]V, 0, len(s.Elems)*len(t.Elems))
+		for _, a := range s.Elems {
+			for _, b := range t.Elems {
+				elems = append(elems, Pair{a, b})
+			}
+		}
+		return &Carrier{Name: name, Elems: elems, Sample: func(r *rand.Rand) V {
+			return Pair{s.Draw(r), t.Draw(r)}
+		}}
+	}
+	return NewSampled(name, func(r *rand.Rand) V {
+		return Pair{s.Draw(r), t.Draw(r)}
+	})
+}
+
+// Union returns the carrier of the disjoint union of s and t: elements of s
+// tagged 0 and elements of t tagged 1.
+func Union(s, t *Carrier) *Carrier {
+	name := s.Name + "⊎" + t.Name
+	if s.Finite() && t.Finite() {
+		elems := make([]V, 0, len(s.Elems)+len(t.Elems))
+		for _, a := range s.Elems {
+			elems = append(elems, Tagged{0, a})
+		}
+		for _, b := range t.Elems {
+			elems = append(elems, Tagged{1, b})
+		}
+		return &Carrier{Name: name, Elems: elems}
+	}
+	return NewSampled(name, func(r *rand.Rand) V {
+		if r.Intn(2) == 0 {
+			return Tagged{0, s.Draw(r)}
+		}
+		return Tagged{1, t.Draw(r)}
+	})
+}
+
+// Adjoin returns a carrier extended with the extra element x (used by
+// AddTop, AddBot and the Szendrei construction). Adjoining an element the
+// finite carrier already contains is a no-op on the element list, so the
+// construction is idempotent.
+func Adjoin(c *Carrier, x V, name string) *Carrier {
+	if c.Finite() {
+		if c.Contains(x) {
+			return &Carrier{Name: name, Elems: append([]V(nil), c.Elems...)}
+		}
+		elems := make([]V, 0, len(c.Elems)+1)
+		elems = append(elems, c.Elems...)
+		elems = append(elems, x)
+		return &Carrier{Name: name, Elems: elems}
+	}
+	return NewSampled(name, func(r *rand.Rand) V {
+		// Give the adjoined element a modest but non-negligible weight so
+		// sampled property checks exercise it.
+		if r.Intn(8) == 0 {
+			return x
+		}
+		return c.Draw(r)
+	})
+}
+
+// Without returns a finite carrier with every occurrence of x removed.
+// It panics on infinite carriers.
+func Without(c *Carrier, x V, name string) *Carrier {
+	if !c.Finite() {
+		panic("value: Without on infinite carrier " + c.Name)
+	}
+	elems := make([]V, 0, len(c.Elems))
+	for _, e := range c.Elems {
+		if e != x {
+			elems = append(elems, e)
+		}
+	}
+	return &Carrier{Name: name, Elems: elems}
+}

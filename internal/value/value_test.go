@@ -1,0 +1,227 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPairEquality(t *testing.T) {
+	if (Pair{1, 2}) != (Pair{1, 2}) {
+		t.Fatal("identical pairs must compare equal")
+	}
+	if (Pair{1, 2}) == (Pair{2, 1}) {
+		t.Fatal("distinct pairs must compare unequal")
+	}
+	nested := Pair{A: Pair{1, 2}, B: 3}
+	if nested != (Pair{A: Pair{1, 2}, B: 3}) {
+		t.Fatal("nested pairs must compare structurally")
+	}
+}
+
+func TestTaggedEquality(t *testing.T) {
+	if (Tagged{0, "x"}) == (Tagged{1, "x"}) {
+		t.Fatal("tags must distinguish union elements")
+	}
+	if (Tagged{0, "x"}) != (Tagged{0, "x"}) {
+		t.Fatal("same tag and payload must compare equal")
+	}
+}
+
+func TestSentinelsDistinct(t *testing.T) {
+	vals := []V{Top{}, Bot{}, Omega{}}
+	for i, a := range vals {
+		for j, b := range vals {
+			if (i == j) != (a == b) {
+				t.Fatalf("sentinel equality wrong for %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		in   V
+		want string
+	}{
+		{3, "3"},
+		{"abc", "abc"},
+		{Pair{1, 2}, "(1, 2)"},
+		{Tagged{1, 7}, "1·7"},
+		{Top{}, "⊤"},
+		{Bot{}, "⊥"},
+		{Omega{}, "ω"},
+		{nil, "∅"},
+		{Pair{A: Tagged{0, 1}, B: Top{}}, "(0·1, ⊤)"},
+	}
+	for _, c := range cases {
+		if got := Format(c.in); got != c.want {
+			t.Errorf("Format(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatSetSorted(t *testing.T) {
+	got := FormatSet([]V{3, 1, 2})
+	if got != "{1, 2, 3}" {
+		t.Fatalf("FormatSet = %q", got)
+	}
+}
+
+func TestIntsCarrier(t *testing.T) {
+	c := Ints(2, 5)
+	if c.Size() != 4 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if !c.Finite() {
+		t.Fatal("Ints must be finite")
+	}
+	for i := 2; i <= 5; i++ {
+		if !c.Contains(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if c.Contains(6) {
+		t.Error("contains 6")
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		v := c.Draw(r).(int)
+		if v < 2 || v > 5 {
+			t.Fatalf("Draw out of range: %d", v)
+		}
+	}
+}
+
+func TestIntsPanicsOnEmptyRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Ints(5, 2)
+}
+
+func TestProductCarrier(t *testing.T) {
+	p := Product(Ints(0, 1), Ints(0, 2))
+	if p.Size() != 6 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	if !p.Contains(Pair{1, 2}) {
+		t.Fatal("missing (1,2)")
+	}
+	r := rand.New(rand.NewSource(2))
+	v := p.Draw(r)
+	if _, ok := v.(Pair); !ok {
+		t.Fatalf("Draw returned %T", v)
+	}
+}
+
+func TestProductInfinite(t *testing.T) {
+	inf := NewSampled("ℕ", func(r *rand.Rand) V { return r.Intn(10) })
+	p := Product(inf, Ints(0, 1))
+	if p.Finite() {
+		t.Fatal("product with infinite factor must be infinite")
+	}
+	r := rand.New(rand.NewSource(3))
+	if _, ok := p.Draw(r).(Pair); !ok {
+		t.Fatal("Draw must return a Pair")
+	}
+}
+
+func TestUnionCarrier(t *testing.T) {
+	u := Union(Ints(0, 1), Ints(0, 1))
+	if u.Size() != 4 {
+		t.Fatalf("size = %d", u.Size())
+	}
+	if !u.Contains(Tagged{0, 1}) || !u.Contains(Tagged{1, 1}) {
+		t.Fatal("missing tagged elements")
+	}
+}
+
+func TestAdjoinAndWithout(t *testing.T) {
+	c := Adjoin(Ints(0, 2), Top{}, "x")
+	if c.Size() != 4 || !c.Contains(Top{}) {
+		t.Fatalf("Adjoin failed: size=%d", c.Size())
+	}
+	w := Without(c, Top{}, "y")
+	if w.Size() != 3 || w.Contains(Top{}) {
+		t.Fatalf("Without failed: size=%d", w.Size())
+	}
+}
+
+func TestAdjoinInfiniteSamplesNewElement(t *testing.T) {
+	inf := NewSampled("ℕ", func(r *rand.Rand) V { return r.Intn(3) })
+	c := Adjoin(inf, Top{}, "ℕ∪⊤")
+	r := rand.New(rand.NewSource(7))
+	seen := false
+	for i := 0; i < 200; i++ {
+		if c.Draw(r) == V(Top{}) {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Fatal("adjoined element never sampled")
+	}
+}
+
+func TestSame(t *testing.T) {
+	a := Ints(0, 3)
+	b := Ints(0, 3)
+	if !Same(a, a) || !Same(a, b) {
+		t.Fatal("extensionally equal finite carriers must be Same")
+	}
+	if Same(a, Ints(0, 4)) || Same(a, Ints(1, 4)) {
+		t.Fatal("different element sets must not be Same")
+	}
+	inf1 := NewSampled("x", func(r *rand.Rand) V { return 0 })
+	inf2 := NewSampled("y", func(r *rand.Rand) V { return 1 })
+	if !Same(inf1, inf2) {
+		t.Fatal("two infinite carriers are accepted on trust")
+	}
+	if Same(a, inf1) {
+		t.Fatal("finite vs infinite must not be Same")
+	}
+}
+
+func TestUnionInfinite(t *testing.T) {
+	inf := NewSampled("ℕ", func(r *rand.Rand) V { return r.Intn(3) })
+	u := Union(inf, Ints(0, 1))
+	if u.Finite() {
+		t.Fatal("union with an infinite side must be infinite")
+	}
+	r := rand.New(rand.NewSource(5))
+	saw := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		saw[u.Draw(r).(Tagged).Tag] = true
+	}
+	if !saw[0] || !saw[1] {
+		t.Fatal("both summands must be sampled")
+	}
+}
+
+func TestWithoutPanicsOnInfinite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Without(NewSampled("ℕ", func(r *rand.Rand) V { return 0 }), 0, "x")
+}
+
+func TestDrawPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Carrier{Name: "∅"}).Draw(rand.New(rand.NewSource(1)))
+}
+
+func TestAdjoinIdempotent(t *testing.T) {
+	c := Adjoin(Ints(0, 2), Top{}, "c1")
+	c2 := Adjoin(c, Top{}, "c2")
+	if c2.Size() != c.Size() {
+		t.Fatalf("double adjoin duplicated: %d vs %d", c2.Size(), c.Size())
+	}
+}

@@ -1,0 +1,208 @@
+// Package metarouting is a Go implementation of Metarouting (Griffin &
+// Sobrinho, SIGCOMM 2005) with the exact lexicographic-product property
+// theory of Gurney & Griffin's "Lexicographic products in metarouting":
+// a declarative language for constructing routing algebras whose
+// algorithmic properties — monotonicity M (global optima), increasing I
+// (path-vector convergence to local optima), and friends — are derived
+// automatically from the expression structure, the way types are derived
+// in a programming language.
+//
+// The core workflow:
+//
+//	a, err := metarouting.InferString("scoped(bw(4), delay(64,4))")
+//	// a.Props now holds machine-derived judgements with provenance:
+//	fmt.Println(a.Report())
+//	if a.SupportsGlobalOptima() {
+//	    res := metarouting.BellmanFord(a.OT, g, 0, origin, 0)
+//	    ...
+//	}
+//
+// The language has base algebras (delay, hops, bw, rel, lp, origin, tags,
+// gadget, unit — see BaseNames) and the operators of the paper:
+// lex (lexicographic product, n-ary), scoped (BGP-like ⊙), delta
+// (OSPF-area-like Δ), union (+), left, right, and addtop.
+//
+// Underneath sits the full quadrants model of algebraic routing
+// (bisemigroups, order semigroups, semigroup transforms, order
+// transforms) with the translations between them, solvers (generalized
+// Dijkstra, Bellman–Ford fixpoint, algebraic/min-set fixpoints, brute
+// force), and an event-driven asynchronous path-vector simulator. Those
+// layers live in internal/ packages and are exercised by the examples
+// and the experiment suite (cmd/mrexp, EXPERIMENTS.md).
+package metarouting
+
+import (
+	"io"
+	"math/rand"
+
+	"metarouting/internal/core"
+	"metarouting/internal/expt"
+	"metarouting/internal/graph"
+	"metarouting/internal/ost"
+	"metarouting/internal/prop"
+	"metarouting/internal/protocol"
+	"metarouting/internal/rib"
+	"metarouting/internal/router"
+	"metarouting/internal/scenario"
+	"metarouting/internal/solve"
+	"metarouting/internal/value"
+)
+
+// Algebra is an evaluated metarouting expression: the constructed routing
+// algebra plus its inferred property set with provenance.
+type Algebra = core.Algebra
+
+// Expr is a node of the metarouting language AST; build with Parse or the
+// constructors in this package.
+type Expr = core.Expr
+
+// Options configures property inference; see DefaultOptions.
+type Options = core.Options
+
+// OrderTransform is the runnable routing algebra (S, ≲, F) produced by
+// inference — a Sobrinho structure.
+type OrderTransform = ost.OrderTransform
+
+// PropertySet holds property judgements keyed by prop.ID.
+type PropertySet = prop.Set
+
+// V is a dynamic weight value; pairs of weights are value.Pair.
+type V = value.V
+
+// Pair is a product weight (lexicographic and scoped products).
+type Pair = value.Pair
+
+// Graph is a directed network whose arcs carry algebra function labels.
+type Graph = graph.Graph
+
+// Arc is a labelled directed edge.
+type Arc = graph.Arc
+
+// Result is a single-destination routing solution.
+type Result = solve.Result
+
+// SimOutcome is the outcome of an asynchronous protocol run.
+type SimOutcome = protocol.Outcome
+
+// SimConfig parameterizes an asynchronous protocol run.
+type SimConfig = protocol.Config
+
+// Parse parses a metarouting-language expression such as
+// "scoped(lp(4), lex(hops(16), bw(8)))".
+func Parse(src string) (Expr, error) { return core.Parse(src) }
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) Expr { return core.MustParse(src) }
+
+// Infer evaluates an expression with default options (rule-based
+// derivation plus model-check fallback on finite structures).
+func Infer(e Expr) (*Algebra, error) { return core.Infer(e) }
+
+// InferString parses and evaluates a source expression.
+func InferString(src string) (*Algebra, error) { return core.InferString(src) }
+
+// InferWith evaluates an expression with explicit options.
+func InferWith(e Expr, opt Options) (*Algebra, error) { return core.InferWith(e, opt) }
+
+// DefaultOptions returns the default inference options.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// BaseNames lists the registered base algebras.
+func BaseNames() []string { return core.BaseNames() }
+
+// NewGraph builds a network graph from labelled arcs.
+func NewGraph(n int, arcs []Arc) (*Graph, error) { return graph.New(n, arcs) }
+
+// RandomGraph generates a random digraph in which every node can reach
+// node 0; arc labels are drawn uniformly from [0, nLabels).
+func RandomGraph(r *rand.Rand, n int, p float64, nLabels int) *Graph {
+	return graph.Random(r, n, p, graph.UniformLabels(nLabels))
+}
+
+// Dijkstra computes routes to dest with the generalized Dijkstra
+// algorithm — correct for algebras with M ∧ ND over a total preorder
+// (see Algebra.SupportsDijkstra).
+func Dijkstra(a *OrderTransform, g *Graph, dest int, origin V) *Result {
+	return solve.Dijkstra(a, g, dest, origin)
+}
+
+// BellmanFord runs the synchronous fixpoint iteration — converges to the
+// walk-optimal solution for monotone algebras and to a local optimum for
+// increasing ones. maxRounds ≤ 0 picks a default budget.
+func BellmanFord(a *OrderTransform, g *Graph, dest int, origin V, maxRounds int) *Result {
+	return solve.BellmanFord(a, g, dest, origin, maxRounds)
+}
+
+// VerifyGlobal checks a solution against brute-force simple-path optima.
+func VerifyGlobal(a *OrderTransform, g *Graph, dest int, origin V, res *Result) (bool, string) {
+	return solve.VerifyGlobal(a, g, dest, origin, res)
+}
+
+// VerifyLocal checks that a solution is stable (locally optimal).
+func VerifyLocal(a *OrderTransform, g *Graph, dest int, origin V, res *Result) (bool, string) {
+	return solve.VerifyLocal(a, g, dest, origin, res)
+}
+
+// Simulate runs the event-driven asynchronous path-vector protocol.
+func Simulate(a *OrderTransform, g *Graph, cfg SimConfig) *SimOutcome {
+	return protocol.Run(a, g, cfg)
+}
+
+// Experiments runs the full paper-reproduction suite (E1–E18) with the
+// given seed and returns rendered tables; see EXPERIMENTS.md.
+func Experiments(seed int64) []string {
+	tables := expt.All(seed)
+	out := make([]string, len(tables))
+	for i, t := range tables {
+		out[i] = t.Render()
+	}
+	return out
+}
+
+// Explain renders a causal account of why property id holds or fails for
+// the algebra — naming the rule, the component judgements (with
+// counterexample witnesses), and a repair hint where the theory offers
+// one. Property names: "M", "N", "C", "ND", "I", "SI", "T".
+func Explain(a *Algebra, id string) string { return a.Explain(prop.ID(id)) }
+
+// Simplify rewrites an expression with property-preserving identities
+// (×lex flattening and unit elimination, left/right/addtop collapses).
+func Simplify(e Expr) Expr { return core.Simplify(e) }
+
+// Algorithm names a routing algorithm with a property-based license; see
+// NewRouter.
+type Algorithm = router.Algorithm
+
+// The available algorithms.
+const (
+	// AlgoDijkstra requires M ∧ ND over a total preorder (global optima).
+	AlgoDijkstra = router.Dijkstra
+	// AlgoFixpoint requires M (path-dominating global optima).
+	AlgoFixpoint = router.Fixpoint
+	// AlgoPathVector requires I (guaranteed convergence to local optima).
+	AlgoPathVector = router.PathVector
+	// AlgoDistanceVector requires I plus a function-fixed ⊤.
+	AlgoDistanceVector = router.DistanceVector
+)
+
+// Router is a licensed (algebra, algorithm) pairing — the paper's
+// "routing protocol = language + algorithm + proof" as an API.
+type Router = router.Router
+
+// NewRouter pairs an algebra with an algorithm, failing with a causal
+// explanation when the algebra's derived properties do not license it.
+func NewRouter(a *Algebra, algo Algorithm) (*Router, error) { return router.New(a, algo) }
+
+// LicensedAlgorithms lists the algorithms the algebra's properties allow.
+func LicensedAlgorithms(a *Algebra) []Algorithm { return router.Licensed(a) }
+
+// RIB is a multi-destination routing table with ECMP next-hop sets.
+type RIB = rib.RIB
+
+// BuildRIB computes routes from every node to every listed destination.
+func BuildRIB(a *OrderTransform, g *Graph, origins map[int]V) (*RIB, error) {
+	return rib.Build(a, g, origins)
+}
+
+// LoadScenario parses a scenario file (algebra + topology + link events).
+func LoadScenario(rd io.Reader) (*scenario.Scenario, error) { return scenario.Parse(rd) }

@@ -1,0 +1,139 @@
+package metarouting_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"metarouting"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface the way the
+// README does: parse → infer → report/explain → route → verify →
+// simulate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	e, err := metarouting.Parse("scoped(bw(4), delay(64,4))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := metarouting.Infer(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.SupportsGlobalOptima() {
+		t.Fatal("scoped(bw, delay) must be monotone")
+	}
+	if a.SupportsDijkstra() {
+		t.Fatal("scoped products are not ND — Dijkstra must not be licensed")
+	}
+	if !strings.Contains(a.Report(), "M") {
+		t.Fatal("report must list properties")
+	}
+	if !strings.Contains(metarouting.Explain(a, "M"), "Theorem 6") {
+		t.Fatal("explain must name the rule")
+	}
+
+	r := rand.New(rand.NewSource(1))
+	g := metarouting.RandomGraph(r, 9, 0.3, len(a.OT.F.Fns))
+	origin := metarouting.Pair{A: 4, B: 0}
+	res := metarouting.BellmanFord(a.OT, g, 0, origin, 0)
+	if !res.Converged {
+		t.Fatal("fixpoint must converge on a monotone algebra")
+	}
+	if !res.LoopFree() {
+		t.Fatal("solution must be loop-free")
+	}
+	if ok, why := metarouting.VerifyLocal(a.OT, g, 0, origin, res); !ok {
+		t.Fatalf("stable check: %s", why)
+	}
+
+	out := metarouting.Simulate(a.OT, g, metarouting.SimConfig{
+		Dest: 0, Origin: origin, MaxDelay: 2, Rand: r, MaxSteps: 100000,
+	})
+	if out.Steps == 0 {
+		t.Fatal("simulation must deliver messages")
+	}
+}
+
+func TestPublicInferString(t *testing.T) {
+	a, err := metarouting.InferString("delay(32,2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.SupportsLocalOptima() || !a.SupportsDijkstra() {
+		t.Fatal("delay supports everything")
+	}
+	if _, err := metarouting.InferString("nosuch"); err == nil {
+		t.Fatal("unknown base must error")
+	}
+}
+
+func TestPublicSimplify(t *testing.T) {
+	e := metarouting.MustParse("lex(lex(bw(4), delay(4,1)), unit)")
+	if got := metarouting.Simplify(e).String(); got != "lex(bw(4), delay(4,1))" {
+		t.Fatalf("Simplify = %s", got)
+	}
+}
+
+func TestPublicGraphConstruction(t *testing.T) {
+	g, err := metarouting.NewGraph(3, []metarouting.Arc{{From: 1, To: 0, Label: 0}, {From: 2, To: 1, Label: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := metarouting.InferString("hops(8)")
+	res := metarouting.Dijkstra(a.OT, g, 0, 0)
+	if res.Weights[2] != 2 {
+		t.Fatalf("hops(2→0) = %v", res.Weights[2])
+	}
+	if ok, why := metarouting.VerifyGlobal(a.OT, g, 0, 0, res); !ok {
+		t.Fatal(why)
+	}
+	if _, err := metarouting.NewGraph(1, []metarouting.Arc{{From: 0, To: 5, Label: 0}}); err == nil {
+		t.Fatal("bad arcs must be rejected")
+	}
+}
+
+func TestPublicBaseNames(t *testing.T) {
+	names := metarouting.BaseNames()
+	want := map[string]bool{"delay": false, "bw": false, "gadget": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("base %q missing", n)
+		}
+	}
+}
+
+func TestPublicDefaultOptions(t *testing.T) {
+	opt := metarouting.DefaultOptions()
+	if !opt.Fallback {
+		t.Fatal("default options must enable fallback")
+	}
+	a, err := metarouting.InferWith(metarouting.MustParse("tags(2)"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OT == nil {
+		t.Fatal("algebra missing")
+	}
+}
+
+// TestExperimentsSmoke: the façade's suite runner produces all 18 tables.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tables := metarouting.Experiments(7)
+	if len(tables) != 18 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for _, tab := range tables {
+		if strings.Contains(tab, "MISMATCH") {
+			t.Fatalf("mismatch in:\n%s", tab)
+		}
+	}
+}
