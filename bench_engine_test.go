@@ -1,0 +1,108 @@
+// Benchmarks of the unified execution layer: every solver plus the
+// protocol simulator, dynamic vs compiled backend on the same finite
+// algebra and topology. The measured speedups are recorded in
+// DESIGN.md §4. Run with
+//
+//	go test -bench=EngineDynamicVsCompiled -benchmem
+package metarouting
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/baselib"
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/protocol"
+	"metarouting/internal/solve"
+	"metarouting/internal/value"
+)
+
+// engineBench builds the dynamic and compiled backends for the standard
+// finite hot-path algebra (delay(255,4): 256-element carrier) and a
+// random 128-node graph, then runs fn under each as sub-benchmarks.
+func engineBench(b *testing.B, n int, fn func(b *testing.B, eng exec.Algebra, g *graph.Graph)) {
+	a, err := core.InferString("delay(255,4)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(17))
+	g := graph.Random(r, n, 0.2, graph.UniformLabels(4))
+	for _, mode := range []exec.Mode{exec.ModeDynamic, exec.ModeCompiled} {
+		eng, err := exec.New(a.OT, mode, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(mode), func(b *testing.B) { fn(b, eng, g) })
+	}
+}
+
+func BenchmarkEngineDynamicVsCompiledDijkstra(b *testing.B) {
+	engineBench(b, 128, func(b *testing.B, eng exec.Algebra, g *graph.Graph) {
+		for i := 0; i < b.N; i++ {
+			solve.DijkstraEngine(eng, g, 0, 0)
+		}
+	})
+}
+
+func BenchmarkEngineDynamicVsCompiledDijkstraHeap(b *testing.B) {
+	engineBench(b, 128, func(b *testing.B, eng exec.Algebra, g *graph.Graph) {
+		for i := 0; i < b.N; i++ {
+			solve.DijkstraHeapEngine(eng, g, 0, 0)
+		}
+	})
+}
+
+func BenchmarkEngineDynamicVsCompiledBellmanFord(b *testing.B) {
+	engineBench(b, 128, func(b *testing.B, eng exec.Algebra, g *graph.Graph) {
+		for i := 0; i < b.N; i++ {
+			solve.BellmanFordEngine(eng, g, 0, 0, 0)
+		}
+	})
+}
+
+func BenchmarkEngineDynamicVsCompiledGaussSeidel(b *testing.B) {
+	engineBench(b, 128, func(b *testing.B, eng exec.Algebra, g *graph.Graph) {
+		for i := 0; i < b.N; i++ {
+			solve.GaussSeidelEngine(eng, g, 0, 0, 0)
+		}
+	})
+}
+
+func BenchmarkEngineDynamicVsCompiledKBest(b *testing.B) {
+	engineBench(b, 48, func(b *testing.B, eng exec.Algebra, g *graph.Graph) {
+		for i := 0; i < b.N; i++ {
+			solve.KBestEngine(eng, g, 0, 0, 4, 0)
+		}
+	})
+}
+
+func BenchmarkEngineDynamicVsCompiledProtocol(b *testing.B) {
+	engineBench(b, 24, func(b *testing.B, eng exec.Algebra, g *graph.Graph) {
+		r := rand.New(rand.NewSource(23))
+		for i := 0; i < b.N; i++ {
+			protocol.RunEngine(eng, g, protocol.Config{
+				Dest: 0, Origin: 0, MaxDelay: 3, Rand: r,
+			})
+		}
+	})
+}
+
+func BenchmarkEngineDynamicVsCompiledClosure(b *testing.B) {
+	bi := baselib.MinPlus(1024)
+	r := rand.New(rand.NewSource(29))
+	g := graph.Random(r, 24, 0.25, graph.UniformLabels(4))
+	weights := []value.V{1, 2, 3, 4}
+	run := func(b *testing.B, sr exec.Semiring) {
+		for i := 0; i < b.N; i++ {
+			solve.ClosureEngine(sr, g, weights, 0)
+		}
+	}
+	b.Run("dynamic", func(b *testing.B) { run(b, exec.NewDynamicSemiring(bi)) })
+	comp, err := exec.CompileSemiring(bi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled", func(b *testing.B) { run(b, comp) })
+}

@@ -10,8 +10,8 @@ import (
 	"testing"
 
 	"metarouting/internal/baselib"
-	"metarouting/internal/compile"
 	"metarouting/internal/core"
+	"metarouting/internal/exec"
 	"metarouting/internal/expt"
 	"metarouting/internal/graph"
 	"metarouting/internal/ost"
@@ -224,17 +224,17 @@ func benchCompiled(b *testing.B, n int, compiled bool) {
 	}
 	r := rand.New(rand.NewSource(2))
 	g := graph.Random(r, n, 0.2, graph.UniformLabels(4))
-	c, err := compile.New(a.OT)
+	mode := exec.ModeDynamic
+	if compiled {
+		mode = exec.ModeCompiled
+	}
+	eng, err := exec.New(a.OT, mode, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if compiled {
-			c.BellmanFord(g, 0, 0, 0)
-		} else {
-			solve.BellmanFord(a.OT, g, 0, 0, 0)
-		}
+		solve.BellmanFordEngine(eng, g, 0, 0, 0)
 	}
 }
 
@@ -292,16 +292,16 @@ func benchHeapDijkstra(b *testing.B, n int, useHeap bool) {
 	}
 	r := rand.New(rand.NewSource(6))
 	g := graph.Random(r, n, 0.1, graph.UniformLabels(4))
-	c, err := compile.New(a.OT)
+	eng, err := exec.New(a.OT, exec.ModeCompiled, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if useHeap {
-			c.DijkstraHeap(g, 0, 0)
+			solve.DijkstraHeapEngine(eng, g, 0, 0)
 		} else {
-			c.Dijkstra(g, 0, 0)
+			solve.DijkstraEngine(eng, g, 0, 0)
 		}
 	}
 }

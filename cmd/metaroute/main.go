@@ -7,7 +7,13 @@
 //	metaroute -expr 'scoped(bw(4), delay(64,4))'
 //	metaroute -expr 'delay(255,3)' -random 12 -p 0.3 -seed 7 -solve
 //	metaroute -expr 'gadget' -simulate -seed 1
+//	metaroute -expr 'delay(64,4)' -solve -engine compiled
 //	metaroute -list
+//
+// Routing work runs on the unified execution layer (internal/exec):
+// -engine selects the backend — auto (default: compile finite algebras
+// to dense tables, interpret the rest), dynamic (always interpret), or
+// compiled (require dense tables; fails for infinite algebras).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"metarouting/internal/core"
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/prop"
 	"metarouting/internal/protocol"
@@ -41,8 +48,15 @@ func main() {
 		samples  = flag.Int("samples", 512, "sampled checks on infinite carriers")
 		explain  = flag.String("explain", "", "explain a property (M, N, C, ND, I, SI, T) causally")
 		jsonOut  = flag.Bool("json", false, "emit the property report as JSON instead of text")
+		engine   = flag.String("engine", "auto", "execution backend: auto (compile finite algebras), dynamic, or compiled")
 	)
 	flag.Parse()
+
+	mode, err := exec.ParseMode(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	exec.SetDefaultMode(mode)
 
 	if *list {
 		fmt.Println("base algebras:")
@@ -54,7 +68,7 @@ func main() {
 		return
 	}
 	if *scenFile != "" {
-		runScenario(*scenFile, *seed)
+		runScenario(*scenFile, *seed, mode)
 		return
 	}
 	if *exprSrc == "" {
@@ -125,20 +139,25 @@ func main() {
 		g = graph.Random(r, n, *p, graph.UniformLabels(labelCount(a)))
 	}
 	origin := defaultOrigin(a)
+	eng, err := exec.New(a.OT, mode, origin)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("\ntopology: %s, destination 0, origin %s\n", g, value.Format(origin))
+	fmt.Printf("engine: %s\n", eng.Mode())
 
 	if *doSolve {
 		if a.SupportsDijkstra() {
-			res := solve.Dijkstra(a.OT, g, 0, origin)
+			res := solve.DijkstraEngine(eng, g, 0, origin)
 			report("dijkstra", a, g, origin, res)
 		} else {
 			fmt.Println("dijkstra: not licensed (needs M ∧ ND ∧ total order) — skipping")
 		}
-		res := solve.BellmanFord(a.OT, g, 0, origin, 6*g.N)
+		res := solve.BellmanFordEngine(eng, g, 0, origin, 6*g.N)
 		report("bellman-ford", a, g, origin, res)
 	}
 	if *simulate {
-		out := protocol.Run(a.OT, g, protocol.Config{
+		out := protocol.RunEngine(eng, g, protocol.Config{
 			Dest: 0, Origin: origin, MaxDelay: 3, Rand: r, MaxSteps: 400 * g.N * g.N,
 		})
 		fmt.Printf("\nasync path-vector: %s", out.Describe())
@@ -195,7 +214,7 @@ func defaultOrigin(a *core.Algebra) value.V {
 
 // runScenario loads and simulates a scenario file, printing the algebra
 // verdict and the final routing state.
-func runScenario(path string, seed int64) {
+func runScenario(path string, seed int64, mode exec.Mode) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -205,9 +224,13 @@ func runScenario(path string, seed int64) {
 	if err != nil {
 		fatal(err)
 	}
+	if err := s.UseEngine(mode); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("scenario: %s on %s, dest %d, origin %s, %d events"+"\n",
 		s.Expr, s.Graph, s.Dest, value.Format(s.Origin), len(s.Events))
 	fmt.Println("verdict:", s.Algebra.Verdict())
+	fmt.Println("engine:", s.Engine.Mode())
 	out := s.Run(seed, 0)
 	fmt.Printf("\nasync path-vector: %s", out.Describe())
 }

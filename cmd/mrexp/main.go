@@ -7,25 +7,48 @@
 //	mrexp                 # run everything
 //	mrexp -only E7,E12    # a subset
 //	mrexp -seed 7         # different randomization
+//	mrexp -engine dynamic # pin the execution backend
+//	mrexp -json           # per-experiment wall time + engine as JSON lines
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"metarouting/internal/exec"
 	"metarouting/internal/expt"
 )
+
+// record is the -json output shape, one line per experiment.
+type record struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+	Engine string  `json:"engine"`
+}
 
 func main() {
 	var (
 		seed     = flag.Int64("seed", 42, "random seed for validation sweeps")
 		only     = flag.String("only", "", "comma-separated experiment IDs, e.g. E2,E7")
 		parallel = flag.Bool("parallel", false, "run experiments concurrently (output order preserved)")
+		engine   = flag.String("engine", "auto", "execution backend: auto (compile finite algebras), dynamic, or compiled")
+		jsonOut  = flag.Bool("json", false, "emit per-experiment wall time and engine as JSON lines instead of tables")
 	)
 	flag.Parse()
+
+	mode, err := exec.ParseMode(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrexp:", err)
+		os.Exit(2)
+	}
+	exec.SetDefaultMode(mode)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -42,24 +65,45 @@ func main() {
 		}
 	}
 
+	emit := func(i int, outputs []string) {
+		t0 := time.Now()
+		tbl := selected[i].Run()
+		wall := time.Since(t0)
+		if *jsonOut {
+			line, err := json.Marshal(record{
+				ID: tbl.ID, Title: tbl.Title,
+				WallMS: float64(wall.Microseconds()) / 1e3,
+				Engine: string(mode),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mrexp:", err)
+				os.Exit(1)
+			}
+			outputs[i] = string(line)
+		} else {
+			outputs[i] = tbl.Render()
+		}
+	}
+
+	outputs := make([]string, len(selected))
 	if !*parallel {
-		for _, r := range selected {
-			fmt.Println(r.Run().Render())
+		for i := range selected {
+			emit(i, outputs)
+			fmt.Println(outputs[i])
 		}
 		return
 	}
-	// Fan the experiments across cores; print in index order as results
-	// land.
-	outputs := make([]string, len(selected))
+	// Fan the experiments across cores; print in index order once all
+	// results land.
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, r := range selected {
+	for i := range selected {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			outputs[i] = r.Run().Render()
+			emit(i, outputs)
 		}()
 	}
 	wg.Wait()

@@ -1,15 +1,19 @@
-// Package compile specializes finite order transforms into dense integer
-// tables for the routing hot path: carrier elements become indices,
-// functions become lookup arrays, and the preorder becomes a strictness
-// matrix. The compiled form removes all interface dispatch and map
-// traffic from the inner loops of route computation — the ablation
-// benchmarks measure the gap against the dynamic representation.
+// Package compile specializes finite order transforms (and bisemigroups)
+// into dense integer tables for the routing hot path: carrier elements
+// become indices, functions become lookup arrays, and the preorder
+// becomes a strictness matrix. The compiled form removes all interface
+// dispatch and map traffic from the inner loops of route computation.
+//
+// This package only builds tables; execution lives behind the unified
+// internal/exec.Algebra interface, which every solver and the protocol
+// simulator consume — the engine-differential tests and the
+// BenchmarkEngineDynamicVsCompiled* suite measure the tables against the
+// dynamic representation.
 package compile
 
 import (
 	"fmt"
 
-	"metarouting/internal/graph"
 	"metarouting/internal/ost"
 	"metarouting/internal/value"
 )
@@ -85,123 +89,3 @@ func (c *Compiled) Lt(a, b int) bool { return c.LtBits[a*c.N+b] == 1 }
 
 // Apply applies function f to weight index w.
 func (c *Compiled) Apply(f, w int) int { return int(c.Fn[f][w]) }
-
-// Result is a compiled routing solution; weights are carrier indices
-// (resolve through Elems).
-type Result struct {
-	Dest      int
-	Routed    []bool
-	Weight    []int
-	NextHop   []int
-	Rounds    int
-	Converged bool
-}
-
-// BellmanFord runs the synchronous fixpoint iteration entirely over
-// compiled tables. Semantics match solve.BellmanFord.
-func (c *Compiled) BellmanFord(g *graph.Graph, dest, originIdx, maxRounds int) *Result {
-	if maxRounds <= 0 {
-		maxRounds = 2*g.N + 4
-	}
-	res := &Result{
-		Dest:    dest,
-		Routed:  make([]bool, g.N),
-		Weight:  make([]int, g.N),
-		NextHop: make([]int, g.N),
-	}
-	for i := range res.NextHop {
-		res.NextHop[i] = -1
-	}
-	res.Routed[dest] = true
-	res.Weight[dest] = originIdx
-	prevW := make([]int, g.N)
-	prevR := make([]bool, g.N)
-	for round := 1; round <= maxRounds; round++ {
-		copy(prevW, res.Weight)
-		copy(prevR, res.Routed)
-		changed := false
-		for u := 0; u < g.N; u++ {
-			if u == dest {
-				continue
-			}
-			bestArc, best := -1, 0
-			for _, ai := range g.Out(u) {
-				v := g.Arcs[ai].To
-				if !prevR[v] {
-					continue
-				}
-				cand := int(c.Fn[g.Arcs[ai].Label][prevW[v]])
-				if bestArc < 0 || c.LtBits[cand*c.N+best] == 1 {
-					bestArc, best = ai, cand
-				}
-			}
-			if bestArc < 0 {
-				if res.Routed[u] {
-					res.Routed[u] = false
-					res.NextHop[u] = -1
-					changed = true
-				}
-				continue
-			}
-			nh := g.Arcs[bestArc].To
-			if !res.Routed[u] || res.Weight[u] != best || res.NextHop[u] != nh {
-				changed = true
-				res.Routed[u] = true
-				res.Weight[u] = best
-				res.NextHop[u] = nh
-			}
-		}
-		res.Rounds = round
-		if !changed {
-			res.Converged = true
-			return res
-		}
-	}
-	return res
-}
-
-// Dijkstra runs the generalized Dijkstra over compiled tables.
-// Semantics match solve.Dijkstra.
-func (c *Compiled) Dijkstra(g *graph.Graph, dest, originIdx int) *Result {
-	res := &Result{
-		Dest:    dest,
-		Routed:  make([]bool, g.N),
-		Weight:  make([]int, g.N),
-		NextHop: make([]int, g.N),
-	}
-	for i := range res.NextHop {
-		res.NextHop[i] = -1
-	}
-	res.Routed[dest] = true
-	res.Weight[dest] = originIdx
-	settled := make([]bool, g.N)
-	for rounds := 0; ; rounds++ {
-		u := -1
-		for v := 0; v < g.N; v++ {
-			if settled[v] || !res.Routed[v] {
-				continue
-			}
-			if u < 0 || c.LtBits[res.Weight[v]*c.N+res.Weight[u]] == 1 {
-				u = v
-			}
-		}
-		if u < 0 {
-			res.Rounds = rounds
-			res.Converged = true
-			return res
-		}
-		settled[u] = true
-		for _, ai := range g.In(u) {
-			p := g.Arcs[ai].From
-			if settled[p] {
-				continue
-			}
-			cand := int(c.Fn[g.Arcs[ai].Label][res.Weight[u]])
-			if !res.Routed[p] || c.LtBits[cand*c.N+res.Weight[p]] == 1 {
-				res.Routed[p] = true
-				res.Weight[p] = cand
-				res.NextHop[p] = u
-			}
-		}
-	}
-}

@@ -1,14 +1,16 @@
 package compile
 
 import (
-	"math/rand"
 	"testing"
 
+	"metarouting/internal/baselib"
 	"metarouting/internal/core"
-	"metarouting/internal/graph"
 	"metarouting/internal/ost"
-	"metarouting/internal/solve"
 )
+
+// Solver-level correctness of the compiled form (compiled vs dynamic
+// equivalence on every algorithm) lives in the engine differential tests
+// of internal/exec; this file checks the tables themselves.
 
 func alg(t testing.TB, src string) *ost.OrderTransform {
 	t.Helper()
@@ -43,151 +45,53 @@ func TestCompileRejectsInfinite(t *testing.T) {
 	}
 }
 
-// TestCompiledSolversMatchDynamic cross-validates compiled Dijkstra and
-// Bellman–Ford against the dynamic solvers on random graphs and several
-// algebras, including pair-carrier products.
-func TestCompiledSolversMatchDynamic(t *testing.T) {
-	r := rand.New(rand.NewSource(31))
-	for _, src := range []string{"delay(64,3)", "bw(8)", "lex(bw(4), delay(8,2))", "scoped(bw(3), delay(6,2))"} {
-		a := alg(t, src)
-		c, err := New(a)
-		if err != nil {
-			t.Fatalf("%s: %v", src, err)
-		}
-		// Origin: the order's ⊥ if present, else the first element.
-		origin := a.Carrier().Elems[0]
-		if b, ok := a.Ord.Bot(); ok {
-			origin = b
-		}
-		originIdx := c.Index[origin]
-		for trial := 0; trial < 8; trial++ {
-			g := graph.Random(r, 9, 0.3, graph.UniformLabels(len(a.F.Fns)))
-
-			dyn := solve.BellmanFord(a, g, 0, origin, 0)
-			cmp := c.BellmanFord(g, 0, originIdx, 0)
-			if dyn.Converged != cmp.Converged {
-				t.Fatalf("%s trial %d: BF convergence differs", src, trial)
-			}
-			for u := 0; u < g.N; u++ {
-				if dyn.Routed[u] != cmp.Routed[u] {
-					t.Fatalf("%s trial %d node %d: BF routedness differs", src, trial, u)
-				}
-				if dyn.Routed[u] && dyn.Weights[u] != c.Elems[cmp.Weight[u]] {
-					t.Fatalf("%s trial %d node %d: BF %v vs %v", src, trial, u,
-						dyn.Weights[u], c.Elems[cmp.Weight[u]])
-				}
-			}
-
-			dynD := solve.Dijkstra(a, g, 0, origin)
-			cmpD := c.Dijkstra(g, 0, originIdx)
-			for u := 0; u < g.N; u++ {
-				if dynD.Routed[u] != cmpD.Routed[u] {
-					t.Fatalf("%s trial %d node %d: Dijkstra routedness differs", src, trial, u)
-				}
-				if dynD.Routed[u] && dynD.Weights[u] != c.Elems[cmpD.Weight[u]] {
-					t.Fatalf("%s trial %d node %d: Dijkstra %v vs %v", src, trial, u,
-						dynD.Weights[u], c.Elems[cmpD.Weight[u]])
-				}
-			}
-		}
-	}
-}
-
-func TestCompiledNextHopsLoopFree(t *testing.T) {
-	a := alg(t, "delay(64,3)")
+func TestCompilePairCarrier(t *testing.T) {
+	a := alg(t, "lex(bw(4), delay(8,2))")
 	c, err := New(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := rand.New(rand.NewSource(32))
-	g := graph.Random(r, 12, 0.25, graph.UniformLabels(3))
-	res := c.BellmanFord(g, 0, 0, 0)
-	for u := 0; u < g.N; u++ {
-		if !res.Routed[u] {
-			continue
+	if c.N != a.Carrier().Size() {
+		t.Fatalf("carrier size: %d vs %d", c.N, a.Carrier().Size())
+	}
+	// Round-trip every element through the index and spot-check the order
+	// tables against the dynamic preorder.
+	for i, e := range c.Elems {
+		if c.Index[e] != i {
+			t.Fatalf("index round-trip broken at %d", i)
 		}
-		seen := map[int]bool{}
-		v := u
-		for v != 0 {
-			if seen[v] {
-				t.Fatalf("loop at %d", u)
-			}
-			seen[v] = true
-			v = res.NextHop[v]
-			if v < 0 {
-				t.Fatalf("broken chain at %d", u)
+	}
+	for i := 0; i < c.N; i += 3 {
+		for j := 0; j < c.N; j += 5 {
+			if c.Leq(i, j) != a.Ord.Leq(c.Elems[i], c.Elems[j]) {
+				t.Fatalf("Leq(%d,%d) disagrees with dynamic order", i, j)
 			}
 		}
 	}
 }
 
-// TestDijkstraHeapMatchesScan: the heap frontier and the linear scan
-// agree on weights and routedness across algebras and random graphs.
-func TestDijkstraHeapMatchesScan(t *testing.T) {
-	r := rand.New(rand.NewSource(41))
-	for _, src := range []string{"delay(64,3)", "bw(8)", "lex(delay(8,2), bw(4))"} {
-		a := alg(t, src)
-		c, err := New(a)
-		if err != nil {
-			t.Fatal(err)
-		}
-		origin := a.Carrier().Elems[0]
-		if b, ok := a.Ord.Bot(); ok {
-			origin = b
-		}
-		oi := c.Index[origin]
-		for trial := 0; trial < 10; trial++ {
-			g := graph.Random(r, 12, 0.25, graph.UniformLabels(len(a.F.Fns)))
-			scan := c.Dijkstra(g, 0, oi)
-			hp := c.DijkstraHeap(g, 0, oi)
-			for u := 0; u < g.N; u++ {
-				if scan.Routed[u] != hp.Routed[u] {
-					t.Fatalf("%s trial %d node %d: routedness differs", src, trial, u)
-				}
-				if scan.Routed[u] && scan.Weight[u] != hp.Weight[u] {
-					// Weights may differ up to order-equivalence; compare
-					// through the strictness matrix.
-					if c.Lt(scan.Weight[u], hp.Weight[u]) || c.Lt(hp.Weight[u], scan.Weight[u]) {
-						t.Fatalf("%s trial %d node %d: %v vs %v", src, trial, u,
-							c.Elems[scan.Weight[u]], c.Elems[hp.Weight[u]])
-					}
-				}
-			}
-		}
-	}
-}
-
-// TestCompiledScale routes a 5000-node scale-free network with the
-// compiled solver — the "does it hold up at size" smoke (skipped in
-// -short runs).
-func TestCompiledScale(t *testing.T) {
-	if testing.Short() {
-		t.Skip("scale test")
-	}
-	a := alg(t, "delay(4095,4)")
-	c, err := New(a)
+func TestBisemigroupTables(t *testing.T) {
+	b := baselib.MinPlus(64)
+	c, err := NewBisemigroup(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := rand.New(rand.NewSource(99))
-	g := graph.ScaleFree(r, 5000, 2, graph.UniformLabels(4))
-	res := c.DijkstraHeap(g, 0, 0)
-	routed := 0
-	for _, ok := range res.Routed {
-		if ok {
-			routed++
-		}
+	xi, okX := c.Index[3]
+	yi, okY := c.Index[5]
+	if !okX || !okY {
+		t.Fatal("carrier elements missing from index")
 	}
-	if routed != g.N {
-		t.Fatalf("only %d/%d nodes routed", routed, g.N)
+	x, y := int32(xi), int32(yi)
+	if got := c.Elems[c.Add(x, y)]; got != b.Add.Op(3, 5) {
+		t.Fatalf("⊕ table: got %v want %v", got, b.Add.Op(3, 5))
 	}
-	bf := c.BellmanFord(g, 0, 0, 0)
-	if !bf.Converged {
-		t.Fatal("BF must converge at scale")
+	if got := c.Elems[c.Mul(x, y)]; got != b.Mul.Op(3, 5) {
+		t.Fatalf("⊗ table: got %v want %v", got, b.Mul.Op(3, 5))
 	}
-	for u := 0; u < g.N; u += 97 {
-		if res.Weight[u] != bf.Weight[u] {
-			t.Fatalf("node %d: heap %d vs bf %d", u, res.Weight[u], bf.Weight[u])
-		}
+}
+
+func TestBisemigroupRejectsOversize(t *testing.T) {
+	if _, err := NewBisemigroup(baselib.MinPlus(MaxBisemigroupCarrier + 8)); err == nil {
+		t.Fatal("oversize bisemigroup carriers must be rejected")
 	}
 }

@@ -1,0 +1,74 @@
+package compile
+
+import (
+	"fmt"
+
+	"metarouting/internal/bsg"
+	"metarouting/internal/value"
+)
+
+// MaxBisemigroupCarrier caps compiled bisemigroups. Both binary ops need
+// a full n×n int32 table (8·n² bytes for the pair), so the ceiling sits
+// below the order-transform cap: 2048² ≈ 4.2M entries ≈ 33 MB total.
+const MaxBisemigroupCarrier = 1 << 11
+
+// CompiledBisemigroup is a finite bisemigroup (S, ⊕, ⊗) in dense-table
+// form: carrier elements are indices and both operations are lookups.
+type CompiledBisemigroup struct {
+	// N is the carrier size; weights are indices 0..N-1.
+	N int
+	// Elems maps index → original value; Index is the inverse.
+	Elems []value.V
+	Index map[value.V]int
+	// AddTab[a*N+b] = a ⊕ b; MulTab likewise for ⊗.
+	AddTab, MulTab []int32
+}
+
+// NewBisemigroup compiles a finite bisemigroup. It fails on infinite
+// carriers, on carriers above MaxBisemigroupCarrier, and when either
+// operation maps outside the carrier (the ops must be closed for the
+// table form to exist).
+func NewBisemigroup(b *bsg.Bisemigroup) (*CompiledBisemigroup, error) {
+	if !b.Finite() {
+		return nil, fmt.Errorf("compile: %s is not finitely enumerable", b.Name)
+	}
+	n := b.Carrier().Size()
+	if n > MaxBisemigroupCarrier {
+		return nil, fmt.Errorf("compile: carrier of %s too large (%d elements)", b.Name, n)
+	}
+	c := &CompiledBisemigroup{
+		N:      n,
+		Elems:  append([]value.V(nil), b.Carrier().Elems...),
+		Index:  make(map[value.V]int, n),
+		AddTab: make([]int32, n*n),
+		MulTab: make([]int32, n*n),
+	}
+	for i, e := range c.Elems {
+		c.Index[e] = i
+	}
+	for a := 0; a < n; a++ {
+		for bb := 0; bb < n; bb++ {
+			sum := b.Add.Op(c.Elems[a], c.Elems[bb])
+			si, ok := c.Index[sum]
+			if !ok {
+				return nil, fmt.Errorf("compile: ⊕ of %s maps (%s, %s) outside the carrier",
+					b.Name, value.Format(c.Elems[a]), value.Format(c.Elems[bb]))
+			}
+			prod := b.Mul.Op(c.Elems[a], c.Elems[bb])
+			pi, ok := c.Index[prod]
+			if !ok {
+				return nil, fmt.Errorf("compile: ⊗ of %s maps (%s, %s) outside the carrier",
+					b.Name, value.Format(c.Elems[a]), value.Format(c.Elems[bb]))
+			}
+			c.AddTab[a*n+bb] = int32(si)
+			c.MulTab[a*n+bb] = int32(pi)
+		}
+	}
+	return c, nil
+}
+
+// Add returns a ⊕ b on compiled indices.
+func (c *CompiledBisemigroup) Add(a, b int32) int32 { return c.AddTab[int(a)*c.N+int(b)] }
+
+// Mul returns a ⊗ b on compiled indices.
+func (c *CompiledBisemigroup) Mul(a, b int32) int32 { return c.MulTab[int(a)*c.N+int(b)] }

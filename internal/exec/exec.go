@@ -1,0 +1,269 @@
+// Package exec is the unified algebra execution layer: every routing
+// algorithm in the repository — the five solvers of internal/solve, the
+// asynchronous protocol simulator, the RIB builder and the licensed
+// routers — consumes a single Algebra interface whose weights are dense
+// int32 indices.
+//
+// Two implementations exist. The compiled backend wraps the dense tables
+// of internal/compile: weight application and preference comparison are
+// array lookups, removing all interface dispatch and map traffic from the
+// hot path. The dynamic backend wraps an *ost.OrderTransform directly and
+// hash-conses every weight it encounters, so index equality coincides
+// with value equality and the two backends are observationally identical
+// — the engine-differential tests assert exactly that for every solver
+// and the simulator.
+//
+// For(...) picks the backend automatically: finite algebras up to the
+// auto-compile limit are compiled once (memoised per order transform) and
+// everything else falls back to dynamic. This realizes the design goal
+// that the compiled form is the universal execution substrate rather than
+// a Dijkstra-only special case.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"metarouting/internal/compile"
+	"metarouting/internal/ost"
+	"metarouting/internal/value"
+)
+
+// Mode selects an execution backend.
+type Mode string
+
+// The engine modes accepted by For, New and the CLIs' -engine flag.
+const (
+	// ModeAuto compiles finite algebras up to AutoLimit, else dynamic.
+	ModeAuto Mode = "auto"
+	// ModeDynamic always interprets the order transform directly.
+	ModeDynamic Mode = "dynamic"
+	// ModeCompiled requires dense tables; New fails if the algebra is not
+	// finitely compilable.
+	ModeCompiled Mode = "compiled"
+)
+
+// ParseMode validates a -engine flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeAuto, ModeDynamic, ModeCompiled:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("exec: unknown engine mode %q (want auto, dynamic or compiled)", s)
+}
+
+// Algebra is the execution interface every routing algorithm consumes.
+// Weights are int32 indices; Intern converts an originated value.V into
+// index form and Value resolves indices back for results and diagnostics.
+// Index equality coincides with value equality (==) on both backends.
+//
+// Implementations are safe for concurrent readers only when compiled;
+// the dynamic backend interns lazily and must not be shared across
+// goroutines.
+type Algebra interface {
+	// Name labels the underlying algebra.
+	Name() string
+	// Mode reports the backend kind (ModeDynamic or ModeCompiled).
+	Mode() Mode
+	// Source returns the order transform the engine executes.
+	Source() *ost.OrderTransform
+	// NumFns returns the arc-function count (graph labels must be below
+	// it), or -1 for an infinite (sampled) function set.
+	NumFns() int
+	// Intern maps a carrier element to its weight index. The compiled
+	// backend fails on values outside the carrier; the dynamic backend
+	// never fails.
+	Intern(v value.V) (int32, error)
+	// Value resolves a weight index to its carrier element.
+	Value(w int32) value.V
+	// Apply applies arc function label to weight w.
+	Apply(label int, w int32) int32
+	// Leq, Lt and Equiv are the algebra's preorder on weight indices.
+	Leq(a, b int32) bool
+	Lt(a, b int32) bool
+	Equiv(a, b int32) bool
+}
+
+// AutoLimit is the carrier-size ceiling for automatic compilation. The
+// tables are quadratic (2·n² bytes plus n² preorder evaluations to
+// build), so ModeAuto stops well below compile.New's 2¹⁵ hard cap:
+// 4096² ≈ 16.7M entries ≈ 33 MB builds in well under a second, while a
+// 12 870-element scoped product would already cost ~330 MB and tens of
+// seconds. ModeCompiled goes to the hard cap on explicit request.
+const AutoLimit = 4096
+
+// defaultMode is consulted by For; the CLIs set it from -engine before
+// any routing work starts (it is not synchronized for mid-run mutation).
+var defaultMode = ModeAuto
+
+// SetDefaultMode sets the backend selection policy used by For. Call it
+// once at startup, before routing work begins.
+func SetDefaultMode(m Mode) { defaultMode = m }
+
+// DefaultMode returns the backend selection policy used by For.
+func DefaultMode() Mode { return defaultMode }
+
+// dynamic executes an order transform directly, hash-consing weights so
+// that index equality is value equality.
+type dynamic struct {
+	ot    *ost.OrderTransform
+	elems []value.V
+	index map[value.V]int32
+}
+
+// NewDynamic builds the dynamic (interpreting) backend. It never fails
+// and accepts infinite carriers and function sets.
+func NewDynamic(t *ost.OrderTransform) Algebra {
+	return &dynamic{ot: t, index: make(map[value.V]int32, 16)}
+}
+
+func (d *dynamic) Name() string               { return d.ot.Name }
+func (d *dynamic) Mode() Mode                 { return ModeDynamic }
+func (d *dynamic) Source() *ost.OrderTransform { return d.ot }
+
+func (d *dynamic) NumFns() int { return d.ot.F.Size() }
+
+func (d *dynamic) intern(v value.V) int32 {
+	if w, ok := d.index[v]; ok {
+		return w
+	}
+	w := int32(len(d.elems))
+	d.elems = append(d.elems, v)
+	d.index[v] = w
+	return w
+}
+
+func (d *dynamic) Intern(v value.V) (int32, error) { return d.intern(v), nil }
+func (d *dynamic) Value(w int32) value.V           { return d.elems[w] }
+
+func (d *dynamic) Apply(label int, w int32) int32 {
+	return d.intern(d.ot.F.Fns[label].Apply(d.elems[w]))
+}
+
+func (d *dynamic) Leq(a, b int32) bool { return d.ot.Ord.Leq(d.elems[a], d.elems[b]) }
+func (d *dynamic) Lt(a, b int32) bool  { return d.ot.Ord.Lt(d.elems[a], d.elems[b]) }
+func (d *dynamic) Equiv(a, b int32) bool {
+	return d.ot.Ord.Equiv(d.elems[a], d.elems[b])
+}
+
+// tabled executes the dense-table form built by internal/compile.
+type tabled struct {
+	ot *ost.OrderTransform
+	c  *compile.Compiled
+}
+
+// Compile builds the compiled backend. It fails exactly when compile.New
+// does: infinite carriers or function sets, or carriers above the 2¹⁵
+// hard cap.
+func Compile(t *ost.OrderTransform) (Algebra, error) {
+	c, err := compile.New(t)
+	if err != nil {
+		return nil, err
+	}
+	return &tabled{ot: t, c: c}, nil
+}
+
+func (e *tabled) Name() string                { return e.ot.Name }
+func (e *tabled) Mode() Mode                  { return ModeCompiled }
+func (e *tabled) Source() *ost.OrderTransform { return e.ot }
+func (e *tabled) NumFns() int                 { return len(e.c.Fn) }
+
+func (e *tabled) Intern(v value.V) (int32, error) {
+	if w, ok := e.c.Index[v]; ok {
+		return int32(w), nil
+	}
+	return 0, fmt.Errorf("exec: %s is not in the compiled carrier of %s",
+		value.Format(v), e.ot.Name)
+}
+
+func (e *tabled) Value(w int32) value.V { return e.c.Elems[w] }
+
+func (e *tabled) Apply(label int, w int32) int32 { return e.c.Fn[label][w] }
+
+func (e *tabled) Leq(a, b int32) bool { return e.c.LeqBits[int(a)*e.c.N+int(b)] == 1 }
+func (e *tabled) Lt(a, b int32) bool  { return e.c.LtBits[int(a)*e.c.N+int(b)] == 1 }
+func (e *tabled) Equiv(a, b int32) bool {
+	n := e.c.N
+	return e.c.LeqBits[int(a)*n+int(b)] == 1 && e.c.LeqBits[int(b)*n+int(a)] == 1
+}
+
+// compileCache memoises compiled backends per order transform, so that
+// repeated solver calls on the same algebra (the shape of every
+// experiment sweep) pay the quadratic table build once. Failed compiles
+// are cached too.
+var compileCache sync.Map // *ost.OrderTransform → Algebra (nil entry = failed)
+
+func cachedCompile(t *ost.OrderTransform) (Algebra, bool) {
+	if got, ok := compileCache.Load(t); ok {
+		eng, valid := got.(Algebra)
+		return eng, valid && eng != nil
+	}
+	eng, err := Compile(t)
+	if err != nil {
+		compileCache.Store(t, (Algebra)(nil))
+		return nil, false
+	}
+	actual, _ := compileCache.LoadOrStore(t, eng)
+	if a, ok := actual.(Algebra); ok && a != nil {
+		return a, true
+	}
+	return eng, true
+}
+
+// compilable reports whether t is worth compiling under the auto policy.
+func compilable(t *ost.OrderTransform, limit int) bool {
+	return t.Finite() && t.Carrier().Size() <= limit
+}
+
+// For picks the execution backend for t under the default mode: compiled
+// (memoised) when the algebra is finite, within the auto limit, compiles
+// cleanly and every origin in origins interns; dynamic otherwise. It is
+// the constructor the ost-level solver entry points use, which is what
+// makes the compiled form the universal substrate.
+func For(t *ost.OrderTransform, origins ...value.V) Algebra {
+	if defaultMode != ModeDynamic && compilable(t, AutoLimit) {
+		if eng, ok := cachedCompile(t); ok {
+			for _, o := range origins {
+				if _, err := eng.Intern(o); err != nil {
+					return NewDynamic(t)
+				}
+			}
+			return eng
+		}
+	}
+	return NewDynamic(t)
+}
+
+// New builds a backend under an explicit mode: ModeDynamic and
+// ModeCompiled force their backend (compiled fails with the compile
+// error, or when an origin does not intern); ModeAuto behaves like For.
+func New(t *ost.OrderTransform, m Mode, origins ...value.V) (Algebra, error) {
+	switch m {
+	case ModeDynamic:
+		return NewDynamic(t), nil
+	case ModeCompiled:
+		eng, err := Compile(t)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range origins {
+			if _, err := eng.Intern(o); err != nil {
+				return nil, err
+			}
+		}
+		return eng, nil
+	case ModeAuto, "":
+		return For(t, origins...), nil
+	}
+	return nil, fmt.Errorf("exec: unknown engine mode %q", m)
+}
+
+// MustIntern interns v and panics on failure — for callers that already
+// validated the origin against the engine (For and New do).
+func MustIntern(e Algebra, v value.V) int32 {
+	w, err := e.Intern(v)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

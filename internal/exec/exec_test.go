@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"testing"
+
+	"metarouting/internal/core"
+)
+
+func ot(t *testing.T, src string) *core.Algebra {
+	t.Helper()
+	a, err := core.InferString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestParseMode(t *testing.T) {
+	for _, s := range []string{"auto", "dynamic", "compiled"} {
+		if _, err := ParseMode(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := ParseMode("jit"); err == nil {
+		t.Fatal("bogus mode must be rejected")
+	}
+}
+
+func TestForPicksCompiledForFinite(t *testing.T) {
+	a := ot(t, "delay(16,2)")
+	if eng := For(a.OT, 0); eng.Mode() != ModeCompiled {
+		t.Fatalf("finite algebra should auto-compile, got %s", eng.Mode())
+	}
+}
+
+func TestForFallsBackToDynamic(t *testing.T) {
+	// Infinite carrier: delay(0, k) is the unbounded delay algebra.
+	a := ot(t, "delay(0,2)")
+	if eng := For(a.OT, 0); eng.Mode() != ModeDynamic {
+		t.Fatalf("infinite algebra must run dynamic, got %s", eng.Mode())
+	}
+}
+
+func TestForHonorsDefaultMode(t *testing.T) {
+	a := ot(t, "delay(16,2)")
+	SetDefaultMode(ModeDynamic)
+	defer SetDefaultMode(ModeAuto)
+	if eng := For(a.OT, 0); eng.Mode() != ModeDynamic {
+		t.Fatalf("default mode dynamic must win, got %s", eng.Mode())
+	}
+}
+
+func TestCompileMemoised(t *testing.T) {
+	a := ot(t, "delay(32,2)")
+	e1 := For(a.OT, 0)
+	e2 := For(a.OT, 1)
+	if e1.Mode() != ModeCompiled || e1 != e2 {
+		t.Fatal("compiled engines must be memoised per order transform")
+	}
+}
+
+func TestNewCompiledRejectsInfinite(t *testing.T) {
+	a := ot(t, "delay(0,2)")
+	if _, err := New(a.OT, ModeCompiled, 0); err == nil {
+		t.Fatal("ModeCompiled must fail on infinite carriers")
+	}
+}
+
+func TestDynamicInterning(t *testing.T) {
+	a := ot(t, "delay(16,2)")
+	eng := NewDynamic(a.OT)
+	w1 := MustIntern(eng, 3)
+	w2 := eng.Apply(0, MustIntern(eng, 2)) // +1 saturating: 2 → 3
+	if w1 != w2 {
+		t.Fatalf("equal values must intern to equal indices: %d vs %d", w1, w2)
+	}
+	if eng.Value(w1) != 3 {
+		t.Fatalf("round-trip failed: %v", eng.Value(w1))
+	}
+}

@@ -9,6 +9,12 @@
 // (convergence) and, via a step budget, divergence — the behaviour the
 // increasing property I is meant to guarantee against (Sobrinho [23],
 // Varadhan et al. [16]).
+//
+// The simulator runs on the unified execution layer (internal/exec):
+// message payloads carry int32 weight indices, per-arc policy application
+// and route selection are engine operations — table lookups on the
+// compiled backend. Run picks the backend automatically; RunEngine pins
+// one.
 package protocol
 
 import (
@@ -17,16 +23,17 @@ import (
 	"math/rand"
 	"sort"
 
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/ost"
 	"metarouting/internal/value"
 )
 
-// route is an advertised route: a weight plus the node path it traversed
-// (destination last), used for loop rejection exactly as BGP uses AS
-// paths.
+// route is an advertised route: a weight index plus the node path it
+// traversed (destination last), used for loop rejection exactly as BGP
+// uses AS paths.
 type route struct {
-	weight value.V
+	weight int32
 	path   []int // from advertising node to destination
 }
 
@@ -51,13 +58,18 @@ type message struct {
 	at int64
 }
 
-// msgQueue is a delivery-time priority queue with FIFO tie-breaking.
+// msgQueue is a delivery-time priority queue. Simultaneous deliveries
+// order deterministically by (time, sender, seq) — not heap-insertion
+// order — so a run is a pure function of its seed and inputs.
 type msgQueue []*message
 
 func (q msgQueue) Len() int { return len(q) }
 func (q msgQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
+	}
+	if q[i].from != q[j].from {
+		return q[i].from < q[j].from
 	}
 	return q[i].seq < q[j].seq
 }
@@ -167,10 +179,21 @@ type node struct {
 	bestFrom int
 }
 
-// Run simulates the path-vector protocol for alg on g.
+// Run simulates the path-vector protocol for alg on g, on the backend
+// exec.For picks (compiled tables for finite algebras).
 func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
+	return RunEngine(exec.For(alg, cfg.Origin), g, cfg)
+}
+
+// RunEngine simulates the path-vector protocol over an explicit
+// execution engine.
+func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 	if cfg.Rand == nil {
 		panic("protocol: Config.Rand is required")
+	}
+	origin, err := eng.Intern(cfg.Origin)
+	if err != nil {
+		panic(fmt.Sprintf("protocol: %v", err))
 	}
 	maxSteps := cfg.MaxSteps
 	if maxSteps <= 0 {
@@ -180,7 +203,7 @@ func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
 	for i := range nodes {
 		nodes[i] = node{rib: make(map[int]route), bestFrom: -1}
 	}
-	nodes[cfg.Dest].best = route{weight: cfg.Origin, path: []int{cfg.Dest}}
+	nodes[cfg.Dest].best = route{weight: origin, path: []int{cfg.Dest}}
 	nodes[cfg.Dest].hasBest = true
 
 	disabled := make([]bool, len(g.Arcs))
@@ -237,7 +260,7 @@ func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
 			if !ok {
 				continue
 			}
-			if !nodes[u].hasBest || alg.Ord.Lt(cand.weight, nodes[u].best.weight) {
+			if !nodes[u].hasBest || eng.Lt(cand.weight, nodes[u].best.weight) {
 				nodes[u].best = cand
 				nodes[u].hasBest = true
 				nodes[u].bestFrom = v
@@ -287,8 +310,12 @@ func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
 		steps++
 		u := m.to
 		if cfg.Observer != nil {
-			cfg.Observer(Event{Kind: EvDeliver, At: now, Node: u, From: m.from,
-				Withdraw: m.withdraw, Weight: m.rt.weight, Path: m.rt.path})
+			ev := Event{Kind: EvDeliver, At: now, Node: u, From: m.from,
+				Withdraw: m.withdraw, Path: m.rt.path}
+			if !m.withdraw {
+				ev.Weight = eng.Value(m.rt.weight)
+			}
+			cfg.Observer(ev)
 		}
 		// Resolve the arc (u → m.from) the advertisement travelled
 		// against; deliveries over a failed link are lost.
@@ -308,7 +335,7 @@ func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
 			// Loop rejection: drop routes that already traverse u.
 			delete(nodes[u].rib, m.from)
 		} else {
-			w := alg.F.Fns[g.Arcs[arcIdx].Label].Apply(m.rt.weight)
+			w := eng.Apply(g.Arcs[arcIdx].Label, m.rt.weight)
 			var path []int
 			if !cfg.DistanceVector {
 				path = make([]int, 0, len(m.rt.path)+1)
@@ -321,7 +348,7 @@ func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
 			if cfg.Observer != nil {
 				ev := Event{Kind: EvSelect, At: now, Node: u, Withdraw: !nodes[u].hasBest}
 				if nodes[u].hasBest {
-					ev.Weight = nodes[u].best.weight
+					ev.Weight = eng.Value(nodes[u].best.weight)
 					ev.Path = nodes[u].best.path
 				}
 				cfg.Observer(ev)
@@ -343,7 +370,7 @@ func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
 		out.NextHop[i] = -1
 		out.Routed[i] = nodes[i].hasBest
 		if nodes[i].hasBest {
-			out.Weights[i] = nodes[i].best.weight
+			out.Weights[i] = eng.Value(nodes[i].best.weight)
 			out.Paths[i] = nodes[i].best.path
 			out.NextHop[i] = nodes[i].bestFrom
 		}

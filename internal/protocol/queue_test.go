@@ -1,0 +1,47 @@
+package protocol
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// TestMsgQueueTieBreak: simultaneous deliveries pop in (time, sender,
+// seq) order regardless of heap-insertion order, so a run is a pure
+// function of its seed — not of scheduler internals.
+func TestMsgQueueTieBreak(t *testing.T) {
+	msgs := []*message{
+		{at: 5, from: 2, seq: 9},
+		{at: 5, from: 0, seq: 7},
+		{at: 5, from: 2, seq: 3},
+		{at: 2, from: 9, seq: 1},
+		{at: 5, from: 1, seq: 4},
+		{at: 7, from: 0, seq: 0},
+		{at: 5, from: 0, seq: 2},
+	}
+	want := []*message{
+		{at: 2, from: 9, seq: 1},
+		{at: 5, from: 0, seq: 2},
+		{at: 5, from: 0, seq: 7},
+		{at: 5, from: 1, seq: 4},
+		{at: 5, from: 2, seq: 3},
+		{at: 5, from: 2, seq: 9},
+		{at: 7, from: 0, seq: 0},
+	}
+	// Every insertion order must produce the same pop order.
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		perm := r.Perm(len(msgs))
+		var q msgQueue
+		for _, i := range perm {
+			heap.Push(&q, msgs[i])
+		}
+		for i := range want {
+			got := heap.Pop(&q).(*message)
+			if got.at != want[i].at || got.from != want[i].from || got.seq != want[i].seq {
+				t.Fatalf("trial %d pop %d: got (at=%d from=%d seq=%d), want (at=%d from=%d seq=%d)",
+					trial, i, got.at, got.from, got.seq, want[i].at, want[i].from, want[i].seq)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ package rib
 import (
 	"fmt"
 
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/ost"
 	"metarouting/internal/solve"
@@ -24,7 +25,7 @@ type Entry struct {
 
 // RIB holds routes from every node to every requested destination.
 type RIB struct {
-	alg *ost.OrderTransform
+	eng exec.Algebra
 	g   *graph.Graph
 	// table[dest][node] is the entry, nil when unrouted.
 	table map[int][]*Entry
@@ -33,16 +34,27 @@ type RIB struct {
 // Build computes a RIB for the given destinations and their originated
 // weights, using the synchronous fixpoint solver (correct for monotone
 // algebras; a converged fixpoint is a stable routing for increasing
-// ones). Destinations whose solver run does not converge are reported in
-// the error but present (best-effort) in the table.
+// ones). The execution backend is chosen by exec.For over all origin
+// weights; use BuildEngine to pin one. Destinations whose solver run
+// does not converge are reported in the error but present (best-effort)
+// in the table.
 func Build(alg *ost.OrderTransform, g *graph.Graph, origins map[int]value.V) (*RIB, error) {
-	r := &RIB{alg: alg, g: g, table: make(map[int][]*Entry, len(origins))}
+	vs := make([]value.V, 0, len(origins))
+	for _, v := range origins {
+		vs = append(vs, v)
+	}
+	return BuildEngine(exec.For(alg, vs...), g, origins)
+}
+
+// BuildEngine is Build over an explicit execution engine.
+func BuildEngine(eng exec.Algebra, g *graph.Graph, origins map[int]value.V) (*RIB, error) {
+	r := &RIB{eng: eng, g: g, table: make(map[int][]*Entry, len(origins))}
 	var unconverged []int
 	for dest, origin := range origins {
 		if dest < 0 || dest >= g.N {
 			return nil, fmt.Errorf("rib: destination %d out of range", dest)
 		}
-		res := solve.BellmanFord(alg, g, dest, origin, 0)
+		res := solve.BellmanFordEngine(eng, g, dest, origin, 0)
 		if !res.Converged {
 			unconverged = append(unconverged, dest)
 		}
@@ -57,14 +69,16 @@ func Build(alg *ost.OrderTransform, g *graph.Graph, origins map[int]value.V) (*R
 				continue
 			}
 			e.NextHops = append(e.NextHops, res.NextHop[u])
-			// ECMP: any other neighbour offering an equivalent weight.
+			// ECMP: any other neighbour offering an equivalent weight. The
+			// solver produced these weights, so they re-intern for free.
+			best := exec.MustIntern(eng, res.Weights[u])
 			for _, ai := range g.Out(u) {
 				v := g.Arcs[ai].To
 				if v == res.NextHop[u] || !res.Routed[v] {
 					continue
 				}
-				cand := alg.F.Fns[g.Arcs[ai].Label].Apply(res.Weights[v])
-				if alg.Ord.Equiv(cand, res.Weights[u]) {
+				cand := eng.Apply(g.Arcs[ai].Label, exec.MustIntern(eng, res.Weights[v]))
+				if eng.Equiv(cand, best) {
 					e.NextHops = append(e.NextHops, v)
 				}
 			}
@@ -77,6 +91,9 @@ func Build(alg *ost.OrderTransform, g *graph.Graph, origins map[int]value.V) (*R
 	}
 	return r, nil
 }
+
+// Engine exposes the execution engine the RIB was built on.
+func (r *RIB) Engine() exec.Algebra { return r.eng }
 
 // Destinations lists the destinations the RIB covers.
 func (r *RIB) Destinations() []int {

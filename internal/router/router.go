@@ -7,6 +7,11 @@
 // explanation — when the algebra's derived properties do not license the
 // algorithm. The "proof" component is the machine-checked property
 // derivation.
+//
+// Construction also fixes the execution backend: algebras whose derived
+// carrier is finite (and small enough for dense tables) run compiled,
+// everything else runs the dynamic interpreter — the same decision the
+// property engine makes for licensing, extended to execution strategy.
 package router
 
 import (
@@ -14,6 +19,7 @@ import (
 	"math/rand"
 
 	"metarouting/internal/core"
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/prop"
 	"metarouting/internal/protocol"
@@ -65,6 +71,10 @@ type Router struct {
 	Algebra *core.Algebra
 	// Algo is the licensed algorithm.
 	Algo Algorithm
+	// Mode is the execution backend New selected from the algebra's
+	// derived shape: ModeCompiled when the carrier is finite and within
+	// the auto-compile limit, ModeDynamic otherwise.
+	Mode exec.Mode
 }
 
 // New checks the license and builds a Router. The returned error, when
@@ -89,7 +99,11 @@ func New(a *core.Algebra, algo Algorithm) (*Router, error) {
 			return nil, &LicenseError{Algorithm: algo, Missing: id, Explanation: a.Explain(id)}
 		}
 	}
-	return &Router{Algebra: a, Algo: algo}, nil
+	mode := exec.ModeDynamic
+	if a.OT.Finite() && a.OT.Carrier().Size() <= exec.AutoLimit {
+		mode = exec.ModeCompiled
+	}
+	return &Router{Algebra: a, Algo: algo, Mode: mode}, nil
 }
 
 // Licensed returns the algorithms the algebra's properties license, in
@@ -104,21 +118,35 @@ func Licensed(a *core.Algebra) []Algorithm {
 	return out
 }
 
-// Solve computes routes to dest with the licensed algorithm. The
-// asynchronous algorithms (PathVector, DistanceVector) are driven with a
-// seeded scheduler and their quiescent state is returned in Result form.
+// Engine builds the execution engine for one originated weight under the
+// backend New selected. A compiled router whose origin falls outside the
+// compiled carrier (possible for sampled origins of addtop-style
+// wrappers) degrades to the dynamic interpreter rather than failing.
+func (r *Router) Engine(origin value.V) exec.Algebra {
+	eng, err := exec.New(r.Algebra.OT, r.Mode, origin)
+	if err != nil {
+		return exec.NewDynamic(r.Algebra.OT)
+	}
+	return eng
+}
+
+// Solve computes routes to dest with the licensed algorithm on the
+// selected execution backend. The asynchronous algorithms (PathVector,
+// DistanceVector) are driven with a seeded scheduler and their quiescent
+// state is returned in Result form.
 func (r *Router) Solve(g *graph.Graph, dest int, origin value.V, seed int64) (*solve.Result, error) {
+	eng := r.Engine(origin)
 	switch r.Algo {
 	case Dijkstra:
-		return solve.Dijkstra(r.Algebra.OT, g, dest, origin), nil
+		return solve.DijkstraEngine(eng, g, dest, origin), nil
 	case Fixpoint:
-		res := solve.BellmanFord(r.Algebra.OT, g, dest, origin, 0)
+		res := solve.BellmanFordEngine(eng, g, dest, origin, 0)
 		if !res.Converged {
 			return res, fmt.Errorf("router: fixpoint did not converge within budget")
 		}
 		return res, nil
 	case PathVector, DistanceVector:
-		out := protocol.Run(r.Algebra.OT, g, protocol.Config{
+		out := protocol.RunEngine(eng, g, protocol.Config{
 			Dest: dest, Origin: origin, MaxDelay: 3,
 			Rand:           rand.New(rand.NewSource(seed)),
 			DistanceVector: r.Algo == DistanceVector,

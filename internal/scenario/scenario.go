@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"metarouting/internal/core"
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/protocol"
 	"metarouting/internal/value"
@@ -38,6 +39,9 @@ type Scenario struct {
 	Expr string
 	// Algebra is the compiled algebra.
 	Algebra *core.Algebra
+	// Engine is the execution backend Run simulates on. Parse picks it
+	// with exec.For (compiled for finite algebras); UseEngine re-pins it.
+	Engine exec.Algebra
 	// Graph is the topology.
 	Graph *graph.Graph
 	// Dest and Origin configure the origination.
@@ -199,7 +203,20 @@ func Parse(rd io.Reader) (*Scenario, error) {
 		}
 		s.Events = append(s.Events, protocol.LinkEvent{At: re.at, Arc: idx, Fail: re.fail})
 	}
+	s.Engine = exec.For(a.OT, s.Origin)
 	return s, nil
+}
+
+// UseEngine re-pins the execution backend under an explicit mode (the
+// CLI's -engine flag). ModeCompiled fails when the algebra has no dense
+// form or the origin falls outside the compiled carrier.
+func (s *Scenario) UseEngine(m exec.Mode) error {
+	eng, err := exec.New(s.Algebra.OT, m, s.Origin)
+	if err != nil {
+		return fmt.Errorf("scenario: %v", err)
+	}
+	s.Engine = eng
+	return nil
 }
 
 // validateOrigin checks that the origin literal fits the algebra's
@@ -271,7 +288,11 @@ func parseValue(src string) (value.V, error) {
 // Run executes the scenario on the asynchronous simulator with the given
 // seed and message budget (≤ 0 for the simulator default).
 func (s *Scenario) Run(seed int64, maxSteps int) *protocol.Outcome {
-	return protocol.Run(s.Algebra.OT, s.Graph, protocol.Config{
+	eng := s.Engine
+	if eng == nil {
+		eng = exec.For(s.Algebra.OT, s.Origin)
+	}
+	return protocol.RunEngine(eng, s.Graph, protocol.Config{
 		Dest: s.Dest, Origin: s.Origin, MaxDelay: 3,
 		Rand: rand.New(rand.NewSource(seed)), MaxSteps: maxSteps,
 		Events: s.Events,

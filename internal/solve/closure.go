@@ -2,6 +2,7 @@ package solve
 
 import (
 	"metarouting/internal/bsg"
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/value"
 )
@@ -31,65 +32,12 @@ type ClosureResult struct {
 // reachability. The iteration stabilizes when the bisemigroup is
 // q-stable on the graph (e.g. ⊕ idempotent with nondecreasing ⊗, or any
 // DAG).
+//
+// The execution backend is chosen by exec.ForSemiring: finite closed
+// bisemigroups run on dense ⊕/⊗ tables. Use ClosureEngine to pin a
+// backend explicitly.
 func Closure(b *bsg.Bisemigroup, g *graph.Graph, weights []value.V, maxRounds int) *ClosureResult {
-	if maxRounds <= 0 {
-		maxRounds = 2*g.N + 4
-	}
-	n := g.N
-	// A[u][v]: ⊕ of weights of arcs u→v (parallel arcs summarize).
-	a := make([][]value.V, n)
-	adef := make([][]bool, n)
-	for u := 0; u < n; u++ {
-		a[u] = make([]value.V, n)
-		adef[u] = make([]bool, n)
-	}
-	for _, arc := range g.Arcs {
-		w := weights[arc.Label]
-		if adef[arc.From][arc.To] {
-			a[arc.From][arc.To] = b.Add.Op(a[arc.From][arc.To], w)
-		} else {
-			a[arc.From][arc.To] = w
-			adef[arc.From][arc.To] = true
-		}
-	}
-	res := &ClosureResult{X: cloneMat(a), Defined: cloneDef(adef)}
-	for round := 1; round <= maxRounds; round++ {
-		nx := cloneMat(a)
-		ndef := cloneDef(adef)
-		// nx = (A ⊗ X) ⊕ A.
-		for u := 0; u < n; u++ {
-			for v := 0; v < n; v++ {
-				for w := 0; w < n; w++ {
-					if !adef[u][w] || !res.Defined[w][v] {
-						continue
-					}
-					term := b.Mul.Op(a[u][w], res.X[w][v])
-					if ndef[u][v] {
-						nx[u][v] = b.Add.Op(nx[u][v], term)
-					} else {
-						nx[u][v] = term
-						ndef[u][v] = true
-					}
-				}
-			}
-		}
-		res.Rounds = round
-		if matEqual(nx, ndef, res.X, res.Defined) {
-			res.Converged = true
-			return res
-		}
-		res.X, res.Defined = nx, ndef
-	}
-	res.Converged = false
-	return res
-}
-
-func cloneMat(a [][]value.V) [][]value.V {
-	out := make([][]value.V, len(a))
-	for i := range a {
-		out[i] = append([]value.V(nil), a[i]...)
-	}
-	return out
+	return ClosureEngine(exec.ForSemiring(b, weights...), g, weights, maxRounds)
 }
 
 func cloneDef(a [][]bool) [][]bool {
@@ -98,18 +46,4 @@ func cloneDef(a [][]bool) [][]bool {
 		out[i] = append([]bool(nil), a[i]...)
 	}
 	return out
-}
-
-func matEqual(x [][]value.V, xd [][]bool, y [][]value.V, yd [][]bool) bool {
-	for i := range x {
-		for j := range x[i] {
-			if xd[i][j] != yd[i][j] {
-				return false
-			}
-			if xd[i][j] && x[i][j] != y[i][j] {
-				return false
-			}
-		}
-	}
-	return true
 }

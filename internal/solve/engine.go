@@ -1,0 +1,422 @@
+package solve
+
+import (
+	"container/heap"
+	"sort"
+
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/value"
+)
+
+// This file holds the engine-level solvers: every algorithm is written
+// once against exec.Algebra (weights as int32 indices) and runs
+// unchanged over the dynamic and compiled backends. The ost-level entry
+// points (Dijkstra, BellmanFord, …) are thin wrappers that pick a
+// backend with exec.For, so finite algebras get table-lookup inner loops
+// automatically. Index equality coincides with value equality on both
+// backends, which is what keeps the change-detection logic identical to
+// the historical dynamic solvers.
+
+// resolveResult converts an index-form solution into Result, resolving
+// routed weights through the engine (unrouted nodes keep a nil weight).
+func resolveResult(eng exec.Algebra, dest int, routed []bool, w []int32, nextHop []int, rounds int, converged bool) *Result {
+	res := &Result{
+		Dest:      dest,
+		Routed:    routed,
+		Weights:   make([]value.V, len(routed)),
+		NextHop:   nextHop,
+		Rounds:    rounds,
+		Converged: converged,
+	}
+	for u := range routed {
+		if routed[u] {
+			res.Weights[u] = eng.Value(w[u])
+		}
+	}
+	return res
+}
+
+func newEngineState(g *graph.Graph, dest int, origin int32) (routed []bool, w []int32, nextHop []int) {
+	routed = make([]bool, g.N)
+	w = make([]int32, g.N)
+	nextHop = make([]int, g.N)
+	for i := range nextHop {
+		nextHop[i] = -1
+	}
+	routed[dest] = true
+	w[dest] = origin
+	return routed, w, nextHop
+}
+
+// DijkstraEngine is the generalized Dijkstra over an execution engine;
+// semantics match Dijkstra.
+func DijkstraEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V) *Result {
+	o := exec.MustIntern(eng, origin)
+	routed, w, nextHop := newEngineState(g, dest, o)
+	settled := make([]bool, g.N)
+	for rounds := 0; ; rounds++ {
+		u := -1
+		for v := 0; v < g.N; v++ {
+			if settled[v] || !routed[v] {
+				continue
+			}
+			if u < 0 || eng.Lt(w[v], w[u]) {
+				u = v
+			}
+		}
+		if u < 0 {
+			return resolveResult(eng, dest, routed, w, nextHop, rounds, true)
+		}
+		settled[u] = true
+		for _, ai := range g.In(u) {
+			p := g.Arcs[ai].From
+			if settled[p] {
+				continue
+			}
+			cand := eng.Apply(g.Arcs[ai].Label, w[u])
+			if !routed[p] || eng.Lt(cand, w[p]) {
+				routed[p] = true
+				w[p] = cand
+				nextHop[p] = u
+			}
+		}
+	}
+}
+
+// DijkstraHeapEngine is Dijkstra with a binary-heap frontier (lazy
+// deletion) instead of the O(N²) linear settle scan — O((N+M) log N)
+// engine operations. Correctness requirements are identical to Dijkstra:
+// M ∧ ND over a total preorder.
+func DijkstraHeapEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V) *Result {
+	o := exec.MustIntern(eng, origin)
+	routed, w, nextHop := newEngineState(g, dest, o)
+	settled := make([]bool, g.N)
+	h := &frontier{eng: eng}
+	heap.Push(h, frontierItem{node: dest, weight: o})
+	rounds := 0
+	for h.Len() > 0 {
+		it := heap.Pop(h).(frontierItem)
+		u := it.node
+		if settled[u] || !routed[u] || w[u] != it.weight {
+			continue // stale entry (lazy deletion)
+		}
+		settled[u] = true
+		rounds++
+		for _, ai := range g.In(u) {
+			p := g.Arcs[ai].From
+			if settled[p] {
+				continue
+			}
+			cand := eng.Apply(g.Arcs[ai].Label, w[u])
+			if !routed[p] || eng.Lt(cand, w[p]) {
+				routed[p] = true
+				w[p] = cand
+				nextHop[p] = u
+				heap.Push(h, frontierItem{node: p, weight: cand})
+			}
+		}
+	}
+	return resolveResult(eng, dest, routed, w, nextHop, rounds, true)
+}
+
+type frontierItem struct {
+	node   int
+	weight int32
+}
+
+// frontier orders items by the engine's strict preference. Equivalent
+// weights compare equal, which a binary heap handles fine.
+type frontier struct {
+	eng   exec.Algebra
+	items []frontierItem
+}
+
+func (f *frontier) Len() int           { return len(f.items) }
+func (f *frontier) Less(i, j int) bool { return f.eng.Lt(f.items[i].weight, f.items[j].weight) }
+func (f *frontier) Swap(i, j int)      { f.items[i], f.items[j] = f.items[j], f.items[i] }
+func (f *frontier) Push(x any)         { f.items = append(f.items, x.(frontierItem)) }
+func (f *frontier) Pop() any {
+	old := f.items
+	n := len(old)
+	it := old[n-1]
+	f.items = old[:n-1]
+	return it
+}
+
+// BellmanFordEngine is the synchronous fixpoint iteration over an
+// execution engine; semantics match BellmanFord.
+func BellmanFordEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) *Result {
+	if maxRounds <= 0 {
+		maxRounds = 2*g.N + 4
+	}
+	o := exec.MustIntern(eng, origin)
+	routed, w, nextHop := newEngineState(g, dest, o)
+	prevW := make([]int32, g.N)
+	prevR := make([]bool, g.N)
+	rounds := 0
+	for round := 1; round <= maxRounds; round++ {
+		copy(prevW, w)
+		copy(prevR, routed)
+		changed := false
+		for u := 0; u < g.N; u++ {
+			if u == dest {
+				continue
+			}
+			bestArc := -1
+			var best int32
+			for _, ai := range g.Out(u) {
+				v := g.Arcs[ai].To
+				if !prevR[v] {
+					continue
+				}
+				cand := eng.Apply(g.Arcs[ai].Label, prevW[v])
+				if bestArc < 0 || eng.Lt(cand, best) {
+					bestArc, best = ai, cand
+				}
+			}
+			if bestArc < 0 {
+				if routed[u] {
+					routed[u] = false
+					nextHop[u] = -1
+					changed = true
+				}
+				continue
+			}
+			nh := g.Arcs[bestArc].To
+			if !routed[u] || w[u] != best || nextHop[u] != nh {
+				changed = true
+				routed[u] = true
+				w[u] = best
+				nextHop[u] = nh
+			}
+		}
+		rounds = round
+		if !changed {
+			return resolveResult(eng, dest, routed, w, nextHop, rounds, true)
+		}
+	}
+	return resolveResult(eng, dest, routed, w, nextHop, rounds, false)
+}
+
+// GaussSeidelEngine is BellmanFordEngine with in-place (chaotic
+// relaxation) updates; semantics match GaussSeidel.
+func GaussSeidelEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) *Result {
+	if maxRounds <= 0 {
+		maxRounds = 2*g.N + 4
+	}
+	o := exec.MustIntern(eng, origin)
+	routed, w, nextHop := newEngineState(g, dest, o)
+	rounds := 0
+	for round := 1; round <= maxRounds; round++ {
+		changed := false
+		for u := 0; u < g.N; u++ {
+			if u == dest {
+				continue
+			}
+			bestArc := -1
+			var best int32
+			for _, ai := range g.Out(u) {
+				v := g.Arcs[ai].To
+				if !routed[v] {
+					continue
+				}
+				cand := eng.Apply(g.Arcs[ai].Label, w[v])
+				if bestArc < 0 || eng.Lt(cand, best) {
+					bestArc, best = ai, cand
+				}
+			}
+			if bestArc < 0 {
+				if routed[u] {
+					routed[u] = false
+					nextHop[u] = -1
+					changed = true
+				}
+				continue
+			}
+			nh := g.Arcs[bestArc].To
+			if !routed[u] || w[u] != best || nextHop[u] != nh {
+				changed = true
+				routed[u] = true
+				w[u] = best
+				nextHop[u] = nh
+			}
+		}
+		rounds = round
+		if !changed {
+			return resolveResult(eng, dest, routed, w, nextHop, rounds, true)
+		}
+	}
+	return resolveResult(eng, dest, routed, w, nextHop, rounds, false)
+}
+
+// KBestEngine computes the k best route weights over an execution
+// engine; semantics match KBest.
+func KBestEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, k, maxRounds int) *KBestResult {
+	if k < 1 {
+		panic("solve: KBest needs k ≥ 1")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 2*g.N + 2*k + 4
+	}
+	o := exec.MustIntern(eng, origin)
+	weights := make([][]int32, g.N)
+	weights[dest] = []int32{o}
+	res := &KBestResult{Dest: dest}
+	for round := 1; round <= maxRounds; round++ {
+		prev := make([][]int32, g.N)
+		copy(prev, weights)
+		changed := false
+		for u := 0; u < g.N; u++ {
+			if u == dest {
+				continue
+			}
+			var cands []int32
+			for _, ai := range g.Out(u) {
+				label := g.Arcs[ai].Label
+				for _, w := range prev[g.Arcs[ai].To] {
+					cands = append(cands, eng.Apply(label, w))
+				}
+			}
+			next := kMinIdx(eng, cands, k)
+			if !sameIdx(next, weights[u]) {
+				weights[u] = next
+				changed = true
+			}
+		}
+		res.Rounds = round
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.Weights = make([][]value.V, g.N)
+	for u := range weights {
+		if weights[u] == nil {
+			continue
+		}
+		res.Weights[u] = make([]value.V, len(weights[u]))
+		for i, w := range weights[u] {
+			res.Weights[u][i] = eng.Value(w)
+		}
+	}
+	return res
+}
+
+// kMinIdx sorts candidates by the (total) preorder, stably, and keeps
+// the first k — the index-form twin of kMin.
+func kMinIdx(eng exec.Algebra, cands []int32, k int) []int32 {
+	sort.SliceStable(cands, func(i, j int) bool { return eng.Lt(cands[i], cands[j]) })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int32, len(cands))
+	copy(out, cands)
+	return out
+}
+
+func sameIdx(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ClosureEngine computes the transitive closure A⁺ over a semiring
+// engine; semantics match Closure.
+func ClosureEngine(sr exec.Semiring, g *graph.Graph, weights []value.V, maxRounds int) *ClosureResult {
+	if maxRounds <= 0 {
+		maxRounds = 2*g.N + 4
+	}
+	n := g.N
+	wIdx := make([]int32, len(weights))
+	for i, w := range weights {
+		idx, err := sr.Intern(w)
+		if err != nil {
+			panic(err)
+		}
+		wIdx[i] = idx
+	}
+	a := make([][]int32, n)
+	adef := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		a[u] = make([]int32, n)
+		adef[u] = make([]bool, n)
+	}
+	for _, arc := range g.Arcs {
+		w := wIdx[arc.Label]
+		if adef[arc.From][arc.To] {
+			a[arc.From][arc.To] = sr.Add(a[arc.From][arc.To], w)
+		} else {
+			a[arc.From][arc.To] = w
+			adef[arc.From][arc.To] = true
+		}
+	}
+	x := cloneIdxMat(a)
+	xdef := cloneDef(adef)
+	res := &ClosureResult{}
+	for round := 1; round <= maxRounds; round++ {
+		nx := cloneIdxMat(a)
+		ndef := cloneDef(adef)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				for k := 0; k < n; k++ {
+					if !adef[u][k] || !xdef[k][v] {
+						continue
+					}
+					term := sr.Mul(a[u][k], x[k][v])
+					if ndef[u][v] {
+						nx[u][v] = sr.Add(nx[u][v], term)
+					} else {
+						nx[u][v] = term
+						ndef[u][v] = true
+					}
+				}
+			}
+		}
+		res.Rounds = round
+		if idxMatEqual(nx, ndef, x, xdef) {
+			res.Converged = true
+			break
+		}
+		x, xdef = nx, ndef
+	}
+	res.Defined = xdef
+	res.X = make([][]value.V, n)
+	for u := 0; u < n; u++ {
+		res.X[u] = make([]value.V, n)
+		for v := 0; v < n; v++ {
+			if xdef[u][v] {
+				res.X[u][v] = sr.Value(x[u][v])
+			}
+		}
+	}
+	return res
+}
+
+func cloneIdxMat(a [][]int32) [][]int32 {
+	out := make([][]int32, len(a))
+	for i := range a {
+		out[i] = append([]int32(nil), a[i]...)
+	}
+	return out
+}
+
+func idxMatEqual(x [][]int32, xd [][]bool, y [][]int32, yd [][]bool) bool {
+	for i := range x {
+		for j := range x[i] {
+			if xd[i][j] != yd[i][j] {
+				return false
+			}
+			if xd[i][j] && x[i][j] != y[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

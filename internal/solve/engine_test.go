@@ -1,0 +1,76 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+)
+
+// TestEngineWrappersPickCompiled: the ost-level entry points route
+// through exec.For, so a finite algebra silently gets the table backend
+// and produces the same answers as an explicitly dynamic engine.
+func TestEngineWrappersPickCompiled(t *testing.T) {
+	a, err := core.InferString("delay(64,3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.For(a.OT, 0).Mode() != exec.ModeCompiled {
+		t.Fatal("finite algebra should auto-compile under the wrappers")
+	}
+	r := rand.New(rand.NewSource(7))
+	g := graph.Random(r, 10, 0.3, graph.UniformLabels(3))
+	res := Dijkstra(a.OT, g, 0, 0)
+	dyn, err := exec.New(a.OT, exec.ModeDynamic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := DijkstraEngine(dyn, g, 0, 0)
+	for u := 0; u < g.N; u++ {
+		if res.Routed[u] != ref.Routed[u] {
+			t.Fatalf("node %d: routedness differs", u)
+		}
+		if res.Routed[u] && res.Weights[u] != ref.Weights[u] {
+			t.Fatalf("node %d: %v vs %v", u, res.Weights[u], ref.Weights[u])
+		}
+	}
+}
+
+// TestEngineScale routes a 5000-node scale-free network on the compiled
+// backend — the "does it hold up at size" smoke (skipped in -short runs).
+func TestEngineScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	a, err := core.InferString("delay(4095,4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := exec.New(a.OT, exec.ModeCompiled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	g := graph.ScaleFree(r, 5000, 2, graph.UniformLabels(4))
+	res := DijkstraHeapEngine(eng, g, 0, 0)
+	routed := 0
+	for _, ok := range res.Routed {
+		if ok {
+			routed++
+		}
+	}
+	if routed != g.N {
+		t.Fatalf("only %d/%d nodes routed", routed, g.N)
+	}
+	bf := BellmanFordEngine(eng, g, 0, 0, 0)
+	if !bf.Converged {
+		t.Fatal("BF must converge at scale")
+	}
+	for u := 0; u < g.N; u += 97 {
+		if res.Weights[u] != bf.Weights[u] {
+			t.Fatalf("node %d: heap %v vs bf %v", u, res.Weights[u], bf.Weights[u])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package solve
 import (
 	"sort"
 
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/ost"
 	"metarouting/internal/value"
@@ -34,45 +35,11 @@ type KBestResult struct {
 // walk weights, like every fixpoint method. maxRounds ≤ 0 picks a
 // default budget; duplicate weights arising from distinct paths are kept
 // up to multiplicity k.
+//
+// The execution backend is chosen by exec.For; use KBestEngine to pin
+// one explicitly.
 func KBest(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.V, k, maxRounds int) *KBestResult {
-	if k < 1 {
-		panic("solve: KBest needs k ≥ 1")
-	}
-	if maxRounds <= 0 {
-		maxRounds = 2*g.N + 2*k + 4
-	}
-	res := &KBestResult{Dest: dest, Weights: make([][]value.V, g.N)}
-	res.Weights[dest] = []value.V{origin}
-	for round := 1; round <= maxRounds; round++ {
-		prev := make([][]value.V, g.N)
-		copy(prev, res.Weights)
-		changed := false
-		for u := 0; u < g.N; u++ {
-			if u == dest {
-				continue
-			}
-			var cands []value.V
-			for _, ai := range g.Out(u) {
-				v := g.Arcs[ai].To
-				f := alg.F.Fns[g.Arcs[ai].Label].Apply
-				for _, w := range prev[v] {
-					cands = append(cands, f(w))
-				}
-			}
-			next := kMin(alg, cands, k)
-			if !sameWeights(next, res.Weights[u]) {
-				res.Weights[u] = next
-				changed = true
-			}
-		}
-		res.Rounds = round
-		if !changed {
-			res.Converged = true
-			return res
-		}
-	}
-	res.Converged = false
-	return res
+	return KBestEngine(exec.For(alg, origin), g, dest, origin, k, maxRounds)
 }
 
 // kMin sorts candidates by the (total) preorder, stably, and keeps the
@@ -87,18 +54,6 @@ func kMin(alg *ost.OrderTransform, cands []value.V, k int) []value.V {
 	out := make([]value.V, len(cands))
 	copy(out, cands)
 	return out
-}
-
-func sameWeights(a, b []value.V) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // KBestBruteForce returns the k smallest simple-path weights from each

@@ -14,6 +14,7 @@ package solve
 import (
 	"fmt"
 
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/ost"
 	"metarouting/internal/value"
@@ -85,40 +86,12 @@ func arcFn(alg *ost.OrderTransform, g *graph.Graph, arcIdx int) func(value.V) va
 // globally optimal (§II); for non-monotone algebras the result is
 // well-defined but carries no optimality guarantee — exactly the
 // distinction the experiments probe.
+//
+// The execution backend is chosen by exec.For: finite algebras run on
+// compiled tables, everything else interprets the order transform. Use
+// DijkstraEngine to pin a backend explicitly.
 func Dijkstra(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.V) *Result {
-	res := newResult(g, dest, origin)
-	settled := make([]bool, g.N)
-	for rounds := 0; ; rounds++ {
-		// Find an unsettled routed node u with minimal weight: no other
-		// unsettled routed node strictly below it.
-		u := -1
-		for v := 0; v < g.N; v++ {
-			if settled[v] || !res.Routed[v] {
-				continue
-			}
-			if u < 0 || alg.Ord.Lt(res.Weights[v], res.Weights[u]) {
-				u = v
-			}
-		}
-		if u < 0 {
-			res.Rounds = rounds
-			res.Converged = true
-			return res
-		}
-		settled[u] = true
-		for _, ai := range g.In(u) {
-			p := g.Arcs[ai].From
-			if settled[p] {
-				continue
-			}
-			cand := arcFn(alg, g, ai)(res.Weights[u])
-			if !res.Routed[p] || alg.Ord.Lt(cand, res.Weights[p]) {
-				res.Routed[p] = true
-				res.Weights[p] = cand
-				res.NextHop[p] = u
-			}
-		}
-	}
+	return DijkstraEngine(exec.For(alg, origin), g, dest, origin)
 }
 
 // BellmanFord runs the synchronous distributed iteration: in each round
@@ -127,70 +100,10 @@ func Dijkstra(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.V)
 // protocols. It stops at a fixpoint or after maxRounds (≤ 0 means 2·N+4).
 // For increasing algebras the fixpoint is a local optimum; non-increasing
 // algebras may oscillate forever, which the Converged flag reports.
+// The execution backend is chosen by exec.For; use BellmanFordEngine to
+// pin one explicitly.
 func BellmanFord(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.V, maxRounds int) *Result {
-	if maxRounds <= 0 {
-		maxRounds = 2*g.N + 4
-	}
-	res := newResult(g, dest, origin)
-	for round := 1; round <= maxRounds; round++ {
-		prevW := append([]value.V(nil), res.Weights...)
-		prevR := append([]bool(nil), res.Routed...)
-		changed := false
-		for u := 0; u < g.N; u++ {
-			if u == dest {
-				continue
-			}
-			bestArc := -1
-			var best value.V
-			for _, ai := range g.Out(u) {
-				v := g.Arcs[ai].To
-				if !prevR[v] {
-					continue
-				}
-				cand := arcFn(alg, g, ai)(prevW[v])
-				if bestArc < 0 || alg.Ord.Lt(cand, best) {
-					bestArc, best = ai, cand
-				}
-			}
-			if bestArc < 0 {
-				if res.Routed[u] {
-					res.Routed[u] = false
-					res.NextHop[u] = -1
-					changed = true
-				}
-				continue
-			}
-			nh := g.Arcs[bestArc].To
-			if !res.Routed[u] || res.Weights[u] != best || res.NextHop[u] != nh {
-				changed = true
-				res.Routed[u] = true
-				res.Weights[u] = best
-				res.NextHop[u] = nh
-			}
-		}
-		res.Rounds = round
-		if !changed {
-			res.Converged = true
-			return res
-		}
-	}
-	res.Converged = false
-	return res
-}
-
-func newResult(g *graph.Graph, dest int, origin value.V) *Result {
-	res := &Result{
-		Dest:    dest,
-		Routed:  make([]bool, g.N),
-		Weights: make([]value.V, g.N),
-		NextHop: make([]int, g.N),
-	}
-	for i := range res.NextHop {
-		res.NextHop[i] = -1
-	}
-	res.Routed[dest] = true
-	res.Weights[dest] = origin
-	return res
+	return BellmanFordEngine(exec.For(alg, origin), g, dest, origin, maxRounds)
 }
 
 // GaussSeidel is BellmanFord with in-place (chaotic relaxation) updates:
@@ -198,53 +111,10 @@ func newResult(g *graph.Graph, dest int, origin value.V) *Result {
 // nodes. For monotone algebras it converges to the same fixpoint as the
 // Jacobi iteration, usually in fewer rounds — the ablation benches
 // quantify the gap. maxRounds ≤ 0 picks the same default budget.
+// The execution backend is chosen by exec.For; use GaussSeidelEngine to
+// pin one explicitly.
 func GaussSeidel(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.V, maxRounds int) *Result {
-	if maxRounds <= 0 {
-		maxRounds = 2*g.N + 4
-	}
-	res := newResult(g, dest, origin)
-	for round := 1; round <= maxRounds; round++ {
-		changed := false
-		for u := 0; u < g.N; u++ {
-			if u == dest {
-				continue
-			}
-			bestArc := -1
-			var best value.V
-			for _, ai := range g.Out(u) {
-				v := g.Arcs[ai].To
-				if !res.Routed[v] {
-					continue
-				}
-				cand := arcFn(alg, g, ai)(res.Weights[v])
-				if bestArc < 0 || alg.Ord.Lt(cand, best) {
-					bestArc, best = ai, cand
-				}
-			}
-			if bestArc < 0 {
-				if res.Routed[u] {
-					res.Routed[u] = false
-					res.NextHop[u] = -1
-					changed = true
-				}
-				continue
-			}
-			nh := g.Arcs[bestArc].To
-			if !res.Routed[u] || res.Weights[u] != best || res.NextHop[u] != nh {
-				changed = true
-				res.Routed[u] = true
-				res.Weights[u] = best
-				res.NextHop[u] = nh
-			}
-		}
-		res.Rounds = round
-		if !changed {
-			res.Converged = true
-			return res
-		}
-	}
-	res.Converged = false
-	return res
+	return GaussSeidelEngine(exec.For(alg, origin), g, dest, origin, maxRounds)
 }
 
 // BruteForce enumerates every simple path from each node to dest (up to
