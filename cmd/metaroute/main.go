@@ -23,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"metarouting/internal/cliflag"
 	"metarouting/internal/core"
 	"metarouting/internal/exec"
 	"metarouting/internal/graph"
@@ -48,15 +49,14 @@ func main() {
 		samples  = flag.Int("samples", 512, "sampled checks on infinite carriers")
 		explain  = flag.String("explain", "", "explain a property (M, N, C, ND, I, SI, T) causally")
 		jsonOut  = flag.Bool("json", false, "emit the property report as JSON instead of text")
-		engine   = flag.String("engine", "auto", "execution backend: auto (compile finite algebras), dynamic, or compiled")
+		engine   = cliflag.Engine(nil)
 	)
 	flag.Parse()
 
-	mode, err := exec.ParseMode(*engine)
+	mode, err := cliflag.ApplyEngine(*engine)
 	if err != nil {
 		fatal(err)
 	}
-	exec.SetDefaultMode(mode)
 
 	if *list {
 		fmt.Println("base algebras:")
@@ -200,17 +200,8 @@ func labelCount(a *core.Algebra) int {
 	return 4
 }
 
-// defaultOrigin picks a sensible originated weight: ⊥ of the order if
-// known (the most preferred weight), else the first carrier element.
-func defaultOrigin(a *core.Algebra) value.V {
-	if b, ok := a.OT.Ord.Bot(); ok {
-		return b
-	}
-	if a.OT.Carrier().Finite() {
-		return a.OT.Carrier().Elems[0]
-	}
-	return 0
-}
+// defaultOrigin picks a sensible originated weight (⊥ when known).
+func defaultOrigin(a *core.Algebra) value.V { return a.OT.DefaultOrigin() }
 
 // runScenario loads and simulates a scenario file, printing the algebra
 // verdict and the final routing state.

@@ -21,7 +21,7 @@ import (
 	"sync"
 	"time"
 
-	"metarouting/internal/exec"
+	"metarouting/internal/cliflag"
 	"metarouting/internal/expt"
 )
 
@@ -38,17 +38,16 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed for validation sweeps")
 		only     = flag.String("only", "", "comma-separated experiment IDs, e.g. E2,E7")
 		parallel = flag.Bool("parallel", false, "run experiments concurrently (output order preserved)")
-		engine   = flag.String("engine", "auto", "execution backend: auto (compile finite algebras), dynamic, or compiled")
+		engine   = cliflag.Engine(nil)
 		jsonOut  = flag.Bool("json", false, "emit per-experiment wall time and engine as JSON lines instead of tables")
 	)
 	flag.Parse()
 
-	mode, err := exec.ParseMode(*engine)
+	mode, err := cliflag.ApplyEngine(*engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mrexp:", err)
 		os.Exit(2)
 	}
-	exec.SetDefaultMode(mode)
 
 	want := map[string]bool{}
 	if *only != "" {

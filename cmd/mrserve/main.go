@@ -1,0 +1,272 @@
+// Command mrserve runs the concurrent route-query service: it compiles
+// an algebra expression, builds (or loads) a topology, computes snapshot
+// route tables with a worker pool and serves them over HTTP/JSON while
+// absorbing topology events with incremental reconvergence.
+//
+// Usage:
+//
+//	mrserve -expr 'lex(delay(32,3), bw(8))' -random 64 -dests 8
+//	mrserve -scenario drills/failover.mr -replay
+//	mrserve -expr 'delay(64,4)' -random 48 -loadgen -out BENCH_serve.json
+//
+// Endpoints:
+//
+//	GET /route?from=U&dest=D   one node's route (weight, ECMP set, path)
+//	GET /paths?dest=D          every node's forwarding path toward D
+//	GET /event?arc=A&kind=fail inject a link failure (kind=up recovers;
+//	                           from=&to= names the arc by endpoints)
+//	GET /stats                 counters: queries, swaps, events,
+//	                           incremental vs full recomputes
+//
+// -loadgen skips HTTP and drives the server in-process with a
+// concurrent query + event mix, writing throughput/latency percentiles
+// and the incremental-vs-full event cost to -out (BENCH_serve.json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"metarouting/internal/cliflag"
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/scenario"
+	"metarouting/internal/serve"
+	"metarouting/internal/value"
+)
+
+func main() {
+	var (
+		exprSrc  = flag.String("expr", "lex(delay(32,3), bw(8))", "metarouting expression to serve routes for")
+		scenFile = flag.String("scenario", "", "boot from a scenario file (expr + topology + events) instead of -expr/-random")
+		replay   = flag.Bool("replay", false, "with -scenario: replay its events into the live server before serving")
+		randomN  = flag.Int("random", 48, "random GNP topology node count")
+		p        = flag.Float64("p", 0.1, "random topology arc probability")
+		seed     = flag.Int64("seed", 1, "random seed")
+		dests    = flag.Int("dests", 8, "number of originated destinations (spread over the nodes; ≤0 = every node)")
+		workers  = flag.Int("workers", 0, "snapshot builder worker pool size (≤0: 4)")
+		addr     = flag.String("addr", ":8348", "HTTP listen address")
+		engine   = cliflag.Engine(nil)
+
+		loadgen    = flag.Bool("loadgen", false, "run the in-process load generator instead of serving HTTP")
+		duration   = flag.Duration("duration", 2*time.Second, "loadgen query phase length")
+		readers    = flag.Int("readers", 4, "loadgen concurrent reader goroutines")
+		eventEvery = flag.Duration("event-every", 20*time.Millisecond, "loadgen topology event period (0 disables)")
+		out        = flag.String("out", "", "loadgen: write the JSON report here ('' = stdout)")
+	)
+	flag.Parse()
+	if _, err := cliflag.ApplyEngine(*engine); err != nil {
+		fatal(err)
+	}
+
+	srv, sc, err := buildServer(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	if sc != nil && *replay {
+		applied, err := srv.Replay(sc.SortedEvents())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mrserve: replayed %d scenario events\n", applied)
+	}
+
+	if *loadgen {
+		runLoadgen(srv, serve.LoadOptions{
+			Duration: *duration, Readers: *readers, EventEvery: *eventEvery, Seed: *seed,
+		}, *out)
+		return
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "mrserve: serving %d destinations on %d nodes / %d arcs (engine %s, %d workers) at %s\n",
+		st.Destinations, st.Nodes, st.Arcs, st.Engine, st.Workers, *addr)
+	if err := http.ListenAndServe(*addr, handler(srv)); err != nil {
+		fatal(err)
+	}
+}
+
+// buildServer assembles the server from either a scenario file or the
+// -expr/-random flags, originating the algebra's default weight at the
+// chosen destinations.
+func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers int) (*serve.Server, *scenario.Scenario, error) {
+	if scenFile != "" {
+		f, err := os.Open(scenFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		sc, err := scenario.Parse(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := serve.NewFromScenario(sc, serve.Options{Workers: workers})
+		return srv, sc, err
+	}
+	a, err := core.InferString(exprSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	labels := 4
+	if a.OT.F.Finite() {
+		labels = a.OT.F.Size()
+	}
+	g := graph.Random(r, randomN, p, graph.UniformLabels(labels))
+	origin := a.OT.DefaultOrigin()
+	if destCount <= 0 || destCount > g.N {
+		destCount = g.N
+	}
+	origins := make(map[int]value.V, destCount)
+	for i := 0; i < destCount; i++ {
+		origins[i*g.N/destCount] = origin
+	}
+	srv, err := serve.New(exec.For(a.OT, origin), g, origins, serve.Options{Workers: workers})
+	return srv, nil, err
+}
+
+// runLoadgen drives the load generator and writes the report.
+func runLoadgen(srv *serve.Server, opts serve.LoadOptions, out string) {
+	rep := serve.Load(srv, opts)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mrserve: wrote %s (%.0f qps, p99 %.1fµs, incremental event %.0fµs vs full rebuild %.0fµs)\n",
+		out, rep.QPS, rep.P99us, rep.IncrementalEventUS, rep.FullRebuildUS)
+}
+
+// routeReply is the /route response shape.
+type routeReply struct {
+	From    int    `json:"from"`
+	Dest    int    `json:"dest"`
+	Routed  bool   `json:"routed"`
+	Weight  string `json:"weight,omitempty"`
+	ECMP    []int  `json:"ecmp,omitempty"`
+	Path    []int  `json:"path,omitempty"`
+	Version uint64 `json:"snapshot_version"`
+	Err     string `json:"error,omitempty"`
+}
+
+func handler(srv *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	intArg := func(req *http.Request, key string) (int, error) {
+		v, err := strconv.Atoi(req.URL.Query().Get(key))
+		if err != nil {
+			return 0, fmt.Errorf("bad or missing %q parameter", key)
+		}
+		return v, nil
+	}
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v) //nolint:errcheck
+	}
+
+	mux.HandleFunc("/route", func(w http.ResponseWriter, req *http.Request) {
+		from, err1 := intArg(req, "from")
+		dest, err2 := intArg(req, "dest")
+		if err1 != nil || err2 != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "want /route?from=U&dest=D"})
+			return
+		}
+		sn := srv.Snapshot()
+		reply := routeReply{From: from, Dest: dest, Version: sn.Version}
+		if e := srv.Lookup(from, dest); e != nil {
+			reply.Routed = true
+			reply.Weight = value.Format(e.Weight)
+			reply.ECMP = e.NextHops
+			if path, err := sn.Forward(from, dest); err == nil {
+				reply.Path = path
+			} else {
+				reply.Err = err.Error()
+			}
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
+
+	mux.HandleFunc("/paths", func(w http.ResponseWriter, req *http.Request) {
+		dest, err := intArg(req, "dest")
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "want /paths?dest=D"})
+			return
+		}
+		sn := srv.Snapshot()
+		type nodePath struct {
+			Node int    `json:"node"`
+			Path []int  `json:"path,omitempty"`
+			Err  string `json:"error,omitempty"`
+		}
+		var out []nodePath
+		for u := 0; u < sn.Graph.N; u++ {
+			np := nodePath{Node: u}
+			if path, err := sn.Forward(u, dest); err == nil {
+				np.Path = path
+			} else {
+				np.Err = err.Error()
+			}
+			out = append(out, np)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dest": dest, "version": sn.Version, "paths": out})
+	})
+
+	mux.HandleFunc("/event", func(w http.ResponseWriter, req *http.Request) {
+		kind := req.URL.Query().Get("kind")
+		if kind != "fail" && kind != "up" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "want kind=fail or kind=up"})
+			return
+		}
+		fail := kind == "fail"
+		var applied bool
+		var recomputed int
+		var err error
+		if req.URL.Query().Get("arc") != "" {
+			var arc int
+			if arc, err = intArg(req, "arc"); err == nil {
+				applied, recomputed, err = srv.ApplyEvent(arc, fail)
+			}
+		} else {
+			from, err1 := intArg(req, "from")
+			to, err2 := intArg(req, "to")
+			if err1 != nil || err2 != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "want arc=A or from=U&to=V"})
+				return
+			}
+			applied, recomputed, err = srv.ApplyEventEndpoints(from, to, fail)
+		}
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"applied": applied, "recomputed_dests": recomputed,
+			"version": srv.Snapshot().Version,
+		})
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	return mux
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Package cliflag holds the flag plumbing shared by the metaroute,
+// mrexp and mrserve commands, so the execution-backend selection (and
+// future cross-cutting flags) is declared and parsed in exactly one
+// place.
+package cliflag
+
+import (
+	"flag"
+
+	"metarouting/internal/exec"
+)
+
+// Engine registers the standard -engine flag on fs (flag.CommandLine
+// when nil) and returns the destination string.
+func Engine(fs *flag.FlagSet) *string {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	return fs.String("engine", "auto",
+		"execution backend: auto (compile finite algebras), dynamic, or compiled")
+}
+
+// ApplyEngine validates the chosen -engine value, installs it as the
+// process-wide default backend policy, and returns the mode. Call it
+// once, right after flag.Parse.
+func ApplyEngine(v string) (exec.Mode, error) {
+	mode, err := exec.ParseMode(v)
+	if err != nil {
+		return "", err
+	}
+	exec.SetDefaultMode(mode)
+	return mode, nil
+}

@@ -117,8 +117,8 @@ func NewDynamic(t *ost.OrderTransform) Algebra {
 	return &dynamic{ot: t, index: make(map[value.V]int32, 16)}
 }
 
-func (d *dynamic) Name() string               { return d.ot.Name }
-func (d *dynamic) Mode() Mode                 { return ModeDynamic }
+func (d *dynamic) Name() string                { return d.ot.Name }
+func (d *dynamic) Mode() Mode                  { return ModeDynamic }
 func (d *dynamic) Source() *ost.OrderTransform { return d.ot }
 
 func (d *dynamic) NumFns() int { return d.ot.F.Size() }
@@ -256,6 +256,68 @@ func New(t *ost.OrderTransform, m Mode, origins ...value.V) (Algebra, error) {
 		return For(t, origins...), nil
 	}
 	return nil, fmt.Errorf("exec: unknown engine mode %q", m)
+}
+
+// Concurrent returns an engine safe for use from multiple goroutines —
+// the sharing contract the serve snapshot builder relies on. Compiled
+// backends are immutable after construction and are returned unchanged
+// (lock-free); dynamic backends intern lazily and are wrapped in a
+// mutex. Wrapping is idempotent.
+func Concurrent(a Algebra) Algebra {
+	if a.Mode() == ModeCompiled {
+		return a
+	}
+	if _, ok := a.(*locked); ok {
+		return a
+	}
+	return &locked{inner: a}
+}
+
+// locked serializes every weight operation of a non-thread-safe backend.
+type locked struct {
+	mu    sync.Mutex
+	inner Algebra
+}
+
+func (l *locked) Name() string                { return l.inner.Name() }
+func (l *locked) Mode() Mode                  { return l.inner.Mode() }
+func (l *locked) Source() *ost.OrderTransform { return l.inner.Source() }
+func (l *locked) NumFns() int                 { return l.inner.NumFns() }
+
+func (l *locked) Intern(v value.V) (int32, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Intern(v)
+}
+
+func (l *locked) Value(w int32) value.V {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Value(w)
+}
+
+func (l *locked) Apply(label int, w int32) int32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Apply(label, w)
+}
+
+func (l *locked) Leq(a, b int32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Leq(a, b)
+}
+
+func (l *locked) Lt(a, b int32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Lt(a, b)
+}
+
+func (l *locked) Equiv(a, b int32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Equiv(a, b)
 }
 
 // MustIntern interns v and panics on failure — for callers that already

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 
 	"metarouting/internal/core"
@@ -76,5 +78,64 @@ func TestDynamicInterning(t *testing.T) {
 	}
 	if eng.Value(w1) != 3 {
 		t.Fatalf("round-trip failed: %v", eng.Value(w1))
+	}
+}
+
+// TestConcurrent: the compiled backend passes through unchanged; the
+// dynamic backend gains a lock and survives concurrent interning from
+// many goroutines (run under -race in CI).
+func TestConcurrent(t *testing.T) {
+	a, err := core.InferString("delay(64,4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := New(a.OT, ModeCompiled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Concurrent(comp) != comp {
+		t.Fatal("compiled backend must pass through Concurrent unchanged")
+	}
+	dyn := NewDynamic(a.OT)
+	safe := Concurrent(dyn)
+	if safe == dyn {
+		t.Fatal("dynamic backend must be wrapped")
+	}
+	if Concurrent(safe) != safe {
+		t.Fatal("Concurrent must be idempotent")
+	}
+	if safe.Name() != dyn.Name() || safe.Mode() != ModeDynamic || safe.NumFns() != dyn.NumFns() {
+		t.Fatal("wrapper must delegate metadata")
+	}
+	var wg sync.WaitGroup
+	for gor := 0; gor < 8; gor++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				w, err := safe.Intern(r.Intn(65))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				w2 := safe.Apply(r.Intn(safe.NumFns()), w)
+				safe.Leq(w, w2)
+				safe.Lt(w2, w)
+				safe.Equiv(w, w)
+				if safe.Value(w) == nil {
+					t.Error("Value returned nil")
+					return
+				}
+			}
+		}(int64(gor))
+	}
+	wg.Wait()
+	// Semantics match the raw backend.
+	fresh := NewDynamic(a.OT)
+	wa, _ := safe.Intern(3)
+	wb, _ := fresh.Intern(3)
+	if safe.Value(wa) != fresh.Value(wb) {
+		t.Fatal("wrapped and raw backends disagree")
 	}
 }

@@ -87,9 +87,9 @@ func (e *tabledSemiring) Intern(v value.V) (int32, error) {
 		value.Format(v), e.b.Name)
 }
 
-func (e *tabledSemiring) Value(w int32) value.V  { return e.c.Elems[w] }
-func (e *tabledSemiring) Add(a, b int32) int32   { return e.c.Add(a, b) }
-func (e *tabledSemiring) Mul(a, b int32) int32   { return e.c.Mul(a, b) }
+func (e *tabledSemiring) Value(w int32) value.V { return e.c.Elems[w] }
+func (e *tabledSemiring) Add(a, b int32) int32  { return e.c.Add(a, b) }
+func (e *tabledSemiring) Mul(a, b int32) int32  { return e.c.Mul(a, b) }
 
 // ForSemiring picks the backend for b under the default mode: compiled
 // when finite, closed, within the bisemigroup cap and every weight in

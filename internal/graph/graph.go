@@ -30,6 +30,10 @@ type Graph struct {
 
 	out [][]int // out[u] = indices into Arcs with From == u
 	in  [][]int // in[v] = indices into Arcs with To == v
+
+	// base, for views built by MaskArcs/WithArcToggled, is the unmasked
+	// graph whose full adjacency rows seed copy-on-write row rebuilds.
+	base *Graph
 }
 
 // New builds a graph from a node count and arcs; it validates endpoints.
@@ -67,6 +71,65 @@ func (g *Graph) index() {
 
 // Out returns the indices (into Arcs) of arcs leaving u.
 func (g *Graph) Out(u int) []int { return g.out[u] }
+
+// origin resolves the unmasked graph underlying a view (itself for a
+// plain graph).
+func (g *Graph) origin() *Graph {
+	if g.base != nil {
+		return g.base
+	}
+	return g
+}
+
+// MaskArcs returns an immutable view of g whose adjacency omits every
+// arc i with disabled[i] true (a shorter slice leaves the tail enabled).
+// The view shares g's Arcs slice, so arc indices — and therefore arc
+// labels and LinkEvent references — stay valid across views; only the
+// adjacency index is rebuilt. Every solver and the RIB builder traverse
+// graphs exclusively through Out/In, so a masked view routes exactly as
+// a freshly built graph containing only the enabled arcs.
+func (g *Graph) MaskArcs(disabled []bool) *Graph {
+	v := &Graph{N: g.N, Arcs: g.Arcs, base: g.origin()}
+	v.out = make([][]int, g.N)
+	v.in = make([][]int, g.N)
+	for i, a := range v.base.Arcs {
+		if i < len(disabled) && disabled[i] {
+			continue
+		}
+		v.out[a.From] = append(v.out[a.From], i)
+		v.in[a.To] = append(v.in[a.To], i)
+	}
+	return v
+}
+
+// WithArcToggled returns a copy-on-write successor of view g after arc
+// ai changed state: disabled must already reflect the new state of every
+// arc. Only the two adjacency rows touching the arc's endpoints are
+// rebuilt (from the unmasked base rows, filtered by disabled); all other
+// rows are shared with g, making a topology event O(N + deg) instead of
+// a full O(N + M) re-index. The receiver is left untouched.
+func (g *Graph) WithArcToggled(ai int, disabled []bool) *Graph {
+	b := g.origin()
+	v := &Graph{N: g.N, Arcs: g.Arcs, base: b}
+	v.out = append([][]int(nil), g.out...)
+	v.in = append([][]int(nil), g.in...)
+	from, to := g.Arcs[ai].From, g.Arcs[ai].To
+	v.out[from] = filterRow(b.out[from], disabled)
+	v.in[to] = filterRow(b.in[to], disabled)
+	return v
+}
+
+// filterRow drops disabled arc indices from a full adjacency row.
+func filterRow(row []int, disabled []bool) []int {
+	out := make([]int, 0, len(row))
+	for _, i := range row {
+		if i < len(disabled) && disabled[i] {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
 
 // In returns the indices (into Arcs) of arcs entering v.
 func (g *Graph) In(v int) []int { return g.in[v] }

@@ -239,3 +239,72 @@ func TestScaleFreeConnectedAndHeavyTailed(t *testing.T) {
 		seen[k] = true
 	}
 }
+
+// maskEqual checks that view's adjacency equals a from-scratch MaskArcs
+// of base under disabled.
+func maskEqual(t *testing.T, base, view *Graph, disabled []bool) {
+	t.Helper()
+	want := base.MaskArcs(disabled)
+	for u := 0; u < base.N; u++ {
+		if !sameInts(view.Out(u), want.Out(u)) {
+			t.Fatalf("node %d: out rows differ: %v vs %v", u, view.Out(u), want.Out(u))
+		}
+		if !sameInts(view.In(u), want.In(u)) {
+			t.Fatalf("node %d: in rows differ: %v vs %v", u, view.In(u), want.In(u))
+		}
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMaskArcs(t *testing.T) {
+	g := MustNew(3, []Arc{{0, 1, 0}, {0, 2, 0}, {1, 2, 0}, {2, 0, 0}})
+	disabled := []bool{false, true, false, false}
+	v := g.MaskArcs(disabled)
+	if !sameInts(v.Out(0), []int{0}) || !sameInts(v.In(2), []int{2}) {
+		t.Fatalf("masked adjacency wrong: out(0)=%v in(2)=%v", v.Out(0), v.In(2))
+	}
+	// The view shares arcs; indices stay valid.
+	if &v.Arcs[0] != &g.Arcs[0] {
+		t.Fatal("view must share the Arcs slice")
+	}
+	// The base graph is untouched.
+	if len(g.Out(0)) != 2 {
+		t.Fatal("MaskArcs mutated its receiver")
+	}
+	// Nothing disabled ⇒ identical adjacency.
+	maskEqual(t, g, g.MaskArcs(make([]bool, 4)), make([]bool, 4))
+}
+
+// TestWithArcToggled: a random toggle sequence built with copy-on-write
+// row rebuilds always matches a from-scratch mask, and prior views are
+// never mutated.
+func TestWithArcToggled(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := Random(r, 4+r.Intn(8), 0.4, UniformLabels(3))
+		disabled := make([]bool, len(g.Arcs))
+		view := g.MaskArcs(disabled)
+		for step := 0; step < 30; step++ {
+			ai := r.Intn(len(g.Arcs))
+			disabled[ai] = !disabled[ai]
+			prev := view
+			prevDisabled := make([]bool, len(disabled))
+			copy(prevDisabled, disabled)
+			prevDisabled[ai] = !prevDisabled[ai]
+			view = view.WithArcToggled(ai, disabled)
+			maskEqual(t, g, view, disabled)
+			maskEqual(t, g, prev, prevDisabled) // old snapshot intact
+		}
+	}
+}

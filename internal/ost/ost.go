@@ -46,6 +46,20 @@ func (t *OrderTransform) Carrier() *value.Carrier { return t.Ord.Car }
 // enumerable, i.e. whether exhaustive property checking is possible.
 func (t *OrderTransform) Finite() bool { return t.Ord.Car.Finite() && t.F.Finite() }
 
+// DefaultOrigin picks a sensible originated weight for experiments and
+// servers: ⊥ of the order when known (the most preferred weight), else
+// the first carrier element, else 0. Shared by the CLIs and the route
+// server so "the default origin" means the same thing everywhere.
+func (t *OrderTransform) DefaultOrigin() value.V {
+	if b, ok := t.Ord.Bot(); ok {
+		return b
+	}
+	if t.Carrier().Finite() {
+		return t.Carrier().Elems[0]
+	}
+	return 0
+}
+
 // Left returns left(S) = (S, ≲, {κ_b | b ∈ S}) (§II): every arc function
 // is a constant, so the last link completely determines the value — the
 // shape of BGP's local-preference attribute.

@@ -153,8 +153,7 @@ func TestDuplicateEventIgnored(t *testing.T) {
 		Dest: 0, Origin: 0, MaxDelay: 1, Rand: r,
 		Events: []LinkEvent{
 			{At: 30, Arc: 1, Fail: true},
-			{At: 35, Arc: 1, Fail: true},
-			{At: 1, Arc: 99, Fail: true}, // out of range: ignored
+			{At: 35, Arc: 1, Fail: true}, // duplicate failure: a no-op
 		},
 	})
 	if !out.Converged || out.Weights[2] != 4 {

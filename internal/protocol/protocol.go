@@ -171,6 +171,30 @@ type Outcome struct {
 	Oscillating bool
 }
 
+// Validate checks a configuration against the graph it will run on:
+// Rand must be present, Dest in range, and every event must reference an
+// existing arc. Run and RunEngine call it and panic with the resulting
+// error; callers that want the error form (the scenario loader, the
+// route server) validate first.
+func (cfg Config) Validate(g *graph.Graph) error {
+	if cfg.Rand == nil {
+		return fmt.Errorf("protocol: Config.Rand is required")
+	}
+	if cfg.Dest < 0 || cfg.Dest >= g.N {
+		return fmt.Errorf("protocol: destination %d out of range [0,%d)", cfg.Dest, g.N)
+	}
+	if cfg.MaxDelay < 0 {
+		return fmt.Errorf("protocol: MaxDelay %d must be ≥ 0", cfg.MaxDelay)
+	}
+	for i, ev := range cfg.Events {
+		if ev.Arc < 0 || ev.Arc >= len(g.Arcs) {
+			return fmt.Errorf("protocol: event %d references arc %d, but the graph has %d arcs",
+				i, ev.Arc, len(g.Arcs))
+		}
+	}
+	return nil
+}
+
 // node is the per-node protocol state.
 type node struct {
 	rib      map[int]route // candidate per neighbour (key: neighbour)
@@ -180,16 +204,20 @@ type node struct {
 }
 
 // Run simulates the path-vector protocol for alg on g, on the backend
-// exec.For picks (compiled tables for finite algebras).
+// exec.For picks (compiled tables for finite algebras). It panics on an
+// invalid configuration (see Config.Validate for the error form).
 func Run(alg *ost.OrderTransform, g *graph.Graph, cfg Config) *Outcome {
 	return RunEngine(exec.For(alg, cfg.Origin), g, cfg)
 }
 
 // RunEngine simulates the path-vector protocol over an explicit
-// execution engine.
+// execution engine. An invalid configuration — nil Rand, out-of-range
+// destination, an event referencing a nonexistent arc, or an origin
+// outside the engine's carrier — panics with a descriptive error;
+// callers that want the error instead call cfg.Validate(g) first.
 func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
-	if cfg.Rand == nil {
-		panic("protocol: Config.Rand is required")
+	if err := cfg.Validate(g); err != nil {
+		panic(err.Error())
 	}
 	origin, err := eng.Intern(cfg.Origin)
 	if err != nil {

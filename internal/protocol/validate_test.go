@@ -1,0 +1,63 @@
+package protocol
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/graph"
+)
+
+// TestConfigValidate (satellite): malformed configurations produce
+// descriptive errors from Validate, and RunEngine surfaces the same text
+// as a documented panic instead of an index panic from deep inside the
+// simulator.
+func TestConfigValidate(t *testing.T) {
+	g := graph.MustNew(3, []graph.Arc{{From: 1, To: 0, Label: 0}, {From: 2, To: 1, Label: 0}})
+	r := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" means valid
+	}{
+		{"valid", Config{Dest: 0, Origin: 0, Rand: r()}, ""},
+		{"nil rand", Config{Dest: 0, Origin: 0}, "Rand is required"},
+		{"negative dest", Config{Dest: -1, Origin: 0, Rand: r()}, "destination -1 out of range"},
+		{"dest too large", Config{Dest: 3, Origin: 0, Rand: r()}, "destination 3 out of range"},
+		{"negative delay", Config{Dest: 0, Origin: 0, Rand: r(), MaxDelay: -2}, "MaxDelay -2"},
+		{"event arc too large", Config{Dest: 0, Origin: 0, Rand: r(),
+			Events: []LinkEvent{{At: 10, Arc: 2, Fail: true}}}, "references arc 2"},
+		{"event arc negative", Config{Dest: 0, Origin: 0, Rand: r(),
+			Events: []LinkEvent{{At: 10, Arc: -1, Fail: true}}}, "references arc -1"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate(g)
+		if tc.want == "" {
+			if err != nil {
+				t.Fatalf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRunEnginePanicsDescriptively: the documented panic carries the
+// Validate error text.
+func TestRunEnginePanicsDescriptively(t *testing.T) {
+	a, err := core.InferString("delay(8,2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.MustNew(2, []graph.Arc{{From: 1, To: 0, Label: 0}})
+	defer func() {
+		msg, ok := recover().(string)
+		if !ok || !strings.Contains(msg, "destination 7 out of range") {
+			t.Fatalf("want descriptive panic, got %v", msg)
+		}
+	}()
+	Run(a.OT, g, Config{Dest: 7, Origin: 0, Rand: rand.New(rand.NewSource(1))})
+}

@@ -50,39 +50,14 @@ func Build(alg *ost.OrderTransform, g *graph.Graph, origins map[int]value.V) (*R
 func BuildEngine(eng exec.Algebra, g *graph.Graph, origins map[int]value.V) (*RIB, error) {
 	r := &RIB{eng: eng, g: g, table: make(map[int][]*Entry, len(origins))}
 	var unconverged []int
+	ws := solve.NewWorkspace()
 	for dest, origin := range origins {
-		if dest < 0 || dest >= g.N {
-			return nil, fmt.Errorf("rib: destination %d out of range", dest)
+		entries, converged, err := BuildDestEngine(eng, g, dest, origin, ws)
+		if err != nil {
+			return nil, err
 		}
-		res := solve.BellmanFordEngine(eng, g, dest, origin, 0)
-		if !res.Converged {
+		if !converged {
 			unconverged = append(unconverged, dest)
-		}
-		entries := make([]*Entry, g.N)
-		for u := 0; u < g.N; u++ {
-			if !res.Routed[u] {
-				continue
-			}
-			e := &Entry{Weight: res.Weights[u]}
-			if u == dest {
-				entries[u] = e
-				continue
-			}
-			e.NextHops = append(e.NextHops, res.NextHop[u])
-			// ECMP: any other neighbour offering an equivalent weight. The
-			// solver produced these weights, so they re-intern for free.
-			best := exec.MustIntern(eng, res.Weights[u])
-			for _, ai := range g.Out(u) {
-				v := g.Arcs[ai].To
-				if v == res.NextHop[u] || !res.Routed[v] {
-					continue
-				}
-				cand := eng.Apply(g.Arcs[ai].Label, exec.MustIntern(eng, res.Weights[v]))
-				if eng.Equiv(cand, best) {
-					e.NextHops = append(e.NextHops, v)
-				}
-			}
-			entries[u] = e
 		}
 		r.table[dest] = entries
 	}
@@ -90,6 +65,55 @@ func BuildEngine(eng exec.Algebra, g *graph.Graph, origins map[int]value.V) (*RI
 		return r, fmt.Errorf("rib: fixpoint did not converge for destinations %v", unconverged)
 	}
 	return r, nil
+}
+
+// BuildDestEngine computes the entry column for a single destination —
+// the per-destination unit of work the serve snapshot builder shards
+// across its worker pool. ws supplies reusable solver buffers and may be
+// nil. The returned entries are freshly allocated and safe to share
+// read-only across snapshots.
+func BuildDestEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, ws *solve.Workspace) ([]*Entry, bool, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, false, fmt.Errorf("rib: destination %d out of range", dest)
+	}
+	if ws == nil {
+		ws = solve.NewWorkspace()
+	}
+	res := ws.BellmanFord(eng, g, dest, origin, 0)
+	entries := make([]*Entry, g.N)
+	for u := 0; u < g.N; u++ {
+		if !res.Routed[u] {
+			continue
+		}
+		e := &Entry{Weight: res.Weights[u]}
+		if u == dest {
+			entries[u] = e
+			continue
+		}
+		e.NextHops = append(e.NextHops, res.NextHop[u])
+		// ECMP: any other neighbour offering an equivalent weight. The
+		// solver produced these weights, so they re-intern for free.
+		best := exec.MustIntern(eng, res.Weights[u])
+		for _, ai := range g.Out(u) {
+			v := g.Arcs[ai].To
+			if v == res.NextHop[u] || !res.Routed[v] {
+				continue
+			}
+			cand := eng.Apply(g.Arcs[ai].Label, exec.MustIntern(eng, res.Weights[v]))
+			if eng.Equiv(cand, best) {
+				e.NextHops = append(e.NextHops, v)
+			}
+		}
+		entries[u] = e
+	}
+	return entries, res.Converged, nil
+}
+
+// FromEntries assembles a RIB from per-destination entry columns
+// computed elsewhere (the serve snapshot builder). The columns are
+// adopted, not copied; callers must treat them as immutable afterwards.
+func FromEntries(eng exec.Algebra, g *graph.Graph, table map[int][]*Entry) *RIB {
+	return &RIB{eng: eng, g: g, table: table}
 }
 
 // Engine exposes the execution engine the RIB was built on.

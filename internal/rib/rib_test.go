@@ -2,9 +2,11 @@ package rib
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"metarouting/internal/core"
+	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/ost"
 	"metarouting/internal/solve"
@@ -139,5 +141,55 @@ func TestUnroutedNodeForwardFails(t *testing.T) {
 	}
 	if rib.ECMPWidth(2, 0) != 0 {
 		t.Fatal("unrouted ECMP width must be 0")
+	}
+}
+
+// TestForwardDeterminism (satellite): the same seed and the same graph
+// yield bit-identical forwarding behaviour — Forward paths and
+// ECMPWidth — across two independent builds, on both backends. This is
+// the reproducibility guarantee the serve snapshot-equivalence tests
+// build on: a snapshot rebuilt from identical inputs is identical.
+func TestForwardDeterminism(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		a, err := core.InferString("lex(delay(16,3), bw(4))")
+		if err != nil {
+			t.Fatal(err)
+		}
+		build := func(mode exec.Mode) (*RIB, *graph.Graph) {
+			// A fresh rand per build: determinism must come from the seed,
+			// not from shared generator state.
+			r := rand.New(rand.NewSource(int64(1000 + trial)))
+			g := graph.Random(r, 6+trial, 0.4, graph.UniformLabels(a.OT.F.Size()))
+			origins := map[int]value.V{0: value.Pair{A: 0, B: 4}, g.N - 1: value.Pair{A: 4, B: 1}}
+			eng, err := exec.New(a.OT, mode, value.Pair{A: 0, B: 4}, value.Pair{A: 4, B: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := BuildEngine(eng, g, origins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rb, g
+		}
+		r1, g1 := build(exec.ModeDynamic)
+		r2, _ := build(exec.ModeDynamic)
+		r3, _ := build(exec.ModeCompiled)
+		for _, dest := range []int{0, g1.N - 1} {
+			for u := 0; u < g1.N; u++ {
+				w1, w2, w3 := r1.ECMPWidth(u, dest), r2.ECMPWidth(u, dest), r3.ECMPWidth(u, dest)
+				if w1 != w2 || w1 != w3 {
+					t.Fatalf("trial %d: ECMPWidth(%d,%d) differs across builds: %d %d %d", trial, u, dest, w1, w2, w3)
+				}
+				p1, e1 := r1.Forward(u, dest)
+				p2, e2 := r2.Forward(u, dest)
+				p3, e3 := r3.Forward(u, dest)
+				if (e1 == nil) != (e2 == nil) || (e1 == nil) != (e3 == nil) {
+					t.Fatalf("trial %d: Forward(%d,%d) errors differ: %v %v %v", trial, u, dest, e1, e2, e3)
+				}
+				if !reflect.DeepEqual(p1, p2) || !reflect.DeepEqual(p1, p3) {
+					t.Fatalf("trial %d: Forward(%d,%d) paths differ: %v %v %v", trial, u, dest, p1, p2, p3)
+				}
+			}
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -283,6 +284,15 @@ func parseValue(src string) (value.V, error) {
 		return nil, err
 	}
 	return value.Pair{A: a, B: b}, nil
+}
+
+// SortedEvents returns a copy of the scenario's topology events in
+// firing order — the replay order a live route server applies them in
+// (the simulator sorts internally; servers consume them one at a time).
+func (s *Scenario) SortedEvents() []protocol.LinkEvent {
+	evs := append([]protocol.LinkEvent(nil), s.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
 }
 
 // Run executes the scenario on the asynchronous simulator with the given

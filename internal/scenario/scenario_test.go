@@ -134,3 +134,30 @@ func FuzzScenarioParse(f *testing.F) {
 		s.Run(1, 200)
 	})
 }
+
+func TestSortedEvents(t *testing.T) {
+	src := `
+expr   delay(64, 4)
+nodes  3
+arc    1 0 +1
+arc    2 1 +1
+arc    2 0 +4
+dest   0
+origin 0
+event  200 up   1 0
+event  50  fail 1 0
+event  90  fail 2 0
+`
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := s.SortedEvents()
+	if len(evs) != 3 || evs[0].At != 50 || evs[1].At != 90 || evs[2].At != 200 {
+		t.Fatalf("events not in firing order: %+v", evs)
+	}
+	// The original slice keeps declaration order.
+	if s.Events[0].At != 200 {
+		t.Fatal("SortedEvents must not reorder the scenario in place")
+	}
+}

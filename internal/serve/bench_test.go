@@ -1,0 +1,87 @@
+package serve_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/serve"
+	"metarouting/internal/value"
+)
+
+// benchServer builds the standard bench fixture: a 64-node GNP topology
+// over lex(delay, bw) with 8 originated destinations.
+func benchServer(b *testing.B, workers int) (*serve.Server, *graph.Graph) {
+	b.Helper()
+	a, err := core.InferString("lex(delay(32,3), bw(8))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	g := graph.Random(r, 64, 0.08, graph.UniformLabels(a.OT.F.Size()))
+	origins := make(map[int]value.V)
+	for d := 0; d < 8; d++ {
+		origins[d*8] = value.Pair{A: 0, B: 8}
+	}
+	srv, err := serve.New(exec.For(a.OT, value.Pair{A: 0, B: 8}), g, origins, serve.Options{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	return srv, g
+}
+
+// BenchmarkServeLookup: the lock-free read path under parallel load.
+func BenchmarkServeLookup(b *testing.B) {
+	srv, g := benchServer(b, 4)
+	dests := srv.Dests()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(2))
+		for pb.Next() {
+			srv.Lookup(r.Intn(g.N), dests[r.Intn(len(dests))])
+		}
+	})
+}
+
+// BenchmarkServeForward: full path resolution per query.
+func BenchmarkServeForward(b *testing.B) {
+	srv, g := benchServer(b, 4)
+	dests := srv.Dests()
+	r := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Forward(r.Intn(g.N), dests[r.Intn(len(dests))]) //nolint:errcheck
+	}
+}
+
+// BenchmarkServeEventIncremental: one link toggle handled by the
+// incremental reconvergence path (recompute invalidated destinations
+// only, swap snapshot).
+func BenchmarkServeEventIncremental(b *testing.B) {
+	srv, g := benchServer(b, 4)
+	r := rand.New(rand.NewSource(4))
+	down := make([]bool, len(g.Arcs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arc := r.Intn(len(g.Arcs))
+		if _, _, err := srv.ApplyEvent(arc, !down[arc]); err != nil {
+			b.Fatal(err)
+		}
+		down[arc] = !down[arc]
+	}
+}
+
+// BenchmarkServeRebuildFull: the from-scratch baseline the incremental
+// path is measured against.
+func BenchmarkServeRebuildFull(b *testing.B) {
+	srv, _ := benchServer(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := srv.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package serve
+
+// This file holds the in-repo load generator: it drives a Server with a
+// concurrent mix of route queries and topology events, recording
+// throughput and latency percentiles plus the incremental-vs-full
+// event-handling cost — the numbers committed to BENCH_serve.json by
+// cmd/mrserve -loadgen and scripts/loadgen.sh.
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions parameterizes a load run.
+type LoadOptions struct {
+	// Duration is the query phase length (default 2s).
+	Duration time.Duration
+	// Readers is the number of concurrent query goroutines (default 4).
+	Readers int
+	// EventEvery injects a random link toggle at this period (0: no
+	// events during the query phase).
+	EventEvery time.Duration
+	// Seed drives query and event choice.
+	Seed int64
+	// ComparePairs is how many quiescent (incremental event, full
+	// rebuild) timing pairs to take after the query phase (default 20).
+	// Pairing both timings on the same topology state keeps the
+	// comparison fair: each toggle changes the graph, and per-destination
+	// solve cost changes with it.
+	ComparePairs int
+}
+
+// LoadReport is the measured outcome of a load run. Latencies are per
+// query (a Forward resolution), in microseconds.
+type LoadReport struct {
+	DurationSec float64 `json:"duration_sec"`
+	Readers     int     `json:"readers"`
+	Queries     uint64  `json:"queries"`
+	QPS         float64 `json:"qps"`
+	P50us       float64 `json:"p50_us"`
+	P90us       float64 `json:"p90_us"`
+	P99us       float64 `json:"p99_us"`
+	// MaxReadStallUS is the worst single-query latency observed while
+	// events and snapshot rebuilds were running concurrently — the
+	// evidence that readers are never blocked by rebuilds.
+	MaxReadStallUS float64 `json:"max_read_stall_us"`
+	// Events counts topology toggles applied during the query phase.
+	Events int `json:"events"`
+	// EventUnderLoadUS is the mean ApplyEvent cost while the readers were
+	// saturating the machine: it includes scheduler contention, so it is
+	// an availability number, not a reconvergence-cost number.
+	EventUnderLoadUS float64 `json:"event_under_load_us"`
+	// IncrementalEventUS is the mean quiescent cost of an incremental
+	// ApplyEvent (recompute of invalidated destinations + snapshot swap).
+	// Each sample is paired with a full rebuild on the identical
+	// topology, so it is directly comparable to FullRebuildUS.
+	IncrementalEventUS float64 `json:"incremental_event_us"`
+	// FullRebuildUS is the mean quiescent cost of a from-scratch rebuild
+	// of every destination — the baseline the incremental path must beat.
+	FullRebuildUS float64 `json:"full_rebuild_us"`
+	Stats         Stats   `json:"stats"`
+}
+
+// Load drives the server with opts and reports the measurements. The
+// server is left running (with whatever link state the event mix ended
+// on).
+func Load(s *Server, opts LoadOptions) *LoadReport {
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if opts.Readers <= 0 {
+		opts.Readers = 4
+	}
+	if opts.ComparePairs <= 0 {
+		opts.ComparePairs = 20
+	}
+	dests := s.Dests()
+	n := s.base.N
+	deadline := time.Now().Add(opts.Duration)
+
+	type readerOut struct {
+		queries uint64
+		lats    []int64 // sampled, nanoseconds
+		maxNS   int64
+	}
+	outs := make([]readerOut, opts.Readers)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Readers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(opts.Seed + int64(i)*7919))
+			const sampleEvery = 8
+			for time.Now().Before(deadline) {
+				// A burst between clock checks keeps timer overhead low.
+				for b := 0; b < 256; b++ {
+					from := r.Intn(n)
+					dest := dests[r.Intn(len(dests))]
+					t0 := time.Now()
+					s.Forward(from, dest) //nolint:errcheck — missing routes are a valid answer
+					lat := time.Since(t0).Nanoseconds()
+					outs[i].queries++
+					if lat > outs[i].maxNS {
+						outs[i].maxNS = lat
+					}
+					if outs[i].queries%sampleEvery == 0 && len(outs[i].lats) < 1<<17 {
+						outs[i].lats = append(outs[i].lats, lat)
+					}
+				}
+			}
+		}()
+	}
+
+	var evCount int
+	var evTotalNS int64
+	if opts.EventEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+			down := map[int]bool{}
+			for time.Now().Before(deadline) {
+				time.Sleep(opts.EventEvery)
+				arc := r.Intn(len(s.base.Arcs))
+				t0 := time.Now()
+				applied, _, err := s.ApplyEvent(arc, !down[arc])
+				if err != nil {
+					return
+				}
+				if applied {
+					down[arc] = !down[arc]
+					evCount++
+					evTotalNS += time.Since(t0).Nanoseconds()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var lats []int64
+	var queries uint64
+	var maxNS int64
+	for _, o := range outs {
+		queries += o.queries
+		lats = append(lats, o.lats...)
+		if o.maxNS > maxNS {
+			maxNS = o.maxNS
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx]) / 1e3
+	}
+
+	// Drain the garbage the query phase generated so collector pauses do
+	// not land inside the timing pairs below.
+	runtime.GC()
+
+	// Quiescent comparison: with the readers gone, take paired timings —
+	// an incremental event, then a full rebuild of the resulting
+	// topology — so the two means cover the same sequence of graph
+	// states and differ only in how much route computation each path
+	// performs.
+	r := rand.New(rand.NewSource(opts.Seed ^ 0x1e4e))
+	var pairCount int
+	var incNS, rebuildNS int64
+	for i := 0; i < opts.ComparePairs; i++ {
+		arc := r.Intn(len(s.base.Arcs))
+		fail := !s.Snapshot().Disabled[arc]
+		t0 := time.Now()
+		if _, _, err := s.ApplyEvent(arc, fail); err != nil {
+			break
+		}
+		incNS += time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		if err := s.Rebuild(); err != nil {
+			break
+		}
+		rebuildNS += time.Since(t0).Nanoseconds()
+		pairCount++
+	}
+
+	rep := &LoadReport{
+		DurationSec:    opts.Duration.Seconds(),
+		Readers:        opts.Readers,
+		Queries:        queries,
+		QPS:            float64(queries) / opts.Duration.Seconds(),
+		P50us:          pct(0.50),
+		P90us:          pct(0.90),
+		P99us:          pct(0.99),
+		MaxReadStallUS: float64(maxNS) / 1e3,
+		Events:         evCount,
+		Stats:          s.Stats(),
+	}
+	if evCount > 0 {
+		rep.EventUnderLoadUS = float64(evTotalNS) / float64(evCount) / 1e3
+	}
+	if pairCount > 0 {
+		rep.IncrementalEventUS = float64(incNS) / float64(pairCount) / 1e3
+		rep.FullRebuildUS = float64(rebuildNS) / float64(pairCount) / 1e3
+	}
+	return rep
+}

@@ -1,0 +1,413 @@
+// Package serve is the long-lived route-query service layered on the
+// unified execution layer: it owns per-destination route tables, answers
+// concurrent Lookup/Forward queries lock-free against an immutable
+// snapshot, and reconverges incrementally when topology events arrive.
+//
+// The design is RCU-style. A worker pool (each worker holding a reusable
+// solve.Workspace) computes per-destination entry columns in parallel;
+// the columns are assembled into a Snapshot and swapped in atomically,
+// so readers racing a rebuild keep the previous snapshot and are never
+// blocked. Topology events recompute only destinations whose routes the
+// event can actually touch: destination d is skipped when the event's
+// arc leaves d itself (the fixpoint solver never consults the
+// destination's out-arcs) or when the arc's head has no route toward d
+// in the current snapshot (then the arc never contributed a candidate in
+// any solver round — routedness on a static graph only grows — so the
+// from-scratch trajectory on the mutated graph is unchanged). Skipped
+// columns are shared with the previous snapshot by reference; the
+// differential tests assert every incremental snapshot is bit-identical
+// to a fresh rib.BuildEngine on the mutated graph.
+//
+// Reconvergence after arbitrary topology change is exactly what
+// increasing algebras guarantee (Daggitt & Griffin, PAPERS.md); for
+// non-increasing algebras a destination may fail to converge within the
+// solver budget, which the snapshot reports instead of hiding.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/protocol"
+	"metarouting/internal/rib"
+	"metarouting/internal/scenario"
+	"metarouting/internal/solve"
+	"metarouting/internal/value"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers sizes the snapshot builder's worker pool (≤ 0: 4).
+	Workers int
+}
+
+// Snapshot is one immutable generation of route tables. All methods are
+// safe for concurrent use; a snapshot never changes after publication,
+// so a reader holding one sees a consistent view regardless of how many
+// events the server has absorbed since.
+type Snapshot struct {
+	// Version increments with every swap (the initial build is 1).
+	Version uint64
+	// Graph is the topology view the snapshot was computed on (arcs
+	// disabled by events are masked out; indices match the base graph).
+	Graph *graph.Graph
+	// Disabled records the per-arc failure state at build time.
+	Disabled []bool
+	// Unconverged lists destinations whose fixpoint did not settle
+	// within the solver budget (possible for non-increasing algebras).
+	Unconverged []int
+
+	table map[int][]*rib.Entry
+	rib   *rib.RIB
+}
+
+// RIB exposes the snapshot's route table.
+func (sn *Snapshot) RIB() *rib.RIB { return sn.rib }
+
+// Lookup returns node's entry toward dest (nil when unrouted/unknown).
+func (sn *Snapshot) Lookup(node, dest int) *rib.Entry { return sn.rib.Lookup(node, dest) }
+
+// Forward resolves the forwarding path from a node toward dest.
+func (sn *Snapshot) Forward(from, dest int) (graph.Path, error) { return sn.rib.Forward(from, dest) }
+
+// ECMPWidth returns the equal-cost next-hop count at node toward dest.
+func (sn *Snapshot) ECMPWidth(node, dest int) int { return sn.rib.ECMPWidth(node, dest) }
+
+// Stats is a point-in-time reading of the server's counters — the seed
+// of the observability layer, surfaced at /stats and in BENCH_serve.json.
+type Stats struct {
+	Queries               uint64 `json:"queries"`
+	SnapshotSwaps         uint64 `json:"snapshot_swaps"`
+	EventsApplied         uint64 `json:"events_applied"`
+	IncrementalRecomputes uint64 `json:"incremental_recomputes"`
+	FullRecomputes        uint64 `json:"full_recomputes"`
+	DestRecomputes        uint64 `json:"dest_recomputes"`
+	DestReuses            uint64 `json:"dest_reuses"`
+	SnapshotVersion       uint64 `json:"snapshot_version"`
+	Destinations          int    `json:"destinations"`
+	Nodes                 int    `json:"nodes"`
+	Arcs                  int    `json:"arcs"`
+	DisabledArcs          int    `json:"disabled_arcs"`
+	Engine                string `json:"engine"`
+	Workers               int    `json:"workers"`
+}
+
+// Server owns route state for a fixed origination set and serves
+// concurrent queries against atomically swapped snapshots. Queries
+// (Lookup, Forward, Snapshot) never take the writer lock; events and
+// rebuilds serialize on it.
+type Server struct {
+	eng     exec.Algebra
+	base    *graph.Graph
+	origins map[int]value.V
+	dests   []int // sorted, for deterministic build order
+	workers int
+
+	mu       sync.Mutex // serializes topology mutation + publication
+	disabled []bool
+	closed   bool
+
+	snap atomic.Pointer[Snapshot]
+
+	tasks chan func(*solve.Workspace)
+	wg    sync.WaitGroup
+
+	queries, swaps, events     atomic.Uint64
+	incremental, full          atomic.Uint64
+	destRecomputes, destReuses atomic.Uint64
+}
+
+// New builds a server over an execution engine, a base topology and the
+// origination set (destination → originated weight), computes the
+// initial snapshot with the worker pool and publishes it. The engine is
+// wrapped with exec.Concurrent, so a dynamic backend may be handed in
+// directly. Destinations that do not converge within the solver budget
+// are reported in the snapshot, not as an error.
+func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts Options) (*Server, error) {
+	if len(origins) == 0 {
+		return nil, fmt.Errorf("serve: no destinations originated")
+	}
+	dests := make([]int, 0, len(origins))
+	for d, origin := range origins {
+		if d < 0 || d >= g.N {
+			return nil, fmt.Errorf("serve: destination %d out of range [0,%d)", d, g.N)
+		}
+		if _, err := eng.Intern(origin); err != nil {
+			return nil, fmt.Errorf("serve: destination %d: %v", d, err)
+		}
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	s := &Server{
+		eng:      exec.Concurrent(eng),
+		base:     g,
+		origins:  origins,
+		dests:    dests,
+		workers:  workers,
+		disabled: make([]bool, len(g.Arcs)),
+		tasks:    make(chan func(*solve.Workspace)),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ws := solve.NewWorkspace()
+			for fn := range s.tasks {
+				fn(ws)
+			}
+		}()
+	}
+	view := g.MaskArcs(s.disabled)
+	table, unconv, err := s.buildDests(view, dests, nil)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.publish(view, table, unconv)
+	return s, nil
+}
+
+// NewFromScenario builds a server from a parsed scenario: its engine,
+// topology, and single origination. Replay the scenario's events with
+// Replay(sc.SortedEvents()).
+func NewFromScenario(sc *scenario.Scenario, opts Options) (*Server, error) {
+	return New(sc.Engine, sc.Graph, map[int]value.V{sc.Dest: sc.Origin}, opts)
+}
+
+// Close stops the worker pool. The current snapshot stays readable, but
+// ApplyEvent/Rebuild must not be called afterwards.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.tasks)
+	s.wg.Wait()
+}
+
+// buildDests computes entry columns for the recompute set on view,
+// sharding destinations across the worker pool; columns for every other
+// destination are shared with prev by reference (they are immutable).
+func (s *Server) buildDests(view *graph.Graph, recompute []int, prev map[int][]*rib.Entry) (map[int][]*rib.Entry, []int, error) {
+	table := make(map[int][]*rib.Entry, len(s.dests))
+	if prev != nil {
+		inRecompute := make(map[int]bool, len(recompute))
+		for _, d := range recompute {
+			inRecompute[d] = true
+		}
+		for d, col := range prev {
+			if !inRecompute[d] {
+				table[d] = col
+			}
+		}
+	}
+	type built struct {
+		entries   []*rib.Entry
+		converged bool
+		err       error
+	}
+	results := make([]built, len(recompute))
+	var wg sync.WaitGroup
+	for i, d := range recompute {
+		i, d := i, d
+		wg.Add(1)
+		s.tasks <- func(ws *solve.Workspace) {
+			defer wg.Done()
+			entries, converged, err := rib.BuildDestEngine(s.eng, view, d, s.origins[d], ws)
+			results[i] = built{entries: entries, converged: converged, err: err}
+		}
+	}
+	wg.Wait()
+	var unconverged []int
+	for i, d := range recompute {
+		if results[i].err != nil {
+			return nil, nil, results[i].err
+		}
+		if !results[i].converged {
+			unconverged = append(unconverged, d)
+		}
+		table[d] = results[i].entries
+	}
+	sort.Ints(unconverged)
+	return table, unconverged, nil
+}
+
+// publish swaps in a new snapshot built from table. Callers hold s.mu.
+func (s *Server) publish(view *graph.Graph, table map[int][]*rib.Entry, unconverged []int) {
+	var version uint64 = 1
+	if cur := s.snap.Load(); cur != nil {
+		version = cur.Version + 1
+	}
+	sn := &Snapshot{
+		Version:     version,
+		Graph:       view,
+		Disabled:    append([]bool(nil), s.disabled...),
+		Unconverged: unconverged,
+		table:       table,
+		rib:         rib.FromEntries(s.eng, view, table),
+	}
+	s.snap.Store(sn)
+	s.swaps.Add(1)
+}
+
+// ApplyEvent applies a link failure (fail=true) or recovery to the arc
+// with the given index, recomputing only invalidated destinations, and
+// publishes the resulting snapshot. It reports whether the event changed
+// anything (re-failing a failed arc is a no-op) and how many
+// destinations were recomputed. Readers are never blocked: they keep
+// resolving against the previous snapshot until the swap.
+func (s *Server) ApplyEvent(arc int, fail bool) (applied bool, recomputed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, 0, fmt.Errorf("serve: server is closed")
+	}
+	if arc < 0 || arc >= len(s.base.Arcs) {
+		return false, 0, fmt.Errorf("serve: arc %d out of range [0,%d)", arc, len(s.base.Arcs))
+	}
+	if s.disabled[arc] == fail {
+		return false, 0, nil
+	}
+	cur := s.snap.Load()
+	s.disabled[arc] = fail
+	view := cur.Graph.WithArcToggled(arc, s.disabled)
+	a := s.base.Arcs[arc]
+	var recompute []int
+	for _, d := range s.dests {
+		// Sound skips (see the package comment): the solver never
+		// consults the destination's own out-arcs, and an arc whose head
+		// holds no route toward d never contributes a candidate in any
+		// round of a from-scratch run.
+		if a.From == d || cur.rib.Lookup(a.To, d) == nil {
+			continue
+		}
+		recompute = append(recompute, d)
+	}
+	table, unconv, err := s.buildDests(view, recompute, cur.table)
+	if err != nil {
+		s.disabled[arc] = !fail
+		return false, 0, err
+	}
+	s.publish(view, table, unconv)
+	s.events.Add(1)
+	if len(recompute) == len(s.dests) {
+		s.full.Add(1)
+	} else {
+		s.incremental.Add(1)
+	}
+	s.destRecomputes.Add(uint64(len(recompute)))
+	s.destReuses.Add(uint64(len(s.dests) - len(recompute)))
+	return true, len(recompute), nil
+}
+
+// ApplyEventEndpoints is ApplyEvent with the arc named by its endpoints
+// (the form HTTP clients and scenario files use).
+func (s *Server) ApplyEventEndpoints(from, to int, fail bool) (bool, int, error) {
+	for ai, a := range s.base.Arcs {
+		if a.From == from && a.To == to {
+			return s.ApplyEvent(ai, fail)
+		}
+	}
+	return false, 0, fmt.Errorf("serve: no arc %d → %d", from, to)
+}
+
+// Replay applies topology events in firing order (protocol.LinkEvent.At
+// ascending) and returns how many changed the topology.
+func (s *Server) Replay(events []protocol.LinkEvent) (applied int, err error) {
+	evs := append([]protocol.LinkEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		ok, _, err := s.ApplyEvent(ev.Arc, ev.Fail)
+		if err != nil {
+			return applied, err
+		}
+		if ok {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// Rebuild recomputes every destination from scratch on the current
+// topology and publishes the result — the full-rebuild baseline the
+// incremental path is benchmarked against.
+func (s *Server) Rebuild() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: server is closed")
+	}
+	view := s.base.MaskArcs(s.disabled)
+	table, unconv, err := s.buildDests(view, s.dests, nil)
+	if err != nil {
+		return err
+	}
+	s.publish(view, table, unconv)
+	s.full.Add(1)
+	s.destRecomputes.Add(uint64(len(s.dests)))
+	return nil
+}
+
+// Snapshot returns the current snapshot (never nil after New).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Dests lists the originated destinations in ascending order.
+func (s *Server) Dests() []int { return append([]int(nil), s.dests...) }
+
+// Lookup resolves node's entry toward dest against the current snapshot,
+// lock-free.
+func (s *Server) Lookup(node, dest int) *rib.Entry {
+	s.queries.Add(1)
+	return s.snap.Load().Lookup(node, dest)
+}
+
+// Forward resolves the forwarding path from a node toward dest against
+// the current snapshot, lock-free.
+func (s *Server) Forward(from, dest int) (graph.Path, error) {
+	s.queries.Add(1)
+	return s.snap.Load().Forward(from, dest)
+}
+
+// ECMPWidth returns the equal-cost next-hop count at node toward dest in
+// the current snapshot, lock-free.
+func (s *Server) ECMPWidth(node, dest int) int {
+	s.queries.Add(1)
+	return s.snap.Load().ECMPWidth(node, dest)
+}
+
+// Stats reads the counters.
+func (s *Server) Stats() Stats {
+	sn := s.snap.Load()
+	disabled := 0
+	for _, d := range sn.Disabled {
+		if d {
+			disabled++
+		}
+	}
+	return Stats{
+		Queries:               s.queries.Load(),
+		SnapshotSwaps:         s.swaps.Load(),
+		EventsApplied:         s.events.Load(),
+		IncrementalRecomputes: s.incremental.Load(),
+		FullRecomputes:        s.full.Load(),
+		DestRecomputes:        s.destRecomputes.Load(),
+		DestReuses:            s.destReuses.Load(),
+		SnapshotVersion:       sn.Version,
+		Destinations:          len(s.dests),
+		Nodes:                 s.base.N,
+		Arcs:                  len(s.base.Arcs),
+		DisabledArcs:          disabled,
+		Engine:                string(s.eng.Mode()),
+		Workers:               s.workers,
+	}
+}

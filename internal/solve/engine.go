@@ -144,16 +144,78 @@ func (f *frontier) Pop() any {
 	return it
 }
 
+// Workspace holds the per-run scratch buffers of the synchronous
+// fixpoint solver, so a worker that computes many destinations in a row
+// — the shape of the serve snapshot builder's pool — reuses one set of
+// allocations instead of five fresh slices per destination. A Workspace
+// is not safe for concurrent use; give each worker its own.
+type Workspace struct {
+	routed, prevR []bool
+	w, prevW      []int32
+	nextHop       []int
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// reset sizes the buffers for an n-node run and installs the origin.
+func (ws *Workspace) reset(n, dest int, origin int32) {
+	if cap(ws.routed) < n {
+		ws.routed = make([]bool, n)
+		ws.prevR = make([]bool, n)
+		ws.w = make([]int32, n)
+		ws.prevW = make([]int32, n)
+		ws.nextHop = make([]int, n)
+	}
+	ws.routed = ws.routed[:n]
+	ws.prevR = ws.prevR[:n]
+	ws.w = ws.w[:n]
+	ws.prevW = ws.prevW[:n]
+	ws.nextHop = ws.nextHop[:n]
+	for i := 0; i < n; i++ {
+		ws.routed[i] = false
+		ws.nextHop[i] = -1
+	}
+	ws.routed[dest] = true
+	ws.w[dest] = origin
+}
+
+// materialize copies the workspace state into a fresh Result (the
+// buffers are about to be reused, so the Result must own its slices).
+func (ws *Workspace) materialize(eng exec.Algebra, dest, rounds int, converged bool) *Result {
+	res := &Result{
+		Dest:      dest,
+		Routed:    append([]bool(nil), ws.routed...),
+		Weights:   make([]value.V, len(ws.routed)),
+		NextHop:   append([]int(nil), ws.nextHop...),
+		Rounds:    rounds,
+		Converged: converged,
+	}
+	for u := range ws.routed {
+		if ws.routed[u] {
+			res.Weights[u] = eng.Value(ws.w[u])
+		}
+	}
+	return res
+}
+
 // BellmanFordEngine is the synchronous fixpoint iteration over an
 // execution engine; semantics match BellmanFord.
 func BellmanFordEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) *Result {
+	return NewWorkspace().BellmanFord(eng, g, dest, origin, maxRounds)
+}
+
+// BellmanFord runs BellmanFordEngine out of the workspace's reusable
+// buffers. The returned Result owns fresh copies of its slices and is
+// bit-identical to a BellmanFordEngine call with the same arguments.
+func (ws *Workspace) BellmanFord(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) *Result {
 	if maxRounds <= 0 {
 		maxRounds = 2*g.N + 4
 	}
 	o := exec.MustIntern(eng, origin)
-	routed, w, nextHop := newEngineState(g, dest, o)
-	prevW := make([]int32, g.N)
-	prevR := make([]bool, g.N)
+	ws.reset(g.N, dest, o)
+	routed, w, nextHop := ws.routed, ws.w, ws.nextHop
+	prevW, prevR := ws.prevW, ws.prevR
 	rounds := 0
 	for round := 1; round <= maxRounds; round++ {
 		copy(prevW, w)
@@ -193,10 +255,10 @@ func BellmanFordEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.
 		}
 		rounds = round
 		if !changed {
-			return resolveResult(eng, dest, routed, w, nextHop, rounds, true)
+			return ws.materialize(eng, dest, rounds, true)
 		}
 	}
-	return resolveResult(eng, dest, routed, w, nextHop, rounds, false)
+	return ws.materialize(eng, dest, rounds, false)
 }
 
 // GaussSeidelEngine is BellmanFordEngine with in-place (chaotic

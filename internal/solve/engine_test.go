@@ -2,6 +2,7 @@ package solve
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"metarouting/internal/core"
@@ -71,6 +72,37 @@ func TestEngineScale(t *testing.T) {
 	for u := 0; u < g.N; u += 97 {
 		if res.Weights[u] != bf.Weights[u] {
 			t.Fatalf("node %d: heap %v vs bf %v", u, res.Weights[u], bf.Weights[u])
+		}
+	}
+}
+
+// TestWorkspaceReuse: a single Workspace driven across many destinations
+// and graphs produces Results bit-identical to fresh BellmanFordEngine
+// calls — the contract the serve snapshot builder's worker pool relies
+// on.
+func TestWorkspaceReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	a, err := core.InferString("lex(delay(16,3), bw(4))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exec.For(a.OT)
+	ws := NewWorkspace()
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Random(r, 4+r.Intn(10), 0.35, graph.UniformLabels(a.OT.F.Size()))
+		origin := a.OT.Carrier().Elems[r.Intn(a.OT.Carrier().Size())]
+		for dest := 0; dest < g.N; dest++ {
+			got := ws.BellmanFord(eng, g, dest, origin, 0)
+			want := BellmanFordEngine(eng, g, dest, origin, 0)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d dest %d: workspace result differs:\n got: %+v\nwant: %+v", trial, dest, got, want)
+			}
+			// The Result must own its slices: mutating it must not leak
+			// into the next workspace run.
+			if len(got.NextHop) > 0 {
+				got.NextHop[0] = -99
+				got.Routed[0] = !got.Routed[0]
+			}
 		}
 	}
 }

@@ -5,3 +5,11 @@ set -eux
 go build ./...
 go vet ./...
 go test -race ./...
+
+# The serve subsystem is the concurrency-heavy code path: exercise its
+# tests again under the race detector with shuffled execution order.
+go test -race -count=2 -shuffle=on ./internal/serve/
+
+# Bench smoke: every benchmark must still compile and survive one
+# iteration (no timing assertions — this only guards against bit-rot).
+go test -bench=. -benchtime=1x -run='^$' ./...

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Load-generator entry point: build mrserve and drive the route-query
+# service with a concurrent query + event mix, recording throughput,
+# latency percentiles and the incremental-vs-full reconvergence cost to
+# BENCH_serve.json. Run from the repository root.
+#
+# Usage: scripts/loadgen.sh [extra mrserve flags...]
+# e.g.:  scripts/loadgen.sh -duration 10s -readers 8 -engine dynamic
+set -eux
+
+go build -o "${TMPDIR:-/tmp}/mrserve" ./cmd/mrserve
+
+"${TMPDIR:-/tmp}/mrserve" \
+	-expr 'lex(delay(32,3), bw(8))' \
+	-random 96 -p 0.035 -seed 1 -dests 12 -workers 4 \
+	-loadgen -duration 5s -readers 4 -event-every 10ms \
+	-out BENCH_serve.json \
+	"$@"
