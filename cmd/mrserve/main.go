@@ -8,19 +8,28 @@
 //	mrserve -expr 'lex(delay(32,3), bw(8))' -random 64 -dests 8
 //	mrserve -scenario drills/failover.mr -replay
 //	mrserve -expr 'delay(64,4)' -random 48 -loadgen -out BENCH_serve.json
+//	mrserve -telemetry-bench -out BENCH_telemetry.json
 //
 // Endpoints:
 //
 //	GET /route?from=U&dest=D   one node's route (weight, ECMP set, path)
 //	GET /paths?dest=D          every node's forwarding path toward D
 //	GET /event?arc=A&kind=fail inject a link failure (kind=up recovers;
-//	                           from=&to= names the arc by endpoints)
+//	                           from=&to= names the arc by endpoints;
+//	                           POST with a JSON body works too)
 //	GET /stats                 counters: queries, swaps, events,
 //	                           incremental vs full recomputes
+//	GET /metrics               Prometheus text format: query latency
+//	                           histogram, convergence gauges, solver
+//	                           stage counters
+//	GET /slowlog               recent queries over the slow threshold
+//	GET /debug/pprof/          CPU/heap/goroutine profiles (with -pprof)
 //
 // -loadgen skips HTTP and drives the server in-process with a
 // concurrent query + event mix, writing throughput/latency percentiles
 // and the incremental-vs-full event cost to -out (BENCH_serve.json).
+// -telemetry-bench measures the telemetry overhead on the query path
+// (paired instrumented vs bare servers) and writes BENCH_telemetry.json.
 package main
 
 import (
@@ -29,8 +38,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
-	"strconv"
 	"time"
 
 	"metarouting/internal/cliflag"
@@ -39,6 +48,7 @@ import (
 	"metarouting/internal/graph"
 	"metarouting/internal/scenario"
 	"metarouting/internal/serve"
+	"metarouting/internal/telemetry"
 	"metarouting/internal/value"
 )
 
@@ -53,20 +63,40 @@ func main() {
 		dests    = flag.Int("dests", 8, "number of originated destinations (spread over the nodes; ≤0 = every node)")
 		workers  = flag.Int("workers", 0, "snapshot builder worker pool size (≤0: 4)")
 		addr     = flag.String("addr", ":8348", "HTTP listen address")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		slowUS   = flag.Int64("slow-query-us", 1000, "slow-query log threshold in microseconds")
 		engine   = cliflag.Engine(nil)
 
 		loadgen    = flag.Bool("loadgen", false, "run the in-process load generator instead of serving HTTP")
 		duration   = flag.Duration("duration", 2*time.Second, "loadgen query phase length")
 		readers    = flag.Int("readers", 4, "loadgen concurrent reader goroutines")
 		eventEvery = flag.Duration("event-every", 20*time.Millisecond, "loadgen topology event period (0 disables)")
-		out        = flag.String("out", "", "loadgen: write the JSON report here ('' = stdout)")
+		out        = flag.String("out", "", "loadgen/telemetry-bench: write the JSON report here ('' = stdout)")
+
+		telemetryBench = flag.Bool("telemetry-bench", false, "measure telemetry overhead on the query path (paired instrumented vs bare) instead of serving")
+		benchQueries   = flag.Int("bench-queries", 50000, "telemetry-bench: Forward queries per round per side")
+		benchRounds    = flag.Int("bench-rounds", 5, "telemetry-bench: measured rounds per side")
 	)
 	flag.Parse()
 	if _, err := cliflag.ApplyEngine(*engine); err != nil {
 		fatal(err)
 	}
 
-	srv, sc, err := buildServer(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers)
+	if *telemetryBench {
+		runTelemetryBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *benchQueries, *benchRounds, *out)
+		return
+	}
+
+	// The load generator keeps the historical uninstrumented
+	// configuration so BENCH_serve.json stays comparable across PRs; the
+	// serving path always carries its registry.
+	var reg *telemetry.Registry
+	if !*loadgen {
+		reg = telemetry.NewRegistry()
+	}
+	srv, sc, err := buildServer(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, serve.Options{
+		Workers: *workers, Telemetry: reg, SlowQueryNS: *slowUS * 1000,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -86,10 +116,18 @@ func main() {
 		return
 	}
 
+	mux := serve.NewHandler(srv, reg)
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "mrserve: serving %d destinations on %d nodes / %d arcs (engine %s, %d workers) at %s\n",
-		st.Destinations, st.Nodes, st.Arcs, st.Engine, st.Workers, *addr)
-	if err := http.ListenAndServe(*addr, handler(srv)); err != nil {
+	fmt.Fprintf(os.Stderr, "mrserve: serving %d destinations on %d nodes / %d arcs (engine %s, %d workers) at %s (pprof %v)\n",
+		st.Destinations, st.Nodes, st.Arcs, st.Engine, st.Workers, *addr, *pprofOn)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}
 }
@@ -97,7 +135,7 @@ func main() {
 // buildServer assembles the server from either a scenario file or the
 // -expr/-random flags, originating the algebra's default weight at the
 // chosen destinations.
-func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers int) (*serve.Server, *scenario.Scenario, error) {
+func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount int, opts serve.Options) (*serve.Server, *scenario.Scenario, error) {
 	if scenFile != "" {
 		f, err := os.Open(scenFile)
 		if err != nil {
@@ -108,7 +146,7 @@ func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, d
 		if err != nil {
 			return nil, nil, err
 		}
-		srv, err := serve.NewFromScenario(sc, serve.Options{Workers: workers})
+		srv, err := serve.NewFromScenario(sc, opts)
 		return srv, sc, err
 	}
 	a, err := core.InferString(exprSrc)
@@ -129,14 +167,46 @@ func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, d
 	for i := 0; i < destCount; i++ {
 		origins[i*g.N/destCount] = origin
 	}
-	srv, err := serve.New(exec.For(a.OT, origin), g, origins, serve.Options{Workers: workers})
+	srv, err := serve.New(exec.For(a.OT, origin), g, origins, opts)
 	return srv, nil, err
 }
 
 // runLoadgen drives the load generator and writes the report.
 func runLoadgen(srv *serve.Server, opts serve.LoadOptions, out string) {
 	rep := serve.Load(srv, opts)
-	data, err := json.MarshalIndent(rep, "", "  ")
+	writeReport(rep, out)
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (%.0f qps, p99 %.1fµs, incremental event %.0fµs vs full rebuild %.0fµs)\n",
+			out, rep.QPS, rep.P99us, rep.IncrementalEventUS, rep.FullRebuildUS)
+	}
+}
+
+// runTelemetryBench builds two identical servers — one bare, one with a
+// registry — and writes the paired query-path overhead report.
+func runTelemetryBench(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers, queries, rounds int, out string) {
+	bare, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount, serve.Options{Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	defer bare.Close()
+	inst, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount, serve.Options{
+		Workers: workers, Telemetry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer inst.Close()
+	rep := serve.MeasureOverhead(bare, inst, queries, rounds, seed)
+	writeReport(rep, out)
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (bare %.0fns/op, instrumented %.0fns/op, overhead %.1f%%)\n",
+			out, rep.BareNSPerOp, rep.InstrumentedNSPerOp, rep.OverheadPct)
+	}
+}
+
+// writeReport marshals v to out ('' = stdout).
+func writeReport(v any, out string) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
@@ -148,122 +218,6 @@ func runLoadgen(srv *serve.Server, opts serve.LoadOptions, out string) {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "mrserve: wrote %s (%.0f qps, p99 %.1fµs, incremental event %.0fµs vs full rebuild %.0fµs)\n",
-		out, rep.QPS, rep.P99us, rep.IncrementalEventUS, rep.FullRebuildUS)
-}
-
-// routeReply is the /route response shape.
-type routeReply struct {
-	From    int    `json:"from"`
-	Dest    int    `json:"dest"`
-	Routed  bool   `json:"routed"`
-	Weight  string `json:"weight,omitempty"`
-	ECMP    []int  `json:"ecmp,omitempty"`
-	Path    []int  `json:"path,omitempty"`
-	Version uint64 `json:"snapshot_version"`
-	Err     string `json:"error,omitempty"`
-}
-
-func handler(srv *serve.Server) http.Handler {
-	mux := http.NewServeMux()
-	intArg := func(req *http.Request, key string) (int, error) {
-		v, err := strconv.Atoi(req.URL.Query().Get(key))
-		if err != nil {
-			return 0, fmt.Errorf("bad or missing %q parameter", key)
-		}
-		return v, nil
-	}
-	writeJSON := func(w http.ResponseWriter, status int, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		json.NewEncoder(w).Encode(v) //nolint:errcheck
-	}
-
-	mux.HandleFunc("/route", func(w http.ResponseWriter, req *http.Request) {
-		from, err1 := intArg(req, "from")
-		dest, err2 := intArg(req, "dest")
-		if err1 != nil || err2 != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "want /route?from=U&dest=D"})
-			return
-		}
-		sn := srv.Snapshot()
-		reply := routeReply{From: from, Dest: dest, Version: sn.Version}
-		if e := srv.Lookup(from, dest); e != nil {
-			reply.Routed = true
-			reply.Weight = value.Format(e.Weight)
-			reply.ECMP = e.NextHops
-			if path, err := sn.Forward(from, dest); err == nil {
-				reply.Path = path
-			} else {
-				reply.Err = err.Error()
-			}
-		}
-		writeJSON(w, http.StatusOK, reply)
-	})
-
-	mux.HandleFunc("/paths", func(w http.ResponseWriter, req *http.Request) {
-		dest, err := intArg(req, "dest")
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "want /paths?dest=D"})
-			return
-		}
-		sn := srv.Snapshot()
-		type nodePath struct {
-			Node int    `json:"node"`
-			Path []int  `json:"path,omitempty"`
-			Err  string `json:"error,omitempty"`
-		}
-		var out []nodePath
-		for u := 0; u < sn.Graph.N; u++ {
-			np := nodePath{Node: u}
-			if path, err := sn.Forward(u, dest); err == nil {
-				np.Path = path
-			} else {
-				np.Err = err.Error()
-			}
-			out = append(out, np)
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"dest": dest, "version": sn.Version, "paths": out})
-	})
-
-	mux.HandleFunc("/event", func(w http.ResponseWriter, req *http.Request) {
-		kind := req.URL.Query().Get("kind")
-		if kind != "fail" && kind != "up" {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "want kind=fail or kind=up"})
-			return
-		}
-		fail := kind == "fail"
-		var applied bool
-		var recomputed int
-		var err error
-		if req.URL.Query().Get("arc") != "" {
-			var arc int
-			if arc, err = intArg(req, "arc"); err == nil {
-				applied, recomputed, err = srv.ApplyEvent(arc, fail)
-			}
-		} else {
-			from, err1 := intArg(req, "from")
-			to, err2 := intArg(req, "to")
-			if err1 != nil || err2 != nil {
-				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "want arc=A or from=U&to=V"})
-				return
-			}
-			applied, recomputed, err = srv.ApplyEventEndpoints(from, to, fail)
-		}
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"applied": applied, "recomputed_dests": recomputed,
-			"version": srv.Snapshot().Version,
-		})
-	})
-
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, http.StatusOK, srv.Stats())
-	})
-	return mux
 }
 
 func fatal(err error) {

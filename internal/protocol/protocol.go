@@ -26,6 +26,7 @@ import (
 	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/ost"
+	"metarouting/internal/telemetry"
 	"metarouting/internal/value"
 )
 
@@ -111,6 +112,11 @@ type Config struct {
 	// changes. For tracing and debugging; it must not retain the Event's
 	// Path slice beyond the call.
 	Observer func(Event)
+	// Trace, when non-nil, receives the same stream as telemetry trace
+	// events (kinds "deliver", "select", "link") with weights and paths
+	// rendered into Detail. A deterministic run produces a bit-identical
+	// trace — the determinism regression test relies on this.
+	Trace telemetry.Tracer
 	// DistanceVector disables route paths and loop rejection, turning the
 	// protocol into an asynchronous distance-vector (RIP-like) scheme.
 	// On increasing algebras with a saturating ⊤ this counts up to the
@@ -169,6 +175,29 @@ type Outcome struct {
 	// messages were still in flight — a certificate of livelock for
 	// deterministic schedules.
 	Oscillating bool
+	// Convergence holds the run's convergence telemetry.
+	Convergence Convergence
+}
+
+// Convergence is the per-run convergence telemetry: what an operator
+// watches after a topology event — how long the network took to go
+// quiet, how chatty each node was, and how often routes flapped. All
+// counters are exact and deterministic for a given seed and config.
+type Convergence struct {
+	// QuiescedAt is the simulation time of the last processed activity
+	// (message delivery or topology event). When the run converged it is
+	// the time-to-quiescence; for a diverging run it is just where the
+	// step budget ran out.
+	QuiescedAt int64
+	// Announcements counts advertisements/withdrawals sent per node.
+	Announcements []int
+	// Deliveries counts messages processed per node.
+	Deliveries []int
+	// Flaps counts best-route changes per node toward the run's
+	// destination (the origination never flaps).
+	Flaps []int
+	// TotalFlaps sums Flaps.
+	TotalFlaps int
 }
 
 // Validate checks a configuration against the graph it will run on:
@@ -238,6 +267,11 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 	events := append([]LinkEvent(nil), cfg.Events...)
 	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
 
+	conv := Convergence{
+		Announcements: make([]int, g.N),
+		Deliveries:    make([]int, g.N),
+		Flaps:         make([]int, g.N),
+	}
 	var q msgQueue
 	seq := 0
 	now := int64(0)
@@ -267,6 +301,7 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 			} else {
 				m.withdraw = true
 			}
+			conv.Announcements[u]++
 			heap.Push(&q, m)
 		}
 	}
@@ -294,9 +329,36 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 				nodes[u].bestFrom = v
 			}
 		}
-		return prevHas != nodes[u].hasBest ||
+		changed := prevHas != nodes[u].hasBest ||
 			(nodes[u].hasBest && (prevFrom != nodes[u].bestFrom || prev.weight != nodes[u].best.weight ||
 				!samePath(prev.path, nodes[u].best.path)))
+		if changed {
+			conv.Flaps[u]++
+			conv.TotalFlaps++
+		}
+		return changed
+	}
+
+	// noteSelect reports a committed route change at u to the observer
+	// and the trace — every reselection, whether a delivery or a local
+	// interface-down triggered it, goes through here so flap counts and
+	// trace "select" events stay in one-to-one correspondence.
+	noteSelect := func(u int) {
+		if cfg.Observer != nil {
+			ev := Event{Kind: EvSelect, At: now, Node: u, Withdraw: !nodes[u].hasBest}
+			if nodes[u].hasBest {
+				ev.Weight = eng.Value(nodes[u].best.weight)
+				ev.Path = nodes[u].best.path
+			}
+			cfg.Observer(ev)
+		}
+		if cfg.Trace != nil {
+			detail := "lost"
+			if nodes[u].hasBest {
+				detail = fmt.Sprintf("%s %v", value.Format(eng.Value(nodes[u].best.weight)), nodes[u].best.path)
+			}
+			cfg.Trace.Trace(telemetry.TraceEvent{At: now, Kind: "select", Node: u, Detail: detail})
+		}
 	}
 
 	// fire applies a topology event: a failed out-arc costs its tail the
@@ -311,9 +373,17 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 		if cfg.Observer != nil {
 			cfg.Observer(Event{Kind: EvLinkChange, At: now, Node: arc.From, Arc: ev.Arc, Fail: ev.Fail})
 		}
+		if cfg.Trace != nil {
+			detail := "up"
+			if ev.Fail {
+				detail = "fail"
+			}
+			cfg.Trace.Trace(telemetry.TraceEvent{At: now, Kind: "link", Node: arc.From, Arc: ev.Arc, Detail: detail})
+		}
 		if ev.Fail {
 			delete(nodes[arc.From].rib, arc.To)
 			if reselect(arc.From) {
+				noteSelect(arc.From)
 				advertise(arc.From)
 			}
 		} else {
@@ -337,6 +407,7 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 		now = m.at
 		steps++
 		u := m.to
+		conv.Deliveries[u]++
 		if cfg.Observer != nil {
 			ev := Event{Kind: EvDeliver, At: now, Node: u, From: m.from,
 				Withdraw: m.withdraw, Path: m.rt.path}
@@ -344,6 +415,13 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 				ev.Weight = eng.Value(m.rt.weight)
 			}
 			cfg.Observer(ev)
+		}
+		if cfg.Trace != nil {
+			detail := "withdraw"
+			if !m.withdraw {
+				detail = fmt.Sprintf("%s %v", value.Format(eng.Value(m.rt.weight)), m.rt.path)
+			}
+			cfg.Trace.Trace(telemetry.TraceEvent{At: now, Kind: "deliver", Node: u, From: m.from, Detail: detail})
 		}
 		// Resolve the arc (u → m.from) the advertisement travelled
 		// against; deliveries over a failed link are lost.
@@ -373,25 +451,20 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 			nodes[u].rib[m.from] = route{weight: w, path: path}
 		}
 		if reselect(u) {
-			if cfg.Observer != nil {
-				ev := Event{Kind: EvSelect, At: now, Node: u, Withdraw: !nodes[u].hasBest}
-				if nodes[u].hasBest {
-					ev.Weight = eng.Value(nodes[u].best.weight)
-					ev.Path = nodes[u].best.path
-				}
-				cfg.Observer(ev)
-			}
+			noteSelect(u)
 			advertise(u)
 		}
 	}
 
+	conv.QuiescedAt = now
 	out := &Outcome{
-		Converged: q.Len() == 0,
-		Steps:     steps,
-		Routed:    make([]bool, g.N),
-		Weights:   make([]value.V, g.N),
-		Paths:     make([][]int, g.N),
-		NextHop:   make([]int, g.N),
+		Converged:   q.Len() == 0,
+		Steps:       steps,
+		Routed:      make([]bool, g.N),
+		Weights:     make([]value.V, g.N),
+		Paths:       make([][]int, g.N),
+		NextHop:     make([]int, g.N),
+		Convergence: conv,
 	}
 	out.Oscillating = !out.Converged
 	for i := range nodes {

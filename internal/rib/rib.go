@@ -145,6 +145,9 @@ func (r *RIB) Forward(from, dest int) (graph.Path, error) {
 	if !ok {
 		return nil, fmt.Errorf("rib: unknown destination %d", dest)
 	}
+	if from < 0 || from >= len(entries) {
+		return nil, fmt.Errorf("rib: node %d out of range [0,%d)", from, len(entries))
+	}
 	var p graph.Path
 	seen := make(map[int]bool)
 	u := from

@@ -1,0 +1,199 @@
+package serve
+
+// This file holds the HTTP/JSON API that cmd/mrserve mounts — kept in
+// the library so the decoding logic is unit- and fuzz-testable without
+// booting the binary. Every endpoint answers JSON; malformed input,
+// out-of-range node ids and oversized bodies are 4xx replies, never
+// panics (FuzzRouteHandler/FuzzEventHandler assert exactly that).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"metarouting/internal/telemetry"
+	"metarouting/internal/value"
+)
+
+// maxEventBody bounds POST /event payloads; anything larger is a 4xx.
+const maxEventBody = 1 << 20
+
+// RouteReply is the /route response shape.
+type RouteReply struct {
+	From    int    `json:"from"`
+	Dest    int    `json:"dest"`
+	Routed  bool   `json:"routed"`
+	Weight  string `json:"weight,omitempty"`
+	ECMP    []int  `json:"ecmp,omitempty"`
+	Path    []int  `json:"path,omitempty"`
+	Version uint64 `json:"snapshot_version"`
+	Err     string `json:"error,omitempty"`
+}
+
+// EventRequest is the POST /event body: either Arc or From/To names the
+// link, Kind is "fail" or "up".
+type EventRequest struct {
+	Arc  *int   `json:"arc,omitempty"`
+	From *int   `json:"from,omitempty"`
+	To   *int   `json:"to,omitempty"`
+	Kind string `json:"kind"`
+}
+
+// NewHandler returns the server's HTTP API: /route, /paths, /event
+// (GET query params or POST JSON body), /stats, /slowlog and — when reg
+// is non-nil — /metrics in Prometheus text format. The returned mux is
+// open for extension (cmd/mrserve mounts pprof on it behind -pprof).
+func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v) //nolint:errcheck
+	}
+	badRequest := func(w http.ResponseWriter, format string, args ...any) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
+	}
+	intArg := func(req *http.Request, key string) (int, error) {
+		v, err := strconv.Atoi(req.URL.Query().Get(key))
+		if err != nil {
+			return 0, fmt.Errorf("bad or missing %q parameter", key)
+		}
+		return v, nil
+	}
+	// nodeArg additionally range-checks against the topology: an id
+	// outside [0, N) can never name a node, so it is a client error, not
+	// an empty answer.
+	nodeArg := func(req *http.Request, key string) (int, error) {
+		v, err := intArg(req, key)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 || v >= srv.base.N {
+			return 0, fmt.Errorf("%q = %d out of range [0,%d)", key, v, srv.base.N)
+		}
+		return v, nil
+	}
+
+	mux.HandleFunc("/route", func(w http.ResponseWriter, req *http.Request) {
+		from, err1 := nodeArg(req, "from")
+		dest, err2 := nodeArg(req, "dest")
+		if err1 != nil || err2 != nil {
+			badRequest(w, "want /route?from=U&dest=D: %v", errors.Join(err1, err2))
+			return
+		}
+		sn := srv.Snapshot()
+		reply := RouteReply{From: from, Dest: dest, Version: sn.Version}
+		if e := srv.Lookup(from, dest); e != nil {
+			reply.Routed = true
+			reply.Weight = value.Format(e.Weight)
+			reply.ECMP = e.NextHops
+			if path, err := srv.Forward(from, dest); err == nil {
+				reply.Path = path
+			} else {
+				reply.Err = err.Error()
+			}
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
+
+	mux.HandleFunc("/paths", func(w http.ResponseWriter, req *http.Request) {
+		dest, err := nodeArg(req, "dest")
+		if err != nil {
+			badRequest(w, "want /paths?dest=D: %v", err)
+			return
+		}
+		sn := srv.Snapshot()
+		type nodePath struct {
+			Node int   `json:"node"`
+			Path []int `json:"path,omitempty"`
+			Err  string `json:"error,omitempty"`
+		}
+		var out []nodePath
+		for u := 0; u < sn.Graph.N; u++ {
+			np := nodePath{Node: u}
+			if path, err := sn.Forward(u, dest); err == nil {
+				np.Path = path
+			} else {
+				np.Err = err.Error()
+			}
+			out = append(out, np)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dest": dest, "version": sn.Version, "paths": out})
+	})
+
+	mux.HandleFunc("/event", func(w http.ResponseWriter, req *http.Request) {
+		var ev EventRequest
+		if req.Method == http.MethodPost {
+			body := http.MaxBytesReader(w, req.Body, maxEventBody)
+			dec := json.NewDecoder(body)
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&ev); err != nil {
+				status := http.StatusBadRequest
+				var tooBig *http.MaxBytesError
+				if errors.As(err, &tooBig) {
+					status = http.StatusRequestEntityTooLarge
+				}
+				writeJSON(w, status, map[string]string{"error": "bad event body: " + err.Error()})
+				return
+			}
+		} else {
+			q := req.URL.Query()
+			ev.Kind = q.Get("kind")
+			for key, dst := range map[string]**int{"arc": &ev.Arc, "from": &ev.From, "to": &ev.To} {
+				if q.Get(key) == "" {
+					continue
+				}
+				v, err := intArg(req, key)
+				if err != nil {
+					badRequest(w, "%v", err)
+					return
+				}
+				*dst = &v
+			}
+		}
+		if ev.Kind != "fail" && ev.Kind != "up" {
+			badRequest(w, "want kind=fail or kind=up")
+			return
+		}
+		fail := ev.Kind == "fail"
+		var applied bool
+		var recomputed int
+		var err error
+		switch {
+		case ev.Arc != nil:
+			applied, recomputed, err = srv.ApplyEvent(*ev.Arc, fail)
+		case ev.From != nil && ev.To != nil:
+			applied, recomputed, err = srv.ApplyEventEndpoints(*ev.From, *ev.To, fail)
+		default:
+			badRequest(w, "want arc=A or from=U&to=V")
+			return
+		}
+		if err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"applied": applied, "recomputed_dests": recomputed,
+			"version": srv.Snapshot().Version,
+		})
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, req *http.Request) {
+		slow := srv.SlowQueries()
+		if slow == nil {
+			slow = []SlowQuery{}
+		}
+		writeJSON(w, http.StatusOK, slow)
+	})
+
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}

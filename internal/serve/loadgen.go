@@ -9,9 +9,10 @@ package serve
 import (
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
+
+	"metarouting/internal/telemetry"
 )
 
 // LoadOptions parameterizes a load run.
@@ -151,14 +152,9 @@ func Load(s *Server, opts LoadOptions) *LoadReport {
 			maxNS = o.maxNS
 		}
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(lats)-1))
-		return float64(lats[idx]) / 1e3
-	}
+	// Percentiles come from the shared telemetry quantile code (same
+	// nearest-rank convention this report has always used).
+	qs := telemetry.Quantiles(lats, 0.50, 0.90, 0.99)
 
 	// Drain the garbage the query phase generated so collector pauses do
 	// not land inside the timing pairs below.
@@ -193,9 +189,9 @@ func Load(s *Server, opts LoadOptions) *LoadReport {
 		Readers:        opts.Readers,
 		Queries:        queries,
 		QPS:            float64(queries) / opts.Duration.Seconds(),
-		P50us:          pct(0.50),
-		P90us:          pct(0.90),
-		P99us:          pct(0.99),
+		P50us:          float64(qs[0]) / 1e3,
+		P90us:          float64(qs[1]) / 1e3,
+		P99us:          float64(qs[2]) / 1e3,
 		MaxReadStallUS: float64(maxNS) / 1e3,
 		Events:         evCount,
 		Stats:          s.Stats(),

@@ -1,0 +1,92 @@
+package serve
+
+// This file measures what the telemetry subsystem costs on the query
+// path: two identically built servers — one bare, one with a registry —
+// answer the same deterministic query mix in interleaved rounds, and
+// the per-op difference is the instrumentation overhead. cmd/mrserve
+// -telemetry-bench writes the result to BENCH_telemetry.json; the
+// acceptance bar is ≤ 10% overhead.
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// OverheadReport is the paired instrumented-vs-bare measurement.
+type OverheadReport struct {
+	QueriesPerSide      int     `json:"queries_per_side"`
+	Rounds              int     `json:"rounds"`
+	BareNSPerOp         float64 `json:"bare_ns_per_op"`
+	InstrumentedNSPerOp float64 `json:"instrumented_ns_per_op"`
+	OverheadPct         float64 `json:"overhead_pct"`
+	Engine              string  `json:"engine"`
+	Nodes               int     `json:"nodes"`
+	Arcs                int     `json:"arcs"`
+	Destinations        int     `json:"destinations"`
+}
+
+// MeasureOverhead drives bare and instrumented — two servers built over
+// the same engine, topology and originations, differing only in
+// Options.Telemetry — with an identical deterministic Forward query
+// sequence, rounds times each, alternating which side goes first so
+// clock drift and cache warmth cancel. queries is the per-round batch
+// size (≤ 0: 50 000), rounds the number of measured batches per side
+// (≤ 0: 5); one unmeasured warmup round runs first.
+func MeasureOverhead(bare, instrumented *Server, queries, rounds int, seed int64) *OverheadReport {
+	if queries <= 0 {
+		queries = 50_000
+	}
+	if rounds <= 0 {
+		rounds = 5
+	}
+	r := rand.New(rand.NewSource(seed))
+	dests := bare.Dests()
+	n := bare.base.N
+	froms := make([]int, queries)
+	tos := make([]int, queries)
+	for i := range froms {
+		froms[i] = r.Intn(n)
+		tos[i] = dests[r.Intn(len(dests))]
+	}
+	batch := func(s *Server) time.Duration {
+		t0 := time.Now()
+		for i := range froms {
+			s.Forward(froms[i], tos[i]) //nolint:errcheck — missing routes are a valid answer
+		}
+		return time.Since(t0)
+	}
+
+	// Warmup both sides, then drain the garbage so collector pauses do
+	// not land inside one side's batches.
+	batch(bare)
+	batch(instrumented)
+	runtime.GC()
+
+	var bareNS, instNS int64
+	for round := 0; round < rounds; round++ {
+		if round%2 == 0 {
+			bareNS += batch(bare).Nanoseconds()
+			instNS += batch(instrumented).Nanoseconds()
+		} else {
+			instNS += batch(instrumented).Nanoseconds()
+			bareNS += batch(bare).Nanoseconds()
+		}
+	}
+
+	ops := float64(queries * rounds)
+	rep := &OverheadReport{
+		QueriesPerSide:      queries * rounds,
+		Rounds:              rounds,
+		BareNSPerOp:         float64(bareNS) / ops,
+		InstrumentedNSPerOp: float64(instNS) / ops,
+		Engine:              bare.Stats().Engine,
+		Nodes:               n,
+		Arcs:                len(bare.base.Arcs),
+		Destinations:        len(dests),
+	}
+	if bareNS > 0 {
+		rep.OverheadPct = (rep.InstrumentedNSPerOp - rep.BareNSPerOp) / rep.BareNSPerOp * 100
+	}
+	return rep
+}

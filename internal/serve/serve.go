@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metarouting/internal/exec"
 	"metarouting/internal/graph"
@@ -36,6 +37,7 @@ import (
 	"metarouting/internal/rib"
 	"metarouting/internal/scenario"
 	"metarouting/internal/solve"
+	"metarouting/internal/telemetry"
 	"metarouting/internal/value"
 )
 
@@ -43,6 +45,18 @@ import (
 type Options struct {
 	// Workers sizes the snapshot builder's worker pool (≤ 0: 4).
 	Workers int
+	// Telemetry, when non-nil, registers the server's metrics (counters,
+	// convergence gauges, query/reconvergence latency histograms,
+	// per-solve timings) under the mrserve_ prefix and enables the
+	// slow-query log. Query latencies are sampled 1-in-16 (see
+	// querySampleMask) so the timing cost stays inside the overhead
+	// budget. With a nil registry the server keeps only its bare
+	// counters — the Stats JSON shape is identical either way, and the
+	// query path pays zero timing overhead.
+	Telemetry *telemetry.Registry
+	// SlowQueryNS is the slow-query log threshold in nanoseconds
+	// (≤ 0: 1ms). Only meaningful with Telemetry set.
+	SlowQueryNS int64
 }
 
 // Snapshot is one immutable generation of route tables. All methods are
@@ -116,9 +130,27 @@ type Server struct {
 	tasks chan func(*solve.Workspace)
 	wg    sync.WaitGroup
 
-	queries, swaps, events     atomic.Uint64
-	incremental, full          atomic.Uint64
-	destRecomputes, destReuses atomic.Uint64
+	queries, swaps, events     telemetry.Counter
+	incremental, full          telemetry.Counter
+	destRecomputes, destReuses telemetry.Counter
+
+	// Instrumentation below is nil/zero unless Options.Telemetry was set.
+	flaps        telemetry.Counter // route entries changed across swaps
+	queryNS      *telemetry.Histogram
+	eventNS      *telemetry.Histogram
+	lastEventNS  telemetry.Gauge
+	solveMetrics *solve.Metrics
+	slowNS       int64
+	slow         *telemetry.Ring[SlowQuery]
+}
+
+// SlowQuery is one record in the slow-query log: a Forward resolution
+// that crossed the Options.SlowQueryNS threshold.
+type SlowQuery struct {
+	From    int    `json:"from"`
+	Dest    int    `json:"dest"`
+	NS      int64  `json:"ns"`
+	Version uint64 `json:"snapshot_version"`
 }
 
 // New builds a server over an execution engine, a base topology and the
@@ -155,11 +187,23 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts Options
 		disabled: make([]bool, len(g.Arcs)),
 		tasks:    make(chan func(*solve.Workspace)),
 	}
+	if opts.Telemetry != nil {
+		s.queryNS = telemetry.NewLatencyHistogram()
+		s.eventNS = telemetry.NewLatencyHistogram()
+		s.solveMetrics = solve.NewMetrics()
+		s.slowNS = opts.SlowQueryNS
+		if s.slowNS <= 0 {
+			s.slowNS = int64(time.Millisecond)
+		}
+		s.slow = telemetry.NewRing[SlowQuery](128)
+		s.register(opts.Telemetry)
+	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			ws := solve.NewWorkspace()
+			ws.Metrics = s.solveMetrics
 			for fn := range s.tasks {
 				fn(ws)
 			}
@@ -173,6 +217,55 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts Options
 	}
 	s.publish(view, table, unconv)
 	return s, nil
+}
+
+// register exposes the server's metrics in reg. Called once from New;
+// the gauge funcs read live server state at scrape time.
+func (s *Server) register(reg *telemetry.Registry) {
+	reg.AddCounter("mrserve_queries_total", "Route queries served (Lookup, Forward, ECMPWidth).", &s.queries)
+	reg.AddCounter("mrserve_snapshot_swaps_total", "Snapshots published.", &s.swaps)
+	reg.AddCounter("mrserve_events_applied_total", "Topology events that changed the graph.", &s.events)
+	reg.AddCounter(`mrserve_recomputes_total{kind="incremental"}`, "Snapshot builds by kind.", &s.incremental)
+	reg.AddCounter(`mrserve_recomputes_total{kind="full"}`, "", &s.full)
+	reg.AddCounter("mrserve_dest_recomputes_total", "Destination columns recomputed.", &s.destRecomputes)
+	reg.AddCounter("mrserve_dest_reuses_total", "Destination columns shared with the previous snapshot.", &s.destReuses)
+	reg.AddCounter("mrserve_route_flaps_total", "Route entries that changed across snapshot swaps.", &s.flaps)
+	reg.AddGaugeFunc("mrserve_snapshot_version", "Version of the published snapshot.", func() float64 {
+		if sn := s.snap.Load(); sn != nil {
+			return float64(sn.Version)
+		}
+		return 0
+	})
+	reg.AddGaugeFunc("mrserve_convergence_unconverged_destinations",
+		"Destinations whose fixpoint did not settle in the published snapshot.", func() float64 {
+			if sn := s.snap.Load(); sn != nil {
+				return float64(len(sn.Unconverged))
+			}
+			return 0
+		})
+	reg.AddGaugeFunc("mrserve_convergence_last_event_seconds",
+		"Reconvergence time of the most recent applied topology event.", func() float64 {
+			return float64(s.lastEventNS.Load()) / 1e9
+		})
+	reg.AddGaugeFunc("mrserve_disabled_arcs", "Arcs currently failed.", func() float64 {
+		n := 0
+		if sn := s.snap.Load(); sn != nil {
+			for _, d := range sn.Disabled {
+				if d {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	})
+	reg.AddGaugeFunc("mrserve_destinations", "Originated destinations.", func() float64 { return float64(len(s.dests)) })
+	reg.AddGaugeFunc("mrserve_nodes", "Topology node count.", func() float64 { return float64(s.base.N) })
+	reg.AddGaugeFunc("mrserve_arcs", "Topology arc count.", func() float64 { return float64(len(s.base.Arcs)) })
+	reg.AddGaugeFunc("mrserve_workers", "Snapshot builder worker pool size.", func() float64 { return float64(s.workers) })
+	reg.AddHistogram("mrserve_query_seconds", "Per-query latency (a Forward resolution).", s.queryNS, 1e9)
+	reg.AddHistogram("mrserve_convergence_event_seconds",
+		"Reconvergence latency per applied topology event (recompute + snapshot swap).", s.eventNS, 1e9)
+	s.solveMetrics.Register(reg, "mrserve_solve")
 }
 
 // NewFromScenario builds a server from a parsed scenario: its engine,
@@ -247,6 +340,9 @@ func (s *Server) publish(view *graph.Graph, table map[int][]*rib.Entry, unconver
 	var version uint64 = 1
 	if cur := s.snap.Load(); cur != nil {
 		version = cur.Version + 1
+		if s.queryNS != nil {
+			s.flaps.Add(countFlaps(cur.table, table))
+		}
 	}
 	sn := &Snapshot{
 		Version:     version,
@@ -258,6 +354,49 @@ func (s *Server) publish(view *graph.Graph, table map[int][]*rib.Entry, unconver
 	}
 	s.snap.Store(sn)
 	s.swaps.Add(1)
+}
+
+// countFlaps compares recomputed columns against their predecessors and
+// counts entries that actually changed (weight or ECMP set) — the
+// route-flap reading behind mrserve_route_flaps_total. Columns shared
+// by reference (skipped destinations) are recognized and cost nothing;
+// the comparison of recomputed columns is O(N) per column, the same
+// order as the recompute that produced them.
+func countFlaps(prev, next map[int][]*rib.Entry) uint64 {
+	var flaps uint64
+	for d, col := range next {
+		old, ok := prev[d]
+		if !ok || len(col) == 0 || len(old) != len(col) {
+			continue
+		}
+		if &old[0] == &col[0] {
+			continue // shared column: untouched by this swap
+		}
+		for u := range col {
+			if !entryEqual(col[u], old[u]) {
+				flaps++
+			}
+		}
+	}
+	return flaps
+}
+
+func entryEqual(a, b *rib.Entry) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Weight != b.Weight || len(a.NextHops) != len(b.NextHops) {
+		return false
+	}
+	for i := range a.NextHops {
+		if a.NextHops[i] != b.NextHops[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ApplyEvent applies a link failure (fail=true) or recovery to the arc
@@ -277,6 +416,10 @@ func (s *Server) ApplyEvent(arc int, fail bool) (applied bool, recomputed int, e
 	}
 	if s.disabled[arc] == fail {
 		return false, 0, nil
+	}
+	var t0 time.Time
+	if s.eventNS != nil {
+		t0 = time.Now()
 	}
 	cur := s.snap.Load()
 	s.disabled[arc] = fail
@@ -307,6 +450,11 @@ func (s *Server) ApplyEvent(arc int, fail bool) (applied bool, recomputed int, e
 	}
 	s.destRecomputes.Add(uint64(len(recompute)))
 	s.destReuses.Add(uint64(len(s.dests) - len(recompute)))
+	if s.eventNS != nil {
+		ns := time.Since(t0).Nanoseconds()
+		s.eventNS.Observe(ns)
+		s.lastEventNS.Set(ns)
+	}
 	return true, len(recompute), nil
 }
 
@@ -371,11 +519,44 @@ func (s *Server) Lookup(node, dest int) *rib.Entry {
 	return s.snap.Load().Lookup(node, dest)
 }
 
+// querySampleMask selects which queries are timed when telemetry is
+// enabled: every (mask+1)-th query (per the shared counter) pays the
+// two clock reads and the histogram observe, the rest run bare. A
+// resolution is fast enough (hundreds of ns on compiled engines) that
+// unsampled timing would cost more than the 10 % overhead budget
+// allows; 1-in-16 sampling keeps the histogram statistically faithful —
+// the sample index is decoupled from query content — at a sixteenth of
+// the cost. The slow-query log sees sampled queries only.
+const querySampleMask = 15
+
 // Forward resolves the forwarding path from a node toward dest against
-// the current snapshot, lock-free.
+// the current snapshot, lock-free. This is the instrumented query path:
+// with telemetry enabled every querySampleMask+1-th resolution lands in
+// the query latency histogram, and sampled resolutions over the
+// slow-query threshold are logged.
 func (s *Server) Forward(from, dest int) (graph.Path, error) {
-	s.queries.Add(1)
-	return s.snap.Load().Forward(from, dest)
+	n := s.queries.Add(1)
+	if s.queryNS == nil || n&querySampleMask != 0 {
+		return s.snap.Load().Forward(from, dest)
+	}
+	t0 := time.Now()
+	sn := s.snap.Load()
+	p, err := sn.Forward(from, dest)
+	ns := time.Since(t0).Nanoseconds()
+	s.queryNS.Observe(ns)
+	if ns >= s.slowNS {
+		s.slow.Push(SlowQuery{From: from, Dest: dest, NS: ns, Version: sn.Version})
+	}
+	return p, err
+}
+
+// SlowQueries returns the retained slow-query log, oldest first (empty
+// without telemetry).
+func (s *Server) SlowQueries() []SlowQuery {
+	if s.slow == nil {
+		return nil
+	}
+	return s.slow.Items()
 }
 
 // ECMPWidth returns the equal-cost next-hop count at node toward dest in

@@ -1,0 +1,150 @@
+package serve_test
+
+// Integration tests for the serve-side telemetry: the query histogram,
+// the slow-query ring, route-flap counting and the solver stage
+// counters, all observed through the Prometheus exposition the way an
+// operator would.
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/serve"
+	"metarouting/internal/telemetry"
+	"metarouting/internal/value"
+)
+
+// metricValue extracts a sample by exact line prefix ("name " or
+// "name{labels} ") from a Prometheus exposition dump.
+func metricValue(t *testing.T, dump, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(dump, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad sample %q: %v", name, line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, dump)
+	return 0
+}
+
+func TestServeTelemetry(t *testing.T) {
+	a, err := core.InferString("lex(delay(16,3), hops(8))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	g := graph.Grid(r, 4, 4, graph.UniformLabels(a.OT.F.Size()))
+	origins := map[int]value.V{0: value.Pair{A: 0, B: 0}, 15: value.Pair{A: 1, B: 0}}
+	reg := telemetry.NewRegistry()
+	srv, err := serve.New(exec.For(a.OT), g, origins, serve.Options{
+		Workers: 2, Telemetry: reg,
+		SlowQueryNS: 1, // every timed query crosses the threshold
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dump := func() string {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	// The query path samples 1 in 16 resolutions into the histogram (and
+	// the slow log); the queries counter still sees every call.
+	const queries = 32
+	const sampled = queries / 16
+	for i := 0; i < queries; i++ {
+		if _, err := srv.Forward(i%g.N, 0); err != nil {
+			t.Fatalf("forward %d: %v", i, err)
+		}
+	}
+	d := dump()
+	if got := metricValue(t, d, "mrserve_queries_total"); got != queries {
+		t.Fatalf("queries_total = %v, want %d", got, queries)
+	}
+	if got := metricValue(t, d, "mrserve_query_seconds_count"); got != sampled {
+		t.Fatalf("query histogram count = %v, want %d sampled", got, sampled)
+	}
+	if got := metricValue(t, d, `mrserve_query_seconds_bucket{le="+Inf"}`); got != sampled {
+		t.Fatalf("+Inf bucket = %v, want %d", got, sampled)
+	}
+	// Snapshot building ran the solver through instrumented workspaces.
+	if got := metricValue(t, d, "mrserve_solve_runs_total"); got < 2 {
+		t.Fatalf("solve runs = %v, want ≥ number of destinations", got)
+	}
+	if got := metricValue(t, d, "mrserve_solve_relaxations_total"); got <= 0 {
+		t.Fatalf("solve relaxations = %v, want > 0", got)
+	}
+
+	// With a 1ns threshold every sampled query lands in the slow-query
+	// ring, newest-capped at the ring size.
+	slow := srv.SlowQueries()
+	if len(slow) != sampled {
+		t.Fatalf("slow queries = %d, want %d", len(slow), sampled)
+	}
+	for _, sq := range slow {
+		if sq.NS <= 0 || sq.Dest != 0 {
+			t.Fatalf("bad slow-query record: %+v", sq)
+		}
+	}
+
+	// Fail an arc that carries a live forwarding path: the affected
+	// nodes must re-select, which the flap counter records.
+	path, err := srv.Forward(5, 0)
+	if err != nil || len(path) < 2 {
+		t.Fatalf("need a multi-hop path to break: %v %v", path, err)
+	}
+	arcIdxs, ok := g.ArcsOf(path)
+	if !ok {
+		t.Fatalf("path %v not an arc walk", path)
+	}
+	if _, _, err := srv.ApplyEvent(arcIdxs[0], true); err != nil {
+		t.Fatal(err)
+	}
+	d = dump()
+	if got := metricValue(t, d, "mrserve_route_flaps_total"); got <= 0 {
+		t.Fatalf("route_flaps_total = %v, want > 0 after breaking a live path", got)
+	}
+	if got := metricValue(t, d, "mrserve_events_applied_total"); got != 1 {
+		t.Fatalf("events_applied_total = %v, want 1", got)
+	}
+	if got := metricValue(t, d, "mrserve_convergence_event_seconds_count"); got != 1 {
+		t.Fatalf("event histogram count = %v, want 1", got)
+	}
+	if got := metricValue(t, d, "mrserve_disabled_arcs"); got != 1 {
+		t.Fatalf("disabled_arcs = %v, want 1", got)
+	}
+
+	// The uninstrumented configuration keeps the hot path bare: no
+	// histogram, no slow ring, but the cheap counters still serve Stats.
+	bare, err := serve.New(exec.For(a.OT), g, origins, serve.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := bare.Forward(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := bare.SlowQueries(); got != nil {
+		t.Fatalf("bare server must not keep a slow log: %v", got)
+	}
+	if st := bare.Stats(); st.Queries != 1 {
+		t.Fatalf("bare stats queries = %d, want 1", st.Queries)
+	}
+}

@@ -3,6 +3,7 @@ package solve
 import (
 	"container/heap"
 	"sort"
+	"time"
 
 	"metarouting/internal/exec"
 	"metarouting/internal/graph"
@@ -153,6 +154,11 @@ type Workspace struct {
 	routed, prevR []bool
 	w, prevW      []int32
 	nextHop       []int
+
+	// Metrics, when non-nil, receives per-stage solver telemetry (run
+	// durations, relax-pass and relaxation counts, buffer reuse). Several
+	// workspaces may share one Metrics.
+	Metrics *Metrics
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
@@ -166,6 +172,11 @@ func (ws *Workspace) reset(n, dest int, origin int32) {
 		ws.w = make([]int32, n)
 		ws.prevW = make([]int32, n)
 		ws.nextHop = make([]int, n)
+		if ws.Metrics != nil {
+			ws.Metrics.Grows.Inc()
+		}
+	} else if ws.Metrics != nil {
+		ws.Metrics.ReuseHits.Inc()
 	}
 	ws.routed = ws.routed[:n]
 	ws.prevR = ws.prevR[:n]
@@ -208,7 +219,25 @@ func BellmanFordEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.
 // BellmanFord runs BellmanFordEngine out of the workspace's reusable
 // buffers. The returned Result owns fresh copies of its slices and is
 // bit-identical to a BellmanFordEngine call with the same arguments.
+// When ws.Metrics is set, the run's duration, relax passes and
+// relaxation count are recorded (one clock read pair per run — the
+// inner loops stay uninstrumented).
 func (ws *Workspace) BellmanFord(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) *Result {
+	var t0 time.Time
+	if ws.Metrics != nil {
+		t0 = time.Now()
+	}
+	res, relaxations := ws.bellmanFord(eng, g, dest, origin, maxRounds)
+	if m := ws.Metrics; m != nil {
+		m.Runs.Inc()
+		m.Rounds.Add(uint64(res.Rounds))
+		m.Relaxations.Add(relaxations)
+		m.SolveNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	return res
+}
+
+func (ws *Workspace) bellmanFord(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) (*Result, uint64) {
 	if maxRounds <= 0 {
 		maxRounds = 2*g.N + 4
 	}
@@ -217,6 +246,7 @@ func (ws *Workspace) BellmanFord(eng exec.Algebra, g *graph.Graph, dest int, ori
 	routed, w, nextHop := ws.routed, ws.w, ws.nextHop
 	prevW, prevR := ws.prevW, ws.prevR
 	rounds := 0
+	var relaxations uint64
 	for round := 1; round <= maxRounds; round++ {
 		copy(prevW, w)
 		copy(prevR, routed)
@@ -232,6 +262,7 @@ func (ws *Workspace) BellmanFord(eng exec.Algebra, g *graph.Graph, dest int, ori
 				if !prevR[v] {
 					continue
 				}
+				relaxations++
 				cand := eng.Apply(g.Arcs[ai].Label, prevW[v])
 				if bestArc < 0 || eng.Lt(cand, best) {
 					bestArc, best = ai, cand
@@ -255,10 +286,10 @@ func (ws *Workspace) BellmanFord(eng exec.Algebra, g *graph.Graph, dest int, ori
 		}
 		rounds = round
 		if !changed {
-			return ws.materialize(eng, dest, rounds, true)
+			return ws.materialize(eng, dest, rounds, true), relaxations
 		}
 	}
-	return ws.materialize(eng, dest, rounds, false)
+	return ws.materialize(eng, dest, rounds, false), relaxations
 }
 
 // GaussSeidelEngine is BellmanFordEngine with in-place (chaotic

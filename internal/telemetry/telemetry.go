@@ -1,0 +1,42 @@
+// Package telemetry is the observability layer shared by the solvers,
+// the protocol simulator and the route-query service: lock-cheap
+// counters and gauges, fixed-bucket latency histograms with atomic bins
+// (mergeable, with percentile extraction shared with the load
+// generator), a ring-buffer event tracer, and Prometheus text-format
+// exposition via Registry.
+//
+// Everything here is safe for concurrent use and designed to be cheap
+// enough for hot paths: a Counter increment is one atomic add, a
+// Histogram observation is a short binary search plus three atomic
+// adds, and instruments carry no names — naming happens once, at
+// registration time, so the fast path never touches a map or a string.
+package telemetry
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; embed it by value and share it by pointer.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n and returns the new count — callers use the returned
+// ordinal for cheap modular sampling without a second atomic.
+func (c *Counter) Add(n uint64) uint64 { return c.v.Add(n) }
+
+// Load reads the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set installs an absolute value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load reads the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TraceEvent is one recorded occurrence in an event trace. The meaning
+// of the fields is producer-defined (the protocol simulator records
+// deliveries, selections and link changes; the route server records
+// slow queries); Seq is stamped by the tracer and At is domain time
+// (simulation ticks or wall nanoseconds).
+type TraceEvent struct {
+	Seq    uint64 `json:"seq"`
+	At     int64  `json:"at"`
+	Kind   string `json:"kind"`
+	Node   int    `json:"node"`
+	From   int    `json:"from,omitempty"`
+	Arc    int    `json:"arc,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer receives trace events. Implementations must be safe for
+// concurrent use; producers call Trace on hot-ish paths, so it should
+// stay cheap.
+type Tracer interface {
+	Trace(TraceEvent)
+}
+
+// Ring is a bounded, mutex-protected ring buffer that keeps the most
+// recent Capacity items. The zero value is unusable; use NewRing.
+type Ring[T any] struct {
+	mu      sync.Mutex
+	buf     []T
+	next    uint64 // total pushes; next%cap is the write slot
+	dropped uint64
+}
+
+// NewRing builds a ring keeping the last capacity items (≤ 0 means
+// 4096).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Push appends an item, evicting the oldest when full.
+func (r *Ring[T]) Push(v T) {
+	r.mu.Lock()
+	if r.next >= uint64(len(r.buf)) {
+		r.dropped++
+	}
+	r.buf[r.next%uint64(len(r.buf))] = v
+	r.next++
+	r.mu.Unlock()
+}
+
+// Items returns the retained items, oldest first.
+func (r *Ring[T]) Items() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	cap64 := uint64(len(r.buf))
+	if n <= cap64 {
+		return append([]T(nil), r.buf[:n]...)
+	}
+	out := make([]T, 0, cap64)
+	for i := n - cap64; i < n; i++ {
+		out = append(out, r.buf[i%cap64])
+	}
+	return out
+}
+
+// Len returns how many items are retained.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Dropped counts items evicted to make room.
+func (r *Ring[T]) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// RingTracer is a Tracer backed by a Ring of TraceEvents. It stamps
+// each event with a process-order sequence number, so two traces of the
+// same deterministic run compare equal event-for-event.
+type RingTracer struct {
+	ring *Ring[TraceEvent]
+	seq  atomic.Uint64
+}
+
+// NewRingTracer builds a tracer retaining the last capacity events
+// (≤ 0 means 4096).
+func NewRingTracer(capacity int) *RingTracer {
+	return &RingTracer{ring: NewRing[TraceEvent](capacity)}
+}
+
+// Trace records ev, stamping its Seq.
+func (t *RingTracer) Trace(ev TraceEvent) {
+	ev.Seq = t.seq.Add(1) - 1
+	t.ring.Push(ev)
+}
+
+// Events returns the retained events, oldest first.
+func (t *RingTracer) Events() []TraceEvent { return t.ring.Items() }
+
+// Dropped counts events evicted from the ring.
+func (t *RingTracer) Dropped() uint64 { return t.ring.Dropped() }

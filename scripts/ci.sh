@@ -13,3 +13,16 @@ go test -race -count=2 -shuffle=on ./internal/serve/
 # Bench smoke: every benchmark must still compile and survive one
 # iteration (no timing assertions — this only guards against bit-rot).
 go test -bench=. -benchtime=1x -run='^$' ./...
+
+# Telemetry-overhead bench smoke: the paired instrumented-vs-bare
+# measurement must run end to end and emit a well-formed report. Small
+# sizes keep it fast; the committed BENCH_telemetry.json holds the real
+# numbers.
+go run ./cmd/mrserve -telemetry-bench -random 24 -dests 4 \
+  -bench-queries 2000 -bench-rounds 2 -out /tmp/bench_telemetry_smoke.json
+grep -q overhead_pct /tmp/bench_telemetry_smoke.json
+
+# Fuzz smoke: a short live session per target so the fuzz harnesses
+# cannot bit-rot (go test accepts one -fuzz target per invocation).
+go test -run='^$' -fuzz=FuzzRouteHandler -fuzztime=10s ./internal/serve/
+go test -run='^$' -fuzz=FuzzEventHandler -fuzztime=10s ./internal/serve/
