@@ -1,7 +1,8 @@
 // Command mrserve runs the concurrent route-query service: it compiles
 // an algebra expression, builds (or loads) a topology, computes snapshot
-// route tables with a worker pool and serves them over HTTP/JSON while
-// absorbing topology events with incremental reconvergence.
+// route tables with a destination-sharded worker pool and serves them
+// over HTTP/JSON while absorbing topology events with incremental,
+// batched reconvergence.
 //
 // Usage:
 //
@@ -9,30 +10,47 @@
 //	mrserve -scenario drills/failover.mr -replay
 //	mrserve -expr 'delay(64,4)' -random 48 -loadgen -out BENCH_serve.json
 //	mrserve -telemetry-bench -out BENCH_telemetry.json
+//	mrserve -parallel-bench -random 64 -dests 8 -out BENCH_parallel.json
 //
-// Endpoints:
+// Endpoints (v1; the unversioned spellings remain as deprecated
+// aliases answering identically plus a Deprecation header):
 //
-//	GET /route?from=U&dest=D   one node's route (weight, ECMP set, path)
-//	GET /paths?dest=D          every node's forwarding path toward D
-//	GET /event?arc=A&kind=fail inject a link failure (kind=up recovers;
-//	                           from=&to= names the arc by endpoints;
-//	                           POST with a JSON body works too)
-//	GET /stats                 counters: queries, swaps, events,
-//	                           incremental vs full recomputes
-//	GET /metrics               Prometheus text format: query latency
-//	                           histogram, convergence gauges, solver
-//	                           stage counters
-//	GET /slowlog               recent queries over the slow threshold
-//	GET /debug/pprof/          CPU/heap/goroutine profiles (with -pprof)
+//	GET  /v1/route?from=U&dest=D  one node's route (weight, ECMP set, path)
+//	GET  /v1/paths?dest=D         every node's forwarding path toward D
+//	POST /v1/events               a JSON event batch — {"events":[...]} —
+//	                              coalesced (down+up cancels, duplicate
+//	                              downs dedupe) and applied as one
+//	                              recompute; "async":true feeds the
+//	                              intake queue instead (202, or 429 when
+//	                              full under the reject policy); a bare
+//	                              single-event object and the GET query
+//	                              form (?arc=A&kind=fail) still work
+//	GET  /v1/stats                counters: queries, swaps, events,
+//	                              batches, queue depth, incremental vs
+//	                              full recomputes
+//	GET  /v1/metrics              Prometheus text format: query latency,
+//	                              batch size and shard rebuild
+//	                              histograms, convergence gauges, solver
+//	                              stage counters
+//	GET  /v1/slowlog              recent queries over the slow threshold
+//	GET  /debug/pprof/            CPU/heap/goroutine profiles (with -pprof)
+//
+// Errors answer a uniform envelope:
+//
+//	{"error":{"code":"invalid_argument","message":"..."}}
 //
 // -loadgen skips HTTP and drives the server in-process with a
 // concurrent query + event mix, writing throughput/latency percentiles
 // and the incremental-vs-full event cost to -out (BENCH_serve.json).
 // -telemetry-bench measures the telemetry overhead on the query path
 // (paired instrumented vs bare servers) and writes BENCH_telemetry.json.
+// -parallel-bench measures the parallel batched rebuild pipeline
+// against the serial per-event path (paired storms, 1 worker vs the
+// full pool) and writes BENCH_parallel.json.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -61,24 +79,35 @@ func main() {
 		p        = flag.Float64("p", 0.1, "random topology arc probability")
 		seed     = flag.Int64("seed", 1, "random seed")
 		dests    = flag.Int("dests", 8, "number of originated destinations (spread over the nodes; ≤0 = every node)")
-		workers  = flag.Int("workers", 0, "snapshot builder worker pool size (≤0: 4)")
+		workers  = flag.Int("workers", 0, "snapshot builder worker pool size (≤0: GOMAXPROCS)")
 		addr     = flag.String("addr", ":8348", "HTTP listen address")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowUS   = flag.Int64("slow-query-us", 1000, "slow-query log threshold in microseconds")
 		engine   = cliflag.Engine(nil)
 
+		queueCap     = flag.Int("queue-cap", 1024, "event intake queue capacity (≤0: 1024)")
+		backpressure = flag.String("backpressure", "reject", "full-queue policy for async events: reject (429) or stale (absorb, snapshot lags)")
+		rebuildTO    = flag.Duration("rebuild-timeout", 0, "abandon a batched rebuild after this long, keeping the previous snapshot (0: no deadline)")
+
 		loadgen    = flag.Bool("loadgen", false, "run the in-process load generator instead of serving HTTP")
 		duration   = flag.Duration("duration", 2*time.Second, "loadgen query phase length")
 		readers    = flag.Int("readers", 4, "loadgen concurrent reader goroutines")
 		eventEvery = flag.Duration("event-every", 20*time.Millisecond, "loadgen topology event period (0 disables)")
-		out        = flag.String("out", "", "loadgen/telemetry-bench: write the JSON report here ('' = stdout)")
+		out        = flag.String("out", "", "bench modes: write the JSON report here ('' = stdout)")
 
 		telemetryBench = flag.Bool("telemetry-bench", false, "measure telemetry overhead on the query path (paired instrumented vs bare) instead of serving")
 		benchQueries   = flag.Int("bench-queries", 50000, "telemetry-bench: Forward queries per round per side")
-		benchRounds    = flag.Int("bench-rounds", 5, "telemetry-bench: measured rounds per side")
+		benchRounds    = flag.Int("bench-rounds", 5, "telemetry-bench/parallel-bench: measured rounds per side")
+
+		parallelBench = flag.Bool("parallel-bench", false, "measure the batched parallel rebuild pipeline against the serial per-event path instead of serving")
+		stormEvents   = flag.Int("storm-events", 32, "parallel-bench: link toggles per storm")
 	)
 	flag.Parse()
 	if _, err := cliflag.ApplyEngine(*engine); err != nil {
+		fatal(err)
+	}
+	policy, err := serve.ParseBackpressure(*backpressure)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -86,23 +115,35 @@ func main() {
 		runTelemetryBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *benchQueries, *benchRounds, *out)
 		return
 	}
+	if *parallelBench {
+		runParallelBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *stormEvents, *benchRounds, *out)
+		return
+	}
 
 	// The load generator keeps the historical uninstrumented
 	// configuration so BENCH_serve.json stays comparable across PRs; the
 	// serving path always carries its registry.
+	opts := []serve.Option{
+		serve.WithWorkers(*workers),
+		serve.WithQueueCapacity(*queueCap),
+		serve.WithBackpressure(policy),
+		serve.WithRebuildTimeout(*rebuildTO),
+	}
 	var reg *telemetry.Registry
 	if !*loadgen {
 		reg = telemetry.NewRegistry()
+		opts = append(opts,
+			serve.WithRegistry(reg),
+			serve.WithSlowQuery(time.Duration(*slowUS)*time.Microsecond),
+		)
 	}
-	srv, sc, err := buildServer(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, serve.Options{
-		Workers: *workers, Telemetry: reg, SlowQueryNS: *slowUS * 1000,
-	})
+	srv, sc, err := buildServer(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
 	if sc != nil && *replay {
-		applied, err := srv.Replay(sc.SortedEvents())
+		applied, err := srv.Replay(context.Background(), sc.SortedEvents())
 		if err != nil {
 			fatal(err)
 		}
@@ -125,8 +166,8 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "mrserve: serving %d destinations on %d nodes / %d arcs (engine %s, %d workers) at %s (pprof %v)\n",
-		st.Destinations, st.Nodes, st.Arcs, st.Engine, st.Workers, *addr, *pprofOn)
+	fmt.Fprintf(os.Stderr, "mrserve: serving %d destinations on %d nodes / %d arcs (engine %s, %d workers, queue %d/%s) at %s (pprof %v)\n",
+		st.Destinations, st.Nodes, st.Arcs, st.Engine, st.Workers, st.QueueCapacity, st.Backpressure, *addr, *pprofOn)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatal(err)
 	}
@@ -135,7 +176,7 @@ func main() {
 // buildServer assembles the server from either a scenario file or the
 // -expr/-random flags, originating the algebra's default weight at the
 // chosen destinations.
-func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount int, opts serve.Options) (*serve.Server, *scenario.Scenario, error) {
+func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount int, opts ...serve.Option) (*serve.Server, *scenario.Scenario, error) {
 	if scenFile != "" {
 		f, err := os.Open(scenFile)
 		if err != nil {
@@ -146,7 +187,7 @@ func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, d
 		if err != nil {
 			return nil, nil, err
 		}
-		srv, err := serve.NewFromScenario(sc, opts)
+		srv, err := serve.NewFromScenario(sc, opts...)
 		return srv, sc, err
 	}
 	a, err := core.InferString(exprSrc)
@@ -167,7 +208,7 @@ func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, d
 	for i := 0; i < destCount; i++ {
 		origins[i*g.N/destCount] = origin
 	}
-	srv, err := serve.New(exec.For(a.OT, origin), g, origins, opts)
+	srv, err := serve.New(exec.For(a.OT, origin), g, origins, opts...)
 	return srv, nil, err
 }
 
@@ -184,14 +225,13 @@ func runLoadgen(srv *serve.Server, opts serve.LoadOptions, out string) {
 // runTelemetryBench builds two identical servers — one bare, one with a
 // registry — and writes the paired query-path overhead report.
 func runTelemetryBench(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers, queries, rounds int, out string) {
-	bare, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount, serve.Options{Workers: workers})
+	bare, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount, serve.WithWorkers(workers))
 	if err != nil {
 		fatal(err)
 	}
 	defer bare.Close()
-	inst, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount, serve.Options{
-		Workers: workers, Telemetry: telemetry.NewRegistry(),
-	})
+	inst, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount,
+		serve.WithWorkers(workers), serve.WithRegistry(telemetry.NewRegistry()))
 	if err != nil {
 		fatal(err)
 	}
@@ -204,7 +244,26 @@ func runTelemetryBench(exprSrc, scenFile string, randomN int, p float64, seed in
 	}
 }
 
-// writeReport marshals v to out ('' = stdout).
+// runParallelBench measures the parallel batched rebuild pipeline
+// against the serial per-event path on paired event storms and writes
+// BENCH_parallel.json.
+func runParallelBench(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers, stormEvents, rounds int, out string) {
+	mk := func(w int) (*serve.Server, error) {
+		srv, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount, serve.WithWorkers(w))
+		return srv, err
+	}
+	rep, err := serve.MeasureParallel(mk, workers, stormEvents, rounds, seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeReport(rep, out)
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (serial %.0fµs/storm, batched×%d-workers %.0fµs/storm, speedup %.1f×)\n",
+			out, rep.SerialPerEventUS, rep.Workers, rep.BatchedWorkersUS, rep.SpeedupPipeline)
+	}
+}
+
+// writeReport marshals v to out (” = stdout).
 func writeReport(v any, out string) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {

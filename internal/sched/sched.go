@@ -1,0 +1,144 @@
+// Package sched is a small fixed-size worker pool with per-worker
+// reusable state — the scheduling substrate under the serve snapshot
+// builder. Each worker goroutine owns one state value (there, a
+// *solve.Workspace) for its whole lifetime, so scratch buffers are
+// reused across tasks without synchronization or pooling churn.
+//
+// The pool deliberately stays dumb: no priorities, no work stealing
+// beyond a shared atomic index, no dynamic sizing. The metarouting
+// workload it exists for — per-destination DBF solves, which are
+// independent of each other (Daggitt & Griffin, PAPERS.md) — is
+// embarrassingly parallel and uniform enough that a claim-next-index
+// loop is within noise of anything fancier, and the simple shape keeps
+// the cancellation and error semantics easy to state exactly.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool size used when callers pass ≤ 0:
+// GOMAXPROCS, the number of solver goroutines the runtime will actually
+// run in parallel.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Pool is a fixed set of worker goroutines, each owning one reusable
+// state value of type S. Submit and Map are safe for concurrent use;
+// Close must be called exactly once, after all submitters are done.
+type Pool[S any] struct {
+	workers int
+	tasks   chan func(S)
+	wg      sync.WaitGroup
+	depth   atomic.Int64
+}
+
+// New starts a pool of workers goroutines (≤ 0: DefaultWorkers), each
+// owning one state value passed to every task it runs. newState runs
+// synchronously in New, once per worker, so callers may finish wiring
+// shared sinks the states capture before any task executes.
+func New[S any](workers int, newState func() S) *Pool[S] {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool[S]{workers: workers, tasks: make(chan func(S))}
+	for i := 0; i < workers; i++ {
+		state := newState()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn(state)
+				p.depth.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool[S]) Workers() int { return p.workers }
+
+// Depth returns the number of tasks submitted but not yet finished
+// (queued or running) — the pool's backlog gauge reading.
+func (p *Pool[S]) Depth() int { return int(p.depth.Load()) }
+
+// Submit hands fn to a worker, blocking until one accepts it. fn must
+// return; a task that never returns wedges one worker forever.
+func (p *Pool[S]) Submit(fn func(S)) {
+	p.depth.Add(1)
+	p.tasks <- fn
+}
+
+// Map runs fn(i, state) for every i in [0, n), sharding the index space
+// across the workers via a shared claim counter, and blocks until every
+// claimed index has finished. The first non-nil error stops further
+// claims and is returned; indices already claimed still complete. When
+// ctx is canceled, unclaimed indices are abandoned and Map returns
+// ctx.Err() — results for completed indices are whatever fn wrote, so
+// callers must treat the whole result set as invalid on error.
+//
+// fn runs on at most min(workers, n) workers concurrently; it must not
+// call Submit, Map or Close on the same pool (the runner tasks occupy
+// workers until Map returns, so a nested call can deadlock).
+func (p *Pool[S]) Map(ctx context.Context, n int, fn func(i int, state S) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	var (
+		next     atomic.Int64
+		runners  sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(e error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+	}
+	bail := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	width := p.workers
+	if width > n {
+		width = n
+	}
+	for r := 0; r < width; r++ {
+		runners.Add(1)
+		p.Submit(func(state S) {
+			defer runners.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					setErr(err)
+					return
+				}
+				if bail() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i, state); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		})
+	}
+	runners.Wait()
+	return firstErr
+}
+
+// Close shuts the task channel and waits for the workers to drain. No
+// Submit or Map may be in flight or issued afterwards.
+func (p *Pool[S]) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,151 @@
+package sched_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"metarouting/internal/sched"
+)
+
+// TestMapCoversEveryIndex: Map must call fn exactly once per index,
+// with per-worker state values that never cross goroutines.
+func TestMapCoversEveryIndex(t *testing.T) {
+	var states atomic.Int64
+	p := sched.New(3, func() *int64 {
+		states.Add(1)
+		v := new(int64)
+		return v
+	})
+	defer p.Close()
+
+	const n = 100
+	var hits [n]atomic.Int64
+	err := p.Map(context.Background(), n, func(i int, state *int64) error {
+		*state++ // races iff two workers share a state value
+		hits[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, got)
+		}
+	}
+	if got := states.Load(); got != 3 {
+		t.Fatalf("newState called %d times, want once per worker (3)", got)
+	}
+	if err := p.Map(context.Background(), 0, func(int, *int64) error { return nil }); err != nil {
+		t.Fatalf("empty Map: %v", err)
+	}
+}
+
+// TestMapFirstErrorWins: an fn error stops further claims and surfaces.
+func TestMapFirstErrorWins(t *testing.T) {
+	p := sched.New(2, func() struct{} { return struct{}{} })
+	defer p.Close()
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := p.Map(context.Background(), 1000, func(i int, _ struct{}) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("error must stop further claims; ran all %d", got)
+	}
+}
+
+// TestMapCanceledContext: a pre-canceled context runs nothing and
+// reports ctx.Err(); cancellation mid-run stops the claim loop.
+func TestMapCanceledContext(t *testing.T) {
+	p := sched.New(2, func() struct{} { return struct{}{} })
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := p.Map(ctx, 50, func(int, struct{}) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("pre-canceled ctx must run nothing, ran %d", got)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var ran2 atomic.Int64
+	err = p.Map(ctx2, 10_000, func(i int, _ struct{}) error {
+		if ran2.Add(1) == 5 {
+			cancel2()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := ran2.Load(); got >= 10_000 {
+		t.Fatal("cancellation must abandon unclaimed indices")
+	}
+}
+
+// TestSubmitAndDepth: Submit runs tasks and the backlog gauge returns
+// to zero once they drain.
+func TestSubmitAndDepth(t *testing.T) {
+	p := sched.New(1, func() struct{} { return struct{}{} })
+	var done sync.WaitGroup
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		done.Add(1)
+		p.Submit(func(struct{}) {
+			defer done.Done()
+			ran.Add(1)
+		})
+	}
+	done.Wait()
+	p.Close() // waits for the workers, so Depth is settled after this
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("ran %d tasks, want 8", got)
+	}
+	if got := p.Depth(); got != 0 {
+		t.Fatalf("drained pool depth = %d, want 0", got)
+	}
+}
+
+// TestConcurrentMaps: overlapping Map calls from several goroutines
+// share the pool without deadlock or cross-talk.
+func TestConcurrentMaps(t *testing.T) {
+	p := sched.New(4, func() struct{} { return struct{}{} })
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			if err := p.Map(context.Background(), 200, func(i int, _ struct{}) error {
+				sum.Add(int64(i))
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			if got := sum.Load(); got != 199*200/2 {
+				t.Errorf("sum = %d, want %d", got, 199*200/2)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,7 @@ func benchServer(b *testing.B, workers int) (*serve.Server, *graph.Graph) {
 	for d := 0; d < 8; d++ {
 		origins[d*8] = value.Pair{A: 0, B: 8}
 	}
-	srv, err := serve.New(exec.For(a.OT, value.Pair{A: 0, B: 8}), g, origins, serve.Options{Workers: workers})
+	srv, err := serve.New(exec.For(a.OT, value.Pair{A: 0, B: 8}), g, origins, serve.WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func BenchmarkServeEventIncremental(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		arc := r.Intn(len(g.Arcs))
-		if _, _, err := srv.ApplyEvent(arc, !down[arc]); err != nil {
+		if _, _, err := srv.ApplyEvent(context.Background(), arc, !down[arc]); err != nil {
 			b.Fatal(err)
 		}
 		down[arc] = !down[arc]
@@ -80,7 +81,7 @@ func BenchmarkServeRebuildFull(b *testing.B) {
 	srv, _ := benchServer(b, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := srv.Rebuild(); err != nil {
+		if err := srv.Rebuild(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,10 @@
+package serve
+
+// WithoutBatcher returns an Option that skips starting the intake
+// batcher, so tests can fill the queue and exercise the backpressure
+// policies deterministically, draining by hand with DrainForTest.
+func WithoutBatcher() Option { return optionFunc(func(c *config) { c.noBatcher = true }) }
+
+// DrainForTest runs one batcher drain cycle synchronously: everything
+// queued plus the pending coalesced state becomes one applied batch.
+func (s *Server) DrainForTest() error { return s.drainAndApply(nil) }

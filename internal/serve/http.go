@@ -2,14 +2,24 @@ package serve
 
 // This file holds the HTTP/JSON API that cmd/mrserve mounts — kept in
 // the library so the decoding logic is unit- and fuzz-testable without
-// booting the binary. Every endpoint answers JSON; malformed input,
-// out-of-range node ids and oversized bodies are 4xx replies, never
-// panics (FuzzRouteHandler/FuzzEventHandler assert exactly that).
+// booting the binary. The API is versioned under /v1/; the original
+// unversioned routes remain as thin aliases that answer identically but
+// add a Deprecation header pointing at their successor. Every endpoint
+// answers JSON; errors use one envelope shape,
+//
+//	{"error":{"code":"...","message":"..."}}
+//
+// and malformed input, out-of-range node ids and oversized bodies are
+// 4xx replies, never panics (FuzzRouteHandler/FuzzEventHandler assert
+// exactly that).
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -17,10 +27,24 @@ import (
 	"metarouting/internal/value"
 )
 
-// maxEventBody bounds POST /event payloads; anything larger is a 4xx.
+// maxEventBody bounds POST /v1/events payloads; anything larger is 413.
 const maxEventBody = 1 << 20
 
-// RouteReply is the /route response shape.
+// Error codes used in the v1 error envelope.
+const (
+	CodeInvalidArgument = "invalid_argument"
+	CodePayloadTooLarge = "payload_too_large"
+	CodeBacklogged      = "backlogged"
+	CodeTimeout         = "rebuild_timeout"
+)
+
+// APIError is the uniform v1 error payload, wrapped as {"error": ...}.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// RouteReply is the /v1/route response shape.
 type RouteReply struct {
 	From    int    `json:"from"`
 	Dest    int    `json:"dest"`
@@ -32,8 +56,8 @@ type RouteReply struct {
 	Err     string `json:"error,omitempty"`
 }
 
-// EventRequest is the POST /event body: either Arc or From/To names the
-// link, Kind is "fail" or "up".
+// EventRequest is one event in a POST /v1/events body: either Arc or
+// From/To names the link, Kind is "fail" or "up".
 type EventRequest struct {
 	Arc  *int   `json:"arc,omitempty"`
 	From *int   `json:"from,omitempty"`
@@ -41,10 +65,34 @@ type EventRequest struct {
 	Kind string `json:"kind"`
 }
 
-// NewHandler returns the server's HTTP API: /route, /paths, /event
-// (GET query params or POST JSON body), /stats, /slowlog and — when reg
-// is non-nil — /metrics in Prometheus text format. The returned mux is
-// open for extension (cmd/mrserve mounts pprof on it behind -pprof).
+// EventsRequest is the POST /v1/events batch body. Async selects the
+// intake queue (coalesced batched application in the background,
+// answering 202; a full queue under the reject policy answers 429)
+// instead of the default synchronous batched apply. A bare EventRequest
+// object is also accepted and treated as a one-event batch.
+type EventsRequest struct {
+	Events []EventRequest `json:"events"`
+	Async  bool           `json:"async,omitempty"`
+}
+
+// EventsReply is the POST /v1/events response: how many arcs actually
+// toggled, how many raw events coalesced away, how many destination
+// columns were recomputed and the resulting snapshot version. Async
+// intake answers Accepted instead.
+type EventsReply struct {
+	Applied    int    `json:"applied"`
+	Coalesced  int    `json:"coalesced,omitempty"`
+	Recomputed int    `json:"recomputed_dests"`
+	Version    uint64 `json:"version"`
+	Accepted   int    `json:"accepted,omitempty"`
+}
+
+// NewHandler returns the server's HTTP API: /v1/route, /v1/paths,
+// /v1/events (GET query params or POST JSON body, single or batch),
+// /v1/stats, /v1/slowlog and — when reg is non-nil — /v1/metrics in
+// Prometheus text format, plus deprecated unversioned aliases for each.
+// The returned mux is open for extension (cmd/mrserve mounts pprof on
+// it behind -pprof).
 func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, status int, v any) {
@@ -52,8 +100,11 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 		w.WriteHeader(status)
 		json.NewEncoder(w).Encode(v) //nolint:errcheck
 	}
+	writeErr := func(w http.ResponseWriter, status int, code, format string, args ...any) {
+		writeJSON(w, status, map[string]APIError{"error": {Code: code, Message: fmt.Sprintf(format, args...)}})
+	}
 	badRequest := func(w http.ResponseWriter, format string, args ...any) {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
+		writeErr(w, http.StatusBadRequest, CodeInvalidArgument, format, args...)
 	}
 	intArg := func(req *http.Request, key string) (int, error) {
 		v, err := strconv.Atoi(req.URL.Query().Get(key))
@@ -75,12 +126,22 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 		}
 		return v, nil
 	}
+	// rebuildCtx derives the context a mutation runs under: the client's,
+	// bounded by the server's rebuild deadline when one is configured. A
+	// canceled or expired context abandons the recompute and keeps the
+	// previous snapshot published.
+	rebuildCtx := func(req *http.Request) (context.Context, context.CancelFunc) {
+		if d := srv.RebuildTimeout(); d > 0 {
+			return context.WithTimeout(req.Context(), d)
+		}
+		return req.Context(), func() {}
+	}
 
-	mux.HandleFunc("/route", func(w http.ResponseWriter, req *http.Request) {
+	handleRoute := func(w http.ResponseWriter, req *http.Request) {
 		from, err1 := nodeArg(req, "from")
 		dest, err2 := nodeArg(req, "dest")
 		if err1 != nil || err2 != nil {
-			badRequest(w, "want /route?from=U&dest=D: %v", errors.Join(err1, err2))
+			badRequest(w, "want /v1/route?from=U&dest=D: %v", errors.Join(err1, err2))
 			return
 		}
 		sn := srv.Snapshot()
@@ -96,18 +157,18 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 			}
 		}
 		writeJSON(w, http.StatusOK, reply)
-	})
+	}
 
-	mux.HandleFunc("/paths", func(w http.ResponseWriter, req *http.Request) {
+	handlePaths := func(w http.ResponseWriter, req *http.Request) {
 		dest, err := nodeArg(req, "dest")
 		if err != nil {
-			badRequest(w, "want /paths?dest=D: %v", err)
+			badRequest(w, "want /v1/paths?dest=D: %v", err)
 			return
 		}
 		sn := srv.Snapshot()
 		type nodePath struct {
-			Node int   `json:"node"`
-			Path []int `json:"path,omitempty"`
+			Node int    `json:"node"`
+			Path []int  `json:"path,omitempty"`
 			Err  string `json:"error,omitempty"`
 		}
 		var out []nodePath
@@ -121,24 +182,50 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 			out = append(out, np)
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"dest": dest, "version": sn.Version, "paths": out})
-	})
+	}
 
-	mux.HandleFunc("/event", func(w http.ResponseWriter, req *http.Request) {
-		var ev EventRequest
+	// resolveEvent turns one EventRequest into an ArcEvent, validating
+	// kind and arc naming.
+	resolveEvent := func(ev EventRequest) (ArcEvent, error) {
+		if ev.Kind != "fail" && ev.Kind != "up" {
+			return ArcEvent{}, fmt.Errorf("want kind=fail or kind=up")
+		}
+		switch {
+		case ev.Arc != nil:
+			if *ev.Arc < 0 || *ev.Arc >= len(srv.base.Arcs) {
+				return ArcEvent{}, fmt.Errorf("arc %d out of range [0,%d)", *ev.Arc, len(srv.base.Arcs))
+			}
+			return ArcEvent{Arc: *ev.Arc, Fail: ev.Kind == "fail"}, nil
+		case ev.From != nil && ev.To != nil:
+			ai, err := srv.arcByEndpoints(*ev.From, *ev.To)
+			if err != nil {
+				return ArcEvent{}, err
+			}
+			return ArcEvent{Arc: ai, Fail: ev.Kind == "fail"}, nil
+		}
+		return ArcEvent{}, fmt.Errorf("want arc=A or from=U&to=V")
+	}
+
+	handleEvents := func(w http.ResponseWriter, req *http.Request) {
+		var batch EventsRequest
 		if req.Method == http.MethodPost {
 			body := http.MaxBytesReader(w, req.Body, maxEventBody)
-			dec := json.NewDecoder(body)
-			dec.DisallowUnknownFields()
-			if err := dec.Decode(&ev); err != nil {
-				status := http.StatusBadRequest
+			raw, err := io.ReadAll(body)
+			if err != nil {
+				status, code := http.StatusBadRequest, CodeInvalidArgument
 				var tooBig *http.MaxBytesError
 				if errors.As(err, &tooBig) {
-					status = http.StatusRequestEntityTooLarge
+					status, code = http.StatusRequestEntityTooLarge, CodePayloadTooLarge
 				}
-				writeJSON(w, status, map[string]string{"error": "bad event body: " + err.Error()})
+				writeErr(w, status, code, "bad events body: %v", err)
+				return
+			}
+			if err := decodeEvents(raw, &batch); err != nil {
+				badRequest(w, "bad events body: %v", err)
 				return
 			}
 		} else {
+			var ev EventRequest
 			q := req.URL.Query()
 			ev.Kind = q.Get("kind")
 			for key, dst := range map[string]**int{"arc": &ev.Arc, "from": &ev.From, "to": &ev.To} {
@@ -152,48 +239,125 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 				}
 				*dst = &v
 			}
+			batch.Events = []EventRequest{ev}
 		}
-		if ev.Kind != "fail" && ev.Kind != "up" {
-			badRequest(w, "want kind=fail or kind=up")
+		if len(batch.Events) == 0 {
+			badRequest(w, "empty event batch")
 			return
 		}
-		fail := ev.Kind == "fail"
-		var applied bool
-		var recomputed int
-		var err error
-		switch {
-		case ev.Arc != nil:
-			applied, recomputed, err = srv.ApplyEvent(*ev.Arc, fail)
-		case ev.From != nil && ev.To != nil:
-			applied, recomputed, err = srv.ApplyEventEndpoints(*ev.From, *ev.To, fail)
-		default:
-			badRequest(w, "want arc=A or from=U&to=V")
+		events := make([]ArcEvent, len(batch.Events))
+		for i, ev := range batch.Events {
+			ae, err := resolveEvent(ev)
+			if err != nil {
+				badRequest(w, "event %d: %v", i, err)
+				return
+			}
+			events[i] = ae
+		}
+		if batch.Async {
+			for i, ev := range events {
+				if err := srv.EnqueueEvent(ev); err != nil {
+					if errors.Is(err, ErrBacklogged) {
+						writeErr(w, http.StatusTooManyRequests, CodeBacklogged,
+							"intake queue full after %d of %d events", i, len(events))
+						return
+					}
+					badRequest(w, "event %d: %v", i, err)
+					return
+				}
+			}
+			writeJSON(w, http.StatusAccepted, EventsReply{Accepted: len(events), Version: srv.Snapshot().Version})
 			return
 		}
+		ctx, cancel := rebuildCtx(req)
+		defer cancel()
+		applied, recomputed, err := srv.ApplyBatch(ctx, events)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				writeErr(w, http.StatusServiceUnavailable, CodeTimeout,
+					"batched rebuild abandoned, previous snapshot kept: %v", err)
+				return
+			}
 			badRequest(w, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"applied": applied, "recomputed_dests": recomputed,
-			"version": srv.Snapshot().Version,
+		writeJSON(w, http.StatusOK, EventsReply{
+			Applied:    applied,
+			Coalesced:  len(events) - applied,
+			Recomputed: recomputed,
+			Version:    srv.Snapshot().Version,
 		})
-	})
+	}
 
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+	handleStats := func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, srv.Stats())
-	})
+	}
 
-	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, req *http.Request) {
+	handleSlowlog := func(w http.ResponseWriter, req *http.Request) {
 		slow := srv.SlowQueries()
 		if slow == nil {
 			slow = []SlowQuery{}
 		}
 		writeJSON(w, http.StatusOK, slow)
-	})
+	}
 
+	// mount registers the v1 route and its deprecated unversioned alias:
+	// the alias answers identically plus a Deprecation header and a Link
+	// to the successor (RFC 8594 successor-version relation).
+	alias := func(legacy string, v1 string, h http.HandlerFunc) {
+		mux.HandleFunc(legacy, func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", v1))
+			h(w, req)
+		})
+	}
+	mount := func(v1 string, legacy string, h http.HandlerFunc) {
+		mux.HandleFunc(v1, h)
+		alias(legacy, v1, h)
+	}
+
+	mount("/v1/route", "/route", handleRoute)
+	mount("/v1/paths", "/paths", handlePaths)
+	mount("/v1/events", "/events", handleEvents)
+	alias("/event", "/v1/events", handleEvents) // historical singular form
+	mount("/v1/stats", "/stats", handleStats)
+	mount("/v1/slowlog", "/slowlog", handleSlowlog)
 	if reg != nil {
-		mux.Handle("/metrics", reg.Handler())
+		metrics := reg.Handler()
+		mount("/v1/metrics", "/metrics", func(w http.ResponseWriter, req *http.Request) {
+			metrics.ServeHTTP(w, req)
+		})
 	}
 	return mux
+}
+
+// decodeEvents accepts either the batch shape {"events":[...]} or a
+// bare single EventRequest object (the historical POST /event body).
+func decodeEvents(raw []byte, batch *EventsRequest) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(batch); err == nil && ensureOneJSONValue(dec) == nil {
+		if batch.Events != nil {
+			return nil
+		}
+	}
+	var single EventRequest
+	dec = json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&single); err != nil {
+		return err
+	}
+	if err := ensureOneJSONValue(dec); err != nil {
+		return err
+	}
+	*batch = EventsRequest{Events: []EventRequest{single}}
+	return nil
+}
+
+// ensureOneJSONValue rejects trailing garbage after the decoded value.
+func ensureOneJSONValue(dec *json.Decoder) error {
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
 }

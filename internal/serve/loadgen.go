@@ -7,6 +7,7 @@ package serve
 // cmd/mrserve -loadgen and scripts/loadgen.sh.
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -128,7 +129,7 @@ func Load(s *Server, opts LoadOptions) *LoadReport {
 				time.Sleep(opts.EventEvery)
 				arc := r.Intn(len(s.base.Arcs))
 				t0 := time.Now()
-				applied, _, err := s.ApplyEvent(arc, !down[arc])
+				applied, _, err := s.ApplyEvent(context.Background(), arc, !down[arc])
 				if err != nil {
 					return
 				}
@@ -172,12 +173,12 @@ func Load(s *Server, opts LoadOptions) *LoadReport {
 		arc := r.Intn(len(s.base.Arcs))
 		fail := !s.Snapshot().Disabled[arc]
 		t0 := time.Now()
-		if _, _, err := s.ApplyEvent(arc, fail); err != nil {
+		if _, _, err := s.ApplyEvent(context.Background(), arc, fail); err != nil {
 			break
 		}
 		incNS += time.Since(t0).Nanoseconds()
 		t0 = time.Now()
-		if err := s.Rebuild(); err != nil {
+		if err := s.Rebuild(context.Background()); err != nil {
 			break
 		}
 		rebuildNS += time.Since(t0).Nanoseconds()

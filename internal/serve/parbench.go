@@ -1,0 +1,182 @@
+package serve
+
+// This file measures what the parallel destination-sharded rebuild
+// pipeline buys over the PR-2 serial path: paired storm replays on
+// identically built servers, one applying the storm event by event the
+// way the old API did, one absorbing it as a single coalesced batch —
+// at one worker and at the full pool width. cmd/mrserve -parallel-bench
+// writes the result to BENCH_parallel.json; the acceptance bar is ≥ 2×
+// on the batched pipeline for a ≥ 64-node, ≥ 8-destination storm, with
+// no regression at one worker.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// ParallelReport is the paired serial-vs-parallel, single-vs-batched
+// measurement. All timings are the mean per-storm cost in microseconds.
+type ParallelReport struct {
+	Nodes        int    `json:"nodes"`
+	Arcs         int    `json:"arcs"`
+	Destinations int    `json:"destinations"`
+	StormEvents  int    `json:"storm_events"`
+	Rounds       int    `json:"rounds"`
+	Workers      int    `json:"workers"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Engine       string `json:"engine"`
+
+	// SerialPerEventUS is the baseline: one worker, the storm applied
+	// one ApplyEvent at a time — a recompute and snapshot swap per event.
+	SerialPerEventUS float64 `json:"serial_per_event_us"`
+	// BatchedOneWorkerUS is the coalesced pipeline at one worker: the
+	// storm absorbed as a single ApplyBatch (the no-regression guard).
+	BatchedOneWorkerUS float64 `json:"batched_one_worker_us"`
+	// PerEventWorkersUS is per-event application with the full pool —
+	// what parallelism alone buys without batching.
+	PerEventWorkersUS float64 `json:"per_event_workers_us"`
+	// BatchedWorkersUS is the full pipeline: coalesced batch, sharded
+	// across the full pool.
+	BatchedWorkersUS float64 `json:"batched_workers_us"`
+
+	// SpeedupPipeline is SerialPerEventUS / BatchedWorkersUS — the
+	// headline serial-vs-parallel number.
+	SpeedupPipeline float64 `json:"speedup_pipeline"`
+	// SpeedupBatchOnly is SerialPerEventUS / BatchedOneWorkerUS —
+	// the share of the win owed to coalescing alone.
+	SpeedupBatchOnly float64 `json:"speedup_batch_only"`
+}
+
+// MeasureParallel builds two identically configured servers via mk —
+// one with a single worker, one with workers (≤ 0: GOMAXPROCS) — and
+// replays rounds deterministic event storms of stormEvents random link
+// toggles through four configurations: per-event at one worker (the
+// PR-2 serial path), batched at one worker, per-event at full width,
+// batched at full width. Every configuration starts each storm from the
+// all-enabled topology (the storm is reverted, untimed, between
+// measurements), so the four timings cover identical work.
+func MeasureParallel(mk func(workers int) (*Server, error), workers, stormEvents, rounds int, seed int64) (*ParallelReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if stormEvents <= 0 {
+		stormEvents = 32
+	}
+	if rounds <= 0 {
+		rounds = 10
+	}
+	serial, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+	defer serial.Close()
+	parallel, err := mk(workers)
+	if err != nil {
+		return nil, err
+	}
+	defer parallel.Close()
+	if serial.base.N != parallel.base.N || len(serial.base.Arcs) != len(parallel.base.Arcs) {
+		return nil, fmt.Errorf("serve: mk built different topologies (%d/%d nodes, %d/%d arcs)",
+			serial.base.N, parallel.base.N, len(serial.base.Arcs), len(parallel.base.Arcs))
+	}
+
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(seed))
+	arcs := len(serial.base.Arcs)
+
+	// A storm is a deterministic sequence of state-changing toggles
+	// starting from the all-enabled topology: arc picks repeat (so
+	// coalescing has duplicates to absorb) but each event flips the
+	// arc's simulated state, so the per-event path never gets a free
+	// no-op the batch path would also skip.
+	makeStorm := func() []ArcEvent {
+		sim := make(map[int]bool, stormEvents)
+		storm := make([]ArcEvent, stormEvents)
+		for i := range storm {
+			arc := r.Intn(arcs)
+			storm[i] = ArcEvent{Arc: arc, Fail: !sim[arc]}
+			sim[arc] = !sim[arc]
+		}
+		return storm
+	}
+	// revert returns a server to the all-enabled state, untimed.
+	revert := func(s *Server) error {
+		var undo []ArcEvent
+		for arc, failed := range s.Snapshot().Disabled {
+			if failed {
+				undo = append(undo, ArcEvent{Arc: arc, Fail: false})
+			}
+		}
+		_, _, err := s.ApplyBatch(ctx, undo)
+		return err
+	}
+	perEvent := func(s *Server, storm []ArcEvent) (time.Duration, error) {
+		t0 := time.Now()
+		for _, ev := range storm {
+			if _, _, err := s.ApplyEvent(ctx, ev.Arc, ev.Fail); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+	batched := func(s *Server, storm []ArcEvent) (time.Duration, error) {
+		t0 := time.Now()
+		if _, _, err := s.ApplyBatch(ctx, storm); err != nil {
+			return 0, err
+		}
+		return time.Since(t0), nil
+	}
+
+	var serialNS, batched1NS, perEventWNS, batchedWNS int64
+	// Round -1 is an unmeasured warmup.
+	for round := -1; round < rounds; round++ {
+		storm := makeStorm()
+		for _, cfg := range []struct {
+			srv  *Server
+			run  func(*Server, []ArcEvent) (time.Duration, error)
+			sink *int64
+		}{
+			{serial, perEvent, &serialNS},
+			{serial, batched, &batched1NS},
+			{parallel, perEvent, &perEventWNS},
+			{parallel, batched, &batchedWNS},
+		} {
+			d, err := cfg.run(cfg.srv, storm)
+			if err != nil {
+				return nil, err
+			}
+			if err := revert(cfg.srv); err != nil {
+				return nil, err
+			}
+			if round >= 0 {
+				*cfg.sink += d.Nanoseconds()
+			}
+		}
+	}
+
+	mean := func(total int64) float64 { return float64(total) / float64(rounds) / 1e3 }
+	rep := &ParallelReport{
+		Nodes:              serial.base.N,
+		Arcs:               arcs,
+		Destinations:       len(serial.dests),
+		StormEvents:        stormEvents,
+		Rounds:             rounds,
+		Workers:            workers,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		Engine:             serial.Stats().Engine,
+		SerialPerEventUS:   mean(serialNS),
+		BatchedOneWorkerUS: mean(batched1NS),
+		PerEventWorkersUS:  mean(perEventWNS),
+		BatchedWorkersUS:   mean(batchedWNS),
+	}
+	if rep.BatchedWorkersUS > 0 {
+		rep.SpeedupPipeline = rep.SerialPerEventUS / rep.BatchedWorkersUS
+	}
+	if rep.BatchedOneWorkerUS > 0 {
+		rep.SpeedupBatchOnly = rep.SerialPerEventUS / rep.BatchedOneWorkerUS
+	}
+	return rep, nil
+}

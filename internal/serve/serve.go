@@ -3,13 +3,15 @@
 // concurrent Lookup/Forward queries lock-free against an immutable
 // snapshot, and reconverges incrementally when topology events arrive.
 //
-// The design is RCU-style. A worker pool (each worker holding a reusable
-// solve.Workspace) computes per-destination entry columns in parallel;
-// the columns are assembled into a Snapshot and swapped in atomically,
-// so readers racing a rebuild keep the previous snapshot and are never
-// blocked. Topology events recompute only destinations whose routes the
-// event can actually touch: destination d is skipped when the event's
-// arc leaves d itself (the fixpoint solver never consults the
+// The design is RCU-style. A sched.Pool worker pool (each worker holding
+// a reusable solve.Workspace) computes per-destination entry columns in
+// parallel — the per-destination DBF computations are independent
+// (Daggitt & Griffin, PAPERS.md), so destinations shard freely across
+// workers; the columns are assembled into a Snapshot and swapped in
+// atomically, so readers racing a rebuild keep the previous snapshot and
+// are never blocked. Topology events recompute only destinations whose
+// routes the event can actually touch: destination d is skipped when the
+// event's arc leaves d itself (the fixpoint solver never consults the
 // destination's out-arcs) or when the arc's head has no route toward d
 // in the current snapshot (then the arc never contributed a candidate in
 // any solver round — routedness on a static graph only grows — so the
@@ -18,6 +20,20 @@
 // differential tests assert every incremental snapshot is bit-identical
 // to a fresh rib.BuildEngine on the mutated graph.
 //
+// Event bursts are absorbed in batches. ApplyBatch coalesces a sequence
+// of events to its net per-arc effect (a down followed by an up cancels,
+// duplicate downs dedupe) and pays one recompute + one snapshot swap for
+// the whole batch; the per-destination skip rule extends soundly to
+// batches because a destination is only skipped when every toggled arc
+// individually satisfies the rule against the pre-batch snapshot, and a
+// skipped destination's column — the only state the rule reads — is then
+// unchanged at every intermediate step of applying the batch one arc at
+// a time. EnqueueEvent feeds an intake queue drained by a background
+// batcher, with a selectable full-queue policy: reject (surfaced as HTTP
+// 429) or degrade-to-stale (absorb the event into pending coalesced
+// state and let the published snapshot lag until the batcher catches
+// up).
+//
 // Reconvergence after arbitrary topology change is exactly what
 // increasing algebras guarantee (Daggitt & Griffin, PAPERS.md); for
 // non-increasing algebras a destination may fail to converge within the
@@ -25,6 +41,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -36,27 +54,146 @@ import (
 	"metarouting/internal/protocol"
 	"metarouting/internal/rib"
 	"metarouting/internal/scenario"
+	"metarouting/internal/sched"
 	"metarouting/internal/solve"
 	"metarouting/internal/telemetry"
 	"metarouting/internal/value"
 )
 
-// Options configures a Server.
+// Backpressure selects what EnqueueEvent does when the intake queue is
+// full.
+type Backpressure int
+
+const (
+	// BackpressureReject makes EnqueueEvent fail with ErrBacklogged when
+	// the queue is full; HTTP surfaces it as 429 Too Many Requests.
+	BackpressureReject Backpressure = iota
+	// BackpressureStale makes EnqueueEvent absorb the event into the
+	// pending coalesced state instead of failing: nothing is lost, but
+	// the published snapshot may lag further behind the topology until
+	// the batcher catches up.
+	BackpressureStale
+)
+
+// String names the policy the way ParseBackpressure spells it.
+func (b Backpressure) String() string {
+	if b == BackpressureStale {
+		return "stale"
+	}
+	return "reject"
+}
+
+// ParseBackpressure reads a policy name: "reject" or "stale".
+func ParseBackpressure(s string) (Backpressure, error) {
+	switch s {
+	case "reject":
+		return BackpressureReject, nil
+	case "stale":
+		return BackpressureStale, nil
+	}
+	return 0, fmt.Errorf("serve: unknown backpressure policy %q (want reject or stale)", s)
+}
+
+// ErrBacklogged is returned by EnqueueEvent under BackpressureReject
+// when the intake queue is full.
+var ErrBacklogged = errors.New("serve: event intake queue full")
+
+// config is the resolved Server configuration; Option values edit it.
+type config struct {
+	workers        int
+	registry       *telemetry.Registry
+	slowQueryNS    int64
+	engine         exec.Algebra
+	backpressure   Backpressure
+	queueCap       int
+	rebuildTimeout time.Duration
+	noBatcher      bool // test-only: leave the intake queue undrained
+}
+
+func defaultConfig() config {
+	return config{queueCap: 1024}
+}
+
+// Option configures a Server at construction (New / NewFromScenario).
+type Option interface{ apply(*config) }
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithWorkers sizes the snapshot builder's worker pool (≤ 0: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return optionFunc(func(c *config) { c.workers = n })
+}
+
+// WithRegistry registers the server's metrics (counters, convergence
+// gauges, query/reconvergence latency histograms, batch and shard
+// histograms, per-solve timings) under the mrserve_ prefix and enables
+// the slow-query log. Query latencies are sampled 1-in-16 (see
+// querySampleMask) so the timing cost stays inside the overhead budget.
+// Without a registry the server keeps only its bare counters — the
+// Stats JSON shape is identical either way, and the query path pays
+// zero timing overhead.
+func WithRegistry(reg *telemetry.Registry) Option {
+	return optionFunc(func(c *config) { c.registry = reg })
+}
+
+// WithSlowQuery sets the slow-query log threshold (≤ 0: 1ms). Only
+// meaningful together with WithRegistry.
+func WithSlowQuery(threshold time.Duration) Option {
+	return optionFunc(func(c *config) { c.slowQueryNS = threshold.Nanoseconds() })
+}
+
+// WithEngine overrides the execution engine the server runs on — the
+// way to pin a backend when booting from a scenario, whose own engine
+// NewFromScenario would otherwise use.
+func WithEngine(eng exec.Algebra) Option {
+	return optionFunc(func(c *config) { c.engine = eng })
+}
+
+// WithBackpressure selects the full-queue policy for EnqueueEvent
+// (default BackpressureReject).
+func WithBackpressure(policy Backpressure) Option {
+	return optionFunc(func(c *config) { c.backpressure = policy })
+}
+
+// WithQueueCapacity bounds the event intake queue (≤ 0: 1024).
+func WithQueueCapacity(n int) Option {
+	return optionFunc(func(c *config) { c.queueCap = n })
+}
+
+// WithRebuildTimeout bounds each batched recompute: the batcher and the
+// HTTP event handlers derive a deadline-carrying context from it (0: no
+// deadline). A rebuild that hits the deadline is abandoned and the
+// previous snapshot stays published.
+func WithRebuildTimeout(d time.Duration) Option {
+	return optionFunc(func(c *config) { c.rebuildTimeout = d })
+}
+
+// Options is the PR-2 configuration struct.
+//
+// Deprecated: pass functional options (WithWorkers, WithRegistry,
+// WithSlowQuery, ...) instead. Options still satisfies Option so
+// positional call sites compile unchanged while they migrate.
 type Options struct {
-	// Workers sizes the snapshot builder's worker pool (≤ 0: 4).
+	// Workers sizes the snapshot builder's worker pool (≤ 0: GOMAXPROCS).
 	Workers int
-	// Telemetry, when non-nil, registers the server's metrics (counters,
-	// convergence gauges, query/reconvergence latency histograms,
-	// per-solve timings) under the mrserve_ prefix and enables the
-	// slow-query log. Query latencies are sampled 1-in-16 (see
-	// querySampleMask) so the timing cost stays inside the overhead
-	// budget. With a nil registry the server keeps only its bare
-	// counters — the Stats JSON shape is identical either way, and the
-	// query path pays zero timing overhead.
+	// Telemetry, when non-nil, is WithRegistry.
 	Telemetry *telemetry.Registry
-	// SlowQueryNS is the slow-query log threshold in nanoseconds
-	// (≤ 0: 1ms). Only meaningful with Telemetry set.
+	// SlowQueryNS is WithSlowQuery in nanoseconds (≤ 0: 1ms).
 	SlowQueryNS int64
+}
+
+func (o Options) apply(c *config) {
+	if o.Workers > 0 {
+		c.workers = o.Workers
+	}
+	if o.Telemetry != nil {
+		c.registry = o.Telemetry
+	}
+	if o.SlowQueryNS > 0 {
+		c.slowQueryNS = o.SlowQueryNS
+	}
 }
 
 // Snapshot is one immutable generation of route tables. All methods are
@@ -92,7 +229,8 @@ func (sn *Snapshot) Forward(from, dest int) (graph.Path, error) { return sn.rib.
 func (sn *Snapshot) ECMPWidth(node, dest int) int { return sn.rib.ECMPWidth(node, dest) }
 
 // Stats is a point-in-time reading of the server's counters — the seed
-// of the observability layer, surfaced at /stats and in BENCH_serve.json.
+// of the observability layer, surfaced at /v1/stats and in
+// BENCH_serve.json.
 type Stats struct {
 	Queries               uint64 `json:"queries"`
 	SnapshotSwaps         uint64 `json:"snapshot_swaps"`
@@ -101,6 +239,13 @@ type Stats struct {
 	FullRecomputes        uint64 `json:"full_recomputes"`
 	DestRecomputes        uint64 `json:"dest_recomputes"`
 	DestReuses            uint64 `json:"dest_reuses"`
+	BatchesApplied        uint64 `json:"batches_applied"`
+	EventsCoalesced       uint64 `json:"events_coalesced"`
+	EventsRejected        uint64 `json:"events_rejected"`
+	BatchErrors           uint64 `json:"batch_errors"`
+	QueueDepth            int    `json:"queue_depth"`
+	QueueCapacity         int    `json:"queue_capacity"`
+	Backpressure          string `json:"backpressure"`
 	SnapshotVersion       uint64 `json:"snapshot_version"`
 	Destinations          int    `json:"destinations"`
 	Nodes                 int    `json:"nodes"`
@@ -108,6 +253,13 @@ type Stats struct {
 	DisabledArcs          int    `json:"disabled_arcs"`
 	Engine                string `json:"engine"`
 	Workers               int    `json:"workers"`
+}
+
+// ArcEvent names one topology event by arc index: the unit the batched
+// pipeline coalesces and applies.
+type ArcEvent struct {
+	Arc  int  `json:"arc"`
+	Fail bool `json:"fail"`
 }
 
 // Server owns route state for a fixed origination set and serves
@@ -127,17 +279,31 @@ type Server struct {
 
 	snap atomic.Pointer[Snapshot]
 
-	tasks chan func(*solve.Workspace)
-	wg    sync.WaitGroup
+	pool *sched.Pool[*solve.Workspace]
+
+	// Event intake: a bounded queue drained by the batcher goroutine,
+	// plus the overflow coalesced state the stale policy absorbs into.
+	backpressure   Backpressure
+	intake         chan ArcEvent
+	pendingMu      sync.Mutex
+	pending        map[int]bool // arc → desired fail state
+	stop           chan struct{}
+	stopOnce       sync.Once
+	batcherWG      sync.WaitGroup
+	rebuildTimeout time.Duration
 
 	queries, swaps, events     telemetry.Counter
 	incremental, full          telemetry.Counter
 	destRecomputes, destReuses telemetry.Counter
+	batches, coalesced         telemetry.Counter
+	rejected, batchErrors      telemetry.Counter
 
-	// Instrumentation below is nil/zero unless Options.Telemetry was set.
+	// Instrumentation below is nil/zero unless a registry was supplied.
 	flaps        telemetry.Counter // route entries changed across swaps
 	queryNS      *telemetry.Histogram
 	eventNS      *telemetry.Histogram
+	batchSize    *telemetry.Histogram
+	shardNS      *telemetry.Histogram
 	lastEventNS  telemetry.Gauge
 	solveMetrics *solve.Metrics
 	slowNS       int64
@@ -145,7 +311,7 @@ type Server struct {
 }
 
 // SlowQuery is one record in the slow-query log: a Forward resolution
-// that crossed the Options.SlowQueryNS threshold.
+// that crossed the slow-query threshold.
 type SlowQuery struct {
 	From    int    `json:"from"`
 	Dest    int    `json:"dest"`
@@ -153,13 +319,30 @@ type SlowQuery struct {
 	Version uint64 `json:"snapshot_version"`
 }
 
+// batchSizeBuckets is the bucket layout for the event batch-size
+// histogram: powers of two up to 1024, matching the default queue cap.
+var batchSizeBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
 // New builds a server over an execution engine, a base topology and the
 // origination set (destination → originated weight), computes the
 // initial snapshot with the worker pool and publishes it. The engine is
 // wrapped with exec.Concurrent, so a dynamic backend may be handed in
-// directly. Destinations that do not converge within the solver budget
-// are reported in the snapshot, not as an error.
-func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts Options) (*Server, error) {
+// directly (WithEngine overrides it). Destinations that do not converge
+// within the solver budget are reported in the snapshot, not as an
+// error.
+func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Option) (*Server, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&cfg)
+		}
+	}
+	if cfg.engine != nil {
+		eng = cfg.engine
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("serve: nil execution engine")
+	}
 	if len(origins) == 0 {
 		return nil, fmt.Errorf("serve: no destinations originated")
 	}
@@ -174,48 +357,55 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts Options
 		dests = append(dests, d)
 	}
 	sort.Ints(dests)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = 4
+	if cfg.queueCap <= 0 {
+		cfg.queueCap = 1024
 	}
 	s := &Server{
-		eng:      exec.Concurrent(eng),
-		base:     g,
-		origins:  origins,
-		dests:    dests,
-		workers:  workers,
-		disabled: make([]bool, len(g.Arcs)),
-		tasks:    make(chan func(*solve.Workspace)),
+		eng:            exec.Concurrent(eng),
+		base:           g,
+		origins:        origins,
+		dests:          dests,
+		disabled:       make([]bool, len(g.Arcs)),
+		backpressure:   cfg.backpressure,
+		intake:         make(chan ArcEvent, cfg.queueCap),
+		pending:        make(map[int]bool),
+		stop:           make(chan struct{}),
+		rebuildTimeout: cfg.rebuildTimeout,
 	}
-	if opts.Telemetry != nil {
+	if cfg.registry != nil {
 		s.queryNS = telemetry.NewLatencyHistogram()
 		s.eventNS = telemetry.NewLatencyHistogram()
+		s.shardNS = telemetry.NewLatencyHistogram()
+		s.batchSize = telemetry.NewHistogram(batchSizeBuckets)
 		s.solveMetrics = solve.NewMetrics()
-		s.slowNS = opts.SlowQueryNS
+		s.slowNS = cfg.slowQueryNS
 		if s.slowNS <= 0 {
 			s.slowNS = int64(time.Millisecond)
 		}
 		s.slow = telemetry.NewRing[SlowQuery](128)
-		s.register(opts.Telemetry)
 	}
-	for i := 0; i < workers; i++ {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			ws := solve.NewWorkspace()
-			ws.Metrics = s.solveMetrics
-			for fn := range s.tasks {
-				fn(ws)
-			}
-		}()
+	// The pool's workers create their workspaces eagerly, so the solve
+	// metrics sink must be in place before the pool starts.
+	s.pool = sched.New(cfg.workers, func() *solve.Workspace {
+		ws := solve.NewWorkspace()
+		ws.Metrics = s.solveMetrics
+		return ws
+	})
+	s.workers = s.pool.Workers()
+	if cfg.registry != nil {
+		s.register(cfg.registry)
 	}
 	view := g.MaskArcs(s.disabled)
-	table, unconv, err := s.buildDests(view, dests, nil)
+	table, unconv, err := s.buildDests(context.Background(), view, dests, nil)
 	if err != nil {
 		s.Close()
 		return nil, err
 	}
 	s.publish(view, table, unconv)
+	if !cfg.noBatcher {
+		s.batcherWG.Add(1)
+		go s.batchLoop()
+	}
 	return s, nil
 }
 
@@ -230,6 +420,17 @@ func (s *Server) register(reg *telemetry.Registry) {
 	reg.AddCounter("mrserve_dest_recomputes_total", "Destination columns recomputed.", &s.destRecomputes)
 	reg.AddCounter("mrserve_dest_reuses_total", "Destination columns shared with the previous snapshot.", &s.destReuses)
 	reg.AddCounter("mrserve_route_flaps_total", "Route entries that changed across snapshot swaps.", &s.flaps)
+	reg.AddCounter("mrserve_event_batches_total", "Coalesced event batches applied.", &s.batches)
+	reg.AddCounter("mrserve_events_coalesced_total",
+		"Events absorbed by coalescing without a recompute of their own (cancelled, duplicate or no-op).", &s.coalesced)
+	reg.AddCounter("mrserve_events_rejected_total",
+		"Events rejected by the full intake queue under the reject policy.", &s.rejected)
+	reg.AddCounter("mrserve_event_batch_errors_total",
+		"Batched recomputes abandoned on error or deadline.", &s.batchErrors)
+	reg.AddGaugeFunc("mrserve_event_queue_depth",
+		"Events waiting in the intake queue plus pending coalesced arcs.", func() float64 {
+			return float64(s.queueDepth())
+		})
 	reg.AddGaugeFunc("mrserve_snapshot_version", "Version of the published snapshot.", func() float64 {
 		if sn := s.snap.Load(); sn != nil {
 			return float64(sn.Version)
@@ -244,7 +445,7 @@ func (s *Server) register(reg *telemetry.Registry) {
 			return 0
 		})
 	reg.AddGaugeFunc("mrserve_convergence_last_event_seconds",
-		"Reconvergence time of the most recent applied topology event.", func() float64 {
+		"Reconvergence time of the most recent applied topology batch.", func() float64 {
 			return float64(s.lastEventNS.Load()) / 1e9
 		})
 	reg.AddGaugeFunc("mrserve_disabled_arcs", "Arcs currently failed.", func() float64 {
@@ -264,34 +465,52 @@ func (s *Server) register(reg *telemetry.Registry) {
 	reg.AddGaugeFunc("mrserve_workers", "Snapshot builder worker pool size.", func() float64 { return float64(s.workers) })
 	reg.AddHistogram("mrserve_query_seconds", "Per-query latency (a Forward resolution).", s.queryNS, 1e9)
 	reg.AddHistogram("mrserve_convergence_event_seconds",
-		"Reconvergence latency per applied topology event (recompute + snapshot swap).", s.eventNS, 1e9)
+		"Reconvergence latency per applied topology batch (coalesce + recompute + snapshot swap).", s.eventNS, 1e9)
+	reg.AddHistogram("mrserve_event_batch_size", "Raw events per applied batch, before coalescing.", s.batchSize, 1)
+	reg.AddHistogram("mrserve_shard_rebuild_seconds",
+		"Per-destination column rebuild latency inside the sharded snapshot builder.", s.shardNS, 1e9)
 	s.solveMetrics.Register(reg, "mrserve_solve")
 }
 
 // NewFromScenario builds a server from a parsed scenario: its engine,
-// topology, and single origination. Replay the scenario's events with
-// Replay(sc.SortedEvents()).
-func NewFromScenario(sc *scenario.Scenario, opts Options) (*Server, error) {
-	return New(sc.Engine, sc.Graph, map[int]value.V{sc.Dest: sc.Origin}, opts)
+// topology, and single origination (WithEngine overrides the engine).
+// Replay the scenario's events with Replay(ctx, sc.SortedEvents()).
+func NewFromScenario(sc *scenario.Scenario, opts ...Option) (*Server, error) {
+	return New(sc.Engine, sc.Graph, map[int]value.V{sc.Dest: sc.Origin}, opts...)
 }
 
-// Close stops the worker pool. The current snapshot stays readable, but
-// ApplyEvent/Rebuild must not be called afterwards.
+// stopBatcher halts the intake batcher exactly once and waits it out.
+func (s *Server) stopBatcher() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.batcherWG.Wait()
+	})
+}
+
+// Close stops the batcher and the worker pool. The current snapshot
+// stays readable, but ApplyEvent/ApplyBatch/Rebuild must not be called
+// afterwards.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
-	close(s.tasks)
-	s.wg.Wait()
+	s.mu.Unlock()
+	s.stopBatcher()
+	// Reacquiring the writer lock waits out any in-flight mutation
+	// before the pool goes away; new ones bail on the closed flag.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.Close()
 }
 
 // buildDests computes entry columns for the recompute set on view,
 // sharding destinations across the worker pool; columns for every other
 // destination are shared with prev by reference (they are immutable).
-func (s *Server) buildDests(view *graph.Graph, recompute []int, prev map[int][]*rib.Entry) (map[int][]*rib.Entry, []int, error) {
+// A ctx cancellation abandons the build and returns ctx.Err().
+func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev map[int][]*rib.Entry) (map[int][]*rib.Entry, []int, error) {
 	table := make(map[int][]*rib.Entry, len(s.dests))
 	if prev != nil {
 		inRecompute := make(map[int]bool, len(recompute))
@@ -307,25 +526,29 @@ func (s *Server) buildDests(view *graph.Graph, recompute []int, prev map[int][]*
 	type built struct {
 		entries   []*rib.Entry
 		converged bool
-		err       error
 	}
 	results := make([]built, len(recompute))
-	var wg sync.WaitGroup
-	for i, d := range recompute {
-		i, d := i, d
-		wg.Add(1)
-		s.tasks <- func(ws *solve.Workspace) {
-			defer wg.Done()
-			entries, converged, err := rib.BuildDestEngine(s.eng, view, d, s.origins[d], ws)
-			results[i] = built{entries: entries, converged: converged, err: err}
+	err := s.pool.Map(ctx, len(recompute), func(i int, ws *solve.Workspace) error {
+		d := recompute[i]
+		var t0 time.Time
+		if s.shardNS != nil {
+			t0 = time.Now()
 		}
+		entries, converged, err := rib.BuildDestEngine(s.eng, view, d, s.origins[d], ws)
+		if err != nil {
+			return err
+		}
+		if s.shardNS != nil {
+			s.shardNS.Observe(time.Since(t0).Nanoseconds())
+		}
+		results[i] = built{entries: entries, converged: converged}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	wg.Wait()
 	var unconverged []int
 	for i, d := range recompute {
-		if results[i].err != nil {
-			return nil, nil, results[i].err
-		}
 		if !results[i].converged {
 			unconverged = append(unconverged, d)
 		}
@@ -399,50 +622,106 @@ func entryEqual(a, b *rib.Entry) bool {
 	return true
 }
 
-// ApplyEvent applies a link failure (fail=true) or recovery to the arc
-// with the given index, recomputing only invalidated destinations, and
-// publishes the resulting snapshot. It reports whether the event changed
-// anything (re-failing a failed arc is a no-op) and how many
-// destinations were recomputed. Readers are never blocked: they keep
-// resolving against the previous snapshot until the swap.
-func (s *Server) ApplyEvent(arc int, fail bool) (applied bool, recomputed int, err error) {
+// Coalesce reduces an event sequence to its net per-arc effect against
+// the given failure state: the last event for an arc names its desired
+// state, and arcs whose desired state equals disabled[arc] drop out —
+// so a down followed by an up cancels, and duplicate downs dedupe to
+// one toggle. The result is the toggle set, sorted by arc index, each
+// entry carrying the arc's new state. Events naming arcs outside
+// [0, len(disabled)) are an error.
+func Coalesce(events []ArcEvent, disabled []bool) ([]ArcEvent, error) {
+	desired := make(map[int]bool, len(events))
+	for _, ev := range events {
+		if ev.Arc < 0 || ev.Arc >= len(disabled) {
+			return nil, fmt.Errorf("serve: arc %d out of range [0,%d)", ev.Arc, len(disabled))
+		}
+		desired[ev.Arc] = ev.Fail
+	}
+	toggles := make([]ArcEvent, 0, len(desired))
+	for arc, fail := range desired {
+		if disabled[arc] != fail {
+			toggles = append(toggles, ArcEvent{Arc: arc, Fail: fail})
+		}
+	}
+	sort.Slice(toggles, func(i, j int) bool { return toggles[i].Arc < toggles[j].Arc })
+	return toggles, nil
+}
+
+// invalidated returns, in ascending order, the destinations whose
+// columns any of the toggled arcs can touch — the union of the
+// per-event skip rule over the batch, evaluated against the pre-batch
+// snapshot (sound for the whole batch; see the package comment).
+// Callers hold s.mu.
+func (s *Server) invalidated(cur *Snapshot, toggles []ArcEvent) []int {
+	var recompute []int
+	for _, d := range s.dests {
+		for _, t := range toggles {
+			a := s.base.Arcs[t.Arc]
+			if a.From == d || cur.rib.Lookup(a.To, d) == nil {
+				continue
+			}
+			recompute = append(recompute, d)
+			break
+		}
+	}
+	return recompute
+}
+
+// ApplyBatch coalesces events to their net per-arc effect and applies
+// the result as one recompute + one snapshot swap. It reports how many
+// arcs actually toggled and how many destination columns were
+// recomputed; a batch that coalesces to nothing publishes nothing and
+// costs nothing. On error — including ctx cancellation or deadline —
+// the previous snapshot and failure state stay intact. Readers are
+// never blocked: they keep resolving against the previous snapshot
+// until the swap.
+func (s *Server) ApplyBatch(ctx context.Context, events []ArcEvent) (applied, recomputed int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return false, 0, fmt.Errorf("serve: server is closed")
+		return 0, 0, fmt.Errorf("serve: server is closed")
 	}
-	if arc < 0 || arc >= len(s.base.Arcs) {
-		return false, 0, fmt.Errorf("serve: arc %d out of range [0,%d)", arc, len(s.base.Arcs))
+	toggles, err := Coalesce(events, s.disabled)
+	if err != nil {
+		return 0, 0, err
 	}
-	if s.disabled[arc] == fail {
-		return false, 0, nil
+	s.coalesced.Add(uint64(len(events) - len(toggles)))
+	if len(toggles) == 0 {
+		return 0, 0, nil
 	}
 	var t0 time.Time
 	if s.eventNS != nil {
 		t0 = time.Now()
 	}
 	cur := s.snap.Load()
-	s.disabled[arc] = fail
-	view := cur.Graph.WithArcToggled(arc, s.disabled)
-	a := s.base.Arcs[arc]
-	var recompute []int
-	for _, d := range s.dests {
-		// Sound skips (see the package comment): the solver never
-		// consults the destination's own out-arcs, and an arc whose head
-		// holds no route toward d never contributes a candidate in any
-		// round of a from-scratch run.
-		if a.From == d || cur.rib.Lookup(a.To, d) == nil {
-			continue
+	revert := func() {
+		for _, t := range toggles {
+			s.disabled[t.Arc] = !t.Fail
 		}
-		recompute = append(recompute, d)
 	}
-	table, unconv, err := s.buildDests(view, recompute, cur.table)
+	for _, t := range toggles {
+		s.disabled[t.Arc] = t.Fail
+	}
+	var view *graph.Graph
+	if len(toggles) == 1 {
+		// Single toggle: copy-on-write view, O(N + deg) instead of a full
+		// re-index.
+		view = cur.Graph.WithArcToggled(toggles[0].Arc, s.disabled)
+	} else {
+		view = s.base.MaskArcs(s.disabled)
+	}
+	recompute := s.invalidated(cur, toggles)
+	table, unconv, err := s.buildDests(ctx, view, recompute, cur.table)
 	if err != nil {
-		s.disabled[arc] = !fail
-		return false, 0, err
+		revert()
+		return 0, 0, err
 	}
 	s.publish(view, table, unconv)
-	s.events.Add(1)
+	s.events.Add(uint64(len(toggles)))
+	s.batches.Add(1)
+	if s.batchSize != nil {
+		s.batchSize.Observe(int64(len(events)))
+	}
 	if len(recompute) == len(s.dests) {
 		s.full.Add(1)
 	} else {
@@ -455,27 +734,142 @@ func (s *Server) ApplyEvent(arc int, fail bool) (applied bool, recomputed int, e
 		s.eventNS.Observe(ns)
 		s.lastEventNS.Set(ns)
 	}
-	return true, len(recompute), nil
+	return len(toggles), len(recompute), nil
+}
+
+// ApplyEvent applies a link failure (fail=true) or recovery to the arc
+// with the given index, recomputing only invalidated destinations, and
+// publishes the resulting snapshot. It reports whether the event changed
+// anything (re-failing a failed arc is a no-op) and how many
+// destinations were recomputed. A ctx cancellation or deadline abandons
+// the recompute and leaves the previous snapshot intact.
+func (s *Server) ApplyEvent(ctx context.Context, arc int, fail bool) (applied bool, recomputed int, err error) {
+	n, recomputed, err := s.ApplyBatch(ctx, []ArcEvent{{Arc: arc, Fail: fail}})
+	return n > 0, recomputed, err
 }
 
 // ApplyEventEndpoints is ApplyEvent with the arc named by its endpoints
 // (the form HTTP clients and scenario files use).
-func (s *Server) ApplyEventEndpoints(from, to int, fail bool) (bool, int, error) {
-	for ai, a := range s.base.Arcs {
-		if a.From == from && a.To == to {
-			return s.ApplyEvent(ai, fail)
-		}
+func (s *Server) ApplyEventEndpoints(ctx context.Context, from, to int, fail bool) (bool, int, error) {
+	ai, err := s.arcByEndpoints(from, to)
+	if err != nil {
+		return false, 0, err
 	}
-	return false, 0, fmt.Errorf("serve: no arc %d → %d", from, to)
+	return s.ApplyEvent(ctx, ai, fail)
 }
 
-// Replay applies topology events in firing order (protocol.LinkEvent.At
-// ascending) and returns how many changed the topology.
-func (s *Server) Replay(events []protocol.LinkEvent) (applied int, err error) {
+// arcByEndpoints resolves a from→to arc to its index.
+func (s *Server) arcByEndpoints(from, to int) (int, error) {
+	for ai, a := range s.base.Arcs {
+		if a.From == from && a.To == to {
+			return ai, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: no arc %d → %d", from, to)
+}
+
+// EnqueueEvent hands an event to the intake queue for asynchronous
+// batched application. When the queue is full the configured
+// backpressure policy decides: BackpressureReject fails with
+// ErrBacklogged, BackpressureStale absorbs the event into the pending
+// coalesced state (per-arc last-write-wins) and lets the snapshot lag.
+func (s *Server) EnqueueEvent(ev ArcEvent) error {
+	if ev.Arc < 0 || ev.Arc >= len(s.base.Arcs) {
+		return fmt.Errorf("serve: arc %d out of range [0,%d)", ev.Arc, len(s.base.Arcs))
+	}
+	select {
+	case <-s.stop:
+		return fmt.Errorf("serve: server is closed")
+	default:
+	}
+	select {
+	case s.intake <- ev:
+		return nil
+	default:
+	}
+	if s.backpressure == BackpressureStale {
+		s.pendingMu.Lock()
+		s.pending[ev.Arc] = ev.Fail
+		s.pendingMu.Unlock()
+		return nil
+	}
+	s.rejected.Add(1)
+	return ErrBacklogged
+}
+
+// queueDepth reads the intake backlog: queued events plus pending
+// coalesced arcs.
+func (s *Server) queueDepth() int {
+	s.pendingMu.Lock()
+	p := len(s.pending)
+	s.pendingMu.Unlock()
+	return len(s.intake) + p
+}
+
+// batchLoop is the intake batcher: it sleeps on the queue, then drains
+// every event queued behind the first — a burst becomes one coalesced
+// batch, one recompute, one swap.
+func (s *Server) batchLoop() {
+	defer s.batcherWG.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case ev := <-s.intake:
+			if err := s.drainAndApply(&ev); err != nil {
+				s.batchErrors.Add(1)
+			}
+		}
+	}
+}
+
+// drainAndApply collects first (when non-nil), everything currently
+// queued and the pending coalesced state into one batch and applies it.
+// Pending entries append last, so under the stale policy the newest
+// per-arc state wins.
+func (s *Server) drainAndApply(first *ArcEvent) error {
+	batch := make([]ArcEvent, 0, 16)
+	if first != nil {
+		batch = append(batch, *first)
+	}
+drain:
+	for {
+		select {
+		case ev := <-s.intake:
+			batch = append(batch, ev)
+		default:
+			break drain
+		}
+	}
+	s.pendingMu.Lock()
+	for arc, fail := range s.pending {
+		batch = append(batch, ArcEvent{Arc: arc, Fail: fail})
+	}
+	clear(s.pending)
+	s.pendingMu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	ctx := context.Background()
+	if s.rebuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.rebuildTimeout)
+		defer cancel()
+	}
+	_, _, err := s.ApplyBatch(ctx, batch)
+	return err
+}
+
+// Replay applies topology events in firing order and returns how many
+// changed the topology. The input may arrive unsorted: like
+// scenario.SortedEvents, Replay stable-sorts a copy by LinkEvent.At
+// before applying, so a scenario's semantics never depend on file
+// order.
+func (s *Server) Replay(ctx context.Context, events []protocol.LinkEvent) (applied int, err error) {
 	evs := append([]protocol.LinkEvent(nil), events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	for _, ev := range evs {
-		ok, _, err := s.ApplyEvent(ev.Arc, ev.Fail)
+		ok, _, err := s.ApplyEvent(ctx, ev.Arc, ev.Fail)
 		if err != nil {
 			return applied, err
 		}
@@ -488,15 +882,16 @@ func (s *Server) Replay(events []protocol.LinkEvent) (applied int, err error) {
 
 // Rebuild recomputes every destination from scratch on the current
 // topology and publishes the result — the full-rebuild baseline the
-// incremental path is benchmarked against.
-func (s *Server) Rebuild() error {
+// incremental path is benchmarked against. A ctx cancellation abandons
+// the rebuild and leaves the previous snapshot intact.
+func (s *Server) Rebuild(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("serve: server is closed")
 	}
 	view := s.base.MaskArcs(s.disabled)
-	table, unconv, err := s.buildDests(view, s.dests, nil)
+	table, unconv, err := s.buildDests(ctx, view, s.dests, nil)
 	if err != nil {
 		return err
 	}
@@ -505,6 +900,10 @@ func (s *Server) Rebuild() error {
 	s.destRecomputes.Add(uint64(len(s.dests)))
 	return nil
 }
+
+// RebuildTimeout reports the configured per-rebuild deadline (0: none);
+// the HTTP event handlers derive request contexts from it.
+func (s *Server) RebuildTimeout() time.Duration { return s.rebuildTimeout }
 
 // Snapshot returns the current snapshot (never nil after New).
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
@@ -583,6 +982,13 @@ func (s *Server) Stats() Stats {
 		FullRecomputes:        s.full.Load(),
 		DestRecomputes:        s.destRecomputes.Load(),
 		DestReuses:            s.destReuses.Load(),
+		BatchesApplied:        s.batches.Load(),
+		EventsCoalesced:       s.coalesced.Load(),
+		EventsRejected:        s.rejected.Load(),
+		BatchErrors:           s.batchErrors.Load(),
+		QueueDepth:            s.queueDepth(),
+		QueueCapacity:         cap(s.intake),
+		Backpressure:          s.backpressure.String(),
 		SnapshotVersion:       sn.Version,
 		Destinations:          len(s.dests),
 		Nodes:                 s.base.N,

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -14,6 +15,7 @@ import (
 	"metarouting/internal/rib"
 	"metarouting/internal/scenario"
 	"metarouting/internal/serve"
+	"metarouting/internal/telemetry"
 	"metarouting/internal/value"
 )
 
@@ -110,7 +112,7 @@ func TestServeDifferentialIncremental(t *testing.T) {
 		}
 		// The server runs whatever backend exec.For picks; the reference
 		// build runs an independent dynamic engine.
-		srv, err := serve.New(exec.For(a.OT, vs...), g, origins, serve.Options{Workers: 1 + r.Intn(4)})
+		srv, err := serve.New(exec.For(a.OT, vs...), g, origins, serve.WithWorkers(1+r.Intn(4)))
 		if err != nil {
 			t.Fatalf("trial %d: %s: %v", trial, src, err)
 		}
@@ -128,7 +130,7 @@ func TestServeDifferentialIncremental(t *testing.T) {
 			if r.Intn(4) == 0 {
 				fail = !fail // sprinkle in no-op events
 			}
-			applied, recomputed, err := srv.ApplyEvent(arc, fail)
+			applied, recomputed, err := srv.ApplyEvent(context.Background(), arc, fail)
 			if err != nil {
 				t.Fatalf("%s step %d: %v", label, step, err)
 			}
@@ -160,7 +162,7 @@ func TestServeConcurrentReaders(t *testing.T) {
 	}
 	g := graph.Grid(r, 4, 4, graph.UniformLabels(a.OT.F.Size()))
 	origins := map[int]value.V{0: value.Pair{A: 0, B: 0}, 15: value.Pair{A: 4, B: 1}}
-	srv, err := serve.New(exec.For(a.OT), g, origins, serve.Options{Workers: 4})
+	srv, err := serve.New(exec.For(a.OT), g, origins, serve.WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +193,7 @@ func TestServeConcurrentReaders(t *testing.T) {
 	}
 	for step := 0; step < 40; step++ {
 		arc := r.Intn(len(g.Arcs))
-		if _, _, err := srv.ApplyEvent(arc, step%2 == 0); err != nil {
+		if _, _, err := srv.ApplyEvent(context.Background(), arc, step%2 == 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -217,7 +219,7 @@ func TestServeCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := graph.Ring(r, 6, graph.UniformLabels(a.OT.F.Size()))
-	srv, err := serve.New(exec.For(a.OT), g, map[int]value.V{0: 0, 3: 0}, serve.Options{})
+	srv, err := serve.New(exec.For(a.OT), g, map[int]value.V{0: 0, 3: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,10 +234,10 @@ func TestServeCounters(t *testing.T) {
 	if got := srv.Stats().Queries; got != 2 {
 		t.Fatalf("queries counter: got %d, want 2", got)
 	}
-	if _, _, err := srv.ApplyEvent(0, true); err != nil {
+	if _, _, err := srv.ApplyEvent(context.Background(), 0, true); err != nil {
 		t.Fatal(err)
 	}
-	if applied, _, err := srv.ApplyEvent(0, true); err != nil || applied {
+	if applied, _, err := srv.ApplyEvent(context.Background(), 0, true); err != nil || applied {
 		t.Fatalf("duplicate failure must be a no-op (applied=%v err=%v)", applied, err)
 	}
 	st = srv.Stats()
@@ -248,18 +250,50 @@ func TestServeCounters(t *testing.T) {
 	if st.DestRecomputes+st.DestReuses != 2 {
 		t.Fatalf("dest counters must cover both destinations: %+v", st)
 	}
-	if err := srv.Rebuild(); err != nil {
+	if err := srv.Rebuild(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	st = srv.Stats()
 	if st.FullRecomputes < 1 || st.SnapshotVersion != 3 {
 		t.Fatalf("rebuild stats wrong: %+v", st)
 	}
-	if _, _, err := srv.ApplyEvent(99, true); err == nil {
+	if _, _, err := srv.ApplyEvent(context.Background(), 99, true); err == nil {
 		t.Fatal("out-of-range arc must error")
 	}
-	if _, _, err := srv.ApplyEventEndpoints(0, 3, true); err == nil {
+	if _, _, err := srv.ApplyEventEndpoints(context.Background(), 0, 3, true); err == nil {
 		t.Fatal("missing endpoint arc must error")
+	}
+}
+
+// TestServeDeprecatedOptions: the PR-2 Options struct still works as an
+// option value, so pre-v1 positional call sites compile and behave
+// unchanged.
+func TestServeDeprecatedOptions(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a, err := core.InferString("delay(32,4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Ring(r, 6, graph.UniformLabels(a.OT.F.Size()))
+	reg := telemetry.NewRegistry()
+	srv, err := serve.New(exec.For(a.OT), g, map[int]value.V{0: 0},
+		serve.Options{Workers: 2, Telemetry: reg, SlowQueryNS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if st := srv.Stats(); st.Workers != 2 {
+		t.Fatalf("Options.Workers ignored: %+v", st)
+	}
+	if _, _, err := srv.ApplyEvent(context.Background(), 0, true); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mrserve_events_applied_total 1") {
+		t.Fatal("Options.Telemetry must register the server's metrics")
 	}
 }
 
@@ -283,12 +317,12 @@ event  300 fail 2 0
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.NewFromScenario(sc, serve.Options{Workers: 2})
+	srv, err := serve.NewFromScenario(sc, serve.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	applied, err := srv.Replay(sc.SortedEvents())
+	applied, err := srv.Replay(context.Background(), sc.SortedEvents())
 	if err != nil {
 		t.Fatal(err)
 	}

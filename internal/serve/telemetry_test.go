@@ -7,6 +7,7 @@ package serve_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -48,10 +49,8 @@ func TestServeTelemetry(t *testing.T) {
 	g := graph.Grid(r, 4, 4, graph.UniformLabels(a.OT.F.Size()))
 	origins := map[int]value.V{0: value.Pair{A: 0, B: 0}, 15: value.Pair{A: 1, B: 0}}
 	reg := telemetry.NewRegistry()
-	srv, err := serve.New(exec.For(a.OT), g, origins, serve.Options{
-		Workers: 2, Telemetry: reg,
-		SlowQueryNS: 1, // every timed query crosses the threshold
-	})
+	srv, err := serve.New(exec.For(a.OT), g, origins, serve.WithWorkers(2), serve.WithRegistry(reg),
+		serve.WithSlowQuery(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +113,7 @@ func TestServeTelemetry(t *testing.T) {
 	if !ok {
 		t.Fatalf("path %v not an arc walk", path)
 	}
-	if _, _, err := srv.ApplyEvent(arcIdxs[0], true); err != nil {
+	if _, _, err := srv.ApplyEvent(context.Background(), arcIdxs[0], true); err != nil {
 		t.Fatal(err)
 	}
 	d = dump()
@@ -133,7 +132,7 @@ func TestServeTelemetry(t *testing.T) {
 
 	// The uninstrumented configuration keeps the hot path bare: no
 	// histogram, no slow ring, but the cheap counters still serve Stats.
-	bare, err := serve.New(exec.For(a.OT), g, origins, serve.Options{Workers: 2})
+	bare, err := serve.New(exec.For(a.OT), g, origins, serve.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}

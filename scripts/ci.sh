@@ -4,6 +4,13 @@ set -eux
 
 go build ./...
 go vet ./...
+
+# staticcheck when available (CI installs a pinned version; local runs
+# without it are still valid).
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+fi
+
 go test -race ./...
 
 # The serve subsystem is the concurrency-heavy code path: exercise its
@@ -21,6 +28,13 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 go run ./cmd/mrserve -telemetry-bench -random 24 -dests 4 \
   -bench-queries 2000 -bench-rounds 2 -out /tmp/bench_telemetry_smoke.json
 grep -q overhead_pct /tmp/bench_telemetry_smoke.json
+
+# Parallel-rebuild bench smoke: the serial-vs-batched storm measurement
+# must run end to end and emit a well-formed report. The committed
+# BENCH_parallel.json holds the real numbers.
+go run ./cmd/mrserve -parallel-bench -random 24 -dests 4 \
+  -storm-events 8 -bench-rounds 2 -out /tmp/bench_parallel_smoke.json
+grep -q speedup_pipeline /tmp/bench_parallel_smoke.json
 
 # Fuzz smoke: a short live session per target so the fuzz harnesses
 # cannot bit-rot (go test accepts one -fuzz target per invocation).
