@@ -11,6 +11,7 @@
 //	mrserve -expr 'delay(64,4)' -random 48 -loadgen -out BENCH_serve.json
 //	mrserve -telemetry-bench -out BENCH_telemetry.json
 //	mrserve -parallel-bench -random 64 -dests 8 -out BENCH_parallel.json
+//	mrserve -delta-bench -random 64 -dests 8 -out BENCH_delta.json
 //
 // Endpoints (v1; the unversioned spellings remain as deprecated
 // aliases answering identically plus a Deprecation header):
@@ -47,6 +48,9 @@
 // -parallel-bench measures the parallel batched rebuild pipeline
 // against the serial per-event path (paired storms, 1 worker vs the
 // full pool) and writes BENCH_parallel.json.
+// -delta-bench measures warm-start delta reconvergence against
+// from-scratch rebuilds on paired small-perturbation storms and writes
+// BENCH_delta.json.
 package main
 
 import (
@@ -101,6 +105,9 @@ func main() {
 
 		parallelBench = flag.Bool("parallel-bench", false, "measure the batched parallel rebuild pipeline against the serial per-event path instead of serving")
 		stormEvents   = flag.Int("storm-events", 32, "parallel-bench: link toggles per storm")
+
+		deltaBench     = flag.Bool("delta-bench", false, "measure warm-start delta reconvergence against from-scratch rebuilds on small-perturbation storms instead of serving")
+		deltaStormArcs = flag.Int("delta-storm-arcs", 4, "delta-bench: distinct arcs failed (then restored) per storm")
 	)
 	flag.Parse()
 	if _, err := cliflag.ApplyEngine(*engine); err != nil {
@@ -117,6 +124,10 @@ func main() {
 	}
 	if *parallelBench {
 		runParallelBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *stormEvents, *benchRounds, *out)
+		return
+	}
+	if *deltaBench {
+		runDeltaBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *deltaStormArcs, *benchRounds, *out)
 		return
 	}
 
@@ -208,7 +219,8 @@ func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, d
 	for i := 0; i < destCount; i++ {
 		origins[i*g.N/destCount] = origin
 	}
-	srv, err := serve.New(exec.For(a.OT, origin), g, origins, opts...)
+	srv, err := serve.New(exec.For(a.OT, origin), g, origins,
+		append([]serve.Option{serve.WithDeltaProps(a.Props)}, opts...)...)
 	return srv, nil, err
 }
 
@@ -260,6 +272,26 @@ func runParallelBench(exprSrc, scenFile string, randomN int, p float64, seed int
 	if out != "" {
 		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (serial %.0fµs/storm, batched×%d-workers %.0fµs/storm, speedup %.1f×)\n",
 			out, rep.SerialPerEventUS, rep.Workers, rep.BatchedWorkersUS, rep.SpeedupPipeline)
+	}
+}
+
+// runDeltaBench measures warm-start delta reconvergence against
+// from-scratch rebuilds on paired small-perturbation storms and writes
+// BENCH_delta.json.
+func runDeltaBench(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers, stormArcs, rounds int, out string) {
+	mk := func(delta bool) (*serve.Server, error) {
+		srv, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount,
+			serve.WithWorkers(workers), serve.WithDelta(delta))
+		return srv, err
+	}
+	rep, err := serve.MeasureDelta(mk, stormArcs, rounds, seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeReport(rep, out)
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (scratch %.0fµs/batch, delta %.0fµs/batch, speedup %.1f×, mean frontier %.1f of %d nodes)\n",
+			out, rep.ScratchBatchUS, rep.DeltaBatchUS, rep.SpeedupDelta, rep.MeanFrontier, rep.Nodes)
 	}
 }
 

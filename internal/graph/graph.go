@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Arc is a directed edge (From → To) labelled with the index of an arc
@@ -34,6 +35,11 @@ type Graph struct {
 	// base, for views built by MaskArcs/WithArcToggled, is the unmasked
 	// graph whose full adjacency rows seed copy-on-write row rebuilds.
 	base *Graph
+
+	// rev caches the base graph's CSR reverse-adjacency index (built at
+	// most once, shared by every view — see RevIn).
+	revOnce sync.Once
+	rev     *RevCSR
 }
 
 // New builds a graph from a node count and arcs; it validates endpoints.
@@ -133,6 +139,51 @@ func filterRow(row []int, disabled []bool) []int {
 
 // In returns the indices (into Arcs) of arcs entering v.
 func (g *Graph) In(v int) []int { return g.in[v] }
+
+// RevCSR is a compressed-sparse-row reverse-adjacency index over the
+// unmasked arc set: In(v) lists the indices of every arc entering v, in
+// ascending arc-index order, backed by two flat arrays instead of N
+// slice headers. It is built once per base graph and shared by all
+// masked views (arc indices are stable across views), so delta solvers
+// can seed dirty in-neighbours without sweeping the full arc list.
+// Consumers working on a masked view skip disabled arc indices
+// themselves — the index always describes the full topology.
+type RevCSR struct {
+	start []int32 // start[v]..start[v+1] delimits v's row in arcs
+	arcs  []int32 // arc indices grouped by head node
+}
+
+// In returns the indices (into the graph's Arcs) of arcs entering v,
+// including arcs currently masked out of any view.
+func (c *RevCSR) In(v int) []int32 { return c.arcs[c.start[v]:c.start[v+1]] }
+
+// RevIn returns the graph's shared reverse CSR index, building it on
+// first use. The index belongs to the unmasked base graph, so every
+// view of the same topology returns the identical structure; the build
+// is synchronised and the result is immutable, making RevIn safe for
+// concurrent use.
+func (g *Graph) RevIn() *RevCSR {
+	b := g.origin()
+	b.revOnce.Do(func() {
+		c := &RevCSR{
+			start: make([]int32, b.N+1),
+			arcs:  make([]int32, len(b.Arcs)),
+		}
+		for _, a := range b.Arcs {
+			c.start[a.To+1]++
+		}
+		for v := 0; v < b.N; v++ {
+			c.start[v+1] += c.start[v]
+		}
+		fill := append([]int32(nil), c.start[:b.N]...)
+		for i, a := range b.Arcs {
+			c.arcs[fill[a.To]] = int32(i)
+			fill[a.To]++
+		}
+		b.rev = c
+	})
+	return b.rev
+}
 
 // String renders a compact summary.
 func (g *Graph) String() string {

@@ -308,3 +308,33 @@ func TestWithArcToggled(t *testing.T) {
 		}
 	}
 }
+
+// TestRevCSR: the flat reverse index must agree with the per-node In
+// slices on random graphs, list arc indices in ascending order, and be
+// shared (same backing object) between a base graph and its masked
+// views — arc indices are stable across views, so one index serves all.
+func TestRevCSR(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		g := Random(r, 3+r.Intn(12), 0.3, UniformLabels(3))
+		rev := g.RevIn()
+		for v := 0; v < g.N; v++ {
+			row := rev.In(v)
+			if len(row) != len(g.In(v)) {
+				t.Fatalf("node %d: %d reverse arcs, In lists %d", v, len(row), len(g.In(v)))
+			}
+			for i, ai := range row {
+				if g.Arcs[ai].To != v {
+					t.Fatalf("node %d: arc %d does not enter it", v, ai)
+				}
+				if int(ai) != g.In(v)[i] {
+					t.Fatalf("node %d: row %v disagrees with In %v", v, row, g.In(v))
+				}
+			}
+		}
+		masked := g.MaskArcs(make([]bool, len(g.Arcs)))
+		if masked.RevIn() != rev {
+			t.Fatal("masked view must share the base graph's reverse index")
+		}
+	}
+}

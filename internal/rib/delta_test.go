@@ -1,0 +1,175 @@
+package rib
+
+// Tests for the warm-start delta column rebuild and for the RIB access
+// error paths (out-of-range nodes, missing destinations, unrouted
+// sources) that the HTTP handlers lean on.
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/solve"
+	"metarouting/internal/value"
+)
+
+// TestForwardErrorPaths pins the Forward/ECMPWidth failure modes: each
+// must fail (or report zero width) without panicking, and the errors
+// must name what went wrong.
+func TestForwardErrorPaths(t *testing.T) {
+	a := alg(t, "delay(8,1)")
+	// 1 → 0 routed; node 2 isolated.
+	g := graph.MustNew(3, []graph.Arc{{From: 1, To: 0, Label: 0}})
+	rb, err := Build(a, g, map[int]value.V{0: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		from int
+		dest int
+		want string
+	}{
+		{"unknown destination", 1, 2, "unknown destination"},
+		{"negative node", -1, 0, "out of range"},
+		{"node past the graph", 99, 0, "out of range"},
+		{"unrouted source", 2, 0, "no route"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := rb.Forward(tc.from, tc.dest)
+			if err == nil {
+				t.Fatalf("Forward(%d, %d) must fail", tc.from, tc.dest)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	for _, tc := range []struct{ node, dest int }{
+		{1, 2}, {-1, 0}, {99, 0}, {2, 0},
+	} {
+		if w := rb.ECMPWidth(tc.node, tc.dest); w != 0 {
+			t.Fatalf("ECMPWidth(%d, %d) = %d, want 0", tc.node, tc.dest, w)
+		}
+	}
+	if w := rb.ECMPWidth(1, 0); w != 1 {
+		t.Fatalf("routed ECMPWidth = %d, want 1", w)
+	}
+}
+
+// TestDeltaLicensed pins the property gate, including the split that
+// motivates serve.WithDeltaProps: composite algebras carry their
+// theorem-derived M/I judgements on the inference node, not on the
+// order transform the execution engine exposes.
+func TestDeltaLicensed(t *testing.T) {
+	for _, tc := range []struct {
+		src     string
+		otGate  bool // DeltaLicensed on the bare order transform
+		setGate bool // DeltaLicensedSet on the inferred property set
+	}{
+		{"delay(8,2)", true, true},                   // M and I declared on the base OT
+		{"bw(4)", true, true},                        // M only
+		{"lex(bw(4), hops(8))", false, false},        // the non-monotone widest-shortest gadget
+		{"scoped(delay(8,2), hops(8))", false, true}, // M via Theorem 6, invisible on the OT
+		{"lex(delay(16,3), hops(8))", false, true},   // I via Theorem 5, invisible on the OT
+	} {
+		a, err := core.InferString(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := DeltaLicensed(a.OT); got != tc.otGate {
+			t.Errorf("DeltaLicensed(%s) = %v, want %v", tc.src, got, tc.otGate)
+		}
+		if got := DeltaLicensedSet(a.Props); got != tc.setGate {
+			t.Errorf("DeltaLicensedSet(%s) = %v, want %v", tc.src, got, tc.setGate)
+		}
+	}
+}
+
+// TestDeltaDestEngineMatchesBuild: warm-started columns are bit-identical
+// to from-scratch columns across a chain of random toggles, and untouched
+// entries are shared by pointer, not copied.
+func TestDeltaDestEngineMatchesBuild(t *testing.T) {
+	a := alg(t, "delay(16,3)")
+	r := rand.New(rand.NewSource(7))
+	g := graph.Random(r, 12, 0.3, graph.UniformLabels(a.F.Size()))
+	eng := exec.For(a, 0)
+	ws := solve.NewWorkspace()
+	disabled := make([]bool, len(g.Arcs))
+	prev, converged, err := BuildDestEngine(eng, g.MaskArcs(disabled), 0, 0, ws)
+	if err != nil || !converged {
+		t.Fatalf("seed build: converged=%v err=%v", converged, err)
+	}
+	shared := false
+	for step := 0; step < 8; step++ {
+		ai := r.Intn(len(g.Arcs))
+		disabled[ai] = !disabled[ai]
+		view := g.MaskArcs(disabled)
+		toggles := []solve.ArcToggle{{Arc: ai, Down: disabled[ai]}}
+		got, conv, st, err := DeltaDestEngine(eng, view, disabled, 0, 0, ws, prev, toggles)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, wconv, err := BuildDestEngine(eng, view, 0, 0, solve.NewWorkspace())
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if conv != wconv {
+			t.Fatalf("step %d: converged %v, want %v", step, conv, wconv)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d (delta=%v): columns differ\n got: %+v\nwant: %+v", step, st.UsedDelta, got, want)
+		}
+		if st.UsedDelta && len(st.Touched) < g.N {
+			for u := range got {
+				if got[u] != nil && got[u] == prev[u] {
+					shared = true
+				}
+			}
+		}
+		prev = got
+	}
+	if !shared {
+		t.Fatal("no untouched entry was ever shared by pointer — the delta path never paid off")
+	}
+}
+
+// TestDeltaDestEngineFallbacks pins the unusable-warm-start cases: each
+// must quietly rebuild from scratch with zero delta stats, and a bad
+// destination must fail loudly.
+func TestDeltaDestEngineFallbacks(t *testing.T) {
+	a := alg(t, "delay(8,2)")
+	g := graph.MustNew(3, []graph.Arc{{From: 1, To: 0, Label: 1}, {From: 2, To: 1, Label: 1}})
+	eng := exec.For(a, 0)
+	disabled := make([]bool, len(g.Arcs))
+	want, _, err := BuildDestEngine(eng, g, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DeltaDestEngine(eng, g, disabled, 9, 0, nil, want, nil); err == nil {
+		t.Fatal("out-of-range destination must fail")
+	}
+	for _, tc := range []struct {
+		name string
+		prev []*Entry
+	}{
+		{"nil previous column", nil},
+		{"wrong-length column", want[:2]},
+		{"destination missing from column", []*Entry{nil, want[1], want[2]}},
+	} {
+		got, conv, st, err := DeltaDestEngine(eng, g, disabled, 0, 0, nil, tc.prev, nil)
+		if err != nil || !conv {
+			t.Fatalf("%s: converged=%v err=%v", tc.name, conv, err)
+		}
+		if st.UsedDelta || st.Frontier != 0 || len(st.Touched) != 0 {
+			t.Fatalf("%s: fallback must report zero delta stats, got %+v", tc.name, st)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: fallback column differs", tc.name)
+		}
+	}
+}

@@ -6,10 +6,12 @@ package rib
 
 import (
 	"fmt"
+	"sort"
 
 	"metarouting/internal/exec"
 	"metarouting/internal/graph"
 	"metarouting/internal/ost"
+	"metarouting/internal/prop"
 	"metarouting/internal/solve"
 	"metarouting/internal/value"
 )
@@ -80,33 +82,131 @@ func BuildDestEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V,
 		ws = solve.NewWorkspace()
 	}
 	res := ws.BellmanFord(eng, g, dest, origin, 0)
+	return entriesFromResult(eng, g, res), res.Converged, nil
+}
+
+// entriesFromResult builds a full entry column from a solver result.
+func entriesFromResult(eng exec.Algebra, g *graph.Graph, res *solve.Result) []*Entry {
 	entries := make([]*Entry, g.N)
 	for u := 0; u < g.N; u++ {
-		if !res.Routed[u] {
-			continue
-		}
-		e := &Entry{Weight: res.Weights[u]}
-		if u == dest {
-			entries[u] = e
-			continue
-		}
-		e.NextHops = append(e.NextHops, res.NextHop[u])
-		// ECMP: any other neighbour offering an equivalent weight. The
-		// solver produced these weights, so they re-intern for free.
-		best := exec.MustIntern(eng, res.Weights[u])
-		for _, ai := range g.Out(u) {
-			v := g.Arcs[ai].To
-			if v == res.NextHop[u] || !res.Routed[v] {
-				continue
-			}
-			cand := eng.Apply(g.Arcs[ai].Label, exec.MustIntern(eng, res.Weights[v]))
-			if eng.Equiv(cand, best) {
-				e.NextHops = append(e.NextHops, v)
-			}
-		}
-		entries[u] = e
+		entries[u] = entryFromResult(eng, g, res, u)
 	}
-	return entries, res.Converged, nil
+	return entries
+}
+
+// entryFromResult builds node u's entry toward res.Dest (nil when
+// unrouted): the selected weight plus the ECMP set of every neighbour
+// offering an order-equivalent best weight, primary first.
+func entryFromResult(eng exec.Algebra, g *graph.Graph, res *solve.Result, u int) *Entry {
+	if !res.Routed[u] {
+		return nil
+	}
+	e := &Entry{Weight: res.Weights[u]}
+	if u == res.Dest {
+		return e
+	}
+	e.NextHops = append(e.NextHops, res.NextHop[u])
+	// ECMP: any other neighbour offering an equivalent weight. The
+	// solver produced these weights, so they re-intern for free.
+	best := exec.MustIntern(eng, res.Weights[u])
+	for _, ai := range g.Out(u) {
+		v := g.Arcs[ai].To
+		if v == res.NextHop[u] || !res.Routed[v] {
+			continue
+		}
+		cand := eng.Apply(g.Arcs[ai].Label, exec.MustIntern(eng, res.Weights[v]))
+		if eng.Equiv(cand, best) {
+			e.NextHops = append(e.NextHops, v)
+		}
+	}
+	return e
+}
+
+// DeltaLicensed reports whether an algebra's inferred properties license
+// warm-start delta reconvergence: monotonicity (M) makes every fixpoint
+// reached from realisable warm-start values path-optimal, and
+// increasingness (I) gives the unique-fixpoint reconvergence guarantee
+// of Daggitt & Griffin for policy-rich algebras. Only properties the
+// checker established as True count — Unknown or False means the serve
+// layer falls back to from-scratch rebuilds.
+func DeltaLicensed(t *ost.OrderTransform) bool {
+	return DeltaLicensedSet(t.Props)
+}
+
+// DeltaLicensedSet is DeltaLicensed over a bare property set — the form
+// callers holding a core inference result (whose derived judgements live
+// on the Algebra node, not the order transform) use to gate the serve
+// layer's warm-start path.
+func DeltaLicensedSet(p prop.Set) bool {
+	return p.Holds(prop.MLeft) || p.Holds(prop.ILeft)
+}
+
+// DeltaDestEngine recomputes the entry column for a single destination
+// after the given arc toggles, warm-starting from the previous column
+// prev (which the caller asserts came from a converged build of the
+// same destination and origin on the pre-toggle graph). g must be the
+// post-toggle view and disabled the post-toggle mask. When the delta
+// drain runs, only entries of touched nodes and toggle tails are
+// rebuilt; every other node shares its previous *Entry pointer, which
+// is sound because an untouched node kept its own state, its entire
+// out-neighbourhood's state, and its enabled arc set. On any fallback
+// (unusable warm start, oversized frontier, budget exhaustion) the
+// column is rebuilt from scratch; either way the returned column is
+// bit-identical to BuildDestEngine on g.
+func DeltaDestEngine(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, origin value.V, ws *solve.Workspace, prev []*Entry, toggles []solve.ArcToggle) ([]*Entry, bool, solve.DeltaStats, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, false, solve.DeltaStats{}, fmt.Errorf("rib: destination %d out of range", dest)
+	}
+	if ws == nil {
+		ws = solve.NewWorkspace()
+	}
+	if len(prev) != g.N || prev[dest] == nil {
+		entries, converged, err := BuildDestEngine(eng, g, dest, origin, ws)
+		return entries, converged, solve.DeltaStats{}, err
+	}
+	prevRes := &solve.Result{
+		Dest:      dest,
+		Routed:    make([]bool, g.N),
+		Weights:   make([]value.V, g.N),
+		NextHop:   make([]int, g.N),
+		Converged: true,
+	}
+	for u, e := range prev {
+		prevRes.NextHop[u] = -1
+		if e == nil {
+			continue
+		}
+		prevRes.Routed[u] = true
+		prevRes.Weights[u] = e.Weight
+		if u != dest {
+			prevRes.NextHop[u] = e.NextHops[0]
+		}
+	}
+	res, st := ws.BellmanFordDelta(eng, g, disabled, dest, origin, prevRes, toggles, 0)
+	if !st.UsedDelta {
+		return entriesFromResult(eng, g, res), res.Converged, st, nil
+	}
+	entries := append([]*Entry(nil), prev...)
+	for _, u := range st.Touched {
+		entries[u] = entryFromResult(eng, g, res, u)
+	}
+	// Toggle tails outside the touched set: their weight fixpoint did
+	// not move, but a raised arc can add — and a downed non-primary arc
+	// can remove — an equal-cost member of their ECMP set.
+	for _, t := range toggles {
+		x := g.Arcs[t.Arc].From
+		if x == dest || containsSorted(st.Touched, x) {
+			continue
+		}
+		entries[x] = entryFromResult(eng, g, res, x)
+	}
+	return entries, true, st, nil
+}
+
+// containsSorted reports membership in an ascending int slice.
+func containsSorted(xs []int, x int) bool {
+	i := sort.SearchInts(xs, x)
+	return i < len(xs) && xs[i] == x
 }
 
 // FromEntries assembles a RIB from per-destination entry columns
@@ -149,7 +249,9 @@ func (r *RIB) Forward(from, dest int) (graph.Path, error) {
 		return nil, fmt.Errorf("rib: node %d out of range [0,%d)", from, len(entries))
 	}
 	var p graph.Path
-	seen := make(map[int]bool)
+	// Flat visited bitmap: this sits on the /v1/paths hot path, where a
+	// per-call map allocation plus per-hop map ops dominated small walks.
+	seen := make([]bool, len(entries))
 	u := from
 	for {
 		if entries[u] == nil {

@@ -1,0 +1,193 @@
+package serve_test
+
+// Tests for the serve layer's warm-start delta reconvergence: the
+// delta-vs-scratch differential across random licensed algebras,
+// topologies and event storms on both engine backends, the property
+// gate's refusal to warm-start unlicensed (non-monotone) algebras, and
+// a smoke run of the paired benchmark harness. CI runs this file under
+// -race.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/rib"
+	"metarouting/internal/serve"
+	"metarouting/internal/value"
+)
+
+// TestServeDifferentialDelta is the tentpole acceptance test for the
+// delta pipeline: random licensed finite algebras × GNP/ring/grid
+// topologies × random event storms, on both engine backends. A
+// delta-enabled server and a WithDelta(false) server absorb identical
+// batches; after every storm the two snapshots must be bit-identical to
+// each other and to a fresh from-scratch build on the mutated graph.
+func TestServeDifferentialDelta(t *testing.T) {
+	r := rand.New(rand.NewSource(2027))
+	trials := 0
+	var deltaRebuilds uint64
+	for trials < 10 {
+		src := randExpr(r, 2)
+		a, err := core.InferString(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !a.OT.Finite() || a.OT.Carrier().Size() > 4000 || !rib.DeltaLicensedSet(a.Props) {
+			continue
+		}
+		trials++
+		g := randTopo(r, a.OT.F.Size())
+		elems := a.OT.Carrier().Elems
+		origins := map[int]value.V{0: randOrigin(r, elems)}
+		for len(origins) < 2+r.Intn(3) {
+			origins[r.Intn(g.N)] = randOrigin(r, elems)
+		}
+		for name, eng := range engineBackends(t, a.OT) {
+			label := fmt.Sprintf("trial %d: %s on %s (%s)", trials, src, g, name)
+			warm, err := serve.New(eng, g, origins, serve.WithWorkers(2), serve.WithDeltaProps(a.Props))
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			cold, err := serve.New(eng, g, origins, serve.WithWorkers(2), serve.WithDelta(false))
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !warm.Stats().DeltaEnabled {
+				t.Fatalf("%s: licensed algebra must enable the delta path", label)
+			}
+			if cold.Stats().DeltaEnabled {
+				t.Fatalf("%s: WithDelta(false) must pin from-scratch rebuilds", label)
+			}
+			disabled := make([]bool, len(g.Arcs))
+			for storm := 0; storm < 5; storm++ {
+				events := make([]serve.ArcEvent, 1+r.Intn(5))
+				for i := range events {
+					events[i] = serve.ArcEvent{Arc: r.Intn(len(g.Arcs)), Fail: r.Intn(2) == 0}
+					disabled[events[i].Arc] = events[i].Fail
+				}
+				if _, _, err := warm.ApplyBatch(context.Background(), events); err != nil {
+					t.Fatalf("%s storm %d: warm: %v", label, storm, err)
+				}
+				if _, _, err := cold.ApplyBatch(context.Background(), events); err != nil {
+					t.Fatalf("%s storm %d: cold: %v", label, storm, err)
+				}
+				wGot, cGot := warm.Snapshot(), cold.Snapshot()
+				if !reflect.DeepEqual(wGot.Disabled, cGot.Disabled) {
+					t.Fatalf("%s storm %d: disabled state diverged", label, storm)
+				}
+				for _, d := range warm.Dests() {
+					for u := 0; u < g.N; u++ {
+						if we, ce := wGot.Lookup(u, d), cGot.Lookup(u, d); !reflect.DeepEqual(we, ce) {
+							t.Fatalf("%s storm %d: entry (%d→%d) diverged:\n warm: %+v\n cold: %+v",
+								label, storm, u, d, we, ce)
+						}
+					}
+				}
+				fresh, err := rib.BuildEngine(exec.NewDynamic(a.OT), enabledSubgraph(t, g, disabled), origins)
+				if err != nil {
+					t.Fatalf("%s storm %d: fresh build: %v", label, storm, err)
+				}
+				sameTables(t, fmt.Sprintf("%s storm %d", label, storm), wGot, fresh, warm.Dests(), g.N)
+			}
+			deltaRebuilds += warm.Stats().DeltaDestRebuilds
+			warm.Close()
+			cold.Close()
+		}
+	}
+	// The differential is vacuous if the heuristic always cut over.
+	if deltaRebuilds < 20 {
+		t.Fatalf("only %d delta rebuilds across all trials — the warm path barely ran", deltaRebuilds)
+	}
+}
+
+// TestServeDeltaUnlicensedFallsBack exercises the non-monotone fallback:
+// the widest-shortest lex product (the paper's canonical M-failure) must
+// leave the gate closed even with the inferred property set supplied,
+// every rebuild must take the from-scratch path, and the served tables
+// must still match a fresh build.
+func TestServeDeltaUnlicensedFallsBack(t *testing.T) {
+	a, err := core.InferString("lex(bw(4), hops(8))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.DeltaLicensedSet(a.Props) {
+		t.Fatal("widest-shortest must not be licensed — the fixture lost its teeth")
+	}
+	r := rand.New(rand.NewSource(11))
+	g := graph.Grid(r, 4, 4, graph.UniformLabels(a.OT.F.Size()))
+	origins := map[int]value.V{0: value.Pair{A: 4, B: 0}, 15: value.Pair{A: 4, B: 0}}
+	srv, err := serve.New(exec.For(a.OT), g, origins,
+		serve.WithWorkers(2), serve.WithDeltaProps(a.Props))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Stats().DeltaEnabled {
+		t.Fatal("unlicensed algebra must not enable the delta path")
+	}
+	disabled := make([]bool, len(g.Arcs))
+	for storm := 0; storm < 3; storm++ {
+		events := make([]serve.ArcEvent, 1+r.Intn(4))
+		for i := range events {
+			events[i] = serve.ArcEvent{Arc: r.Intn(len(g.Arcs)), Fail: r.Intn(2) == 0}
+			disabled[events[i].Arc] = events[i].Fail
+		}
+		if _, _, err := srv.ApplyBatch(context.Background(), events); err != nil {
+			t.Fatalf("storm %d: %v", storm, err)
+		}
+		fresh, err := rib.BuildEngine(exec.NewDynamic(a.OT), enabledSubgraph(t, g, disabled), origins)
+		if err != nil {
+			t.Fatalf("storm %d: fresh build: %v", storm, err)
+		}
+		sameTables(t, fmt.Sprintf("storm %d", storm), srv.Snapshot(), fresh, srv.Dests(), g.N)
+	}
+	st := srv.Stats()
+	if st.DeltaDestRebuilds != 0 {
+		t.Fatalf("unlicensed server took the delta path %d times", st.DeltaDestRebuilds)
+	}
+	if st.ScratchDestRebuilds == 0 {
+		t.Fatal("storms must have forced from-scratch rebuilds")
+	}
+}
+
+// TestMeasureDeltaSmoke runs the paired benchmark harness at a toy size:
+// the report must be structurally sane and the delta server must have
+// actually exercised the warm path.
+func TestMeasureDeltaSmoke(t *testing.T) {
+	a, err := core.InferString("delay(16,3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(delta bool) (*serve.Server, error) {
+		r := rand.New(rand.NewSource(5))
+		g := graph.Random(r, 16, 0.25, graph.UniformLabels(a.OT.F.Size()))
+		origins := map[int]value.V{0: 0, g.N - 1: 1}
+		return serve.New(exec.For(a.OT), g, origins,
+			serve.WithWorkers(2), serve.WithDelta(delta), serve.WithDeltaProps(a.Props))
+	}
+	rep, err := serve.MeasureDelta(mk, 2, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 16 || rep.StormArcs != 2 || rep.Rounds != 2 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	if rep.DeltaBatchUS <= 0 || rep.ScratchBatchUS <= 0 || rep.SpeedupDelta <= 0 {
+		t.Fatalf("timings missing: %+v", rep)
+	}
+	if rep.DeltaRebuilds == 0 {
+		t.Fatalf("delta server never warm-started: %+v", rep)
+	}
+	// The baseline must refuse a delta-enabled server.
+	if _, err := serve.MeasureDelta(func(bool) (*serve.Server, error) {
+		return mk(true)
+	}, 2, 1, 99); err == nil {
+		t.Fatal("harness must reject a baseline with delta enabled")
+	}
+}

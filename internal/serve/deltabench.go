@@ -1,0 +1,164 @@
+package serve
+
+// This file measures what warm-start delta reconvergence buys over
+// from-scratch rebuilds: paired storm replays on identically built
+// servers, one warm-starting every per-destination rebuild from the
+// current snapshot column, one pinned to full sweeps by WithDelta(false).
+// Storms are small perturbations — a handful of arcs failed as one
+// batch, then restored as another — which is exactly the regime the
+// frontier heuristic bets on. cmd/mrserve -delta-bench writes the result
+// to BENCH_delta.json.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// DeltaReport is the paired delta-vs-scratch measurement. Timings are
+// mean per-batch cost in microseconds; a storm is one fail batch plus
+// one restore batch, so each round contributes two batches per server.
+type DeltaReport struct {
+	Nodes        int    `json:"nodes"`
+	Arcs         int    `json:"arcs"`
+	Destinations int    `json:"destinations"`
+	StormArcs    int    `json:"storm_arcs"`
+	Rounds       int    `json:"rounds"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Engine       string `json:"engine"`
+
+	// ScratchBatchUS is the baseline: every rebuild a full sweep.
+	ScratchBatchUS float64 `json:"scratch_batch_us"`
+	// DeltaBatchUS is the warm-start pipeline on identical batches.
+	DeltaBatchUS float64 `json:"delta_batch_us"`
+	// SpeedupDelta is ScratchBatchUS / DeltaBatchUS — the headline.
+	SpeedupDelta float64 `json:"speedup_delta"`
+
+	// DeltaRebuilds and ScratchRebuilds count the delta server's
+	// per-destination rebuilds by path taken; ScratchRebuilds > 0 here
+	// means frontier cutovers or unusable warm starts, not a gate miss.
+	DeltaRebuilds   uint64 `json:"delta_rebuilds"`
+	ScratchRebuilds uint64 `json:"scratch_rebuilds"`
+	// MeanFrontier and MeanTouched are per-delta-rebuild averages of the
+	// seeded frontier and the nodes the drain ever enqueued.
+	MeanFrontier float64 `json:"mean_frontier_nodes"`
+	MeanTouched  float64 `json:"mean_touched_nodes"`
+}
+
+// MeasureDelta builds two identically configured servers via mk — one
+// with delta reconvergence enabled, one pinned to from-scratch sweeps —
+// and replays rounds deterministic small-perturbation storms through
+// both. Each storm fails stormArcs distinct random arcs as one batch,
+// then restores them as another; both batches are timed on both
+// servers, so the two timings cover identical work and every round ends
+// back at the all-enabled topology. The delta server must actually have
+// the warm-start path licensed (serve the bench an M or I algebra).
+func MeasureDelta(mk func(delta bool) (*Server, error), stormArcs, rounds int, seed int64) (*DeltaReport, error) {
+	if stormArcs <= 0 {
+		stormArcs = 4
+	}
+	if rounds <= 0 {
+		rounds = 10
+	}
+	scratch, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	defer scratch.Close()
+	delta, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+	defer delta.Close()
+	if scratch.base.N != delta.base.N || len(scratch.base.Arcs) != len(delta.base.Arcs) {
+		return nil, fmt.Errorf("serve: mk built different topologies (%d/%d nodes, %d/%d arcs)",
+			scratch.base.N, delta.base.N, len(scratch.base.Arcs), len(delta.base.Arcs))
+	}
+	if scratch.Stats().DeltaEnabled {
+		return nil, fmt.Errorf("serve: baseline server has delta enabled — mk must honour WithDelta(false)")
+	}
+	if !delta.Stats().DeltaEnabled {
+		return nil, fmt.Errorf("serve: delta server has no warm-start license — bench needs an M or I algebra")
+	}
+	arcs := len(scratch.base.Arcs)
+	if stormArcs > arcs {
+		stormArcs = arcs
+	}
+
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(seed))
+
+	// A storm is stormArcs distinct arcs failed together, then restored
+	// together — the small-cut regime where most destination columns
+	// move a little or not at all.
+	makeStorm := func() ([]ArcEvent, []ArcEvent) {
+		picked := make(map[int]bool, stormArcs)
+		fail := make([]ArcEvent, 0, stormArcs)
+		restore := make([]ArcEvent, 0, stormArcs)
+		for len(fail) < stormArcs {
+			arc := r.Intn(arcs)
+			if picked[arc] {
+				continue
+			}
+			picked[arc] = true
+			fail = append(fail, ArcEvent{Arc: arc, Fail: true})
+			restore = append(restore, ArcEvent{Arc: arc, Fail: false})
+		}
+		return fail, restore
+	}
+	runStorm := func(s *Server, fail, restore []ArcEvent) (time.Duration, error) {
+		t0 := time.Now()
+		if _, _, err := s.ApplyBatch(ctx, fail); err != nil {
+			return 0, err
+		}
+		if _, _, err := s.ApplyBatch(ctx, restore); err != nil {
+			return 0, err
+		}
+		return time.Since(t0), nil
+	}
+
+	var scratchNS, deltaNS int64
+	// Round -1 is an unmeasured warmup.
+	for round := -1; round < rounds; round++ {
+		fail, restore := makeStorm()
+		ds, err := runStorm(scratch, fail, restore)
+		if err != nil {
+			return nil, err
+		}
+		dd, err := runStorm(delta, fail, restore)
+		if err != nil {
+			return nil, err
+		}
+		if round >= 0 {
+			scratchNS += ds.Nanoseconds()
+			deltaNS += dd.Nanoseconds()
+		}
+	}
+
+	// Two batches per measured round.
+	batches := float64(2 * rounds)
+	st := delta.Stats()
+	rep := &DeltaReport{
+		Nodes:           scratch.base.N,
+		Arcs:            arcs,
+		Destinations:    len(scratch.dests),
+		StormArcs:       stormArcs,
+		Rounds:          rounds,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Engine:          st.Engine,
+		ScratchBatchUS:  float64(scratchNS) / batches / 1e3,
+		DeltaBatchUS:    float64(deltaNS) / batches / 1e3,
+		DeltaRebuilds:   st.DeltaDestRebuilds,
+		ScratchRebuilds: st.ScratchDestRebuilds,
+	}
+	if rep.DeltaBatchUS > 0 {
+		rep.SpeedupDelta = rep.ScratchBatchUS / rep.DeltaBatchUS
+	}
+	if st.DeltaDestRebuilds > 0 {
+		rep.MeanFrontier = float64(st.DeltaFrontierNodes) / float64(st.DeltaDestRebuilds)
+		rep.MeanTouched = float64(st.DeltaTouchedNodes) / float64(st.DeltaDestRebuilds)
+	}
+	return rep, nil
+}

@@ -200,3 +200,71 @@ func FuzzEventHandler(f *testing.F) {
 		srv.Lookup(0, 0)
 	})
 }
+
+// FuzzRouteHandlerV1 is FuzzRouteHandler over the versioned spellings:
+// /v1/route and /v1/paths must never 500 and must answer valid JSON on
+// 200, whatever the query string holds.
+func FuzzRouteHandlerV1(f *testing.F) {
+	_, h := httpFixture(f, nil)
+	for _, seed := range []string{
+		"from=1&dest=0", "from=999&dest=0", "from=-1&dest=-9999999999999999999",
+		"from=x&dest=", "from=1&dest=0&from=2", "%zz=1", "from=+1&dest=0x10",
+		"from=1;dest=0", "", "dest=8&from=4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		for _, path := range []string{"/v1/route", "/v1/paths"} {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			req.URL.RawQuery = query
+			h.ServeHTTP(rec, req)
+			if rec.Code >= 500 {
+				t.Fatalf("%s?%s: status %d", path, query, rec.Code)
+			}
+			if rec.Code == http.StatusOK && !json.Valid(rec.Body.Bytes()) {
+				t.Fatalf("%s?%s: 200 with invalid JSON: %s", path, query, rec.Body)
+			}
+		}
+	})
+}
+
+// FuzzEventsHandlerV1 throws arbitrary query strings and JSON bodies —
+// batch envelopes, bare events, async requests, garbage — at the
+// versioned /v1/events endpoint: no 500s, and the server must keep
+// serving snapshots afterwards.
+func FuzzEventsHandlerV1(f *testing.F) {
+	srv, h := httpFixture(f, nil)
+	for _, seed := range [][2]string{
+		{"arc=0&kind=fail", ""},
+		{"", `{"events":[{"arc":0,"kind":"fail"},{"arc":1,"kind":"up"}]}`},
+		{"", `{"events":[{"arc":0,"kind":"fail"}],"async":true}`},
+		{"", `{"events":[]}`},
+		{"", `{"events":null,"async":true}`},
+		{"", `{"arc":0,"kind":"fail"}`},
+		{"", `{"from":0,"to":5,"kind":"up"}`},
+		{"", `{"events":[{"arc":18446744073709551615,"kind":"fail"}]}`},
+		{"", `{"events":[{"arc":0,"kind":"` + strings.Repeat("z", 4096) + `"}]}`},
+		{"kind=fail&from=0", `not json at all`},
+		{"arc=-1&kind=up", `{"events":[`},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, query, body string) {
+		rec := httptest.NewRecorder()
+		method := http.MethodGet
+		if body != "" {
+			method = http.MethodPost
+		}
+		req := httptest.NewRequest(method, "/v1/events", strings.NewReader(body))
+		req.URL.RawQuery = query
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("events %q %q: status %d", query, body, rec.Code)
+		}
+		if sn := srv.Snapshot(); sn == nil {
+			t.Fatal("snapshot lost after events")
+		}
+		srv.Lookup(0, 0)
+	})
+}

@@ -51,6 +51,7 @@ import (
 
 	"metarouting/internal/exec"
 	"metarouting/internal/graph"
+	"metarouting/internal/prop"
 	"metarouting/internal/protocol"
 	"metarouting/internal/rib"
 	"metarouting/internal/scenario"
@@ -108,6 +109,8 @@ type config struct {
 	queueCap       int
 	rebuildTimeout time.Duration
 	noBatcher      bool // test-only: leave the intake queue undrained
+	noDelta        bool
+	deltaProps     prop.Set
 }
 
 func defaultConfig() config {
@@ -160,6 +163,29 @@ func WithBackpressure(policy Backpressure) Option {
 // WithQueueCapacity bounds the event intake queue (≤ 0: 1024).
 func WithQueueCapacity(n int) Option {
 	return optionFunc(func(c *config) { c.queueCap = n })
+}
+
+// WithDelta enables or disables warm-start delta reconvergence
+// (default enabled). Even when enabled, the delta path only runs for
+// algebras whose inferred properties license it (rib.DeltaLicensed) —
+// the metarouting contract of properties choosing algorithms — and
+// individual rebuilds still fall back to from-scratch sweeps on
+// oversized frontiers or unusable warm starts. Disabling it pins every
+// rebuild to the from-scratch solver; the delta benchmark uses that as
+// its baseline.
+func WithDelta(enabled bool) Option {
+	return optionFunc(func(c *config) { c.noDelta = !enabled })
+}
+
+// WithDeltaProps supplies an inferred property set to the delta gate.
+// Composite algebras built by core inference carry their derived M/I
+// judgements on the Algebra node, not on the order transform the
+// execution engine exposes, so callers that ran inference pass a.Props
+// here to let theorem-derived licenses (e.g. I(lex) via Theorem 5)
+// enable the warm-start path. The set only ever widens the license;
+// WithDelta(false) still wins.
+func WithDeltaProps(p prop.Set) Option {
+	return optionFunc(func(c *config) { c.deltaProps = p })
 }
 
 // WithRebuildTimeout bounds each batched recompute: the batcher and the
@@ -239,6 +265,11 @@ type Stats struct {
 	FullRecomputes        uint64 `json:"full_recomputes"`
 	DestRecomputes        uint64 `json:"dest_recomputes"`
 	DestReuses            uint64 `json:"dest_reuses"`
+	DeltaDestRebuilds     uint64 `json:"dest_delta_rebuilds"`
+	ScratchDestRebuilds   uint64 `json:"dest_scratch_rebuilds"`
+	DeltaFrontierNodes    uint64 `json:"delta_frontier_nodes"`
+	DeltaTouchedNodes     uint64 `json:"delta_touched_nodes"`
+	DeltaEnabled          bool   `json:"delta_enabled"`
 	BatchesApplied        uint64 `json:"batches_applied"`
 	EventsCoalesced       uint64 `json:"events_coalesced"`
 	EventsRejected        uint64 `json:"events_rejected"`
@@ -277,6 +308,10 @@ type Server struct {
 	disabled []bool
 	closed   bool
 
+	// deltaOK gates the warm-start rebuild path: WithDelta(true-by-
+	// default) AND the algebra's inferred properties licensing it.
+	deltaOK bool
+
 	snap atomic.Pointer[Snapshot]
 
 	pool *sched.Pool[*solve.Workspace]
@@ -292,11 +327,13 @@ type Server struct {
 	batcherWG      sync.WaitGroup
 	rebuildTimeout time.Duration
 
-	queries, swaps, events     telemetry.Counter
-	incremental, full          telemetry.Counter
-	destRecomputes, destReuses telemetry.Counter
-	batches, coalesced         telemetry.Counter
-	rejected, batchErrors      telemetry.Counter
+	queries, swaps, events      telemetry.Counter
+	incremental, full           telemetry.Counter
+	destRecomputes, destReuses  telemetry.Counter
+	batches, coalesced          telemetry.Counter
+	rejected, batchErrors       telemetry.Counter
+	deltaDests, scratchDests    telemetry.Counter
+	frontierNodes, touchedNodes telemetry.Counter
 
 	// Instrumentation below is nil/zero unless a registry was supplied.
 	flaps        telemetry.Counter // route entries changed across swaps
@@ -304,6 +341,8 @@ type Server struct {
 	eventNS      *telemetry.Histogram
 	batchSize    *telemetry.Histogram
 	shardNS      *telemetry.Histogram
+	frontierHist *telemetry.Histogram
+	touchedHist  *telemetry.Histogram
 	lastEventNS  telemetry.Gauge
 	solveMetrics *solve.Metrics
 	slowNS       int64
@@ -322,6 +361,12 @@ type SlowQuery struct {
 // batchSizeBuckets is the bucket layout for the event batch-size
 // histogram: powers of two up to 1024, matching the default queue cap.
 var batchSizeBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// nodeCountBuckets is the bucket layout for the delta frontier-size and
+// nodes-touched histograms: powers of two spanning laptop-scale through
+// large topologies.
+var nodeCountBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+	1024, 2048, 4096, 8192, 16384, 32768, 65536}
 
 // New builds a server over an execution engine, a base topology and the
 // origination set (destination → originated weight), computes the
@@ -372,11 +417,18 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 		stop:           make(chan struct{}),
 		rebuildTimeout: cfg.rebuildTimeout,
 	}
+	licensed := cfg.deltaProps != nil && rib.DeltaLicensedSet(cfg.deltaProps)
+	if ot := s.eng.Source(); ot != nil && !licensed {
+		licensed = rib.DeltaLicensed(ot)
+	}
+	s.deltaOK = !cfg.noDelta && licensed
 	if cfg.registry != nil {
 		s.queryNS = telemetry.NewLatencyHistogram()
 		s.eventNS = telemetry.NewLatencyHistogram()
 		s.shardNS = telemetry.NewLatencyHistogram()
 		s.batchSize = telemetry.NewHistogram(batchSizeBuckets)
+		s.frontierHist = telemetry.NewHistogram(nodeCountBuckets)
+		s.touchedHist = telemetry.NewHistogram(nodeCountBuckets)
 		s.solveMetrics = solve.NewMetrics()
 		s.slowNS = cfg.slowQueryNS
 		if s.slowNS <= 0 {
@@ -396,7 +448,7 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 		s.register(cfg.registry)
 	}
 	view := g.MaskArcs(s.disabled)
-	table, unconv, err := s.buildDests(context.Background(), view, dests, nil)
+	table, unconv, err := s.buildDests(context.Background(), view, dests, nil, nil)
 	if err != nil {
 		s.Close()
 		return nil, err
@@ -419,6 +471,9 @@ func (s *Server) register(reg *telemetry.Registry) {
 	reg.AddCounter(`mrserve_recomputes_total{kind="full"}`, "", &s.full)
 	reg.AddCounter("mrserve_dest_recomputes_total", "Destination columns recomputed.", &s.destRecomputes)
 	reg.AddCounter("mrserve_dest_reuses_total", "Destination columns shared with the previous snapshot.", &s.destReuses)
+	reg.AddCounter(`mrserve_dest_rebuilds_total{kind="delta"}`,
+		"Destination column rebuilds by solver path: warm-start delta drains vs from-scratch sweeps.", &s.deltaDests)
+	reg.AddCounter(`mrserve_dest_rebuilds_total{kind="scratch"}`, "", &s.scratchDests)
 	reg.AddCounter("mrserve_route_flaps_total", "Route entries that changed across snapshot swaps.", &s.flaps)
 	reg.AddCounter("mrserve_event_batches_total", "Coalesced event batches applied.", &s.batches)
 	reg.AddCounter("mrserve_events_coalesced_total",
@@ -469,6 +524,10 @@ func (s *Server) register(reg *telemetry.Registry) {
 	reg.AddHistogram("mrserve_event_batch_size", "Raw events per applied batch, before coalescing.", s.batchSize, 1)
 	reg.AddHistogram("mrserve_shard_rebuild_seconds",
 		"Per-destination column rebuild latency inside the sharded snapshot builder.", s.shardNS, 1e9)
+	reg.AddHistogram("mrserve_delta_frontier_nodes",
+		"Seed frontier size per warm-start delta rebuild (invalidated subtree plus raised-arc tails).", s.frontierHist, 1)
+	reg.AddHistogram("mrserve_delta_touched_nodes",
+		"Nodes re-relaxed per warm-start delta rebuild.", s.touchedHist, 1)
 	s.solveMetrics.Register(reg, "mrserve_solve")
 }
 
@@ -476,6 +535,11 @@ func (s *Server) register(reg *telemetry.Registry) {
 // topology, and single origination (WithEngine overrides the engine).
 // Replay the scenario's events with Replay(ctx, sc.SortedEvents()).
 func NewFromScenario(sc *scenario.Scenario, opts ...Option) (*Server, error) {
+	if sc.Algebra != nil {
+		// The scenario ran inference, so its derived property set can
+		// license the delta path; explicit caller options still win.
+		opts = append([]Option{WithDeltaProps(sc.Algebra.Props)}, opts...)
+	}
 	return New(sc.Engine, sc.Graph, map[int]value.V{sc.Dest: sc.Origin}, opts...)
 }
 
@@ -508,19 +572,37 @@ func (s *Server) Close() {
 
 // buildDests computes entry columns for the recompute set on view,
 // sharding destinations across the worker pool; columns for every other
-// destination are shared with prev by reference (they are immutable).
-// A ctx cancellation abandons the build and returns ctx.Err().
-func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev map[int][]*rib.Entry) (map[int][]*rib.Entry, []int, error) {
+// destination are shared with prev's snapshot by reference (they are
+// immutable). When the delta gate is open and toggles describe the
+// batch, each recomputed destination warm-starts from its previous
+// column via rib.DeltaDestEngine — destinations the previous snapshot
+// reported unconverged rebuild from scratch (their columns are not a
+// fixpoint to warm-start from). A ctx cancellation abandons the build
+// and returns ctx.Err().
+func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev *Snapshot, toggles []ArcEvent) (map[int][]*rib.Entry, []int, error) {
 	table := make(map[int][]*rib.Entry, len(s.dests))
+	var prevTable map[int][]*rib.Entry
+	prevUnconv := make(map[int]bool, 4)
 	if prev != nil {
+		prevTable = prev.table
+		for _, d := range prev.Unconverged {
+			prevUnconv[d] = true
+		}
 		inRecompute := make(map[int]bool, len(recompute))
 		for _, d := range recompute {
 			inRecompute[d] = true
 		}
-		for d, col := range prev {
+		for d, col := range prevTable {
 			if !inRecompute[d] {
 				table[d] = col
 			}
+		}
+	}
+	var solveToggles []solve.ArcToggle
+	if s.deltaOK && prev != nil {
+		solveToggles = make([]solve.ArcToggle, len(toggles))
+		for i, t := range toggles {
+			solveToggles[i] = solve.ArcToggle{Arc: t.Arc, Down: t.Fail}
 		}
 	}
 	type built struct {
@@ -534,7 +616,30 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 		if s.shardNS != nil {
 			t0 = time.Now()
 		}
-		entries, converged, err := rib.BuildDestEngine(s.eng, view, d, s.origins[d], ws)
+		var entries []*rib.Entry
+		var converged bool
+		var err error
+		if solveToggles != nil && prevTable[d] != nil && !prevUnconv[d] {
+			var st solve.DeltaStats
+			entries, converged, st, err = rib.DeltaDestEngine(
+				s.eng, view, s.disabled, d, s.origins[d], ws, prevTable[d], solveToggles)
+			if err == nil {
+				if st.UsedDelta {
+					s.deltaDests.Add(1)
+					s.frontierNodes.Add(uint64(st.Frontier))
+					s.touchedNodes.Add(uint64(len(st.Touched)))
+					if s.frontierHist != nil {
+						s.frontierHist.Observe(int64(st.Frontier))
+						s.touchedHist.Observe(int64(len(st.Touched)))
+					}
+				} else {
+					s.scratchDests.Add(1)
+				}
+			}
+		} else {
+			entries, converged, err = rib.BuildDestEngine(s.eng, view, d, s.origins[d], ws)
+			s.scratchDests.Add(1)
+		}
 		if err != nil {
 			return err
 		}
@@ -711,7 +816,7 @@ func (s *Server) ApplyBatch(ctx context.Context, events []ArcEvent) (applied, re
 		view = s.base.MaskArcs(s.disabled)
 	}
 	recompute := s.invalidated(cur, toggles)
-	table, unconv, err := s.buildDests(ctx, view, recompute, cur.table)
+	table, unconv, err := s.buildDests(ctx, view, recompute, cur, toggles)
 	if err != nil {
 		revert()
 		return 0, 0, err
@@ -891,7 +996,7 @@ func (s *Server) Rebuild(ctx context.Context) error {
 		return fmt.Errorf("serve: server is closed")
 	}
 	view := s.base.MaskArcs(s.disabled)
-	table, unconv, err := s.buildDests(ctx, view, s.dests, nil)
+	table, unconv, err := s.buildDests(ctx, view, s.dests, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -982,6 +1087,11 @@ func (s *Server) Stats() Stats {
 		FullRecomputes:        s.full.Load(),
 		DestRecomputes:        s.destRecomputes.Load(),
 		DestReuses:            s.destReuses.Load(),
+		DeltaDestRebuilds:     s.deltaDests.Load(),
+		ScratchDestRebuilds:   s.scratchDests.Load(),
+		DeltaFrontierNodes:    s.frontierNodes.Load(),
+		DeltaTouchedNodes:     s.touchedNodes.Load(),
+		DeltaEnabled:          s.deltaOK,
 		BatchesApplied:        s.batches.Load(),
 		EventsCoalesced:       s.coalesced.Load(),
 		EventsRejected:        s.rejected.Load(),

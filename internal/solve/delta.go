@@ -1,0 +1,368 @@
+package solve
+
+import (
+	"time"
+
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/value"
+)
+
+// This file holds the worklist (SPFA-style) variant of the engine-backed
+// Bellman–Ford and its delta entry point. Instead of sweeping every node
+// each round, a FIFO of dirty nodes is drained to fixpoint: popping a
+// node recomputes its best weight from its out-arcs with the exact
+// selection loop of the synchronous solver (first arc achieving a
+// minimal candidate wins), and a routedness-or-weight change re-dirties
+// the node's in-neighbours through the graph's shared reverse CSR
+// index. The delta entry point warm-starts that drain from a previous
+// Result: for an arc-down event the forwarding subtree that routed
+// through the arc is invalidated before re-relaxation (so stale local
+// optima cannot survive on non-tree nodes they were never valid for),
+// for an arc-up event the arc's tail is seeded, and everything outside
+// the frontier keeps its previous fixpoint value untouched.
+
+// ArcToggle describes one net arc state change feeding a delta solve:
+// arc index plus its new state (Down true = arc now disabled).
+type ArcToggle struct {
+	Arc  int
+	Down bool
+}
+
+// DeltaStats reports how a delta solve ran. When UsedDelta is false the
+// solver fell back to a from-scratch Bellman–Ford (unusable previous
+// result, frontier too large, or the drain failed to converge inside
+// its budget) and only Frontier is meaningful.
+type DeltaStats struct {
+	// UsedDelta is true when the warm-start drain produced the result.
+	UsedDelta bool
+	// Frontier is the number of seed nodes (invalidated subtree members
+	// plus up-arc tails) the toggles dirtied.
+	Frontier int
+	// Pops counts worklist pops; Relaxations counts arc relaxations.
+	Pops        int
+	Relaxations uint64
+	// Touched lists, in ascending order, every node that was ever
+	// enqueued during the drain — a superset of the nodes whose
+	// routedness, weight or next hop differs from the previous result.
+	// Nodes absent from Touched kept their entire neighbourhood state,
+	// which is what lets the RIB layer reuse their entries by pointer.
+	Touched []int
+}
+
+// defaultPopBudget mirrors the synchronous solver's round budget: the
+// sweep solver gives up after 2N+4 rounds of N node recomputations, so
+// the worklist gives up after the same number of pops. Algebras that
+// oscillate (non-monotone policy gadgets) hit the budget and report
+// Converged=false instead of looping forever.
+func defaultPopBudget(n int) int { return (2*n+4)*n + n + 4 }
+
+// WorklistEngine solves a single destination with the worklist solver;
+// the result is bit-identical to BellmanFordEngine whenever the
+// synchronous solver converges. maxPops ≤ 0 applies the default budget.
+func WorklistEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxPops int) *Result {
+	return NewWorkspace().Worklist(eng, g, dest, origin, maxPops)
+}
+
+// Worklist runs the worklist solver out of the workspace's reusable
+// buffers, seeding from the destination's in-neighbours.
+func (ws *Workspace) Worklist(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxPops int) *Result {
+	var t0 time.Time
+	if ws.Metrics != nil {
+		t0 = time.Now()
+	}
+	o := exec.MustIntern(eng, origin)
+	ws.reset(g.N, dest, o)
+	ws.resetWorklist(g.N)
+	for _, ai := range g.RevIn().In(dest) {
+		ws.push(int(g.Arcs[ai].From), dest)
+	}
+	pops, relaxations, converged := ws.drain(eng, g, nil, dest, maxPops)
+	res := ws.materialize(eng, dest, pops, converged)
+	if m := ws.Metrics; m != nil {
+		m.Runs.Inc()
+		m.Rounds.Add(uint64(pops))
+		m.Relaxations.Add(relaxations)
+		m.SolveNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	return res
+}
+
+// BellmanFordDelta re-solves dest after the given arc toggles, warm-
+// starting from prev (a converged Result for the same destination and
+// origin on the pre-toggle graph). g must already be the post-toggle
+// view and disabled the post-toggle mask (nil is accepted and only
+// costs wasted pops). The result is bit-identical to a from-scratch
+// ws.BellmanFord on g for algebras whose fixpoint is unique from any
+// realisable warm start (monotone or increasing — the caller gates on
+// inferred properties; see rib.DeltaLicensed). Whenever the warm start
+// is unusable — nil/unconverged/mismatched prev, a frontier of half the
+// graph or more, or a drain that exhausts maxPops — it transparently
+// falls back to the from-scratch solver, so the answer is correct for
+// every algebra; only the speed differs.
+func (ws *Workspace) BellmanFordDelta(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, origin value.V, prev *Result, toggles []ArcToggle, maxPops int) (*Result, DeltaStats) {
+	fallback := func(frontier int) (*Result, DeltaStats) {
+		return ws.BellmanFord(eng, g, dest, origin, 0), DeltaStats{Frontier: frontier}
+	}
+	if prev == nil || !prev.Converged || prev.Dest != dest ||
+		len(prev.Routed) != g.N || !prev.Routed[dest] {
+		return fallback(0)
+	}
+	var t0 time.Time
+	if ws.Metrics != nil {
+		t0 = time.Now()
+	}
+	o := exec.MustIntern(eng, origin)
+	ws.reset(g.N, dest, o)
+	ws.resetWorklist(g.N)
+	if po, err := eng.Intern(prev.Weights[dest]); err != nil || po != o {
+		return fallback(0)
+	}
+	for u := 0; u < g.N; u++ {
+		if u == dest || !prev.Routed[u] {
+			continue
+		}
+		idx, err := eng.Intern(prev.Weights[u])
+		if err != nil {
+			return fallback(0)
+		}
+		ws.routed[u] = true
+		ws.w[u] = idx
+		ws.nextHop[u] = prev.NextHop[u]
+	}
+	// Children index over the previous forwarding tree (descending node
+	// order so each child list comes out ascending).
+	for u := g.N - 1; u >= 0; u-- {
+		if u == dest || !prev.Routed[u] || prev.NextHop[u] < 0 {
+			continue
+		}
+		p := prev.NextHop[u]
+		ws.childNext[u] = ws.childHead[p]
+		ws.childHead[p] = int32(u)
+	}
+	// Routed nodes whose next-hop chain never reaches dest — ⊤-plateau
+	// forwarding loops that sustain each other circularly — must not
+	// survive the warm start: their support is not a real path, so it
+	// can outlive the connectivity that once seeded it and leave phantom
+	// routes a from-scratch build would not have. Mark the dest-rooted
+	// tree through the children index and invalidate everything routed
+	// outside it.
+	inTree := ws.prevR
+	for i := range inTree {
+		inTree[i] = false
+	}
+	inTree[dest] = true
+	var stack []int
+	stack = append(stack, dest)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := ws.childHead[s]; c >= 0; c = ws.childNext[c] {
+			if !inTree[c] {
+				inTree[c] = true
+				stack = append(stack, int(c))
+			}
+		}
+	}
+	for u := 0; u < g.N; u++ {
+		if u != dest && ws.routed[u] && !inTree[u] {
+			ws.routed[u] = false
+			ws.nextHop[u] = -1
+			ws.push(u, dest)
+		}
+	}
+	// Frontier: invalidate the forwarding subtree behind each downed
+	// primary arc (every node whose chain traversed the arc), then seed
+	// the tail of each raised arc.
+	for _, t := range toggles {
+		if !t.Down {
+			continue
+		}
+		x, y := g.Arcs[t.Arc].From, g.Arcs[t.Arc].To
+		if x == dest || !ws.routed[x] || ws.nextHop[x] != y {
+			continue
+		}
+		stack = append(stack[:0], x)
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !ws.routed[s] {
+				continue
+			}
+			ws.routed[s] = false
+			ws.nextHop[s] = -1
+			ws.push(s, dest)
+			for c := ws.childHead[s]; c >= 0; c = ws.childNext[c] {
+				stack = append(stack, int(c))
+			}
+		}
+	}
+	// Invalidation flips nodes to unrouted silently — no pop ever
+	// reports the transition for nodes that stay unrouted — yet a
+	// neighbour outside the frontier may have held one of them as an
+	// equal-cost alternative. Push the in-neighbours of every
+	// invalidated node so they rescan and land in the touched set (their
+	// weights won't move; this is an entry-level obligation).
+	rev := g.RevIn()
+	for i, inval := 0, len(ws.queue); i < inval; i++ {
+		for _, ai := range rev.In(ws.queue[i]) {
+			if disabled != nil && int(ai) < len(disabled) && disabled[ai] {
+				continue
+			}
+			ws.push(g.Arcs[ai].From, dest)
+		}
+	}
+	for _, t := range toggles {
+		if !t.Down && g.Arcs[t.Arc].From != dest {
+			ws.push(g.Arcs[t.Arc].From, dest)
+		}
+	}
+	frontier := len(ws.queue)
+	if 2*frontier >= g.N {
+		// Heuristic cutover: a frontier of half the nodes or more will
+		// touch most of the graph anyway — the sweep solver's tight loop
+		// wins over worklist bookkeeping.
+		return fallback(frontier)
+	}
+	pops, relaxations, converged := ws.drain(eng, g, disabled, dest, maxPops)
+	if !converged {
+		return fallback(frontier)
+	}
+	res := ws.materialize(eng, dest, pops, true)
+	st := DeltaStats{
+		UsedDelta:   true,
+		Frontier:    frontier,
+		Pops:        pops,
+		Relaxations: relaxations,
+		Touched:     ws.sortedTouched(),
+	}
+	if m := ws.Metrics; m != nil {
+		m.Runs.Inc()
+		m.Rounds.Add(uint64(pops))
+		m.Relaxations.Add(relaxations)
+		m.SolveNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	return res, st
+}
+
+// resetWorklist sizes and clears the worklist scratch for an n-node
+// drain.
+func (ws *Workspace) resetWorklist(n int) {
+	if cap(ws.dirty) < n {
+		ws.dirty = make([]bool, n)
+		ws.touched = make([]bool, n)
+		ws.childHead = make([]int32, n)
+		ws.childNext = make([]int32, n)
+	}
+	ws.dirty = ws.dirty[:n]
+	ws.touched = ws.touched[:n]
+	ws.childHead = ws.childHead[:n]
+	ws.childNext = ws.childNext[:n]
+	for i := 0; i < n; i++ {
+		ws.dirty[i] = false
+		ws.touched[i] = false
+		ws.childHead[i] = -1
+		ws.childNext[i] = -1
+	}
+	ws.queue = ws.queue[:0]
+	ws.touchList = ws.touchList[:0]
+}
+
+// push enqueues u for recomputation unless it is the destination or
+// already queued, and records it in the ever-touched set.
+func (ws *Workspace) push(u, dest int) {
+	if u == dest || ws.dirty[u] {
+		return
+	}
+	ws.dirty[u] = true
+	ws.queue = append(ws.queue, u)
+	if !ws.touched[u] {
+		ws.touched[u] = true
+		ws.touchList = append(ws.touchList, u)
+	}
+}
+
+// sortedTouched returns a fresh ascending copy of the ever-enqueued set
+// (insertion-sort backed: the list is short relative to N by design —
+// large frontiers fall back to the sweep solver first).
+func (ws *Workspace) sortedTouched() []int {
+	out := append([]int(nil), ws.touchList...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// drain runs the worklist to fixpoint (or until maxPops, ≤ 0 meaning
+// the default budget). Popping a node rescans its enabled out-arcs
+// against live state with the synchronous solver's exact selection loop
+// — first arc achieving a minimal candidate — so tie-breaks agree with
+// a from-scratch build; a routedness or weight change then dirties the
+// node's in-neighbours through the base graph's reverse CSR index
+// (disabled, when non-nil, skips masked in-arcs; a nil mask merely
+// enqueues tails that will rescan to no change).
+func (ws *Workspace) drain(eng exec.Algebra, g *graph.Graph, disabled []bool, dest, maxPops int) (pops int, relaxations uint64, converged bool) {
+	if maxPops <= 0 {
+		maxPops = defaultPopBudget(g.N)
+	}
+	rev := g.RevIn()
+	arcs := g.Arcs
+	routed, w, nextHop := ws.routed, ws.w, ws.nextHop
+	head := 0
+	for head < len(ws.queue) {
+		if pops >= maxPops {
+			return pops, relaxations, false
+		}
+		// Compact the spent prefix so queue growth tracks the number of
+		// pending nodes, not total enqueues.
+		if head > 1024 && head*2 > len(ws.queue) {
+			n := copy(ws.queue, ws.queue[head:])
+			ws.queue = ws.queue[:n]
+			head = 0
+		}
+		u := ws.queue[head]
+		head++
+		ws.dirty[u] = false
+		pops++
+		bestArc := -1
+		var best int32
+		for _, ai := range g.Out(u) {
+			v := arcs[ai].To
+			if !routed[v] {
+				continue
+			}
+			relaxations++
+			cand := eng.Apply(arcs[ai].Label, w[v])
+			if bestArc < 0 || eng.Lt(cand, best) {
+				bestArc, best = ai, cand
+			}
+		}
+		changed := false
+		if bestArc < 0 {
+			if routed[u] {
+				routed[u] = false
+				nextHop[u] = -1
+				changed = true
+			}
+		} else {
+			if !routed[u] || w[u] != best {
+				changed = true
+			}
+			routed[u] = true
+			w[u] = best
+			nextHop[u] = arcs[bestArc].To
+		}
+		if !changed {
+			continue
+		}
+		for _, ai := range rev.In(u) {
+			if disabled != nil && int(ai) < len(disabled) && disabled[ai] {
+				continue
+			}
+			ws.push(arcs[ai].From, dest)
+		}
+	}
+	return pops, relaxations, true
+}

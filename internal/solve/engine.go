@@ -155,6 +155,17 @@ type Workspace struct {
 	w, prevW      []int32
 	nextHop       []int
 
+	// Worklist-solver scratch (see delta.go): FIFO of dirty nodes with a
+	// membership bitmap, the set of nodes ever enqueued during a drain,
+	// and an intrusive children index over the previous forwarding tree
+	// used to invalidate subtrees on arc-down events.
+	dirty     []bool
+	queue     []int
+	touched   []bool
+	touchList []int
+	childHead []int32
+	childNext []int32
+
 	// Metrics, when non-nil, receives per-stage solver telemetry (run
 	// durations, relax-pass and relaxation counts, buffer reuse). Several
 	// workspaces may share one Metrics.

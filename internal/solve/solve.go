@@ -41,16 +41,24 @@ type Result struct {
 // Route reconstructs the node path from u to the destination by following
 // next hops; ok is false if u has no route or a forwarding loop is hit.
 func (r *Result) Route(u int) (graph.Path, bool) {
+	return r.route(u, make([]int, len(r.Routed)), 1)
+}
+
+// route is Route against caller-owned loop-detection scratch: a node is
+// on the current chain iff seen[node] == stamp, so one slice serves many
+// walks without clearing. Results are shared across goroutines via
+// snapshots, which is why the scratch lives with the caller rather than
+// being cached on r.
+func (r *Result) route(u int, seen []int, stamp int) (graph.Path, bool) {
 	if !r.Routed[u] {
 		return nil, false
 	}
 	var p graph.Path
-	seen := make(map[int]bool)
 	for u != r.Dest {
-		if seen[u] {
+		if seen[u] == stamp {
 			return nil, false // forwarding loop
 		}
-		seen[u] = true
+		seen[u] = stamp
 		p = append(p, u)
 		u = r.NextHop[u]
 		if u < 0 {
@@ -63,11 +71,12 @@ func (r *Result) Route(u int) (graph.Path, bool) {
 // LoopFree reports whether every routed node's next-hop chain reaches the
 // destination without revisiting a node.
 func (r *Result) LoopFree() bool {
+	seen := make([]int, len(r.Routed))
 	for u := range r.Routed {
 		if !r.Routed[u] {
 			continue
 		}
-		if _, ok := r.Route(u); !ok {
+		if _, ok := r.route(u, seen, u+1); !ok {
 			return false
 		}
 	}
@@ -122,6 +131,12 @@ func GaussSeidel(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value
 // path weights under the algebra's preorder — the ground truth for global
 // optimality. Exponential; intended for small graphs.
 func BruteForce(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.V, maxLen int) [][]value.V {
+	// Resolve each arc's function once — re-deriving the closure through
+	// arcFn per path step dominated the inner loop on dense graphs.
+	fns := make([]func(value.V) value.V, len(g.Arcs))
+	for i := range g.Arcs {
+		fns[i] = alg.F.Fns[g.Arcs[i].Label].Apply
+	}
 	out := make([][]value.V, g.N)
 	for u := 0; u < g.N; u++ {
 		if u == dest {
@@ -132,7 +147,7 @@ func BruteForce(alg *ost.OrderTransform, g *graph.Graph, dest int, origin value.
 		for _, path := range g.SimplePaths(u, dest, maxLen) {
 			w := origin
 			for i := len(path) - 1; i >= 0; i-- {
-				w = arcFn(alg, g, path[i])(w)
+				w = fns[path[i]](w)
 			}
 			weights = append(weights, w)
 		}

@@ -36,7 +36,19 @@ go run ./cmd/mrserve -parallel-bench -random 24 -dests 4 \
   -storm-events 8 -bench-rounds 2 -out /tmp/bench_parallel_smoke.json
 grep -q speedup_pipeline /tmp/bench_parallel_smoke.json
 
+# Delta-reconvergence bench smoke: the warm-start-vs-scratch storm
+# measurement must run end to end on a delta-licensed algebra and emit a
+# well-formed report. The committed BENCH_delta.json holds the real
+# numbers.
+go run ./cmd/mrserve -delta-bench -expr 'lex(delay(32,3), hops(8))' \
+  -random 24 -dests 4 -delta-storm-arcs 2 -bench-rounds 2 \
+  -out /tmp/bench_delta_smoke.json
+grep -q speedup_delta /tmp/bench_delta_smoke.json
+
 # Fuzz smoke: a short live session per target so the fuzz harnesses
-# cannot bit-rot (go test accepts one -fuzz target per invocation).
-go test -run='^$' -fuzz=FuzzRouteHandler -fuzztime=10s ./internal/serve/
-go test -run='^$' -fuzz=FuzzEventHandler -fuzztime=10s ./internal/serve/
+# cannot bit-rot (go test accepts one -fuzz target per invocation; the
+# patterns are anchored because the v1 targets share prefixes).
+go test -run='^$' -fuzz='^FuzzRouteHandler$' -fuzztime=10s ./internal/serve/
+go test -run='^$' -fuzz='^FuzzEventHandler$' -fuzztime=10s ./internal/serve/
+go test -run='^$' -fuzz='^FuzzRouteHandlerV1$' -fuzztime=10s ./internal/serve/
+go test -run='^$' -fuzz='^FuzzEventsHandlerV1$' -fuzztime=10s ./internal/serve/
