@@ -12,6 +12,7 @@
 //	mrserve -telemetry-bench -out BENCH_telemetry.json
 //	mrserve -parallel-bench -random 64 -dests 8 -out BENCH_parallel.json
 //	mrserve -delta-bench -random 64 -dests 8 -out BENCH_delta.json
+//	mrserve -scale-bench -scale-nodes 1000,10000,100000 -out BENCH_scale.json
 //
 // Endpoints (v1; the unversioned spellings remain as deprecated
 // aliases answering identically plus a Deprecation header):
@@ -51,6 +52,9 @@
 // -delta-bench measures warm-start delta reconvergence against
 // from-scratch rebuilds on paired small-perturbation storms and writes
 // BENCH_delta.json.
+// -scale-bench measures the arena-flat RIB columns against the legacy
+// pointer tables (retained bytes per route entry, build time, LPM
+// differential) at increasing node counts and writes BENCH_scale.json.
 package main
 
 import (
@@ -62,6 +66,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"metarouting/internal/cliflag"
@@ -108,6 +114,10 @@ func main() {
 
 		deltaBench     = flag.Bool("delta-bench", false, "measure warm-start delta reconvergence against from-scratch rebuilds on small-perturbation storms instead of serving")
 		deltaStormArcs = flag.Int("delta-storm-arcs", 4, "delta-bench: distinct arcs failed (then restored) per storm")
+
+		scaleBench = flag.Bool("scale-bench", false, "measure arena-column vs pointer-table memory at increasing node counts instead of serving")
+		scaleNodes = flag.String("scale-nodes", "1000,10000,100000", "scale-bench: comma-separated node counts")
+		scaleDests = flag.Int("scale-dests", 8, "scale-bench: originated destinations per point")
 	)
 	flag.Parse()
 	if _, err := cliflag.ApplyEngine(*engine); err != nil {
@@ -128,6 +138,10 @@ func main() {
 	}
 	if *deltaBench {
 		runDeltaBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *deltaStormArcs, *benchRounds, *out)
+		return
+	}
+	if *scaleBench {
+		runScaleBench(*exprSrc, *scaleNodes, *seed, *scaleDests, *out)
 		return
 	}
 
@@ -292,6 +306,55 @@ func runDeltaBench(exprSrc, scenFile string, randomN int, p float64, seed int64,
 	if out != "" {
 		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (scratch %.0fµs/batch, delta %.0fµs/batch, speedup %.1f×, mean frontier %.1f of %d nodes)\n",
 			out, rep.ScratchBatchUS, rep.DeltaBatchUS, rep.SpeedupDelta, rep.MeanFrontier, rep.Nodes)
+	}
+}
+
+// runScaleBench measures the arena-flat column store against the
+// pointer-table baseline at each node count on a preferential-attachment
+// topology (the closest stock generator to an AS graph) and writes
+// BENCH_scale.json. A compiled engine is preferred so retained-heap
+// readings stay free of intern-table noise; algebras with infinite
+// carriers fall back to the pre-warmed dynamic backend.
+func runScaleBench(exprSrc, nodeList string, seed int64, destCount int, out string) {
+	a, err := core.InferString(exprSrc)
+	if err != nil {
+		fatal(err)
+	}
+	var nodeCounts []int
+	for _, part := range strings.Split(nodeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			fatal(fmt.Errorf("bad -scale-nodes entry %q", part))
+		}
+		nodeCounts = append(nodeCounts, n)
+	}
+	origin := a.OT.DefaultOrigin()
+	eng := exec.For(a.OT, origin)
+	labels := 4
+	if a.OT.F.Finite() {
+		labels = a.OT.F.Size()
+	}
+	mk := func(nodes int) (exec.Algebra, *graph.Graph, map[int]value.V, error) {
+		g := graph.ScaleFree(rand.New(rand.NewSource(seed)), nodes, 2, graph.UniformLabels(labels))
+		dc := destCount
+		if dc <= 0 || dc > g.N {
+			dc = g.N
+		}
+		origins := make(map[int]value.V, dc)
+		for i := 0; i < dc; i++ {
+			origins[i*g.N/dc] = origin
+		}
+		return eng, g, origins, nil
+	}
+	rep, err := serve.MeasureScale(mk, nodeCounts)
+	if err != nil {
+		fatal(err)
+	}
+	writeReport(rep, out)
+	if out != "" {
+		last := rep.Points[len(rep.Points)-1]
+		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (n=%d: %.1f B/entry arena vs %.1f B/entry pointer, %.1f× smaller, LPM differential ok=%v)\n",
+			out, last.Nodes, last.ArenaBytesPerEntry, last.PointerBytesPerEntry, last.Ratio, last.LPMDifferentialOK)
 	}
 }
 

@@ -67,12 +67,46 @@ func MustNew(n int, arcs []Arc) *Graph {
 }
 
 func (g *Graph) index() {
-	g.out = make([][]int, g.N)
-	g.in = make([][]int, g.N)
-	for i, a := range g.Arcs {
-		g.out[a.From] = append(g.out[a.From], i)
-		g.in[a.To] = append(g.in[a.To], i)
+	g.out, g.in = buildAdjacency(g.N, g.Arcs, nil)
+}
+
+// buildAdjacency constructs out/in adjacency rows with a counting pass:
+// all rows are carved out of two flat backing arrays, so indexing a
+// 100k-node topology costs four allocations instead of one growing
+// slice per node. Rows are capped (three-index slices), so a later
+// append on a row can never bleed into its neighbour. disabled, when
+// non-nil, omits masked arcs (the MaskArcs path).
+func buildAdjacency(n int, arcs []Arc, disabled []bool) (out, in [][]int) {
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	m := 0
+	for i, a := range arcs {
+		if disabled != nil && i < len(disabled) && disabled[i] {
+			continue
+		}
+		outDeg[a.From]++
+		inDeg[a.To]++
+		m++
 	}
+	outFlat := make([]int, m)
+	inFlat := make([]int, m)
+	out = make([][]int, n)
+	in = make([][]int, n)
+	oOff, iOff := 0, 0
+	for u := 0; u < n; u++ {
+		out[u] = outFlat[oOff : oOff : oOff+outDeg[u]]
+		in[u] = inFlat[iOff : iOff : iOff+inDeg[u]]
+		oOff += outDeg[u]
+		iOff += inDeg[u]
+	}
+	for i, a := range arcs {
+		if disabled != nil && i < len(disabled) && disabled[i] {
+			continue
+		}
+		out[a.From] = append(out[a.From], i)
+		in[a.To] = append(in[a.To], i)
+	}
+	return out, in
 }
 
 // Out returns the indices (into Arcs) of arcs leaving u.
@@ -96,15 +130,7 @@ func (g *Graph) origin() *Graph {
 // a freshly built graph containing only the enabled arcs.
 func (g *Graph) MaskArcs(disabled []bool) *Graph {
 	v := &Graph{N: g.N, Arcs: g.Arcs, base: g.origin()}
-	v.out = make([][]int, g.N)
-	v.in = make([][]int, g.N)
-	for i, a := range v.base.Arcs {
-		if i < len(disabled) && disabled[i] {
-			continue
-		}
-		v.out[a.From] = append(v.out[a.From], i)
-		v.in[a.To] = append(v.in[a.To], i)
-	}
+	v.out, v.in = buildAdjacency(g.N, v.base.Arcs, disabled)
 	return v
 }
 
@@ -282,8 +308,10 @@ func UniformLabels(nLabels int) LabelPicker {
 // node 0 is added so that every node can reach node 0 — destination 0 is
 // the conventional experiment target.
 func Random(r *rand.Rand, n int, p float64, pick LabelPicker) *Graph {
-	var arcs []Arc
-	have := make(map[[2]int]bool)
+	// Expected arc count: p per ordered pair plus the connectivity pass.
+	expect := int(float64(n)*float64(n-1)*p) + n
+	arcs := make([]Arc, 0, expect)
+	have := make(map[[2]int]bool, expect)
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u == v {
@@ -316,11 +344,15 @@ func ScaleFree(r *rand.Rand, n, m int, pick LabelPicker) *Graph {
 	if m < 1 {
 		m = 1
 	}
-	var arcs []Arc
-	have := make(map[[2]int]bool)
+	// Each joining node attaches at most m undirected links (2 arcs
+	// each); preallocating from that bound keeps 10k–100k-node
+	// generation from thrashing the GC on slice growth.
+	expect := 2 * m * n
+	arcs := make([]Arc, 0, expect)
+	have := make(map[[2]int]bool, expect)
 	// targets holds one entry per half-degree, so uniform sampling from
 	// it is degree-proportional.
-	targets := []int{0}
+	targets := make([]int, 1, expect+1)
 	add := func(u, v int) {
 		if u == v || have[[2]int{u, v}] {
 			return
@@ -355,7 +387,7 @@ func ScaleFree(r *rand.Rand, n, m int, pick LabelPicker) *Graph {
 
 // Ring generates a bidirectional ring of n nodes.
 func Ring(r *rand.Rand, n int, pick LabelPicker) *Graph {
-	var arcs []Arc
+	arcs := make([]Arc, 0, 2*n)
 	for u := 0; u < n; u++ {
 		v := (u + 1) % n
 		arcs = append(arcs, Arc{From: u, To: v, Label: pick(r, u, v)})
@@ -367,7 +399,11 @@ func Ring(r *rand.Rand, n int, pick LabelPicker) *Graph {
 // Grid generates a rows×cols bidirectional grid.
 func Grid(r *rand.Rand, rows, cols int, pick LabelPicker) *Graph {
 	id := func(i, j int) int { return i*cols + j }
-	var arcs []Arc
+	expect := 2 * (rows*(cols-1) + cols*(rows-1))
+	if expect < 0 {
+		expect = 0
+	}
+	arcs := make([]Arc, 0, expect)
 	add := func(u, v int) {
 		arcs = append(arcs, Arc{From: u, To: v, Label: pick(r, u, v)})
 		arcs = append(arcs, Arc{From: v, To: u, Label: pick(r, v, u)})

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file holds the bulk topology importer for Internet-scale graphs:
+// a line-oriented edge-list reader covering both plain whitespace-
+// separated edge lists ("u v [attr]") and CAIDA AS-relationship dumps
+// ("u|v|rel"). It complements ParseTopology (the labelled mrserve/
+// metaroute format): ParseTopology is exact and label-aware for
+// hand-written topologies, LoadTopology is built for 10k–100k-node
+// AS-graph files with arbitrary sparse node ids.
+
+// DefaultMaxTopologyNodes bounds LoadTopology when TopoOptions.MaxNodes
+// is unset: large enough for every public AS graph (the IPv4 AS count
+// is ~80k), small enough to fail fast on a corrupt file that sprays
+// ids.
+const DefaultMaxTopologyNodes = 1 << 20
+
+// TopoOptions configures LoadTopology.
+type TopoOptions struct {
+	// Label maps an edge to an arc label given its original endpoint
+	// ids and the optional third field (0 when the line has none; the
+	// CAIDA relationship field -1/0/1 arrives here). Nil labels every
+	// arc 0.
+	Label func(from, to int64, attr int) int
+	// Undirected adds the reverse arc for every edge line (AS-graph
+	// links are bidirectional adjacencies).
+	Undirected bool
+	// MaxNodes caps the number of distinct node ids (≤ 0:
+	// DefaultMaxTopologyNodes). Crossing the cap is an error, not a
+	// truncation.
+	MaxNodes int
+}
+
+// TopoMeta reports how an imported topology mapped onto dense node ids.
+type TopoMeta struct {
+	// IDs maps dense node id → original file id, in first-seen order.
+	IDs []int64
+	// Lines counts edge lines consumed (comments and blanks excluded).
+	Lines int
+	// DupEdges counts repeated (from,to) pairs dropped (first wins).
+	DupEdges int
+	// SelfLoops counts self-loop lines dropped.
+	SelfLoops int
+}
+
+// Node resolves an original file id to its dense node id (-1 unknown).
+func (m *TopoMeta) Node(id int64) int {
+	for dense, orig := range m.IDs {
+		if orig == id {
+			return dense
+		}
+	}
+	return -1
+}
+
+// LoadTopology reads an edge-list topology: one edge per line,
+// "from to [attr]" with whitespace or '|' separators, '#' comments
+// (whole-line or trailing). Node ids are arbitrary int64s, densely
+// remapped in first-seen order; the mapping is returned in TopoMeta.
+// Self-loops and duplicate (from,to) pairs are dropped (counted in the
+// meta), since AS dumps routinely contain both. The node-count cap is
+// validated while reading, so a corrupt file fails fast instead of
+// allocating without bound.
+func LoadTopology(rd io.Reader, opt TopoOptions) (*Graph, *TopoMeta, error) {
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxTopologyNodes
+	}
+	label := opt.Label
+	if label == nil {
+		label = func(int64, int64, int) int { return 0 }
+	}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	meta := &TopoMeta{}
+	dense := make(map[int64]int)
+	node := func(id int64) (int, error) {
+		if n, ok := dense[id]; ok {
+			return n, nil
+		}
+		if len(meta.IDs) >= maxNodes {
+			return 0, fmt.Errorf("graph: topology exceeds %d nodes", maxNodes)
+		}
+		n := len(meta.IDs)
+		dense[id] = n
+		meta.IDs = append(meta.IDs, id)
+		return n, nil
+	}
+	type edge struct{ from, to int }
+	haveEdge := make(map[edge]bool)
+	var arcs []Arc
+	addArc := func(u, v int, from, to int64, attr int) {
+		if haveEdge[edge{u, v}] {
+			meta.DupEdges++
+			return
+		}
+		haveEdge[edge{u, v}] = true
+		arcs = append(arcs, Arc{From: u, To: v, Label: label(from, to, attr)})
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if strings.IndexByte(line, '|') >= 0 {
+			line = strings.ReplaceAll(line, "|", " ")
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, nil, fmt.Errorf("graph: topology line %d: want 'from to [attr]', got %d fields", lineNo, len(fields))
+		}
+		from, err1 := strconv.ParseInt(fields[0], 10, 64)
+		to, err2 := strconv.ParseInt(fields[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, nil, fmt.Errorf("graph: topology line %d: bad endpoints %q %q", lineNo, fields[0], fields[1])
+		}
+		attr := 0
+		if len(fields) == 3 {
+			a, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: topology line %d: bad attribute %q", lineNo, fields[2])
+			}
+			attr = a
+		}
+		meta.Lines++
+		if from == to {
+			meta.SelfLoops++
+			continue
+		}
+		u, err := node(from)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: topology line %d: %v", lineNo, err)
+		}
+		v, err := node(to)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: topology line %d: %v", lineNo, err)
+		}
+		addArc(u, v, from, to, attr)
+		if opt.Undirected {
+			addArc(v, u, to, from, attr)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(meta.IDs) == 0 {
+		return nil, nil, fmt.Errorf("graph: topology has no edges")
+	}
+	g, err := New(len(meta.IDs), arcs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, meta, nil
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLoadTopologyEdgeList(t *testing.T) {
+	src := `
+# AS-level toy graph
+10 20
+20 30 7   # trailing comment
+30 10
+10 10     # self loop, dropped
+10 20     # duplicate, dropped
+`
+	var gotAttr []int
+	g, meta, err := LoadTopology(strings.NewReader(src), TopoOptions{
+		Label: func(from, to int64, attr int) int { gotAttr = append(gotAttr, attr); return attr },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || len(g.Arcs) != 3 {
+		t.Fatalf("got n=%d m=%d, want 3/3", g.N, len(g.Arcs))
+	}
+	if meta.SelfLoops != 1 || meta.DupEdges != 1 || meta.Lines != 5 {
+		t.Fatalf("meta = %+v, want 1 self loop, 1 dup, 5 lines", meta)
+	}
+	if want := []int64{10, 20, 30}; fmt.Sprint(meta.IDs) != fmt.Sprint(want) {
+		t.Fatalf("IDs = %v, want %v", meta.IDs, want)
+	}
+	if meta.Node(30) != 2 || meta.Node(99) != -1 {
+		t.Fatalf("Node remap wrong: Node(30)=%d Node(99)=%d", meta.Node(30), meta.Node(99))
+	}
+	if want := []int{0, 7, 0}; fmt.Sprint(gotAttr) != fmt.Sprint(want) {
+		t.Fatalf("attrs = %v, want %v", gotAttr, want)
+	}
+}
+
+func TestLoadTopologyCAIDAFormat(t *testing.T) {
+	// CAIDA as-rel lines: provider|customer|-1, peer|peer|0.
+	src := "1|2|-1\n2|3|0\n"
+	g, _, err := LoadTopology(strings.NewReader(src), TopoOptions{
+		Undirected: true,
+		Label:      func(_, _ int64, attr int) int { return attr + 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || len(g.Arcs) != 4 {
+		t.Fatalf("got n=%d m=%d, want 3/4", g.N, len(g.Arcs))
+	}
+	if g.Arcs[0].Label != 0 || g.Arcs[2].Label != 1 {
+		t.Fatalf("labels = %d,%d, want 0,1", g.Arcs[0].Label, g.Arcs[2].Label)
+	}
+}
+
+func TestLoadTopologyErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", "# nothing\n"},
+		{"bad endpoints", "a b\n"},
+		{"bad attr", "1 2 x\n"},
+		{"wrong arity", "1 2 3 4\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := LoadTopology(strings.NewReader(tc.src), TopoOptions{}); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+	// Node cap crossed mid-file is an error, not a truncation.
+	if _, _, err := LoadTopology(strings.NewReader("1 2\n3 4\n"), TopoOptions{MaxNodes: 3}); err == nil {
+		t.Error("node cap: want error")
+	}
+}
+
+// TestLoadTopology100k validates the importer at the scale the prefix
+// plane targets: a 100k-node ring edge list with sparse original ids
+// imports with the right shape and full destination-0 reachability.
+func TestLoadTopology100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large import in -short mode")
+	}
+	const n = 100_000
+	var sb strings.Builder
+	sb.Grow(n * 16)
+	for i := 0; i < n; i++ {
+		// Sparse ids (×7) exercise the dense remap.
+		fmt.Fprintf(&sb, "%d %d\n", i*7, ((i+1)%n)*7)
+	}
+	g, meta, err := LoadTopology(strings.NewReader(sb.String()), TopoOptions{Undirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != n || len(g.Arcs) != 2*n {
+		t.Fatalf("got n=%d m=%d, want %d/%d", g.N, len(g.Arcs), n, 2*n)
+	}
+	if meta.Node(7) != 1 {
+		t.Fatalf("Node(7) = %d, want 1", meta.Node(7))
+	}
+	reach := g.Reachable(0)
+	for u, ok := range reach {
+		if !ok {
+			t.Fatalf("node %d cannot reach 0", u)
+		}
+	}
+}
+
+// TestScaleFree10kGeneration is the generation smoke test for the
+// preallocated generators: a 10k-node scale-free topology comes out
+// connected toward node 0 with the degree-bounded arc count.
+func TestScaleFree10kGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation in -short mode")
+	}
+	const n, m = 10_000, 2
+	g := ScaleFree(rand.New(rand.NewSource(7)), n, m, UniformLabels(4))
+	if g.N != n {
+		t.Fatalf("N = %d, want %d", g.N, n)
+	}
+	if len(g.Arcs) < 2*(n-1) || len(g.Arcs) > 2*m*n {
+		t.Fatalf("arc count %d outside [%d,%d]", len(g.Arcs), 2*(n-1), 2*m*n)
+	}
+	reach := g.Reachable(0)
+	for u, ok := range reach {
+		if !ok {
+			t.Fatalf("node %d cannot reach 0", u)
+		}
+	}
+	// The flat adjacency index must agree with the arc list.
+	deg := 0
+	for u := 0; u < g.N; u++ {
+		deg += len(g.Out(u))
+		for _, ai := range g.Out(u) {
+			if g.Arcs[ai].From != u {
+				t.Fatalf("Out(%d) lists arc %d with From=%d", u, ai, g.Arcs[ai].From)
+			}
+		}
+	}
+	if deg != len(g.Arcs) {
+		t.Fatalf("sum of out-degrees %d != arc count %d", deg, len(g.Arcs))
+	}
+}

@@ -1,0 +1,240 @@
+package rib
+
+import (
+	"fmt"
+	"unsafe"
+
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/solve"
+	"metarouting/internal/value"
+)
+
+// This file holds the arena-flat route column: the index-form
+// replacement for []*Entry. A Column packs one destination's routes
+// into two contiguous slices — fixed-width EntrySlots plus a shared
+// next-hop pool — so a 100k-node column is two allocations instead of
+// 100k, weights are engine indices instead of boxed interface values,
+// and snapshots share untouched columns by pointer exactly as the
+// pointer table did. The legacy *Entry API remains available as a
+// materializing view (Column.Entry, RIB.Lookup).
+
+// EntrySlot is one node's route toward the column's destination in
+// index form. The zero slot means unrouted.
+type EntrySlot struct {
+	// W is the selected weight's engine index (valid only when Routed).
+	// Engine intern tables are append-only, so the index stays valid for
+	// the life of the engine — across snapshots and warm starts.
+	W int32
+	// NhOff/NhLen delimit the ECMP next-hop set in Column.Pool, primary
+	// first. NhLen is 0 at the destination itself.
+	NhOff int32
+	NhLen int32
+	// Routed marks the node as holding a route.
+	Routed bool
+}
+
+// entrySlotBytes is the in-memory slot width including padding.
+const entrySlotBytes = int(unsafe.Sizeof(EntrySlot{}))
+
+// Column is one destination's full route column in arena form.
+type Column struct {
+	// Dest is the destination node anchoring the column.
+	Dest int
+	// Converged reports whether the solver run reached a fixpoint.
+	Converged bool
+	// Slots[u] is node u's route; len(Slots) == g.N.
+	Slots []EntrySlot
+	// Pool is the next-hop arena all slots index into.
+	Pool []int32
+}
+
+// Bytes returns the column's arena footprint in bytes (slot and pool
+// backing arrays; the header is negligible and excluded).
+func (c *Column) Bytes() int {
+	return len(c.Slots)*entrySlotBytes + len(c.Pool)*4
+}
+
+// Live returns the number of routed slots.
+func (c *Column) Live() int {
+	n := 0
+	for i := range c.Slots {
+		if c.Slots[i].Routed {
+			n++
+		}
+	}
+	return n
+}
+
+// NextHops returns node u's ECMP next-hop view (aliasing the pool;
+// read-only, primary first). Nil when unrouted or at the destination.
+func (c *Column) NextHops(u int) []int32 {
+	if u < 0 || u >= len(c.Slots) || !c.Slots[u].Routed || c.Slots[u].NhLen == 0 {
+		return nil
+	}
+	s := c.Slots[u]
+	return c.Pool[s.NhOff : s.NhOff+s.NhLen : s.NhOff+s.NhLen]
+}
+
+// Entry materializes node u's legacy *Entry view (nil when unrouted).
+// The returned entry is freshly allocated: this is the compatibility
+// adapter, not the hot path.
+func (c *Column) Entry(eng exec.Algebra, u int) *Entry {
+	if u < 0 || u >= len(c.Slots) || !c.Slots[u].Routed {
+		return nil
+	}
+	s := c.Slots[u]
+	e := &Entry{Weight: eng.Value(s.W)}
+	if s.NhLen > 0 {
+		e.NextHops = make([]int, s.NhLen)
+		for i, v := range c.Pool[s.NhOff : s.NhOff+s.NhLen] {
+			e.NextHops[i] = int(v)
+		}
+	}
+	return e
+}
+
+// BuildDestColumn computes the arena column for a single destination —
+// the column-store counterpart of BuildDestEngine, and the unit of work
+// the serve snapshot builder shards across its pool. It consumes the
+// solver's index-form Raw view directly, so no interface values or
+// per-entry allocations are produced: one slot slice, one pool slice.
+func BuildDestColumn(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, ws *solve.Workspace) (*Column, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, fmt.Errorf("rib: destination %d out of range", dest)
+	}
+	if ws == nil {
+		ws = solve.NewWorkspace()
+	}
+	raw := ws.BellmanFordRaw(eng, g, dest, origin, 0)
+	c := &Column{Dest: dest, Converged: raw.Converged, Slots: make([]EntrySlot, g.N)}
+	c.Pool = make([]int32, 0, g.N)
+	for u := 0; u < g.N; u++ {
+		fillSlot(eng, g, raw.Routed, raw.W, raw.NextHop, dest, u, c)
+	}
+	return c, nil
+}
+
+// fillSlot writes node u's slot from index-form solver state, appending
+// its ECMP set to the column pool. The ECMP scan mirrors
+// entryFromResult exactly — primary next hop first, then every other
+// routed out-neighbour whose arc extension is order-equivalent — so
+// arena and pointer columns stay bit-identical.
+func fillSlot(eng exec.Algebra, g *graph.Graph, routed []bool, w []int32, nextHop []int, dest, u int, c *Column) {
+	if !routed[u] {
+		c.Slots[u] = EntrySlot{}
+		return
+	}
+	s := EntrySlot{W: w[u], Routed: true, NhOff: int32(len(c.Pool))}
+	if u == dest {
+		c.Slots[u] = s
+		return
+	}
+	c.Pool = append(c.Pool, int32(nextHop[u]))
+	best := w[u]
+	for _, ai := range g.Out(u) {
+		v := g.Arcs[ai].To
+		if v == nextHop[u] || !routed[v] {
+			continue
+		}
+		if eng.Equiv(eng.Apply(g.Arcs[ai].Label, w[v]), best) {
+			c.Pool = append(c.Pool, int32(v))
+		}
+	}
+	s.NhLen = int32(len(c.Pool)) - s.NhOff
+	c.Slots[u] = s
+}
+
+// DeltaDestColumn recomputes the arena column for a single destination
+// after the given arc toggles, warm-starting from prev's slots — the
+// column-store counterpart of DeltaDestEngine. The warm start reads
+// engine weight indices straight out of prev's arena, so no values are
+// re-interned. When the delta drain runs, untouched slots are copied
+// wholesale and only touched nodes and toggle tails re-run the ECMP
+// scan; on any fallback the column is rebuilt from scratch. Either way
+// the result is bit-identical to BuildDestColumn on g.
+func DeltaDestColumn(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, origin value.V, ws *solve.Workspace, prev *Column, toggles []solve.ArcToggle) (*Column, solve.DeltaStats, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, solve.DeltaStats{}, fmt.Errorf("rib: destination %d out of range", dest)
+	}
+	if ws == nil {
+		ws = solve.NewWorkspace()
+	}
+	if prev == nil || len(prev.Slots) != g.N || !prev.Slots[dest].Routed || !prev.Converged {
+		col, err := BuildDestColumn(eng, g, dest, origin, ws)
+		return col, solve.DeltaStats{}, err
+	}
+	warm := func(u int) (bool, int32, int) {
+		s := prev.Slots[u]
+		if !s.Routed {
+			return false, 0, -1
+		}
+		if u == dest {
+			return true, s.W, -1
+		}
+		return true, s.W, int(prev.Pool[s.NhOff])
+	}
+	raw, st := ws.BellmanFordDeltaRaw(eng, g, disabled, dest, origin, warm, toggles, 0)
+	c := &Column{Dest: dest, Converged: raw.Converged, Slots: make([]EntrySlot, g.N)}
+	if !st.UsedDelta {
+		c.Pool = make([]int32, 0, g.N)
+		for u := 0; u < g.N; u++ {
+			fillSlot(eng, g, raw.Routed, raw.W, raw.NextHop, dest, u, c)
+		}
+		return c, st, nil
+	}
+	// Delta path: rebuild only touched nodes and toggle tails; every
+	// other node's route did not move, so its slot is copied and its
+	// next-hop span transplanted verbatim. The pool is rebuilt (offsets
+	// shift) but the spans' contents are identical to a from-scratch
+	// build, by the same argument as DeltaDestEngine.
+	redo := make(map[int]bool, len(st.Touched)+len(toggles))
+	for _, u := range st.Touched {
+		redo[u] = true
+	}
+	for _, t := range toggles {
+		x := g.Arcs[t.Arc].From
+		if x != dest {
+			redo[x] = true
+		}
+	}
+	c.Pool = make([]int32, 0, len(prev.Pool)+8)
+	for u := 0; u < g.N; u++ {
+		if redo[u] {
+			fillSlot(eng, g, raw.Routed, raw.W, raw.NextHop, dest, u, c)
+			continue
+		}
+		s := prev.Slots[u]
+		if !s.Routed {
+			c.Slots[u] = EntrySlot{}
+			continue
+		}
+		ns := EntrySlot{W: s.W, Routed: true, NhOff: int32(len(c.Pool)), NhLen: s.NhLen}
+		c.Pool = append(c.Pool, prev.Pool[s.NhOff:s.NhOff+s.NhLen]...)
+		c.Slots[u] = ns
+	}
+	return c, st, nil
+}
+
+// ColumnFromEntries converts a legacy pointer column into arena form,
+// interning each entry weight on eng. It exists for adapters and
+// differential tests; new code should build columns directly.
+func ColumnFromEntries(eng exec.Algebra, dest int, entries []*Entry, converged bool) (*Column, error) {
+	c := &Column{Dest: dest, Converged: converged, Slots: make([]EntrySlot, len(entries))}
+	c.Pool = make([]int32, 0, len(entries))
+	for u, e := range entries {
+		if e == nil {
+			continue
+		}
+		w, err := eng.Intern(e.Weight)
+		if err != nil {
+			return nil, fmt.Errorf("rib: column %d node %d: %v", dest, u, err)
+		}
+		s := EntrySlot{W: w, Routed: true, NhOff: int32(len(c.Pool)), NhLen: int32(len(e.NextHops))}
+		for _, v := range e.NextHops {
+			c.Pool = append(c.Pool, int32(v))
+		}
+		c.Slots[u] = s
+	}
+	return c, nil
+}

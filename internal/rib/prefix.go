@@ -1,0 +1,328 @@
+package rib
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"metarouting/internal/value"
+)
+
+// This file holds the prefix destination plane: IPv4 prefixes, a binary
+// LPM trie over a flat node pool, and the PrefixTable that maps
+// announced prefixes onto anchor nodes with DoubleZero-style
+// aggregation — a more-specific prefix (including /32 user routes) is
+// suppressed when a covering prefix anchored at the same node with the
+// same origin already answers for it, since longest-match through the
+// covering route forwards identically.
+
+// Prefix is an IPv4 prefix in host byte order. Addr is stored masked:
+// bits past Len are zero.
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+// mask returns the network mask for a prefix length.
+func mask(l uint8) uint32 {
+	if l == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - l)
+}
+
+// MakePrefix masks addr to l bits.
+func MakePrefix(addr uint32, l uint8) Prefix {
+	if l > 32 {
+		l = 32
+	}
+	return Prefix{Addr: addr & mask(l), Len: l}
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(addr uint32) bool {
+	return addr&mask(p.Len) == p.Addr
+}
+
+// Covers reports whether p covers q (q is equal or more specific).
+func (p Prefix) Covers(q Prefix) bool {
+	return p.Len <= q.Len && q.Addr&mask(p.Len) == p.Addr
+}
+
+// String renders dotted-quad/len.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d", p.Addr>>24, p.Addr>>16&0xff, p.Addr>>8&0xff, p.Addr&0xff, p.Len)
+}
+
+// ParseAddr parses a dotted-quad IPv4 address into host byte order.
+func ParseAddr(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("rib: bad address %q", s)
+	}
+	var addr uint32
+	for _, part := range parts {
+		o, err := strconv.Atoi(part)
+		if err != nil || o < 0 || o > 255 || (len(part) > 1 && part[0] == '0') {
+			return 0, fmt.Errorf("rib: bad address %q", s)
+		}
+		addr = addr<<8 | uint32(o)
+	}
+	return addr, nil
+}
+
+// ParsePrefix parses "a.b.c.d/len" (a bare address is a /32). The
+// address is masked to the prefix length.
+func ParsePrefix(s string) (Prefix, error) {
+	addrStr, lenStr, ok := strings.Cut(s, "/")
+	addr, err := ParseAddr(addrStr)
+	if err != nil {
+		return Prefix{}, err
+	}
+	if !ok {
+		return Prefix{Addr: addr, Len: 32}, nil
+	}
+	l, err := strconv.Atoi(lenStr)
+	if err != nil || l < 0 || l > 32 {
+		return Prefix{}, fmt.Errorf("rib: bad prefix length in %q", s)
+	}
+	return MakePrefix(addr, uint8(l)), nil
+}
+
+// AutoPrefix is the synthetic /32 a node-keyed destination gets when no
+// explicit prefix set is configured: node id embedded in 10/8, so
+// address-form queries work out of the box on legacy scenarios.
+func AutoPrefix(node int) Prefix {
+	return Prefix{Addr: 10<<24 | uint32(node)&0xffffff, Len: 32}
+}
+
+// trieNode is one flat LPM trie node: two child indices and a column
+// id, -1 for absent. 12 bytes per node, no pointers.
+type trieNode struct {
+	child [2]int32
+	col   int32
+}
+
+// Trie is a binary longest-prefix-match trie over a flat node pool.
+// The zero-index node is the root. Tries are built once per prefix set
+// and shared immutably across snapshots.
+type Trie struct {
+	nodes []trieNode
+	count int
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie {
+	return &Trie{nodes: []trieNode{{child: [2]int32{-1, -1}, col: -1}}}
+}
+
+// Insert stores col at p, replacing any previous value. col must be
+// non-negative.
+func (t *Trie) Insert(p Prefix, col int32) {
+	n := int32(0)
+	for i := uint8(0); i < p.Len; i++ {
+		b := p.Addr >> (31 - i) & 1
+		next := t.nodes[n].child[b]
+		if next < 0 {
+			next = int32(len(t.nodes))
+			t.nodes = append(t.nodes, trieNode{child: [2]int32{-1, -1}, col: -1})
+			t.nodes[n].child[b] = next
+		}
+		n = next
+	}
+	if t.nodes[n].col < 0 {
+		t.count++
+	}
+	t.nodes[n].col = col
+}
+
+// Delete removes the value stored exactly at p, reporting whether one
+// was present. Nodes are not pruned; the trie is rebuilt, not shrunk,
+// when prefix sets change.
+func (t *Trie) Delete(p Prefix) bool {
+	n := int32(0)
+	for i := uint8(0); i < p.Len; i++ {
+		b := p.Addr >> (31 - i) & 1
+		n = t.nodes[n].child[b]
+		if n < 0 {
+			return false
+		}
+	}
+	if t.nodes[n].col < 0 {
+		return false
+	}
+	t.nodes[n].col = -1
+	t.count--
+	return true
+}
+
+// Lookup returns the longest-match column id for addr, with the length
+// of the matching prefix. ok is false when nothing matches.
+func (t *Trie) Lookup(addr uint32) (col int32, matchLen uint8, ok bool) {
+	return t.lookupN(addr, 32)
+}
+
+// LookupPrefix returns the longest stored prefix covering p — the walk
+// stops at p.Len, so a stored more-specific inside p never answers for
+// it.
+func (t *Trie) LookupPrefix(p Prefix) (col int32, matchLen uint8, ok bool) {
+	return t.lookupN(p.Addr, p.Len)
+}
+
+func (t *Trie) lookupN(addr uint32, maxLen uint8) (col int32, matchLen uint8, ok bool) {
+	col = -1
+	n := int32(0)
+	if t.nodes[0].col >= 0 {
+		col, ok = t.nodes[0].col, true
+	}
+	for i := uint8(0); i < maxLen; i++ {
+		b := addr >> (31 - i) & 1
+		n = t.nodes[n].child[b]
+		if n < 0 {
+			break
+		}
+		if t.nodes[n].col >= 0 {
+			col, matchLen, ok = t.nodes[n].col, i+1, true
+		}
+	}
+	return col, matchLen, ok
+}
+
+// Len returns the number of stored prefixes.
+func (t *Trie) Len() int { return t.count }
+
+// NodeCount returns the flat pool size (a memory gauge, not the prefix
+// count; deleted prefixes leave their spine in place).
+func (t *Trie) NodeCount() int { return len(t.nodes) }
+
+// PrefixOrigin announces one prefix: anchored at a node, originated
+// with a weight.
+type PrefixOrigin struct {
+	Prefix Prefix
+	// Node is the anchor: the graph node whose route column answers for
+	// the prefix.
+	Node int
+	// Origin is the weight the anchor originates the prefix with.
+	Origin value.V
+}
+
+// PrefixTable is the immutable prefix→anchor index a snapshot carries:
+// an LPM trie over the post-aggregation prefix set, plus the
+// announcement list and the suppression record. Column ids stored in
+// the trie are indices into the kept announcement list.
+type PrefixTable struct {
+	trie       *Trie
+	kept       []PrefixOrigin
+	suppressed []PrefixOrigin
+}
+
+// NewPrefixTable aggregates and indexes a prefix announcement set.
+// Announcements are validated (duplicate prefixes must agree on anchor
+// and origin; each anchor node must originate with one weight), then
+// aggregated: an announcement is suppressed when a strictly covering
+// announcement has the same anchor node and equal origin — longest
+// match through the covering prefix forwards identically, so the
+// more-specific column would be byte-for-byte redundant. This is the
+// same-node /32 suppression rule generalized to any length pair.
+func NewPrefixTable(announced []PrefixOrigin) (*PrefixTable, error) {
+	if len(announced) == 0 {
+		return nil, fmt.Errorf("rib: empty prefix announcement set")
+	}
+	byPrefix := make(map[Prefix]PrefixOrigin, len(announced))
+	nodeOrigin := make(map[int]value.V)
+	ordered := make([]PrefixOrigin, 0, len(announced))
+	for _, po := range announced {
+		po.Prefix = MakePrefix(po.Prefix.Addr, po.Prefix.Len)
+		if prev, ok := byPrefix[po.Prefix]; ok {
+			if prev.Node != po.Node || prev.Origin != po.Origin {
+				return nil, fmt.Errorf("rib: prefix %v announced twice with conflicting anchors", po.Prefix)
+			}
+			continue
+		}
+		if o, ok := nodeOrigin[po.Node]; ok {
+			if o != po.Origin {
+				return nil, fmt.Errorf("rib: node %d originates conflicting weights", po.Node)
+			}
+		} else {
+			nodeOrigin[po.Node] = po.Origin
+		}
+		byPrefix[po.Prefix] = po
+		ordered = append(ordered, po)
+	}
+	// Shortest first, so every candidate's potential coverers are
+	// already in the trie when it is considered.
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Prefix.Len != ordered[j].Prefix.Len {
+			return ordered[i].Prefix.Len < ordered[j].Prefix.Len
+		}
+		return ordered[i].Prefix.Addr < ordered[j].Prefix.Addr
+	})
+	pt := &PrefixTable{trie: NewTrie()}
+	for _, po := range ordered {
+		if col, _, ok := pt.trie.LookupPrefix(po.Prefix); ok {
+			cover := pt.kept[col]
+			if cover.Node == po.Node && cover.Origin == po.Origin {
+				pt.suppressed = append(pt.suppressed, po)
+				continue
+			}
+		}
+		pt.trie.Insert(po.Prefix, int32(len(pt.kept)))
+		pt.kept = append(pt.kept, po)
+	}
+	return pt, nil
+}
+
+// AutoPrefixTable builds the synthetic table for node-keyed origins:
+// one AutoPrefix /32 per destination.
+func AutoPrefixTable(origins map[int]value.V) (*PrefixTable, error) {
+	announced := make([]PrefixOrigin, 0, len(origins))
+	for node, o := range origins {
+		announced = append(announced, PrefixOrigin{Prefix: AutoPrefix(node), Node: node, Origin: o})
+	}
+	return NewPrefixTable(announced)
+}
+
+// Match resolves an address by longest match to its anchor
+// announcement.
+func (pt *PrefixTable) Match(addr uint32) (PrefixOrigin, bool) {
+	col, _, ok := pt.trie.Lookup(addr)
+	if !ok {
+		return PrefixOrigin{}, false
+	}
+	return pt.kept[col], true
+}
+
+// MatchPrefix resolves a prefix query to the longest kept announcement
+// covering it.
+func (pt *PrefixTable) MatchPrefix(p Prefix) (PrefixOrigin, bool) {
+	col, _, ok := pt.trie.LookupPrefix(MakePrefix(p.Addr, p.Len))
+	if !ok {
+		return PrefixOrigin{}, false
+	}
+	return pt.kept[col], true
+}
+
+// Kept returns the post-aggregation announcements in trie column
+// order (read-only).
+func (pt *PrefixTable) Kept() []PrefixOrigin { return pt.kept }
+
+// Suppressed returns the announcements dropped by aggregation
+// (read-only).
+func (pt *PrefixTable) Suppressed() []PrefixOrigin { return pt.suppressed }
+
+// Origins collapses the kept announcements to per-node origins — the
+// destination set the column builder solves for.
+func (pt *PrefixTable) Origins() map[int]value.V {
+	out := make(map[int]value.V)
+	for _, po := range pt.kept {
+		out[po.Node] = po.Origin
+	}
+	return out
+}
+
+// TrieNodes returns the trie's flat pool size (a memory gauge).
+func (pt *PrefixTable) TrieNodes() int { return pt.trie.NodeCount() }
+
+// Len returns the number of kept prefixes.
+func (pt *PrefixTable) Len() int { return pt.trie.Len() }

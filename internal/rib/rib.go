@@ -26,11 +26,14 @@ type Entry struct {
 }
 
 // RIB holds routes from every node to every requested destination.
+// Internally the table is arena-flat — one *Column per destination —
+// and the historical *Entry surface (Lookup) materializes views on
+// demand; hot paths (Forward, ECMPWidth) read slots directly.
 type RIB struct {
 	eng exec.Algebra
 	g   *graph.Graph
-	// table[dest][node] is the entry, nil when unrouted.
-	table map[int][]*Entry
+	// cols[dest] is the destination's arena column.
+	cols map[int]*Column
 }
 
 // Build computes a RIB for the given destinations and their originated
@@ -48,20 +51,21 @@ func Build(alg *ost.OrderTransform, g *graph.Graph, origins map[int]value.V) (*R
 	return BuildEngine(exec.For(alg, vs...), g, origins)
 }
 
-// BuildEngine is Build over an explicit execution engine.
+// BuildEngine is Build over an explicit execution engine. Columns are
+// built arena-form straight from the solver's index-form state.
 func BuildEngine(eng exec.Algebra, g *graph.Graph, origins map[int]value.V) (*RIB, error) {
-	r := &RIB{eng: eng, g: g, table: make(map[int][]*Entry, len(origins))}
+	r := &RIB{eng: eng, g: g, cols: make(map[int]*Column, len(origins))}
 	var unconverged []int
 	ws := solve.NewWorkspace()
 	for dest, origin := range origins {
-		entries, converged, err := BuildDestEngine(eng, g, dest, origin, ws)
+		col, err := BuildDestColumn(eng, g, dest, origin, ws)
 		if err != nil {
 			return nil, err
 		}
-		if !converged {
+		if !col.Converged {
 			unconverged = append(unconverged, dest)
 		}
-		r.table[dest] = entries
+		r.cols[dest] = col
 	}
 	if len(unconverged) > 0 {
 		return r, fmt.Errorf("rib: fixpoint did not converge for destinations %v", unconverged)
@@ -209,52 +213,72 @@ func containsSorted(xs []int, x int) bool {
 	return i < len(xs) && xs[i] == x
 }
 
-// FromEntries assembles a RIB from per-destination entry columns
+// FromColumns assembles a RIB from per-destination arena columns
 // computed elsewhere (the serve snapshot builder). The columns are
 // adopted, not copied; callers must treat them as immutable afterwards.
-func FromEntries(eng exec.Algebra, g *graph.Graph, table map[int][]*Entry) *RIB {
-	return &RIB{eng: eng, g: g, table: table}
+func FromColumns(eng exec.Algebra, g *graph.Graph, cols map[int]*Column) *RIB {
+	return &RIB{eng: eng, g: g, cols: cols}
 }
+
+// FromEntries assembles a RIB from legacy pointer columns, converting
+// them to arena form (the compatibility constructor; new code should
+// use FromColumns). Entry weights must intern on eng — true for every
+// solver-produced column — or FromEntries panics.
+func FromEntries(eng exec.Algebra, g *graph.Graph, table map[int][]*Entry) *RIB {
+	cols := make(map[int]*Column, len(table))
+	for dest, entries := range table {
+		col, err := ColumnFromEntries(eng, dest, entries, true)
+		if err != nil {
+			panic(fmt.Sprintf("rib: FromEntries: %v", err))
+		}
+		cols[dest] = col
+	}
+	return &RIB{eng: eng, g: g, cols: cols}
+}
+
+// Column returns dest's arena column (nil when unknown).
+func (r *RIB) Column(dest int) *Column { return r.cols[dest] }
 
 // Engine exposes the execution engine the RIB was built on.
 func (r *RIB) Engine() exec.Algebra { return r.eng }
 
 // Destinations lists the destinations the RIB covers.
 func (r *RIB) Destinations() []int {
-	out := make([]int, 0, len(r.table))
-	for d := range r.table {
+	out := make([]int, 0, len(r.cols))
+	for d := range r.cols {
 		out = append(out, d)
 	}
 	return out
 }
 
 // Lookup returns node's entry toward dest (nil if unrouted or unknown
-// destination).
+// destination). The entry is materialized from the arena column on
+// each call; index-form readers should use Column instead.
 func (r *RIB) Lookup(node, dest int) *Entry {
-	entries, ok := r.table[dest]
-	if !ok || node < 0 || node >= len(entries) {
+	c, ok := r.cols[dest]
+	if !ok {
 		return nil
 	}
-	return entries[node]
+	return c.Entry(r.eng, node)
 }
 
 // Forward resolves the forwarding path from a node to dest following
 // primary next hops; it fails on missing routes and forwarding loops.
 func (r *RIB) Forward(from, dest int) (graph.Path, error) {
-	entries, ok := r.table[dest]
+	c, ok := r.cols[dest]
 	if !ok {
 		return nil, fmt.Errorf("rib: unknown destination %d", dest)
 	}
-	if from < 0 || from >= len(entries) {
-		return nil, fmt.Errorf("rib: node %d out of range [0,%d)", from, len(entries))
+	if from < 0 || from >= len(c.Slots) {
+		return nil, fmt.Errorf("rib: node %d out of range [0,%d)", from, len(c.Slots))
 	}
 	var p graph.Path
 	// Flat visited bitmap: this sits on the /v1/paths hot path, where a
 	// per-call map allocation plus per-hop map ops dominated small walks.
-	seen := make([]bool, len(entries))
+	seen := make([]bool, len(c.Slots))
 	u := from
 	for {
-		if entries[u] == nil {
+		if !c.Slots[u].Routed {
 			return nil, fmt.Errorf("rib: node %d has no route to %d", u, dest)
 		}
 		if seen[u] {
@@ -265,16 +289,16 @@ func (r *RIB) Forward(from, dest int) (graph.Path, error) {
 		if u == dest {
 			return p, nil
 		}
-		u = entries[u].NextHops[0]
+		u = int(c.Pool[c.Slots[u].NhOff])
 	}
 }
 
 // ECMPWidth returns the number of equal-cost next hops at node toward
 // dest (0 when unrouted).
 func (r *RIB) ECMPWidth(node, dest int) int {
-	e := r.Lookup(node, dest)
-	if e == nil {
+	c, ok := r.cols[dest]
+	if !ok || node < 0 || node >= len(c.Slots) || !c.Slots[node].Routed {
 		return 0
 	}
-	return len(e.NextHops)
+	return int(c.Slots[node].NhLen)
 }

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"metarouting/internal/rib"
 	"metarouting/internal/telemetry"
 	"metarouting/internal/value"
 )
@@ -44,16 +45,28 @@ type APIError struct {
 	Message string `json:"message"`
 }
 
-// RouteReply is the /v1/route response shape.
+// RouteReply is the /v1/route response shape. Dest is the anchor node
+// the query resolved to; for prefix- and address-form queries Query
+// echoes the input and Matched names the longest-match announcement
+// that answered.
 type RouteReply struct {
 	From    int    `json:"from"`
 	Dest    int    `json:"dest"`
+	Query   string `json:"query,omitempty"`
+	Matched string `json:"matched_prefix,omitempty"`
 	Routed  bool   `json:"routed"`
 	Weight  string `json:"weight,omitempty"`
 	ECMP    []int  `json:"ecmp,omitempty"`
 	Path    []int  `json:"path,omitempty"`
 	Version uint64 `json:"snapshot_version"`
 	Err     string `json:"error,omitempty"`
+}
+
+// PrefixReply is one announcement in the /v1/prefixes listing.
+type PrefixReply struct {
+	Prefix     string `json:"prefix"`
+	Node       int    `json:"node"`
+	Suppressed bool   `json:"suppressed,omitempty"`
 }
 
 // EventRequest is one event in a POST /v1/events body: either Arc or
@@ -139,13 +152,57 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 
 	handleRoute := func(w http.ResponseWriter, req *http.Request) {
 		from, err1 := nodeArg(req, "from")
-		dest, err2 := nodeArg(req, "dest")
-		if err1 != nil || err2 != nil {
-			badRequest(w, "want /v1/route?from=U&dest=D: %v", errors.Join(err1, err2))
+		if err1 != nil {
+			badRequest(w, "want /v1/route?from=U&dest=D (or prefix=P, addr=A): %v", err1)
 			return
 		}
 		sn := srv.Snapshot()
-		reply := RouteReply{From: from, Dest: dest, Version: sn.Version}
+		reply := RouteReply{From: from, Dest: -1, Version: sn.Version}
+		// The destination names either a node id (dest=) or a prefix
+		// plane query (prefix=, addr=) resolved by longest match to its
+		// anchor node's column.
+		q := req.URL.Query()
+		var dest int
+		switch {
+		case q.Get("prefix") != "":
+			p, err := rib.ParsePrefix(q.Get("prefix"))
+			if err != nil {
+				badRequest(w, "%v", err)
+				return
+			}
+			reply.Query = p.String()
+			po, ok := sn.MatchPrefix(p)
+			if !ok {
+				reply.Err = "no announced prefix covers " + p.String()
+				writeJSON(w, http.StatusOK, reply)
+				return
+			}
+			reply.Matched = po.Prefix.String()
+			dest = po.Node
+		case q.Get("addr") != "":
+			addr, err := rib.ParseAddr(q.Get("addr"))
+			if err != nil {
+				badRequest(w, "%v", err)
+				return
+			}
+			reply.Query = q.Get("addr")
+			po, ok := sn.MatchAddr(addr)
+			if !ok {
+				reply.Err = "no announced prefix covers " + q.Get("addr")
+				writeJSON(w, http.StatusOK, reply)
+				return
+			}
+			reply.Matched = po.Prefix.String()
+			dest = po.Node
+		default:
+			var err2 error
+			dest, err2 = nodeArg(req, "dest")
+			if err2 != nil {
+				badRequest(w, "want /v1/route?from=U&dest=D (or prefix=P, addr=A): %v", err2)
+				return
+			}
+		}
+		reply.Dest = dest
 		if e := srv.Lookup(from, dest); e != nil {
 			reply.Routed = true
 			reply.Weight = value.Format(e.Weight)
@@ -157,6 +214,23 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 			}
 		}
 		writeJSON(w, http.StatusOK, reply)
+	}
+
+	handlePrefixes := func(w http.ResponseWriter, req *http.Request) {
+		sn := srv.Snapshot()
+		pt := sn.Prefixes()
+		out := make([]PrefixReply, 0, len(pt.Kept())+len(pt.Suppressed()))
+		for _, po := range pt.Kept() {
+			out = append(out, PrefixReply{Prefix: po.Prefix.String(), Node: po.Node})
+		}
+		for _, po := range pt.Suppressed() {
+			out = append(out, PrefixReply{Prefix: po.Prefix.String(), Node: po.Node, Suppressed: true})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"version":    sn.Version,
+			"trie_nodes": pt.TrieNodes(),
+			"prefixes":   out,
+		})
 	}
 
 	handlePaths := func(w http.ResponseWriter, req *http.Request) {
@@ -317,6 +391,7 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 	}
 
 	mount("/v1/route", "/route", handleRoute)
+	mux.HandleFunc("/v1/prefixes", handlePrefixes)
 	mount("/v1/paths", "/paths", handlePaths)
 	mount("/v1/events", "/events", handleEvents)
 	alias("/event", "/v1/events", handleEvents) // historical singular form

@@ -1,0 +1,217 @@
+package serve
+
+// This file measures what the arena-flat column store buys over the
+// pointer-table baseline at Internet-ish scale: for each node count it
+// builds the same destination columns twice — once as rib.Column arenas,
+// once as legacy []*rib.Entry pointer columns — and reads the retained
+// heap delta around each build, so the bytes-per-route-entry numbers in
+// BENCH_scale.json reflect what a resident snapshot actually costs, not
+// struct arithmetic. The same run drives the LPM differential: every
+// destination's auto-prefix must resolve through the trie to a column
+// bit-identical to the node-keyed pointer path.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/rib"
+	"metarouting/internal/solve"
+	"metarouting/internal/value"
+)
+
+// ScalePoint is one node-count measurement in the scale report.
+type ScalePoint struct {
+	Nodes        int `json:"nodes"`
+	Arcs         int `json:"arcs"`
+	Destinations int `json:"destinations"`
+	// Entries counts routed slots across all measured columns — the
+	// denominator of both per-entry readings.
+	Entries int `json:"route_entries"`
+	// ArenaBytes/PointerBytes are retained-heap deltas (double-GC
+	// ReadMemStats) around the respective builds.
+	ArenaBytes   int64 `json:"arena_bytes"`
+	PointerBytes int64 `json:"pointer_bytes"`
+	// TrieNodes is the flat pool size of the LPM trie over the
+	// destinations' auto-prefixes.
+	TrieNodes int `json:"trie_nodes"`
+
+	ArenaBytesPerEntry   float64 `json:"arena_bytes_per_entry"`
+	PointerBytesPerEntry float64 `json:"pointer_bytes_per_entry"`
+	// Ratio is PointerBytesPerEntry / ArenaBytesPerEntry — the headline
+	// number; the acceptance bar is ≥ 2.
+	Ratio float64 `json:"pointer_to_arena_ratio"`
+
+	// ArenaBuildMS/PointerBuildMS are wall-clock build times for the
+	// measured (second) build of each representation.
+	ArenaBuildMS   float64 `json:"arena_build_ms"`
+	PointerBuildMS float64 `json:"pointer_build_ms"`
+
+	// LPMDifferentialOK records that every destination's auto-prefix
+	// resolved through the trie to a column bit-identical to the
+	// node-keyed pointer path.
+	LPMDifferentialOK bool `json:"lpm_differential_ok"`
+}
+
+// ScaleReport is the BENCH_scale.json shape.
+type ScaleReport struct {
+	Engine     string       `json:"engine"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []ScalePoint `json:"points"`
+}
+
+// retainedBytes runs build between two double-GC heap readings and
+// returns the retained delta (clamped at zero: an unrelated release
+// concurrent with the build must not produce a negative footprint).
+func retainedBytes(build func()) int64 {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	build()
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	d := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// MeasureScale runs the arena-vs-pointer measurement at each node
+// count. mk builds the workload for one node count: the engine (a
+// compiled backend keeps the measurement clean; a dynamic backend is
+// pre-warmed by a throwaway build so its intern growth lands outside
+// the measured windows), the topology, and the origination set. The
+// returned report carries one point per node count; an LPM
+// differential failure is an error, not a report field quietly set to
+// false.
+func MeasureScale(mk func(nodes int) (exec.Algebra, *graph.Graph, map[int]value.V, error), nodeCounts []int) (*ScaleReport, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1000, 10000, 100000}
+	}
+	rep := &ScaleReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, n := range nodeCounts {
+		eng, g, origins, err := mk(n)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Engine == "" {
+			rep.Engine = string(eng.Mode())
+		}
+		pt, err := rib.AutoPrefixTable(origins)
+		if err != nil {
+			return nil, err
+		}
+		dests := make([]int, 0, len(origins))
+		for d := range origins {
+			dests = append(dests, d)
+		}
+		ws := solve.NewWorkspace()
+		// Pre-warm: one throwaway column per destination interns every
+		// weight a dynamic backend will ever see for this workload, so
+		// engine-table growth cannot leak into the measured windows.
+		for _, d := range dests {
+			if _, err := rib.BuildDestColumn(eng, g, d, origins[d], ws); err != nil {
+				return nil, err
+			}
+		}
+
+		point := ScalePoint{Nodes: g.N, Arcs: len(g.Arcs), Destinations: len(dests), TrieNodes: pt.TrieNodes()}
+		var cols map[int]*rib.Column
+		var buildErr error
+		t0 := time.Now()
+		point.ArenaBytes = retainedBytes(func() {
+			cols = make(map[int]*rib.Column, len(dests))
+			for _, d := range dests {
+				col, err := rib.BuildDestColumn(eng, g, d, origins[d], ws)
+				if err != nil {
+					buildErr = err
+					return
+				}
+				cols[d] = col
+			}
+		})
+		point.ArenaBuildMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+		if buildErr != nil {
+			return nil, buildErr
+		}
+		var table map[int][]*rib.Entry
+		t0 = time.Now()
+		point.PointerBytes = retainedBytes(func() {
+			table = make(map[int][]*rib.Entry, len(dests))
+			for _, d := range dests {
+				entries, _, err := rib.BuildDestEngine(eng, g, d, origins[d], ws)
+				if err != nil {
+					buildErr = err
+					return
+				}
+				table[d] = entries
+			}
+		})
+		point.PointerBuildMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+		if buildErr != nil {
+			return nil, buildErr
+		}
+
+		for _, col := range cols {
+			point.Entries += col.Live()
+		}
+		if point.Entries > 0 {
+			point.ArenaBytesPerEntry = float64(point.ArenaBytes) / float64(point.Entries)
+			point.PointerBytesPerEntry = float64(point.PointerBytes) / float64(point.Entries)
+		}
+		if point.ArenaBytesPerEntry > 0 {
+			point.Ratio = point.PointerBytesPerEntry / point.ArenaBytesPerEntry
+		}
+
+		// LPM differential: each destination's auto-prefix must resolve
+		// through the trie to its anchor, and the anchored arena column
+		// must be bit-identical to the node-keyed pointer column.
+		for _, d := range dests {
+			po, ok := pt.Match(rib.AutoPrefix(d).Addr)
+			if !ok || po.Node != d {
+				return nil, fmt.Errorf("serve: scale bench: auto-prefix for destination %d resolved to %+v", d, po)
+			}
+			col, entries := cols[po.Node], table[d]
+			for u := 0; u < g.N; u++ {
+				if err := slotMatchesEntry(eng, col, entries, u); err != nil {
+					return nil, fmt.Errorf("serve: scale bench: n=%d dest %d node %d: %v", n, d, u, err)
+				}
+			}
+		}
+		point.LPMDifferentialOK = true
+		runtime.KeepAlive(table)
+		rep.Points = append(rep.Points, point)
+	}
+	return rep, nil
+}
+
+// slotMatchesEntry compares one arena slot against its legacy pointer
+// entry: routedness, resolved weight, ECMP sequence.
+func slotMatchesEntry(eng exec.Algebra, col *rib.Column, entries []*rib.Entry, u int) error {
+	e := entries[u]
+	s := col.Slots[u]
+	if (e != nil) != s.Routed {
+		return fmt.Errorf("routedness differs (arena %v, pointer %v)", s.Routed, e != nil)
+	}
+	if e == nil {
+		return nil
+	}
+	if w := eng.Value(s.W); w != e.Weight {
+		return fmt.Errorf("weight differs (arena %v, pointer %v)", w, e.Weight)
+	}
+	nh := col.NextHops(u)
+	if len(nh) != len(e.NextHops) {
+		return fmt.Errorf("ECMP width differs (arena %v, pointer %v)", nh, e.NextHops)
+	}
+	for i, v := range e.NextHops {
+		if int(nh[i]) != v {
+			return fmt.Errorf("ECMP set differs (arena %v, pointer %v)", nh, e.NextHops)
+		}
+	}
+	return nil
+}

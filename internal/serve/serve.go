@@ -111,6 +111,7 @@ type config struct {
 	noBatcher      bool // test-only: leave the intake queue undrained
 	noDelta        bool
 	deltaProps     prop.Set
+	prefixes       *rib.PrefixTable
 }
 
 func defaultConfig() config {
@@ -188,6 +189,15 @@ func WithDeltaProps(p prop.Set) Option {
 	return optionFunc(func(c *config) { c.deltaProps = p })
 }
 
+// WithPrefixes supplies an explicit prefix table. The table's per-node
+// origins must match the origination set handed to New — NewPrefix
+// wires both from one announcement list and is the usual entry point.
+// Without this option New synthesizes one rib.AutoPrefix /32 per
+// destination so address-form queries work on node-keyed scenarios.
+func WithPrefixes(pt *rib.PrefixTable) Option {
+	return optionFunc(func(c *config) { c.prefixes = pt })
+}
+
 // WithRebuildTimeout bounds each batched recompute: the batcher and the
 // HTTP event handlers derive a deadline-carrying context from it (0: no
 // deadline). A rebuild that hits the deadline is abandoned and the
@@ -225,7 +235,9 @@ func (o Options) apply(c *config) {
 // Snapshot is one immutable generation of route tables. All methods are
 // safe for concurrent use; a snapshot never changes after publication,
 // so a reader holding one sees a consistent view regardless of how many
-// events the server has absorbed since.
+// events the server has absorbed since. Route columns are arena-flat
+// (rib.Column); destinations untouched by a rebuild share their column
+// with the previous snapshot by pointer.
 type Snapshot struct {
 	// Version increments with every swap (the initial build is 1).
 	Version uint64
@@ -238,12 +250,49 @@ type Snapshot struct {
 	// within the solver budget (possible for non-increasing algebras).
 	Unconverged []int
 
-	table map[int][]*rib.Entry
-	rib   *rib.RIB
+	cols     map[int]*rib.Column
+	prefixes *rib.PrefixTable
+	rib      *rib.RIB
+
+	// Footprint gauges, computed once at publish.
+	arenaBytes  int
+	liveEntries int
 }
 
 // RIB exposes the snapshot's route table.
 func (sn *Snapshot) RIB() *rib.RIB { return sn.rib }
+
+// Column returns dest's arena column (nil when unknown) — the
+// index-form read path; Lookup materializes the legacy view.
+func (sn *Snapshot) Column(dest int) *rib.Column { return sn.cols[dest] }
+
+// Prefixes exposes the snapshot's prefix table. The prefix set is
+// fixed at boot, so every snapshot of a server shares one table; it is
+// carried on the snapshot so readers resolve addresses and columns
+// against one consistent generation.
+func (sn *Snapshot) Prefixes() *rib.PrefixTable { return sn.prefixes }
+
+// MatchAddr resolves an address by longest prefix match to its anchor
+// announcement (ok=false when no announced prefix covers it).
+func (sn *Snapshot) MatchAddr(addr uint32) (rib.PrefixOrigin, bool) {
+	return sn.prefixes.Match(addr)
+}
+
+// MatchPrefix resolves a prefix query to the longest announcement
+// covering it.
+func (sn *Snapshot) MatchPrefix(p rib.Prefix) (rib.PrefixOrigin, bool) {
+	return sn.prefixes.MatchPrefix(p)
+}
+
+// ArenaBytes reports the summed arena footprint of the snapshot's
+// columns (slot + pool backing arrays).
+func (sn *Snapshot) ArenaBytes() int { return sn.arenaBytes }
+
+// LiveEntries reports the number of routed slots across all columns.
+func (sn *Snapshot) LiveEntries() int { return sn.liveEntries }
+
+// TrieNodes reports the prefix trie's flat pool size.
+func (sn *Snapshot) TrieNodes() int { return sn.prefixes.TrieNodes() }
 
 // Lookup returns node's entry toward dest (nil when unrouted/unknown).
 func (sn *Snapshot) Lookup(node, dest int) *rib.Entry { return sn.rib.Lookup(node, dest) }
@@ -284,6 +333,11 @@ type Stats struct {
 	DisabledArcs          int    `json:"disabled_arcs"`
 	Engine                string `json:"engine"`
 	Workers               int    `json:"workers"`
+	ArenaBytes            int    `json:"snapshot_arena_bytes"`
+	LiveEntries           int    `json:"snapshot_live_entries"`
+	TrieNodes             int    `json:"snapshot_trie_nodes"`
+	Prefixes              int    `json:"prefixes"`
+	SuppressedPrefixes    int    `json:"prefixes_suppressed"`
 }
 
 // ArcEvent names one topology event by arc index: the unit the batched
@@ -298,11 +352,12 @@ type ArcEvent struct {
 // (Lookup, Forward, Snapshot) never take the writer lock; events and
 // rebuilds serialize on it.
 type Server struct {
-	eng     exec.Algebra
-	base    *graph.Graph
-	origins map[int]value.V
-	dests   []int // sorted, for deterministic build order
-	workers int
+	eng      exec.Algebra
+	base     *graph.Graph
+	origins  map[int]value.V
+	dests    []int // sorted, for deterministic build order
+	prefixes *rib.PrefixTable
+	workers  int
 
 	mu       sync.Mutex // serializes topology mutation + publication
 	disabled []bool
@@ -402,6 +457,14 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 		dests = append(dests, d)
 	}
 	sort.Ints(dests)
+	prefixes := cfg.prefixes
+	if prefixes == nil {
+		var err error
+		prefixes, err = rib.AutoPrefixTable(origins)
+		if err != nil {
+			return nil, fmt.Errorf("serve: auto prefix table: %v", err)
+		}
+	}
 	if cfg.queueCap <= 0 {
 		cfg.queueCap = 1024
 	}
@@ -410,6 +473,7 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 		base:           g,
 		origins:        origins,
 		dests:          dests,
+		prefixes:       prefixes,
 		disabled:       make([]bool, len(g.Arcs)),
 		backpressure:   cfg.backpressure,
 		intake:         make(chan ArcEvent, cfg.queueCap),
@@ -514,6 +578,28 @@ func (s *Server) register(reg *telemetry.Registry) {
 		}
 		return float64(n)
 	})
+	reg.AddGaugeFunc("mrserve_snapshot_arena_bytes",
+		"Arena footprint of the published snapshot's route columns (slot + next-hop pool bytes).", func() float64 {
+			if sn := s.snap.Load(); sn != nil {
+				return float64(sn.arenaBytes)
+			}
+			return 0
+		})
+	reg.AddGaugeFunc("mrserve_snapshot_live_entries",
+		"Routed slots across the published snapshot's columns.", func() float64 {
+			if sn := s.snap.Load(); sn != nil {
+				return float64(sn.liveEntries)
+			}
+			return 0
+		})
+	reg.AddGaugeFunc("mrserve_snapshot_trie_nodes",
+		"Flat node-pool size of the prefix LPM trie.", func() float64 {
+			return float64(s.prefixes.TrieNodes())
+		})
+	reg.AddGaugeFunc("mrserve_prefixes",
+		"Announced prefixes kept after aggregation.", func() float64 {
+			return float64(s.prefixes.Len())
+		})
 	reg.AddGaugeFunc("mrserve_destinations", "Originated destinations.", func() float64 { return float64(len(s.dests)) })
 	reg.AddGaugeFunc("mrserve_nodes", "Topology node count.", func() float64 { return float64(s.base.N) })
 	reg.AddGaugeFunc("mrserve_arcs", "Topology arc count.", func() float64 { return float64(len(s.base.Arcs)) })
@@ -529,6 +615,25 @@ func (s *Server) register(reg *telemetry.Registry) {
 	reg.AddHistogram("mrserve_delta_touched_nodes",
 		"Nodes re-relaxed per warm-start delta rebuild.", s.touchedHist, 1)
 	s.solveMetrics.Register(reg, "mrserve_solve")
+}
+
+// NewPrefix builds a server over a prefix announcement set: the table
+// is aggregated (rib.NewPrefixTable — covering prefixes with the same
+// anchor and origin suppress their more-specifics), the per-node
+// origins are derived from the kept announcements, and /v1/route
+// answers prefix- and address-form queries by longest match into the
+// anchors' route columns.
+func NewPrefix(eng exec.Algebra, g *graph.Graph, announced []rib.PrefixOrigin, opts ...Option) (*Server, error) {
+	pt, err := rib.NewPrefixTable(announced)
+	if err != nil {
+		return nil, err
+	}
+	for _, po := range pt.Kept() {
+		if po.Node < 0 || po.Node >= g.N {
+			return nil, fmt.Errorf("serve: prefix %v anchored at node %d out of range [0,%d)", po.Prefix, po.Node, g.N)
+		}
+	}
+	return New(eng, g, pt.Origins(), append([]Option{WithPrefixes(pt)}, opts...)...)
 }
 
 // NewFromScenario builds a server from a parsed scenario: its engine,
@@ -570,21 +675,23 @@ func (s *Server) Close() {
 	s.pool.Close()
 }
 
-// buildDests computes entry columns for the recompute set on view,
-// sharding destinations across the worker pool; columns for every other
-// destination are shared with prev's snapshot by reference (they are
-// immutable). When the delta gate is open and toggles describe the
-// batch, each recomputed destination warm-starts from its previous
-// column via rib.DeltaDestEngine — destinations the previous snapshot
-// reported unconverged rebuild from scratch (their columns are not a
-// fixpoint to warm-start from). A ctx cancellation abandons the build
-// and returns ctx.Err().
-func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev *Snapshot, toggles []ArcEvent) (map[int][]*rib.Entry, []int, error) {
-	table := make(map[int][]*rib.Entry, len(s.dests))
-	var prevTable map[int][]*rib.Entry
+// buildDests computes arena columns for the recompute set on view,
+// sharding destinations (columns) across the worker pool; columns for
+// every other destination are shared with prev's snapshot by pointer
+// (they are immutable). When the delta gate is open and toggles
+// describe the batch, each recomputed destination warm-starts from its
+// previous column via rib.DeltaDestColumn — the warm start reads
+// engine weight indices straight out of the previous arena, so nothing
+// is re-interned — while destinations the previous snapshot reported
+// unconverged rebuild from scratch (their columns are not a fixpoint
+// to warm-start from). A ctx cancellation abandons the build and
+// returns ctx.Err().
+func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev *Snapshot, toggles []ArcEvent) (map[int]*rib.Column, []int, error) {
+	cols := make(map[int]*rib.Column, len(s.dests))
+	var prevCols map[int]*rib.Column
 	prevUnconv := make(map[int]bool, 4)
 	if prev != nil {
-		prevTable = prev.table
+		prevCols = prev.cols
 		for _, d := range prev.Unconverged {
 			prevUnconv[d] = true
 		}
@@ -592,9 +699,9 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 		for _, d := range recompute {
 			inRecompute[d] = true
 		}
-		for d, col := range prevTable {
+		for d, col := range prevCols {
 			if !inRecompute[d] {
-				table[d] = col
+				cols[d] = col
 			}
 		}
 	}
@@ -605,24 +712,19 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 			solveToggles[i] = solve.ArcToggle{Arc: t.Arc, Down: t.Fail}
 		}
 	}
-	type built struct {
-		entries   []*rib.Entry
-		converged bool
-	}
-	results := make([]built, len(recompute))
+	results := make([]*rib.Column, len(recompute))
 	err := s.pool.Map(ctx, len(recompute), func(i int, ws *solve.Workspace) error {
 		d := recompute[i]
 		var t0 time.Time
 		if s.shardNS != nil {
 			t0 = time.Now()
 		}
-		var entries []*rib.Entry
-		var converged bool
+		var col *rib.Column
 		var err error
-		if solveToggles != nil && prevTable[d] != nil && !prevUnconv[d] {
+		if solveToggles != nil && prevCols[d] != nil && !prevUnconv[d] {
 			var st solve.DeltaStats
-			entries, converged, st, err = rib.DeltaDestEngine(
-				s.eng, view, s.disabled, d, s.origins[d], ws, prevTable[d], solveToggles)
+			col, st, err = rib.DeltaDestColumn(
+				s.eng, view, s.disabled, d, s.origins[d], ws, prevCols[d], solveToggles)
 			if err == nil {
 				if st.UsedDelta {
 					s.deltaDests.Add(1)
@@ -637,7 +739,7 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 				}
 			}
 		} else {
-			entries, converged, err = rib.BuildDestEngine(s.eng, view, d, s.origins[d], ws)
+			col, err = rib.BuildDestColumn(s.eng, view, d, s.origins[d], ws)
 			s.scratchDests.Add(1)
 		}
 		if err != nil {
@@ -646,7 +748,7 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 		if s.shardNS != nil {
 			s.shardNS.Observe(time.Since(t0).Nanoseconds())
 		}
-		results[i] = built{entries: entries, converged: converged}
+		results[i] = col
 		return nil
 	})
 	if err != nil {
@@ -654,22 +756,22 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 	}
 	var unconverged []int
 	for i, d := range recompute {
-		if !results[i].converged {
+		if !results[i].Converged {
 			unconverged = append(unconverged, d)
 		}
-		table[d] = results[i].entries
+		cols[d] = results[i]
 	}
 	sort.Ints(unconverged)
-	return table, unconverged, nil
+	return cols, unconverged, nil
 }
 
-// publish swaps in a new snapshot built from table. Callers hold s.mu.
-func (s *Server) publish(view *graph.Graph, table map[int][]*rib.Entry, unconverged []int) {
+// publish swaps in a new snapshot built from cols. Callers hold s.mu.
+func (s *Server) publish(view *graph.Graph, cols map[int]*rib.Column, unconverged []int) {
 	var version uint64 = 1
 	if cur := s.snap.Load(); cur != nil {
 		version = cur.Version + 1
 		if s.queryNS != nil {
-			s.flaps.Add(countFlaps(cur.table, table))
+			s.flaps.Add(countFlaps(cur.cols, cols))
 		}
 	}
 	sn := &Snapshot{
@@ -677,31 +779,33 @@ func (s *Server) publish(view *graph.Graph, table map[int][]*rib.Entry, unconver
 		Graph:       view,
 		Disabled:    append([]bool(nil), s.disabled...),
 		Unconverged: unconverged,
-		table:       table,
-		rib:         rib.FromEntries(s.eng, view, table),
+		cols:        cols,
+		prefixes:    s.prefixes,
+		rib:         rib.FromColumns(s.eng, view, cols),
+	}
+	for _, c := range cols {
+		sn.arenaBytes += c.Bytes()
+		sn.liveEntries += c.Live()
 	}
 	s.snap.Store(sn)
 	s.swaps.Add(1)
 }
 
 // countFlaps compares recomputed columns against their predecessors and
-// counts entries that actually changed (weight or ECMP set) — the
+// counts slots that actually changed (weight or ECMP set) — the
 // route-flap reading behind mrserve_route_flaps_total. Columns shared
-// by reference (skipped destinations) are recognized and cost nothing;
+// by pointer (skipped destinations) are recognized and cost nothing;
 // the comparison of recomputed columns is O(N) per column, the same
 // order as the recompute that produced them.
-func countFlaps(prev, next map[int][]*rib.Entry) uint64 {
+func countFlaps(prev, next map[int]*rib.Column) uint64 {
 	var flaps uint64
 	for d, col := range next {
 		old, ok := prev[d]
-		if !ok || len(col) == 0 || len(old) != len(col) {
+		if !ok || old == col || len(old.Slots) != len(col.Slots) {
 			continue
 		}
-		if &old[0] == &col[0] {
-			continue // shared column: untouched by this swap
-		}
-		for u := range col {
-			if !entryEqual(col[u], old[u]) {
+		for u := range col.Slots {
+			if !slotEqual(col, old, u) {
 				flaps++
 			}
 		}
@@ -709,18 +813,23 @@ func countFlaps(prev, next map[int][]*rib.Entry) uint64 {
 	return flaps
 }
 
-func entryEqual(a, b *rib.Entry) bool {
-	if (a == nil) != (b == nil) {
+// slotEqual compares node u's route across two columns: routedness,
+// engine weight index, and ECMP next-hop sequence. Weight indices are
+// comparable directly because both columns were built on the same
+// engine, whose intern table assigns each weight one stable index.
+func slotEqual(a, b *rib.Column, u int) bool {
+	sa, sb := a.Slots[u], b.Slots[u]
+	if sa.Routed != sb.Routed {
 		return false
 	}
-	if a == nil {
+	if !sa.Routed {
 		return true
 	}
-	if a.Weight != b.Weight || len(a.NextHops) != len(b.NextHops) {
+	if sa.W != sb.W || sa.NhLen != sb.NhLen {
 		return false
 	}
-	for i := range a.NextHops {
-		if a.NextHops[i] != b.NextHops[i] {
+	for i := int32(0); i < sa.NhLen; i++ {
+		if a.Pool[sa.NhOff+i] != b.Pool[sb.NhOff+i] {
 			return false
 		}
 	}
@@ -760,9 +869,10 @@ func Coalesce(events []ArcEvent, disabled []bool) ([]ArcEvent, error) {
 func (s *Server) invalidated(cur *Snapshot, toggles []ArcEvent) []int {
 	var recompute []int
 	for _, d := range s.dests {
+		col := cur.cols[d]
 		for _, t := range toggles {
 			a := s.base.Arcs[t.Arc]
-			if a.From == d || cur.rib.Lookup(a.To, d) == nil {
+			if a.From == d || col == nil || !col.Slots[a.To].Routed {
 				continue
 			}
 			recompute = append(recompute, d)
@@ -1106,5 +1216,10 @@ func (s *Server) Stats() Stats {
 		DisabledArcs:          disabled,
 		Engine:                string(s.eng.Mode()),
 		Workers:               s.workers,
+		ArenaBytes:            sn.arenaBytes,
+		LiveEntries:           sn.liveEntries,
+		TrieNodes:             s.prefixes.TrieNodes(),
+		Prefixes:              s.prefixes.Len(),
+		SuppressedPrefixes:    len(s.prefixes.Suppressed()),
 	}
 }

@@ -130,13 +130,100 @@ func (ws *Workspace) BellmanFordDelta(eng exec.Algebra, g *graph.Graph, disabled
 		ws.w[u] = idx
 		ws.nextHop[u] = prev.NextHop[u]
 	}
+	pops, relaxations, frontier, ok := ws.deltaDrain(eng, g, disabled, dest, toggles, maxPops)
+	if !ok {
+		return fallback(frontier)
+	}
+	res := ws.materialize(eng, dest, pops, true)
+	st := DeltaStats{
+		UsedDelta:   true,
+		Frontier:    frontier,
+		Pops:        pops,
+		Relaxations: relaxations,
+		Touched:     ws.sortedTouched(),
+	}
+	if m := ws.Metrics; m != nil {
+		m.Runs.Inc()
+		m.Rounds.Add(uint64(pops))
+		m.Relaxations.Add(relaxations)
+		m.SolveNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	return res, st
+}
+
+// WarmStart supplies one node's previous fixpoint state to
+// BellmanFordDeltaRaw in index form: routed, the engine weight index,
+// and the primary next hop (-1 at the destination and at unrouted
+// nodes). The arena column store answers it straight from slots, which
+// is what lets delta warm-starts share state by index instead of
+// re-interning a column of interface values.
+type WarmStart func(u int) (routed bool, w int32, nextHop int)
+
+// BellmanFordDeltaRaw is BellmanFordDelta with the warm start supplied
+// in index form and the result returned as a workspace-aliased Raw: the
+// arena column path. prev must describe a converged fixpoint for the
+// same destination and origin on the pre-toggle graph (the caller
+// asserts convergence; the origin is re-checked here). All fallback
+// behaviour matches BellmanFordDelta — on an unusable warm start,
+// oversized frontier or exhausted budget the from-scratch sweep runs
+// and only DeltaStats.Frontier is meaningful.
+func (ws *Workspace) BellmanFordDeltaRaw(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, origin value.V, prev WarmStart, toggles []ArcToggle, maxPops int) (Raw, DeltaStats) {
+	var t0 time.Time
+	if ws.Metrics != nil {
+		t0 = time.Now()
+	}
+	o := exec.MustIntern(eng, origin)
+	if routedD, wD, _ := prev(dest); !routedD || wD != o {
+		return ws.BellmanFordRaw(eng, g, dest, origin, 0), DeltaStats{}
+	}
+	ws.reset(g.N, dest, o)
+	ws.resetWorklist(g.N)
+	for u := 0; u < g.N; u++ {
+		if u == dest {
+			continue
+		}
+		routed, w, nh := prev(u)
+		if !routed {
+			continue
+		}
+		ws.routed[u] = true
+		ws.w[u] = w
+		ws.nextHop[u] = nh
+	}
+	pops, relaxations, frontier, ok := ws.deltaDrain(eng, g, disabled, dest, toggles, maxPops)
+	if !ok {
+		return ws.BellmanFordRaw(eng, g, dest, origin, 0), DeltaStats{Frontier: frontier}
+	}
+	st := DeltaStats{
+		UsedDelta:   true,
+		Frontier:    frontier,
+		Pops:        pops,
+		Relaxations: relaxations,
+		Touched:     ws.sortedTouched(),
+	}
+	if m := ws.Metrics; m != nil {
+		m.Runs.Inc()
+		m.Rounds.Add(uint64(pops))
+		m.Relaxations.Add(relaxations)
+		m.SolveNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	return ws.raw(dest, pops, true), st
+}
+
+// deltaDrain is the shared warm-start core: with the previous fixpoint
+// already loaded into the workspace state it builds the forwarding-tree
+// children index, invalidates ⊤-plateau phantom routes and downed
+// subtrees, seeds the frontier, and drains the worklist. ok is false
+// when the caller must fall back to the from-scratch sweep (frontier at
+// half the graph or more, or an unconverged drain).
+func (ws *Workspace) deltaDrain(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, toggles []ArcToggle, maxPops int) (pops int, relaxations uint64, frontier int, ok bool) {
 	// Children index over the previous forwarding tree (descending node
 	// order so each child list comes out ascending).
 	for u := g.N - 1; u >= 0; u-- {
-		if u == dest || !prev.Routed[u] || prev.NextHop[u] < 0 {
+		if u == dest || !ws.routed[u] || ws.nextHop[u] < 0 {
 			continue
 		}
-		p := prev.NextHop[u]
+		p := ws.nextHop[u]
 		ws.childNext[u] = ws.childHead[p]
 		ws.childHead[p] = int32(u)
 	}
@@ -217,32 +304,19 @@ func (ws *Workspace) BellmanFordDelta(eng exec.Algebra, g *graph.Graph, disabled
 			ws.push(g.Arcs[t.Arc].From, dest)
 		}
 	}
-	frontier := len(ws.queue)
+	frontier = len(ws.queue)
 	if 2*frontier >= g.N {
 		// Heuristic cutover: a frontier of half the nodes or more will
 		// touch most of the graph anyway — the sweep solver's tight loop
 		// wins over worklist bookkeeping.
-		return fallback(frontier)
+		return 0, 0, frontier, false
 	}
-	pops, relaxations, converged := ws.drain(eng, g, disabled, dest, maxPops)
+	var converged bool
+	pops, relaxations, converged = ws.drain(eng, g, disabled, dest, maxPops)
 	if !converged {
-		return fallback(frontier)
+		return pops, relaxations, frontier, false
 	}
-	res := ws.materialize(eng, dest, pops, true)
-	st := DeltaStats{
-		UsedDelta:   true,
-		Frontier:    frontier,
-		Pops:        pops,
-		Relaxations: relaxations,
-		Touched:     ws.sortedTouched(),
-	}
-	if m := ws.Metrics; m != nil {
-		m.Runs.Inc()
-		m.Rounds.Add(uint64(pops))
-		m.Relaxations.Add(relaxations)
-		m.SolveNS.Observe(time.Since(t0).Nanoseconds())
-	}
-	return res, st
+	return pops, relaxations, frontier, true
 }
 
 // resetWorklist sizes and clears the worklist scratch for an n-node

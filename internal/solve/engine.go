@@ -234,21 +234,61 @@ func BellmanFordEngine(eng exec.Algebra, g *graph.Graph, dest int, origin value.
 // relaxation count are recorded (one clock read pair per run — the
 // inner loops stay uninstrumented).
 func (ws *Workspace) BellmanFord(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) *Result {
+	raw := ws.BellmanFordRaw(eng, g, dest, origin, maxRounds)
+	return ws.materialize(eng, dest, raw.Rounds, raw.Converged)
+}
+
+// Raw is an index-form single-destination solution whose slices alias
+// the workspace's reusable buffers: weights are engine indices, not
+// resolved values. A Raw is valid only until the workspace's next solve
+// and must be treated as read-only — it exists so the RIB layer can
+// fill arena columns straight from solver state without materializing
+// one interface value and three fresh slices per destination.
+type Raw struct {
+	// Dest is the destination node.
+	Dest int
+	// Routed marks nodes holding a route; W holds their engine weight
+	// index and NextHop their forwarding neighbour (-1 at Dest and at
+	// unrouted nodes).
+	Routed  []bool
+	W       []int32
+	NextHop []int
+	// Rounds and Converged mirror Result.
+	Rounds    int
+	Converged bool
+}
+
+// raw wraps the workspace's live state as a Raw view.
+func (ws *Workspace) raw(dest, rounds int, converged bool) Raw {
+	return Raw{
+		Dest:      dest,
+		Routed:    ws.routed,
+		W:         ws.w,
+		NextHop:   ws.nextHop,
+		Rounds:    rounds,
+		Converged: converged,
+	}
+}
+
+// BellmanFordRaw is BellmanFord without the materialization step: the
+// returned Raw aliases the workspace buffers (valid until the next
+// solve) and is index-form — the arena column builders consume it.
+func (ws *Workspace) BellmanFordRaw(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) Raw {
 	var t0 time.Time
 	if ws.Metrics != nil {
 		t0 = time.Now()
 	}
-	res, relaxations := ws.bellmanFord(eng, g, dest, origin, maxRounds)
+	rounds, relaxations, converged := ws.bellmanFord(eng, g, dest, origin, maxRounds)
 	if m := ws.Metrics; m != nil {
 		m.Runs.Inc()
-		m.Rounds.Add(uint64(res.Rounds))
+		m.Rounds.Add(uint64(rounds))
 		m.Relaxations.Add(relaxations)
 		m.SolveNS.Observe(time.Since(t0).Nanoseconds())
 	}
-	return res
+	return ws.raw(dest, rounds, converged)
 }
 
-func (ws *Workspace) bellmanFord(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) (*Result, uint64) {
+func (ws *Workspace) bellmanFord(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, maxRounds int) (int, uint64, bool) {
 	if maxRounds <= 0 {
 		maxRounds = 2*g.N + 4
 	}
@@ -297,10 +337,10 @@ func (ws *Workspace) bellmanFord(eng exec.Algebra, g *graph.Graph, dest int, ori
 		}
 		rounds = round
 		if !changed {
-			return ws.materialize(eng, dest, rounds, true), relaxations
+			return rounds, relaxations, true
 		}
 	}
-	return ws.materialize(eng, dest, rounds, false), relaxations
+	return rounds, relaxations, false
 }
 
 // GaussSeidelEngine is BellmanFordEngine with in-place (chaotic

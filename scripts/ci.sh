@@ -45,6 +45,18 @@ go run ./cmd/mrserve -delta-bench -expr 'lex(delay(32,3), hops(8))' \
   -out /tmp/bench_delta_smoke.json
 grep -q speedup_delta /tmp/bench_delta_smoke.json
 
+# Scale bench smoke: the arena-vs-pointer memory measurement must run
+# end to end at 1k nodes, pass its built-in LPM differential, and emit
+# a well-formed report. The committed BENCH_scale.json holds the real
+# 1k/10k/100k numbers.
+go run ./cmd/mrserve -scale-bench -scale-nodes 1000 -out /tmp/bench_scale_smoke.json
+grep -q pointer_to_arena_ratio /tmp/bench_scale_smoke.json
+grep -q '"lpm_differential_ok": true' /tmp/bench_scale_smoke.json
+
+# Allocs/op guard: the arena column build must stay allocation-flat
+# (TestColumnBuildAllocs fails if a build exceeds its small budget).
+go test -run='^TestColumnBuildAllocs$' -count=1 ./internal/rib/
+
 # Fuzz smoke: a short live session per target so the fuzz harnesses
 # cannot bit-rot (go test accepts one -fuzz target per invocation; the
 # patterns are anchored because the v1 targets share prefixes).
