@@ -13,6 +13,10 @@
 //	mrserve -parallel-bench -random 64 -dests 8 -out BENCH_parallel.json
 //	mrserve -delta-bench -random 64 -dests 8 -out BENCH_delta.json
 //	mrserve -scale-bench -scale-nodes 1000,10000,100000 -out BENCH_scale.json
+//	mrserve -replica-bench -random 64 -dests 8 -out BENCH_replica.json
+//	mrserve -publish :8349 -log-dir /var/lib/mrserve        # leader
+//	mrserve -follow leader:8349                              # follower
+//	mrserve -follow file:/var/lib/mrserve/replica.log -oneshot
 //
 // Endpoints (v1; the unversioned spellings remain as deprecated
 // aliases answering identically plus a Deprecation header):
@@ -55,6 +59,22 @@
 // -scale-bench measures the arena-flat RIB columns against the legacy
 // pointer tables (retained bytes per route entry, build time, LPM
 // differential) at increasing node counts and writes BENCH_scale.json.
+//
+// Replication: -publish ADDR streams binary snapshot/delta records to
+// connected followers over TCP, and -log-dir DIR appends the same
+// records to DIR/replica.log (either or both turn the leader's record
+// pipeline on). -follow HOST:PORT boots a read-only follower that
+// bootstraps from the leader's full snapshot, tails deltas, and serves
+// the same /v1/route, /v1/paths, /v1/prefixes, /v1/stats and
+// /v1/metrics endpoints lock-free (mutations answer 403 read_only);
+// -follow file:PATH replays a leader's log instead. Both roles honor
+// ?version=N read-your-version gating (404 version_behind with the
+// current version when the serving snapshot is older than N). -oneshot
+// prints "role=... version=... crc=..." after boot/replay and exits —
+// the CI smoke compares the two lines. -replay-storm N applies N
+// deterministic arc toggles after boot (with -seed), and
+// -replica-bench measures delta records against full snapshots
+// (BENCH_replica.json) with a built-in follower checksum check.
 package main
 
 import (
@@ -63,6 +83,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -74,6 +95,7 @@ import (
 	"metarouting/internal/core"
 	"metarouting/internal/exec"
 	"metarouting/internal/graph"
+	"metarouting/internal/replica"
 	"metarouting/internal/scenario"
 	"metarouting/internal/serve"
 	"metarouting/internal/telemetry"
@@ -118,6 +140,14 @@ func main() {
 		scaleBench = flag.Bool("scale-bench", false, "measure arena-column vs pointer-table memory at increasing node counts instead of serving")
 		scaleNodes = flag.String("scale-nodes", "1000,10000,100000", "scale-bench: comma-separated node counts")
 		scaleDests = flag.Int("scale-dests", 8, "scale-bench: originated destinations per point")
+
+		publishAddr     = flag.String("publish", "", "leader: serve the replication record stream to followers on this TCP address")
+		logDir          = flag.String("log-dir", "", "leader: append every replication record to DIR/replica.log")
+		follow          = flag.String("follow", "", "follower mode: subscribe to a leader at host:port, or replay a log with file:PATH")
+		replayStorm     = flag.Int("replay-storm", 0, "leader: apply this many deterministic random arc toggles after boot (CI smoke / log seeding)")
+		oneshot         = flag.Bool("oneshot", false, "print role, snapshot version and routing checksum, then exit instead of serving HTTP")
+		replicaBench    = flag.Bool("replica-bench", false, "measure delta replication records against full snapshots on paired storms instead of serving")
+		replicaStormArc = flag.Int("replica-storm-arcs", 4, "replica-bench: distinct arcs failed (then restored) per storm")
 	)
 	flag.Parse()
 	if _, err := cliflag.ApplyEngine(*engine); err != nil {
@@ -144,6 +174,14 @@ func main() {
 		runScaleBench(*exprSrc, *scaleNodes, *seed, *scaleDests, *out)
 		return
 	}
+	if *replicaBench {
+		runReplicaBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *replicaStormArc, *benchRounds, *out)
+		return
+	}
+	if *follow != "" {
+		runFollower(*follow, *addr, *oneshot)
+		return
+	}
 
 	// The load generator keeps the historical uninstrumented
 	// configuration so BENCH_serve.json stays comparable across PRs; the
@@ -162,6 +200,24 @@ func main() {
 			serve.WithSlowQuery(time.Duration(*slowUS)*time.Microsecond),
 		)
 	}
+	// Leader replication: the publisher must exist before serve.New (the
+	// initial build already publishes a full record), but its bootstrap
+	// source is the server — close the loop with a late-bound closure,
+	// safe because no subscriber is accepted until Serve starts below.
+	var pub *replica.Publisher
+	var srv *serve.Server
+	if *publishAddr != "" || *logDir != "" {
+		var log *replica.Log
+		if *logDir != "" {
+			var err error
+			if log, err = replica.OpenLog(*logDir); err != nil {
+				fatal(err)
+			}
+		}
+		pub = replica.NewPublisher(func() (uint64, []byte, error) { return srv.EncodeFull() }, log)
+		defer pub.Close()
+		opts = append(opts, serve.WithReplication(pub))
+	}
 	srv, sc, err := buildServer(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, opts...)
 	if err != nil {
 		fatal(err)
@@ -173,6 +229,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "mrserve: replayed %d scenario events\n", applied)
+	}
+	if *replayStorm > 0 {
+		if err := applyStorm(srv, *replayStorm, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mrserve: applied %d storm toggles\n", *replayStorm)
+	}
+	if *oneshot {
+		fmt.Printf("mrserve: role=leader version=%d crc=%08x\n", srv.Snapshot().Version, srv.Checksum())
+		return
+	}
+	if *publishAddr != "" {
+		ln, err := net.Listen("tcp", *publishAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go pub.Serve(ln) //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "mrserve: publishing replication records at %s\n", ln.Addr())
 	}
 
 	if *loadgen {
@@ -355,6 +429,75 @@ func runScaleBench(exprSrc, nodeList string, seed int64, destCount int, out stri
 		last := rep.Points[len(rep.Points)-1]
 		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (n=%d: %.1f B/entry arena vs %.1f B/entry pointer, %.1f× smaller, LPM differential ok=%v)\n",
 			out, last.Nodes, last.ArenaBytesPerEntry, last.PointerBytesPerEntry, last.Ratio, last.LPMDifferentialOK)
+	}
+}
+
+// applyStorm replays n deterministic random toggles (each flips an
+// arc's current state) as single-event batches, so a leader and the log
+// it leaves behind hold a reproducible post-storm table for the CI
+// leader/follower smoke.
+func applyStorm(srv *serve.Server, n int, seed int64) error {
+	r := rand.New(rand.NewSource(seed + 1))
+	st := srv.Stats()
+	disabled := make([]bool, st.Arcs)
+	for i := 0; i < n; i++ {
+		arc := r.Intn(len(disabled))
+		if _, _, err := srv.ApplyEvent(context.Background(), arc, !disabled[arc]); err != nil {
+			return err
+		}
+		disabled[arc] = !disabled[arc]
+	}
+	return nil
+}
+
+// runFollower boots read-replica mode: bootstrap from a leader's event
+// log (file:PATH) or subscribe to a live leader (host:port), then serve
+// the follower read API — or, with oneshot, print the applied version
+// and checksum for the CI smoke and exit.
+func runFollower(target, addr string, oneshot bool) {
+	reg := telemetry.NewRegistry()
+	fol := serve.NewFollower(reg)
+	if path, ok := strings.CutPrefix(target, "file:"); ok {
+		if err := replica.ReplayLog(path, fol.Apply); err != nil {
+			fatal(err)
+		}
+		if oneshot {
+			fmt.Printf("mrserve: role=follower version=%d crc=%08x\n", fol.Version(), fol.Checksum())
+			return
+		}
+	} else {
+		if oneshot {
+			fatal(fmt.Errorf("-oneshot follower needs a file: target (a live subscription never finishes)"))
+		}
+		go func() {
+			err := replica.Subscribe(context.Background(), target, fol.Version, fol.Apply)
+			fatal(fmt.Errorf("subscription ended: %w", err))
+		}()
+	}
+	mux := serve.NewFollowerHandler(fol, reg)
+	fmt.Fprintf(os.Stderr, "mrserve: follower of %s at %s (v%d)\n", target, addr, fol.Version())
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fatal(err)
+	}
+}
+
+// runReplicaBench measures delta replication records against full
+// snapshots on paired storms and writes BENCH_replica.json.
+func runReplicaBench(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers, stormArcs, rounds int, out string) {
+	mk := func(sink serve.RecordSink) (*serve.Server, error) {
+		srv, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount,
+			serve.WithWorkers(workers), serve.WithReplication(sink))
+		return srv, err
+	}
+	rep, err := serve.MeasureReplica(mk, stormArcs, rounds, seed)
+	if err != nil {
+		fatal(err)
+	}
+	writeReport(rep, out)
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (full %.0fB vs delta %.0fB per record, %.1f× smaller; apply %.0fµs vs solve %.0fµs, %.1f×)\n",
+			out, rep.BytesFullPerRecord, rep.BytesDeltaPerRecord, rep.FullToDeltaRatio,
+			rep.FollowerApplyUS, rep.LeaderBatchUS, rep.ApplySpeedup)
 	}
 }
 

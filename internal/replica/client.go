@@ -1,0 +1,86 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Subscribe maintains a follower's subscription to a leader publisher
+// at addr: dial, announce the follower's current version, apply the
+// streamed records, and on any disconnect or apply failure back off,
+// redial and resubscribe. current is consulted on every (re)connect so
+// catch-up resumes from wherever the follower actually is; after an
+// apply error the next subscribe requests version 0, forcing a clean
+// full-snapshot bootstrap. Subscribe returns only when ctx is done.
+func Subscribe(ctx context.Context, addr string, current func() uint64, apply func(*Record) error) error {
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 3 * time.Second
+	forceFull := false
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		from := uint64(0)
+		if !forceFull {
+			from = current()
+		}
+		err := subscribeOnce(ctx, addr, from, apply, func() { backoff = 100 * time.Millisecond })
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// An apply error means this session's state can no longer extend
+		// the stream (gap, fingerprint change); rebootstrap from scratch.
+		forceFull = err != nil && !isConnError(err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// connError tags transport-level failures, which resubscribe from the
+// follower's current version rather than forcing a full bootstrap.
+type connError struct{ err error }
+
+func (e *connError) Error() string { return e.err.Error() }
+func (e *connError) Unwrap() error { return e.err }
+
+func isConnError(err error) bool {
+	_, ok := err.(*connError)
+	return ok
+}
+
+// subscribeOnce runs a single connect-and-stream session. onRecord
+// resets the caller's backoff once records flow.
+func subscribeOnce(ctx context.Context, addr string, from uint64, apply func(*Record) error, onRecord func()) error {
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return &connError{err}
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if _, err := conn.Write(EncodeSubscribe(from)); err != nil {
+		return &connError{fmt.Errorf("replica: subscribe handshake: %w", err)}
+	}
+	br := bufio.NewReader(conn)
+	for {
+		rec, err := ReadRecord(br)
+		if err != nil {
+			return &connError{err}
+		}
+		onRecord()
+		if err := apply(rec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ringSize is how many recent framed records the publisher retains for
+// delta catch-up; a subscriber further behind bootstraps from a full
+// snapshot instead.
+const ringSize = 512
+
+// subBuffer is the per-subscriber record queue depth. A subscriber
+// that falls further behind than this is dropped (its connection
+// closes) and re-bootstraps on reconnect — slow readers must never
+// stall the leader's swap path.
+const subBuffer = 64
+
+type ringEntry struct {
+	version uint64
+	frame   []byte
+}
+
+type subscriber struct {
+	ch   chan []byte
+	dead bool
+}
+
+// Publisher fans the leader's record stream out to subscribers: every
+// snapshot swap hands it one framed record, which it appends to the
+// optional on-disk log, retains in a catch-up ring, and broadcasts to
+// every live TCP subscriber. It implements the serve package's record
+// sink contract (PublishRecord).
+type Publisher struct {
+	// source produces a framed full snapshot of the leader's current
+	// state, for subscribers too far behind the ring. It is called
+	// OUTSIDE the publisher mutex: the source takes the leader's own
+	// lock, and the leader calls PublishRecord while holding it, so
+	// calling source under p.mu would invert that order.
+	source func() (version uint64, frame []byte, err error)
+
+	mu     sync.Mutex
+	ring   []ringEntry
+	head   uint64
+	subs   map[*subscriber]struct{}
+	closed bool
+
+	log *Log
+	ln  net.Listener
+	wg  sync.WaitGroup
+}
+
+// NewPublisher builds a publisher over the given full-snapshot source.
+// log may be nil (no on-disk record log).
+func NewPublisher(source func() (uint64, []byte, error), log *Log) *Publisher {
+	return &Publisher{source: source, subs: make(map[*subscriber]struct{}), log: log}
+}
+
+// PublishRecord ships one swap's framed record: log, ring, broadcast.
+// It never blocks on a subscriber — one that cannot keep up is dropped.
+func (p *Publisher) PublishRecord(version uint64, frame []byte) error {
+	var logErr error
+	if p.log != nil {
+		logErr = p.log.Append(frame)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.head = version
+	p.ring = append(p.ring, ringEntry{version: version, frame: frame})
+	if len(p.ring) > ringSize {
+		p.ring = p.ring[len(p.ring)-ringSize:]
+	}
+	for s := range p.subs {
+		if s.dead {
+			continue
+		}
+		select {
+		case s.ch <- frame:
+		default:
+			s.dead = true
+			close(s.ch)
+			delete(p.subs, s)
+		}
+	}
+	return logErr
+}
+
+// Head returns the newest published version.
+func (p *Publisher) Head() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.head
+}
+
+// Serve accepts subscribers on ln until Close. Each connection sends
+// one Subscribe record; the publisher answers with either the delta
+// tail from the subscriber's version (when the ring still covers it)
+// or a fresh full snapshot, then streams records as they are
+// published.
+func (p *Publisher) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("replica: publisher closed")
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return nil
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// handle serves one subscriber connection.
+func (p *Publisher) handle(conn net.Conn) {
+	defer conn.Close()
+	rec, err := ReadRecord(bufio.NewReader(conn))
+	if err != nil || rec.Kind != KindSubscribe {
+		return
+	}
+	from := rec.SubscribeFrom
+
+	// Register first, then materialize catch-up: records published from
+	// this point buffer in the channel, and the stale-version skip on
+	// the follower absorbs any overlap with the catch-up payload.
+	sub := &subscriber{ch: make(chan []byte, subBuffer)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.subs[sub] = struct{}{}
+	var tail [][]byte
+	needFull := true
+	if from == p.head {
+		needFull = false
+	} else if from < p.head {
+		// The ring covers from+1..head iff its oldest retained version is
+		// ≤ from+1 (versions in the ring are consecutive).
+		if len(p.ring) > 0 && p.ring[0].version <= from+1 {
+			needFull = false
+			for _, e := range p.ring {
+				if e.version > from {
+					tail = append(tail, e.frame)
+				}
+			}
+		}
+	}
+	p.mu.Unlock()
+
+	defer func() {
+		p.mu.Lock()
+		if !sub.dead {
+			sub.dead = true
+			close(sub.ch)
+			delete(p.subs, sub)
+		}
+		p.mu.Unlock()
+	}()
+
+	w := bufio.NewWriter(conn)
+	if needFull {
+		_, frame, err := p.source()
+		if err != nil {
+			return
+		}
+		tail = [][]byte{frame}
+	}
+	for _, frame := range tail {
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+	for frame := range sub.ch {
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the accept loop, disconnects subscribers, and waits for
+// connection handlers to finish.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	ln := p.ln
+	for s := range p.subs {
+		if !s.dead {
+			s.dead = true
+			close(s.ch)
+		}
+		delete(p.subs, s)
+	}
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}

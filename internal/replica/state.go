@@ -1,0 +1,190 @@
+package replica
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"metarouting/internal/rib"
+)
+
+// State is a follower's materialized view of the leader's snapshot at
+// one version. It is immutable once built: applying a record produces a
+// fresh State that shares every untouched column pointer with its
+// predecessor, mirroring the leader's own RCU snapshot discipline.
+type State struct {
+	Version     uint64
+	Fingerprint uint64
+	Nodes       int
+	Disabled    []bool
+	Unconverged []int
+	Names       []string
+	Kept        []Announcement
+	Suppressed  []Announcement
+	// Cols maps destination → column, sharing pointers across versions.
+	Cols map[int]*rib.Column
+}
+
+// ApplyFull materializes a full snapshot record into a State.
+func ApplyFull(f *Full) (*State, error) {
+	st := &State{
+		Version:     f.Version,
+		Fingerprint: f.Fingerprint,
+		Nodes:       f.Nodes,
+		Disabled:    append([]bool(nil), f.Disabled...),
+		Unconverged: append([]int(nil), f.Unconverged...),
+		Names:       append([]string(nil), f.Names...),
+		Kept:        append([]Announcement(nil), f.Kept...),
+		Suppressed:  append([]Announcement(nil), f.Suppressed...),
+		Cols:        make(map[int]*rib.Column, len(f.Columns)),
+	}
+	for _, c := range f.Columns {
+		if len(c.Slots) != f.Nodes {
+			return nil, fmt.Errorf("replica: column %d has %d slots, snapshot has %d nodes", c.Dest, len(c.Slots), f.Nodes)
+		}
+		if _, dup := st.Cols[c.Dest]; dup {
+			return nil, fmt.Errorf("replica: duplicate column for destination %d", c.Dest)
+		}
+		st.Cols[c.Dest] = c
+	}
+	return st, nil
+}
+
+// ApplyDelta applies a delta record on top of cur, returning the new
+// State. A stale delta (Version ≤ cur.Version — the publisher ring can
+// replay across a resubscribe) returns (nil, nil): skip, no error. A
+// gap (FromVersion ≠ cur.Version) or fingerprint mismatch errors; the
+// caller is expected to fall back to a full bootstrap.
+func ApplyDelta(cur *State, d *Delta) (*State, error) {
+	if cur == nil {
+		return nil, fmt.Errorf("replica: delta %d→%d before any full snapshot", d.FromVersion, d.Version)
+	}
+	if d.Version <= cur.Version {
+		return nil, nil
+	}
+	if d.FromVersion != cur.Version {
+		return nil, fmt.Errorf("replica: delta applies to version %d, state is at %d", d.FromVersion, cur.Version)
+	}
+	if d.Fingerprint != cur.Fingerprint {
+		return nil, fmt.Errorf("replica: delta fingerprint %016x does not match state %016x", d.Fingerprint, cur.Fingerprint)
+	}
+	if d.NameBase > len(cur.Names) {
+		return nil, fmt.Errorf("replica: delta name base %d beyond known %d names", d.NameBase, len(cur.Names))
+	}
+	st := &State{
+		Version:     d.Version,
+		Fingerprint: cur.Fingerprint,
+		Nodes:       cur.Nodes,
+		Disabled:    append([]bool(nil), cur.Disabled...),
+		Unconverged: append([]int(nil), d.Unconverged...),
+		Names:       cur.Names,
+		Kept:        cur.Kept,
+		Suppressed:  cur.Suppressed,
+		Cols:        make(map[int]*rib.Column, len(cur.Cols)),
+	}
+	// The names table is append-only on the leader; the delta tail may
+	// overlap what a full bootstrap already carried, so only append the
+	// genuinely new suffix.
+	if end := d.NameBase + len(d.NamesTail); end > len(cur.Names) {
+		st.Names = append(append([]string(nil), cur.Names...), d.NamesTail[len(cur.Names)-d.NameBase:]...)
+	}
+	for _, t := range d.Toggles {
+		if t.Arc < 0 || t.Arc >= len(st.Disabled) {
+			return nil, fmt.Errorf("replica: toggle arc %d out of range [0,%d)", t.Arc, len(st.Disabled))
+		}
+		st.Disabled[t.Arc] = t.Down
+	}
+	for dest, c := range cur.Cols {
+		st.Cols[dest] = c
+	}
+	for _, c := range d.Scratch {
+		if len(c.Slots) != st.Nodes {
+			return nil, fmt.Errorf("replica: scratch column %d has %d slots, state has %d nodes", c.Dest, len(c.Slots), st.Nodes)
+		}
+		if _, known := cur.Cols[c.Dest]; !known {
+			return nil, fmt.Errorf("replica: scratch column for unknown destination %d", c.Dest)
+		}
+		st.Cols[c.Dest] = c
+	}
+	for i := range d.Diffs {
+		nc, err := applyDiff(cur.Cols[d.Diffs[i].Dest], &d.Diffs[i], st.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		st.Cols[nc.Dest] = nc
+	}
+	return st, nil
+}
+
+// applyDiff merges one destination's touched-entry set into its
+// previous column, rebuilding the pool in canonical ascending-node
+// order so the result is byte-identical to the leader's column.
+func applyDiff(prev *rib.Column, diff *ColumnDiff, nodes int) (*rib.Column, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("replica: diff for unknown destination %d", diff.Dest)
+	}
+	if len(prev.Slots) != nodes {
+		return nil, fmt.Errorf("replica: diff base column %d has %d slots, state has %d nodes", diff.Dest, len(prev.Slots), nodes)
+	}
+	c := &rib.Column{Dest: diff.Dest, Converged: diff.Converged, Slots: make([]rib.EntrySlot, nodes)}
+	c.Pool = make([]int32, 0, len(prev.Pool))
+	next := 0
+	for u := 0; u < nodes; u++ {
+		if next < len(diff.Changes) && diff.Changes[next].Node == u {
+			ch := &diff.Changes[next]
+			next++
+			if !ch.Routed {
+				continue
+			}
+			if u == diff.Dest && len(ch.NextHop) != 0 {
+				return nil, fmt.Errorf("replica: diff gives destination %d a next-hop set", diff.Dest)
+			}
+			c.Slots[u] = rib.EntrySlot{W: ch.W, Routed: true, NhOff: int32(len(c.Pool)), NhLen: int32(len(ch.NextHop))}
+			c.Pool = append(c.Pool, ch.NextHop...)
+			continue
+		}
+		s := prev.Slots[u]
+		if !s.Routed {
+			continue
+		}
+		c.Slots[u] = rib.EntrySlot{W: s.W, Routed: true, NhOff: int32(len(c.Pool)), NhLen: s.NhLen}
+		c.Pool = append(c.Pool, prev.Pool[s.NhOff:s.NhOff+s.NhLen]...)
+	}
+	if next != len(diff.Changes) {
+		return nil, fmt.Errorf("replica: diff for destination %d has change node %d out of range [0,%d)", diff.Dest, diff.Changes[next].Node, nodes)
+	}
+	return c, nil
+}
+
+// WeightName renders weight index w from the state's name table, or
+// "?" when the index is beyond what the stream has carried so far.
+func (s *State) WeightName(w int32) string {
+	if w < 0 || int(w) >= len(s.Names) {
+		return "?"
+	}
+	return s.Names[w]
+}
+
+// Checksum digests the routing content of a snapshot — every column in
+// ascending destination order plus the disabled mask — with CRC32. The
+// leader and a caught-up follower at the same version must agree; the
+// CI smoke compares exactly this value across the two processes.
+func Checksum(disabled []bool, cols map[int]*rib.Column) uint32 {
+	dests := make([]int, 0, len(cols))
+	for d := range cols {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	var w wbuf
+	w.bits(disabled)
+	for _, d := range dests {
+		w.column(cols[d])
+	}
+	return crc32.ChecksumIEEE(w.b)
+}
+
+// Checksum digests the state's routing content; see the package-level
+// Checksum.
+func (s *State) Checksum() uint32 {
+	return Checksum(s.Disabled, s.Cols)
+}

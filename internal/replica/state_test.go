@@ -1,0 +1,167 @@
+package replica
+
+import (
+	"reflect"
+	"testing"
+
+	"metarouting/internal/solve"
+)
+
+func bootstrap(t *testing.T) *State {
+	t.Helper()
+	st, err := ApplyFull(testFull())
+	if err != nil {
+		t.Fatalf("ApplyFull: %v", err)
+	}
+	return st
+}
+
+func TestApplyFull(t *testing.T) {
+	st := bootstrap(t)
+	if st.Version != 7 || st.Nodes != 4 || len(st.Cols) != 2 {
+		t.Fatalf("state = v%d nodes %d cols %d", st.Version, st.Nodes, len(st.Cols))
+	}
+	if st.WeightName(1) != "(3, 2)" || st.WeightName(9) != "?" || st.WeightName(-1) != "?" {
+		t.Fatalf("weight names wrong: %q %q %q", st.WeightName(1), st.WeightName(9), st.WeightName(-1))
+	}
+}
+
+func TestApplyFullRejectsDuplicates(t *testing.T) {
+	f := testFull()
+	f.Columns = append(f.Columns, f.Columns[0])
+	if _, err := ApplyFull(f); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestApplyDeltaMergesDiff(t *testing.T) {
+	st := bootstrap(t)
+	next, err := ApplyDelta(st, testDelta())
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if next.Version != 8 {
+		t.Fatalf("version = %d, want 8", next.Version)
+	}
+	// Toggles: arc 5 down, arc 1 up.
+	if !next.Disabled[5] || next.Disabled[1] {
+		t.Fatalf("disabled mask not toggled: %v", next.Disabled)
+	}
+	// Scratch replaced column 0 wholesale.
+	want0 := mkColumn(0, true, [][]int32{{0}, nil, {3, 0, 3}, {1, 0}})
+	if !reflect.DeepEqual(next.Cols[0], want0) {
+		t.Fatalf("scratch column:\n got %+v\nwant %+v", next.Cols[0], want0)
+	}
+	// Diff rewrote column 3: node 0 gains {w 3, hops 1 2}, node 2 stays
+	// unrouted (it already was), nodes 1 and 3 transplant, and the pool
+	// is rebuilt in canonical order — byte-identical to a fresh build.
+	want3 := mkColumn(3, true, [][]int32{{3, 1, 2}, {2, 3}, nil, {0}})
+	if !reflect.DeepEqual(next.Cols[3], want3) {
+		t.Fatalf("diffed column:\n got %+v\nwant %+v", next.Cols[3], want3)
+	}
+	// Names tail appended past the bootstrap's table.
+	if got := next.WeightName(3); got != "(4, 4)" {
+		t.Fatalf("appended name = %q", got)
+	}
+	// The base state must be untouched (immutable snapshots).
+	if st.Version != 7 || st.Disabled[5] || st.Cols[3].Slots[0].Routed {
+		t.Fatal("ApplyDelta mutated its input state")
+	}
+}
+
+func TestApplyDeltaStaleSkips(t *testing.T) {
+	st := bootstrap(t)
+	d := testDelta()
+	d.FromVersion, d.Version = 6, 7
+	next, err := ApplyDelta(st, d)
+	if err != nil || next != nil {
+		t.Fatalf("stale delta: next=%v err=%v, want nil/nil", next, err)
+	}
+}
+
+func TestApplyDeltaRejectsGapAndFingerprint(t *testing.T) {
+	st := bootstrap(t)
+	gap := testDelta()
+	gap.FromVersion, gap.Version = 9, 10
+	if _, err := ApplyDelta(st, gap); err == nil {
+		t.Fatal("version gap accepted")
+	}
+	fp := testDelta()
+	fp.Fingerprint++
+	if _, err := ApplyDelta(st, fp); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+	if _, err := ApplyDelta(nil, testDelta()); err == nil {
+		t.Fatal("delta before bootstrap accepted")
+	}
+}
+
+func TestApplyDeltaOverlappingNamesTail(t *testing.T) {
+	// A follower that bootstrapped from a full snapshot already carrying
+	// names the delta tail repeats must append only the new suffix.
+	st := bootstrap(t)
+	d := testDelta()
+	d.NameBase = 2
+	d.NamesTail = []string{"inf", "(4, 4)"} // index 2 already known
+	next, err := ApplyDelta(st, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	want := []string{"(0, 1)", "(3, 2)", "inf", "(4, 4)"}
+	if !reflect.DeepEqual(next.Names, want) {
+		t.Fatalf("names = %v, want %v", next.Names, want)
+	}
+}
+
+func TestApplyDeltaSharesUntouchedColumns(t *testing.T) {
+	st := bootstrap(t)
+	d := &Delta{
+		FromVersion: 7, Version: 8, Fingerprint: st.Fingerprint,
+		Toggles:  []solve.ArcToggle{{Arc: 0, Down: true}},
+		NameBase: len(st.Names),
+		Diffs: []ColumnDiff{{Dest: 0, Converged: true, Changes: []SlotChange{
+			{Node: 1, Routed: true, W: 2, NextHop: []int32{0}},
+		}}},
+	}
+	next, err := ApplyDelta(st, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if next.Cols[3] != st.Cols[3] {
+		t.Fatal("untouched column was copied, not shared")
+	}
+	if next.Cols[0] == st.Cols[0] {
+		t.Fatal("diffed column was shared, not rebuilt")
+	}
+}
+
+func TestApplyDeltaRejectsBadDiffs(t *testing.T) {
+	st := bootstrap(t)
+	unknown := testDelta()
+	unknown.Diffs[0].Dest = 2 // no such column
+	if _, err := ApplyDelta(st, unknown); err == nil {
+		t.Fatal("diff for unknown destination accepted")
+	}
+	oob := testDelta()
+	oob.Diffs[0].Changes[1].Node = 99
+	if _, err := ApplyDelta(st, oob); err == nil {
+		t.Fatal("out-of-range change node accepted")
+	}
+	badTog := testDelta()
+	badTog.Toggles[0].Arc = len(st.Disabled)
+	if _, err := ApplyDelta(st, badTog); err == nil {
+		t.Fatal("out-of-range toggle arc accepted")
+	}
+	badScr := testDelta()
+	badScr.Scratch[0] = mkColumn(2, true, [][]int32{{0}, nil, nil, nil})
+	if _, err := ApplyDelta(st, badScr); err == nil {
+		t.Fatal("scratch column for unknown destination accepted")
+	}
+}
+
+func TestStateChecksumMatchesPackageChecksum(t *testing.T) {
+	st := bootstrap(t)
+	if st.Checksum() != Checksum(st.Disabled, st.Cols) {
+		t.Fatal("State.Checksum disagrees with package Checksum")
+	}
+}

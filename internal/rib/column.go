@@ -76,6 +76,36 @@ func (c *Column) NextHops(u int) []int32 {
 	return c.Pool[s.NhOff : s.NhOff+s.NhLen : s.NhOff+s.NhLen]
 }
 
+// Forward resolves the forwarding path from a node to the column's
+// destination following primary next hops; it fails on missing routes
+// and forwarding loops. The walk needs nothing but the column itself,
+// so replication followers forward straight off decoded columns —
+// RIB.Forward delegates here.
+func (c *Column) Forward(from int) (graph.Path, error) {
+	if from < 0 || from >= len(c.Slots) {
+		return nil, fmt.Errorf("rib: node %d out of range [0,%d)", from, len(c.Slots))
+	}
+	var p graph.Path
+	// Flat visited bitmap: this sits on the /v1/paths hot path, where a
+	// per-call map allocation plus per-hop map ops dominated small walks.
+	seen := make([]bool, len(c.Slots))
+	u := from
+	for {
+		if !c.Slots[u].Routed {
+			return nil, fmt.Errorf("rib: node %d has no route to %d", u, c.Dest)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("rib: forwarding loop at node %d toward %d", u, c.Dest)
+		}
+		seen[u] = true
+		p = append(p, u)
+		if u == c.Dest {
+			return p, nil
+		}
+		u = int(c.Pool[c.Slots[u].NhOff])
+	}
+}
+
 // Entry materializes node u's legacy *Entry view (nil when unrouted).
 // The returned entry is freshly allocated: this is the compatibility
 // adapter, not the hot path.

@@ -273,6 +273,24 @@ func NewPrefixTable(announced []PrefixOrigin) (*PrefixTable, error) {
 	return pt, nil
 }
 
+// RestorePrefixTable rebuilds a PrefixTable from an already-aggregated
+// announcement set — the replication follower's entry point. kept must
+// be in trie column order (exactly what Kept() returns); no validation
+// or aggregation reruns, and inserting kept in slice order reproduces
+// the original trie's flat node pool layout node for node, so a
+// follower's LPM answers and trie gauges match the leader's. Origins
+// may be zero values: followers never re-solve, they only map
+// longest-match hits onto replicated columns.
+func RestorePrefixTable(kept, suppressed []PrefixOrigin) *PrefixTable {
+	pt := &PrefixTable{trie: NewTrie()}
+	for _, po := range kept {
+		pt.trie.Insert(po.Prefix, int32(len(pt.kept)))
+		pt.kept = append(pt.kept, po)
+	}
+	pt.suppressed = append(pt.suppressed, suppressed...)
+	return pt
+}
+
 // AutoPrefixTable builds the synthetic table for node-keyed origins:
 // one AutoPrefix /32 per destination.
 func AutoPrefixTable(origins map[int]value.V) (*PrefixTable, error) {

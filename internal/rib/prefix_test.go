@@ -117,11 +117,11 @@ func TestPrefixTableAggregation(t *testing.T) {
 	}
 	pt, err := NewPrefixTable([]PrefixOrigin{
 		mk("10.0.0.0/8", 1),
-		mk("10.1.0.0/16", 1),  // same anchor as the /8: suppressed
-		mk("10.2.0.0/16", 2),  // different anchor: kept
-		mk("10.0.0.7/32", 1),  // same-node /32: suppressed
-		mk("10.2.0.9/32", 2),  // /32 under the node-2 /16: suppressed
-		mk("11.0.0.5/32", 3),  // uncovered /32: kept
+		mk("10.1.0.0/16", 1), // same anchor as the /8: suppressed
+		mk("10.2.0.0/16", 2), // different anchor: kept
+		mk("10.0.0.7/32", 1), // same-node /32: suppressed
+		mk("10.2.0.9/32", 2), // /32 under the node-2 /16: suppressed
+		mk("11.0.0.5/32", 3), // uncovered /32: kept
 	})
 	if err != nil {
 		t.Fatal(err)

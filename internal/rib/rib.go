@@ -269,28 +269,7 @@ func (r *RIB) Forward(from, dest int) (graph.Path, error) {
 	if !ok {
 		return nil, fmt.Errorf("rib: unknown destination %d", dest)
 	}
-	if from < 0 || from >= len(c.Slots) {
-		return nil, fmt.Errorf("rib: node %d out of range [0,%d)", from, len(c.Slots))
-	}
-	var p graph.Path
-	// Flat visited bitmap: this sits on the /v1/paths hot path, where a
-	// per-call map allocation plus per-hop map ops dominated small walks.
-	seen := make([]bool, len(c.Slots))
-	u := from
-	for {
-		if !c.Slots[u].Routed {
-			return nil, fmt.Errorf("rib: node %d has no route to %d", u, dest)
-		}
-		if seen[u] {
-			return nil, fmt.Errorf("rib: forwarding loop at node %d toward %d", u, dest)
-		}
-		seen[u] = true
-		p = append(p, u)
-		if u == dest {
-			return p, nil
-		}
-		u = int(c.Pool[c.Slots[u].NhOff])
-	}
+	return c.Forward(from)
 }
 
 // ECMPWidth returns the number of equal-cost next hops at node toward

@@ -1,0 +1,203 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/replica"
+	"metarouting/internal/serve"
+	"metarouting/internal/telemetry"
+	"metarouting/internal/value"
+)
+
+// bootReplicatedPair builds a leader with a capture sink, applies a few
+// events, and a follower fed from the captured frames.
+func bootReplicatedPair(t *testing.T) (*serve.Server, *serve.Follower, *captureSink) {
+	t.Helper()
+	a, err := core.InferString("lex(delay(16,3), hops(8))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Grid(rand.New(rand.NewSource(11)), 3, 3, graph.UniformLabels(a.OT.F.Size()))
+	origin := a.OT.Carrier().Elems[0]
+	sink := &captureSink{}
+	srv, err := serve.New(exec.NewDynamic(a.OT), g, map[int]value.V{0: origin, 4: origin},
+		serve.WithReplication(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	for arc := 0; arc < 3; arc++ {
+		if _, _, err := srv.ApplyEvent(context.Background(), arc, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fol := serve.NewFollower(telemetry.NewRegistry())
+	for _, frame := range sink.take() {
+		rec, err := replica.DecodeRecord(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fol.Apply(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv, fol, sink
+}
+
+// TestFollowerHandlerParity: the follower's read endpoints answer
+// byte-identically to the leader's at the same version.
+func TestFollowerHandlerParity(t *testing.T) {
+	srv, fol, _ := bootReplicatedPair(t)
+	leader := serve.NewHandler(srv, nil)
+	follower := serve.NewFollowerHandler(fol, nil)
+	if fol.Version() != srv.Snapshot().Version {
+		t.Fatalf("follower v%d, leader v%d", fol.Version(), srv.Snapshot().Version)
+	}
+	for _, url := range []string{
+		"/v1/route?from=8&dest=0",
+		"/v1/route?from=8&dest=4",
+		"/v1/route?from=3&addr=10.0.0.4",
+		"/v1/route?from=3&prefix=10.0.0.0/16",
+		"/v1/route?from=99&dest=0", // out of range: same 400 envelope
+		"/v1/paths?dest=0",
+		"/v1/prefixes",
+	} {
+		lw, fw := httptest.NewRecorder(), httptest.NewRecorder()
+		leader.ServeHTTP(lw, httptest.NewRequest("GET", url, nil))
+		follower.ServeHTTP(fw, httptest.NewRequest("GET", url, nil))
+		if lw.Code != fw.Code || lw.Body.String() != fw.Body.String() {
+			t.Fatalf("%s diverges:\nleader   %d %s\nfollower %d %s",
+				url, lw.Code, lw.Body.String(), fw.Code, fw.Body.String())
+		}
+	}
+}
+
+// TestVersionGate: read-your-version on both roles — a version= beyond
+// the served snapshot answers 404 with current_version; at or below it
+// answers normally; garbage is a 400.
+func TestVersionGate(t *testing.T) {
+	srv, fol, _ := bootReplicatedPair(t)
+	cur := srv.Snapshot().Version
+	muxes := map[string]*http.ServeMux{
+		"leader":   serve.NewHandler(srv, nil),
+		"follower": serve.NewFollowerHandler(fol, nil),
+	}
+	for name, mux := range muxes {
+		// Satisfied (at or below): normal answer carrying the version.
+		for _, v := range []uint64{cur, cur - 1, 1} {
+			w := httptest.NewRecorder()
+			mux.ServeHTTP(w, httptest.NewRequest("GET", "/v1/route?from=1&dest=0&version="+strconv.FormatUint(v, 10), nil))
+			if w.Code != 200 {
+				t.Fatalf("%s version=%d: got %d: %s", name, v, w.Code, w.Body.String())
+			}
+		}
+		// Ahead: 404 with the version_behind envelope and current_version.
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", "/v1/route?from=1&dest=0&version="+strconv.FormatUint(cur+5, 10), nil))
+		if w.Code != 404 {
+			t.Fatalf("%s ahead: got %d: %s", name, w.Code, w.Body.String())
+		}
+		var behind struct {
+			Error          serve.APIError `json:"error"`
+			CurrentVersion uint64         `json:"current_version"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &behind); err != nil {
+			t.Fatalf("%s ahead body: %v", name, err)
+		}
+		if behind.Error.Code != serve.CodeVersionBehind || behind.CurrentVersion != cur {
+			t.Fatalf("%s ahead envelope: %+v", name, behind)
+		}
+		// Garbage: 400.
+		w = httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", "/v1/route?from=1&dest=0&version=soon", nil))
+		if w.Code != 400 {
+			t.Fatalf("%s garbage version: got %d", name, w.Code)
+		}
+	}
+}
+
+// TestFollowerNotReadyAndReadOnly: data endpoints 503 before bootstrap,
+// mutations always 403.
+func TestFollowerNotReadyAndReadOnly(t *testing.T) {
+	mux := serve.NewFollowerHandler(serve.NewFollower(nil), nil)
+	for _, url := range []string{"/v1/route?from=0&dest=1", "/v1/paths?dest=0", "/v1/prefixes"} {
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+		if w.Code != 503 || !strings.Contains(w.Body.String(), serve.CodeNotReady) {
+			t.Fatalf("%s before bootstrap: got %d: %s", url, w.Code, w.Body.String())
+		}
+	}
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("POST", "/v1/events", strings.NewReader(`{"arc":0,"kind":"fail"}`)))
+	if w.Code != 403 || !strings.Contains(w.Body.String(), serve.CodeReadOnly) {
+		t.Fatalf("events on follower: got %d: %s", w.Code, w.Body.String())
+	}
+	// /v1/stats answers even before bootstrap (role visible, version 0).
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/v1/stats", nil))
+	var fs serve.FollowerStats
+	if err := json.Unmarshal(w.Body.Bytes(), &fs); err != nil || fs.Role != "follower" || fs.SnapshotVersion != 0 {
+		t.Fatalf("stats before bootstrap: %d %s (%v)", w.Code, w.Body.String(), err)
+	}
+}
+
+// TestScrapePinsSnapshotVersion is the regression test for the
+// /v1/stats-vs-/v1/metrics inconsistency: snapshot-derived gauges are
+// read lazily one after another during a render, so a swap racing the
+// scrape used to let gauges that sort after mrserve_snapshot_version
+// report a newer generation than it. The scrape hook now pins one
+// snapshot for the whole render; this test forces the worst case by
+// registering a gauge that sorts FIRST and applies an event when read —
+// the later mrserve_snapshot_version reading must still be the pinned,
+// pre-swap version.
+func TestScrapePinsSnapshotVersion(t *testing.T) {
+	a, err := core.InferString("hops(8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Ring(rand.New(rand.NewSource(12)), 6, graph.UniformLabels(a.OT.F.Size()))
+	reg := telemetry.NewRegistry()
+	srv, err := serve.New(exec.NewDynamic(a.OT), g, map[int]value.V{0: a.OT.Carrier().Elems[0]},
+		serve.WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	arc := 0
+	reg.AddGaugeFunc("aaa_swap_trigger", "test-only: swaps a snapshot mid-scrape", func() float64 {
+		srv.ApplyEvent(context.Background(), arc, true) //nolint:errcheck
+		arc++
+		return 0
+	})
+	before := srv.Snapshot().Version
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Snapshot().Version; got == before {
+		t.Fatalf("trigger gauge did not swap a snapshot (still v%d)", got)
+	}
+	var rendered uint64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "mrserve_snapshot_version ") {
+			v, err := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			rendered = v
+		}
+	}
+	if rendered != before {
+		t.Fatalf("scrape rendered v%d; pinned pre-scrape version was v%d", rendered, before)
+	}
+}

@@ -37,12 +37,58 @@ const (
 	CodePayloadTooLarge = "payload_too_large"
 	CodeBacklogged      = "backlogged"
 	CodeTimeout         = "rebuild_timeout"
+	CodeVersionBehind   = "version_behind"
+	CodeNotReady        = "not_ready"
+	CodeReadOnly        = "read_only"
 )
 
 // APIError is the uniform v1 error payload, wrapped as {"error": ...}.
 type APIError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+}
+
+// writeJSON answers v as a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// writeErr answers the uniform v1 error envelope.
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]APIError{"error": {Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// versionGate implements read-your-version on read endpoints, shared by
+// leader and follower handlers: a client that just wrote at version V
+// against the leader passes version=V so a follower that has not yet
+// applied V answers 404 — with the envelope carrying current_version so
+// the client can tell lag from a bad URL — instead of silently serving
+// stale routes. An absent parameter always passes; requests at or below
+// the current version pass (snapshots are immutable, so any version the
+// server has moved past is fully contained in the current one).
+func versionGate(w http.ResponseWriter, req *http.Request, current uint64) bool {
+	raw := req.URL.Query().Get("version")
+	if raw == "" {
+		return true
+	}
+	want, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeInvalidArgument, "bad %q parameter: %v", "version", err)
+		return false
+	}
+	if want > current {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"error": APIError{Code: CodeVersionBehind,
+				Message: fmt.Sprintf("snapshot version %d not yet visible here", want)},
+			"current_version": current,
+		})
+		return false
+	}
+	return true
 }
 
 // RouteReply is the /v1/route response shape. Dest is the anchor node
@@ -108,14 +154,6 @@ type EventsReply struct {
 // it behind -pprof).
 func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
-	writeJSON := func(w http.ResponseWriter, status int, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		json.NewEncoder(w).Encode(v) //nolint:errcheck
-	}
-	writeErr := func(w http.ResponseWriter, status int, code, format string, args ...any) {
-		writeJSON(w, status, map[string]APIError{"error": {Code: code, Message: fmt.Sprintf(format, args...)}})
-	}
 	badRequest := func(w http.ResponseWriter, format string, args ...any) {
 		writeErr(w, http.StatusBadRequest, CodeInvalidArgument, format, args...)
 	}
@@ -157,6 +195,9 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 			return
 		}
 		sn := srv.Snapshot()
+		if !versionGate(w, req, sn.Version) {
+			return
+		}
 		reply := RouteReply{From: from, Dest: -1, Version: sn.Version}
 		// The destination names either a node id (dest=) or a prefix
 		// plane query (prefix=, addr=) resolved by longest match to its
@@ -218,6 +259,9 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 
 	handlePrefixes := func(w http.ResponseWriter, req *http.Request) {
 		sn := srv.Snapshot()
+		if !versionGate(w, req, sn.Version) {
+			return
+		}
 		pt := sn.Prefixes()
 		out := make([]PrefixReply, 0, len(pt.Kept())+len(pt.Suppressed()))
 		for _, po := range pt.Kept() {
@@ -240,6 +284,9 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 			return
 		}
 		sn := srv.Snapshot()
+		if !versionGate(w, req, sn.Version) {
+			return
+		}
 		type nodePath struct {
 			Node int    `json:"node"`
 			Path []int  `json:"path,omitempty"`

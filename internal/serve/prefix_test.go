@@ -115,8 +115,8 @@ func TestPrefixQueryDifferential(t *testing.T) {
 func TestPrefixSuppression(t *testing.T) {
 	srv := prefixServer(t, []rib.PrefixOrigin{
 		{Prefix: mustPrefix(t, "10.0.0.0/8"), Node: 0, Origin: 0},
-		{Prefix: mustPrefix(t, "10.1.2.3/32"), Node: 0, Origin: 0},  // suppressed
-		{Prefix: mustPrefix(t, "10.9.0.0/16"), Node: 3, Origin: 0},  // kept: different anchor
+		{Prefix: mustPrefix(t, "10.1.2.3/32"), Node: 0, Origin: 0}, // suppressed
+		{Prefix: mustPrefix(t, "10.9.0.0/16"), Node: 3, Origin: 0}, // kept: different anchor
 	})
 	st := srv.Stats()
 	if st.Prefixes != 2 || st.SuppressedPrefixes != 1 {

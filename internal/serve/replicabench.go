@@ -1,0 +1,188 @@
+package serve
+
+// This file measures what delta replication records buy over shipping
+// full snapshots: a leader under small-perturbation storms (the
+// delta-bench regime — a handful of arcs failed as one batch, restored
+// as another) publishes its record stream through a measuring sink
+// while a follower applies it, so one run yields the wire-size ratio
+// (full snapshot bytes vs delta record bytes), the apply-vs-solve cost
+// ratio, and an end-to-end checksum check. cmd/mrserve -replica-bench
+// writes the result to BENCH_replica.json.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"metarouting/internal/replica"
+)
+
+// ReplicaReport is the replication wire-format measurement.
+type ReplicaReport struct {
+	Nodes        int    `json:"nodes"`
+	Arcs         int    `json:"arcs"`
+	Destinations int    `json:"destinations"`
+	StormArcs    int    `json:"storm_arcs"`
+	Rounds       int    `json:"rounds"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Engine       string `json:"engine"`
+
+	// FullRecords/DeltaRecords count the published stream by kind.
+	FullRecords  int `json:"full_records"`
+	DeltaRecords int `json:"delta_records"`
+	// BytesFullPerRecord is the mean framed size of a full snapshot
+	// (the bootstrap record plus one EncodeFull sample per round, so the
+	// figure tracks the post-storm table, not just the pristine one).
+	BytesFullPerRecord float64 `json:"bytes_full_per_record"`
+	// BytesDeltaPerRecord is the mean framed delta record size.
+	BytesDeltaPerRecord float64 `json:"bytes_delta_per_record"`
+	// FullToDeltaRatio is the headline: how many times smaller the
+	// delta records are than shipping a full snapshot per swap.
+	FullToDeltaRatio float64 `json:"full_to_delta_ratio"`
+
+	// LeaderBatchUS is the leader's mean cost per storm batch (solve +
+	// encode + publish); FollowerApplyUS is the follower's mean cost to
+	// decode and apply one record of the same stream.
+	LeaderBatchUS   float64 `json:"leader_batch_us"`
+	FollowerApplyUS float64 `json:"follower_apply_us"`
+	// ApplySpeedup is LeaderBatchUS / FollowerApplyUS — what a read
+	// replica saves by applying records instead of re-solving.
+	ApplySpeedup float64 `json:"apply_speedup"`
+
+	// ChecksumOK confirms the follower's final routing content digest
+	// matched the leader's.
+	ChecksumOK bool `json:"checksum_ok"`
+}
+
+// benchSink buffers published frames for the measuring loop to drain.
+type benchSink struct{ frames [][]byte }
+
+func (b *benchSink) PublishRecord(version uint64, frame []byte) error {
+	b.frames = append(b.frames, frame)
+	return nil
+}
+
+func (b *benchSink) take() [][]byte {
+	out := b.frames
+	b.frames = nil
+	return out
+}
+
+// MeasureReplica builds a leader via mk (which must attach the provided
+// sink with WithReplication), replays rounds deterministic storms —
+// stormArcs distinct arcs failed as one batch, restored as another —
+// and applies the captured record stream to a follower, timing both
+// sides and weighing the records by kind.
+func MeasureReplica(mk func(sink RecordSink) (*Server, error), stormArcs, rounds int, seed int64) (*ReplicaReport, error) {
+	if stormArcs <= 0 {
+		stormArcs = 4
+	}
+	if rounds <= 0 {
+		rounds = 10
+	}
+	sink := &benchSink{}
+	srv, err := mk(sink)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	if srv.sink == nil {
+		return nil, fmt.Errorf("serve: mk must attach the sink with WithReplication")
+	}
+	if len(srv.base.Arcs) < stormArcs {
+		return nil, fmt.Errorf("serve: topology has %d arcs, storm wants %d", len(srv.base.Arcs), stormArcs)
+	}
+
+	rep := &ReplicaReport{
+		Nodes:        srv.base.N,
+		Arcs:         len(srv.base.Arcs),
+		Destinations: len(srv.dests),
+		StormArcs:    stormArcs,
+		Rounds:       rounds,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Engine:       string(srv.eng.Mode()),
+	}
+
+	fol := NewFollower(nil)
+	var fullBytes, deltaBytes, applyNS int64
+	var leaderNS int64
+	applyAll := func() error {
+		for _, frame := range sink.take() {
+			rec, err := replica.DecodeRecord(frame)
+			if err != nil {
+				return err
+			}
+			switch rec.Kind {
+			case replica.KindFull:
+				rep.FullRecords++
+				fullBytes += int64(rec.WireBytes)
+			case replica.KindDelta:
+				rep.DeltaRecords++
+				deltaBytes += int64(rec.WireBytes)
+			}
+			t0 := time.Now()
+			if err := fol.Apply(rec); err != nil {
+				return err
+			}
+			applyNS += time.Since(t0).Nanoseconds()
+		}
+		return nil
+	}
+	// Bootstrap record from the initial build.
+	if err := applyAll(); err != nil {
+		return nil, err
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	batches := 0
+	for round := 0; round < rounds; round++ {
+		arcs := r.Perm(len(srv.base.Arcs))[:stormArcs]
+		for _, fail := range []bool{true, false} {
+			batch := make([]ArcEvent, len(arcs))
+			for i, a := range arcs {
+				batch[i] = ArcEvent{Arc: a, Fail: fail}
+			}
+			t0 := time.Now()
+			if _, _, err := srv.ApplyBatch(context.Background(), batch); err != nil {
+				return nil, err
+			}
+			leaderNS += time.Since(t0).Nanoseconds()
+			batches++
+			if err := applyAll(); err != nil {
+				return nil, err
+			}
+		}
+		// Sample a full snapshot at this round's table so the full-size
+		// mean reflects storm-era content, not just the pristine build.
+		if _, frame, err := srv.EncodeFull(); err == nil {
+			rep.FullRecords++
+			fullBytes += int64(len(frame))
+		}
+	}
+
+	if rep.FullRecords > 0 {
+		rep.BytesFullPerRecord = float64(fullBytes) / float64(rep.FullRecords)
+	}
+	if rep.DeltaRecords > 0 {
+		rep.BytesDeltaPerRecord = float64(deltaBytes) / float64(rep.DeltaRecords)
+		rep.FullToDeltaRatio = rep.BytesFullPerRecord / rep.BytesDeltaPerRecord
+	}
+	if batches > 0 {
+		rep.LeaderBatchUS = float64(leaderNS) / float64(batches) / 1e3
+	}
+	if n := rep.FullRecords + rep.DeltaRecords - rounds; n > 0 {
+		// Applied records exclude the per-round EncodeFull samples.
+		rep.FollowerApplyUS = float64(applyNS) / float64(n) / 1e3
+	}
+	if rep.FollowerApplyUS > 0 {
+		rep.ApplySpeedup = rep.LeaderBatchUS / rep.FollowerApplyUS
+	}
+	rep.ChecksumOK = fol.Version() == srv.Snapshot().Version && fol.Checksum() == srv.Checksum()
+	if !rep.ChecksumOK {
+		return rep, fmt.Errorf("serve: follower diverged (v%d crc %08x vs leader v%d crc %08x)",
+			fol.Version(), fol.Checksum(), srv.Snapshot().Version, srv.Checksum())
+	}
+	return rep, nil
+}

@@ -112,6 +112,7 @@ type config struct {
 	noDelta        bool
 	deltaProps     prop.Set
 	prefixes       *rib.PrefixTable
+	sink           RecordSink
 }
 
 func defaultConfig() config {
@@ -369,6 +370,19 @@ type Server struct {
 
 	snap atomic.Pointer[Snapshot]
 
+	// scrapeSnap pins one snapshot generation for the duration of a
+	// metrics scrape (stored by the registry scrape hook), so every
+	// snapshot-derived gauge in one exposition reports the same version
+	// even when a swap races the scrape.
+	scrapeSnap atomic.Pointer[Snapshot]
+
+	// Replication (nil sink: disabled). fingerprint digests the base
+	// topology; nameCount is the monotone count of weight names already
+	// shipped on the record stream, guarded by mu like the publish path.
+	sink        RecordSink
+	fingerprint uint64
+	nameCount   int
+
 	pool *sched.Pool[*solve.Workspace]
 
 	// Event intake: a bounded queue drained by the batcher goroutine,
@@ -389,6 +403,9 @@ type Server struct {
 	rejected, batchErrors       telemetry.Counter
 	deltaDests, scratchDests    telemetry.Counter
 	frontierNodes, touchedNodes telemetry.Counter
+	repFull, repDelta           telemetry.Counter
+	repErrors                   telemetry.Counter
+	repBytes                    *telemetry.Histogram
 
 	// Instrumentation below is nil/zero unless a registry was supplied.
 	flaps        telemetry.Counter // route entries changed across swaps
@@ -422,6 +439,12 @@ var batchSizeBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 // large topologies.
 var nodeCountBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
 	1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// recordByteBuckets is the bucket layout for replication bytes-on-wire
+// histograms: powers of two from 64 B to 64 MB.
+var recordByteBuckets = []int64{64, 128, 256, 512, 1 << 10, 2 << 10, 4 << 10,
+	8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10,
+	1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}
 
 // New builds a server over an execution engine, a base topology and the
 // origination set (destination → originated weight), computes the
@@ -480,6 +503,8 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 		pending:        make(map[int]bool),
 		stop:           make(chan struct{}),
 		rebuildTimeout: cfg.rebuildTimeout,
+		sink:           cfg.sink,
+		fingerprint:    fingerprintGraph(g),
 	}
 	licensed := cfg.deltaProps != nil && rib.DeltaLicensedSet(cfg.deltaProps)
 	if ot := s.eng.Source(); ot != nil && !licensed {
@@ -499,6 +524,9 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 			s.slowNS = int64(time.Millisecond)
 		}
 		s.slow = telemetry.NewRing[SlowQuery](128)
+		if s.sink != nil {
+			s.repBytes = telemetry.NewHistogram(recordByteBuckets)
+		}
 	}
 	// The pool's workers create their workspaces eagerly, so the solve
 	// metrics sink must be in place before the pool starts.
@@ -512,12 +540,12 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 		s.register(cfg.registry)
 	}
 	view := g.MaskArcs(s.disabled)
-	table, unconv, err := s.buildDests(context.Background(), view, dests, nil, nil)
+	table, unconv, _, err := s.buildDests(context.Background(), view, dests, nil, nil)
 	if err != nil {
 		s.Close()
 		return nil, err
 	}
-	s.publish(view, table, unconv)
+	s.publish(view, table, unconv, nil, nil)
 	if !cfg.noBatcher {
 		s.batcherWG.Add(1)
 		go s.batchLoop()
@@ -526,8 +554,12 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 }
 
 // register exposes the server's metrics in reg. Called once from New;
-// the gauge funcs read live server state at scrape time.
+// the gauge funcs read live server state at scrape time — except
+// snapshot-derived gauges, which read the generation the scrape hook
+// pinned at the start of the render, so /v1/metrics and /v1/stats
+// agree on one snapshot version even when swaps race the scrape.
 func (s *Server) register(reg *telemetry.Registry) {
+	reg.AddScrapeHook(func() { s.scrapeSnap.Store(s.snap.Load()) })
 	reg.AddCounter("mrserve_queries_total", "Route queries served (Lookup, Forward, ECMPWidth).", &s.queries)
 	reg.AddCounter("mrserve_snapshot_swaps_total", "Snapshots published.", &s.swaps)
 	reg.AddCounter("mrserve_events_applied_total", "Topology events that changed the graph.", &s.events)
@@ -551,14 +583,14 @@ func (s *Server) register(reg *telemetry.Registry) {
 			return float64(s.queueDepth())
 		})
 	reg.AddGaugeFunc("mrserve_snapshot_version", "Version of the published snapshot.", func() float64 {
-		if sn := s.snap.Load(); sn != nil {
+		if sn := s.pinnedSnap(); sn != nil {
 			return float64(sn.Version)
 		}
 		return 0
 	})
 	reg.AddGaugeFunc("mrserve_convergence_unconverged_destinations",
 		"Destinations whose fixpoint did not settle in the published snapshot.", func() float64 {
-			if sn := s.snap.Load(); sn != nil {
+			if sn := s.pinnedSnap(); sn != nil {
 				return float64(len(sn.Unconverged))
 			}
 			return 0
@@ -569,7 +601,7 @@ func (s *Server) register(reg *telemetry.Registry) {
 		})
 	reg.AddGaugeFunc("mrserve_disabled_arcs", "Arcs currently failed.", func() float64 {
 		n := 0
-		if sn := s.snap.Load(); sn != nil {
+		if sn := s.pinnedSnap(); sn != nil {
 			for _, d := range sn.Disabled {
 				if d {
 					n++
@@ -580,14 +612,14 @@ func (s *Server) register(reg *telemetry.Registry) {
 	})
 	reg.AddGaugeFunc("mrserve_snapshot_arena_bytes",
 		"Arena footprint of the published snapshot's route columns (slot + next-hop pool bytes).", func() float64 {
-			if sn := s.snap.Load(); sn != nil {
+			if sn := s.pinnedSnap(); sn != nil {
 				return float64(sn.arenaBytes)
 			}
 			return 0
 		})
 	reg.AddGaugeFunc("mrserve_snapshot_live_entries",
 		"Routed slots across the published snapshot's columns.", func() float64 {
-			if sn := s.snap.Load(); sn != nil {
+			if sn := s.pinnedSnap(); sn != nil {
 				return float64(sn.liveEntries)
 			}
 			return 0
@@ -614,7 +646,26 @@ func (s *Server) register(reg *telemetry.Registry) {
 		"Seed frontier size per warm-start delta rebuild (invalidated subtree plus raised-arc tails).", s.frontierHist, 1)
 	reg.AddHistogram("mrserve_delta_touched_nodes",
 		"Nodes re-relaxed per warm-start delta rebuild.", s.touchedHist, 1)
+	if s.sink != nil {
+		reg.AddCounter(`mrserve_replica_published_records_total{kind="full"}`,
+			"Replication records published to the sink, by kind.", &s.repFull)
+		reg.AddCounter(`mrserve_replica_published_records_total{kind="delta"}`, "", &s.repDelta)
+		reg.AddCounter("mrserve_replica_publish_errors_total",
+			"Replication records the sink failed to accept (log write failures).", &s.repErrors)
+		reg.AddHistogram("mrserve_replica_record_bytes",
+			"Framed replication record size on the wire.", s.repBytes, 1)
+	}
 	s.solveMetrics.Register(reg, "mrserve_solve")
+}
+
+// pinnedSnap returns the snapshot generation pinned for the current
+// metrics scrape, falling back to the live snapshot outside a scrape
+// (or before the first one).
+func (s *Server) pinnedSnap() *Snapshot {
+	if sn := s.scrapeSnap.Load(); sn != nil {
+		return sn
+	}
+	return s.snap.Load()
 }
 
 // NewPrefix builds a server over a prefix announcement set: the table
@@ -686,7 +737,14 @@ func (s *Server) Close() {
 // unconverged rebuild from scratch (their columns are not a fixpoint
 // to warm-start from). A ctx cancellation abandons the build and
 // returns ctx.Err().
-func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev *Snapshot, toggles []ArcEvent) (map[int]*rib.Column, []int, error) {
+//
+// When a replication sink is configured, the returned hints map holds,
+// for each destination whose column came from the delta drain, the
+// sorted node set outside which DeltaDestColumn transplanted slots
+// verbatim (touched nodes plus toggle tails) — the only slots delta
+// record encoding needs to scan. Destinations absent from the map were
+// rebuilt from scratch and must be scanned in full.
+func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev *Snapshot, toggles []ArcEvent) (map[int]*rib.Column, []int, map[int][]int, error) {
 	cols := make(map[int]*rib.Column, len(s.dests))
 	var prevCols map[int]*rib.Column
 	prevUnconv := make(map[int]bool, 4)
@@ -713,6 +771,10 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 		}
 	}
 	results := make([]*rib.Column, len(recompute))
+	var hintsArr [][]int
+	if s.sink != nil {
+		hintsArr = make([][]int, len(recompute))
+	}
 	err := s.pool.Map(ctx, len(recompute), func(i int, ws *solve.Workspace) error {
 		d := recompute[i]
 		var t0 time.Time
@@ -734,6 +796,9 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 						s.frontierHist.Observe(int64(st.Frontier))
 						s.touchedHist.Observe(int64(len(st.Touched)))
 					}
+					if hintsArr != nil {
+						hintsArr[i] = deltaHint(view, d, st, solveToggles)
+					}
 				} else {
 					s.scratchDests.Add(1)
 				}
@@ -752,23 +817,56 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var unconverged []int
+	var hints map[int][]int
 	for i, d := range recompute {
 		if !results[i].Converged {
 			unconverged = append(unconverged, d)
 		}
 		cols[d] = results[i]
+		if hintsArr != nil && hintsArr[i] != nil {
+			if hints == nil {
+				hints = make(map[int][]int, len(recompute))
+			}
+			hints[d] = hintsArr[i]
+		}
 	}
 	sort.Ints(unconverged)
-	return cols, unconverged, nil
+	return cols, unconverged, hints, nil
 }
 
-// publish swaps in a new snapshot built from cols. Callers hold s.mu.
-func (s *Server) publish(view *graph.Graph, cols map[int]*rib.Column, unconverged []int) {
+// deltaHint merges a delta run's touched set with the toggle tails
+// outside it — exactly the nodes rib.DeltaDestColumn rebuilt rather
+// than transplanted from the previous column — into one sorted,
+// deduplicated slice. The result is never nil: an empty hint still
+// records "no slot of this column can differ".
+func deltaHint(view *graph.Graph, dest int, st solve.DeltaStats, toggles []solve.ArcToggle) []int {
+	hint := append(make([]int, 0, len(st.Touched)+len(toggles)), st.Touched...)
+	for _, t := range toggles {
+		if x := view.Arcs[t.Arc].From; x != dest {
+			hint = append(hint, x)
+		}
+	}
+	sort.Ints(hint)
+	out := hint[:0]
+	for i, u := range hint {
+		if i == 0 || u != hint[i-1] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// publish swaps in a new snapshot built from cols and, when a
+// replication sink is configured, ships the swap as a replica record
+// (a delta described by toggles and hints, or a full snapshot when
+// toggles is nil). Callers hold s.mu.
+func (s *Server) publish(view *graph.Graph, cols map[int]*rib.Column, unconverged []int, toggles []ArcEvent, hints map[int][]int) {
+	cur := s.snap.Load()
 	var version uint64 = 1
-	if cur := s.snap.Load(); cur != nil {
+	if cur != nil {
 		version = cur.Version + 1
 		if s.queryNS != nil {
 			s.flaps.Add(countFlaps(cur.cols, cols))
@@ -789,6 +887,7 @@ func (s *Server) publish(view *graph.Graph, cols map[int]*rib.Column, unconverge
 	}
 	s.snap.Store(sn)
 	s.swaps.Add(1)
+	s.replicate(cur, sn, toggles, hints)
 }
 
 // countFlaps compares recomputed columns against their predecessors and
@@ -926,12 +1025,12 @@ func (s *Server) ApplyBatch(ctx context.Context, events []ArcEvent) (applied, re
 		view = s.base.MaskArcs(s.disabled)
 	}
 	recompute := s.invalidated(cur, toggles)
-	table, unconv, err := s.buildDests(ctx, view, recompute, cur, toggles)
+	table, unconv, hints, err := s.buildDests(ctx, view, recompute, cur, toggles)
 	if err != nil {
 		revert()
 		return 0, 0, err
 	}
-	s.publish(view, table, unconv)
+	s.publish(view, table, unconv, toggles, hints)
 	s.events.Add(uint64(len(toggles)))
 	s.batches.Add(1)
 	if s.batchSize != nil {
@@ -1106,11 +1205,11 @@ func (s *Server) Rebuild(ctx context.Context) error {
 		return fmt.Errorf("serve: server is closed")
 	}
 	view := s.base.MaskArcs(s.disabled)
-	table, unconv, err := s.buildDests(ctx, view, s.dests, nil, nil)
+	table, unconv, _, err := s.buildDests(ctx, view, s.dests, nil, nil)
 	if err != nil {
 		return err
 	}
-	s.publish(view, table, unconv)
+	s.publish(view, table, unconv, nil, nil)
 	s.full.Add(1)
 	s.destRecomputes.Add(uint64(len(s.dests)))
 	return nil
@@ -1218,8 +1317,8 @@ func (s *Server) Stats() Stats {
 		Workers:               s.workers,
 		ArenaBytes:            sn.arenaBytes,
 		LiveEntries:           sn.liveEntries,
-		TrieNodes:             s.prefixes.TrieNodes(),
-		Prefixes:              s.prefixes.Len(),
-		SuppressedPrefixes:    len(s.prefixes.Suppressed()),
+		TrieNodes:             sn.prefixes.TrieNodes(),
+		Prefixes:              sn.prefixes.Len(),
+		SuppressedPrefixes:    len(sn.prefixes.Suppressed()),
 	}
 }

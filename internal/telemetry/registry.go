@@ -22,6 +22,11 @@ type Registry struct {
 	mu      sync.Mutex
 	entries []entry
 	byName  map[string]bool
+	hooks   []func()
+
+	// renderMu serializes scrapes so state a scrape hook pins for the
+	// duration of one render is not clobbered by a concurrent scrape.
+	renderMu sync.Mutex
 }
 
 type entry struct {
@@ -71,6 +76,19 @@ func (r *Registry) AddHistogram(name, help string, h *Histogram, scale float64) 
 	r.add(entry{name: name, help: help, typ: "histogram", hist: h, scale: scale})
 }
 
+// AddScrapeHook registers fn to run at the start of every scrape,
+// before any instrument is read. Gauge funcs derived from shared
+// mutable state (an atomically swapped snapshot, say) are read lazily
+// one after another, so a swap racing the scrape can make two gauges
+// report different generations; a scrape hook lets the owner pin one
+// generation for the whole render, and the registry serializes scrapes
+// so the pin holds until the render finishes.
+func (r *Registry) AddScrapeHook(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
 // baseName strips a {label} suffix.
 func baseName(name string) string {
 	if i := strings.IndexByte(name, '{'); i >= 0 {
@@ -90,9 +108,15 @@ func labelPart(name string) string {
 // WritePrometheus renders every registered instrument, sorted by name,
 // with HELP/TYPE headers emitted once per metric family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.renderMu.Lock()
+	defer r.renderMu.Unlock()
 	r.mu.Lock()
 	entries := append([]entry(nil), r.entries...)
+	hooks := append([]func(){}, r.hooks...)
 	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 
 	seenFamily := make(map[string]bool)

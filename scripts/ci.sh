@@ -53,6 +53,29 @@ go run ./cmd/mrserve -scale-bench -scale-nodes 1000 -out /tmp/bench_scale_smoke.
 grep -q pointer_to_arena_ratio /tmp/bench_scale_smoke.json
 grep -q '"lpm_differential_ok": true' /tmp/bench_scale_smoke.json
 
+# Replication bench smoke: the delta-record-vs-full-snapshot
+# measurement must run end to end, keep the follower checksum-identical
+# to the leader, and emit a well-formed report. The committed
+# BENCH_replica.json holds the real numbers.
+go run ./cmd/mrserve -replica-bench -expr 'lex(delay(32,3), bw(8))' \
+  -random 24 -dests 4 -replica-storm-arcs 2 -bench-rounds 2 \
+  -out /tmp/bench_replica_smoke.json
+grep -q full_to_delta_ratio /tmp/bench_replica_smoke.json
+grep -q '"checksum_ok": true' /tmp/bench_replica_smoke.json
+
+# Leader/follower replication smoke: a leader boots, absorbs a
+# deterministic storm and logs every record; a follower bootstrapped
+# from nothing but that log must report the identical snapshot version
+# and routing checksum.
+REPL_DIR=$(mktemp -d)
+go run ./cmd/mrserve -expr 'lex(delay(32,3), hops(8))' -random 24 -dests 4 \
+  -log-dir "$REPL_DIR" -replay-storm 50 -oneshot | tee /tmp/replica_leader.txt
+go run ./cmd/mrserve -follow "file:$REPL_DIR/replica.log" -oneshot | tee /tmp/replica_follower.txt
+LEADER_STATE=$(sed 's/role=leader//' /tmp/replica_leader.txt)
+FOLLOWER_STATE=$(sed 's/role=follower//' /tmp/replica_follower.txt)
+test -n "$LEADER_STATE" && test "$LEADER_STATE" = "$FOLLOWER_STATE"
+rm -rf "$REPL_DIR"
+
 # Allocs/op guard: the arena column build must stay allocation-flat
 # (TestColumnBuildAllocs fails if a build exceeds its small budget).
 go test -run='^TestColumnBuildAllocs$' -count=1 ./internal/rib/
@@ -64,3 +87,4 @@ go test -run='^$' -fuzz='^FuzzRouteHandler$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzEventHandler$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzRouteHandlerV1$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzEventsHandlerV1$' -fuzztime=10s ./internal/serve/
+go test -run='^$' -fuzz='^FuzzDecodeRecord$' -fuzztime=10s ./internal/replica/
