@@ -4,6 +4,11 @@
 // protocol can never quiesce, reproducing Varadhan et al.'s oscillation
 // (the paper's [16]) and the provable incorrectness of BGP noted in §I.
 // Flipping the topology so only direct routes exist converges instantly.
+//
+// This demonstration is guarded by committed regression tests:
+// internal/protocol/validate runs the gadget (and the two-triangle
+// wedgie) as oscillation cases — no quiescence within 4× the
+// strictly-increasing round bound — in both simulator engines.
 package main
 
 import (

@@ -102,8 +102,25 @@ type Config struct {
 	// MaxDelay is the maximum extra per-message delivery delay
 	// (≥ 0; delays are drawn uniformly from [1, 1+MaxDelay]).
 	MaxDelay int
-	// Rand drives delay choices; required.
+	// Rand drives delay choices; required unless PerNodeDelays is set.
 	Rand *rand.Rand
+	// PerNodeDelays switches delay drawing from the shared Rand stream to
+	// per-sender counter-hashed streams derived from Seed: node u's k-th
+	// draw is a pure function of (Seed, u, k). A node's draw order depends
+	// only on its own activity order, never on the global interleaving —
+	// which is what lets the parallel engine process nodes concurrently
+	// and still produce the bit-identical Outcome the serial engine
+	// produces for the same Config. Rand may be nil in this mode.
+	PerNodeDelays bool
+	// Seed parameterizes the PerNodeDelays streams (ignored otherwise).
+	Seed int64
+	// MaxRounds, when > 0, stops the run before it would enter
+	// asynchronous round MaxRounds+1 (see Convergence.Rounds). It is the
+	// oscillation cutoff the convergence-validation harness uses: a
+	// strictly-increasing algebra must quiesce within its proven round
+	// bound, so a run still generating traffic at N× that bound is
+	// flagged oscillating without burning the whole step budget.
+	MaxRounds int
 	// Events lists topology changes, in any order; each fires once when
 	// simulation time first reaches its At.
 	Events []LinkEvent
@@ -198,6 +215,13 @@ type Convergence struct {
 	Flaps []int
 	// TotalFlaps sums Flaps.
 	TotalFlaps int
+	// Rounds counts asynchronous rounds: a round ends once every message
+	// that was in flight at its start has been delivered and reacted to
+	// (quiet gaps collapse into the round that crosses them). This is the
+	// unit of the Daggitt–Griffin DBF convergence theorems (PAPERS.md):
+	// strictly-increasing algebras provably quiesce within O(n²) rounds,
+	// and the validation harness asserts exactly that.
+	Rounds int
 }
 
 // Validate checks a configuration against the graph it will run on:
@@ -206,14 +230,17 @@ type Convergence struct {
 // error; callers that want the error form (the scenario loader, the
 // route server) validate first.
 func (cfg Config) Validate(g *graph.Graph) error {
-	if cfg.Rand == nil {
-		return fmt.Errorf("protocol: Config.Rand is required")
+	if cfg.Rand == nil && !cfg.PerNodeDelays {
+		return fmt.Errorf("protocol: Config.Rand is required (or set PerNodeDelays)")
 	}
 	if cfg.Dest < 0 || cfg.Dest >= g.N {
 		return fmt.Errorf("protocol: destination %d out of range [0,%d)", cfg.Dest, g.N)
 	}
 	if cfg.MaxDelay < 0 {
 		return fmt.Errorf("protocol: MaxDelay %d must be ≥ 0", cfg.MaxDelay)
+	}
+	if cfg.MaxRounds < 0 {
+		return fmt.Errorf("protocol: MaxRounds %d must be ≥ 0 (0 means unbounded)", cfg.MaxRounds)
 	}
 	for i, ev := range cfg.Events {
 		if ev.Arc < 0 || ev.Arc >= len(g.Arcs) {
@@ -265,7 +292,7 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 
 	disabled := make([]bool, len(g.Arcs))
 	events := append([]LinkEvent(nil), cfg.Events...)
-	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 
 	conv := Convergence{
 		Announcements: make([]int, g.N),
@@ -275,11 +302,22 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 	var q msgQueue
 	seq := 0
 	now := int64(0)
+	// maxAt tracks the largest scheduled delivery time so far; together
+	// with roundEnd it implements the asynchronous-round counter (a round
+	// ends when every message in flight at its start has been delivered).
+	maxAt := int64(0)
+	// draw holds the per-sender delay-draw counters of PerNodeDelays mode.
+	var draw []uint64
+	if cfg.PerNodeDelays {
+		draw = make([]uint64, g.N)
+	}
 	// lastAt enforces per-link FIFO: a message never overtakes an earlier
 	// one on the same (from, to) link, even under randomized delays.
 	// Without this, a stale advertisement can arrive last and freeze the
 	// network in an inconsistent "quiescent" state — masking oscillation.
-	lastAt := make(map[[2]int]int64)
+	// Advertisements travel the reverse of the arc they answer for, so the
+	// in-arc index is the link key.
+	lastAt := make([]int64, len(g.Arcs))
 	advertise := func(u int) {
 		// Send u's current best (or withdrawal) to every in-neighbour
 		// (nodes whose arcs point at u are the ones that can route via u).
@@ -290,12 +328,19 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 			p := g.Arcs[ai].From
 			m := &message{from: u, to: p, seq: seq}
 			seq++
-			m.at = now + 1 + int64(cfg.Rand.Intn(cfg.MaxDelay+1))
-			link := [2]int{u, p}
-			if m.at <= lastAt[link] {
-				m.at = lastAt[link] + 1
+			if cfg.PerNodeDelays {
+				m.at = now + nodeDelay(cfg.Seed, u, draw[u], cfg.MaxDelay)
+				draw[u]++
+			} else {
+				m.at = now + 1 + int64(cfg.Rand.Intn(cfg.MaxDelay+1))
 			}
-			lastAt[link] = m.at
+			if m.at <= lastAt[ai] {
+				m.at = lastAt[ai] + 1
+			}
+			lastAt[ai] = m.at
+			if m.at > maxAt {
+				maxAt = m.at
+			}
 			if nodes[u].hasBest {
 				m.rt = nodes[u].best
 			} else {
@@ -395,10 +440,31 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 
 	steps := 0
 	nextEv := 0
+	roundEnd := int64(0)
 	for (q.Len() > 0 || nextEv < len(events)) && steps < maxSteps {
+		eventNext := nextEv < len(events) && (q.Len() == 0 || events[nextEv].At <= q[0].at)
+		t := int64(0)
+		if eventNext {
+			t = events[nextEv].At
+		} else {
+			t = q[0].at
+		}
+		// Crossing roundEnd means every message in flight at the start of
+		// the current round has been processed: a new round begins. Quiet
+		// gaps (an event long after quiescence) collapse into one round.
+		if t > roundEnd {
+			if cfg.MaxRounds > 0 && conv.Rounds >= cfg.MaxRounds {
+				break
+			}
+			conv.Rounds++
+			roundEnd = maxAt
+			if roundEnd < t {
+				roundEnd = t
+			}
+		}
 		// Fire any events due before the next delivery.
-		if nextEv < len(events) && (q.Len() == 0 || events[nextEv].At <= q[0].at) {
-			now = events[nextEv].At
+		if eventNext {
+			now = t
 			fire(events[nextEv])
 			nextEv++
 			continue
@@ -477,6 +543,24 @@ func RunEngine(eng exec.Algebra, g *graph.Graph, cfg Config) *Outcome {
 		}
 	}
 	return out
+}
+
+// nodeDelay is the PerNodeDelays draw: sender node's k-th delay, a pure
+// function of (seed, node, k) in [1, 1+maxDelay]. Both engines share it —
+// a node's stream advances with its own activity only, so the parallel
+// engine's concurrent shards reproduce the serial engine's draws exactly.
+func nodeDelay(seed int64, node int, k uint64, maxDelay int) int64 {
+	h := splitmix64(splitmix64(uint64(seed)^(uint64(node)+1)*0x9E3779B97F4A7C15) + k)
+	return 1 + int64(h%uint64(maxDelay+1))
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed stateless
+// hash (Steele et al.), the standard seeding permutation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 func samePath(a, b []int) bool {

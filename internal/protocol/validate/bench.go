@@ -1,0 +1,152 @@
+package validate
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/protocol"
+)
+
+// BenchSpec sizes one serial-vs-parallel measurement: a GNP topology
+// with the given node count and target mean degree, driven past initial
+// convergence by a flap storm (FlapArcs arcs × FlapCycles fail/up
+// cycles) so the run sustains a realistic churn workload instead of a
+// single convergence wave.
+type BenchSpec struct {
+	Nodes  int
+	Degree float64
+	Expr   string
+	Seed   int64
+	// Shards is the parallel engine's shard count (≤0: worker default).
+	Shards int
+	// Storm sizing; zero values get workload defaults scaled to Nodes.
+	FlapArcs   int
+	FlapCycles int
+	Period     int64
+	// MaxSteps caps delivered messages (0: a generous bench default).
+	MaxSteps int
+}
+
+// BenchResult is one row of BENCH_sim.json.
+type BenchResult struct {
+	Nodes  int    `json:"nodes"`
+	Arcs   int    `json:"arcs"`
+	Expr   string `json:"expr"`
+	Seed   int64  `json:"seed"`
+	Shards int    `json:"shards"`
+	// Messages is the delivered-message count — identical for both
+	// engines when Identical holds.
+	Messages int `json:"messages"`
+	Rounds   int `json:"rounds"`
+	// Converged: the run quiesced (rather than hitting the step cap).
+	Converged bool `json:"converged"`
+	// Identical: the parallel Outcome was bit-identical to the serial
+	// oracle's (reflect.DeepEqual over routes, weights, convergence).
+	Identical bool `json:"identical"`
+
+	SerialSec          float64 `json:"serial_sec"`
+	ParallelSec        float64 `json:"parallel_sec"`
+	SerialMsgsPerSec   float64 `json:"serial_msgs_per_sec"`
+	ParallelMsgsPerSec float64 `json:"parallel_msgs_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// MeasureSim times the serial oracle and the parallel engine on the
+// same seeded workload and cross-checks their Outcomes. The graph and
+// event schedule are derived deterministically from the spec, so a
+// BenchResult is reproducible bit-for-bit (timings aside).
+func MeasureSim(ctx context.Context, p *protocol.Parallel, spec BenchSpec) (*BenchResult, error) {
+	if spec.Nodes < 2 {
+		return nil, fmt.Errorf("bench: need ≥ 2 nodes")
+	}
+	if spec.Degree <= 0 {
+		spec.Degree = 8
+	}
+	if spec.Expr == "" {
+		spec.Expr = "delay(64,3)"
+	}
+	a, err := core.InferString(spec.Expr)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %v", err)
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	pEdge := spec.Degree / float64(spec.Nodes-1)
+	if pEdge > 1 {
+		pEdge = 1
+	}
+	g := graph.Random(r, spec.Nodes, pEdge, graph.UniformLabels(a.OT.F.Size()))
+	if spec.FlapArcs == 0 {
+		spec.FlapArcs = spec.Nodes / 4
+	}
+	if spec.FlapCycles == 0 {
+		spec.FlapCycles = 8
+		// Scale the storm so benchmark-size runs (≥256 nodes) sustain
+		// over a million delivered messages rather than a single
+		// convergence wave.
+		if spec.Nodes >= 256 {
+			if c := 400_000 / spec.Nodes; c > spec.FlapCycles {
+				spec.FlapCycles = c
+			}
+		}
+	}
+	if spec.Period == 0 {
+		spec.Period = 200
+	}
+	events := FlapStorm(r, g, spec.FlapArcs, spec.FlapCycles, 50, spec.Period)
+	maxSteps := spec.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100_000_000
+	}
+	cfg := protocol.Config{
+		Dest: 0, Origin: a.OT.DefaultOrigin(), MaxDelay: 3,
+		PerNodeDelays: true, Seed: spec.Seed,
+		Events: events, MaxSteps: maxSteps,
+	}
+	eng := exec.For(a.OT, cfg.Origin)
+
+	t0 := time.Now()
+	serial := protocol.RunEngine(eng, g, cfg)
+	serialSec := time.Since(t0).Seconds()
+
+	closePool := false
+	if p == nil {
+		p = protocol.NewParallel(spec.Shards)
+		closePool = true
+	}
+	t1 := time.Now()
+	par, err := p.Run(ctx, eng, g, cfg)
+	parallelSec := time.Since(t1).Seconds()
+	shards := p.Shards()
+	if closePool {
+		p.Close()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: parallel run: %v", err)
+	}
+
+	res := &BenchResult{
+		Nodes: g.N, Arcs: len(g.Arcs), Expr: spec.Expr, Seed: spec.Seed,
+		Shards:    shards,
+		Messages:  serial.Steps,
+		Rounds:    serial.Convergence.Rounds,
+		Converged: serial.Converged,
+		Identical: reflect.DeepEqual(serial, par),
+		SerialSec: serialSec, ParallelSec: parallelSec,
+	}
+	if serialSec > 0 {
+		res.SerialMsgsPerSec = float64(serial.Steps) / serialSec
+	}
+	if parallelSec > 0 {
+		res.ParallelMsgsPerSec = float64(par.Steps) / parallelSec
+	}
+	if parallelSec > 0 && serialSec > 0 {
+		res.Speedup = serialSec / parallelSec
+	}
+	return res, nil
+}

@@ -1,0 +1,181 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"metarouting/internal/graph"
+	"metarouting/internal/protocol"
+)
+
+// FlapStorm schedules cycles fail/up flaps on count randomly chosen
+// arcs, staggered so reconvergence waves overlap: arc i's k-th flap
+// fails at start + k·period + i·(period/count) and heals half a period
+// later. Every distinct time is one reconvergence epoch.
+func FlapStorm(r *rand.Rand, g *graph.Graph, count, cycles int, start, period int64) []protocol.LinkEvent {
+	if count > len(g.Arcs) {
+		count = len(g.Arcs)
+	}
+	picks := r.Perm(len(g.Arcs))[:count]
+	var evs []protocol.LinkEvent
+	for i, arc := range picks {
+		stagger := int64(i) * period / int64(count)
+		for k := 0; k < cycles; k++ {
+			down := start + int64(k)*period + stagger
+			evs = append(evs, protocol.LinkEvent{At: down, Arc: arc, Fail: true})
+			evs = append(evs, protocol.LinkEvent{At: down + period/2, Arc: arc, Fail: false})
+		}
+	}
+	return evs
+}
+
+// NodeChurn takes count non-destination nodes down (every incident arc
+// fails) and brings them back half a period later, cycles times. Churn
+// exercises withdraw propagation: a down node's neighbours must flush
+// routes through it and re-learn them on revival.
+func NodeChurn(r *rand.Rand, g *graph.Graph, dest, count, cycles int, start, period int64) []protocol.LinkEvent {
+	var candidates []int
+	for u := 0; u < g.N; u++ {
+		if u != dest {
+			candidates = append(candidates, u)
+		}
+	}
+	r.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	if count > len(candidates) {
+		count = len(candidates)
+	}
+	var evs []protocol.LinkEvent
+	for i, u := range candidates[:count] {
+		var incident []int
+		for ai, a := range g.Arcs {
+			if a.From == u || a.To == u {
+				incident = append(incident, ai)
+			}
+		}
+		stagger := int64(i) * period / int64(count)
+		for k := 0; k < cycles; k++ {
+			down := start + int64(k)*period + stagger
+			for _, ai := range incident {
+				evs = append(evs, protocol.LinkEvent{At: down, Arc: ai, Fail: true})
+				evs = append(evs, protocol.LinkEvent{At: down + period/2, Arc: ai, Fail: false})
+			}
+		}
+	}
+	return evs
+}
+
+// PartitionHeal cuts every arc crossing the index-halves boundary at
+// time at and heals the cut at time heal. With the destination in the
+// lower half, the upper half loses all routes during the partition —
+// the harshest withdraw wave a topology admits — then fully re-learns.
+func PartitionHeal(g *graph.Graph, at, heal int64) []protocol.LinkEvent {
+	h := g.N / 2
+	var evs []protocol.LinkEvent
+	for ai, a := range g.Arcs {
+		if (a.From < h) != (a.To < h) {
+			evs = append(evs, protocol.LinkEvent{At: at, Arc: ai, Fail: true})
+			evs = append(evs, protocol.LinkEvent{At: heal, Arc: ai, Fail: false})
+		}
+	}
+	return evs
+}
+
+// corpusExprs are the strictly-increasing algebras the quiescence side
+// of the corpus cycles through, each with the size of its arc-function
+// set (graph labels must index into it). All three carry a derived
+// I=True.
+var corpusExprs = []struct {
+	expr   string
+	labels int
+}{
+	{"delay(32,3)", 3},
+	{"hops(16)", 1},
+	{"lex(delay(16,3), hops(8))", 3},
+}
+
+// Corpus generates the standard validation corpus from one seed:
+// quiescence cases crossing {GNP, ring, grid, ScaleFree} topologies
+// with {flap storm, node churn, partition/heal} schedules under
+// strictly-increasing algebras, plus the oscillation regression set
+// (BAD GADGET across seeds and the two-triangle wedgie). Same seed ⇒
+// identical corpus, so a corpus run is as reproducible as a single
+// simulation.
+func Corpus(seed int64) []Case {
+	r := rand.New(rand.NewSource(seed))
+	// Each case gets its own topology, generated with a label range
+	// matching its algebra's arc-function set.
+	gen := []struct {
+		name  string
+		build func(labels int) *graph.Graph
+	}{
+		{"gnp", func(l int) *graph.Graph { return graph.Random(r, 24, 0.2, graph.UniformLabels(l)) }},
+		{"ring", func(l int) *graph.Graph { return graph.Ring(r, 16, graph.UniformLabels(l)) }},
+		{"grid", func(l int) *graph.Graph { return graph.Grid(r, 4, 5, graph.UniformLabels(l)) }},
+		{"scalefree", func(l int) *graph.Graph { return graph.ScaleFree(r, 24, 2, graph.UniformLabels(l)) }},
+	}
+	var cases []Case
+	for i, tp := range gen {
+		caseSeed := seed + int64(i)*101
+		storm, churn, split := corpusExprs[i%3], corpusExprs[(i+1)%3], corpusExprs[(i+2)%3]
+		gStorm, gChurn, gSplit := tp.build(storm.labels), tp.build(churn.labels), tp.build(split.labels)
+		cases = append(cases,
+			Case{
+				Name: fmt.Sprintf("flapstorm/%s", tp.name),
+				Expr: storm.expr, Graph: gStorm, Dest: 0,
+				Events: FlapStorm(r, gStorm, 4, 3, 40, 120),
+				Seed:   caseSeed, Expect: ExpectQuiesce,
+			},
+			Case{
+				Name: fmt.Sprintf("nodechurn/%s", tp.name),
+				Expr: churn.expr, Graph: gChurn, Dest: 0,
+				Events: NodeChurn(r, gChurn, 0, 3, 2, 60, 150),
+				Seed:   caseSeed + 1, Expect: ExpectQuiesce,
+			},
+			Case{
+				Name: fmt.Sprintf("partitionheal/%s", tp.name),
+				Expr: split.expr, Graph: gSplit, Dest: 0,
+				Events: PartitionHeal(gSplit, 50, 200),
+				Seed:   caseSeed + 2, Expect: ExpectQuiesce,
+			},
+		)
+	}
+	cases = append(cases, OscillationCases(seed)...)
+	return cases
+}
+
+// OscillationCases is the theory's negative direction: non-increasing
+// gadget algebras that must be caught still oscillating at the round
+// cutoff. BAD GADGET is Varadhan et al.'s classic 4-node construction
+// (the seed of examples/gadget); the wedgie doubles it — two preference
+// triangles sharing the destination, oscillating independently.
+func OscillationCases(seed int64) []Case {
+	badG, _ := graph.BadGadgetArcs()
+	var cases []Case
+	for i := int64(0); i < 3; i++ {
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("badgadget/seed=%d", seed+i),
+			Expr: "gadget", Graph: badG, Dest: 0,
+			Seed: seed + i, Expect: ExpectOscillate,
+		})
+	}
+	cases = append(cases, Case{
+		Name: "wedgie/double-gadget",
+		Expr: "gadget", Graph: DoubleGadget(), Dest: 0,
+		Seed: seed, Expect: ExpectOscillate,
+	})
+	return cases
+}
+
+// DoubleGadget is the BGP-wedgie construction: two BAD GADGET triangles
+// (1,2,3 and 4,5,6) sharing destination 0. Each triangle's preference
+// cycle is unsatisfiable on its own, so the combined system oscillates
+// in both halves at once — a minimal model of interacting policy
+// disputes.
+func DoubleGadget() *graph.Graph {
+	return graph.MustNew(7, []graph.Arc{
+		{From: 1, To: 0, Label: 0}, {From: 2, To: 0, Label: 0}, {From: 3, To: 0, Label: 0},
+		{From: 1, To: 2, Label: 1}, {From: 2, To: 3, Label: 1}, {From: 3, To: 1, Label: 1},
+		{From: 4, To: 0, Label: 0}, {From: 5, To: 0, Label: 0}, {From: 6, To: 0, Label: 0},
+		{From: 4, To: 5, Label: 1}, {From: 5, To: 6, Label: 1}, {From: 6, To: 4, Label: 1},
+	})
+}

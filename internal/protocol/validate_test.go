@@ -23,6 +23,9 @@ func TestConfigValidate(t *testing.T) {
 	}{
 		{"valid", Config{Dest: 0, Origin: 0, Rand: r()}, ""},
 		{"nil rand", Config{Dest: 0, Origin: 0}, "Rand is required"},
+		{"per-node delays need no rand", Config{Dest: 0, Origin: 0, PerNodeDelays: true, Seed: 1}, ""},
+		{"max rounds valid", Config{Dest: 0, Origin: 0, Rand: r(), MaxRounds: 5}, ""},
+		{"max rounds negative", Config{Dest: 0, Origin: 0, Rand: r(), MaxRounds: -1}, "MaxRounds -1"},
 		{"negative dest", Config{Dest: -1, Origin: 0, Rand: r()}, "destination -1 out of range"},
 		{"dest too large", Config{Dest: 3, Origin: 0, Rand: r()}, "destination 3 out of range"},
 		{"negative delay", Config{Dest: 0, Origin: 0, Rand: r(), MaxDelay: -2}, "MaxDelay -2"},

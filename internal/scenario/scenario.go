@@ -34,6 +34,11 @@ import (
 	"metarouting/internal/value"
 )
 
+// maxNodes caps the nodes directive: beyond this the adjacency build
+// alone is an effective denial of service on a shared corpus runner
+// (fuzzing found the hang long before any real scenario needed it).
+const maxNodes = 1_000_000
+
 // Scenario is a parsed scenario, ready to run.
 type Scenario struct {
 	// Expr is the algebra expression source.
@@ -90,6 +95,9 @@ func Parse(rd io.Reader) (*Scenario, error) {
 			if err != nil || v < 1 {
 				return nil, fmt.Errorf("scenario line %d: bad node count", lineNo)
 			}
+			if v > maxNodes {
+				return nil, fmt.Errorf("scenario line %d: node count %d exceeds the %d cap", lineNo, v, maxNodes)
+			}
 			n = v
 		case "arc":
 			if len(fields) != 4 {
@@ -105,6 +113,9 @@ func Parse(rd io.Reader) (*Scenario, error) {
 			arcs = append(arcs, graph.Arc{From: from, To: to, Label: -1 - len(labelTokens)})
 			labelTokens = append(labelTokens, fields[3])
 		case "dest":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("scenario line %d: dest wants one argument", lineNo)
+			}
 			v, err := strconv.Atoi(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("scenario line %d: bad dest", lineNo)
@@ -119,6 +130,9 @@ func Parse(rd io.Reader) (*Scenario, error) {
 			at, err := strconv.ParseInt(fields[1], 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("scenario line %d: bad event time", lineNo)
+			}
+			if at < 0 {
+				return nil, fmt.Errorf("scenario line %d: event time %d must be ≥ 0", lineNo, at)
 			}
 			var fail bool
 			switch fields[2] {
@@ -171,6 +185,11 @@ func Parse(rd io.Reader) (*Scenario, error) {
 				return nil, fmt.Errorf("scenario: unknown arc label %q", tok)
 			}
 			idx = v
+		}
+		// A numeric label past the function set would only surface as an
+		// index panic deep inside the simulator; reject it here.
+		if idx < 0 || (a.OT.F.Finite() && idx >= a.OT.F.Size()) {
+			return nil, fmt.Errorf("scenario: arc label %q out of range for %s", tok, a.OT.F.Name)
 		}
 		arcs[i].Label = idx
 	}

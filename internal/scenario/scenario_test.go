@@ -89,6 +89,12 @@ func TestParseErrors(t *testing.T) {
 		{"expr delay(4,1)\nnodes 2\nfrob\n", "unknown directive"},
 		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin (1\n", "unbalanced"},
 		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin (1)\n", "top-level comma"},
+		// Hardening found by the fuzz target: each of these previously
+		// panicked or hung inside Run instead of erroring in Parse.
+		{"expr delay(4,1)\nnodes 2\narc 1 0 99\ndest 0\norigin 0\n", "out of range"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 -7\ndest 0\norigin 0\n", "out of range"},
+		{"expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin 0\nevent -5 fail 1 0\n", "must be ≥ 0"},
+		{"expr delay(4,1)\nnodes 99999999\narc 1 0 0\ndest 0\norigin 0\n", "cap"},
 	}
 	for _, c := range cases {
 		_, err := Parse(strings.NewReader(c.src))
@@ -125,6 +131,9 @@ func FuzzScenarioParse(f *testing.F) {
 	f.Add("arc a b c\n")
 	f.Add("event 1 2 3\n")
 	f.Add("origin ((((\n")
+	f.Add("expr delay(4,1)\nnodes 2\narc 1 0 99\ndest 0\norigin 0\n")
+	f.Add("expr delay(4,1)\nnodes 2\narc 1 0 0\ndest 0\norigin 0\nevent -9223372036854775808 fail 1 0\n")
+	f.Add("expr delay(4,1)\nnodes 999999999\ndest 0\norigin 0\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := Parse(strings.NewReader(src))
 		if err != nil {

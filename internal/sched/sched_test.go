@@ -149,3 +149,125 @@ func TestConcurrentMaps(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestMapCancelMidShard models the parallel simulator's cancellation
+// path: workers are mid-task (a shard half-delivered) when the context
+// dies. Map must wait for in-flight tasks, return ctx.Err(), and leave
+// the pool fully reusable for the next simulation window.
+func TestMapCancelMidShard(t *testing.T) {
+	p := sched.New(2, func() struct{} { return struct{}{} })
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started, finished atomic.Int64
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- p.Map(ctx, 64, func(i int, _ struct{}) error {
+			if started.Add(1) <= 2 {
+				<-release // both workers block mid-shard
+			}
+			finished.Add(1)
+			return nil
+		})
+	}()
+	for started.Load() < 2 {
+	}
+	cancel()
+	close(release)
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := finished.Load(); got >= 64 {
+		t.Fatal("cancellation mid-shard must abandon unclaimed shards")
+	}
+	if got, want := finished.Load(), started.Load(); got != want {
+		t.Fatalf("in-flight shards must complete before Map returns: finished %d of %d started", got, want)
+	}
+
+	// The same pool serves the next window as if nothing happened.
+	var hits atomic.Int64
+	if err := p.Map(context.Background(), 32, func(int, struct{}) error {
+		hits.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("pool not reusable after cancellation: %v", err)
+	}
+	if got := hits.Load(); got != 32 {
+		t.Fatalf("post-cancel Map ran %d of 32 indices", got)
+	}
+}
+
+// TestSubmitDuringMap: fire-and-forget Submits interleave with an
+// active Map on the same pool — the two entry points share workers
+// without starving each other (Map's doc forbids only *nested* Maps).
+func TestSubmitDuringMap(t *testing.T) {
+	p := sched.New(3, func() struct{} { return struct{}{} })
+	defer p.Close()
+	var submitted atomic.Int64
+	var wg sync.WaitGroup
+	err := p.Map(context.Background(), 50, func(i int, _ struct{}) error {
+		if i%10 == 0 {
+			wg.Add(1)
+			go p.Submit(func(struct{}) {
+				defer wg.Done()
+				submitted.Add(1)
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := submitted.Load(); got != 5 {
+		t.Fatalf("submitted tasks ran %d times, want 5", got)
+	}
+}
+
+// TestConcurrentMapsWithCancellation: several goroutines share one pool
+// and one of them is canceled mid-run — the others must finish
+// untouched. This is the corpus runner's shape: many simulations, one
+// pool, independent lifetimes.
+func TestConcurrentMapsWithCancellation(t *testing.T) {
+	p := sched.New(4, func() struct{} { return struct{}{} })
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	results := make([]error, 5)
+	counts := make([]atomic.Int64, 5)
+	for g := 0; g < 5; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := context.Background()
+			if g == 0 {
+				c = ctx
+			}
+			results[g] = p.Map(c, 500, func(i int, _ struct{}) error {
+				if g == 0 && counts[g].Add(1) == 3 {
+					cancel()
+					return c.Err()
+				}
+				counts[g].Add(0)
+				if g != 0 {
+					counts[g].Add(1)
+				}
+				return nil
+			})
+		}(g)
+	}
+	wg.Wait()
+	if !errors.Is(results[0], context.Canceled) {
+		t.Fatalf("canceled map: want context.Canceled, got %v", results[0])
+	}
+	for g := 1; g < 5; g++ {
+		if results[g] != nil {
+			t.Fatalf("map %d: unexpected error %v", g, results[g])
+		}
+		if got := counts[g].Load(); got != 500 {
+			t.Fatalf("map %d ran %d of 500 indices", g, got)
+		}
+	}
+}

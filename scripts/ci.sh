@@ -88,3 +88,21 @@ go test -run='^$' -fuzz='^FuzzEventHandler$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzRouteHandlerV1$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzEventsHandlerV1$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzDecodeRecord$' -fuzztime=10s ./internal/replica/
+
+# Simulator bench smoke: the serial-vs-parallel measurement must run end
+# to end at a small size and the parallel Outcome must stay bit-identical
+# to the serial oracle. The committed BENCH_sim.json holds the real
+# 64/1k/10k numbers.
+go run ./cmd/mrexp -sim-bench -sim-nodes 64 -sim-workers 2 \
+  -out /tmp/bench_sim_smoke.json
+grep -q '"identical": true' /tmp/bench_sim_smoke.json
+grep -q parallel_msgs_per_sec /tmp/bench_sim_smoke.json
+
+# Convergence-corpus smoke: every strictly-increasing scenario must
+# quiesce within the Daggitt-Griffin round budget and every gadget
+# scenario must be flagged oscillating; mrexp exits nonzero on any
+# theory violation.
+go run ./cmd/mrexp -corpus -sim-workers 2 | tee /tmp/corpus_smoke.txt
+grep -q '0 theory violations' /tmp/corpus_smoke.txt
+
+go test -run='^$' -fuzz='^FuzzScenarioParse$' -fuzztime=10s ./internal/scenario/
