@@ -12,8 +12,9 @@
 //
 // Routing work runs on the unified execution layer (internal/exec):
 // -engine selects the backend — auto (default: compile finite algebras
-// to dense tables, interpret the rest), dynamic (always interpret), or
-// compiled (require dense tables; fails for infinite algebras).
+// to dense tables, tier the rest), dynamic (always interpret), compiled
+// (require dense tables; fails for infinite algebras), or tiered
+// (interpret with hot-sub-carrier memo tables).
 package main
 
 import (

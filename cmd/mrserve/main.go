@@ -18,10 +18,18 @@
 //	mrserve -follow leader:8349                              # follower
 //	mrserve -follow file:/var/lib/mrserve/replica.log -oneshot
 //
-// Endpoints (v1; the unversioned spellings remain as deprecated
-// aliases answering identically plus a Deprecation header):
+// Endpoints (v1; the retired unversioned spellings answer 404 with a
+// successor-version Link header unless -legacy-api re-enables them as
+// deprecated aliases answering identically plus a Deprecation header):
 //
 //	GET  /v1/route?from=U&dest=D  one node's route (weight, ECMP set, path)
+//	POST /v1/routes               a query batch resolved against ONE pinned
+//	                              snapshot — JSON {"queries":[{"from":U,
+//	                              "dest":D|"prefix":P|"addr":A},...]} or,
+//	                              with Content-Type application/x-mr-query,
+//	                              the length-prefixed binary codec of
+//	                              internal/serve/wire (the zero-allocation
+//	                              fast path; see -query-bench)
 //	GET  /v1/paths?dest=D         every node's forwarding path toward D
 //	POST /v1/events               a JSON event batch — {"events":[...]} —
 //	                              coalesced (down+up cancels, duplicate
@@ -104,18 +112,19 @@ import (
 
 func main() {
 	var (
-		exprSrc  = flag.String("expr", "lex(delay(32,3), bw(8))", "metarouting expression to serve routes for")
-		scenFile = flag.String("scenario", "", "boot from a scenario file (expr + topology + events) instead of -expr/-random")
-		replay   = flag.Bool("replay", false, "with -scenario: replay its events into the live server before serving")
-		randomN  = flag.Int("random", 48, "random GNP topology node count")
-		p        = flag.Float64("p", 0.1, "random topology arc probability")
-		seed     = flag.Int64("seed", 1, "random seed")
-		dests    = flag.Int("dests", 8, "number of originated destinations (spread over the nodes; ≤0 = every node)")
-		workers  = flag.Int("workers", 0, "snapshot builder worker pool size (≤0: GOMAXPROCS)")
-		addr     = flag.String("addr", ":8348", "HTTP listen address")
-		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		slowUS   = flag.Int64("slow-query-us", 1000, "slow-query log threshold in microseconds")
-		engine   = cliflag.Engine(nil)
+		exprSrc   = flag.String("expr", "lex(delay(32,3), bw(8))", "metarouting expression to serve routes for")
+		scenFile  = flag.String("scenario", "", "boot from a scenario file (expr + topology + events) instead of -expr/-random")
+		replay    = flag.Bool("replay", false, "with -scenario: replay its events into the live server before serving")
+		randomN   = flag.Int("random", 48, "random GNP topology node count")
+		p         = flag.Float64("p", 0.1, "random topology arc probability")
+		seed      = flag.Int64("seed", 1, "random seed")
+		dests     = flag.Int("dests", 8, "number of originated destinations (spread over the nodes; ≤0 = every node)")
+		workers   = flag.Int("workers", 0, "snapshot builder worker pool size (≤0: GOMAXPROCS)")
+		addr      = flag.String("addr", ":8348", "HTTP listen address")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		legacyAPI = flag.Bool("legacy-api", false, "re-enable the retired pre-/v1 unversioned HTTP aliases (default: 404 with a successor Link header)")
+		slowUS    = flag.Int64("slow-query-us", 1000, "slow-query log threshold in microseconds")
+		engine    = cliflag.Engine(nil)
 
 		queueCap     = flag.Int("queue-cap", 1024, "event intake queue capacity (≤0: 1024)")
 		backpressure = flag.String("backpressure", "reject", "full-queue policy for async events: reject (429) or stale (absorb, snapshot lags)")
@@ -128,8 +137,11 @@ func main() {
 		out        = flag.String("out", "", "bench modes: write the JSON report here ('' = stdout)")
 
 		telemetryBench = flag.Bool("telemetry-bench", false, "measure telemetry overhead on the query path (paired instrumented vs bare) instead of serving")
-		benchQueries   = flag.Int("bench-queries", 50000, "telemetry-bench: Forward queries per round per side")
+		benchQueries   = flag.Int("bench-queries", 50000, "telemetry-bench/query-bench: queries per round per side")
 		benchRounds    = flag.Int("bench-rounds", 5, "telemetry-bench/parallel-bench: measured rounds per side")
+
+		queryBench     = flag.Bool("query-bench", false, "measure batched binary POST /v1/routes against single-query GET /v1/route over loopback HTTP instead of serving")
+		queryBatchSize = flag.Int("batch-size", 256, "query-bench: queries per binary batch")
 
 		parallelBench = flag.Bool("parallel-bench", false, "measure the batched parallel rebuild pipeline against the serial per-event path instead of serving")
 		stormEvents   = flag.Int("storm-events", 32, "parallel-bench: link toggles per storm")
@@ -160,6 +172,10 @@ func main() {
 
 	if *telemetryBench {
 		runTelemetryBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *benchQueries, *benchRounds, *out)
+		return
+	}
+	if *queryBench {
+		runQueryBench(*exprSrc, *scenFile, *randomN, *p, *seed, *dests, *workers, *queryBatchSize, *benchQueries, *benchRounds, *out)
 		return
 	}
 	if *parallelBench {
@@ -256,7 +272,11 @@ func main() {
 		return
 	}
 
-	mux := serve.NewHandler(srv, reg)
+	var hopts []serve.HandlerOption
+	if *legacyAPI {
+		hopts = append(hopts, serve.WithLegacyAPI())
+	}
+	mux := serve.NewHandler(srv, reg, hopts...)
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -286,7 +306,8 @@ func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, d
 		if err != nil {
 			return nil, nil, err
 		}
-		srv, err := serve.NewFromScenario(sc, opts...)
+		srv, err := serve.NewServer(serve.Config{},
+			append([]serve.Option{serve.WithScenario(sc)}, opts...)...)
 		return srv, sc, err
 	}
 	a, err := core.InferString(exprSrc)
@@ -307,7 +328,7 @@ func buildServer(exprSrc, scenFile string, randomN int, p float64, seed int64, d
 	for i := 0; i < destCount; i++ {
 		origins[i*g.N/destCount] = origin
 	}
-	srv, err := serve.New(exec.For(a.OT, origin), g, origins,
+	srv, err := serve.NewServer(serve.Config{Engine: exec.For(a.OT, origin), Graph: g, Origins: origins},
 		append([]serve.Option{serve.WithDeltaProps(a.Props)}, opts...)...)
 	return srv, nil, err
 }
@@ -324,6 +345,27 @@ func runLoadgen(srv *serve.Server, opts serve.LoadOptions, out string) {
 
 // runTelemetryBench builds two identical servers — one bare, one with a
 // registry — and writes the paired query-path overhead report.
+// runQueryBench measures the batched binary query plane against the
+// single-query JSON baseline on one live loopback listener and writes
+// BENCH_query.json. The stderr line is the CI smoke's grep target.
+func runQueryBench(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers, batch, queries, rounds int, out string) {
+	srv, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount, serve.WithWorkers(workers))
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	rep, err := serve.QueryBench(srv, serve.QueryBenchOptions{
+		Batch: batch, Queries: queries, Rounds: rounds, Seed: seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	writeReport(rep, out)
+	fmt.Fprintf(os.Stderr,
+		"mrserve: query-bench single %.0f qps (p99 %.2fµs) vs batch[%d] %.0f qps (p99 %.2fµs amortized): %.1fx speedup, differential-ok=%v\n",
+		rep.SingleQPS, rep.SingleP99US, rep.BatchSize, rep.BatchQPS, rep.BatchP99US, rep.Speedup, rep.DifferentialOK)
+}
+
 func runTelemetryBench(exprSrc, scenFile string, randomN int, p float64, seed int64, destCount, workers, queries, rounds int, out string) {
 	bare, _, err := buildServer(exprSrc, scenFile, randomN, p, seed, destCount, serve.WithWorkers(workers))
 	if err != nil {

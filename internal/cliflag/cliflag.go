@@ -17,7 +17,7 @@ func Engine(fs *flag.FlagSet) *string {
 		fs = flag.CommandLine
 	}
 	return fs.String("engine", "auto",
-		"execution backend: auto (compile finite algebras), dynamic, or compiled")
+		"execution backend: auto (compile finite algebras, tier the rest), dynamic, compiled, or tiered")
 }
 
 // ApplyEngine validates the chosen -engine value, installs it as the

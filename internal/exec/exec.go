@@ -13,9 +13,14 @@
 // — the engine-differential tests assert exactly that for every solver
 // and the simulator.
 //
+// A third, tiered backend (tiered.go) sits between them: it hash-conses
+// like the dynamic backend but memoises Apply and the preorder into dense
+// tables over the first-touch hot sub-carrier, so algebras past the
+// auto-compile ceiling still execute mostly off tables.
+//
 // For(...) picks the backend automatically: finite algebras up to the
 // auto-compile limit are compiled once (memoised per order transform) and
-// everything else falls back to dynamic. This realizes the design goal
+// everything else falls back to tiered. This realizes the design goal
 // that the compiled form is the universal execution substrate rather than
 // a Dijkstra-only special case.
 package exec
@@ -41,15 +46,19 @@ const (
 	// ModeCompiled requires dense tables; New fails if the algebra is not
 	// finitely compilable.
 	ModeCompiled Mode = "compiled"
+	// ModeTiered interprets with first-touch dense memo tables over the
+	// hot sub-carrier (see tiered.go). ModeAuto falls back to it for
+	// carriers above AutoLimit.
+	ModeTiered Mode = "tiered"
 )
 
 // ParseMode validates a -engine flag value.
 func ParseMode(s string) (Mode, error) {
 	switch Mode(s) {
-	case ModeAuto, ModeDynamic, ModeCompiled:
+	case ModeAuto, ModeDynamic, ModeCompiled, ModeTiered:
 		return Mode(s), nil
 	}
-	return "", fmt.Errorf("exec: unknown engine mode %q (want auto, dynamic or compiled)", s)
+	return "", fmt.Errorf("exec: unknown engine mode %q (want auto, dynamic, compiled or tiered)", s)
 }
 
 // Algebra is the execution interface every routing algorithm consumes.
@@ -63,7 +72,8 @@ func ParseMode(s string) (Mode, error) {
 type Algebra interface {
 	// Name labels the underlying algebra.
 	Name() string
-	// Mode reports the backend kind (ModeDynamic or ModeCompiled).
+	// Mode reports the backend kind (ModeDynamic, ModeCompiled or
+	// ModeTiered).
 	Mode() Mode
 	// Source returns the order transform the engine executes.
 	Source() *ost.OrderTransform
@@ -217,21 +227,26 @@ func compilable(t *ost.OrderTransform, limit int) bool {
 
 // For picks the execution backend for t under the default mode: compiled
 // (memoised) when the algebra is finite, within the auto limit, compiles
-// cleanly and every origin in origins interns; dynamic otherwise. It is
-// the constructor the ost-level solver entry points use, which is what
-// makes the compiled form the universal substrate.
+// cleanly and every origin in origins interns; tiered otherwise, so big
+// lex products past the AutoLimit ceiling still execute the hot
+// sub-carrier off dense tables. ModeDynamic forces the pure interpreter.
+// It is the constructor the ost-level solver entry points use, which is
+// what makes the compiled form the universal substrate.
 func For(t *ost.OrderTransform, origins ...value.V) Algebra {
-	if defaultMode != ModeDynamic && compilable(t, AutoLimit) {
+	if defaultMode == ModeDynamic {
+		return NewDynamic(t)
+	}
+	if defaultMode != ModeTiered && compilable(t, AutoLimit) {
 		if eng, ok := cachedCompile(t); ok {
 			for _, o := range origins {
 				if _, err := eng.Intern(o); err != nil {
-					return NewDynamic(t)
+					return NewTiered(t)
 				}
 			}
 			return eng
 		}
 	}
-	return NewDynamic(t)
+	return NewTiered(t)
 }
 
 // New builds a backend under an explicit mode: ModeDynamic and
@@ -241,6 +256,8 @@ func New(t *ost.OrderTransform, m Mode, origins ...value.V) (Algebra, error) {
 	switch m {
 	case ModeDynamic:
 		return NewDynamic(t), nil
+	case ModeTiered:
+		return NewTiered(t), nil
 	case ModeCompiled:
 		eng, err := Compile(t)
 		if err != nil {

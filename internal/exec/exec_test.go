@@ -35,11 +35,13 @@ func TestForPicksCompiledForFinite(t *testing.T) {
 	}
 }
 
-func TestForFallsBackToDynamic(t *testing.T) {
-	// Infinite carrier: delay(0, k) is the unbounded delay algebra.
+func TestForFallsBackToTiered(t *testing.T) {
+	// Infinite carrier: delay(0, k) is the unbounded delay algebra. No
+	// dense tables exist for it, but the tiered backend still memoises
+	// the hot sub-carrier.
 	a := ot(t, "delay(0,2)")
-	if eng := For(a.OT, 0); eng.Mode() != ModeDynamic {
-		t.Fatalf("infinite algebra must run dynamic, got %s", eng.Mode())
+	if eng := For(a.OT, 0); eng.Mode() != ModeTiered {
+		t.Fatalf("infinite algebra must run tiered, got %s", eng.Mode())
 	}
 }
 

@@ -1,0 +1,230 @@
+package exec
+
+// This file holds the tiered backend: the middle rung between the
+// dense-table compiled engine (carriers ≤ AutoLimit) and the pure
+// interpreter. Big lex products blow past the auto-compile ceiling —
+// the quadratic preorder tables stop paying — but their *working set*
+// under any one topology is tiny: a solver run touches the weights
+// reachable from the origins, which is orders of magnitude smaller
+// than the carrier. The tiered engine therefore compiles the hot
+// sub-carrier on first touch: weights are hash-consed exactly like the
+// dynamic backend (so index assignment — and with it every solver
+// result — is bit-identical to pure interpretation), and the first
+// TierLimit indices get dense memo tables for Apply/Leq/Lt/Equiv that
+// fill as operations run. Cold-tail weights (indices ≥ the hot
+// capacity) fall back to interpreting the order transform directly.
+//
+// Memoization is sound because order transforms are pure: Apply and
+// the preorder are deterministic value functions, and hash-consing
+// already canonicalizes indices, so replaying a cached answer is
+// observationally identical to recomputing it. A memo hit also cannot
+// perturb index assignment: the result it replays was interned when
+// the entry was filled, and a dynamic backend re-running the same
+// operation would find the same value in its hash map rather than
+// allocating a fresh index. The tiered-vs-dynamic differential tests
+// assert this bit-identity across solvers and entry forms.
+//
+// Tables grow geometrically (256 → 512 → … → TierLimit square for the
+// order memo) so small dynamic algebras do not pay the full ~16 MB
+// footprint a saturated 4096-hot-set order table costs; growth stops
+// at TierLimit and everything beyond stays interpreted.
+
+import (
+	"metarouting/internal/ost"
+	"metarouting/internal/value"
+)
+
+// TierLimit is the hot sub-carrier capacity of the tiered backend: the
+// first TierLimit distinct weights touched (hash-cons order) get dense
+// memo tables; later weights are interpreted. It deliberately equals
+// AutoLimit — the table shapes the compiled backend proved cheap are
+// exactly the ones the hot tier reuses.
+const TierLimit = AutoLimit
+
+// tierLabelCap bounds how many arc-function labels get Apply memo
+// rows; algebras with infinite (sampled) function sets can present
+// unbounded label values, which stay uncached past the cap.
+const tierLabelCap = 4096
+
+// tierInitial is the initial hot capacity; tables double up to
+// TierLimit as the intern table grows past them.
+const tierInitial = 256
+
+// Bits of one order-memo byte (per hot (a,b) pair).
+const (
+	leqKnown = 1 << iota
+	leqBit
+	ltKnown
+	ltBit
+)
+
+// tiered interprets an order transform with first-touch dense memo
+// tables over the hot sub-carrier. Not safe for concurrent use (it
+// interns and fills tables lazily); Concurrent wraps it like the
+// dynamic backend.
+type tiered struct {
+	ot    *ost.OrderTransform
+	elems []value.V
+	index map[value.V]int32
+
+	// hotN is the current hot capacity (≤ limit, which is TierLimit in
+	// production and smaller in the cold-tail white-box tests). ord is
+	// the hotN×hotN order memo; fn[label] is the per-label Apply memo
+	// row (len hotN, -1 = unfilled), allocated on first use of the
+	// label.
+	hotN  int32
+	limit int32
+	ord   []uint8
+	fn    [][]int32
+}
+
+// NewTiered builds the tiered backend. Like the dynamic backend it
+// never fails and accepts infinite carriers and function sets; unlike
+// it, the hot sub-carrier executes off dense tables once touched.
+func NewTiered(t *ost.OrderTransform) Algebra {
+	return newTieredCap(t, TierLimit)
+}
+
+// newTieredCap builds a tiered backend with an explicit hot-capacity
+// ceiling; the white-box tests use tiny caps to exercise the cold tail
+// without interning thousands of weights.
+func newTieredCap(t *ost.OrderTransform, limit int32) *tiered {
+	hot := int32(tierInitial)
+	if hot > limit {
+		hot = limit
+	}
+	return &tiered{
+		ot:    t,
+		index: make(map[value.V]int32, 16),
+		hotN:  hot,
+		limit: limit,
+		ord:   make([]uint8, hot*hot),
+	}
+}
+
+func (e *tiered) Name() string                { return e.ot.Name }
+func (e *tiered) Mode() Mode                  { return ModeTiered }
+func (e *tiered) Source() *ost.OrderTransform { return e.ot }
+func (e *tiered) NumFns() int                 { return e.ot.F.Size() }
+
+// grow widens the hot tables to capacity n (≤ TierLimit), copying the
+// filled order rows into the wider layout and extending every
+// allocated Apply row with unfilled entries.
+func (e *tiered) grow(n int32) {
+	old := e.hotN
+	ord := make([]uint8, int(n)*int(n))
+	for a := int32(0); a < old; a++ {
+		copy(ord[a*n:a*n+old], e.ord[a*old:(a+1)*old])
+	}
+	e.ord = ord
+	for i, row := range e.fn {
+		if row == nil {
+			continue
+		}
+		wider := make([]int32, n)
+		copy(wider, row)
+		for j := old; j < n; j++ {
+			wider[j] = -1
+		}
+		e.fn[i] = wider
+	}
+	e.hotN = n
+}
+
+func (e *tiered) intern(v value.V) int32 {
+	if w, ok := e.index[v]; ok {
+		return w
+	}
+	w := int32(len(e.elems))
+	e.elems = append(e.elems, v)
+	e.index[v] = w
+	// Keep the hot tier covering the intern table while it still fits
+	// under the cap: doubling amortizes the copy, first-touch order
+	// decides membership.
+	if w >= e.hotN && e.hotN < e.limit {
+		n := e.hotN
+		for w >= n && n < e.limit {
+			n *= 2
+		}
+		if n > e.limit {
+			n = e.limit
+		}
+		e.grow(n)
+	}
+	return w
+}
+
+func (e *tiered) Intern(v value.V) (int32, error) { return e.intern(v), nil }
+func (e *tiered) Value(w int32) value.V           { return e.elems[w] }
+
+func (e *tiered) Apply(label int, w int32) int32 {
+	if w < e.hotN && label < tierLabelCap {
+		if label >= len(e.fn) {
+			e.fn = append(e.fn, make([][]int32, label+1-len(e.fn))...)
+		}
+		row := e.fn[label]
+		if row == nil {
+			row = make([]int32, e.hotN)
+			for i := range row {
+				row[i] = -1
+			}
+			e.fn[label] = row
+		}
+		if out := row[w]; out >= 0 {
+			return out
+		}
+		out := e.intern(e.ot.F.Fns[label].Apply(e.elems[w]))
+		// intern may have grown the tables; re-read the row.
+		e.fn[label][w] = out
+		return out
+	}
+	return e.intern(e.ot.F.Fns[label].Apply(e.elems[w]))
+}
+
+func (e *tiered) Leq(a, b int32) bool {
+	if a < e.hotN && b < e.hotN {
+		cell := &e.ord[a*e.hotN+b]
+		if *cell&leqKnown == 0 {
+			if e.ot.Ord.Leq(e.elems[a], e.elems[b]) {
+				*cell |= leqKnown | leqBit
+			} else {
+				*cell |= leqKnown
+			}
+		}
+		return *cell&leqBit != 0
+	}
+	return e.ot.Ord.Leq(e.elems[a], e.elems[b])
+}
+
+func (e *tiered) Lt(a, b int32) bool {
+	if a < e.hotN && b < e.hotN {
+		cell := &e.ord[a*e.hotN+b]
+		if *cell&ltKnown == 0 {
+			if e.ot.Ord.Lt(e.elems[a], e.elems[b]) {
+				*cell |= ltKnown | ltBit
+			} else {
+				*cell |= ltKnown
+			}
+		}
+		return *cell&ltBit != 0
+	}
+	return e.ot.Ord.Lt(e.elems[a], e.elems[b])
+}
+
+func (e *tiered) Equiv(a, b int32) bool {
+	// The stock preorders all satisfy Equiv = Leq ∧ Leq-converse (the
+	// compiled backend is built on exactly that identity and the
+	// engine differentials hold), but tiered serves arbitrary dynamic
+	// algebras, so Equiv consults Ord.Equiv directly and only borrows
+	// the memo when both directions are already cached.
+	if a < e.hotN && b < e.hotN {
+		ab, ba := e.ord[a*e.hotN+b], e.ord[b*e.hotN+a]
+		if ab&leqKnown != 0 && ba&leqKnown != 0 {
+			return ab&leqBit != 0 && ba&leqBit != 0
+		}
+	}
+	return e.ot.Ord.Equiv(e.elems[a], e.elems[b])
+}
+
+// hotSize reports the current hot capacity (white-box tests).
+func (e *tiered) hotSize() int32 { return e.hotN }

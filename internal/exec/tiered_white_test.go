@@ -1,0 +1,114 @@
+package exec
+
+// White-box tests for the tiered backend's internals: the cold tail
+// (indices past the hot capacity must interpret, and stay bit-identical
+// to the dynamic oracle) and the table-growth path (memo contents filled
+// before a grow must survive the copy into the wider layout).
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/baselib"
+)
+
+// TestTieredColdTail drives a tiered engine whose hot capacity is
+// artificially tiny (4) against the dynamic oracle: most operations land
+// in the cold tail, and every index, Apply result and order answer must
+// still be bit-identical.
+func TestTieredColdTail(t *testing.T) {
+	ot := baselib.Delay(200, 3)
+	tier := newTieredCap(ot, 4)
+	dyn := NewDynamic(ot)
+	r := rand.New(rand.NewSource(77))
+
+	var ws []int32
+	for i := 0; i < 120; i++ {
+		v := r.Intn(201)
+		wt, _ := tier.Intern(v)
+		wd, _ := dyn.Intern(v)
+		if wt != wd {
+			t.Fatalf("intern(%d): tiered index %d != dynamic index %d", v, wt, wd)
+		}
+		ws = append(ws, wt)
+	}
+	if tier.hotSize() != 4 {
+		t.Fatalf("hot capacity grew past its cap: %d", tier.hotSize())
+	}
+	for i := 0; i < 2000; i++ {
+		w := ws[r.Intn(len(ws))]
+		label := r.Intn(ot.F.Size())
+		// Apply twice: the first call may fill a memo cell, the second
+		// must replay it — both must match the oracle.
+		for k := 0; k < 2; k++ {
+			at, ad := tier.Apply(label, w), dyn.Apply(label, w)
+			if at != ad {
+				t.Fatalf("apply(%d, w=%d): tiered %d != dynamic %d", label, w, at, ad)
+			}
+		}
+		a, b := ws[r.Intn(len(ws))], ws[r.Intn(len(ws))]
+		for k := 0; k < 2; k++ {
+			if tier.Leq(a, b) != dyn.Leq(a, b) {
+				t.Fatalf("leq(%d,%d): tiered and dynamic differ", a, b)
+			}
+			if tier.Lt(a, b) != dyn.Lt(a, b) {
+				t.Fatalf("lt(%d,%d): tiered and dynamic differ", a, b)
+			}
+			if tier.Equiv(a, b) != dyn.Equiv(a, b) {
+				t.Fatalf("equiv(%d,%d): tiered and dynamic differ", a, b)
+			}
+		}
+	}
+}
+
+// TestTieredGrowth interns past the initial hot capacity and checks that
+// order and Apply memo cells filled before the grow still answer
+// correctly afterwards (the copy into the wider layout must preserve
+// the (a,b) indexing).
+func TestTieredGrowth(t *testing.T) {
+	ot := baselib.Delay(1000, 2)
+	tier := newTieredCap(ot, TierLimit)
+	dyn := NewDynamic(ot)
+	r := rand.New(rand.NewSource(99))
+
+	// Intern the initial hot set.
+	for i := 0; i < tierInitial; i++ {
+		tier.intern(i)
+		dyn.(*dynamic).intern(i)
+	}
+	// Fill memo cells while the tables are small. (Apply interns fresh
+	// successor values, so the hot capacity may already double here —
+	// the point is that cells filled in a narrow layout survive later
+	// widenings.)
+	type probe struct{ a, b int32 }
+	var probes []probe
+	for i := 0; i < 500; i++ {
+		p := probe{int32(r.Intn(tierInitial)), int32(r.Intn(tierInitial))}
+		tier.Leq(p.a, p.b)
+		tier.Lt(p.a, p.b)
+		tier.Apply(0, p.a)
+		probes = append(probes, p)
+	}
+
+	// Trigger growth past two doublings.
+	for i := tierInitial; i <= 1000; i++ {
+		tier.intern(i)
+		dyn.(*dynamic).intern(i)
+	}
+	if tier.hotSize() != 1024 {
+		t.Fatalf("hot capacity after interning 1001 elements: %d, want 1024", tier.hotSize())
+	}
+
+	// Pre-growth memo cells must have moved with their coordinates.
+	for _, p := range probes {
+		if tier.Leq(p.a, p.b) != dyn.Leq(p.a, p.b) {
+			t.Fatalf("post-grow leq(%d,%d) differs from oracle", p.a, p.b)
+		}
+		if tier.Lt(p.a, p.b) != dyn.Lt(p.a, p.b) {
+			t.Fatalf("post-grow lt(%d,%d) differs from oracle", p.a, p.b)
+		}
+		if tier.Apply(0, p.a) != dyn.Apply(0, p.a) {
+			t.Fatalf("post-grow apply(0,%d) differs from oracle", p.a)
+		}
+	}
+}

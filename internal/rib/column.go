@@ -76,6 +76,18 @@ func (c *Column) NextHops(u int) []int32 {
 	return c.Pool[s.NhOff : s.NhOff+s.NhLen : s.NhOff+s.NhLen]
 }
 
+// AppendNextHops appends node u's ECMP next-hop span to dst and
+// returns the extended slice — the batched query plane's copy-out
+// entry point: callers accumulate many nodes' spans into one shared
+// pool buffer without per-node slice headers or aliasing hazards.
+func (c *Column) AppendNextHops(dst []int32, u int) []int32 {
+	if u < 0 || u >= len(c.Slots) || !c.Slots[u].Routed {
+		return dst
+	}
+	s := c.Slots[u]
+	return append(dst, c.Pool[s.NhOff:s.NhOff+s.NhLen]...)
+}
+
 // Forward resolves the forwarding path from a node to the column's
 // destination following primary next hops; it fails on missing routes
 // and forwarding loops. The walk needs nothing but the column itself,

@@ -321,6 +321,27 @@ func (pt *PrefixTable) MatchPrefix(p Prefix) (PrefixOrigin, bool) {
 	return pt.kept[col], true
 }
 
+// MatchNode resolves an address to its anchor node and matched prefix
+// length without materializing the announcement — the batched binary
+// query path's entry point (no interface values cross it).
+func (pt *PrefixTable) MatchNode(addr uint32) (node int, matchLen uint8, ok bool) {
+	col, matchLen, ok := pt.trie.Lookup(addr)
+	if !ok {
+		return -1, 0, false
+	}
+	return pt.kept[col].Node, matchLen, true
+}
+
+// MatchPrefixNode resolves a prefix query to its anchor node and
+// matched length, the index-form counterpart of MatchPrefix.
+func (pt *PrefixTable) MatchPrefixNode(p Prefix) (node int, matchLen uint8, ok bool) {
+	col, matchLen, ok := pt.trie.LookupPrefix(MakePrefix(p.Addr, p.Len))
+	if !ok {
+		return -1, 0, false
+	}
+	return pt.kept[col].Node, matchLen, true
+}
+
 // Kept returns the post-aggregation announcements in trie column
 // order (read-only).
 func (pt *PrefixTable) Kept() []PrefixOrigin { return pt.kept }

@@ -1,0 +1,70 @@
+package serve
+
+// White-box allocation guard for the binary batch hot path. The serve
+// package promises that resolveWireBatch allocates nothing once the
+// scratch buffers are warm — that property is what lets the handler
+// answer wire batches entirely out of a sync.Pool'd scratch. A
+// regression here silently reintroduces per-query garbage at qps scale,
+// so the ceiling is pinned to exactly zero, and CI runs this file under
+// -race as well.
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/serve/wire"
+	"metarouting/internal/value"
+)
+
+func TestResolveWireBatchAllocs(t *testing.T) {
+	a, err := core.InferString("lex(delay(16,3), hops(8))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Grid(rand.New(rand.NewSource(11)), 3, 3, graph.UniformLabels(a.OT.F.Size()))
+	origins := map[int]value.V{0: value.Pair{A: 0, B: 0}, 8: value.Pair{A: 2, B: 1}}
+	srv, err := New(exec.For(a.OT), g, origins, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// The interface conversion boxes the two-word leaderBatch once; the
+	// handler likewise pins one batchView per request, so only the
+	// per-query resolution below must be allocation-free.
+	var view batchView = leaderBatch{sn: srv.Snapshot(), srv: srv}
+
+	// Mixed kinds, including unmatched lookups and an unrouted slot, so
+	// the guard covers every arm of the resolution switch.
+	qs := []wire.Query{
+		{Kind: wire.QueryDest, From: 1, Arg: 0},
+		{Kind: wire.QueryDest, From: 4, Arg: 8},
+		{Kind: wire.QueryDest, From: 1, Arg: 3},
+		{Kind: wire.QueryAddr, From: 3, Arg: 10<<24 | 8},
+		{Kind: wire.QueryAddr, From: 3, Arg: 10<<24 | 3},
+		{Kind: wire.QueryPrefix, From: 6, Arg: 10 << 24, PLen: 32},
+		{Kind: wire.QueryPrefix, From: 6, Arg: 10<<24 | 9<<16, PLen: 16},
+	}
+	as := make([]wire.Answer, 0, len(qs))
+	pool := make([]int32, 0, 64)
+	// One warm pass grows the append targets to their steady-state
+	// capacity; after that every run must reuse them in place.
+	if as, pool, err = resolveWireBatch(view, qs, as[:0], pool[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != len(qs) {
+		t.Fatalf("warm pass answered %d of %d queries", len(as), len(qs))
+	}
+	n := testing.AllocsPerRun(200, func() {
+		var rerr error
+		as, pool, rerr = resolveWireBatch(view, qs, as[:0], pool[:0])
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("resolveWireBatch allocates %.1f per batch with warm scratch, want 0", n)
+	}
+}

@@ -143,6 +143,16 @@ func NewFollowerHandler(f *Follower, reg *telemetry.Registry) *http.ServeMux {
 		writeJSON(w, http.StatusOK, reply)
 	})
 
+	// The batch endpoint is read-only by construction, so followers
+	// serve it at full parity with the leader (same handler core).
+	mux.HandleFunc("/v1/routes", routesHandler(
+		func(w http.ResponseWriter, req *http.Request) batchView {
+			if v := ready(w, req); v != nil {
+				return v
+			}
+			return nil
+		}, nil))
+
 	mux.HandleFunc("/v1/paths", func(w http.ResponseWriter, req *http.Request) {
 		v := ready(w, req)
 		if v == nil {

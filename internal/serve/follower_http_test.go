@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"math/rand"
@@ -15,6 +16,7 @@ import (
 	"metarouting/internal/graph"
 	"metarouting/internal/replica"
 	"metarouting/internal/serve"
+	"metarouting/internal/serve/wire"
 	"metarouting/internal/telemetry"
 	"metarouting/internal/value"
 )
@@ -80,7 +82,49 @@ func TestFollowerHandlerParity(t *testing.T) {
 				url, lw.Code, lw.Body.String(), fw.Code, fw.Body.String())
 		}
 	}
+	// POST /v1/routes parity, both content types: the batch plane pins
+	// the follower's replicated state and must answer the leader's exact
+	// bytes — JSON results and binary frames alike.
+	jsonBody, err := json.Marshal(serve.BatchRequest{Queries: []serve.BatchQuery{
+		{From: 8, Dest: intp(0)}, {From: 8, Dest: intp(4)},
+		{From: 3, Addr: "10.0.0.4"}, {From: 3, Prefix: "10.0.0.0/32"},
+		{From: 5, Addr: "10.0.0.7"}, // uncovered
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireBody, err := wire.AppendQueryRequest(nil, []wire.Query{
+		{Kind: wire.QueryDest, From: 8, Arg: 0},
+		{Kind: wire.QueryDest, From: 8, Arg: 4},
+		{Kind: wire.QueryAddr, From: 3, Arg: 10<<24 | 4},
+		{Kind: wire.QueryPrefix, From: 3, Arg: 10 << 24, PLen: 32},
+		{Kind: wire.QueryAddr, From: 5, Arg: 10<<24 | 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, post := range map[string]struct {
+		ct   string
+		body []byte
+	}{
+		"json": {"application/json", jsonBody},
+		"wire": {wire.ContentType, wireBody},
+	} {
+		lw, fw := httptest.NewRecorder(), httptest.NewRecorder()
+		for rec, h := range map[*httptest.ResponseRecorder]*http.ServeMux{lw: leader, fw: follower} {
+			req := httptest.NewRequest("POST", "/v1/routes", bytes.NewReader(post.body))
+			req.Header.Set("Content-Type", post.ct)
+			h.ServeHTTP(rec, req)
+		}
+		if lw.Code != 200 || lw.Code != fw.Code || lw.Body.String() != fw.Body.String() {
+			t.Fatalf("batch %s diverges:\nleader   %d %q\nfollower %d %q",
+				name, lw.Code, lw.Body.String(), fw.Code, fw.Body.String())
+		}
+	}
 }
+
+// intp is a literal-pointer helper for BatchQuery.Dest.
+func intp(v int) *int { return &v }
 
 // TestVersionGate: read-your-version on both roles — a version= beyond
 // the served snapshot answers 404 with current_version; at or below it

@@ -40,7 +40,30 @@ const (
 	CodeVersionBehind   = "version_behind"
 	CodeNotReady        = "not_ready"
 	CodeReadOnly        = "read_only"
+	CodeLegacyRetired   = "legacy_api_retired"
 )
+
+// HandlerOption configures NewHandler.
+type HandlerOption interface{ applyHandler(*handlerConfig) }
+
+type handlerConfig struct {
+	legacyAPI bool
+}
+
+type handlerOptionFunc func(*handlerConfig)
+
+func (f handlerOptionFunc) applyHandler(c *handlerConfig) { f(c) }
+
+// WithLegacyAPI re-enables the retired pre-/v1 unversioned aliases
+// (/route, /paths, /events, /event, /stats, /slowlog, /metrics). They
+// answer byte-identically to their /v1 successors plus Deprecation and
+// successor-version Link headers. Without this option the aliases
+// answer 404 with the Link header still naming the successor, so
+// stragglers get a machine-readable forwarding address instead of a
+// silent break; cmd/mrserve exposes it as -legacy-api.
+func WithLegacyAPI() HandlerOption {
+	return handlerOptionFunc(func(c *handlerConfig) { c.legacyAPI = true })
+}
 
 // APIError is the uniform v1 error payload, wrapped as {"error": ...}.
 type APIError struct {
@@ -146,13 +169,20 @@ type EventsReply struct {
 	Accepted   int    `json:"accepted,omitempty"`
 }
 
-// NewHandler returns the server's HTTP API: /v1/route, /v1/paths,
-// /v1/events (GET query params or POST JSON body, single or batch),
-// /v1/stats, /v1/slowlog and — when reg is non-nil — /v1/metrics in
-// Prometheus text format, plus deprecated unversioned aliases for each.
-// The returned mux is open for extension (cmd/mrserve mounts pprof on
-// it behind -pprof).
-func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
+// NewHandler returns the server's HTTP API: /v1/route, /v1/routes
+// (batched, JSON or binary), /v1/paths, /v1/events (GET query params or
+// POST JSON body, single or batch), /v1/stats, /v1/slowlog and — when
+// reg is non-nil — /v1/metrics in Prometheus text format. The retired
+// unversioned aliases answer 404 with a successor-version Link header
+// unless WithLegacyAPI re-enables them. The returned mux is open for
+// extension (cmd/mrserve mounts pprof on it behind -pprof).
+func NewHandler(srv *Server, reg *telemetry.Registry, opts ...HandlerOption) *http.ServeMux {
+	var hc handlerConfig
+	for _, o := range opts {
+		if o != nil {
+			o.applyHandler(&hc)
+		}
+	}
 	mux := http.NewServeMux()
 	badRequest := func(w http.ResponseWriter, format string, args ...any) {
 		writeErr(w, http.StatusBadRequest, CodeInvalidArgument, format, args...)
@@ -422,13 +452,20 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 		writeJSON(w, http.StatusOK, slow)
 	}
 
-	// mount registers the v1 route and its deprecated unversioned alias:
-	// the alias answers identically plus a Deprecation header and a Link
-	// to the successor (RFC 8594 successor-version relation).
+	// mount registers the v1 route and its retired unversioned alias.
+	// With WithLegacyAPI the alias answers identically plus a Deprecation
+	// header and a Link to the successor (RFC 8594 successor-version
+	// relation); without it the alias is a 404 that still carries the
+	// Link header, so old clients learn the forwarding address.
 	alias := func(legacy string, v1 string, h http.HandlerFunc) {
 		mux.HandleFunc(legacy, func(w http.ResponseWriter, req *http.Request) {
-			w.Header().Set("Deprecation", "true")
 			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", v1))
+			if !hc.legacyAPI {
+				writeErr(w, http.StatusNotFound, CodeLegacyRetired,
+					"retired legacy endpoint; use %s (or serve with -legacy-api)", v1)
+				return
+			}
+			w.Header().Set("Deprecation", "true")
 			h(w, req)
 		})
 	}
@@ -438,6 +475,19 @@ func NewHandler(srv *Server, reg *telemetry.Registry) *http.ServeMux {
 	}
 
 	mount("/v1/route", "/route", handleRoute)
+	mux.HandleFunc("/v1/routes", routesHandler(
+		func(w http.ResponseWriter, req *http.Request) batchView {
+			sn := srv.Snapshot()
+			if !versionGate(w, req, sn.Version) {
+				return nil
+			}
+			return leaderBatch{sn: sn, srv: srv}
+		},
+		func(queries int) {
+			srv.batchRequests.Add(1)
+			srv.batchQueries.Add(uint64(queries))
+			srv.queries.Add(uint64(queries))
+		}))
 	mux.HandleFunc("/v1/prefixes", handlePrefixes)
 	mount("/v1/paths", "/paths", handlePaths)
 	mount("/v1/events", "/events", handleEvents)

@@ -38,7 +38,10 @@ func httpFixture(t testing.TB, reg *telemetry.Registry) (*serve.Server, *http.Se
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Close)
-	return srv, serve.NewHandler(srv, reg)
+	// The fixture opts in to the retired aliases so the byte-identity
+	// alias tests keep covering the flag-on path; TestHandlerLegacyRetired
+	// builds a default handler to pin the flag-off 404s.
+	return srv, serve.NewHandler(srv, reg, serve.WithLegacyAPI())
 }
 
 func get(h http.Handler, target string) *httptest.ResponseRecorder {

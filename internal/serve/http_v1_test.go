@@ -73,6 +73,39 @@ func TestHandlerV1Aliases(t *testing.T) {
 	}
 }
 
+// TestHandlerLegacyRetired: without WithLegacyAPI the unversioned
+// aliases answer 404 with the legacy_api_retired envelope and a Link
+// header naming the successor, while the /v1 spellings keep working.
+func TestHandlerLegacyRetired(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, _ := httpFixture(t, reg)
+	h := serve.NewHandler(srv, reg)
+	for _, tc := range []struct{ legacy, v1 string }{
+		{"/route?from=1&dest=0", "/v1/route?from=1&dest=0"},
+		{"/paths?dest=0", "/v1/paths?dest=0"},
+		{"/stats", "/v1/stats"},
+		{"/slowlog", "/v1/slowlog"},
+		{"/metrics", "/v1/metrics"},
+		{"/event?arc=0&kind=up", "/v1/events?arc=0&kind=up"},
+		{"/events?arc=0&kind=up", "/v1/events?arc=0&kind=up"},
+	} {
+		rec := get(h, tc.legacy)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s without -legacy-api: status %d, want 404", tc.legacy, rec.Code)
+		}
+		if e := errEnvelope(t, rec); e.Code != serve.CodeLegacyRetired {
+			t.Fatalf("%s: code %q, want %q", tc.legacy, e.Code, serve.CodeLegacyRetired)
+		}
+		link := rec.Header().Get("Link")
+		if !strings.Contains(link, `rel="successor-version"`) || !strings.Contains(link, "/v1/") {
+			t.Fatalf("%s: Link header %q must name the v1 successor", tc.legacy, link)
+		}
+		if v1 := get(h, tc.v1); v1.Code != http.StatusOK {
+			t.Fatalf("%s: status %d, the successor must keep working", tc.v1, v1.Code)
+		}
+	}
+}
+
 // TestHandlerEventsBatch: POST /v1/events with the batch shape applies
 // one coalesced recompute; a self-cancelling batch applies nothing; bad
 // bodies answer the error envelope.

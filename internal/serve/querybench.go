@@ -1,0 +1,303 @@
+package serve
+
+// This file holds the paired query-plane benchmark behind cmd/mrserve
+// -query-bench: the same server, the same host and the same live HTTP
+// stack answer two workloads in alternating rounds — single-query GET
+// /v1/route with JSON bodies (the baseline every external client paid
+// before this plane existed) and batched POST /v1/routes in the binary
+// wire codec. Before any timing, a differential pass asserts the batch
+// and binary answers carry exactly the routing facts the single JSON
+// handler reports, so the speedup line in BENCH_query.json is only ever
+// quoted for a protocol that answers identically.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"metarouting/internal/serve/wire"
+	"metarouting/internal/telemetry"
+)
+
+// QueryBenchOptions parameterizes a query-plane benchmark run.
+type QueryBenchOptions struct {
+	// Batch is the queries per binary POST (default 256).
+	Batch int
+	// Queries is the queries per measured round per side (default 16384).
+	Queries int
+	// Rounds is how many alternating single/batch rounds to run
+	// (default 3).
+	Rounds int
+	// Seed drives query choice.
+	Seed int64
+}
+
+// QueryBenchReport is the measured outcome, committed as
+// BENCH_query.json. Batch latencies are amortized per query: the whole
+// batch round trip divided by the batch size, which is the number an
+// external caller resolving N routes actually experiences per route.
+type QueryBenchReport struct {
+	Nodes        int `json:"nodes"`
+	Destinations int `json:"destinations"`
+	BatchSize    int `json:"batch_size"`
+	Rounds       int `json:"rounds"`
+	GoMaxProcs   int `json:"gomaxprocs"`
+
+	SingleQueries uint64  `json:"single_queries"`
+	SingleQPS     float64 `json:"single_qps"`
+	SingleP50US   float64 `json:"single_p50_us"`
+	SingleP99US   float64 `json:"single_p99_us"`
+
+	BatchQueries uint64  `json:"batch_queries"`
+	BatchQPS     float64 `json:"batch_qps"`
+	BatchP50US   float64 `json:"batch_p50_us"`
+	BatchP99US   float64 `json:"batch_p99_us"`
+
+	// Speedup is BatchQPS / SingleQPS on the same host, same server.
+	Speedup float64 `json:"speedup"`
+	// DifferentialOK records that the pre-timing equivalence pass held:
+	// JSON batch elements byte-identical to single replies, binary
+	// answers carrying the same facts, one snapshot version per batch.
+	DifferentialOK bool   `json:"differential_ok"`
+	Note           string `json:"note"`
+}
+
+// QueryBench boots a loopback HTTP listener over the server's live
+// handler and runs the paired workloads. The server keeps running.
+func QueryBench(s *Server, opts QueryBenchOptions) (*QueryBenchReport, error) {
+	if opts.Batch <= 0 {
+		opts.Batch = 256
+	}
+	if opts.Batch > wire.MaxBatch {
+		opts.Batch = wire.MaxBatch
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 16384
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 3
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: NewHandler(s, nil)}
+	go hs.Serve(ln) //nolint:errcheck — closed below
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	dests := s.Dests()
+	n := s.base.N
+	r := rand.New(rand.NewSource(opts.Seed))
+	pick := func() (int, int) { return r.Intn(n), dests[r.Intn(len(dests))] }
+
+	diffOK, err := queryBenchDifferential(client, base, s, opts.Batch)
+	if err != nil {
+		return nil, err
+	}
+
+	var singleLats, batchLats []int64
+	var singleNS, batchNS int64
+	var singleQ, batchQ uint64
+	buf := make([]byte, 0, 64<<10)
+	qs := make([]wire.Query, 0, opts.Batch)
+	for round := 0; round < opts.Rounds; round++ {
+		// Single-query side: sequential GETs on one kept-alive connection.
+		t0 := time.Now()
+		for i := 0; i < opts.Queries; i++ {
+			from, dest := pick()
+			q0 := time.Now()
+			resp, err := client.Get(fmt.Sprintf("%s/v1/route?from=%d&dest=%d", base, from, dest))
+			if err != nil {
+				return nil, err
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("query-bench: single GET status %d", resp.StatusCode)
+			}
+			singleLats = append(singleLats, time.Since(q0).Nanoseconds())
+			singleQ++
+		}
+		singleNS += time.Since(t0).Nanoseconds()
+
+		// Batched binary side: the same number of queries per round.
+		batches := opts.Queries / opts.Batch
+		t0 = time.Now()
+		for b := 0; b < batches; b++ {
+			qs = qs[:0]
+			for i := 0; i < opts.Batch; i++ {
+				from, dest := pick()
+				qs = append(qs, wire.Query{Kind: wire.QueryDest, From: int32(from), Arg: uint32(dest)})
+			}
+			buf, err = wire.AppendQueryRequest(buf[:0], qs)
+			if err != nil {
+				return nil, err
+			}
+			q0 := time.Now()
+			resp, err := client.Post(base+"/v1/routes", wire.ContentType, bytes.NewReader(buf))
+			if err != nil {
+				return nil, err
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("query-bench: binary POST status %d", resp.StatusCode)
+			}
+			batchLats = append(batchLats, time.Since(q0).Nanoseconds()/int64(opts.Batch))
+			batchQ += uint64(opts.Batch)
+		}
+		batchNS += time.Since(t0).Nanoseconds()
+	}
+
+	sq := telemetry.Quantiles(singleLats, 0.50, 0.99)
+	bq := telemetry.Quantiles(batchLats, 0.50, 0.99)
+	rep := &QueryBenchReport{
+		Nodes:          n,
+		Destinations:   len(dests),
+		BatchSize:      opts.Batch,
+		Rounds:         opts.Rounds,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		SingleQueries:  singleQ,
+		SingleQPS:      float64(singleQ) / (float64(singleNS) / 1e9),
+		SingleP50US:    float64(sq[0]) / 1e3,
+		SingleP99US:    float64(sq[1]) / 1e3,
+		BatchQueries:   batchQ,
+		BatchQPS:       float64(batchQ) / (float64(batchNS) / 1e9),
+		BatchP50US:     float64(bq[0]) / 1e3,
+		BatchP99US:     float64(bq[1]) / 1e3,
+		DifferentialOK: diffOK,
+		Note: "paired same host over loopback HTTP (see gomaxprocs for the CPU budget; " +
+			"the committed run used one CPU); batch latencies amortized per query " +
+			"(frame round trip / batch size); the win is batching + the binary codec " +
+			"amortizing HTTP/JSON per-query overhead, not faster route resolution",
+	}
+	if rep.SingleQPS > 0 {
+		rep.Speedup = rep.BatchQPS / rep.SingleQPS
+	}
+	return rep, nil
+}
+
+// queryBenchDifferential asserts, over one mixed batch against the live
+// listener, that (1) JSON batch elements are byte-identical to the
+// single handler's replies, (2) the binary answers carry the same
+// routing facts, and (3) every answer pins one snapshot version.
+func queryBenchDifferential(client *http.Client, base string, s *Server, batch int) (bool, error) {
+	r := rand.New(rand.NewSource(97))
+	dests := s.Dests()
+	n := s.base.N
+	if batch > 64 {
+		batch = 64
+	}
+	jqs := make([]BatchQuery, batch)
+	wqs := make([]wire.Query, batch)
+	for i := range jqs {
+		from, dest := r.Intn(n), dests[r.Intn(len(dests))]
+		d := dest
+		jqs[i] = BatchQuery{From: from, Dest: &d}
+		wqs[i] = wire.Query{Kind: wire.QueryDest, From: int32(from), Arg: uint32(dest)}
+	}
+
+	// Single replies, one per query.
+	singles := make([][]byte, batch)
+	var pinned uint64
+	for i, q := range jqs {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/route?from=%d&dest=%d", base, q.From, *q.Dest))
+		if err != nil {
+			return false, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("query-bench differential: single GET: %v (status %d)", err, resp.StatusCode)
+		}
+		singles[i] = bytes.TrimSpace(body)
+		var rr RouteReply
+		if err := json.Unmarshal(body, &rr); err != nil {
+			return false, err
+		}
+		if i == 0 {
+			pinned = rr.Version
+		} else if rr.Version != pinned {
+			return false, fmt.Errorf("query-bench differential: snapshot moved mid-pass")
+		}
+	}
+
+	// JSON batch: byte identity per element, one version.
+	jbody, err := json.Marshal(BatchRequest{Queries: jqs})
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Post(base+"/v1/routes", "application/json", bytes.NewReader(jbody))
+	if err != nil {
+		return false, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("query-bench differential: JSON batch: %v (status %d)", err, resp.StatusCode)
+	}
+	var breply struct {
+		Version uint64            `json:"version"`
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &breply); err != nil {
+		return false, err
+	}
+	if breply.Version != pinned || len(breply.Results) != batch {
+		return false, fmt.Errorf("query-bench differential: batch version %d / %d results", breply.Version, len(breply.Results))
+	}
+	for i := range breply.Results {
+		if !bytes.Equal(bytes.TrimSpace(breply.Results[i]), singles[i]) {
+			return false, fmt.Errorf("query-bench differential: JSON element %d diverges from single reply", i)
+		}
+	}
+
+	// Binary batch: same facts, same version.
+	frame, err := wire.AppendQueryRequest(nil, wqs)
+	if err != nil {
+		return false, err
+	}
+	resp, err = client.Post(base+"/v1/routes", wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		return false, err
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("query-bench differential: binary batch: %v (status %d)", err, resp.StatusCode)
+	}
+	version, answers, pool, err := wire.DecodeAnswerResponse(body, nil, nil)
+	if err != nil {
+		return false, err
+	}
+	if version != pinned || len(answers) != batch {
+		return false, fmt.Errorf("query-bench differential: binary version %d / %d answers", version, len(answers))
+	}
+	for i, a := range answers {
+		var rr RouteReply
+		if err := json.Unmarshal(singles[i], &rr); err != nil {
+			return false, err
+		}
+		if a.Routed() != rr.Routed || (a.Matched() && int(a.Dest) != rr.Dest) {
+			return false, fmt.Errorf("query-bench differential: binary answer %d diverges (%+v vs %+v)", i, a, rr)
+		}
+		span := pool[a.NhOff : uint32(a.NhOff)+uint32(a.NhLen)]
+		if len(span) != len(rr.ECMP) {
+			return false, fmt.Errorf("query-bench differential: binary ECMP %d diverges", i)
+		}
+		for j, nh := range span {
+			if int(nh) != rr.ECMP[j] {
+				return false, fmt.Errorf("query-bench differential: binary ECMP %d diverges", i)
+			}
+		}
+	}
+	return true, nil
+}

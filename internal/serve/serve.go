@@ -113,6 +113,9 @@ type config struct {
 	deltaProps     prop.Set
 	prefixes       *rib.PrefixTable
 	sink           RecordSink
+	scenario       *scenario.Scenario
+	announced      []rib.PrefixOrigin
+	hasAnnounced   bool
 }
 
 func defaultConfig() config {
@@ -197,6 +200,24 @@ func WithDeltaProps(p prop.Set) Option {
 // destination so address-form queries work on node-keyed scenarios.
 func WithPrefixes(pt *rib.PrefixTable) Option {
 	return optionFunc(func(c *config) { c.prefixes = pt })
+}
+
+// WithScenario seeds the server from a parsed scenario: its engine,
+// topology and single origination fill whatever the Config leaves zero,
+// and — when the scenario ran inference — its derived property set
+// feeds the delta gate unless WithDeltaProps was given explicitly.
+// Explicit Config fields and WithEngine always win over the scenario.
+func WithScenario(sc *scenario.Scenario) Option {
+	return optionFunc(func(c *config) { c.scenario = sc })
+}
+
+// WithAnnouncements builds the server over a prefix announcement set:
+// the table is aggregated (rib.NewPrefixTable — covering prefixes with
+// the same anchor and origin suppress their more-specifics) and, when
+// the Config names no origins, the per-node origins are derived from
+// the kept announcements. Supersedes WithPrefixes when both are given.
+func WithAnnouncements(announced []rib.PrefixOrigin) Option {
+	return optionFunc(func(c *config) { c.announced, c.hasAnnounced = announced, true })
 }
 
 // WithRebuildTimeout bounds each batched recompute: the batcher and the
@@ -309,6 +330,8 @@ func (sn *Snapshot) ECMPWidth(node, dest int) int { return sn.rib.ECMPWidth(node
 // BENCH_serve.json.
 type Stats struct {
 	Queries               uint64 `json:"queries"`
+	BatchRequests         uint64 `json:"batch_requests"`
+	BatchQueries          uint64 `json:"batch_queries"`
 	SnapshotSwaps         uint64 `json:"snapshot_swaps"`
 	EventsApplied         uint64 `json:"events_applied"`
 	IncrementalRecomputes uint64 `json:"incremental_recomputes"`
@@ -397,6 +420,7 @@ type Server struct {
 	rebuildTimeout time.Duration
 
 	queries, swaps, events      telemetry.Counter
+	batchRequests, batchQueries telemetry.Counter
 	incremental, full           telemetry.Counter
 	destRecomputes, destReuses  telemetry.Counter
 	batches, coalesced          telemetry.Counter
@@ -446,18 +470,48 @@ var recordByteBuckets = []int64{64, 128, 256, 512, 1 << 10, 2 << 10, 4 << 10,
 	8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10,
 	1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20}
 
-// New builds a server over an execution engine, a base topology and the
-// origination set (destination → originated weight), computes the
+// Config names the core server inputs for NewServer. Every field may be
+// left zero when an option supplies it instead (WithScenario fills all
+// three, WithAnnouncements derives Origins).
+type Config struct {
+	// Engine is the execution backend (wrapped with exec.Concurrent at
+	// construction; WithEngine overrides it).
+	Engine exec.Algebra
+	// Graph is the base topology.
+	Graph *graph.Graph
+	// Origins maps destination node → originated weight.
+	Origins map[int]value.V
+}
+
+// NewServer is the single constructor behind every server form: plain
+// engine+topology+origins, prefix announcement sets (WithAnnouncements)
+// and scenario boots (WithScenario) all funnel here. It computes the
 // initial snapshot with the worker pool and publishes it. The engine is
 // wrapped with exec.Concurrent, so a dynamic backend may be handed in
-// directly (WithEngine overrides it). Destinations that do not converge
-// within the solver budget are reported in the snapshot, not as an
-// error.
-func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Option) (*Server, error) {
+// directly. Destinations that do not converge within the solver budget
+// are reported in the snapshot, not as an error.
+func NewServer(c Config, opts ...Option) (*Server, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		if o != nil {
 			o.apply(&cfg)
+		}
+	}
+	eng, g, origins := c.Engine, c.Graph, c.Origins
+	if sc := cfg.scenario; sc != nil {
+		if eng == nil {
+			eng = sc.Engine
+		}
+		if g == nil {
+			g = sc.Graph
+		}
+		if origins == nil {
+			origins = map[int]value.V{sc.Dest: sc.Origin}
+		}
+		if cfg.deltaProps == nil && sc.Algebra != nil {
+			// The scenario ran inference, so its derived property set can
+			// license the delta path; an explicit WithDeltaProps wins.
+			cfg.deltaProps = sc.Algebra.Props
 		}
 	}
 	if cfg.engine != nil {
@@ -465,6 +519,24 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 	}
 	if eng == nil {
 		return nil, fmt.Errorf("serve: nil execution engine")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("serve: nil topology")
+	}
+	if cfg.hasAnnounced {
+		pt, err := rib.NewPrefixTable(cfg.announced)
+		if err != nil {
+			return nil, err
+		}
+		for _, po := range pt.Kept() {
+			if po.Node < 0 || po.Node >= g.N {
+				return nil, fmt.Errorf("serve: prefix %v anchored at node %d out of range [0,%d)", po.Prefix, po.Node, g.N)
+			}
+		}
+		cfg.prefixes = pt
+		if origins == nil {
+			origins = pt.Origins()
+		}
 	}
 	if len(origins) == 0 {
 		return nil, fmt.Errorf("serve: no destinations originated")
@@ -561,6 +633,8 @@ func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Opti
 func (s *Server) register(reg *telemetry.Registry) {
 	reg.AddScrapeHook(func() { s.scrapeSnap.Store(s.snap.Load()) })
 	reg.AddCounter("mrserve_queries_total", "Route queries served (Lookup, Forward, ECMPWidth).", &s.queries)
+	reg.AddCounter("mrserve_batch_requests_total", "POST /v1/routes batch requests served.", &s.batchRequests)
+	reg.AddCounter("mrserve_batch_queries_total", "Route queries answered inside batches.", &s.batchQueries)
 	reg.AddCounter("mrserve_snapshot_swaps_total", "Snapshots published.", &s.swaps)
 	reg.AddCounter("mrserve_events_applied_total", "Topology events that changed the graph.", &s.events)
 	reg.AddCounter(`mrserve_recomputes_total{kind="incremental"}`, "Snapshot builds by kind.", &s.incremental)
@@ -668,35 +742,33 @@ func (s *Server) pinnedSnap() *Snapshot {
 	return s.snap.Load()
 }
 
-// NewPrefix builds a server over a prefix announcement set: the table
-// is aggregated (rib.NewPrefixTable — covering prefixes with the same
-// anchor and origin suppress their more-specifics), the per-node
-// origins are derived from the kept announcements, and /v1/route
-// answers prefix- and address-form queries by longest match into the
-// anchors' route columns.
+// New builds a server over an execution engine, a base topology and the
+// origination set.
+//
+// Deprecated: use NewServer(Config{Engine: eng, Graph: g, Origins:
+// origins}, opts...). New remains as a thin wrapper so existing call
+// sites compile unchanged while they migrate.
+func New(eng exec.Algebra, g *graph.Graph, origins map[int]value.V, opts ...Option) (*Server, error) {
+	return NewServer(Config{Engine: eng, Graph: g, Origins: origins}, opts...)
+}
+
+// NewPrefix builds a server over a prefix announcement set.
+//
+// Deprecated: use NewServer(Config{Engine: eng, Graph: g},
+// WithAnnouncements(announced), opts...), which applies the same
+// aggregation and origin derivation.
 func NewPrefix(eng exec.Algebra, g *graph.Graph, announced []rib.PrefixOrigin, opts ...Option) (*Server, error) {
-	pt, err := rib.NewPrefixTable(announced)
-	if err != nil {
-		return nil, err
-	}
-	for _, po := range pt.Kept() {
-		if po.Node < 0 || po.Node >= g.N {
-			return nil, fmt.Errorf("serve: prefix %v anchored at node %d out of range [0,%d)", po.Prefix, po.Node, g.N)
-		}
-	}
-	return New(eng, g, pt.Origins(), append([]Option{WithPrefixes(pt)}, opts...)...)
+	return NewServer(Config{Engine: eng, Graph: g},
+		append([]Option{WithAnnouncements(announced)}, opts...)...)
 }
 
 // NewFromScenario builds a server from a parsed scenario: its engine,
 // topology, and single origination (WithEngine overrides the engine).
 // Replay the scenario's events with Replay(ctx, sc.SortedEvents()).
+//
+// Deprecated: use NewServer(Config{}, WithScenario(sc), opts...).
 func NewFromScenario(sc *scenario.Scenario, opts ...Option) (*Server, error) {
-	if sc.Algebra != nil {
-		// The scenario ran inference, so its derived property set can
-		// license the delta path; explicit caller options still win.
-		opts = append([]Option{WithDeltaProps(sc.Algebra.Props)}, opts...)
-	}
-	return New(sc.Engine, sc.Graph, map[int]value.V{sc.Dest: sc.Origin}, opts...)
+	return NewServer(Config{}, append([]Option{WithScenario(sc)}, opts...)...)
 }
 
 // stopBatcher halts the intake batcher exactly once and waits it out.
@@ -1290,6 +1362,8 @@ func (s *Server) Stats() Stats {
 	}
 	return Stats{
 		Queries:               s.queries.Load(),
+		BatchRequests:         s.batchRequests.Load(),
+		BatchQueries:          s.batchQueries.Load(),
 		SnapshotSwaps:         s.swaps.Load(),
 		EventsApplied:         s.events.Load(),
 		IncrementalRecomputes: s.incremental.Load(),

@@ -1,0 +1,310 @@
+// Package wire is the binary query codec of the zero-allocation query
+// plane: a length-prefixed, CRC-framed request/response format for
+// batched route queries, negotiated on POST /v1/routes via
+// Content-Type: application/x-mr-query.
+//
+// It follows the framing discipline of internal/replica's record
+// format. Every message is one frame:
+//
+//	| payloadLen u32 | payload | crc32(payload) u32 |
+//
+// with payload = | formatVersion u8 | kind u8 | body |, all integers
+// little-endian, CRC = IEEE crc32 over the payload. Bodies are
+// fixed-width slot arrays so encode and decode are straight copies:
+//
+//	request  body = | count u32 | count × query slot (10 B) |
+//	response body = | version u64 | count u32 | count × answer slot (16 B)
+//	               | poolLen u32 | poolLen × i32 |
+//
+// A query slot is | kind u8 | from i32 | arg u32 | plen u8 | — arg is
+// the destination node (KindDest), the prefix address (KindPrefix) or
+// the lookup address (KindAddr). An answer slot is | flags u8 |
+// matchLen u8 | nhLen u16 | dest i32 | w i32 | nhOff u32 |; next-hop
+// sets of all answers share the trailing pool segment, referenced by
+// (nhOff, nhLen) spans, exactly like rib.Column's arena layout.
+//
+// All counts are bounds-checked against the received byte budget (and
+// the MaxBatch ceiling) before any allocation, so truncated or hostile
+// frames error without panicking or over-allocating — FuzzQueryWire
+// hammers exactly these properties. The Append*/Decode* entry points
+// are append-style: callers pass reusable buffers and the hot path
+// allocates nothing (the serve handlers pool their scratch).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// ContentType negotiates the binary codec on POST /v1/routes; any other
+// content type gets the JSON batch path.
+const ContentType = "application/x-mr-query"
+
+// FormatVersion is the wire format generation; decoders reject frames
+// carrying any other value.
+const FormatVersion = 1
+
+// Frame kinds.
+const (
+	// KindQuery is a batched query request.
+	KindQuery byte = 1
+	// KindAnswer is a batched answer response.
+	KindAnswer byte = 2
+)
+
+// Query kinds (the Kind field of a Query slot).
+const (
+	// QueryDest resolves a route by destination node id (Arg).
+	QueryDest byte = 0
+	// QueryPrefix resolves by exact announced prefix Arg/PLen.
+	QueryPrefix byte = 1
+	// QueryAddr resolves by longest-prefix match on address Arg.
+	QueryAddr byte = 2
+)
+
+// Answer flag bits.
+const (
+	// FlagMatched is set when the query resolved to a destination.
+	FlagMatched uint8 = 1 << iota
+	// FlagRouted is set when the queried node holds a route.
+	FlagRouted
+)
+
+// MaxBatch bounds the query count of one frame; larger counts are
+// rejected on both encode and decode before any allocation.
+const MaxBatch = 8192
+
+// maxFrame bounds a frame payload; larger length prefixes are rejected
+// before any allocation.
+const maxFrame = 1 << 24
+
+const (
+	querySlotBytes  = 10
+	answerSlotBytes = 16
+	headerBytes     = 2 // formatVersion + kind
+)
+
+// Query is one route query slot.
+type Query struct {
+	// Kind is QueryDest, QueryPrefix or QueryAddr.
+	Kind byte
+	// From is the querying node.
+	From int32
+	// Arg is the destination node, prefix address or lookup address.
+	Arg uint32
+	// PLen is the prefix length (QueryPrefix only).
+	PLen uint8
+}
+
+// Answer is one route answer slot. Next hops live in the response's
+// shared pool segment as the span [NhOff, NhOff+NhLen).
+type Answer struct {
+	// Flags holds FlagMatched/FlagRouted.
+	Flags uint8
+	// MatchLen is the matched prefix length (prefix/addr queries).
+	MatchLen uint8
+	// NhLen is the ECMP next-hop count.
+	NhLen uint16
+	// Dest is the resolved destination node (-1 when unmatched).
+	Dest int32
+	// W is the engine weight index at the queried node (valid when
+	// FlagRouted; pair with the snapshot's weight naming to render).
+	W int32
+	// NhOff is the answer's offset into the shared pool segment.
+	NhOff uint32
+}
+
+// Matched reports the FlagMatched bit.
+func (a Answer) Matched() bool { return a.Flags&FlagMatched != 0 }
+
+// Routed reports the FlagRouted bit.
+func (a Answer) Routed() bool { return a.Flags&FlagRouted != 0 }
+
+// beginFrame reserves the length prefix and writes the payload header.
+func beginFrame(dst []byte, kind byte) []byte {
+	dst = append(dst, 0, 0, 0, 0)
+	return append(dst, FormatVersion, kind)
+}
+
+// endFrame patches the length prefix for the payload written since
+// beginFrame (which left it at offset start) and appends the CRC.
+func endFrame(dst []byte, start int) []byte {
+	payload := dst[start+4:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// AppendQueryRequest appends one framed query request to dst and
+// returns the extended buffer. It fails only on oversized batches.
+func AppendQueryRequest(dst []byte, qs []Query) ([]byte, error) {
+	if len(qs) > MaxBatch {
+		return dst, fmt.Errorf("wire: batch of %d queries exceeds limit %d", len(qs), MaxBatch)
+	}
+	start := len(dst)
+	dst = beginFrame(dst, KindQuery)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(qs)))
+	for i := range qs {
+		q := &qs[i]
+		dst = append(dst, q.Kind)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(q.From))
+		dst = binary.LittleEndian.AppendUint32(dst, q.Arg)
+		dst = append(dst, q.PLen)
+	}
+	return endFrame(dst, start), nil
+}
+
+// AppendAnswerResponse appends one framed answer response to dst and
+// returns the extended buffer. pool is the shared next-hop segment the
+// answers' (NhOff, NhLen) spans index.
+func AppendAnswerResponse(dst []byte, version uint64, as []Answer, pool []int32) ([]byte, error) {
+	if len(as) > MaxBatch {
+		return dst, fmt.Errorf("wire: batch of %d answers exceeds limit %d", len(as), MaxBatch)
+	}
+	start := len(dst)
+	dst = beginFrame(dst, KindAnswer)
+	dst = binary.LittleEndian.AppendUint64(dst, version)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(as)))
+	for i := range as {
+		a := &as[i]
+		dst = append(dst, a.Flags, a.MatchLen)
+		dst = binary.LittleEndian.AppendUint16(dst, a.NhLen)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(a.Dest))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(a.W))
+		dst = binary.LittleEndian.AppendUint32(dst, a.NhOff)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pool)))
+	for _, v := range pool {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	return endFrame(dst, start), nil
+}
+
+// openFrame validates the outer frame (length prefix, CRC, format
+// version, kind) and returns the payload body.
+func openFrame(data []byte, wantKind byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("wire: frame shorter than its length prefix")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, maxFrame)
+	}
+	if uint64(len(data)) != 4+uint64(n)+4 {
+		return nil, fmt.Errorf("wire: frame payload %d does not match %d input bytes", n, len(data))
+	}
+	payload := data[4 : 4+n]
+	if crc := binary.LittleEndian.Uint32(data[4+n:]); crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("wire: frame CRC mismatch")
+	}
+	if len(payload) < headerBytes {
+		return nil, fmt.Errorf("wire: frame payload shorter than its header")
+	}
+	if payload[0] != FormatVersion {
+		return nil, fmt.Errorf("wire: unsupported format version %d (want %d)", payload[0], FormatVersion)
+	}
+	if payload[1] != wantKind {
+		return nil, fmt.Errorf("wire: frame kind %d, want %d", payload[1], wantKind)
+	}
+	return payload[headerBytes:], nil
+}
+
+// DecodeQueryRequest decodes one framed query request, appending the
+// queries to qs (pass a reused qs[:0] for an allocation-free decode
+// once the scratch has grown). Any input either decodes or errors —
+// never panics, never allocates beyond what the input length warrants.
+func DecodeQueryRequest(data []byte, qs []Query) ([]Query, error) {
+	body, err := openFrame(data, KindQuery)
+	if err != nil {
+		return qs, err
+	}
+	if len(body) < 4 {
+		return qs, fmt.Errorf("wire: query body shorter than its count")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	if n > MaxBatch {
+		return qs, fmt.Errorf("wire: batch of %d queries exceeds limit %d", n, MaxBatch)
+	}
+	if len(body) != n*querySlotBytes {
+		return qs, fmt.Errorf("wire: %d query slots need %d bytes, have %d", n, n*querySlotBytes, len(body))
+	}
+	for i := 0; i < n; i++ {
+		s := body[i*querySlotBytes:]
+		k := s[0]
+		if k > QueryAddr {
+			return qs, fmt.Errorf("wire: query %d has unknown kind %d", i, k)
+		}
+		plen := s[9]
+		if plen > 32 {
+			return qs, fmt.Errorf("wire: query %d prefix length %d > 32", i, plen)
+		}
+		qs = append(qs, Query{
+			Kind: k,
+			From: int32(binary.LittleEndian.Uint32(s[1:])),
+			Arg:  binary.LittleEndian.Uint32(s[5:]),
+			PLen: plen,
+		})
+	}
+	return qs, nil
+}
+
+// DecodeAnswerResponse decodes one framed answer response, appending
+// the answers to as and the shared next-hop segment to pool (pass
+// reused slices for allocation-free decodes). The same no-panic,
+// bounded-allocation contract as DecodeQueryRequest applies.
+func DecodeAnswerResponse(data []byte, as []Answer, pool []int32) (version uint64, _ []Answer, _ []int32, err error) {
+	body, err := openFrame(data, KindAnswer)
+	if err != nil {
+		return 0, as, pool, err
+	}
+	if len(body) < 12 {
+		return 0, as, pool, fmt.Errorf("wire: answer body shorter than its header")
+	}
+	version = binary.LittleEndian.Uint64(body)
+	n := int(binary.LittleEndian.Uint32(body[8:]))
+	body = body[12:]
+	if n > MaxBatch {
+		return 0, as, pool, fmt.Errorf("wire: batch of %d answers exceeds limit %d", n, MaxBatch)
+	}
+	if len(body) < n*answerSlotBytes+4 {
+		return 0, as, pool, fmt.Errorf("wire: %d answer slots need %d bytes, have %d",
+			n, n*answerSlotBytes+4, len(body))
+	}
+	poolBase := len(pool)
+	poolLen := int(binary.LittleEndian.Uint32(body[n*answerSlotBytes:]))
+	poolBytes := body[n*answerSlotBytes+4:]
+	if len(poolBytes) != poolLen*4 {
+		return 0, as, pool, fmt.Errorf("wire: pool of %d entries needs %d bytes, have %d",
+			poolLen, poolLen*4, len(poolBytes))
+	}
+	for i := 0; i < n; i++ {
+		s := body[i*answerSlotBytes:]
+		a := Answer{
+			Flags:    s[0],
+			MatchLen: s[1],
+			NhLen:    binary.LittleEndian.Uint16(s[2:]),
+			Dest:     int32(binary.LittleEndian.Uint32(s[4:])),
+			W:        int32(binary.LittleEndian.Uint32(s[8:])),
+			NhOff:    binary.LittleEndian.Uint32(s[12:]),
+		}
+		if a.Flags&^(FlagMatched|FlagRouted) != 0 {
+			return 0, as, pool, fmt.Errorf("wire: answer %d has unknown flags %#x", i, a.Flags)
+		}
+		if a.MatchLen > 32 {
+			return 0, as, pool, fmt.Errorf("wire: answer %d match length %d > 32", i, a.MatchLen)
+		}
+		if int(a.NhOff)+int(a.NhLen) > poolLen {
+			return 0, as, pool, fmt.Errorf("wire: answer %d span [%d,%d) overruns pool of %d",
+				i, a.NhOff, int(a.NhOff)+int(a.NhLen), poolLen)
+		}
+		// Rebase spans onto the caller's (possibly pre-populated) pool
+		// slice so append-style reuse keeps them valid.
+		a.NhOff += uint32(poolBase)
+		as = append(as, a)
+	}
+	for i := 0; i < poolLen; i++ {
+		pool = append(pool, int32(binary.LittleEndian.Uint32(poolBytes[i*4:])))
+	}
+	return version, as, pool, nil
+}

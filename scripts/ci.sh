@@ -76,9 +76,27 @@ FOLLOWER_STATE=$(sed 's/role=follower//' /tmp/replica_follower.txt)
 test -n "$LEADER_STATE" && test "$LEADER_STATE" = "$FOLLOWER_STATE"
 rm -rf "$REPL_DIR"
 
+# Query-plane bench smoke: the paired single-JSON-vs-batched-binary
+# measurement must run end to end over live loopback HTTP, pass its
+# built-in differential (JSON batch elements byte-identical to single
+# replies, binary answers carrying the same facts), and emit a
+# well-formed report. The committed BENCH_query.json holds the real
+# numbers.
+go run ./cmd/mrserve -query-bench -random 24 -dests 4 \
+  -bench-queries 1024 -bench-rounds 2 -batch-size 64 \
+  -out /tmp/bench_query_smoke.json
+grep -q speedup /tmp/bench_query_smoke.json
+grep -q '"differential_ok": true' /tmp/bench_query_smoke.json
+
 # Allocs/op guard: the arena column build must stay allocation-flat
 # (TestColumnBuildAllocs fails if a build exceeds its small budget).
 go test -run='^TestColumnBuildAllocs$' -count=1 ./internal/rib/
+
+# Zero-alloc query-plane guards, under the race detector: the binary
+# batch resolution core and the wire codec must stay at zero
+# allocations with warm scratch.
+go test -race -run='^(TestResolveWireBatchAllocs|TestCodecAllocs)$' -count=1 \
+  ./internal/serve/ ./internal/serve/wire/
 
 # Fuzz smoke: a short live session per target so the fuzz harnesses
 # cannot bit-rot (go test accepts one -fuzz target per invocation; the
@@ -88,6 +106,7 @@ go test -run='^$' -fuzz='^FuzzEventHandler$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzRouteHandlerV1$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzEventsHandlerV1$' -fuzztime=10s ./internal/serve/
 go test -run='^$' -fuzz='^FuzzDecodeRecord$' -fuzztime=10s ./internal/replica/
+go test -run='^$' -fuzz='^FuzzQueryWire$' -fuzztime=10s ./internal/serve/wire/
 
 # Simulator bench smoke: the serial-vs-parallel measurement must run end
 # to end at a small size and the parallel Outcome must stay bit-identical
