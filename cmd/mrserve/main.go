@@ -14,9 +14,11 @@
 //	mrserve -delta-bench -random 64 -dests 8 -out BENCH_delta.json
 //	mrserve -scale-bench -scale-nodes 1000,10000,100000 -out BENCH_scale.json
 //	mrserve -replica-bench -random 64 -dests 8 -out BENCH_replica.json
+//	mrserve -storm-bench -storm-nodes 1000,10000,100000 -out BENCH_storm.json
 //	mrserve -publish :8349 -log-dir /var/lib/mrserve        # leader
 //	mrserve -follow leader:8349                              # follower
 //	mrserve -follow file:/var/lib/mrserve/replica.log -oneshot
+//	mrserve -follow file:/var/lib/mrserve -oneshot           # whole log dir
 //
 // Endpoints (v1; the retired unversioned spellings answer 404 with a
 // successor-version Link header unless -legacy-api re-enables them as
@@ -67,15 +69,24 @@
 // -scale-bench measures the arena-flat RIB columns against the legacy
 // pointer tables (retained bytes per route entry, build time, LPM
 // differential) at increasing node counts and writes BENCH_scale.json.
+// -storm-bench measures paged copy-on-write columns against the flat
+// layout on paired toggle storms across a size × storm-width matrix
+// (-storm-nodes, -storm-arcs), flattening the paged snapshot after
+// every swap for a bit-identity differential, and writes
+// BENCH_storm.json.
 //
 // Replication: -publish ADDR streams binary snapshot/delta records to
 // connected followers over TCP, and -log-dir DIR appends the same
 // records to DIR/replica.log (either or both turn the leader's record
-// pipeline on). -follow HOST:PORT boots a read-only follower that
+// pipeline on); -log-max-bytes N rotates the live log to a numbered
+// segment once it passes N bytes, reseeding it with a fresh full
+// snapshot so the live file alone always replays to current state.
+// -follow HOST:PORT boots a read-only follower that
 // bootstraps from the leader's full snapshot, tails deltas, and serves
 // the same /v1/route, /v1/paths, /v1/prefixes, /v1/stats and
 // /v1/metrics endpoints lock-free (mutations answer 403 read_only);
-// -follow file:PATH replays a leader's log instead. Both roles honor
+// -follow file:PATH replays a leader's log instead (a directory
+// replays every rotated segment, then the live log, in order). Both roles honor
 // ?version=N read-your-version gating (404 version_behind with the
 // current version when the serving snapshot is older than N). -oneshot
 // prints "role=... version=... crc=..." after boot/replay and exits —
@@ -153,8 +164,13 @@ func main() {
 		scaleNodes = flag.String("scale-nodes", "1000,10000,100000", "scale-bench: comma-separated node counts")
 		scaleDests = flag.Int("scale-dests", 8, "scale-bench: originated destinations per point")
 
+		stormBench   = flag.Bool("storm-bench", false, "measure paged copy-on-write columns against flat arena columns on paired failure storms instead of serving")
+		stormNodes   = flag.String("storm-nodes", "1000,10000,100000", "storm-bench: comma-separated ScaleFree node counts")
+		stormArcsCSV = flag.String("storm-arcs", "4,32", "storm-bench: comma-separated storm widths (distinct arcs failed, then restored, per storm)")
+
 		publishAddr     = flag.String("publish", "", "leader: serve the replication record stream to followers on this TCP address")
 		logDir          = flag.String("log-dir", "", "leader: append every replication record to DIR/replica.log")
+		logMaxBytes     = flag.Int64("log-max-bytes", 0, "leader: rotate DIR/replica.log to a numbered segment once it passes this many bytes, reseeding the live log with a fresh full snapshot (0: never)")
 		follow          = flag.String("follow", "", "follower mode: subscribe to a leader at host:port, or replay a log with file:PATH")
 		replayStorm     = flag.Int("replay-storm", 0, "leader: apply this many deterministic random arc toggles after boot (CI smoke / log seeding)")
 		oneshot         = flag.Bool("oneshot", false, "print role, snapshot version and routing checksum, then exit instead of serving HTTP")
@@ -188,6 +204,10 @@ func main() {
 	}
 	if *scaleBench {
 		runScaleBench(*exprSrc, *scaleNodes, *seed, *scaleDests, *out)
+		return
+	}
+	if *stormBench {
+		runStormBench(*exprSrc, *stormNodes, *stormArcsCSV, *seed, *dests, *workers, *benchRounds, *out)
 		return
 	}
 	if *replicaBench {
@@ -231,6 +251,7 @@ func main() {
 			}
 		}
 		pub = replica.NewPublisher(func() (uint64, []byte, error) { return srv.EncodeFull() }, log)
+		pub.SetLogMaxBytes(*logMaxBytes)
 		defer pub.Close()
 		opts = append(opts, serve.WithReplication(pub))
 	}
@@ -436,14 +457,7 @@ func runScaleBench(exprSrc, nodeList string, seed int64, destCount int, out stri
 	if err != nil {
 		fatal(err)
 	}
-	var nodeCounts []int
-	for _, part := range strings.Split(nodeList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 2 {
-			fatal(fmt.Errorf("bad -scale-nodes entry %q", part))
-		}
-		nodeCounts = append(nodeCounts, n)
-	}
+	nodeCounts := parseIntList(nodeList, 2, "-scale-nodes")
 	origin := a.OT.DefaultOrigin()
 	eng := exec.For(a.OT, origin)
 	labels := 4
@@ -472,6 +486,77 @@ func runScaleBench(exprSrc, nodeList string, seed int64, destCount int, out stri
 		fmt.Fprintf(os.Stderr, "mrserve: wrote %s (n=%d: %.1f B/entry arena vs %.1f B/entry pointer, %.1f× smaller, LPM differential ok=%v)\n",
 			out, last.Nodes, last.ArenaBytesPerEntry, last.PointerBytesPerEntry, last.Ratio, last.LPMDifferentialOK)
 	}
+}
+
+// parseIntList splits a comma-separated integer flag, enforcing a
+// per-entry minimum.
+func parseIntList(list string, min int, flagName string) []int {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < min {
+			fatal(fmt.Errorf("bad %s entry %q", flagName, part))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// stormSuite is the BENCH_storm.json shape: one paged-vs-flat swap
+// measurement per (node count × storm width) pair.
+type stormSuite struct {
+	Expr   string               `json:"expr"`
+	Seed   int64                `json:"seed"`
+	Points []*serve.StormReport `json:"points"`
+}
+
+// runStormBench measures paged copy-on-write columns against the flat
+// arena baseline on paired failure storms over preferential-attachment
+// topologies at each node count × storm width, and writes
+// BENCH_storm.json. The algebra must license the warm-start delta path
+// (e.g. -expr 'lex(delay(32,3), hops(8))') — both servers run it, so
+// the pairing isolates the snapshot data-plane copy cost. The stderr
+// line per point is the CI smoke's grep target.
+func runStormBench(exprSrc, nodeList, arcList string, seed int64, destCount, workers, rounds int, out string) {
+	a, err := core.InferString(exprSrc)
+	if err != nil {
+		fatal(err)
+	}
+	nodeCounts := parseIntList(nodeList, 2, "-storm-nodes")
+	arcCounts := parseIntList(arcList, 1, "-storm-arcs")
+	origin := a.OT.DefaultOrigin()
+	labels := 4
+	if a.OT.F.Finite() {
+		labels = a.OT.F.Size()
+	}
+	suite := &stormSuite{Expr: exprSrc, Seed: seed}
+	for _, nodes := range nodeCounts {
+		for _, stormArcs := range arcCounts {
+			mk := func(paged bool) (*serve.Server, error) {
+				g := graph.ScaleFree(rand.New(rand.NewSource(seed)), nodes, 2, graph.UniformLabels(labels))
+				dc := destCount
+				if dc <= 0 || dc > g.N {
+					dc = g.N
+				}
+				origins := make(map[int]value.V, dc)
+				for i := 0; i < dc; i++ {
+					origins[i*g.N/dc] = origin
+				}
+				return serve.NewServer(serve.Config{Engine: exec.For(a.OT, origin), Graph: g, Origins: origins},
+					serve.WithWorkers(workers), serve.WithDeltaProps(a.Props), serve.WithPagedColumns(paged))
+			}
+			rep, err := serve.MeasureStorm(mk, stormArcs, rounds, seed)
+			if err != nil {
+				fatal(err)
+			}
+			suite.Points = append(suite.Points, rep)
+			fmt.Fprintf(os.Stderr,
+				"mrserve: storm n=%d arcs=%d: flat %.0fµs/swap vs paged %.0fµs/swap (%.1fx speedup), cloned %.2f%% of pages, differential-ok=%v\n",
+				rep.Nodes, rep.StormArcs, rep.FlatSwapUS, rep.PagedSwapUS, rep.SpeedupPaged,
+				100*rep.ClonedFraction, rep.DifferentialOK)
+		}
+	}
+	writeReport(suite, out)
 }
 
 // applyStorm replays n deterministic random toggles (each flips an

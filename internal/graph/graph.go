@@ -32,6 +32,13 @@ type Graph struct {
 	out [][]int // out[u] = indices into Arcs with From == u
 	in  [][]int // in[v] = indices into Arcs with To == v
 
+	// outOver/inOver, on views built by WithArcToggled/WithArcsToggled,
+	// overlay the shared base rows: a present key returns the overlay row,
+	// an absent key falls through to out/in. The maps are frozen at
+	// construction (views are immutable), so concurrent reads are safe.
+	outOver map[int][]int
+	inOver  map[int][]int
+
 	// base, for views built by MaskArcs/WithArcToggled, is the unmasked
 	// graph whose full adjacency rows seed copy-on-write row rebuilds.
 	base *Graph
@@ -110,7 +117,14 @@ func buildAdjacency(n int, arcs []Arc, disabled []bool) (out, in [][]int) {
 }
 
 // Out returns the indices (into Arcs) of arcs leaving u.
-func (g *Graph) Out(u int) []int { return g.out[u] }
+func (g *Graph) Out(u int) []int {
+	if g.outOver != nil {
+		if row, ok := g.outOver[u]; ok {
+			return row
+		}
+	}
+	return g.out[u]
+}
 
 // origin resolves the unmasked graph underlying a view (itself for a
 // plain graph).
@@ -136,19 +150,81 @@ func (g *Graph) MaskArcs(disabled []bool) *Graph {
 
 // WithArcToggled returns a copy-on-write successor of view g after arc
 // ai changed state: disabled must already reflect the new state of every
-// arc. Only the two adjacency rows touching the arc's endpoints are
-// rebuilt (from the unmasked base rows, filtered by disabled); all other
-// rows are shared with g, making a topology event O(N + deg) instead of
-// a full O(N + M) re-index. The receiver is left untouched.
+// arc, and g must reflect the pre-toggle state of the mask. Only the two
+// adjacency rows touching the arc's endpoints are rebuilt; every other
+// row is reached through the shared base arrays, making a topology event
+// O(active failures + deg) — no per-view copy of the N row headers.
+// The receiver is left untouched.
 func (g *Graph) WithArcToggled(ai int, disabled []bool) *Graph {
+	return g.WithArcsToggled([]int{ai}, disabled)
+}
+
+// WithArcsToggled is WithArcToggled for a batch. The view shares the
+// unmasked base adjacency arrays outright and carries a sparse overlay
+// holding exactly the rows that currently contain a disabled arc, so a
+// k-toggle storm costs O(overlay + Σdeg of the batch endpoints) — the
+// overlay is bounded by the number of live failures, not by N, and a
+// restored row's entry is dropped rather than stored. disabled must
+// already reflect the new state of every arc, and g must reflect the
+// pre-batch state of the mask (any view produced by this package under
+// that mask qualifies). The receiver is left untouched.
+func (g *Graph) WithArcsToggled(ais []int, disabled []bool) *Graph {
 	b := g.origin()
-	v := &Graph{N: g.N, Arcs: g.Arcs, base: b}
-	v.out = append([][]int(nil), g.out...)
-	v.in = append([][]int(nil), g.in...)
-	from, to := g.Arcs[ai].From, g.Arcs[ai].To
-	v.out[from] = filterRow(b.out[from], disabled)
-	v.in[to] = filterRow(b.in[to], disabled)
+	v := &Graph{N: b.N, Arcs: b.Arcs, out: b.out, in: b.in, base: b}
+	v.outOver = make(map[int][]int, len(g.outOver)+len(ais))
+	v.inOver = make(map[int][]int, len(g.inOver)+len(ais))
+	if g == b || g.outOver != nil {
+		// The parent already addresses the base arrays, so the rows that
+		// can differ from base under the new mask are the parent's overlay
+		// rows plus this batch's endpoint rows. Untouched overlay rows are
+		// still exact (only the batch's arcs changed state) and carry over
+		// by reference.
+		for u, row := range g.outOver {
+			v.outOver[u] = row
+		}
+		for u, row := range g.inOver {
+			v.inOver[u] = row
+		}
+		for _, ai := range ais {
+			// Refiltering a row twice when toggles share an endpoint is
+			// harmless (setRow is idempotent) and batches are small.
+			a := b.Arcs[ai]
+			setRow(v.outOver, a.From, b.out[a.From], disabled)
+			setRow(v.inOver, a.To, b.in[a.To], disabled)
+		}
+		return v
+	}
+	// The parent is a dense re-index (MaskArcs), whose rows don't alias
+	// the base arrays — rebuild the overlay from the mask itself: the
+	// rows differing from base are exactly the endpoint rows of every
+	// disabled arc. One O(M) mask sweep; later swaps chain off this
+	// view's overlay on the fast path above.
+	for i, down := range disabled {
+		if !down || i >= len(b.Arcs) {
+			continue
+		}
+		a := b.Arcs[i]
+		if _, ok := v.outOver[a.From]; !ok {
+			v.outOver[a.From] = filterRow(b.out[a.From], disabled)
+		}
+		if _, ok := v.inOver[a.To]; !ok {
+			v.inOver[a.To] = filterRow(b.in[a.To], disabled)
+		}
+	}
 	return v
+}
+
+// setRow installs the filtered base row into an overlay map, or deletes
+// the entry when no arc was filtered out — a fully restored row is
+// served from the shared base array again, which is what keeps overlay
+// size proportional to live failures instead of toggle history.
+func setRow(over map[int][]int, u int, full []int, disabled []bool) {
+	row := filterRow(full, disabled)
+	if len(row) == len(full) {
+		delete(over, u)
+		return
+	}
+	over[u] = row
 }
 
 // filterRow drops disabled arc indices from a full adjacency row.
@@ -164,7 +240,14 @@ func filterRow(row []int, disabled []bool) []int {
 }
 
 // In returns the indices (into Arcs) of arcs entering v.
-func (g *Graph) In(v int) []int { return g.in[v] }
+func (g *Graph) In(v int) []int {
+	if g.inOver != nil {
+		if row, ok := g.inOver[v]; ok {
+			return row
+		}
+	}
+	return g.in[v]
+}
 
 // RevCSR is a compressed-sparse-row reverse-adjacency index over the
 // unmasked arc set: In(v) lists the indices of every arc entering v, in
@@ -224,7 +307,7 @@ type Path []int
 func (g *Graph) ArcsOf(p Path) (idxs []int, ok bool) {
 	for i := 0; i+1 < len(p); i++ {
 		found := -1
-		for _, ai := range g.out[p[i]] {
+		for _, ai := range g.Out(p[i]) {
 			if g.Arcs[ai].To == p[i+1] {
 				found = ai
 				break
@@ -260,7 +343,7 @@ func (g *Graph) SimplePaths(src, dst, maxLen int) [][]int {
 			return
 		}
 		visited[u] = true
-		for _, ai := range g.out[u] {
+		for _, ai := range g.Out(u) {
 			v := g.Arcs[ai].To
 			if visited[v] {
 				continue
@@ -284,7 +367,7 @@ func (g *Graph) Reachable(dst int) []bool {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, ai := range g.in[v] {
+		for _, ai := range g.In(v) {
 			u := g.Arcs[ai].From
 			if !seen[u] {
 				seen[u] = true

@@ -309,6 +309,34 @@ func TestWithArcToggled(t *testing.T) {
 	}
 }
 
+// TestWithArcsToggled: the batched row rebuild must agree with a
+// from-scratch mask for toggle batches of every shape — disjoint arcs,
+// arcs sharing endpoints, and repeat toggles of the same arc — without
+// mutating prior views.
+func TestWithArcsToggled(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := Random(r, 4+r.Intn(8), 0.4, UniformLabels(3))
+		disabled := make([]bool, len(g.Arcs))
+		view := g.MaskArcs(disabled)
+		for step := 0; step < 15; step++ {
+			ais := make([]int, 1+r.Intn(6))
+			for i := range ais {
+				ais[i] = r.Intn(len(g.Arcs)) // duplicates allowed on purpose
+			}
+			prev := view
+			prevDisabled := make([]bool, len(disabled))
+			copy(prevDisabled, disabled)
+			for _, ai := range ais {
+				disabled[ai] = !disabled[ai]
+			}
+			view = view.WithArcsToggled(ais, disabled)
+			maskEqual(t, g, view, disabled)
+			maskEqual(t, g, prev, prevDisabled) // old snapshot intact
+		}
+	}
+}
+
 // TestRevCSR: the flat reverse index must agree with the per-node In
 // slices on random graphs, list arc indices in ascending order, and be
 // shared (same backing object) between a base graph and its masked

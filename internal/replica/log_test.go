@@ -56,6 +56,93 @@ func TestLogReopenAppends(t *testing.T) {
 	}
 }
 
+func TestLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	l.SetMaxBytes(1)
+	if l.RotateDue() {
+		t.Fatal("empty log reports rotation due")
+	}
+	full, delta := EncodeFull(testFull()), EncodeDelta(testDelta())
+	if err := l.Append(full); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Append(delta); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if !l.RotateDue() {
+		t.Fatal("over-cap log not due for rotation")
+	}
+	// The caller (the leader) seeds the fresh segment with a full
+	// checkpoint of the version the stream has reached.
+	if err := l.Rotate(8, full); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if err := l.Append(delta); err != nil {
+		t.Fatalf("append after rotate: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatalf("Segments: %v", err)
+	}
+	want := []string{filepath.Join(dir, segmentName(0)), filepath.Join(dir, LogName)}
+	if len(segs) != 2 || segs[0] != want[0] || segs[1] != want[1] {
+		t.Fatalf("segments = %v, want %v", segs, want)
+	}
+	// Directory replay crosses the boundary seamlessly: both segments'
+	// records arrive in order, the checkpoint included.
+	var versions []uint64
+	if err := ReplayLog(dir, func(r *Record) error {
+		versions = append(versions, r.Version())
+		return nil
+	}); err != nil {
+		t.Fatalf("replay dir: %v", err)
+	}
+	if len(versions) != 4 || versions[0] != 7 || versions[1] != 8 || versions[2] != 7 || versions[3] != 8 {
+		t.Fatalf("replayed versions %v, want [7 8 7 8]", versions)
+	}
+	// The live file alone is self-contained: it opens with the full
+	// checkpoint.
+	n := 0
+	first := uint64(0)
+	if err := ReplayLog(filepath.Join(dir, LogName), func(r *Record) error {
+		if n == 0 {
+			first = r.Version()
+			if r.Kind != KindFull {
+				t.Fatalf("live log opens with kind %d, want full checkpoint", r.Kind)
+			}
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatalf("replay live: %v", err)
+	}
+	if n != 2 || first != 7 {
+		t.Fatalf("live log: %d records starting at v%d, want 2 from v7", n, first)
+	}
+
+	// A reopened log resumes segment numbering past what exists.
+	l2, err := OpenLog(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	l2.SetMaxBytes(1)
+	if err := l2.Rotate(9, full); err != nil {
+		t.Fatalf("rotate after reopen: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentName(1))); err != nil {
+		t.Fatalf("second rotation did not produce segment 1: %v", err)
+	}
+}
+
 func TestReplayToleratesTruncatedTail(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := OpenLog(dir)

@@ -88,6 +88,32 @@ func (p *Publisher) PublishRecord(version uint64, frame []byte) error {
 	return logErr
 }
 
+// SetLogMaxBytes arms size-based rotation on the publisher's on-disk
+// log (a no-op without one): once the live replica.log passes n bytes
+// the leader retires it to a numbered segment and reseeds the fresh
+// file with a full checkpoint. n ≤ 0 disables rotation.
+func (p *Publisher) SetLogMaxBytes(n int64) {
+	if p.log != nil {
+		p.log.SetMaxBytes(n)
+	}
+}
+
+// RotateDue implements the serve package's log-rotation surface: true
+// when the on-disk log has outgrown its armed byte cap.
+func (p *Publisher) RotateDue() bool {
+	return p.log != nil && p.log.RotateDue()
+}
+
+// RotateLog retires the live log segment, seeding its successor with
+// the provided full-snapshot frame. Called by the leader under its
+// writer lock, like PublishRecord.
+func (p *Publisher) RotateLog(version uint64, full []byte) error {
+	if p.log == nil {
+		return nil
+	}
+	return p.log.Rotate(version, full)
+}
+
 // Head returns the newest published version.
 func (p *Publisher) Head() uint64 {
 	p.mu.Lock()

@@ -45,6 +45,7 @@ func ApplyFull(f *Full) (*State, error) {
 		if _, dup := st.Cols[c.Dest]; dup {
 			return nil, fmt.Errorf("replica: duplicate column for destination %d", c.Dest)
 		}
+		c.Normalize()
 		st.Cols[c.Dest] = c
 	}
 	return st, nil
@@ -104,6 +105,7 @@ func ApplyDelta(cur *State, d *Delta) (*State, error) {
 		if _, known := cur.Cols[c.Dest]; !known {
 			return nil, fmt.Errorf("replica: scratch column for unknown destination %d", c.Dest)
 		}
+		c.Normalize()
 		st.Cols[c.Dest] = c
 	}
 	for i := range d.Diffs {
@@ -153,6 +155,7 @@ func applyDiff(prev *rib.Column, diff *ColumnDiff, nodes int) (*rib.Column, erro
 	if next != len(diff.Changes) {
 		return nil, fmt.Errorf("replica: diff for destination %d has change node %d out of range [0,%d)", diff.Dest, diff.Changes[next].Node, nodes)
 	}
+	c.Normalize()
 	return c, nil
 }
 

@@ -47,8 +47,10 @@ func TestApplyDeltaMergesDiff(t *testing.T) {
 	if !next.Disabled[5] || next.Disabled[1] {
 		t.Fatalf("disabled mask not toggled: %v", next.Disabled)
 	}
-	// Scratch replaced column 0 wholesale.
+	// Scratch replaced column 0 wholesale (adopted columns are
+	// normalized, so the expectation is too).
 	want0 := mkColumn(0, true, [][]int32{{0}, nil, {3, 0, 3}, {1, 0}})
+	want0.Normalize()
 	if !reflect.DeepEqual(next.Cols[0], want0) {
 		t.Fatalf("scratch column:\n got %+v\nwant %+v", next.Cols[0], want0)
 	}
@@ -56,6 +58,7 @@ func TestApplyDeltaMergesDiff(t *testing.T) {
 	// unrouted (it already was), nodes 1 and 3 transplant, and the pool
 	// is rebuilt in canonical order — byte-identical to a fresh build.
 	want3 := mkColumn(3, true, [][]int32{{3, 1, 2}, {2, 3}, nil, {0}})
+	want3.Normalize()
 	if !reflect.DeepEqual(next.Cols[3], want3) {
 		t.Fatalf("diffed column:\n got %+v\nwant %+v", next.Cols[3], want3)
 	}

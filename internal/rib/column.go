@@ -43,10 +43,21 @@ type Column struct {
 	Dest int
 	// Converged reports whether the solver run reached a fixpoint.
 	Converged bool
+	// Clean is the verified clean-forwarding-tree certificate: every
+	// routed slot's primary next-hop chain reaches Dest. Solver-built
+	// columns carry a verified verdict; adapters and decoders leave it
+	// false (conservative — the next delta then takes the dense path).
+	Clean bool
 	// Slots[u] is node u's route; len(Slots) == g.N.
 	Slots []EntrySlot
 	// Pool is the next-hop arena all slots index into.
 	Pool []int32
+
+	// live caches the routed-slot count when liveOK (set by builders,
+	// which count during their single pass); decoded columns fall back
+	// to a scan.
+	live   int
+	liveOK bool
 }
 
 // Bytes returns the column's arena footprint in bytes (slot and pool
@@ -57,6 +68,9 @@ func (c *Column) Bytes() int {
 
 // Live returns the number of routed slots.
 func (c *Column) Live() int {
+	if c.liveOK {
+		return c.live
+	}
 	n := 0
 	for i := range c.Slots {
 		if c.Slots[i].Routed {
@@ -64,6 +78,85 @@ func (c *Column) Live() int {
 		}
 	}
 	return n
+}
+
+// DestNode, NumNodes, IsConverged, IsClean and Flatten adapt the flat
+// column to the Col interface (field names already take the direct
+// spellings). Flatten is the identity — a flat column is its own
+// canonical form.
+func (c *Column) DestNode() int     { return c.Dest }
+func (c *Column) NumNodes() int     { return len(c.Slots) }
+func (c *Column) IsConverged() bool { return c.Converged }
+func (c *Column) IsClean() bool     { return c.Clean }
+func (c *Column) Flatten() *Column  { return c }
+
+// Normalize recomputes the metadata a column's routing content fully
+// determines — the cached live count and the Clean certificate — from
+// the slots alone. Replication followers call it on every decoded or
+// patched column: the leader's values are pure functions of the same
+// content (the delta solver's touched-restricted verification accepts
+// exactly the columns whose full forwarding tree is clean), so a
+// normalized follower column matches the leader's bit for bit,
+// metadata included.
+func (c *Column) Normalize() {
+	c.live = 0
+	for i := range c.Slots {
+		if c.Slots[i].Routed {
+			c.live++
+		}
+	}
+	c.liveOK = true
+	c.Clean = c.Converged && c.treeClean()
+}
+
+// treeClean walks every routed slot's primary next-hop chain with
+// memoized verification, failing on cycles, chains stepping to
+// unrouted nodes, and routed non-destination slots with no next hop.
+func (c *Column) treeClean() bool {
+	n := len(c.Slots)
+	if c.Dest < 0 || c.Dest >= n || !c.Slots[c.Dest].Routed {
+		return false
+	}
+	// 0 unvisited, 1 on the current chain, 2 verified.
+	state := make([]uint8, n)
+	state[c.Dest] = 2
+	var chain []int32
+	for u := 0; u < n; u++ {
+		if state[u] != 0 || !c.Slots[u].Routed {
+			continue
+		}
+		chain = chain[:0]
+		v := u
+		for state[v] == 0 {
+			s := &c.Slots[v]
+			if !s.Routed || s.NhLen == 0 {
+				return false
+			}
+			state[v] = 1
+			chain = append(chain, int32(v))
+			nh := c.Pool[s.NhOff]
+			if nh < 0 || int(nh) >= n {
+				return false
+			}
+			v = int(nh)
+		}
+		if state[v] == 1 {
+			return false // cycle
+		}
+		for _, x := range chain {
+			state[x] = 2
+		}
+	}
+	return true
+}
+
+// Route returns node u's selected weight index (ok=false when unrouted
+// or out of range) — the index-form point read the batch resolver uses.
+func (c *Column) Route(u int) (int32, bool) {
+	if u < 0 || u >= len(c.Slots) || !c.Slots[u].Routed {
+		return 0, false
+	}
+	return c.Slots[u].W, true
 }
 
 // NextHops returns node u's ECMP next-hop view (aliasing the pool;
@@ -150,29 +243,23 @@ func BuildDestColumn(eng exec.Algebra, g *graph.Graph, dest int, origin value.V,
 	}
 	raw := ws.BellmanFordRaw(eng, g, dest, origin, 0)
 	c := &Column{Dest: dest, Converged: raw.Converged, Slots: make([]EntrySlot, g.N)}
+	c.Clean = raw.Converged && ws.VerifyForwardTree(raw)
 	c.Pool = make([]int32, 0, g.N)
 	for u := 0; u < g.N; u++ {
 		fillSlot(eng, g, raw.Routed, raw.W, raw.NextHop, dest, u, c)
 	}
+	c.liveOK = true
 	return c, nil
 }
 
-// fillSlot writes node u's slot from index-form solver state, appending
-// its ECMP set to the column pool. The ECMP scan mirrors
-// entryFromResult exactly — primary next hop first, then every other
-// routed out-neighbour whose arc extension is order-equivalent — so
-// arena and pointer columns stay bit-identical.
-func fillSlot(eng exec.Algebra, g *graph.Graph, routed []bool, w []int32, nextHop []int, dest, u int, c *Column) {
-	if !routed[u] {
-		c.Slots[u] = EntrySlot{}
-		return
-	}
-	s := EntrySlot{W: w[u], Routed: true, NhOff: int32(len(c.Pool))}
-	if u == dest {
-		c.Slots[u] = s
-		return
-	}
-	c.Pool = append(c.Pool, int32(nextHop[u]))
+// appendNextHopSet appends node u's ECMP next-hop set (primary first,
+// then every other routed out-neighbour whose arc extension is
+// order-equivalent to the selected weight) to pool. It is the one ECMP
+// scan both column layouts share, mirroring entryFromResult exactly, so
+// flat, paged and pointer columns stay bit-identical by construction.
+// u must be routed and must not be the destination.
+func appendNextHopSet(eng exec.Algebra, g *graph.Graph, routed []bool, w []int32, nextHop []int, u int, pool []int32) []int32 {
+	pool = append(pool, int32(nextHop[u]))
 	best := w[u]
 	for _, ai := range g.Out(u) {
 		v := g.Arcs[ai].To
@@ -180,9 +267,26 @@ func fillSlot(eng exec.Algebra, g *graph.Graph, routed []bool, w []int32, nextHo
 			continue
 		}
 		if eng.Equiv(eng.Apply(g.Arcs[ai].Label, w[v]), best) {
-			c.Pool = append(c.Pool, int32(v))
+			pool = append(pool, int32(v))
 		}
 	}
+	return pool
+}
+
+// fillSlot writes node u's slot from index-form solver state, appending
+// its ECMP set to the column pool and maintaining the live-count cache.
+func fillSlot(eng exec.Algebra, g *graph.Graph, routed []bool, w []int32, nextHop []int, dest, u int, c *Column) {
+	if !routed[u] {
+		c.Slots[u] = EntrySlot{}
+		return
+	}
+	s := EntrySlot{W: w[u], Routed: true, NhOff: int32(len(c.Pool))}
+	c.live++
+	if u == dest {
+		c.Slots[u] = s
+		return
+	}
+	c.Pool = appendNextHopSet(eng, g, routed, w, nextHop, u, c.Pool)
 	s.NhLen = int32(len(c.Pool)) - s.NhOff
 	c.Slots[u] = s
 }
@@ -216,33 +320,27 @@ func DeltaDestColumn(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int
 		}
 		return true, s.W, int(prev.Pool[s.NhOff])
 	}
-	raw, st := ws.BellmanFordDeltaRaw(eng, g, disabled, dest, origin, warm, toggles, 0)
-	c := &Column{Dest: dest, Converged: raw.Converged, Slots: make([]EntrySlot, g.N)}
+	raw, st := ws.BellmanFordDeltaRaw(eng, g, disabled, dest, origin, warm, prev.Clean, toggles, 0)
+	c := &Column{Dest: dest, Converged: raw.Converged, Clean: st.Clean, Slots: make([]EntrySlot, g.N)}
 	if !st.UsedDelta {
 		c.Pool = make([]int32, 0, g.N)
 		for u := 0; u < g.N; u++ {
 			fillSlot(eng, g, raw.Routed, raw.W, raw.NextHop, dest, u, c)
 		}
+		c.liveOK = true
 		return c, st, nil
 	}
 	// Delta path: rebuild only touched nodes and toggle tails; every
 	// other node's route did not move, so its slot is copied and its
 	// next-hop span transplanted verbatim. The pool is rebuilt (offsets
 	// shift) but the spans' contents are identical to a from-scratch
-	// build, by the same argument as DeltaDestEngine.
-	redo := make(map[int]bool, len(st.Touched)+len(toggles))
-	for _, u := range st.Touched {
-		redo[u] = true
-	}
-	for _, t := range toggles {
-		x := g.Arcs[t.Arc].From
-		if x != dest {
-			redo[x] = true
-		}
-	}
+	// build, by the same argument as DeltaDestEngine. The redo set is
+	// the workspace's reusable epoch bitmap — the only allocations left
+	// on this path are the column itself.
+	markRedo(ws, g, st.Touched, toggles, dest)
 	c.Pool = make([]int32, 0, len(prev.Pool)+8)
 	for u := 0; u < g.N; u++ {
-		if redo[u] {
+		if ws.Marked(u) {
 			fillSlot(eng, g, raw.Routed, raw.W, raw.NextHop, dest, u, c)
 			continue
 		}
@@ -254,8 +352,26 @@ func DeltaDestColumn(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int
 		ns := EntrySlot{W: s.W, Routed: true, NhOff: int32(len(c.Pool)), NhLen: s.NhLen}
 		c.Pool = append(c.Pool, prev.Pool[s.NhOff:s.NhOff+s.NhLen]...)
 		c.Slots[u] = ns
+		c.live++
 	}
+	c.liveOK = true
 	return c, st, nil
+}
+
+// markRedo loads the delta rebuild's redo set — touched nodes plus
+// toggle tails — into the workspace's reusable epoch bitmap. The raw
+// solver state is valid at exactly these nodes on the sparse path, and
+// their ECMP scans read only state the drain materialized.
+func markRedo(ws *solve.Workspace, g *graph.Graph, touched []int, toggles []solve.ArcToggle, dest int) {
+	ws.ResetMarks(g.N)
+	for _, u := range touched {
+		ws.Mark(u)
+	}
+	for _, t := range toggles {
+		if x := g.Arcs[t.Arc].From; x != dest {
+			ws.Mark(x)
+		}
+	}
 }
 
 // ColumnFromEntries converts a legacy pointer column into arena form,
@@ -277,6 +393,8 @@ func ColumnFromEntries(eng exec.Algebra, dest int, entries []*Entry, converged b
 			c.Pool = append(c.Pool, int32(v))
 		}
 		c.Slots[u] = s
+		c.live++
 	}
+	c.liveOK = true
 	return c, nil
 }

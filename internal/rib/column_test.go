@@ -203,7 +203,7 @@ func TestColumnFootprint(t *testing.T) {
 		t.Fatal(err)
 	}
 	rb2 := FromEntries(eng, g, map[int][]*Entry{0: entries})
-	columnMatchesEntries(t, eng, rb2.Column(0), entries, "FromEntries")
+	columnMatchesEntries(t, eng, rb2.Column(0).(*Column), entries, "FromEntries")
 }
 
 // TestColumnBuildAllocs is the pointer-chasing regression guard: a

@@ -1,0 +1,412 @@
+package rib
+
+import (
+	"fmt"
+
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/solve"
+	"metarouting/internal/value"
+)
+
+// This file holds the paged copy-on-write route column: the O(frontier)
+// replacement for rebuilding a flat Column on every delta swap. Slots
+// and their ECMP pool live in fixed-size pages behind a small page
+// table; a delta rebuild clones only the pages containing touched slots
+// or toggle tails and shares every other page by pointer with the
+// previous snapshot, so a 4-node frontier on a 100k-node column copies
+// a handful of kilobytes instead of megabytes.
+//
+// The copy-on-write ownership rule: a published page is immutable.
+// Builders mutate only pages they freshly allocated within the current
+// rebuild; once a PagedColumn is handed to a snapshot, every page in it
+// is frozen and may be aliased by any number of later columns. Sharing
+// is sound because page content is a pure function of its own nodes'
+// routes: each page carries its own pool with page-relative offsets,
+// slots are laid ascending and spans appended in slot order (the same
+// canonical layout the flat builder uses globally), so two columns
+// agreeing on a page's routes agree on the page's bytes — and Flatten
+// (concatenating pages in order, rebasing offsets) reproduces the flat
+// BuildDestColumn layout bit-identically.
+
+// PageShift sets the page size: 1<<PageShift slots per page. 64 slots
+// (1 KiB of EntrySlots plus the page's ECMP pool) keeps the
+// cloned-fraction of scattered small frontiers low at 100k nodes
+// (~1.6k pages) while the page-table copy per delta stays a few KiB.
+const PageShift = 6
+
+// PageSize is the number of slots per page; PageMask extracts the
+// in-page slot index.
+const (
+	PageSize = 1 << PageShift
+	PageMask = PageSize - 1
+)
+
+// ColumnPage is one fixed-size run of PageSize consecutive nodes'
+// slots, with its own next-hop pool. Slot NhOff values are
+// page-relative. The trailing slots of the last page (beyond the node
+// count) stay zero.
+type ColumnPage struct {
+	Slots [PageSize]EntrySlot
+	Pool  []int32
+	// Live counts routed slots in this page, so column-level stats are
+	// O(pages) instead of a full slot scan.
+	Live int32
+}
+
+// bytes is the page's arena footprint (slot array + pool backing).
+func (p *ColumnPage) bytes() int {
+	return PageSize*entrySlotBytes + len(p.Pool)*4
+}
+
+// PagedColumn is one destination's route column in paged
+// copy-on-write form. It implements Col; readers address slots through
+// the page table, writers exist only inside BuildDestPaged and
+// DeltaDestPaged.
+type PagedColumn struct {
+	// Dest is the destination node anchoring the column; N the node
+	// count (len(Pages) == ceil(N/PageSize)).
+	Dest int
+	N    int
+	// Converged and Clean mirror Column.
+	Converged bool
+	Clean     bool
+	// Pages is the page table. Pages may be shared by pointer with
+	// other columns; see the ownership rule above.
+	Pages []*ColumnPage
+
+	// arenaBytes/live cache the column-wide footprint and routed-slot
+	// totals at construction (a delta rebuild adjusts the previous
+	// column's totals by its cloned pages only), so the per-swap
+	// snapshot stats stay O(1) per column instead of O(pages).
+	arenaBytes int
+	live       int
+}
+
+// PageStats reports a paged delta rebuild's copy-on-write outcome.
+type PageStats struct {
+	// Cloned counts pages rebuilt for this column; Shared counts pages
+	// aliased from the previous column.
+	Cloned, Shared int
+	// DirtyPages lists the cloned page indices, ascending. The slice is
+	// freshly allocated (it outlives the workspace scratch) — the serve
+	// layer turns it straight into replication wire-patch hints.
+	DirtyPages []int32
+}
+
+// numPages returns the page count covering n nodes.
+func numPages(n int) int { return (n + PageSize - 1) >> PageShift }
+
+// DestNode, NumNodes, IsConverged and IsClean adapt to Col.
+func (c *PagedColumn) DestNode() int     { return c.Dest }
+func (c *PagedColumn) NumNodes() int     { return c.N }
+func (c *PagedColumn) IsConverged() bool { return c.Converged }
+func (c *PagedColumn) IsClean() bool     { return c.Clean }
+
+// Route returns node u's selected weight index (ok=false when unrouted
+// or out of range).
+func (c *PagedColumn) Route(u int) (int32, bool) {
+	if u < 0 || u >= c.N {
+		return 0, false
+	}
+	s := &c.Pages[u>>PageShift].Slots[u&PageMask]
+	if !s.Routed {
+		return 0, false
+	}
+	return s.W, true
+}
+
+// NextHops returns node u's ECMP next-hop view (aliasing the page pool;
+// read-only, primary first). Nil when unrouted or at the destination.
+func (c *PagedColumn) NextHops(u int) []int32 {
+	if u < 0 || u >= c.N {
+		return nil
+	}
+	p := c.Pages[u>>PageShift]
+	s := p.Slots[u&PageMask]
+	if !s.Routed || s.NhLen == 0 {
+		return nil
+	}
+	return p.Pool[s.NhOff : s.NhOff+s.NhLen : s.NhOff+s.NhLen]
+}
+
+// AppendNextHops appends node u's ECMP span to dst — the batched query
+// plane's copy-out entry point, allocation-free past dst's capacity.
+func (c *PagedColumn) AppendNextHops(dst []int32, u int) []int32 {
+	if u < 0 || u >= c.N {
+		return dst
+	}
+	p := c.Pages[u>>PageShift]
+	s := p.Slots[u&PageMask]
+	if !s.Routed {
+		return dst
+	}
+	return append(dst, p.Pool[s.NhOff:s.NhOff+s.NhLen]...)
+}
+
+// Forward resolves the forwarding path from a node to the column's
+// destination following primary next hops; it fails on missing routes
+// and forwarding loops, mirroring Column.Forward.
+func (c *PagedColumn) Forward(from int) (graph.Path, error) {
+	if from < 0 || from >= c.N {
+		return nil, fmt.Errorf("rib: node %d out of range [0,%d)", from, c.N)
+	}
+	var path graph.Path
+	seen := make([]bool, c.N)
+	u := from
+	for {
+		p := c.Pages[u>>PageShift]
+		s := p.Slots[u&PageMask]
+		if !s.Routed {
+			return nil, fmt.Errorf("rib: node %d has no route to %d", u, c.Dest)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("rib: forwarding loop at node %d toward %d", u, c.Dest)
+		}
+		seen[u] = true
+		path = append(path, u)
+		if u == c.Dest {
+			return path, nil
+		}
+		u = int(p.Pool[s.NhOff])
+	}
+}
+
+// Entry materializes node u's legacy *Entry view (nil when unrouted).
+func (c *PagedColumn) Entry(eng exec.Algebra, u int) *Entry {
+	w, ok := c.Route(u)
+	if !ok {
+		return nil
+	}
+	e := &Entry{Weight: eng.Value(w)}
+	for _, v := range c.NextHops(u) {
+		e.NextHops = append(e.NextHops, int(v))
+	}
+	return e
+}
+
+// Bytes returns the column's arena footprint, cached at construction.
+// Shared pages are counted in full — this reports the bytes a reader
+// can reach, not the marginal cost of this generation.
+func (c *PagedColumn) Bytes() int { return c.arenaBytes }
+
+// Live returns the number of routed slots, cached at construction.
+func (c *PagedColumn) Live() int { return c.live }
+
+// resum recomputes the cached totals with one pass over the page table
+// — the scratch-build path; delta rebuilds adjust incrementally.
+func (c *PagedColumn) resum() {
+	c.arenaBytes, c.live = 0, 0
+	for _, p := range c.Pages {
+		c.arenaBytes += p.bytes()
+		c.live += int(p.Live)
+	}
+}
+
+// Flatten re-lays the column into flat arena form: pages concatenated
+// in order with pool offsets rebased. Because both layouts use the same
+// canonical order (slots ascending, spans appended in slot order), the
+// result is bit-identical to BuildDestColumn on the same routes — the
+// replication encoder and checksums consume this form.
+func (c *PagedColumn) Flatten() *Column {
+	poolLen := 0
+	for _, p := range c.Pages {
+		poolLen += len(p.Pool)
+	}
+	f := &Column{
+		Dest:      c.Dest,
+		Converged: c.Converged,
+		Clean:     c.Clean,
+		Slots:     make([]EntrySlot, c.N),
+		Pool:      make([]int32, 0, poolLen),
+	}
+	for pi, p := range c.Pages {
+		base := pi << PageShift
+		lim := PageSize
+		if base+lim > c.N {
+			lim = c.N - base
+		}
+		off := int32(len(f.Pool))
+		for i := 0; i < lim; i++ {
+			s := p.Slots[i]
+			if s.Routed {
+				s.NhOff += off
+				f.live++
+			}
+			f.Slots[base+i] = s
+		}
+		f.Pool = append(f.Pool, p.Pool...)
+	}
+	f.liveOK = true
+	return f
+}
+
+// fillPage rebuilds one page of a paged column from index-form solver
+// state: slots ascending, each routed non-destination slot's ECMP span
+// appended through the shared appendNextHopSet scan. redo, when
+// non-nil, restricts refills to marked nodes and transplants every
+// other slot (with its span) from the same page of prev — the
+// copy-on-write delta path, where solver state is only valid at marked
+// nodes.
+func fillPage(eng exec.Algebra, g *graph.Graph, raw solve.Raw, dest, pi int, prev *ColumnPage, redo *solve.Workspace) *ColumnPage {
+	np := &ColumnPage{}
+	base := pi << PageShift
+	lim := PageSize
+	if base+lim > g.N {
+		lim = g.N - base
+	}
+	if prev != nil {
+		np.Pool = make([]int32, 0, len(prev.Pool)+4)
+	} else {
+		np.Pool = make([]int32, 0, lim+4)
+	}
+	for i := 0; i < lim; i++ {
+		u := base + i
+		if redo != nil && !redo.Marked(u) {
+			s := prev.Slots[i]
+			if !s.Routed {
+				continue
+			}
+			ns := EntrySlot{W: s.W, Routed: true, NhOff: int32(len(np.Pool)), NhLen: s.NhLen}
+			np.Pool = append(np.Pool, prev.Pool[s.NhOff:s.NhOff+s.NhLen]...)
+			np.Slots[i] = ns
+			np.Live++
+			continue
+		}
+		if !raw.Routed[u] {
+			continue
+		}
+		s := EntrySlot{W: raw.W[u], Routed: true, NhOff: int32(len(np.Pool))}
+		if u != dest {
+			np.Pool = appendNextHopSet(eng, g, raw.Routed, raw.W, raw.NextHop, u, np.Pool)
+		}
+		s.NhLen = int32(len(np.Pool)) - s.NhOff
+		np.Slots[i] = s
+		np.Live++
+	}
+	return np
+}
+
+// pagesFromRaw builds a full page table from scratch solver state.
+func pagesFromRaw(eng exec.Algebra, g *graph.Graph, raw solve.Raw, dest int) []*ColumnPage {
+	pages := make([]*ColumnPage, numPages(g.N))
+	for pi := range pages {
+		pages[pi] = fillPage(eng, g, raw, dest, pi, nil, nil)
+	}
+	return pages
+}
+
+// BuildDestPaged computes the paged column for a single destination —
+// the paged counterpart of BuildDestColumn, sharing its solver run and
+// ECMP scan.
+func BuildDestPaged(eng exec.Algebra, g *graph.Graph, dest int, origin value.V, ws *solve.Workspace) (*PagedColumn, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, fmt.Errorf("rib: destination %d out of range", dest)
+	}
+	if ws == nil {
+		ws = solve.NewWorkspace()
+	}
+	raw := ws.BellmanFordRaw(eng, g, dest, origin, 0)
+	c := &PagedColumn{Dest: dest, N: g.N, Converged: raw.Converged}
+	c.Clean = raw.Converged && ws.VerifyForwardTree(raw)
+	c.Pages = pagesFromRaw(eng, g, raw, dest)
+	c.resum()
+	return c, nil
+}
+
+// DeltaDestPaged recomputes the paged column for a single destination
+// after the given arc toggles, warm-starting from prev — the
+// copy-on-write counterpart of DeltaDestColumn. When the delta drain
+// runs, only pages containing touched nodes or toggle tails are
+// rebuilt; every other page is shared with prev by pointer, so the
+// swap's data-plane cost is O(frontier), not O(N). On any fallback the
+// column is rebuilt from scratch (every page cloned). Either way the
+// result flattens bit-identically to BuildDestColumn on g.
+func DeltaDestPaged(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, origin value.V, ws *solve.Workspace, prev *PagedColumn, toggles []solve.ArcToggle) (*PagedColumn, solve.DeltaStats, PageStats, error) {
+	if dest < 0 || dest >= g.N {
+		return nil, solve.DeltaStats{}, PageStats{}, fmt.Errorf("rib: destination %d out of range", dest)
+	}
+	if ws == nil {
+		ws = solve.NewWorkspace()
+	}
+	if prev == nil || prev.N != g.N || !prev.Converged {
+		col, err := BuildDestPaged(eng, g, dest, origin, ws)
+		if err != nil {
+			return nil, solve.DeltaStats{}, PageStats{}, err
+		}
+		return col, solve.DeltaStats{}, PageStats{Cloned: len(col.Pages)}, nil
+	}
+	if _, ok := prev.Route(dest); !ok {
+		col, err := BuildDestPaged(eng, g, dest, origin, ws)
+		if err != nil {
+			return nil, solve.DeltaStats{}, PageStats{}, err
+		}
+		return col, solve.DeltaStats{}, PageStats{Cloned: len(col.Pages)}, nil
+	}
+	warm := func(u int) (bool, int32, int) {
+		p := prev.Pages[u>>PageShift]
+		s := p.Slots[u&PageMask]
+		if !s.Routed {
+			return false, 0, -1
+		}
+		if u == dest {
+			return true, s.W, -1
+		}
+		return true, s.W, int(p.Pool[s.NhOff])
+	}
+	raw, st := ws.BellmanFordDeltaRaw(eng, g, disabled, dest, origin, warm, prev.Clean, toggles, 0)
+	c := &PagedColumn{Dest: dest, N: g.N, Converged: raw.Converged, Clean: st.Clean}
+	if !st.UsedDelta {
+		c.Pages = pagesFromRaw(eng, g, raw, dest)
+		c.resum()
+		return c, st, PageStats{Cloned: len(c.Pages)}, nil
+	}
+	// Copy-on-write delta: mark the redo set, derive the dirty page
+	// set, alias every clean page and rebuild only the dirty ones.
+	markRedo(ws, g, st.Touched, toggles, dest)
+	dirty := make([]int32, 0, len(st.Touched)+len(toggles))
+	last := int32(-1)
+	for _, u := range st.Touched { // ascending, so dedup is a compare
+		if pi := int32(u >> PageShift); pi != last {
+			dirty = append(dirty, pi)
+			last = pi
+		}
+	}
+	for _, t := range toggles { // tails arrive unsorted; insert-dedup
+		x := g.Arcs[t.Arc].From
+		if x == dest {
+			continue
+		}
+		dirty = insertPage(dirty, int32(x>>PageShift))
+	}
+	c.Pages = append([]*ColumnPage(nil), prev.Pages...)
+	c.arenaBytes, c.live = prev.arenaBytes, prev.live
+	for _, pi := range dirty {
+		old := c.Pages[pi]
+		np := fillPage(eng, g, raw, dest, int(pi), old, ws)
+		c.Pages[pi] = np
+		c.arenaBytes += np.bytes() - old.bytes()
+		c.live += int(np.Live - old.Live)
+	}
+	ps := PageStats{Cloned: len(dirty), Shared: len(c.Pages) - len(dirty), DirtyPages: dirty}
+	return c, st, ps, nil
+}
+
+// insertPage inserts pi into an ascending page-index slice unless
+// already present (the slice is a few entries long — linear is fine).
+func insertPage(dirty []int32, pi int32) []int32 {
+	at := len(dirty)
+	for i, d := range dirty {
+		if d == pi {
+			return dirty
+		}
+		if d > pi {
+			at = i
+			break
+		}
+	}
+	dirty = append(dirty, 0)
+	copy(dirty[at+1:], dirty[at:])
+	dirty[at] = pi
+	return dirty
+}

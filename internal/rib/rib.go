@@ -32,8 +32,8 @@ type Entry struct {
 type RIB struct {
 	eng exec.Algebra
 	g   *graph.Graph
-	// cols[dest] is the destination's arena column.
-	cols map[int]*Column
+	// cols[dest] is the destination's arena column (flat or paged).
+	cols map[int]Col
 }
 
 // Build computes a RIB for the given destinations and their originated
@@ -54,7 +54,7 @@ func Build(alg *ost.OrderTransform, g *graph.Graph, origins map[int]value.V) (*R
 // BuildEngine is Build over an explicit execution engine. Columns are
 // built arena-form straight from the solver's index-form state.
 func BuildEngine(eng exec.Algebra, g *graph.Graph, origins map[int]value.V) (*RIB, error) {
-	r := &RIB{eng: eng, g: g, cols: make(map[int]*Column, len(origins))}
+	r := &RIB{eng: eng, g: g, cols: make(map[int]Col, len(origins))}
 	var unconverged []int
 	ws := solve.NewWorkspace()
 	for dest, origin := range origins {
@@ -213,10 +213,22 @@ func containsSorted(xs []int, x int) bool {
 	return i < len(xs) && xs[i] == x
 }
 
-// FromColumns assembles a RIB from per-destination arena columns
-// computed elsewhere (the serve snapshot builder). The columns are
-// adopted, not copied; callers must treat them as immutable afterwards.
+// FromColumns assembles a RIB from per-destination flat arena columns
+// computed elsewhere. The columns are adopted, not copied; callers must
+// treat them as immutable afterwards.
 func FromColumns(eng exec.Algebra, g *graph.Graph, cols map[int]*Column) *RIB {
+	cs := make(map[int]Col, len(cols))
+	for d, c := range cols {
+		cs[d] = c
+	}
+	return &RIB{eng: eng, g: g, cols: cs}
+}
+
+// FromCols assembles a RIB from per-destination columns in either
+// layout (the serve snapshot builder's constructor — its column map is
+// interface-typed so paged and flat snapshots share one publish path).
+// The columns are adopted, not copied.
+func FromCols(eng exec.Algebra, g *graph.Graph, cols map[int]Col) *RIB {
 	return &RIB{eng: eng, g: g, cols: cols}
 }
 
@@ -225,7 +237,7 @@ func FromColumns(eng exec.Algebra, g *graph.Graph, cols map[int]*Column) *RIB {
 // use FromColumns). Entry weights must intern on eng — true for every
 // solver-produced column — or FromEntries panics.
 func FromEntries(eng exec.Algebra, g *graph.Graph, table map[int][]*Entry) *RIB {
-	cols := make(map[int]*Column, len(table))
+	cols := make(map[int]Col, len(table))
 	for dest, entries := range table {
 		col, err := ColumnFromEntries(eng, dest, entries, true)
 		if err != nil {
@@ -237,7 +249,13 @@ func FromEntries(eng exec.Algebra, g *graph.Graph, table map[int][]*Entry) *RIB 
 }
 
 // Column returns dest's arena column (nil when unknown).
-func (r *RIB) Column(dest int) *Column { return r.cols[dest] }
+func (r *RIB) Column(dest int) Col {
+	c, ok := r.cols[dest]
+	if !ok {
+		return nil
+	}
+	return c
+}
 
 // Engine exposes the execution engine the RIB was built on.
 func (r *RIB) Engine() exec.Algebra { return r.eng }
@@ -276,8 +294,8 @@ func (r *RIB) Forward(from, dest int) (graph.Path, error) {
 // dest (0 when unrouted).
 func (r *RIB) ECMPWidth(node, dest int) int {
 	c, ok := r.cols[dest]
-	if !ok || node < 0 || node >= len(c.Slots) || !c.Slots[node].Routed {
+	if !ok {
 		return 0
 	}
-	return int(c.Slots[node].NhLen)
+	return len(c.NextHops(node))
 }

@@ -67,7 +67,7 @@ type BatchReply struct {
 type batchView interface {
 	batchVersion() uint64
 	batchNodes() int
-	batchColumn(dest int) *rib.Column
+	batchColumn(dest int) rib.Col
 	batchPrefixes() *rib.PrefixTable
 	batchWeightName(w int32) string
 }
@@ -79,17 +79,25 @@ type leaderBatch struct {
 	srv *Server
 }
 
-func (b leaderBatch) batchVersion() uint64             { return b.sn.Version }
-func (b leaderBatch) batchNodes() int                  { return b.sn.Graph.N }
-func (b leaderBatch) batchColumn(dest int) *rib.Column { return b.sn.Column(dest) }
-func (b leaderBatch) batchPrefixes() *rib.PrefixTable  { return b.sn.prefixes }
-func (b leaderBatch) batchWeightName(w int32) string   { return value.Format(b.srv.eng.Value(w)) }
+func (b leaderBatch) batchVersion() uint64            { return b.sn.Version }
+func (b leaderBatch) batchNodes() int                 { return b.sn.Graph.N }
+func (b leaderBatch) batchColumn(dest int) rib.Col    { return b.sn.Column(dest) }
+func (b leaderBatch) batchPrefixes() *rib.PrefixTable { return b.sn.prefixes }
+func (b leaderBatch) batchWeightName(w int32) string  { return value.Format(b.srv.eng.Value(w)) }
 
-func (v *followerView) batchVersion() uint64             { return v.state.Version }
-func (v *followerView) batchNodes() int                  { return v.state.Nodes }
-func (v *followerView) batchColumn(dest int) *rib.Column { return v.state.Cols[dest] }
-func (v *followerView) batchPrefixes() *rib.PrefixTable  { return v.pt }
-func (v *followerView) batchWeightName(w int32) string   { return v.state.WeightName(w) }
+func (v *followerView) batchVersion() uint64 { return v.state.Version }
+func (v *followerView) batchNodes() int      { return v.state.Nodes }
+func (v *followerView) batchColumn(dest int) rib.Col {
+	// Explicit nil return: wrapping a nil *rib.Column in the interface
+	// would defeat the caller's nil check.
+	c := v.state.Cols[dest]
+	if c == nil {
+		return nil
+	}
+	return c
+}
+func (v *followerView) batchPrefixes() *rib.PrefixTable { return v.pt }
+func (v *followerView) batchWeightName(w int32) string  { return v.state.WeightName(w) }
 
 // batchScratch is one request's worth of reusable buffers for the
 // binary path. All slices keep their grown capacity across uses.
@@ -149,12 +157,14 @@ func resolveWireBatch(v batchView, qs []wire.Query, as []wire.Answer, pool []int
 		}
 		if dest >= 0 {
 			a.Dest = int32(dest)
-			if c := v.batchColumn(dest); c != nil && int(q.From) < len(c.Slots) && c.Slots[q.From].Routed {
-				a.Flags |= wire.FlagRouted
-				a.W = c.Slots[q.From].W
-				a.NhOff = uint32(len(pool))
-				pool = c.AppendNextHops(pool, int(q.From))
-				a.NhLen = uint16(len(pool) - int(a.NhOff))
+			if c := v.batchColumn(dest); c != nil {
+				if w, routed := c.Route(int(q.From)); routed {
+					a.Flags |= wire.FlagRouted
+					a.W = w
+					a.NhOff = uint32(len(pool))
+					pool = c.AppendNextHops(pool, int(q.From))
+					a.NhLen = uint16(len(pool) - int(a.NhOff))
+				}
 			}
 		}
 		as = append(as, a)
@@ -209,17 +219,18 @@ func batchRouteReply(v batchView, q BatchQuery) (RouteReply, error) {
 		return RouteReply{}, fmt.Errorf("want dest, prefix or addr")
 	}
 	reply.Dest = dest
-	if c := v.batchColumn(dest); c != nil && q.From < len(c.Slots) && c.Slots[q.From].Routed {
-		slot := c.Slots[q.From]
-		reply.Routed = true
-		reply.Weight = v.batchWeightName(slot.W)
-		for _, nh := range c.NextHops(q.From) {
-			reply.ECMP = append(reply.ECMP, int(nh))
-		}
-		if path, err := c.Forward(q.From); err == nil {
-			reply.Path = path
-		} else {
-			reply.Err = err.Error()
+	if c := v.batchColumn(dest); c != nil {
+		if w, routed := c.Route(q.From); routed {
+			reply.Routed = true
+			reply.Weight = v.batchWeightName(w)
+			for _, nh := range c.NextHops(q.From) {
+				reply.ECMP = append(reply.ECMP, int(nh))
+			}
+			if path, err := c.Forward(q.From); err == nil {
+				reply.Path = path
+			} else {
+				reply.Err = err.Error()
+			}
 		}
 	}
 	return reply, nil

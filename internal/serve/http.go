@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
+	"sync"
 
 	"metarouting/internal/rib"
 	"metarouting/internal/telemetry"
@@ -92,7 +94,12 @@ func writeErr(w http.ResponseWriter, status int, code, format string, args ...an
 // the current version pass (snapshots are immutable, so any version the
 // server has moved past is fully contained in the current one).
 func versionGate(w http.ResponseWriter, req *http.Request, current uint64) bool {
-	raw := req.URL.Query().Get("version")
+	return versionGateValue(w, req.URL.Query().Get("version"), current)
+}
+
+// versionGateValue is versionGate over an already-parsed version
+// parameter, for handlers that parse the query string once.
+func versionGateValue(w http.ResponseWriter, raw string, current uint64) bool {
 	if raw == "" {
 		return true
 	}
@@ -129,6 +136,37 @@ type RouteReply struct {
 	Path    []int  `json:"path,omitempty"`
 	Version uint64 `json:"snapshot_version"`
 	Err     string `json:"error,omitempty"`
+}
+
+// routeScratch pools the per-request state of the single-query route
+// path: the JSON response buffer (with an encoder bound to it once)
+// and the reply's ECMP conversion scratch. GET /v1/route is the
+// latency-floor endpoint, so its handler reuses these across requests
+// instead of allocating an encoder and fresh slices per call.
+type routeScratch struct {
+	buf  bytes.Buffer
+	enc  *json.Encoder
+	ecmp []int
+}
+
+var routeScratchPool = sync.Pool{New: func() any {
+	rs := &routeScratch{}
+	rs.enc = json.NewEncoder(&rs.buf)
+	return rs
+}}
+
+// writeRouteReply answers a 200 route reply from the pooled buffer —
+// byte-identical to writeJSON's encoder output (trailing newline
+// included).
+func writeRouteReply(w http.ResponseWriter, rs *routeScratch, reply *RouteReply) {
+	rs.buf.Reset()
+	if err := rs.enc.Encode(reply); err != nil {
+		writeErr(w, http.StatusInternalServerError, CodeInvalidArgument, "encoding reply: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(rs.buf.Bytes()) //nolint:errcheck
 }
 
 // PrefixReply is one announcement in the /v1/prefixes listing.
@@ -187,8 +225,10 @@ func NewHandler(srv *Server, reg *telemetry.Registry, opts ...HandlerOption) *ht
 	badRequest := func(w http.ResponseWriter, format string, args ...any) {
 		writeErr(w, http.StatusBadRequest, CodeInvalidArgument, format, args...)
 	}
-	intArg := func(req *http.Request, key string) (int, error) {
-		v, err := strconv.Atoi(req.URL.Query().Get(key))
+	// intArg/nodeArg take the already-parsed query values so handlers
+	// parse the query string exactly once per request.
+	intArg := func(q url.Values, key string) (int, error) {
+		v, err := strconv.Atoi(q.Get(key))
 		if err != nil {
 			return 0, fmt.Errorf("bad or missing %q parameter", key)
 		}
@@ -197,8 +237,8 @@ func NewHandler(srv *Server, reg *telemetry.Registry, opts ...HandlerOption) *ht
 	// nodeArg additionally range-checks against the topology: an id
 	// outside [0, N) can never name a node, so it is a client error, not
 	// an empty answer.
-	nodeArg := func(req *http.Request, key string) (int, error) {
-		v, err := intArg(req, key)
+	nodeArg := func(q url.Values, key string) (int, error) {
+		v, err := intArg(q, key)
 		if err != nil {
 			return 0, err
 		}
@@ -219,20 +259,23 @@ func NewHandler(srv *Server, reg *telemetry.Registry, opts ...HandlerOption) *ht
 	}
 
 	handleRoute := func(w http.ResponseWriter, req *http.Request) {
-		from, err1 := nodeArg(req, "from")
+		// One query-string parse per request; everything below reads q.
+		q := req.URL.Query()
+		from, err1 := nodeArg(q, "from")
 		if err1 != nil {
 			badRequest(w, "want /v1/route?from=U&dest=D (or prefix=P, addr=A): %v", err1)
 			return
 		}
 		sn := srv.Snapshot()
-		if !versionGate(w, req, sn.Version) {
+		if !versionGateValue(w, q.Get("version"), sn.Version) {
 			return
 		}
+		rs := routeScratchPool.Get().(*routeScratch)
+		defer routeScratchPool.Put(rs)
 		reply := RouteReply{From: from, Dest: -1, Version: sn.Version}
 		// The destination names either a node id (dest=) or a prefix
 		// plane query (prefix=, addr=) resolved by longest match to its
 		// anchor node's column.
-		q := req.URL.Query()
 		var dest int
 		switch {
 		case q.Get("prefix") != "":
@@ -245,7 +288,7 @@ func NewHandler(srv *Server, reg *telemetry.Registry, opts ...HandlerOption) *ht
 			po, ok := sn.MatchPrefix(p)
 			if !ok {
 				reply.Err = "no announced prefix covers " + p.String()
-				writeJSON(w, http.StatusOK, reply)
+				writeRouteReply(w, rs, &reply)
 				return
 			}
 			reply.Matched = po.Prefix.String()
@@ -260,31 +303,43 @@ func NewHandler(srv *Server, reg *telemetry.Registry, opts ...HandlerOption) *ht
 			po, ok := sn.MatchAddr(addr)
 			if !ok {
 				reply.Err = "no announced prefix covers " + q.Get("addr")
-				writeJSON(w, http.StatusOK, reply)
+				writeRouteReply(w, rs, &reply)
 				return
 			}
 			reply.Matched = po.Prefix.String()
 			dest = po.Node
 		default:
 			var err2 error
-			dest, err2 = nodeArg(req, "dest")
+			dest, err2 = nodeArg(q, "dest")
 			if err2 != nil {
 				badRequest(w, "want /v1/route?from=U&dest=D (or prefix=P, addr=A): %v", err2)
 				return
 			}
 		}
 		reply.Dest = dest
-		if e := srv.Lookup(from, dest); e != nil {
-			reply.Routed = true
-			reply.Weight = value.Format(e.Weight)
-			reply.ECMP = e.NextHops
-			if path, err := srv.Forward(from, dest); err == nil {
-				reply.Path = path
-			} else {
-				reply.Err = err.Error()
+		// Resolve index-form against the snapshot column instead of
+		// materializing an *Entry — same facts, no per-call entry or
+		// next-hop copies. The ECMP set converts into pooled scratch.
+		srv.queries.Add(1)
+		if c := sn.Column(dest); c != nil {
+			if w0, routed := c.Route(from); routed {
+				reply.Routed = true
+				reply.Weight = value.Format(srv.eng.Value(w0))
+				if nh := c.NextHops(from); len(nh) > 0 {
+					rs.ecmp = rs.ecmp[:0]
+					for _, v := range nh {
+						rs.ecmp = append(rs.ecmp, int(v))
+					}
+					reply.ECMP = rs.ecmp
+				}
+				if path, err := srv.Forward(from, dest); err == nil {
+					reply.Path = path
+				} else {
+					reply.Err = err.Error()
+				}
 			}
 		}
-		writeJSON(w, http.StatusOK, reply)
+		writeRouteReply(w, rs, &reply)
 	}
 
 	handlePrefixes := func(w http.ResponseWriter, req *http.Request) {
@@ -308,7 +363,7 @@ func NewHandler(srv *Server, reg *telemetry.Registry, opts ...HandlerOption) *ht
 	}
 
 	handlePaths := func(w http.ResponseWriter, req *http.Request) {
-		dest, err := nodeArg(req, "dest")
+		dest, err := nodeArg(req.URL.Query(), "dest")
 		if err != nil {
 			badRequest(w, "want /v1/paths?dest=D: %v", err)
 			return
@@ -383,7 +438,7 @@ func NewHandler(srv *Server, reg *telemetry.Registry, opts ...HandlerOption) *ht
 				if q.Get(key) == "" {
 					continue
 				}
-				v, err := intArg(req, key)
+				v, err := intArg(q, key)
 				if err != nil {
 					badRequest(w, "%v", err)
 					return

@@ -1,0 +1,59 @@
+package serve
+
+// BenchmarkSingleRoute meters the full GET /v1/route handler path —
+// query parsing, snapshot resolution, JSON encoding — per request,
+// with allocs/op as the headline. The response writer is a stub so
+// the measurement covers the handler, not httptest bookkeeping.
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/value"
+)
+
+// discardResponse is a minimal ResponseWriter that retains nothing.
+type discardResponse struct {
+	h http.Header
+}
+
+func (d *discardResponse) Header() http.Header         { return d.h }
+func (d *discardResponse) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponse) WriteHeader(int)             {}
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	a, err := core.InferString("lex(delay(16,3), hops(8))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	origin := a.OT.DefaultOrigin()
+	g := graph.Random(rand.New(rand.NewSource(7)), 64, 0.15, graph.UniformLabels(a.OT.F.Size()))
+	origins := map[int]value.V{0: origin, 21: origin, 42: origin}
+	srv, err := New(exec.For(a.OT, origin), g, origins, WithWorkers(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func BenchmarkSingleRoute(b *testing.B) {
+	srv := benchServer(b)
+	mux := NewHandler(srv, nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/route?from=5&dest=0", nil)
+	w := &discardResponse{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := range w.h {
+			delete(w.h, k)
+		}
+		mux.ServeHTTP(w, req)
+	}
+}

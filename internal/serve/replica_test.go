@@ -62,7 +62,7 @@ func captureLeader(srv *serve.Server) leaderState {
 	cols := make(map[int]*rib.Column, len(srv.Dests()))
 	weights := make(map[int][]string, len(srv.Dests()))
 	for _, d := range srv.Dests() {
-		cols[d] = sn.Column(d)
+		cols[d] = sn.Column(d).Flatten()
 		ws := make([]string, sn.Graph.N)
 		for u := range ws {
 			if e := sn.Lookup(u, d); e != nil {
@@ -109,6 +109,12 @@ func TestReplicaDifferentialStorm(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer srv.Close()
+			// The leader runs the default paged copy-on-write columns, so
+			// this storm also proves follower byte-identity against paged
+			// leaders (records flatten at the encode boundary).
+			if !srv.Stats().PagedColumns {
+				t.Fatal("leader expected to default to paged columns")
+			}
 
 			// Drive the storm, capturing ground truth after every swap.
 			truth := map[uint64]leaderState{srv.Snapshot().Version: captureLeader(srv)}

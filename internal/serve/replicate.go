@@ -42,6 +42,19 @@ type RecordSink interface {
 	PublishRecord(version uint64, frame []byte) error
 }
 
+// LogRotator is the optional size-based rotation surface a RecordSink
+// may implement (replica.Publisher does when a byte cap is set). After
+// each published record the leader asks RotateDue; when the sink's
+// active log segment has outgrown its cap, the leader hands it a
+// freshly encoded full frame of the just-published snapshot to seed
+// the next segment, so every segment replays from its own checkpoint.
+// Both calls happen under the server's writer lock, like
+// PublishRecord.
+type LogRotator interface {
+	RotateDue() bool
+	RotateLog(version uint64, full []byte) error
+}
+
 // WithReplication streams every snapshot swap into sink as a framed
 // replica record. The initial build and every Rebuild publish full
 // snapshots; event batches publish deltas carrying only the touched
@@ -79,7 +92,13 @@ func (s *Server) Fingerprint() uint64 { return s.fingerprint }
 // this.
 func (s *Server) Checksum() uint32 {
 	sn := s.snap.Load()
-	return replica.Checksum(sn.Disabled, sn.cols)
+	cols := make(map[int]*rib.Column, len(sn.cols))
+	for d, c := range sn.cols {
+		// Flatten is the identity on flat columns and the canonical
+		// re-lay on paged ones, so both layouts digest identically.
+		cols[d] = c.Flatten()
+	}
+	return replica.Checksum(sn.Disabled, cols)
 }
 
 // EncodeFull encodes the current snapshot as a framed full record —
@@ -123,7 +142,7 @@ func (s *Server) encodeFullLocked(sn *Snapshot) []byte {
 		Columns:     make([]*rib.Column, 0, len(s.dests)),
 	}
 	for _, d := range s.dests {
-		f.Columns = append(f.Columns, sn.cols[d])
+		f.Columns = append(f.Columns, sn.cols[d].Flatten())
 	}
 	return replica.EncodeFull(f)
 }
@@ -154,8 +173,9 @@ func (s *Server) encodeDeltaLocked(prev, sn *Snapshot, toggles []ArcEvent, hints
 		if nc == oc {
 			continue
 		}
-		if oc == nil || len(oc.Slots) != len(nc.Slots) {
-			d.Scratch = append(d.Scratch, nc)
+		n := nc.NumNodes()
+		if oc == nil || oc.NumNodes() != n {
+			d.Scratch = append(d.Scratch, nc.Flatten())
 			maxW = maxColWeight(nc, maxW)
 			continue
 		}
@@ -164,15 +184,15 @@ func (s *Server) encodeDeltaLocked(prev, sn *Snapshot, toggles []ArcEvent, hints
 			if slotEqual(nc, oc, u) {
 				return
 			}
-			slot := nc.Slots[u]
-			ch := replica.SlotChange{Node: u, Routed: slot.Routed}
-			if slot.Routed {
-				ch.W = slot.W
-				if int(slot.W) > maxW {
-					maxW = int(slot.W)
+			w, routed := nc.Route(u)
+			ch := replica.SlotChange{Node: u, Routed: routed}
+			if routed {
+				ch.W = w
+				if int(w) > maxW {
+					maxW = int(w)
 				}
-				if slot.NhLen > 0 {
-					ch.NextHop = append([]int32(nil), nc.Pool[slot.NhOff:slot.NhOff+slot.NhLen]...)
+				if nh := nc.NextHops(u); len(nh) > 0 {
+					ch.NextHop = append([]int32(nil), nh...)
 				}
 			}
 			changes = append(changes, ch)
@@ -182,19 +202,19 @@ func (s *Server) encodeDeltaLocked(prev, sn *Snapshot, toggles []ArcEvent, hints
 				scan(u)
 			}
 		} else {
-			for u := range nc.Slots {
+			for u := 0; u < n; u++ {
 				scan(u)
 			}
 		}
-		if len(changes) == 0 && nc.Converged == oc.Converged {
+		if len(changes) == 0 && nc.IsConverged() == oc.IsConverged() {
 			continue
 		}
-		if len(changes) > len(nc.Slots)/2 {
-			d.Scratch = append(d.Scratch, nc)
+		if len(changes) > n/2 {
+			d.Scratch = append(d.Scratch, nc.Flatten())
 			maxW = maxColWeight(nc, maxW)
 			continue
 		}
-		d.Diffs = append(d.Diffs, replica.ColumnDiff{Dest: dest, Converged: nc.Converged, Changes: changes})
+		d.Diffs = append(d.Diffs, replica.ColumnDiff{Dest: dest, Converged: nc.IsConverged(), Changes: changes})
 	}
 	d.NameBase = s.nameCount
 	if maxW+1 > s.nameCount {
@@ -209,10 +229,11 @@ func (s *Server) encodeDeltaLocked(prev, sn *Snapshot, toggles []ArcEvent, hints
 
 // maxColWeight folds a column's routed weight indices into a running
 // maximum.
-func maxColWeight(c *rib.Column, cur int) int {
-	for i := range c.Slots {
-		if c.Slots[i].Routed && int(c.Slots[i].W) > cur {
-			cur = int(c.Slots[i].W)
+func maxColWeight(c rib.Col, cur int) int {
+	n := c.NumNodes()
+	for u := 0; u < n; u++ {
+		if w, ok := c.Route(u); ok && int(w) > cur {
+			cur = int(w)
 		}
 	}
 	return cur
@@ -245,5 +266,15 @@ func (s *Server) replicate(cur, sn *Snapshot, toggles []ArcEvent, hints map[int]
 	}
 	if err := s.sink.PublishRecord(sn.Version, frame); err != nil {
 		s.repErrors.Add(1)
+	}
+	// Size-based log rotation: the new segment is seeded with a full
+	// checkpoint of the snapshot just published, so it replays on its
+	// own. Safe here because s.mu is already held — the sink must not
+	// call back into the server, so the rotation driver lives on the
+	// leader side.
+	if r, ok := s.sink.(LogRotator); ok && r.RotateDue() {
+		if err := r.RotateLog(sn.Version, s.encodeFullLocked(sn)); err != nil {
+			s.repErrors.Add(1)
+		}
 	}
 }

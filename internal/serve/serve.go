@@ -110,6 +110,7 @@ type config struct {
 	rebuildTimeout time.Duration
 	noBatcher      bool // test-only: leave the intake queue undrained
 	noDelta        bool
+	flatColumns    bool
 	deltaProps     prop.Set
 	prefixes       *rib.PrefixTable
 	sink           RecordSink
@@ -180,6 +181,18 @@ func WithQueueCapacity(n int) Option {
 // its baseline.
 func WithDelta(enabled bool) Option {
 	return optionFunc(func(c *config) { c.noDelta = !enabled })
+}
+
+// WithPagedColumns selects the snapshot column layout (default paged).
+// Paged columns are fixed-size copy-on-write pages behind a page
+// table: a delta rebuild clones only the pages holding touched slots
+// or shifted ECMP spans and shares every other page with the previous
+// snapshot by pointer, making a swap's data-plane cost O(frontier)
+// instead of O(N). WithPagedColumns(false) pins the legacy flat
+// layout (one contiguous slot arena per column, full copy per delta
+// rebuild) — the storm benchmark's baseline.
+func WithPagedColumns(enabled bool) Option {
+	return optionFunc(func(c *config) { c.flatColumns = !enabled })
 }
 
 // WithDeltaProps supplies an inferred property set to the delta gate.
@@ -257,9 +270,12 @@ func (o Options) apply(c *config) {
 // Snapshot is one immutable generation of route tables. All methods are
 // safe for concurrent use; a snapshot never changes after publication,
 // so a reader holding one sees a consistent view regardless of how many
-// events the server has absorbed since. Route columns are arena-flat
-// (rib.Column); destinations untouched by a rebuild share their column
-// with the previous snapshot by pointer.
+// events the server has absorbed since. Route columns are arena-form
+// (paged rib.PagedColumn by default, flat rib.Column under
+// WithPagedColumns(false)); destinations untouched by a rebuild share
+// their column with the previous snapshot by pointer, and under the
+// paged layout even recomputed columns share every page outside the
+// delta frontier.
 type Snapshot struct {
 	// Version increments with every swap (the initial build is 1).
 	Version uint64
@@ -272,7 +288,7 @@ type Snapshot struct {
 	// within the solver budget (possible for non-increasing algebras).
 	Unconverged []int
 
-	cols     map[int]*rib.Column
+	cols     map[int]rib.Col
 	prefixes *rib.PrefixTable
 	rib      *rib.RIB
 
@@ -286,7 +302,13 @@ func (sn *Snapshot) RIB() *rib.RIB { return sn.rib }
 
 // Column returns dest's arena column (nil when unknown) — the
 // index-form read path; Lookup materializes the legacy view.
-func (sn *Snapshot) Column(dest int) *rib.Column { return sn.cols[dest] }
+func (sn *Snapshot) Column(dest int) rib.Col {
+	c, ok := sn.cols[dest]
+	if !ok {
+		return nil
+	}
+	return c
+}
 
 // Prefixes exposes the snapshot's prefix table. The prefix set is
 // fixed at boot, so every snapshot of a server shares one table; it is
@@ -343,6 +365,9 @@ type Stats struct {
 	DeltaFrontierNodes    uint64 `json:"delta_frontier_nodes"`
 	DeltaTouchedNodes     uint64 `json:"delta_touched_nodes"`
 	DeltaEnabled          bool   `json:"delta_enabled"`
+	PagedColumns          bool   `json:"paged_columns"`
+	PagesCloned           uint64 `json:"pages_cloned"`
+	PagesShared           uint64 `json:"pages_shared"`
 	BatchesApplied        uint64 `json:"batches_applied"`
 	EventsCoalesced       uint64 `json:"events_coalesced"`
 	EventsRejected        uint64 `json:"events_rejected"`
@@ -391,6 +416,10 @@ type Server struct {
 	// default) AND the algebra's inferred properties licensing it.
 	deltaOK bool
 
+	// paged selects the snapshot column layout (WithPagedColumns,
+	// default true): copy-on-write paged columns vs legacy flat arenas.
+	paged bool
+
 	snap atomic.Pointer[Snapshot]
 
 	// scrapeSnap pins one snapshot generation for the duration of a
@@ -427,6 +456,7 @@ type Server struct {
 	rejected, batchErrors       telemetry.Counter
 	deltaDests, scratchDests    telemetry.Counter
 	frontierNodes, touchedNodes telemetry.Counter
+	pagesCloned, pagesShared    telemetry.Counter
 	repFull, repDelta           telemetry.Counter
 	repErrors                   telemetry.Counter
 	repBytes                    *telemetry.Histogram
@@ -583,6 +613,7 @@ func NewServer(c Config, opts ...Option) (*Server, error) {
 		licensed = rib.DeltaLicensed(ot)
 	}
 	s.deltaOK = !cfg.noDelta && licensed
+	s.paged = !cfg.flatColumns
 	if cfg.registry != nil {
 		s.queryNS = telemetry.NewLatencyHistogram()
 		s.eventNS = telemetry.NewLatencyHistogram()
@@ -644,6 +675,9 @@ func (s *Server) register(reg *telemetry.Registry) {
 	reg.AddCounter(`mrserve_dest_rebuilds_total{kind="delta"}`,
 		"Destination column rebuilds by solver path: warm-start delta drains vs from-scratch sweeps.", &s.deltaDests)
 	reg.AddCounter(`mrserve_dest_rebuilds_total{kind="scratch"}`, "", &s.scratchDests)
+	reg.AddCounter(`mrserve_column_pages_total{kind="cloned"}`,
+		"Copy-on-write column pages per rebuild, by fate: cloned into the new snapshot vs shared with the previous one by pointer.", &s.pagesCloned)
+	reg.AddCounter(`mrserve_column_pages_total{kind="shared"}`, "", &s.pagesShared)
 	reg.AddCounter("mrserve_route_flaps_total", "Route entries that changed across snapshot swaps.", &s.flaps)
 	reg.AddCounter("mrserve_event_batches_total", "Coalesced event batches applied.", &s.batches)
 	reg.AddCounter("mrserve_events_coalesced_total",
@@ -803,22 +837,26 @@ func (s *Server) Close() {
 // every other destination are shared with prev's snapshot by pointer
 // (they are immutable). When the delta gate is open and toggles
 // describe the batch, each recomputed destination warm-starts from its
-// previous column via rib.DeltaDestColumn — the warm start reads
-// engine weight indices straight out of the previous arena, so nothing
-// is re-interned — while destinations the previous snapshot reported
-// unconverged rebuild from scratch (their columns are not a fixpoint
-// to warm-start from). A ctx cancellation abandons the build and
-// returns ctx.Err().
+// previous column via rib.DeltaDestPaged (rib.DeltaDestColumn under
+// the flat layout) — the warm start reads engine weight indices
+// straight out of the previous arena, so nothing is re-interned —
+// while destinations the previous snapshot reported unconverged
+// rebuild from scratch (their columns are not a fixpoint to warm-start
+// from). Under the paged layout a delta rebuild clones only the pages
+// the drain dirtied and shares the rest with the previous column by
+// pointer, so the swap's data-plane cost tracks the frontier, not N.
+// A ctx cancellation abandons the build and returns ctx.Err().
 //
 // When a replication sink is configured, the returned hints map holds,
-// for each destination whose column came from the delta drain, the
-// sorted node set outside which DeltaDestColumn transplanted slots
-// verbatim (touched nodes plus toggle tails) — the only slots delta
-// record encoding needs to scan. Destinations absent from the map were
-// rebuilt from scratch and must be scanned in full.
-func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev *Snapshot, toggles []ArcEvent) (map[int]*rib.Column, []int, map[int][]int, error) {
-	cols := make(map[int]*rib.Column, len(s.dests))
-	var prevCols map[int]*rib.Column
+// for each destination whose column came from the delta drain, a
+// sorted node set outside which every slot is bit-identical to the
+// previous column — touched nodes plus toggle tails on the flat path,
+// the dirty pages' slot ranges on the paged path — the only slots
+// delta record encoding needs to scan. Destinations absent from the
+// map were rebuilt from scratch and must be scanned in full.
+func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []int, prev *Snapshot, toggles []ArcEvent) (map[int]rib.Col, []int, map[int][]int, error) {
+	cols := make(map[int]rib.Col, len(s.dests))
+	var prevCols map[int]rib.Col
 	prevUnconv := make(map[int]bool, 4)
 	if prev != nil {
 		prevCols = prev.cols
@@ -842,7 +880,7 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 			solveToggles[i] = solve.ArcToggle{Arc: t.Arc, Down: t.Fail}
 		}
 	}
-	results := make([]*rib.Column, len(recompute))
+	results := make([]rib.Col, len(recompute))
 	var hintsArr [][]int
 	if s.sink != nil {
 		hintsArr = make([][]int, len(recompute))
@@ -853,34 +891,70 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 		if s.shardNS != nil {
 			t0 = time.Now()
 		}
-		var col *rib.Column
+		var warmable rib.Col
+		if solveToggles != nil && !prevUnconv[d] {
+			warmable = prevCols[d]
+		}
+		var col rib.Col
+		var st solve.DeltaStats
 		var err error
-		if solveToggles != nil && prevCols[d] != nil && !prevUnconv[d] {
-			var st solve.DeltaStats
-			col, st, err = rib.DeltaDestColumn(
-				s.eng, view, s.disabled, d, s.origins[d], ws, prevCols[d], solveToggles)
-			if err == nil {
-				if st.UsedDelta {
-					s.deltaDests.Add(1)
-					s.frontierNodes.Add(uint64(st.Frontier))
-					s.touchedNodes.Add(uint64(len(st.Touched)))
-					if s.frontierHist != nil {
-						s.frontierHist.Observe(int64(st.Frontier))
-						s.touchedHist.Observe(int64(len(st.Touched)))
+		delta := false
+		if s.paged {
+			pprev, _ := warmable.(*rib.PagedColumn)
+			var pc *rib.PagedColumn
+			if pprev != nil {
+				var ps rib.PageStats
+				pc, st, ps, err = rib.DeltaDestPaged(
+					s.eng, view, s.disabled, d, s.origins[d], ws, pprev, solveToggles)
+				if err == nil {
+					delta = st.UsedDelta
+					s.pagesCloned.Add(uint64(ps.Cloned))
+					s.pagesShared.Add(uint64(ps.Shared))
+					if delta && hintsArr != nil {
+						hintsArr[i] = pagedHint(view.N, ps.DirtyPages)
 					}
-					if hintsArr != nil {
-						hintsArr[i] = deltaHint(view, d, st, solveToggles)
-					}
-				} else {
-					s.scratchDests.Add(1)
+				}
+			} else {
+				pc, err = rib.BuildDestPaged(s.eng, view, d, s.origins[d], ws)
+				if err == nil {
+					s.pagesCloned.Add(uint64(len(pc.Pages)))
 				}
 			}
+			if err == nil {
+				col = pc
+			}
 		} else {
-			col, err = rib.BuildDestColumn(s.eng, view, d, s.origins[d], ws)
-			s.scratchDests.Add(1)
+			fprev, _ := warmable.(*rib.Column)
+			var fc *rib.Column
+			if fprev != nil {
+				fc, st, err = rib.DeltaDestColumn(
+					s.eng, view, s.disabled, d, s.origins[d], ws, fprev, solveToggles)
+				if err == nil {
+					delta = st.UsedDelta
+					if delta && hintsArr != nil {
+						hintsArr[i] = deltaHint(view, d, st, solveToggles)
+					}
+				}
+			} else {
+				fc, err = rib.BuildDestColumn(s.eng, view, d, s.origins[d], ws)
+			}
+			if err == nil {
+				col = fc
+			}
 		}
 		if err != nil {
 			return err
+		}
+		if delta {
+			s.deltaDests.Add(1)
+			s.frontierNodes.Add(uint64(st.Frontier))
+			s.touchedNodes.Add(uint64(len(st.Touched)))
+			if s.frontierHist != nil {
+				s.frontierHist.Observe(int64(st.Frontier))
+				s.touchedHist.Observe(int64(len(st.Touched)))
+			}
+		} else {
+			s.scratchDests.Add(1)
 		}
 		if s.shardNS != nil {
 			s.shardNS.Observe(time.Since(t0).Nanoseconds())
@@ -894,7 +968,7 @@ func (s *Server) buildDests(ctx context.Context, view *graph.Graph, recompute []
 	var unconverged []int
 	var hints map[int][]int
 	for i, d := range recompute {
-		if !results[i].Converged {
+		if !results[i].IsConverged() {
 			unconverged = append(unconverged, d)
 		}
 		cols[d] = results[i]
@@ -931,11 +1005,34 @@ func deltaHint(view *graph.Graph, dest int, st solve.DeltaStats, toggles []solve
 	return out
 }
 
+// pagedHint expands a delta rebuild's dirty-page set into the sorted
+// node list the replication encoder scans: every slot of every cloned
+// page, clipped to the node count. The expansion is a superset of the
+// nodes whose slots actually changed (unchanged slots inside a dirty
+// page were transplanted bit-identically, and the encoder skips equal
+// slots), and outside it every page — hence every slot — is shared
+// with the previous column by pointer. Never nil: an empty dirty set
+// still records "no slot of this column can differ".
+func pagedHint(n int, dirty []int32) []int {
+	hint := make([]int, 0, len(dirty)*rib.PageSize)
+	for _, pi := range dirty {
+		lo := int(pi) << rib.PageShift
+		hi := lo + rib.PageSize
+		if hi > n {
+			hi = n
+		}
+		for u := lo; u < hi; u++ {
+			hint = append(hint, u)
+		}
+	}
+	return hint
+}
+
 // publish swaps in a new snapshot built from cols and, when a
 // replication sink is configured, ships the swap as a replica record
 // (a delta described by toggles and hints, or a full snapshot when
 // toggles is nil). Callers hold s.mu.
-func (s *Server) publish(view *graph.Graph, cols map[int]*rib.Column, unconverged []int, toggles []ArcEvent, hints map[int][]int) {
+func (s *Server) publish(view *graph.Graph, cols map[int]rib.Col, unconverged []int, toggles []ArcEvent, hints map[int][]int) {
 	cur := s.snap.Load()
 	var version uint64 = 1
 	if cur != nil {
@@ -951,7 +1048,7 @@ func (s *Server) publish(view *graph.Graph, cols map[int]*rib.Column, unconverge
 		Unconverged: unconverged,
 		cols:        cols,
 		prefixes:    s.prefixes,
-		rib:         rib.FromColumns(s.eng, view, cols),
+		rib:         rib.FromCols(s.eng, view, cols),
 	}
 	for _, c := range cols {
 		sn.arenaBytes += c.Bytes()
@@ -966,16 +1063,46 @@ func (s *Server) publish(view *graph.Graph, cols map[int]*rib.Column, unconverge
 // counts slots that actually changed (weight or ECMP set) — the
 // route-flap reading behind mrserve_route_flaps_total. Columns shared
 // by pointer (skipped destinations) are recognized and cost nothing;
-// the comparison of recomputed columns is O(N) per column, the same
-// order as the recompute that produced them.
-func countFlaps(prev, next map[int]*rib.Column) uint64 {
+// paged column pairs additionally skip pages shared by pointer, so the
+// comparison tracks the frontier. Flat recomputed columns pay an O(N)
+// scan, the same order as the recompute that produced them.
+func countFlaps(prev, next map[int]rib.Col) uint64 {
 	var flaps uint64
 	for d, col := range next {
 		old, ok := prev[d]
-		if !ok || old == col || len(old.Slots) != len(col.Slots) {
+		if !ok || old == col || old.NumNodes() != col.NumNodes() {
 			continue
 		}
-		for u := range col.Slots {
+		if pc, ok := col.(*rib.PagedColumn); ok {
+			if oc, ok := old.(*rib.PagedColumn); ok {
+				flaps += countFlapsPaged(oc, pc)
+				continue
+			}
+		}
+		for u := 0; u < col.NumNodes(); u++ {
+			if !slotEqual(col, old, u) {
+				flaps++
+			}
+		}
+	}
+	return flaps
+}
+
+// countFlapsPaged counts changed slots between two paged columns of
+// equal length, skipping pages shared by pointer.
+func countFlapsPaged(old, col *rib.PagedColumn) uint64 {
+	var flaps uint64
+	n := col.NumNodes()
+	for pi, np := range col.Pages {
+		if pi < len(old.Pages) && old.Pages[pi] == np {
+			continue
+		}
+		lo := pi << rib.PageShift
+		hi := lo + rib.PageSize
+		if hi > n {
+			hi = n
+		}
+		for u := lo; u < hi; u++ {
 			if !slotEqual(col, old, u) {
 				flaps++
 			}
@@ -988,19 +1115,24 @@ func countFlaps(prev, next map[int]*rib.Column) uint64 {
 // engine weight index, and ECMP next-hop sequence. Weight indices are
 // comparable directly because both columns were built on the same
 // engine, whose intern table assigns each weight one stable index.
-func slotEqual(a, b *rib.Column, u int) bool {
-	sa, sb := a.Slots[u], b.Slots[u]
-	if sa.Routed != sb.Routed {
+func slotEqual(a, b rib.Col, u int) bool {
+	wa, ra := a.Route(u)
+	wb, rb := b.Route(u)
+	if ra != rb {
 		return false
 	}
-	if !sa.Routed {
+	if !ra {
 		return true
 	}
-	if sa.W != sb.W || sa.NhLen != sb.NhLen {
+	if wa != wb {
 		return false
 	}
-	for i := int32(0); i < sa.NhLen; i++ {
-		if a.Pool[sa.NhOff+i] != b.Pool[sb.NhOff+i] {
+	na, nb := a.NextHops(u), b.NextHops(u)
+	if len(na) != len(nb) {
+		return false
+	}
+	for i := range na {
+		if na[i] != nb[i] {
 			return false
 		}
 	}
@@ -1043,7 +1175,10 @@ func (s *Server) invalidated(cur *Snapshot, toggles []ArcEvent) []int {
 		col := cur.cols[d]
 		for _, t := range toggles {
 			a := s.base.Arcs[t.Arc]
-			if a.From == d || col == nil || !col.Slots[a.To].Routed {
+			if a.From == d || col == nil {
+				continue
+			}
+			if _, routed := col.Route(a.To); !routed {
 				continue
 			}
 			recompute = append(recompute, d)
@@ -1089,11 +1224,20 @@ func (s *Server) ApplyBatch(ctx context.Context, events []ArcEvent) (applied, re
 		s.disabled[t.Arc] = t.Fail
 	}
 	var view *graph.Graph
-	if len(toggles) == 1 {
+	switch {
+	case len(toggles) == 1:
 		// Single toggle: copy-on-write view, O(N + deg) instead of a full
 		// re-index.
 		view = cur.Graph.WithArcToggled(toggles[0].Arc, s.disabled)
-	} else {
+	case len(toggles) <= 32:
+		// Small storm: one header copy plus one row rebuild per endpoint,
+		// still far under the O(N + M) full re-index.
+		ais := make([]int, len(toggles))
+		for i, t := range toggles {
+			ais[i] = t.Arc
+		}
+		view = cur.Graph.WithArcsToggled(ais, s.disabled)
+	default:
 		view = s.base.MaskArcs(s.disabled)
 	}
 	recompute := s.invalidated(cur, toggles)
@@ -1375,6 +1519,9 @@ func (s *Server) Stats() Stats {
 		DeltaFrontierNodes:    s.frontierNodes.Load(),
 		DeltaTouchedNodes:     s.touchedNodes.Load(),
 		DeltaEnabled:          s.deltaOK,
+		PagedColumns:          s.paged,
+		PagesCloned:           s.pagesCloned.Load(),
+		PagesShared:           s.pagesShared.Load(),
 		BatchesApplied:        s.batches.Load(),
 		EventsCoalesced:       s.coalesced.Load(),
 		EventsRejected:        s.rejected.Load(),

@@ -1,0 +1,235 @@
+package serve
+
+// This file measures what the paged copy-on-write column layout buys
+// at snapshot-swap time: paired storm replays on identically built
+// servers — one on flat arena columns (every delta rebuild copies the
+// whole O(N) column), one on paged columns (a rebuild clones only the
+// pages the delta drain dirtied) — timing every swap, metering its
+// allocation bytes, and counting cloned vs shared pages. Both servers
+// run the same warm-start delta solver, so the pairing isolates the
+// data-plane copy cost the page table removes. After every swap the
+// paged snapshot is flattened and compared bit for bit against the
+// flat one — the built-in differential that keeps the speedup honest.
+// cmd/mrserve -storm-bench writes the result to BENCH_storm.json.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"time"
+
+	"metarouting/internal/rib"
+)
+
+// StormReport is the paired paged-vs-flat swap measurement for one
+// topology size and storm width. Timings are mean per-swap (one
+// ApplyBatch) cost in microseconds; alloc figures are mean bytes
+// allocated per swap.
+type StormReport struct {
+	Nodes          int    `json:"nodes"`
+	Arcs           int    `json:"arcs"`
+	Destinations   int    `json:"destinations"`
+	StormArcs      int    `json:"storm_arcs"`
+	Rounds         int    `json:"rounds"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	Engine         string `json:"engine"`
+	PagesPerColumn int    `json:"pages_per_column"`
+
+	// FlatSwapUS is the baseline: every recomputed column re-laid in
+	// full. PagedSwapUS covers identical batches on the paged server.
+	FlatSwapUS   float64 `json:"flat_swap_us"`
+	PagedSwapUS  float64 `json:"paged_swap_us"`
+	SpeedupPaged float64 `json:"speedup_paged"`
+
+	FlatSwapAllocBytes  float64 `json:"flat_swap_alloc_bytes"`
+	PagedSwapAllocBytes float64 `json:"paged_swap_alloc_bytes"`
+
+	// PagesCloned / PagesShared are the paged server's totals across
+	// the measured window; ClonedFraction is the headline COW reading.
+	PagesCloned    uint64  `json:"pages_cloned"`
+	PagesShared    uint64  `json:"pages_shared"`
+	ClonedFraction float64 `json:"cloned_page_fraction"`
+
+	// DeltaRebuilds / ScratchRebuilds count the paged server's
+	// per-destination rebuilds by solver path in the measured window.
+	DeltaRebuilds   uint64 `json:"delta_rebuilds"`
+	ScratchRebuilds uint64 `json:"scratch_rebuilds"`
+
+	// DifferentialChecks counts the post-swap bit-identity comparisons
+	// between the flattened paged snapshot and the flat snapshot; all
+	// must pass for DifferentialOK.
+	DifferentialChecks int  `json:"differential_checks"`
+	DifferentialOK     bool `json:"differential_ok"`
+}
+
+// MeasureStorm builds two identically configured servers via mk — one
+// on flat arena columns, one on paged copy-on-write columns — and
+// replays rounds deterministic storms through both. Each storm fails
+// stormArcs distinct random arcs as one batch, then restores them as
+// another, so every round ends back at the all-enabled topology and
+// both servers see identical work. Every swap is timed and
+// alloc-metered separately per server, and after every paired swap the
+// paged snapshot is flattened and compared bit for bit against the
+// flat one. Both servers must have the warm-start delta path licensed
+// (serve the bench an M or I algebra) — the point is to isolate
+// data-plane copy cost, not solver cost.
+func MeasureStorm(mk func(paged bool) (*Server, error), stormArcs, rounds int, seed int64) (*StormReport, error) {
+	if stormArcs <= 0 {
+		stormArcs = 4
+	}
+	if rounds <= 0 {
+		rounds = 10
+	}
+	flat, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	defer flat.Close()
+	paged, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+	defer paged.Close()
+	if flat.base.N != paged.base.N || len(flat.base.Arcs) != len(paged.base.Arcs) {
+		return nil, fmt.Errorf("serve: mk built different topologies (%d/%d nodes, %d/%d arcs)",
+			flat.base.N, paged.base.N, len(flat.base.Arcs), len(paged.base.Arcs))
+	}
+	if flat.Stats().PagedColumns {
+		return nil, fmt.Errorf("serve: baseline server is paged — mk must honour WithPagedColumns(false)")
+	}
+	if !paged.Stats().PagedColumns {
+		return nil, fmt.Errorf("serve: paged server came up flat — mk must honour WithPagedColumns(true)")
+	}
+	if !flat.Stats().DeltaEnabled || !paged.Stats().DeltaEnabled {
+		return nil, fmt.Errorf("serve: storm bench needs the delta path licensed on both servers (M or I algebra)")
+	}
+	arcs := len(flat.base.Arcs)
+	if stormArcs > arcs {
+		stormArcs = arcs
+	}
+
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(seed))
+	makeStorm := func() ([]ArcEvent, []ArcEvent) {
+		picked := make(map[int]bool, stormArcs)
+		fail := make([]ArcEvent, 0, stormArcs)
+		restore := make([]ArcEvent, 0, stormArcs)
+		for len(fail) < stormArcs {
+			arc := r.Intn(arcs)
+			if picked[arc] {
+				continue
+			}
+			picked[arc] = true
+			fail = append(fail, ArcEvent{Arc: arc, Fail: true})
+			restore = append(restore, ArcEvent{Arc: arc, Fail: false})
+		}
+		return fail, restore
+	}
+
+	// timedSwap applies one batch, returning wall time and the bytes
+	// allocated. The forced collection and mem-stats reads sit outside
+	// the timed window: quiescing the heap first keeps one server's
+	// garbage (the flat baseline churns whole columns per swap) from
+	// billing GC assist time to the other's measurement.
+	var ms0, ms1 runtime.MemStats
+	timedSwap := func(s *Server, batch []ArcEvent) (int64, uint64, error) {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		if _, _, err := s.ApplyBatch(ctx, batch); err != nil {
+			return 0, 0, err
+		}
+		ns := time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
+		return ns, ms1.TotalAlloc - ms0.TotalAlloc, nil
+	}
+
+	rep := &StormReport{
+		Nodes:          flat.base.N,
+		Arcs:           arcs,
+		Destinations:   len(flat.dests),
+		StormArcs:      stormArcs,
+		Rounds:         rounds,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Engine:         flat.Stats().Engine,
+		PagesPerColumn: (flat.base.N + rib.PageSize - 1) >> rib.PageShift,
+		DifferentialOK: true,
+	}
+	var flatNS, pagedNS int64
+	var flatAlloc, pagedAlloc uint64
+	var base Stats
+	// Round -1 is an unmeasured warmup; the counter baseline is read
+	// after it so the page and rebuild totals cover measured swaps only.
+	for round := -1; round < rounds; round++ {
+		if round == 0 {
+			base = paged.Stats()
+		}
+		fail, restore := makeStorm()
+		for _, batch := range [][]ArcEvent{fail, restore} {
+			fns, fab, err := timedSwap(flat, batch)
+			if err != nil {
+				return nil, err
+			}
+			pns, pab, err := timedSwap(paged, batch)
+			if err != nil {
+				return nil, err
+			}
+			if round >= 0 {
+				flatNS += fns
+				pagedNS += pns
+				flatAlloc += fab
+				pagedAlloc += pab
+			}
+			if err := stormDifferential(flat, paged); err != nil {
+				rep.DifferentialOK = false
+				return rep, fmt.Errorf("serve: storm bench round %d: %v", round, err)
+			}
+			rep.DifferentialChecks++
+		}
+	}
+
+	swaps := float64(2 * rounds)
+	st := paged.Stats()
+	rep.FlatSwapUS = float64(flatNS) / swaps / 1e3
+	rep.PagedSwapUS = float64(pagedNS) / swaps / 1e3
+	if rep.PagedSwapUS > 0 {
+		rep.SpeedupPaged = rep.FlatSwapUS / rep.PagedSwapUS
+	}
+	rep.FlatSwapAllocBytes = float64(flatAlloc) / swaps
+	rep.PagedSwapAllocBytes = float64(pagedAlloc) / swaps
+	rep.PagesCloned = st.PagesCloned - base.PagesCloned
+	rep.PagesShared = st.PagesShared - base.PagesShared
+	if total := rep.PagesCloned + rep.PagesShared; total > 0 {
+		rep.ClonedFraction = float64(rep.PagesCloned) / float64(total)
+	}
+	rep.DeltaRebuilds = st.DeltaDestRebuilds - base.DeltaDestRebuilds
+	rep.ScratchRebuilds = st.ScratchDestRebuilds - base.ScratchDestRebuilds
+	return rep, nil
+}
+
+// stormDifferential compares the two servers' current snapshots bit
+// for bit: same version, and every paged column flattens to exactly
+// the flat server's column — slots, pool, convergence and the clean
+// certificate included.
+func stormDifferential(flat, paged *Server) error {
+	fs, ps := flat.Snapshot(), paged.Snapshot()
+	if fs.Version != ps.Version {
+		return fmt.Errorf("snapshot versions diverged (flat v%d, paged v%d)", fs.Version, ps.Version)
+	}
+	for _, d := range flat.dests {
+		fc, ok := fs.cols[d].(*rib.Column)
+		if !ok {
+			return fmt.Errorf("dest %d: flat server holds a %T", d, fs.cols[d])
+		}
+		pc, ok := ps.cols[d].(*rib.PagedColumn)
+		if !ok {
+			return fmt.Errorf("dest %d: paged server holds a %T", d, ps.cols[d])
+		}
+		if got := pc.Flatten(); !reflect.DeepEqual(got, fc) {
+			return fmt.Errorf("dest %d: flattened paged column differs from flat column\n got %+v\nwant %+v", d, got, fc)
+		}
+	}
+	return nil
+}

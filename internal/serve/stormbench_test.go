@@ -1,0 +1,54 @@
+package serve_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"metarouting/internal/core"
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+	"metarouting/internal/serve"
+	"metarouting/internal/value"
+)
+
+// TestMeasureStormSmoke runs the paired paged-vs-flat storm
+// measurement end to end at toy scale: both servers must come up in
+// their assigned layouts, every per-swap differential must pass, and
+// the COW counters must show genuine page sharing.
+func TestMeasureStormSmoke(t *testing.T) {
+	a, err := core.InferString("lex(delay(16,3), hops(8))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := a.OT.DefaultOrigin()
+	mk := func(paged bool) (*serve.Server, error) {
+		g := graph.ScaleFree(rand.New(rand.NewSource(9)), 96, 2, graph.UniformLabels(a.OT.F.Size()))
+		origins := map[int]value.V{0: origin, 31: origin, 63: origin}
+		return serve.New(exec.For(a.OT, origin), g, origins,
+			serve.WithWorkers(2), serve.WithDeltaProps(a.Props), serve.WithPagedColumns(paged))
+	}
+	rep, err := serve.MeasureStorm(mk, 2, 3, 5)
+	if err != nil {
+		t.Fatalf("MeasureStorm: %v", err)
+	}
+	if !rep.DifferentialOK || rep.DifferentialChecks == 0 {
+		t.Fatalf("differential: ok=%v over %d checks", rep.DifferentialOK, rep.DifferentialChecks)
+	}
+	// 2 swaps (fail + restore) per round, warmup round included in the
+	// differential but not the timings.
+	if want := 2 * (3 + 1); rep.DifferentialChecks != want {
+		t.Fatalf("differential checks = %d, want %d", rep.DifferentialChecks, want)
+	}
+	if rep.Nodes != 96 || rep.StormArcs != 2 || rep.Rounds != 3 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.PagesShared == 0 {
+		t.Fatal("storm shared no pages — copy-on-write never engaged")
+	}
+	if rep.DeltaRebuilds == 0 {
+		t.Fatal("storm never took the delta path")
+	}
+	if rep.FlatSwapUS <= 0 || rep.PagedSwapUS <= 0 {
+		t.Fatalf("degenerate timings: flat %.3fµs paged %.3fµs", rep.FlatSwapUS, rep.PagedSwapUS)
+	}
+}

@@ -48,6 +48,13 @@ type DeltaStats struct {
 	// Nodes absent from Touched kept their entire neighbourhood state,
 	// which is what lets the RIB layer reuse their entries by pointer.
 	Touched []int
+	// Clean reports that the produced fixpoint was verified to be a
+	// clean dest-rooted forwarding tree — every routed node's primary
+	// next-hop chain reaches the destination (see VerifyForwardTree).
+	// Only BellmanFordDeltaRaw sets it; a clean result licenses the
+	// O(frontier) sparse warm start on the next delta for the same
+	// destination.
+	Clean bool
 }
 
 // defaultPopBudget mirrors the synchronous solver's round budget: the
@@ -77,7 +84,7 @@ func (ws *Workspace) Worklist(eng exec.Algebra, g *graph.Graph, dest int, origin
 	for _, ai := range g.RevIn().In(dest) {
 		ws.push(int(g.Arcs[ai].From), dest)
 	}
-	pops, relaxations, converged := ws.drain(eng, g, nil, dest, maxPops)
+	pops, relaxations, converged := ws.drain(eng, g, nil, dest, maxPops, nil)
 	res := ws.materialize(eng, dest, pops, converged)
 	if m := ws.Metrics; m != nil {
 		m.Runs.Inc()
@@ -166,40 +173,72 @@ type WarmStart func(u int) (routed bool, w int32, nextHop int)
 // asserts convergence; the origin is re-checked here). All fallback
 // behaviour matches BellmanFordDelta — on an unusable warm start,
 // oversized frontier or exhausted budget the from-scratch sweep runs
-// and only DeltaStats.Frontier is meaningful.
-func (ws *Workspace) BellmanFordDeltaRaw(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, origin value.V, prev WarmStart, toggles []ArcToggle, maxPops int) (Raw, DeltaStats) {
+// and only DeltaStats.Frontier and Clean are meaningful.
+//
+// cleanPrev, asserted by the caller, certifies that prev is a clean
+// dest-rooted forwarding tree (the previous column's verified Clean
+// flag). It selects the sparse warm start: previous state is
+// materialized lazily through prev only where the drain looks, the
+// dense path's O(N) loading, purging and indexing passes are skipped
+// entirely (sound because the purge is a no-op on a clean tree), and
+// the whole delta costs O(frontier·deg). On the sparse path the
+// returned Raw is only populated at touched nodes, toggle tails and
+// their out-neighbourhoods — exactly the slots the RIB delta rebuild
+// reads; every other entry is stale scratch.
+func (ws *Workspace) BellmanFordDeltaRaw(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, origin value.V, prev WarmStart, cleanPrev bool, toggles []ArcToggle, maxPops int) (Raw, DeltaStats) {
 	var t0 time.Time
 	if ws.Metrics != nil {
 		t0 = time.Now()
 	}
+	scratch := func(frontier int) (Raw, DeltaStats) {
+		raw := ws.BellmanFordRaw(eng, g, dest, origin, 0)
+		clean := raw.Converged && ws.VerifyForwardTree(raw)
+		return raw, DeltaStats{Frontier: frontier, Clean: clean}
+	}
 	o := exec.MustIntern(eng, origin)
 	if routedD, wD, _ := prev(dest); !routedD || wD != o {
-		return ws.BellmanFordRaw(eng, g, dest, origin, 0), DeltaStats{}
+		return scratch(0)
 	}
-	ws.reset(g.N, dest, o)
-	ws.resetWorklist(g.N)
-	for u := 0; u < g.N; u++ {
-		if u == dest {
-			continue
+	var pops, frontier int
+	var relaxations uint64
+	var ok bool
+	var warm WarmStart
+	if cleanPrev {
+		warm = prev
+		ws.sparseReset(g.N)
+		ws.loadNode(dest, true, o, -1)
+		pops, relaxations, frontier, ok = ws.deltaDrainSparse(eng, g, disabled, dest, prev, toggles, maxPops)
+	} else {
+		ws.reset(g.N, dest, o)
+		ws.resetWorklist(g.N)
+		for u := 0; u < g.N; u++ {
+			if u == dest {
+				continue
+			}
+			routed, w, nh := prev(u)
+			if !routed {
+				continue
+			}
+			ws.routed[u] = true
+			ws.w[u] = w
+			ws.nextHop[u] = nh
 		}
-		routed, w, nh := prev(u)
-		if !routed {
-			continue
-		}
-		ws.routed[u] = true
-		ws.w[u] = w
-		ws.nextHop[u] = nh
+		pops, relaxations, frontier, ok = ws.deltaDrain(eng, g, disabled, dest, toggles, maxPops)
 	}
-	pops, relaxations, frontier, ok := ws.deltaDrain(eng, g, disabled, dest, toggles, maxPops)
 	if !ok {
-		return ws.BellmanFordRaw(eng, g, dest, origin, 0), DeltaStats{Frontier: frontier}
+		return scratch(frontier)
 	}
+	// Certify the new fixpoint for the next warm start. Touched chains
+	// suffice: the warm start was purged (dense) or certified clean
+	// (sparse), so any new forwarding cycle must pass through a touched
+	// node — see verifyTouched.
 	st := DeltaStats{
 		UsedDelta:   true,
 		Frontier:    frontier,
 		Pops:        pops,
 		Relaxations: relaxations,
 		Touched:     ws.sortedTouched(),
+		Clean:       ws.verifyTouched(g.N, dest, warm),
 	}
 	if m := ws.Metrics; m != nil {
 		m.Runs.Inc()
@@ -312,7 +351,7 @@ func (ws *Workspace) deltaDrain(eng exec.Algebra, g *graph.Graph, disabled []boo
 		return 0, 0, frontier, false
 	}
 	var converged bool
-	pops, relaxations, converged = ws.drain(eng, g, disabled, dest, maxPops)
+	pops, relaxations, converged = ws.drain(eng, g, disabled, dest, maxPops, nil)
 	if !converged {
 		return pops, relaxations, frontier, false
 	}
@@ -376,8 +415,11 @@ func (ws *Workspace) sortedTouched() []int {
 // a from-scratch build; a routedness or weight change then dirties the
 // node's in-neighbours through the base graph's reverse CSR index
 // (disabled, when non-nil, skips masked in-arcs; a nil mask merely
-// enqueues tails that will rescan to no change).
-func (ws *Workspace) drain(eng exec.Algebra, g *graph.Graph, disabled []bool, dest, maxPops int) (pops int, relaxations uint64, converged bool) {
+// enqueues tails that will rescan to no change). warm, when non-nil,
+// runs the drain over the sparse lazy overlay: popped nodes and scanned
+// out-neighbours are materialized from the previous fixpoint on first
+// access instead of having been bulk-loaded.
+func (ws *Workspace) drain(eng exec.Algebra, g *graph.Graph, disabled []bool, dest, maxPops int, warm WarmStart) (pops int, relaxations uint64, converged bool) {
 	if maxPops <= 0 {
 		maxPops = defaultPopBudget(g.N)
 	}
@@ -400,10 +442,16 @@ func (ws *Workspace) drain(eng exec.Algebra, g *graph.Graph, disabled []bool, de
 		head++
 		ws.dirty[u] = false
 		pops++
+		if warm != nil {
+			ws.ensure(u, warm)
+		}
 		bestArc := -1
 		var best int32
 		for _, ai := range g.Out(u) {
 			v := arcs[ai].To
+			if warm != nil {
+				ws.ensure(v, warm)
+			}
 			if !routed[v] {
 				continue
 			}

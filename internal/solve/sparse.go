@@ -1,0 +1,282 @@
+package solve
+
+import (
+	"metarouting/internal/exec"
+	"metarouting/internal/graph"
+)
+
+// This file holds the O(frontier) side of the delta solver: epoch-stamped
+// node sets (so per-run state never needs an O(N) clear), a lazy
+// warm-start overlay that materializes previous-fixpoint state only for
+// nodes the drain actually visits, and the forward-chain verifier that
+// certifies a fixpoint as "clean" — every routed node's primary next-hop
+// chain reaches the destination. Cleanliness is what licenses the sparse
+// path: on a clean warm start the dense path's ⊤-plateau purge is
+// provably a no-op (the purge invalidates exactly the routed nodes
+// outside the dest-rooted forwarding tree, and a clean fixpoint has
+// none), so skipping it — and with it every O(N) pass of the dense warm
+// start — leaves the result bit-identical.
+
+// resetEpochSet readies an epoch-stamped set for n nodes: membership is
+// arr[u] == epoch. A normal reset is one integer bump; growth and epoch
+// wraparound fall back to a zeroed array. Clearing on wraparound runs at
+// full capacity so a later regrowth cannot resurrect stale members.
+func resetEpochSet(arr []uint32, epoch uint32, n int) ([]uint32, uint32) {
+	if cap(arr) < n {
+		return make([]uint32, n), 1
+	}
+	arr = arr[:n]
+	epoch++
+	if epoch == 0 {
+		full := arr[:cap(arr)]
+		for i := range full {
+			full[i] = 0
+		}
+		epoch = 1
+	}
+	return arr, epoch
+}
+
+// ResetMarks readies the workspace's reusable node bitmap for an n-node
+// pass, dropping every previous mark in O(1). The bitmap is scratch the
+// same way the solver buffers are: callers own it between ResetMarks
+// calls, and the RIB delta rebuild uses it as its redo set instead of
+// allocating a map per rebuild.
+func (ws *Workspace) ResetMarks(n int) {
+	ws.marks, ws.markEpoch = resetEpochSet(ws.marks, ws.markEpoch, n)
+}
+
+// Mark adds node u to the bitmap (ResetMarks must have covered u).
+func (ws *Workspace) Mark(u int) { ws.marks[u] = ws.markEpoch }
+
+// Marked reports whether u was marked since the last ResetMarks.
+func (ws *Workspace) Marked(u int) bool { return ws.marks[u] == ws.markEpoch }
+
+// loadNode installs one node's state into the solver arrays and records
+// it as live in the lazy overlay, so a later ensure cannot clobber it
+// with stale warm-start values.
+func (ws *Workspace) loadNode(u int, routed bool, w int32, nextHop int) {
+	ws.loaded[u] = ws.loadEpoch
+	ws.routed[u] = routed
+	ws.w[u] = w
+	ws.nextHop[u] = nextHop
+}
+
+// ensure materializes node u's previous-fixpoint state on first access.
+// Every read or write of routed/w/nextHop on the sparse path must be
+// preceded by an ensure (or loadNode) for that node — unloaded entries
+// hold garbage from earlier runs.
+func (ws *Workspace) ensure(u int, warm WarmStart) {
+	if ws.loaded[u] == ws.loadEpoch {
+		return
+	}
+	r, w, nh := warm(u)
+	ws.loadNode(u, r, w, nh)
+}
+
+// sparseReset readies the workspace for a sparse delta drain without any
+// O(N) pass: value arrays are sized but not cleared (the loaded overlay
+// gates their validity), and worklist scratch is cleared through the
+// previous run's touch list — every dirty/touched bit set since the last
+// truncation belongs to a node on touchList (push maintains this; an
+// aborted drain's leftovers are still touch-listed). Clears run at full
+// capacity so a later larger run cannot resurrect stale bits.
+func (ws *Workspace) sparseReset(n int) {
+	if cap(ws.routed) < n {
+		ws.routed = make([]bool, n)
+		ws.prevR = make([]bool, n)
+		ws.w = make([]int32, n)
+		ws.prevW = make([]int32, n)
+		ws.nextHop = make([]int, n)
+		if ws.Metrics != nil {
+			ws.Metrics.Grows.Inc()
+		}
+	} else if ws.Metrics != nil {
+		ws.Metrics.ReuseHits.Inc()
+	}
+	ws.routed = ws.routed[:n]
+	ws.prevR = ws.prevR[:n]
+	ws.w = ws.w[:n]
+	ws.prevW = ws.prevW[:n]
+	ws.nextHop = ws.nextHop[:n]
+	if cap(ws.dirty) < n || cap(ws.touched) < n ||
+		cap(ws.childHead) < n || cap(ws.childNext) < n {
+		// Grow all four together: resetWorklist uses cap(dirty) as its
+		// lone grow sentinel, so the buffers must stay in lockstep.
+		ws.dirty = make([]bool, n)
+		ws.touched = make([]bool, n)
+		ws.childHead = make([]int32, n)
+		ws.childNext = make([]int32, n)
+	} else {
+		ws.dirty = ws.dirty[:n]
+		ws.touched = ws.touched[:n]
+		dirtyFull := ws.dirty[:cap(ws.dirty)]
+		touchedFull := ws.touched[:cap(ws.touched)]
+		for _, u := range ws.touchList {
+			if u < len(dirtyFull) {
+				dirtyFull[u] = false
+			}
+			if u < len(touchedFull) {
+				touchedFull[u] = false
+			}
+		}
+	}
+	ws.queue = ws.queue[:0]
+	ws.touchList = ws.touchList[:0]
+	ws.loaded, ws.loadEpoch = resetEpochSet(ws.loaded, ws.loadEpoch, n)
+}
+
+// deltaDrainSparse is deltaDrain for a certified-clean warm start. The
+// previous forwarding state has no ⊤-plateau loops, so the global tree
+// purge is a no-op and is skipped; downed forwarding subtrees are
+// discovered through the shared reverse CSR (a node's children in the
+// previous tree are exactly the in-neighbours whose next hop is the
+// node) instead of a full children index. Work is proportional to the
+// frontier and its neighbourhood, never to g.N. Alongside the drain
+// itself it guarantees that, on success, every touched node and every
+// toggle tail has its full out-neighbourhood materialized — the RIB
+// rebuild re-runs ECMP scans at exactly those nodes.
+func (ws *Workspace) deltaDrainSparse(eng exec.Algebra, g *graph.Graph, disabled []bool, dest int, warm WarmStart, toggles []ArcToggle, maxPops int) (pops int, relaxations uint64, frontier int, ok bool) {
+	rev := g.RevIn()
+	arcs := g.Arcs
+	stack := ws.stack[:0]
+	for _, t := range toggles {
+		x := arcs[t.Arc].From
+		// Materialize the toggle tail and its out-neighbourhood up front:
+		// the RIB layer re-runs the ECMP scan at every toggle tail even
+		// when its weight fixpoint does not move.
+		if x != dest {
+			ws.ensure(x, warm)
+		}
+		for _, ai := range g.Out(x) {
+			ws.ensure(arcs[ai].To, warm)
+		}
+		if !t.Down {
+			continue
+		}
+		y := arcs[t.Arc].To
+		if x == dest || !ws.routed[x] || ws.nextHop[x] != y {
+			continue
+		}
+		// Invalidate the forwarding subtree behind the downed primary
+		// arc, walking previous-tree children via reverse arcs.
+		stack = append(stack, x)
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !ws.routed[s] {
+				continue
+			}
+			ws.routed[s] = false
+			ws.nextHop[s] = -1
+			ws.push(s, dest)
+			for _, ai := range rev.In(s) {
+				v := arcs[ai].From
+				if v == dest {
+					continue
+				}
+				ws.ensure(v, warm)
+				if ws.routed[v] && ws.nextHop[v] == s {
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	ws.stack = stack
+	// Entry-level obligation shared with the dense path: in-neighbours
+	// of invalidated nodes rescan so lost ECMP alternatives are
+	// re-derived at the RIB layer.
+	for i, inval := 0, len(ws.queue); i < inval; i++ {
+		for _, ai := range rev.In(ws.queue[i]) {
+			if disabled != nil && int(ai) < len(disabled) && disabled[ai] {
+				continue
+			}
+			ws.push(arcs[ai].From, dest)
+		}
+	}
+	for _, t := range toggles {
+		if !t.Down && arcs[t.Arc].From != dest {
+			ws.push(arcs[t.Arc].From, dest)
+		}
+	}
+	frontier = len(ws.queue)
+	if 2*frontier >= g.N {
+		return 0, 0, frontier, false
+	}
+	var converged bool
+	pops, relaxations, converged = ws.drain(eng, g, disabled, dest, maxPops, warm)
+	if !converged {
+		return pops, relaxations, frontier, false
+	}
+	return pops, relaxations, frontier, true
+}
+
+// verifyChain walks u's primary next-hop chain until it reaches the
+// destination or an already-verified node, then marks the whole walk
+// verified. It fails on a forwarding cycle (walk longer than n) and on a
+// routed node forwarding to an unrouted one — either means the fixpoint
+// is not a clean dest-rooted tree. warm, when non-nil, materializes
+// unvisited nodes from the lazy overlay as the walk crosses them.
+func (ws *Workspace) verifyChain(u, n, dest int, warm WarmStart) bool {
+	path := ws.vstack[:0]
+	defer func() { ws.vstack = path }()
+	for u != dest && ws.vmarks[u] != ws.vmarkEpoch {
+		if warm != nil {
+			ws.ensure(u, warm)
+		}
+		if !ws.routed[u] {
+			return false
+		}
+		path = append(path, u)
+		if len(path) > n {
+			return false
+		}
+		u = ws.nextHop[u]
+	}
+	for _, v := range path {
+		ws.vmarks[v] = ws.vmarkEpoch
+	}
+	return true
+}
+
+// verifyTouched certifies a converged delta fixpoint as clean by walking
+// the forwarding chain of every touched routed node. Untouched nodes
+// need no walk: starting from a purged (or certified-clean) warm start,
+// an untouched node's chain either stays on unchanged previous-tree
+// edges all the way to the destination or crosses a touched node, whose
+// own walk covers the remainder. Any new forwarding cycle must contain a
+// touched node — a cycle of untouched nodes would have existed in the
+// clean previous fixpoint — so the restricted walk finds it.
+func (ws *Workspace) verifyTouched(n, dest int, warm WarmStart) bool {
+	ws.vmarks, ws.vmarkEpoch = resetEpochSet(ws.vmarks, ws.vmarkEpoch, n)
+	for _, t := range ws.touchList {
+		if !ws.routed[t] {
+			continue
+		}
+		if !ws.verifyChain(t, n, dest, warm) {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyForwardTree reports whether a solver result is a clean
+// dest-rooted forwarding tree: every routed node's primary next-hop
+// chain reaches the destination (no ⊤-plateau loops). raw must be the
+// workspace's own live state (the Raw returned by BellmanFordRaw or
+// BellmanFordDeltaRaw, before any later solve). The RIB layer stamps
+// the verdict on its columns; a clean previous column is what licenses
+// the sparse delta path on the next swap.
+func (ws *Workspace) VerifyForwardTree(raw Raw) bool {
+	n := len(raw.Routed)
+	ws.vmarks, ws.vmarkEpoch = resetEpochSet(ws.vmarks, ws.vmarkEpoch, n)
+	for u := 0; u < n; u++ {
+		if !raw.Routed[u] {
+			continue
+		}
+		if !ws.verifyChain(u, n, raw.Dest, nil) {
+			return false
+		}
+	}
+	return true
+}

@@ -63,17 +63,35 @@ go run ./cmd/mrserve -replica-bench -expr 'lex(delay(32,3), bw(8))' \
 grep -q full_to_delta_ratio /tmp/bench_replica_smoke.json
 grep -q '"checksum_ok": true' /tmp/bench_replica_smoke.json
 
+# Storm bench smoke: the paged-vs-flat copy-on-write swap measurement
+# must run end to end at small scale, pass every per-swap bit-identity
+# differential, and emit a well-formed report. The committed
+# BENCH_storm.json holds the real 1k/10k/100k numbers.
+go run ./cmd/mrserve -storm-bench -expr 'lex(delay(32,3), hops(8))' \
+  -storm-nodes 256 -storm-arcs 2,8 -dests 4 -bench-rounds 2 \
+  -out /tmp/bench_storm_smoke.json 2>&1 | tee /tmp/storm_smoke.txt
+grep -q 'x speedup' /tmp/storm_smoke.txt
+grep -q 'differential-ok=true' /tmp/storm_smoke.txt
+grep -q speedup_paged /tmp/bench_storm_smoke.json
+grep -q '"differential_ok": true' /tmp/bench_storm_smoke.json
+
 # Leader/follower replication smoke: a leader boots, absorbs a
-# deterministic storm and logs every record; a follower bootstrapped
-# from nothing but that log must report the identical snapshot version
-# and routing checksum.
+# deterministic storm and rotation-logs every record; a follower
+# bootstrapped from nothing but the live log — which rotation reseeds
+# with a full snapshot — and another replaying the whole segment
+# directory must both report the identical snapshot version and
+# routing checksum.
 REPL_DIR=$(mktemp -d)
 go run ./cmd/mrserve -expr 'lex(delay(32,3), hops(8))' -random 24 -dests 4 \
-  -log-dir "$REPL_DIR" -replay-storm 50 -oneshot | tee /tmp/replica_leader.txt
+  -log-dir "$REPL_DIR" -log-max-bytes 4096 -replay-storm 50 -oneshot | tee /tmp/replica_leader.txt
+ls "$REPL_DIR"/replica-*.log  # rotation must actually have produced segments
 go run ./cmd/mrserve -follow "file:$REPL_DIR/replica.log" -oneshot | tee /tmp/replica_follower.txt
+go run ./cmd/mrserve -follow "file:$REPL_DIR" -oneshot | tee /tmp/replica_follower_dir.txt
 LEADER_STATE=$(sed 's/role=leader//' /tmp/replica_leader.txt)
 FOLLOWER_STATE=$(sed 's/role=follower//' /tmp/replica_follower.txt)
+FOLLOWER_DIR_STATE=$(sed 's/role=follower//' /tmp/replica_follower_dir.txt)
 test -n "$LEADER_STATE" && test "$LEADER_STATE" = "$FOLLOWER_STATE"
+test "$LEADER_STATE" = "$FOLLOWER_DIR_STATE"
 rm -rf "$REPL_DIR"
 
 # Query-plane bench smoke: the paired single-JSON-vs-batched-binary
@@ -88,9 +106,11 @@ go run ./cmd/mrserve -query-bench -random 24 -dests 4 \
 grep -q speedup /tmp/bench_query_smoke.json
 grep -q '"differential_ok": true' /tmp/bench_query_smoke.json
 
-# Allocs/op guard: the arena column build must stay allocation-flat
-# (TestColumnBuildAllocs fails if a build exceeds its small budget).
-go test -run='^TestColumnBuildAllocs$' -count=1 ./internal/rib/
+# Allocs/op guards: the arena column build must stay allocation-flat,
+# and both delta rebuild paths (flat epoch-bitmap and paged
+# copy-on-write) must hold their steady-state allocation budgets.
+go test -run='^(TestColumnBuildAllocs|TestDeltaColumnAllocs|TestDeltaPagedAllocs)$' \
+  -count=1 ./internal/rib/
 
 # Zero-alloc query-plane guards, under the race detector: the binary
 # batch resolution core and the wire codec must stay at zero
